@@ -1,0 +1,82 @@
+"""Figure 1: Simpson's paradox on FlightData, end to end.
+
+Regenerates every panel of the paper's Fig. 1: the biased query answers,
+the per-airport reversal (a), the carrier/airport mix (b), the per-airport
+delay rates (c), the coarse- and fine-grained explanations (d), and the
+refined (rewritten) answers with significance (e).
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.core.hypdb import HypDB
+from repro.datasets.flights import flight_data
+from repro.relation.groupby import group_by_average
+from repro.relation.predicates import In
+
+SQL = (
+    "SELECT Carrier, avg(Delayed) FROM FlightData "
+    "WHERE Carrier IN ('AA','UA') AND Airport IN ('COS','MFE','MTJ','ROC') "
+    "GROUP BY Carrier"
+)
+PAPER_AIRPORTS = ("COS", "MFE", "MTJ", "ROC")
+
+
+def test_fig1_flight_simpson_paradox(benchmark, report_sink):
+    table = flight_data(n_rows=scaled(30000), seed=7)
+    db = HypDB(table, seed=7)
+
+    report = benchmark.pedantic(lambda: db.analyze(SQL), rounds=1, iterations=1)
+    context = report.contexts[0]
+    emit = lambda line="": report_sink("fig1_flights", line)  # noqa: E731
+
+    emit("=== Figure 1: biased OLAP query on FlightData ===")
+    emit(f"HypDB verdict: {'Biased Query' if report.biased else 'unbiased'}")
+    emit("")
+    emit("Query answers (SQL):")
+    for value in context.naive.treatment_values:
+        emit(f"  {value}: avg(Delayed) = {context.naive.average(value):.4f}")
+    emit(f"  p-value of difference: {context.naive.p_value():.2e}")
+
+    emit("")
+    emit("(a) Carrier delay by airport (the reversal):")
+    where = In("Carrier", ["AA", "UA"]) & In("Airport", list(PAPER_AIRPORTS))
+    per_airport = group_by_average(table, ["Airport", "Carrier"], ["Delayed"], where=where)
+    reversed_everywhere = True
+    for airport in PAPER_AIRPORTS:
+        aa = per_airport.average((airport, "AA"))
+        ua = per_airport.average((airport, "UA"))
+        reversed_everywhere &= aa > ua
+        emit(f"  {airport}: AA={aa:.3f}  UA={ua:.3f}  ({'AA worse' if aa > ua else 'UA worse'})")
+    assert reversed_everywhere, "per-airport ordering must oppose the aggregate"
+    assert context.naive.average("AA") < context.naive.average("UA")
+
+    emit("")
+    emit("(d) Coarse-grained explanations (responsibility):")
+    for item in context.coarse:
+        emit(f"  {item.attribute:<12s} {item.responsibility:.2f}")
+    assert context.coarse[0].attribute == "Airport"
+
+    emit("")
+    emit("(d) Fine-grained explanations (top-2 per attribute):")
+    for attribute, triples in context.fine.items():
+        for rank, triple in enumerate(triples, start=1):
+            emit(
+                f"  {rank}. Carrier={triple.treatment_value} "
+                f"{attribute}={triple.attribute_value} Delayed={triple.outcome_value}"
+            )
+    top = context.fine["Airport"][0]
+    assert (top.treatment_value, top.attribute_value, top.outcome_value) == ("UA", "ROC", 1)
+
+    emit("")
+    emit("(e) Refined query answers:")
+    for kind, estimate in (("total", context.total), ("direct", context.direct)):
+        row = ", ".join(
+            f"{value}: {estimate.average(value):.4f}"
+            for value in estimate.treatment_values
+        )
+        emit(f"  {kind:<7s} {row}  diff={estimate.difference():+.4f}  p={estimate.p_value():.4g}")
+    assert context.total.difference() < 0  # UA better in total effect
+    assert context.total.p_value() < 0.01
+    assert context.direct.p_value() >= 0.01  # no significant direct difference

@@ -1,0 +1,62 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the
+paper (see DESIGN.md Sec. 3).  Conventions:
+
+* every benchmark calls the ``benchmark`` fixture (so ``pytest benchmarks/
+  --benchmark-only`` collects exactly these);
+* heavyweight experiments run once via ``benchmark.pedantic(rounds=1)``;
+* each experiment prints its paper-style rows *and* appends them to
+  ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote them;
+* sizes default to laptop scale and grow with ``REPRO_BENCH_SCALE`` (a
+  float multiplier, default 1.0).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """The global size multiplier (env ``REPRO_BENCH_SCALE``)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(base: int, minimum: int = 1) -> int:
+    """Scale an integer workload parameter."""
+    return max(minimum, int(base * bench_scale()))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_dir():
+    """Start every benchmark session with an empty results archive."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for stale in RESULTS_DIR.glob("*.txt"):
+        stale.unlink()
+    yield
+
+
+@pytest.fixture
+def report_sink():
+    """Returns a function that prints a line and archives it per-experiment.
+
+    Archives append, so parametrized benchmark cases (one per table row /
+    figure series) accumulate into a single per-experiment file.
+    """
+    handles: dict[str, list[str]] = {}
+
+    def sink(experiment: str, line: str = "") -> None:
+        handles.setdefault(experiment, []).append(line)
+        print(line)
+
+    yield sink
+
+    for experiment, lines in handles.items():
+        path = RESULTS_DIR / f"{experiment}.txt"
+        with open(path, "a") as handle:
+            handle.write("\n".join(lines) + "\n")

@@ -1,0 +1,71 @@
+"""Mediation analysis against a known ground truth (CancerData).
+
+The paper's CancerData (Fig. 7) is simulated from a known causal DAG, so
+every HypDB output can be checked against the truth:
+
+* Does lung cancer cause car accidents?  *Indirectly yes* (via fatigue),
+  *directly no* (there is no edge).
+* Are the discovered covariates the true parents of Lung_Cancer?
+* Does the responsibility ranking point at the true mediator?
+
+This example also demonstrates the lower-level API: running the CD
+algorithm directly, comparing against the ground-truth DAG, and computing
+the adjusted effects by hand.
+
+Run:  python examples/cancer_mediation.py
+"""
+
+from repro import HypDB
+from repro.core.rewrite import direct_effect, total_effect
+from repro.datasets import cancer_dag, cancer_data
+
+
+def main() -> None:
+    truth = cancer_dag()
+    table = cancer_data(n_rows=2000, seed=3)
+    print(f"Ground-truth DAG: {truth!r}")
+    print(f"  PA(Lung_Cancer)  = {sorted(truth.parents('Lung_Cancer'))}")
+    print(f"  PA(Car_Accident) = {sorted(truth.parents('Car_Accident'))}")
+    print(f"  direct edge Lung_Cancer -> Car_Accident? "
+          f"{truth.has_edge('Lung_Cancer', 'Car_Accident')}\n")
+
+    db = HypDB(table, seed=1)
+    report = db.analyze(
+        "SELECT Lung_Cancer, avg(Car_Accident) FROM CancerData GROUP BY Lung_Cancer"
+    )
+    context = report.contexts[0]
+
+    print("HypDB's automatic discovery vs the truth:")
+    print(f"  discovered covariates Z = {list(report.covariates)} "
+          f"(truth: {sorted(truth.parents('Lung_Cancer'))})")
+    print(f"  discovered mediators  M = {list(report.mediators)} "
+          f"(truth: {sorted(truth.parents('Car_Accident'))})\n")
+
+    print("Effects of lung cancer on car accidents:")
+    for estimate in (context.naive, context.total, context.direct):
+        print(f"  {estimate.kind:<7s} diff={estimate.difference():+.4f}  "
+              f"p={estimate.p_value():.3g}")
+    print("  -> total effect real, direct effect indistinguishable from 0,")
+    print("     exactly as the ground-truth DAG dictates.\n")
+
+    print("Responsibility ranking (who explains the bias):")
+    for item in context.coarse:
+        print(f"  {item.attribute:<20s} {item.responsibility:.2f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # The same estimates through the low-level rewriting API.
+    # ------------------------------------------------------------------
+    z = list(report.covariates)
+    m = list(report.mediators)
+    by_hand_total = total_effect(table, "Lung_Cancer", ["Car_Accident"], z)
+    by_hand_direct = direct_effect(table, "Lung_Cancer", ["Car_Accident"], z, m)
+    print("Low-level API (Listing 2 / Eq. 3 by hand):")
+    print(f"  adjusted ATE  = {by_hand_total.difference():+.4f} "
+          f"(matched {by_hand_total.matched_fraction:.0%} of rows)")
+    print(f"  adjusted NDE  = {by_hand_direct.difference():+.4f} "
+          f"(matched {by_hand_direct.matched_fraction:.0%} of rows)")
+
+
+if __name__ == "__main__":
+    main()

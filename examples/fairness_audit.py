@@ -1,0 +1,87 @@
+"""Fairness audit: detecting algorithmic/institutional unfairness post factum.
+
+The paper (Sec. 7.3) shows how HypDB audits decision data with a plain
+group-by query on the protected attribute.  Two case studies:
+
+1. **Berkeley 1973 admissions** (real data, the famous discrimination
+   lawsuit): the aggregate admission rates look damning for women; HypDB
+   shows the disparity is explained by department choice -- and that after
+   conditioning on Department the trend actually *reverses*, an insight
+   beyond association-based tools like FairTest.
+
+2. **Census income** (AdultData-style): a large gender/income gap is
+   carried almost entirely by marital status -- and the fine-grained
+   explanations surface the married-male/high-income pattern that reveals
+   the dataset's income attribute is household-, not person-level.
+
+Run:  python examples/fairness_audit.py
+"""
+
+from repro import HypDB
+from repro.datasets import adult_data, berkeley_data
+
+
+def audit_berkeley() -> None:
+    print("=" * 70)
+    print("Case 1: UC Berkeley 1973 graduate admissions (real data)")
+    print("=" * 70)
+    table = berkeley_data()
+    db = HypDB(table, seed=1)
+    report = db.analyze(
+        "SELECT Gender, avg(Accepted) FROM BerkeleyData GROUP BY Gender"
+    )
+    context = report.contexts[0]
+
+    print(f"\nAdmission rates: male {context.naive.average('Male'):.1%}, "
+          f"female {context.naive.average('Female'):.1%} "
+          f"(p = {context.naive.p_value():.2g})")
+    print("The university was sued over this gap. HypDB's analysis:\n")
+    print(f"  query biased w.r.t. {list(report.mediators)}: {report.biased}")
+    print("  fine-grained explanations (who applied where):")
+    for triple in context.fine["Department"]:
+        print(f"    {triple.treatment_value} applicants -> department "
+              f"{triple.attribute_value} (accepted={triple.outcome_value})")
+    direct = context.direct
+    print("\n  conditioning on Department (direct-effect view):")
+    print(f"    male {direct.average('Male'):.1%}, female {direct.average('Female'):.1%} "
+          f"(p = {direct.p_value():.2g})")
+    print("    -> the disparity not only disappears, it REVERSES: within")
+    print("       departments, women were admitted at a higher rate.")
+
+
+def audit_income() -> None:
+    print()
+    print("=" * 70)
+    print("Case 2: gender and income in census-style data")
+    print("=" * 70)
+    table = adult_data(n_rows=30000, seed=5)
+    db = HypDB(table, seed=1)
+    report = db.analyze("SELECT Gender, avg(Income) FROM AdultData GROUP BY Gender")
+    context = report.contexts[0]
+
+    print(f"\nHigh-income share: male {context.naive.average('Male'):.1%}, "
+          f"female {context.naive.average('Female'):.1%}")
+    print("A FairTest-style report stops here. HypDB continues:\n")
+    print("  responsibility ranking (what carries the gap):")
+    for item in context.coarse[:4]:
+        print(f"    {item.attribute:<15s} {item.responsibility:.2f}")
+    print("  top fine-grained explanation:")
+    top = context.fine["MaritalStatus"][0]
+    print(f"    ({top.treatment_value}, Income={top.outcome_value}, "
+          f"MaritalStatus={top.attribute_value})")
+    print("    -> far more married men than married women, and marriage is")
+    print("       strongly associated with (household-reported) high income:")
+    print("       the income attribute is inconsistent for gender studies.")
+    direct = context.direct
+    print(f"\n  direct effect of gender on income: diff = "
+          f"{direct.difference():+.4f} (p = {direct.p_value():.2g}) -> "
+          f"{'no evidence' if direct.p_value() >= 0.01 else 'evidence'} of direct discrimination")
+
+
+def main() -> None:
+    audit_berkeley()
+    audit_income()
+
+
+if __name__ == "__main__":
+    main()

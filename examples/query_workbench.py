@@ -1,0 +1,86 @@
+"""Query workbench: the relational substrate as a standalone toolkit.
+
+HypDB's lower layers are useful on their own.  This example walks through:
+
+1. loading data from CSV and running parsed SQL against it;
+2. composing WHERE predicates programmatically;
+3. building an OLAP data cube and answering counts from it;
+4. measuring dependence with the independence-test zoo;
+5. screening every attribute of a table for potential confounding of a
+   chosen (treatment, outcome) pair -- a mini "bias linter".
+
+Run:  python examples/query_workbench.py
+"""
+
+import csv
+import tempfile
+from pathlib import Path
+
+from repro import Table
+from repro.core.query import GroupByQuery
+from repro.datasets import flight_data
+from repro.infotheory import EntropyEngine
+from repro.relation import DataCube, Gt, In, group_by_average
+from repro.stats import ChiSquaredTest, HybridTest
+
+
+def main() -> None:
+    # --- 1. CSV round trip + SQL --------------------------------------
+    table = flight_data(n_rows=15000, seed=11, include_keys=False)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "flights.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.columns)
+            writer.writerows(table.rows())
+        table = Table.from_csv(path)
+    print(f"Loaded {table!r} from CSV")
+
+    query = GroupByQuery.from_sql(
+        "SELECT Carrier, avg(Delayed) FROM flights "
+        "WHERE Airport IN ('SEA','SFO') AND Month >= 6 GROUP BY Carrier"
+    )
+    result = group_by_average(
+        table, query.group_by_columns(), query.outcomes, where=query.where
+    )
+    print(f"\nParsed query: {query!r}")
+    print(result.format())
+
+    # --- 2. programmatic predicates -----------------------------------
+    summer_weekends = In("Month", [6, 7, 8]) & Gt("DayOfWeek", 5)
+    print(f"\nSummer weekend flights: {table.where(summer_weekends).n_rows}")
+
+    # --- 3. OLAP cube ---------------------------------------------------
+    cube = DataCube(table, ["Carrier", "Airport", "Delayed"])
+    print(f"\nData cube over 3 attributes: {cube.n_cuboids()} cuboids")
+    delayed_by_carrier = cube.counts(["Carrier", "Delayed"])
+    for carrier in ("AA", "UA"):
+        total = sum(c for (k, _), c in delayed_by_carrier.items() if k == carrier)
+        late = delayed_by_carrier.get((carrier, 1), 0)
+        print(f"  {carrier}: {late}/{total} delayed (from the cube, no scan)")
+
+    # --- 4. dependence measurement --------------------------------------
+    engine = EntropyEngine(table)
+    print(f"\nI(Carrier; Delayed)          = "
+          f"{engine.mutual_information(('Carrier',), ('Delayed',)):.4f} nats")
+    print(f"I(Carrier; Delayed | Airport) = "
+          f"{engine.mutual_information(('Carrier',), ('Delayed',), ('Airport',)):.4f} nats")
+    verdict = HybridTest(seed=0).test(table, "Carrier", "Delayed", ("Airport", "DepTime"))
+    print(f"Carrier ⊥ Delayed | Airport, DepTime?  p = {verdict.p_value:.3g} "
+          f"({verdict.method})")
+
+    # --- 5. a mini bias linter ------------------------------------------
+    print("\nBias linter: which attributes are unbalanced across carriers")
+    print("AND associated with delays? (candidate confounders/mediators)")
+    chi2 = ChiSquaredTest()
+    for attribute in table.columns:
+        if attribute in ("Carrier", "Delayed"):
+            continue
+        unbalanced = chi2.test(table, "Carrier", attribute).dependent(0.01)
+        predictive = chi2.test(table, "Delayed", attribute).dependent(0.01)
+        if unbalanced and predictive:
+            print(f"  ! {attribute}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: think twice about your group-by query.
+
+Reproduces the paper's running example (Fig. 1): an analyst compares two
+carriers with a group-by-average query, picks the one with the lower
+average delay -- and picks wrong, because the query is biased by the
+airports each carrier flies from (Simpson's paradox).  HypDB detects the
+bias, explains it, and rewrites the query.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HypDB
+from repro.datasets import flight_data
+from repro.relation.groupby import group_by_average
+from repro.relation.predicates import In
+
+SQL = (
+    "SELECT Carrier, avg(Delayed) FROM FlightData "
+    "WHERE Carrier IN ('AA','UA') AND Airport IN ('COS','MFE','MTJ','ROC') "
+    "GROUP BY Carrier"
+)
+
+
+def main() -> None:
+    table = flight_data(n_rows=30000, seed=7)
+    print(f"Loaded {table!r}\n")
+
+    # --- Step 1: what the analyst sees -------------------------------
+    where = In("Carrier", ["AA", "UA"]) & In("Airport", ["COS", "MFE", "MTJ", "ROC"])
+    naive = group_by_average(table, ["Carrier"], ["Delayed"], where=where)
+    print("The analyst's query:")
+    print(f"  {SQL}\n")
+    print(naive.format())
+    better = min(naive.keys(), key=lambda key: naive.average(key))[0]
+    print(f"\n=> {better} looks better. But is this a sound decision?\n")
+
+    # --- Step 2: the hidden reversal ----------------------------------
+    per_airport = group_by_average(
+        table, ["Airport", "Carrier"], ["Delayed"], where=where
+    )
+    print("Per-airport delay rates (Simpson's paradox):")
+    print(per_airport.format())
+    print()
+
+    # --- Step 3: HypDB ------------------------------------------------
+    db = HypDB(table, seed=7)
+    report = db.analyze(SQL)
+    print(report.format())
+
+    context = report.contexts[0]
+    print("\nSummary:")
+    print(f"  biased query?            {report.biased}")
+    print(f"  discovered covariates:   {list(report.covariates)}")
+    print(f"  naive difference:        {context.naive.difference():+.4f} "
+          f"(p={context.naive.p_value():.2g})")
+    print(f"  adjusted (total) diff:   {context.total.difference():+.4f} "
+          f"(p={context.total.p_value():.2g})  <- the trend reverses")
+    print(f"  direct-effect diff:      {context.direct.difference():+.4f} "
+          f"(p={context.direct.p_value():.2g})  <- not significant")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""HypDB reproduction: bias in OLAP queries -- detection, explanation, removal.
+
+A from-scratch Python implementation of the system described in
+
+    Babak Salimi, Johannes Gehrke, Dan Suciu.
+    "Bias in OLAP Queries: Detection, Explanation, and Removal."
+    SIGMOD 2018 (extended version: arXiv:1803.04562).
+
+Top-level convenience imports cover the typical workflow::
+
+    from repro import HypDB, GroupByQuery, Table
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduced tables and figures.
+"""
+
+from repro.core.hypdb import HypDB
+from repro.core.query import GroupByQuery
+from repro.relation.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = ["HypDB", "GroupByQuery", "Table", "__version__"]

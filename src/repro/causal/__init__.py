@@ -1,0 +1,33 @@
+"""Causal-graph infrastructure (paper Sec. 2, 4, 7 and Appendix 10.1).
+
+* :mod:`repro.causal.dag` -- causal DAGs with d-separation, Markov
+  boundaries, and the back-door criterion.
+* :mod:`repro.causal.random_dag` -- Erdős–Rényi random DAG generation
+  (the RandomData recipe of Sec. 7.1).
+* :mod:`repro.causal.bayesnet` -- discrete Bayesian networks with random or
+  explicit CPTs and forward sampling (substitute for the R ``catnet``
+  package the paper samples with).
+* :mod:`repro.causal.oracle` -- a conditional-independence "test" that
+  answers from d-separation on a known DAG, for validating discovery
+  algorithms against ground truth.
+* :mod:`repro.causal.growshrink` / :mod:`repro.causal.iamb` -- Markov
+  boundary discovery from data.
+* :mod:`repro.causal.structure` -- full-DAG baselines (FGS, IAMB learner,
+  score-based hill climbing) and recovery metrics.
+"""
+
+from repro.causal.bayesnet import DiscreteBayesNet
+from repro.causal.dag import CausalDAG
+from repro.causal.growshrink import grow_shrink_markov_blanket
+from repro.causal.iamb import iamb_markov_blanket
+from repro.causal.oracle import DSeparationOracle
+from repro.causal.random_dag import random_erdos_renyi_dag
+
+__all__ = [
+    "CausalDAG",
+    "DiscreteBayesNet",
+    "DSeparationOracle",
+    "grow_shrink_markov_blanket",
+    "iamb_markov_blanket",
+    "random_erdos_renyi_dag",
+]

@@ -1,0 +1,227 @@
+"""Discrete Bayesian networks: CPTs and forward sampling.
+
+The paper samples its RandomData benchmark datasets from random causal
+DAGs with the R ``catnet`` package ("causal DAGs admit the same factorized
+distribution as Bayesian networks", Sec. 7.1).  This module is the
+substitute: a :class:`DiscreteBayesNet` couples a
+:class:`~repro.causal.dag.CausalDAG` with one conditional probability table
+per node and supports
+
+* random CPT generation (Dirichlet rows, with a ``strength`` knob that
+  controls how far from uniform -- hence how detectable -- the dependencies
+  are);
+* explicit CPTs (used by the CancerData generator, whose ground-truth DAG
+  is paper Fig. 7);
+* vectorized forward (ancestral) sampling into a
+  :class:`~repro.relation.table.Table`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.causal.dag import CausalDAG
+from repro.relation.table import Table
+from repro.utils.validation import check_positive, ensure_rng
+
+
+class DiscreteBayesNet:
+    """A discrete Bayesian network over a causal DAG.
+
+    Parameters
+    ----------
+    dag:
+        Network structure.
+    cardinalities:
+        Number of categories per node (all >= 2).
+    cpts:
+        For each node, an array of shape ``(prod(parent cards), card)``
+        whose rows are the conditional distributions
+        ``P(node | parent configuration)``.  Parent configurations are
+        indexed in mixed radix with parents sorted alphabetically, the
+        *last* parent varying fastest.
+    """
+
+    def __init__(
+        self,
+        dag: CausalDAG,
+        cardinalities: Mapping[str, int],
+        cpts: Mapping[str, np.ndarray],
+    ) -> None:
+        self._dag = dag
+        self._cards = dict(cardinalities)
+        missing = set(dag.nodes()) - set(self._cards)
+        if missing:
+            raise ValueError(f"missing cardinalities for nodes {sorted(missing)}")
+        for node, card in self._cards.items():
+            if card < 2:
+                raise ValueError(f"node {node!r} needs >= 2 categories, got {card}")
+        self._cpts: dict[str, np.ndarray] = {}
+        for node in dag.nodes():
+            if node not in cpts:
+                raise ValueError(f"missing CPT for node {node!r}")
+            self._cpts[node] = self._validate_cpt(node, np.asarray(cpts[node], dtype=np.float64))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def dag(self) -> CausalDAG:
+        """The network structure."""
+        return self._dag
+
+    def cardinality(self, node: str) -> int:
+        """Number of categories of ``node``."""
+        return self._cards[node]
+
+    def cpt(self, node: str) -> np.ndarray:
+        """The CPT of ``node`` (rows = parent configurations)."""
+        return self._cpts[node]
+
+    def sorted_parents(self, node: str) -> list[str]:
+        """Parents in the canonical (alphabetical) CPT order."""
+        return sorted(self._dag.parents(node))
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        dag: CausalDAG,
+        categories: int | Mapping[str, int] = 2,
+        strength: float = 1.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> "DiscreteBayesNet":
+        """Generate random CPTs for ``dag``.
+
+        Parameters
+        ----------
+        categories:
+            Either one cardinality for all nodes or a per-node mapping
+            (the paper sweeps 2-20 categories).
+        strength:
+            Dirichlet concentration is ``1 / strength``; larger values give
+            spikier rows, i.e. stronger and more easily detectable
+            dependencies.  ``strength = 1`` is a flat Dirichlet.
+        """
+        check_positive("strength", strength)
+        generator = ensure_rng(rng)
+        if isinstance(categories, int):
+            cards = {node: categories for node in dag.nodes()}
+        else:
+            cards = dict(categories)
+        cpts: dict[str, np.ndarray] = {}
+        for node in dag.nodes():
+            n_configs = 1
+            for parent in sorted(dag.parents(node)):
+                n_configs *= cards[parent]
+            concentration = np.full(cards[node], 1.0 / strength)
+            cpts[node] = generator.dirichlet(concentration, size=n_configs)
+        return cls(dag, cards, cpts)
+
+    @classmethod
+    def from_conditionals(
+        cls,
+        dag: CausalDAG,
+        domains: Mapping[str, Sequence[Any]],
+        conditionals: Mapping[str, Mapping[tuple[Any, ...], Sequence[float]]],
+    ) -> tuple["DiscreteBayesNet", dict[str, tuple[Any, ...]]]:
+        """Build a net from human-readable conditional tables.
+
+        ``conditionals[node][parent_values] = distribution over domains[node]``
+        with ``parent_values`` ordered by the alphabetical parent order.
+        Returns the net plus the domain mapping needed to decode samples.
+        Used by the dataset generators that specify CPTs explicitly.
+        """
+        cards = {node: len(values) for node, values in domains.items()}
+        cpts: dict[str, np.ndarray] = {}
+        for node in dag.nodes():
+            parents = sorted(dag.parents(node))
+            parent_domains = [tuple(domains[parent]) for parent in parents]
+            n_configs = int(np.prod([len(d) for d in parent_domains])) if parents else 1
+            cpt = np.zeros((n_configs, cards[node]))
+            for config_index in range(n_configs):
+                values = _decode_config(config_index, parent_domains)
+                try:
+                    row = conditionals[node][values]
+                except KeyError as exc:
+                    raise ValueError(
+                        f"node {node!r}: no conditional for parent values {values!r}"
+                    ) from exc
+                cpt[config_index, :] = row
+            cpts[node] = cpt
+        decoded_domains = {node: tuple(values) for node, values in domains.items()}
+        return cls(dag, cards, cpts), decoded_domains
+
+    # ------------------------------------------------------------------
+
+    def sample(
+        self,
+        n: int,
+        rng: np.random.Generator | int | None = None,
+        domains: Mapping[str, Sequence[Any]] | None = None,
+    ) -> Table:
+        """Forward-sample ``n`` rows into a :class:`Table`.
+
+        Nodes are sampled in topological order; each node's row of its CPT
+        is selected by the already-sampled parent codes (vectorized with
+        inverse-CDF sampling per parent configuration).  ``domains``
+        optionally decodes the integer categories into labels.
+        """
+        check_positive("n", n)
+        generator = ensure_rng(rng)
+        samples: dict[str, np.ndarray] = {}
+        for node in self._dag.topological_order():
+            parents = self.sorted_parents(node)
+            cpt = self._cpts[node]
+            if not parents:
+                config = np.zeros(n, dtype=np.int64)
+            else:
+                config = np.zeros(n, dtype=np.int64)
+                for parent in parents:
+                    config = config * self._cards[parent] + samples[parent]
+            # Inverse-CDF draw: one uniform per row, compared against the
+            # cumulative distribution of its parent-configuration row.
+            cumulative = np.cumsum(cpt, axis=1)
+            uniforms = generator.random(n)
+            samples[node] = (uniforms[:, None] > cumulative[config]).sum(axis=1)
+            np.clip(samples[node], 0, self._cards[node] - 1, out=samples[node])
+
+        raw: dict[str, list[Any]] = {}
+        for node in self._dag.nodes():
+            if domains is not None and node in domains:
+                decode = list(domains[node])
+                raw[node] = [decode[code] for code in samples[node]]
+            else:
+                raw[node] = samples[node].tolist()
+        return Table.from_columns(raw)
+
+    # ------------------------------------------------------------------
+
+    def _validate_cpt(self, node: str, cpt: np.ndarray) -> np.ndarray:
+        expected_configs = 1
+        for parent in self.sorted_parents(node):
+            expected_configs *= self._cards[parent]
+        expected_shape = (expected_configs, self._cards[node])
+        if cpt.shape != expected_shape:
+            raise ValueError(
+                f"CPT for {node!r} has shape {cpt.shape}, expected {expected_shape}"
+            )
+        if np.any(cpt < 0):
+            raise ValueError(f"CPT for {node!r} has negative entries")
+        row_sums = cpt.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-6):
+            raise ValueError(f"CPT rows for {node!r} must sum to 1, got {row_sums}")
+        # Normalize away float drift so sampling is exact.
+        return cpt / row_sums[:, None]
+
+
+def _decode_config(index: int, parent_domains: list[tuple[Any, ...]]) -> tuple[Any, ...]:
+    """Decode a mixed-radix parent-configuration index into parent values."""
+    values: list[Any] = []
+    for domain in reversed(parent_domains):
+        values.append(domain[index % len(domain)])
+        index //= len(domain)
+    return tuple(reversed(values))

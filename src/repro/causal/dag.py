@@ -1,0 +1,243 @@
+"""Causal DAGs: structure queries, d-separation, Markov boundaries.
+
+A causal DAG captures all potential cause-effect relations between
+attributes (paper Sec. 2).  This class provides the graph-theoretic
+machinery the paper relies on:
+
+* parents / children / ancestors / descendants;
+* d-separation (Appendix 10.1), implemented with the reachability
+  ("Bayes-ball") algorithm;
+* the unique Markov boundary of a node -- parents, children, and parents of
+  children (Prop. 2.5);
+* the back-door criterion (Thm. 10.3) for validating covariate sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import networkx as nx
+
+
+class CausalDAG:
+    """A directed acyclic graph over named attributes.
+
+    The graph is immutable-by-convention: construct it with all nodes and
+    edges, then query.  ``add_edge`` validates acyclicity eagerly so an
+    invalid model fails at construction time, not inside an algorithm.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[str] = (),
+        edges: Iterable[tuple[str, str]] = (),
+    ) -> None:
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(nodes)
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    # ------------------------------------------------------------------
+    # Construction / mutation
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: str) -> None:
+        """Add an isolated node (no-op if present)."""
+        self._graph.add_node(node)
+
+    def add_edge(self, source: str, target: str) -> None:
+        """Add the edge ``source -> target``; reject self-loops and cycles."""
+        if source == target:
+            raise ValueError(f"self-loop on {source!r} is not allowed in a DAG")
+        self._graph.add_edge(source, target)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(source, target)
+            raise ValueError(f"edge {source!r} -> {target!r} would create a cycle")
+
+    def copy(self) -> "CausalDAG":
+        """An independent copy of this DAG."""
+        return CausalDAG(self.nodes(), self.edges())
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> list[str]:
+        """All node names (sorted for determinism)."""
+        return sorted(self._graph.nodes)
+
+    def edges(self) -> list[tuple[str, str]]:
+        """All directed edges (sorted for determinism)."""
+        return sorted(self._graph.edges)
+
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return self._graph.number_of_nodes()
+
+    def n_edges(self) -> int:
+        """Number of edges."""
+        return self._graph.number_of_edges()
+
+    def has_node(self, node: str) -> bool:
+        """Whether ``node`` is in the graph."""
+        return node in self._graph
+
+    def has_edge(self, source: str, target: str) -> bool:
+        """Whether the directed edge exists."""
+        return self._graph.has_edge(source, target)
+
+    def parents(self, node: str) -> set[str]:
+        """``PA(node)``: the direct causes of ``node``."""
+        self._check_node(node)
+        return set(self._graph.predecessors(node))
+
+    def children(self, node: str) -> set[str]:
+        """The direct effects of ``node``."""
+        self._check_node(node)
+        return set(self._graph.successors(node))
+
+    def neighbors(self, node: str) -> set[str]:
+        """Parents and children of ``node``."""
+        return self.parents(node) | self.children(node)
+
+    def ancestors(self, node: str) -> set[str]:
+        """All causes of ``node`` (transitive, excluding itself)."""
+        self._check_node(node)
+        return set(nx.ancestors(self._graph, node))
+
+    def descendants(self, node: str) -> set[str]:
+        """All effects of ``node`` (transitive, excluding itself)."""
+        self._check_node(node)
+        return set(nx.descendants(self._graph, node))
+
+    def topological_order(self) -> list[str]:
+        """A deterministic topological ordering of the nodes."""
+        return list(nx.lexicographical_topological_sort(self._graph))
+
+    def is_collider(self, a: str, b: str, c: str) -> bool:
+        """Whether ``b`` is a collider on the path segment ``a - b - c``."""
+        return self.has_edge(a, b) and self.has_edge(c, b)
+
+    def markov_boundary(self, node: str) -> set[str]:
+        """Parents, children, and parents of children of ``node`` (Prop. 2.5).
+
+        For a DAG-isomorphic distribution this is the unique minimal set
+        ``B`` with ``node ⊥ everything-else | B``.
+        """
+        boundary = self.parents(node) | self.children(node)
+        for child in self.children(node):
+            boundary |= self.parents(child)
+        boundary.discard(node)
+        return boundary
+
+    def mediators(self, treatment: str, outcome: str) -> set[str]:
+        """Nodes lying on a directed path from ``treatment`` to ``outcome``."""
+        self._check_node(treatment)
+        self._check_node(outcome)
+        forward = self.descendants(treatment)
+        backward = self.ancestors(outcome)
+        return (forward & backward) - {treatment, outcome}
+
+    # ------------------------------------------------------------------
+    # d-separation and the back-door criterion
+    # ------------------------------------------------------------------
+
+    def d_separated(
+        self,
+        xs: Sequence[str] | str,
+        ys: Sequence[str] | str,
+        zs: Sequence[str] = (),
+    ) -> bool:
+        """Whether ``zs`` d-separates ``xs`` from ``ys`` (Appendix 10.1).
+
+        Implemented with the linear-time reachability formulation: ``xs``
+        and ``ys`` are d-connected given ``zs`` iff some ``y`` is reachable
+        from some ``x`` along a path whose chains/forks avoid ``zs`` and
+        whose colliders have a descendant in ``zs``.
+        """
+        x_set = {xs} if isinstance(xs, str) else set(xs)
+        y_set = {ys} if isinstance(ys, str) else set(ys)
+        z_set = set(zs)
+        for node in x_set | y_set | z_set:
+            self._check_node(node)
+        if x_set & y_set:
+            return False
+        return not self._d_connected(x_set, y_set, z_set)
+
+    def satisfies_backdoor(
+        self, treatment: str, outcome: str, covariates: Sequence[str]
+    ) -> bool:
+        """The back-door criterion (Thm. 10.3).
+
+        ``covariates`` must (a) contain no descendant of ``treatment`` and
+        (b) block every back-door path (paths starting with an edge *into*
+        the treatment) from ``treatment`` to ``outcome``.
+        """
+        z = set(covariates)
+        if z & (self.descendants(treatment) | {treatment, outcome}):
+            return False
+        # Standard reduction: remove the treatment's outgoing edges; the
+        # remaining paths from treatment to outcome are exactly the
+        # back-door paths, which z must d-separate.
+        pruned = CausalDAG(self.nodes(), [
+            (source, target)
+            for source, target in self.edges()
+            if source != treatment
+        ])
+        return pruned.d_separated(treatment, outcome, sorted(z))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _d_connected(self, x_set: set[str], y_set: set[str], z_set: set[str]) -> bool:
+        """Reachability check (Shachter's Bayes-ball / Koller & Friedman 3.27)."""
+        # Phase 1: all nodes with a descendant in z (needed to open colliders).
+        z_or_above = set(z_set)
+        frontier = list(z_set)
+        while frontier:
+            node = frontier.pop()
+            for parent in self._graph.predecessors(node):
+                if parent not in z_or_above:
+                    z_or_above.add(parent)
+                    frontier.append(parent)
+        # Phase 2: traverse (node, direction) states.  Direction "up" means
+        # we arrived at node via one of its children (edge pointing at us),
+        # "down" means via one of its parents.
+        visited: set[tuple[str, str]] = set()
+        stack = [(x, "up") for x in x_set]
+        while stack:
+            node, direction = stack.pop()
+            if (node, direction) in visited:
+                continue
+            visited.add((node, direction))
+            if node not in z_set and node in y_set:
+                return True
+            if direction == "up" and node not in z_set:
+                for parent in self._graph.predecessors(node):
+                    stack.append((parent, "up"))
+                for child in self._graph.successors(node):
+                    stack.append((child, "down"))
+            elif direction == "down":
+                if node not in z_set:
+                    for child in self._graph.successors(node):
+                        stack.append((child, "down"))
+                if node in z_or_above:
+                    for parent in self._graph.predecessors(node):
+                        stack.append((parent, "up"))
+        return False
+
+    def _check_node(self, node: str) -> None:
+        if node not in self._graph:
+            raise KeyError(f"unknown node {node!r}; nodes are {self.nodes()}")
+
+    def __repr__(self) -> str:
+        return f"CausalDAG({self.n_nodes()} nodes, {self.n_edges()} edges)"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CausalDAG):
+            return NotImplemented
+        return self.nodes() == other.nodes() and self.edges() == other.edges()
+
+    def __hash__(self) -> int:
+        return hash((tuple(self.nodes()), tuple(self.edges())))

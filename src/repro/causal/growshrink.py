@@ -1,0 +1,84 @@
+"""Grow-Shrink Markov-boundary discovery (Margaritis & Thrun [28]).
+
+The CD algorithm (paper Alg. 1) needs the Markov boundary ``MB(T)`` of the
+treatment and of each boundary member.  Grow-Shrink computes it with two
+passes of conditional-independence tests:
+
+* **Grow** -- scan the candidate attributes repeatedly; add ``X`` to the
+  blanket ``B`` whenever ``X`` is dependent on ``T`` given the current
+  ``B``.  Repeat until a full scan adds nothing (the first pass can admit
+  false members whose separating set was not yet in ``B``).
+* **Shrink** -- remove any ``X`` in ``B`` that is independent of ``T``
+  given ``B - {X}``.
+
+With a correct independence oracle and a DAG-isomorphic distribution the
+result is exactly the Markov boundary (parents, children, and spouses).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.relation.table import Table
+from repro.stats.base import DEFAULT_ALPHA, CITest
+
+
+def grow_shrink_markov_blanket(
+    table: Table | None,
+    target: str,
+    test: CITest,
+    candidates: Sequence[str] | None = None,
+    alpha: float = DEFAULT_ALPHA,
+    max_blanket: int | None = None,
+) -> set[str]:
+    """Compute the Markov boundary of ``target``.
+
+    Parameters
+    ----------
+    table:
+        The data (may be ``None`` when ``test`` is a d-separation oracle).
+    target:
+        The attribute whose boundary is sought.
+    test:
+        Conditional-independence test.
+    candidates:
+        Attributes to consider; defaults to every other column of the
+        table.  Callers that pre-filter functional dependencies pass the
+        reduced set here.
+    alpha:
+        Significance level (paper uses 0.01 throughout).
+    max_blanket:
+        Optional safety cap on the blanket size: once reached, the grow
+        phase stops admitting members.  Guards against pathological
+        test behaviour on very sparse data.
+
+    Returns the discovered boundary as a set of attribute names.
+    """
+    if candidates is None:
+        if table is None:
+            raise ValueError("candidates are required when no table is given")
+        candidates = [name for name in table.columns if name != target]
+    ordered = [name for name in candidates if name != target]
+
+    blanket: list[str] = []
+    # Grow phase: repeat full scans until stable.
+    changed = True
+    while changed:
+        changed = False
+        for attribute in ordered:
+            if attribute in blanket:
+                continue
+            if max_blanket is not None and len(blanket) >= max_blanket:
+                break
+            result = test.test(table, target, attribute, tuple(blanket))
+            if result.dependent(alpha):
+                blanket.append(attribute)
+                changed = True
+
+    # Shrink phase: drop members independent given the rest.
+    for attribute in list(blanket):
+        rest = tuple(name for name in blanket if name != attribute)
+        result = test.test(table, target, attribute, rest)
+        if result.independent(alpha):
+            blanket.remove(attribute)
+    return set(blanket)

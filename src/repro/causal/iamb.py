@@ -1,0 +1,68 @@
+"""IAMB Markov-boundary discovery (Tsamardinos et al. [58]).
+
+Incremental Association Markov Blanket improves on Grow-Shrink's grow phase
+by always admitting the *most associated* remaining attribute (measured by
+the estimated conditional mutual information given the current blanket),
+which keeps conditioning sets small and reduces false admissions.  The
+shrink phase is identical to Grow-Shrink's.
+
+The paper uses IAMB (with a chi-squared test) as one of the baseline
+Markov-boundary learners in the Sec. 7.4 quality comparison.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.relation.table import Table
+from repro.stats.base import DEFAULT_ALPHA, CITest
+
+
+def iamb_markov_blanket(
+    table: Table | None,
+    target: str,
+    test: CITest,
+    candidates: Sequence[str] | None = None,
+    alpha: float = DEFAULT_ALPHA,
+    max_blanket: int | None = None,
+) -> set[str]:
+    """Compute the Markov boundary of ``target`` with IAMB.
+
+    Arguments mirror
+    :func:`~repro.causal.growshrink.grow_shrink_markov_blanket`.  The
+    association used for ranking is the test's statistic (the estimated
+    conditional mutual information), so oracle tests rank dependents at 1.0
+    and everything else at 0.0, which preserves correctness.
+    """
+    if candidates is None:
+        if table is None:
+            raise ValueError("candidates are required when no table is given")
+        candidates = [name for name in table.columns if name != target]
+    remaining = [name for name in candidates if name != target]
+
+    blanket: list[str] = []
+    # Grow phase: admit the best-associated dependent attribute each round.
+    while remaining:
+        if max_blanket is not None and len(blanket) >= max_blanket:
+            break
+        best_attribute = None
+        best_statistic = -float("inf")
+        best_dependent = False
+        for attribute in remaining:
+            result = test.test(table, target, attribute, tuple(blanket))
+            if result.statistic > best_statistic:
+                best_statistic = result.statistic
+                best_attribute = attribute
+                best_dependent = result.dependent(alpha)
+        if best_attribute is None or not best_dependent:
+            break
+        blanket.append(best_attribute)
+        remaining.remove(best_attribute)
+
+    # Shrink phase.
+    for attribute in list(blanket):
+        rest = tuple(name for name in blanket if name != attribute)
+        result = test.test(table, target, attribute, rest)
+        if result.independent(alpha):
+            blanket.remove(attribute)
+    return set(blanket)

@@ -1,0 +1,36 @@
+"""Full-DAG structure-learning baselines and recovery metrics (Sec. 7.4).
+
+The paper compares its CD algorithm against the reference algorithms of the
+R ``bnlearn`` library: the constraint-based Full Grow-Shrink (FGS) and
+IAMB learners, and score-based greedy hill climbing with AIC / BIC / BDeu
+scores.  This subpackage implements all of them from scratch along with the
+partially-directed-graph representation they produce and the F1 metrics
+used in Figs. 5(b)-(d) and 6(a).
+"""
+
+from repro.causal.structure.fgs import FullGrowShrink
+from repro.causal.structure.hillclimb import HillClimbLearner
+from repro.causal.structure.iamb_learner import IambLearner
+from repro.causal.structure.metrics import parent_recovery_f1, skeleton_f1
+from repro.causal.structure.pc import PCStable
+from repro.causal.structure.pdag import PDAG
+from repro.causal.structure.scores import (
+    aic_score,
+    bdeu_score,
+    bic_score,
+    family_log_likelihood,
+)
+
+__all__ = [
+    "FullGrowShrink",
+    "HillClimbLearner",
+    "IambLearner",
+    "PCStable",
+    "parent_recovery_f1",
+    "skeleton_f1",
+    "PDAG",
+    "aic_score",
+    "bdeu_score",
+    "bic_score",
+    "family_log_likelihood",
+]

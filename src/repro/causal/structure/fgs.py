@@ -1,0 +1,163 @@
+"""Full Grow-Shrink (FGS) structure learning (Margaritis & Thrun [28]).
+
+One of the two constraint-based baselines of the paper's Sec. 7.4 quality
+comparison.  The algorithm:
+
+1. **Boundaries** -- compute the Markov boundary of every node with
+   Grow-Shrink.
+2. **Skeleton** -- ``X`` and ``Y`` are direct neighbors iff ``Y ∈ MB(X)``
+   and no subset ``S`` of the *smaller* of ``MB(X) - {Y}`` and
+   ``MB(Y) - {X}`` renders them independent; the separating set found is
+   recorded.
+3. **Collider orientation** -- for every non-adjacent pair ``(X, Z)`` with
+   a common neighbor ``Y``: if ``Y`` is not in the recorded separating set
+   of ``(X, Z)``, orient ``X -> Y <- Z``.
+4. **Propagation** -- apply Meek's rules R1/R2 until fixpoint (orient
+   edges whose reverse would create a new collider or a cycle).
+
+The output is a :class:`~repro.causal.structure.pdag.PDAG`; edges that stay
+undirected are genuinely unidentifiable from independence information.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from itertools import combinations
+
+from repro.causal.growshrink import grow_shrink_markov_blanket
+from repro.causal.structure.pdag import PDAG
+from repro.relation.table import Table
+from repro.stats.base import DEFAULT_ALPHA, CITest
+from repro.utils.subsets import bounded_subsets
+
+
+class FullGrowShrink:
+    """Constraint-based DAG learner built on Grow-Shrink boundaries.
+
+    Parameters
+    ----------
+    test:
+        Conditional-independence test (or oracle).
+    alpha:
+        Significance level for every test.
+    max_cond_size:
+        Cap on the separating-set size searched in the skeleton phase.
+    blanket_algorithm:
+        Callable computing Markov boundaries; defaults to Grow-Shrink and
+        is swapped for IAMB by
+        :class:`~repro.causal.structure.iamb_learner.IambLearner`.
+    """
+
+    name = "fgs"
+
+    def __init__(
+        self,
+        test: CITest,
+        alpha: float = DEFAULT_ALPHA,
+        max_cond_size: int | None = 3,
+        blanket_algorithm=grow_shrink_markov_blanket,
+    ) -> None:
+        self.test = test
+        self.alpha = alpha
+        self.max_cond_size = max_cond_size
+        self._blanket_algorithm = blanket_algorithm
+
+    # ------------------------------------------------------------------
+
+    def learn(self, table: Table | None, nodes: Sequence[str] | None = None) -> PDAG:
+        """Learn a PDAG over ``nodes`` (default: all table columns)."""
+        if nodes is None:
+            if table is None:
+                raise ValueError("nodes are required when no table is given")
+            nodes = list(table.columns)
+        names = list(nodes)
+
+        boundaries = {
+            node: self._blanket_algorithm(
+                table, node, self.test, candidates=names, alpha=self.alpha
+            )
+            for node in names
+        }
+        # Symmetry correction: keep Y in MB(X) only if X in MB(Y).  The
+        # boundaries of a faithful distribution are symmetric; on data,
+        # enforcing symmetry removes one-sided false positives.
+        for node in names:
+            boundaries[node] = {
+                other for other in boundaries[node] if node in boundaries[other]
+            }
+
+        pdag = PDAG(names)
+        separators = self._build_skeleton(table, names, boundaries, pdag)
+        self._orient_colliders(names, pdag, separators)
+        self._propagate_orientations(pdag)
+        return pdag
+
+    # ------------------------------------------------------------------
+
+    def _build_skeleton(
+        self,
+        table: Table | None,
+        names: list[str],
+        boundaries: dict[str, set[str]],
+        pdag: PDAG,
+    ) -> dict[frozenset[str], set[str]]:
+        """Resolve boundary co-membership into direct adjacency."""
+        separators: dict[frozenset[str], set[str]] = {}
+        for x, y in combinations(names, 2):
+            if y not in boundaries[x]:
+                continue
+            base_x = sorted(boundaries[x] - {y})
+            base_y = sorted(boundaries[y] - {x})
+            base = base_x if len(base_x) <= len(base_y) else base_y
+            separated = False
+            for subset in bounded_subsets(base, self.max_cond_size):
+                result = self.test.test(table, x, y, subset)
+                if result.independent(self.alpha):
+                    separators[frozenset((x, y))] = set(subset)
+                    separated = True
+                    break
+            if not separated:
+                pdag.add_undirected(x, y)
+        return separators
+
+    def _orient_colliders(
+        self,
+        names: list[str],
+        pdag: PDAG,
+        separators: dict[frozenset[str], set[str]],
+    ) -> None:
+        """Orient v-structures X -> Y <- Z for separated pairs excluding Y."""
+        for y in names:
+            neighbors = sorted(pdag.neighbors(y))
+            for x, z in combinations(neighbors, 2):
+                if pdag.adjacent(x, z):
+                    continue
+                separator = separators.get(frozenset((x, z)))
+                if separator is None or y in separator:
+                    continue
+                pdag.orient_if_possible(x, y)
+                pdag.orient_if_possible(z, y)
+
+    def _propagate_orientations(self, pdag: PDAG) -> None:
+        """Meek rules R1 and R2 to fixpoint."""
+        changed = True
+        while changed:
+            changed = False
+            for node in pdag.nodes():
+                for neighbor in sorted(pdag.undirected_neighbors(node)):
+                    # R1: a -> node and a not adjacent to neighbor
+                    #     => node -> neighbor (else a new collider at node).
+                    if any(
+                        not pdag.adjacent(parent, neighbor)
+                        for parent in pdag.parents(node)
+                    ):
+                        if pdag.orient_if_possible(node, neighbor):
+                            changed = True
+                            continue
+                    # R2: node -> w -> neighbor exists
+                    #     => node -> neighbor (else a directed cycle).
+                    if any(
+                        neighbor in pdag.children(w) for w in pdag.children(node)
+                    ):
+                        if pdag.orient_if_possible(node, neighbor):
+                            changed = True

@@ -1,0 +1,86 @@
+"""Structure-recovery metrics (Figs. 5(b)-(d), 6(a)).
+
+The paper's quality measure is the F1 score of *parent recovery*: treating
+each directed edge ``parent -> child`` as a retrieval target, precision and
+recall are computed over all (child, parent) pairs, micro-averaged across
+nodes.  Fig. 5(c) restricts the average to nodes with at least two parents
+in the ground truth -- the regime CD is designed for.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.causal.dag import CausalDAG
+from repro.causal.structure.pdag import PDAG
+
+
+@dataclass(frozen=True)
+class F1Report:
+    """Precision / recall / F1 with the underlying counts."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def parent_recovery_f1(
+    truth: CausalDAG,
+    predicted_parents: Mapping[str, set[str]] | PDAG,
+    min_true_parents: int = 0,
+) -> F1Report:
+    """Micro-averaged F1 of predicted parent sets against the true DAG.
+
+    Parameters
+    ----------
+    truth:
+        Ground-truth DAG.
+    predicted_parents:
+        Either a ``{node: parents}`` mapping (e.g. from the CD algorithm
+        run per node) or a learned :class:`PDAG` (only confidently directed
+        edges count as predictions).
+    min_true_parents:
+        Restrict scoring to nodes whose *true* parent count is at least
+        this value (``2`` reproduces Fig. 5(c)).
+    """
+    if isinstance(predicted_parents, PDAG):
+        predicted = predicted_parents.parent_sets()
+    else:
+        predicted = {node: set(parents) for node, parents in predicted_parents.items()}
+
+    tp = fp = fn = 0
+    for node in truth.nodes():
+        true_parents = truth.parents(node)
+        if len(true_parents) < min_true_parents:
+            continue
+        guessed = predicted.get(node, set())
+        tp += len(true_parents & guessed)
+        fp += len(guessed - true_parents)
+        fn += len(true_parents - guessed)
+    return F1Report(true_positives=tp, false_positives=fp, false_negatives=fn)
+
+
+def skeleton_f1(truth: CausalDAG, learned: PDAG) -> F1Report:
+    """F1 of adjacency recovery, ignoring orientation."""
+    true_skeleton = {frozenset(edge) for edge in truth.edges()}
+    learned_skeleton = learned.skeleton()
+    tp = len(true_skeleton & learned_skeleton)
+    fp = len(learned_skeleton - true_skeleton)
+    fn = len(true_skeleton - learned_skeleton)
+    return F1Report(true_positives=tp, false_positives=fp, false_negatives=fn)

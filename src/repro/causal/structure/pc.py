@@ -1,0 +1,153 @@
+"""The PC algorithm (Spirtes-Glymour-Scheines [56]), stable variant.
+
+The classical constraint-based structure learner the paper cites as the
+reference point its Markov-boundary-based competitors improve on
+(Sec. 7.4, citing [45] for the comparison).  Included to complete the
+baseline suite:
+
+1. **Skeleton** -- start from the complete graph; for growing conditioning
+   sizes L = 0, 1, 2, ..., remove the edge (X, Y) if some
+   ``S ⊆ adj(X) - {Y}`` (or ``adj(Y) - {X}``) of size L renders them
+   independent, recording S as the separating set.  The *stable* variant
+   freezes each round's adjacencies before testing, making the output
+   independent of edge ordering.
+2. **Colliders** -- orient X -> Y <- Z for every non-adjacent pair X, Z
+   with common neighbor Y not in their separating set.
+3. **Meek propagation** -- shared with FGS.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from itertools import combinations
+
+from repro.causal.structure.pdag import PDAG
+from repro.relation.table import Table
+from repro.stats.base import DEFAULT_ALPHA, CITest
+
+
+class PCStable:
+    """PC-stable structure learner over a conditional-independence test."""
+
+    name = "pc"
+
+    def __init__(
+        self,
+        test: CITest,
+        alpha: float = DEFAULT_ALPHA,
+        max_cond_size: int | None = 3,
+    ) -> None:
+        self.test = test
+        self.alpha = alpha
+        self.max_cond_size = max_cond_size
+
+    # ------------------------------------------------------------------
+
+    def learn(self, table: Table | None, nodes: Sequence[str] | None = None) -> PDAG:
+        """Learn a PDAG over ``nodes`` (default: all table columns)."""
+        if nodes is None:
+            if table is None:
+                raise ValueError("nodes are required when no table is given")
+            nodes = list(table.columns)
+        names = sorted(nodes)
+
+        adjacency: dict[str, set[str]] = {
+            node: set(names) - {node} for node in names
+        }
+        separators: dict[frozenset[str], set[str]] = {}
+        self._learn_skeleton(table, names, adjacency, separators)
+
+        pdag = PDAG(names)
+        for x in names:
+            for y in adjacency[x]:
+                if x < y:
+                    pdag.add_undirected(x, y)
+        self._orient_colliders(names, pdag, separators)
+        self._propagate(pdag)
+        return pdag
+
+    # ------------------------------------------------------------------
+
+    def _learn_skeleton(
+        self,
+        table: Table | None,
+        names: list[str],
+        adjacency: dict[str, set[str]],
+        separators: dict[frozenset[str], set[str]],
+    ) -> None:
+        level = 0
+        while True:
+            if self.max_cond_size is not None and level > self.max_cond_size:
+                break
+            # Stable variant: freeze this round's adjacencies.
+            frozen = {node: set(neighbors) for node, neighbors in adjacency.items()}
+            if all(len(frozen[node]) - 1 < level for node in names):
+                break
+            removed_any = False
+            for x in names:
+                for y in sorted(frozen[x]):
+                    if y not in adjacency[x]:
+                        continue  # already removed this round
+                    if self._separates_at_level(table, x, y, frozen, level, separators):
+                        adjacency[x].discard(y)
+                        adjacency[y].discard(x)
+                        removed_any = True
+            if not removed_any and level > 0:
+                # No edge fell at this level; larger sets cannot help
+                # once adjacencies stop shrinking, but continue while the
+                # level is still within reach of some node's degree.
+                pass
+            level += 1
+
+    def _separates_at_level(
+        self,
+        table: Table | None,
+        x: str,
+        y: str,
+        frozen: dict[str, set[str]],
+        level: int,
+        separators: dict[frozenset[str], set[str]],
+    ) -> bool:
+        for base in (frozen[x] - {y}, frozen[y] - {x}):
+            if len(base) < level:
+                continue
+            for subset in combinations(sorted(base), level):
+                result = self.test.test(table, x, y, subset)
+                if result.independent(self.alpha):
+                    separators[frozenset((x, y))] = set(subset)
+                    return True
+        return False
+
+    def _orient_colliders(
+        self,
+        names: list[str],
+        pdag: PDAG,
+        separators: dict[frozenset[str], set[str]],
+    ) -> None:
+        for y in names:
+            neighbors = sorted(pdag.neighbors(y))
+            for x, z in combinations(neighbors, 2):
+                if pdag.adjacent(x, z):
+                    continue
+                separator = separators.get(frozenset((x, z)))
+                if separator is None or y in separator:
+                    continue
+                pdag.orient_if_possible(x, y)
+                pdag.orient_if_possible(z, y)
+
+    def _propagate(self, pdag: PDAG) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for node in pdag.nodes():
+                for neighbor in sorted(pdag.undirected_neighbors(node)):
+                    if any(
+                        not pdag.adjacent(parent, neighbor)
+                        for parent in pdag.parents(node)
+                    ):
+                        if pdag.orient_if_possible(node, neighbor):
+                            changed = True
+                            continue
+                    if any(neighbor in pdag.children(w) for w in pdag.children(node)):
+                        if pdag.orient_if_possible(node, neighbor):
+                            changed = True

@@ -1,0 +1,122 @@
+"""Partially directed acyclic graphs (CPDAG-style output of learners).
+
+Constraint-based learners can only orient edges up to the Markov
+equivalence class (paper Sec. 4); the undirectable remainder stays as
+undirected edges.  :class:`PDAG` holds both kinds and answers the queries
+the comparison benchmarks need -- most importantly :meth:`parents`, which
+counts only confidently directed incoming edges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class PDAG:
+    """A graph with both directed and undirected edges."""
+
+    def __init__(self, nodes: Iterable[str] = ()) -> None:
+        self._nodes: set[str] = set(nodes)
+        self._directed: set[tuple[str, str]] = set()
+        self._undirected: set[frozenset[str]] = set()
+
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: str) -> None:
+        """Ensure ``node`` exists."""
+        self._nodes.add(node)
+
+    def add_undirected(self, a: str, b: str) -> None:
+        """Add the undirected edge ``a - b`` (idempotent)."""
+        if a == b:
+            raise ValueError(f"self-loop on {a!r}")
+        self._nodes.update((a, b))
+        if (a, b) in self._directed or (b, a) in self._directed:
+            return
+        self._undirected.add(frozenset((a, b)))
+
+    def orient(self, source: str, target: str) -> None:
+        """Turn ``source - target`` into ``source -> target``.
+
+        Orienting an already-directed edge in the same direction is a
+        no-op; orienting it in the opposite direction raises, because a
+        learner that tries to do that has found contradictory colliders
+        and must resolve the conflict explicitly.
+        """
+        key = frozenset((source, target))
+        if (source, target) in self._directed:
+            return
+        if (target, source) in self._directed:
+            raise ValueError(f"edge {target!r} -> {source!r} already oriented the other way")
+        self._undirected.discard(key)
+        self._nodes.update((source, target))
+        self._directed.add((source, target))
+
+    def orient_if_possible(self, source: str, target: str) -> bool:
+        """Like :meth:`orient` but returns False instead of raising on conflict."""
+        if (target, source) in self._directed:
+            return False
+        self.orient(source, target)
+        return True
+
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> list[str]:
+        """All nodes (sorted)."""
+        return sorted(self._nodes)
+
+    def directed_edges(self) -> list[tuple[str, str]]:
+        """Directed edges (sorted)."""
+        return sorted(self._directed)
+
+    def undirected_edges(self) -> list[tuple[str, str]]:
+        """Undirected edges as sorted pairs (sorted)."""
+        return sorted(tuple(sorted(edge)) for edge in self._undirected)
+
+    def adjacent(self, a: str, b: str) -> bool:
+        """Whether any edge (directed or not) joins ``a`` and ``b``."""
+        return (
+            (a, b) in self._directed
+            or (b, a) in self._directed
+            or frozenset((a, b)) in self._undirected
+        )
+
+    def neighbors(self, node: str) -> set[str]:
+        """All nodes adjacent to ``node``."""
+        result = {target for source, target in self._directed if source == node}
+        result |= {source for source, target in self._directed if target == node}
+        for edge in self._undirected:
+            if node in edge:
+                result |= set(edge) - {node}
+        return result
+
+    def parents(self, node: str) -> set[str]:
+        """Nodes with a *directed* edge into ``node``."""
+        return {source for source, target in self._directed if target == node}
+
+    def children(self, node: str) -> set[str]:
+        """Nodes ``node`` has a directed edge into."""
+        return {target for source, target in self._directed if source == node}
+
+    def undirected_neighbors(self, node: str) -> set[str]:
+        """Nodes joined to ``node`` by an undirected edge."""
+        result: set[str] = set()
+        for edge in self._undirected:
+            if node in edge:
+                result |= set(edge) - {node}
+        return result
+
+    def skeleton(self) -> set[frozenset[str]]:
+        """All adjacencies with orientation erased."""
+        edges = {frozenset(edge) for edge in self._directed}
+        return edges | set(self._undirected)
+
+    def parent_sets(self) -> dict[str, set[str]]:
+        """``{node: parents}`` for every node (metric input)."""
+        return {node: self.parents(node) for node in self.nodes()}
+
+    def __repr__(self) -> str:
+        return (
+            f"PDAG({len(self._nodes)} nodes, {len(self._directed)} directed, "
+            f"{len(self._undirected)} undirected)"
+        )

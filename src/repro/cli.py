@@ -1,0 +1,150 @@
+"""Command-line interface: HypDB over CSV files.
+
+Examples::
+
+    # Full detect / explain / resolve pipeline
+    hypdb analyze --csv flights.csv \
+        --sql "SELECT Carrier, avg(Delayed) FROM t \
+               WHERE Carrier IN ('AA','UA') GROUP BY Carrier"
+
+    # Just evaluate the (possibly biased) group-by query
+    hypdb query --csv flights.csv --sql "SELECT Carrier, avg(Delayed) FROM t GROUP BY Carrier"
+
+    # Only run covariate discovery for a treatment attribute
+    hypdb discover --csv flights.csv --treatment Carrier --outcome Delayed
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.hypdb import HypDB
+from repro.core.query import GroupByQuery
+from repro.relation.groupby import group_by_average
+from repro.relation.table import Table
+from repro.stats.chi2 import ChiSquaredTest
+from repro.stats.hybrid import HybridTest
+from repro.stats.permutation import PermutationTest
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="hypdb",
+        description="Detect, explain, and remove bias in OLAP group-by queries.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="full detect/explain/resolve pipeline")
+    _add_common(analyze)
+    analyze.add_argument("--treatment", help="treatment attribute (default: first GROUP BY)")
+    analyze.add_argument(
+        "--covariates", nargs="*", default=None, help="skip discovery; use these covariates"
+    )
+    analyze.add_argument(
+        "--mediators", nargs="*", default=None, help="skip discovery; use these mediators"
+    )
+    analyze.add_argument(
+        "--no-direct", action="store_true", help="skip the direct-effect analysis"
+    )
+    analyze.add_argument(
+        "--test",
+        choices=("hymit", "chi2", "mit"),
+        default="hymit",
+        help="conditional-independence test (default: hymit)",
+    )
+    analyze.add_argument("--alpha", type=float, default=0.01, help="significance level")
+    analyze.add_argument("--top-k", type=int, default=2, help="fine-grained explanations per attribute")
+
+    query = subparsers.add_parser("query", help="evaluate the group-by-average query only")
+    _add_common(query)
+
+    discover = subparsers.add_parser("discover", help="run covariate discovery only")
+    discover.add_argument("--csv", required=True, help="input CSV file (header row required)")
+    discover.add_argument("--treatment", required=True, help="treatment attribute")
+    discover.add_argument("--outcome", help="outcome attribute (for the fallback)")
+    discover.add_argument("--seed", type=int, default=0, help="random seed")
+    discover.add_argument("--alpha", type=float, default=0.01, help="significance level")
+    return parser
+
+
+def _add_common(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("--csv", required=True, help="input CSV file (header row required)")
+    subparser.add_argument("--sql", required=True, help="group-by-average SQL query")
+    subparser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _make_test(name: str, seed: int):
+    if name == "chi2":
+        return ChiSquaredTest()
+    if name == "mit":
+        return PermutationTest(n_permutations=1000, group_sampling="log", seed=seed)
+    return HybridTest(n_permutations=1000, seed=seed)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "analyze":
+            return _run_analyze(args)
+        if args.command == "query":
+            return _run_query(args)
+        if args.command == "discover":
+            return _run_discover(args)
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    table = Table.from_csv(args.csv)
+    query = GroupByQuery.from_sql(args.sql, treatment=args.treatment)
+    db = HypDB(
+        table,
+        test=_make_test(args.test, args.seed),
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    report = db.analyze(
+        query,
+        covariates=args.covariates,
+        mediators=args.mediators,
+        top_k=args.top_k,
+        compute_direct=not args.no_direct,
+    )
+    print(report.format())
+    return 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    table = Table.from_csv(args.csv)
+    query = GroupByQuery.from_sql(args.sql)
+    result = group_by_average(
+        table, query.group_by_columns(), query.outcomes, where=query.where
+    )
+    print(result.format())
+    return 0
+
+
+def _run_discover(args: argparse.Namespace) -> int:
+    table = Table.from_csv(args.csv)
+    db = HypDB(table, alpha=args.alpha, seed=args.seed)
+    result = db.discoverer.discover(table, args.treatment, outcome=args.outcome)
+    print(f"treatment:        {result.treatment}")
+    print(f"covariates (Z):   {list(result.covariates)}")
+    print(f"markov boundary:  {list(result.markov_boundary)}")
+    print(f"via fallback:     {result.used_fallback}")
+    if result.dependency_report.dropped:
+        print("dropped attributes:")
+        for name, reason in sorted(result.dependency_report.dropped.items()):
+            print(f"  {name}: {reason}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

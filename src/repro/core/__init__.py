@@ -1,0 +1,62 @@
+"""HypDB core: detect, explain, and resolve bias in OLAP queries.
+
+This package is the paper's primary contribution:
+
+* :mod:`repro.core.query` -- the group-by-average query model (Listing 1)
+  and its contexts Γ.
+* :mod:`repro.core.fd` -- handling of logical dependencies: approximate
+  functional dependencies and key-like high-entropy attributes (Sec. 4).
+* :mod:`repro.core.discovery` -- the CD algorithm (Alg. 1): automatic
+  covariate discovery from Markov boundaries without learning the full DAG.
+* :mod:`repro.core.detector` -- the biased-query test (Def. 3.1,
+  Prop. 3.2).
+* :mod:`repro.core.explain` -- coarse-grained responsibility (Def. 3.3) and
+  fine-grained contribution explanations (Def. 3.4, Alg. 3).
+* :mod:`repro.core.rewrite` -- query rewriting (Listing 2): adjusted total
+  effect (Eq. 2) and natural direct effect (Eq. 3) with exact matching.
+* :mod:`repro.core.hypdb` -- the end-to-end facade.
+"""
+
+from repro.core.bounds import CandidateAdjustment, EffectBounds, effect_bounds
+from repro.core.detector import BalanceResult, detect_bias
+from repro.core.discovery import CovariateDiscoverer, DiscoveryResult
+from repro.core.explain import (
+    CoarseExplanation,
+    FineExplanation,
+    coarse_grained_explanations,
+    fine_grained_explanations,
+)
+from repro.core.fd import LogicalDependencyFilter
+from repro.core.hypdb import HypDB
+from repro.core.query import GroupByQuery, QueryContext
+from repro.core.report import BiasReport, ContextReport, EffectEstimate
+from repro.core.rewrite import direct_effect, total_effect
+from repro.core.sqlgen import predicate_to_sql, rewritten_total_effect_sql
+from repro.core.whatif import WhatIfAnswer, what_if
+
+__all__ = [
+    "BalanceResult",
+    "detect_bias",
+    "CovariateDiscoverer",
+    "DiscoveryResult",
+    "CoarseExplanation",
+    "FineExplanation",
+    "coarse_grained_explanations",
+    "fine_grained_explanations",
+    "LogicalDependencyFilter",
+    "HypDB",
+    "GroupByQuery",
+    "QueryContext",
+    "BiasReport",
+    "ContextReport",
+    "EffectEstimate",
+    "direct_effect",
+    "total_effect",
+    "CandidateAdjustment",
+    "EffectBounds",
+    "effect_bounds",
+    "predicate_to_sql",
+    "rewritten_total_effect_sql",
+    "WhatIfAnswer",
+    "what_if",
+]

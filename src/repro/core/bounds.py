@@ -1,0 +1,120 @@
+"""Effect bounds when the parents of the treatment are not identifiable.
+
+Paper Sec. 4: when all of a treatment's parents are mutually adjacent, no
+algorithm can pick them out of the Markov boundary from data alone -- but
+"one can compute a set of potential parents of T and use them to establish
+a bound on causal effect", i.e. adjust for *every* admissible subset of
+``MB(T) - {Y}`` and report the range of adjusted effects.  The paper
+leaves this as future work; this module implements it.
+
+The returned envelope is informative in both directions: a narrow interval
+means the conclusion is robust to which boundary members are the true
+confounders; an interval straddling zero means the data cannot even settle
+the effect's sign.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.rewrite import NoOverlapError, total_effect
+from repro.relation.table import Table
+from repro.utils.subsets import bounded_subsets
+
+
+@dataclass(frozen=True)
+class CandidateAdjustment:
+    """The adjusted effect for one candidate covariate subset."""
+
+    covariates: tuple[str, ...]
+    difference: float
+    matched_fraction: float
+
+
+@dataclass(frozen=True)
+class EffectBounds:
+    """The envelope of adjusted effects over candidate covariate sets."""
+
+    treatment: str
+    outcome: str
+    lower: float
+    upper: float
+    candidates: tuple[CandidateAdjustment, ...]
+    n_skipped: int  # subsets dropped for lack of overlap
+
+    @property
+    def width(self) -> float:
+        """Size of the bound interval."""
+        return self.upper - self.lower
+
+    def sign_identified(self) -> bool:
+        """True when every admissible adjustment agrees on the sign."""
+        return self.lower > 0 or self.upper < 0
+
+    def __repr__(self) -> str:
+        return (
+            f"EffectBounds({self.treatment!r} -> {self.outcome!r}: "
+            f"[{self.lower:+.4f}, {self.upper:+.4f}] over "
+            f"{len(self.candidates)} adjustment sets)"
+        )
+
+
+def effect_bounds(
+    table: Table,
+    treatment: str,
+    outcome: str,
+    potential_parents: Sequence[str],
+    max_subset_size: int | None = None,
+    min_matched_fraction: float = 0.2,
+) -> EffectBounds:
+    """Bound the ATE over all subsets of the potential parents.
+
+    Parameters
+    ----------
+    table:
+        The (context-filtered) relation.
+    treatment, outcome:
+        Binary-comparison treatment and a numeric outcome.
+    potential_parents:
+        Typically ``MB(T) - {Y}`` from discovery: the attributes that
+        *might* be the treatment's parents.
+    max_subset_size:
+        Cap on the enumerated subset size (``None`` = all subsets).
+    min_matched_fraction:
+        Adjustment sets whose exact matching discards more than
+        ``1 - min_matched_fraction`` of the context are skipped: their
+        estimates describe too little of the population to bound anything.
+
+    Returns the envelope over all admissible adjustments, including the
+    unadjusted (empty-set) estimate.
+    """
+    candidates: list[CandidateAdjustment] = []
+    skipped = 0
+    for subset in bounded_subsets(tuple(potential_parents), max_subset_size):
+        try:
+            answer = total_effect(table, treatment, [outcome], list(subset))
+        except NoOverlapError:
+            skipped += 1
+            continue
+        if answer.matched_fraction < min_matched_fraction:
+            skipped += 1
+            continue
+        candidates.append(
+            CandidateAdjustment(
+                covariates=tuple(subset),
+                difference=answer.difference(outcome),
+                matched_fraction=answer.matched_fraction,
+            )
+        )
+    if not candidates:
+        raise NoOverlapError(treatment=treatment, covariates=tuple(potential_parents))
+    differences = [candidate.difference for candidate in candidates]
+    return EffectBounds(
+        treatment=treatment,
+        outcome=outcome,
+        lower=min(differences),
+        upper=max(differences),
+        candidates=tuple(candidates),
+        n_skipped=skipped,
+    )

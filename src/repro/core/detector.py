@@ -1,0 +1,97 @@
+"""Bias detection (paper Sec. 3.1).
+
+A query is *balanced* w.r.t. a variable set ``V`` in a context Γ iff the
+marginal distribution of ``V`` is the same in every treatment group, i.e.
+``T ⊥ V | Γ`` (Def. 3.1).  By Prop. 3.2, balance w.r.t. the covariates
+``Z`` makes the query's group difference an unbiased ATE estimate, and
+balance w.r.t. ``Z ∪ M`` makes it an unbiased NDE estimate.
+
+Detection therefore reduces to one joint conditional-independence test per
+context: the variables ``V`` are packed into a single compound column and
+any :class:`~repro.stats.base.CITest` decides ``I(T ; V) = 0``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.relation.table import Table
+from repro.stats.base import DEFAULT_ALPHA, CIResult, CITest
+
+JOINT_COLUMN = "__hypdb_joint__"
+
+
+@dataclass(frozen=True)
+class BalanceResult:
+    """The verdict of the balance test for one context."""
+
+    variables: tuple[str, ...]
+    result: CIResult
+    alpha: float = DEFAULT_ALPHA
+
+    @property
+    def biased(self) -> bool:
+        """True when ``T ⊥̸ V`` -- the query is biased w.r.t. ``V``."""
+        return self.result.dependent(self.alpha)
+
+    @property
+    def p_value(self) -> float:
+        """p-value of the balance test."""
+        return self.result.p_value
+
+    def __repr__(self) -> str:
+        verdict = "BIASED" if self.biased else "unbiased"
+        return (
+            f"BalanceResult({verdict} w.r.t. {list(self.variables)}, "
+            f"I={self.result.statistic:.4f}, p={self.result.p_value:.4g})"
+        )
+
+
+def with_joint_column(table: Table, columns: Sequence[str], name: str = JOINT_COLUMN) -> Table:
+    """Extend ``table`` with one column encoding the joint value of ``columns``.
+
+    Used to feed multi-attribute variables through the single-attribute
+    :class:`CITest` interface.
+    """
+    codes, _ = table.joint_codes(tuple(columns))
+    return table.with_column(name, codes.tolist())
+
+
+def detect_bias(
+    context_table: Table,
+    treatment: str,
+    variables: Sequence[str],
+    test: CITest,
+    alpha: float = DEFAULT_ALPHA,
+) -> BalanceResult:
+    """Test whether a query is balanced w.r.t. ``variables`` in a context.
+
+    Parameters
+    ----------
+    context_table:
+        The rows of the context Γ (WHERE clause plus grouping values
+        already applied).
+    treatment:
+        The grouping attribute ``T``.
+    variables:
+        The covariates ``Z`` (total effect) or ``Z ∪ M`` (direct effect).
+    test:
+        Any conditional-independence test.
+    alpha:
+        Significance level.
+
+    With an empty ``variables`` the query is trivially balanced.
+    """
+    names = tuple(variables)
+    if treatment in names:
+        raise ValueError("treatment cannot be among the balance variables")
+    if not names:
+        return BalanceResult(
+            variables=(),
+            result=CIResult(statistic=0.0, p_value=1.0, method="trivial"),
+            alpha=alpha,
+        )
+    augmented = with_joint_column(context_table, names)
+    result = test.test(augmented, treatment, JOINT_COLUMN)
+    return BalanceResult(variables=names, result=result, alpha=alpha)

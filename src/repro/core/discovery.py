@@ -1,0 +1,260 @@
+"""The CD algorithm: automatic covariate discovery (paper Sec. 4, Alg. 1).
+
+Given a treatment ``T``, CD computes the parents ``PA_T`` in the (unknown)
+causal DAG directly from data, without learning the whole DAG:
+
+* **Phase I** -- for each ``Z`` in the Markov boundary ``MB(T)``, search
+  for a witness ``W ∈ MB(T)`` and conditioning set ``S ⊆ MB(Z) - {T}``
+  such that ``Z ⊥ W | S`` but ``Z ⊥̸ W | S ∪ {T}``: the treatment acting as
+  a *collider* between ``Z`` and ``W`` is the signature that both are
+  parents of ``T`` (or a parent plus a spouse -- Prop. 4.1(a)).
+* **Phase II** -- discard collected candidates that some subset of
+  ``MB(T)`` separates from ``T`` (they were spouses, not parents --
+  Prop. 4.1(b)).
+
+The identification assumption is that ``T`` has at least two non-adjacent
+parents.  When Phase I+II produce nothing, HypDB falls back to
+``Z = MB(T) - {Y}`` (the single-parent case discussed in Sec. 4).
+
+Before any boundary is computed, logical dependencies are dropped with
+:class:`~repro.core.fd.LogicalDependencyFilter`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.causal.growshrink import grow_shrink_markov_blanket
+from repro.core.fd import DependencyReport, LogicalDependencyFilter
+from repro.relation.table import Table
+from repro.stats.base import DEFAULT_ALPHA, CITest
+from repro.utils.subsets import bounded_subsets
+
+
+@dataclass
+class DiscoveryResult:
+    """Everything the CD algorithm learned about one treatment."""
+
+    treatment: str
+    covariates: tuple[str, ...]
+    markov_boundary: tuple[str, ...]
+    used_fallback: bool
+    dependency_report: DependencyReport
+    boundaries: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    n_tests: int = 0
+
+    def __repr__(self) -> str:
+        source = "fallback MB(T)-{Y}" if self.used_fallback else "Alg. 1"
+        return (
+            f"DiscoveryResult(treatment={self.treatment!r}, "
+            f"covariates={list(self.covariates)}, via {source})"
+        )
+
+
+class CovariateDiscoverer:
+    """Runs the CD algorithm (Alg. 1) over a table.
+
+    Parameters
+    ----------
+    test:
+        Conditional-independence test (chi2 / MIT / HyMIT / oracle).
+    alpha:
+        Significance level (0.01 in all of the paper's experiments).
+    max_cond_size:
+        Cap on the conditioning-set size enumerated in Phase I/II.  The
+        worst case is exponential in the boundary size; the paper's
+        boundaries stay small (<= 8), so a small cap retains completeness
+        in practice while bounding the cost.
+    blanket_algorithm:
+        Markov-boundary subroutine (Grow-Shrink by default, IAMB also
+        provided).
+    dependency_filter:
+        The logical-dependency pre-filter; pass ``None`` to disable (e.g.
+        on synthetic data with no FDs, saving the subsampling cost).
+    max_blanket:
+        Optional cap forwarded to the boundary algorithm.
+    collider_alpha:
+        Significance level for the *opened-dependence* half of the Phase I
+        collider test.  Phase I enumerates many (S, W) combinations, so at
+        ``alpha`` a borderline false rejection will eventually appear and a
+        mediator gets collected; a true collider signature is dramatic
+        (p-values tens of orders of magnitude below ``alpha``).  Defaults
+        to ``alpha / 10`` as a cheap multiple-testing guard.
+    symmetry_correction:
+        Keep ``Z`` in ``MB(T)`` only when ``T`` is also in ``MB(Z)``.
+        Boundaries of a faithful distribution are symmetric; enforcing this
+        on data removes one-sided false boundary members.
+    """
+
+    def __init__(
+        self,
+        test: CITest,
+        alpha: float = DEFAULT_ALPHA,
+        max_cond_size: int | None = 3,
+        blanket_algorithm: Callable = grow_shrink_markov_blanket,
+        dependency_filter: LogicalDependencyFilter | None = None,
+        max_blanket: int | None = None,
+        collider_alpha: float | None = None,
+        symmetry_correction: bool = True,
+    ) -> None:
+        self.test = test
+        self.alpha = alpha
+        self.max_cond_size = max_cond_size
+        self._blanket_algorithm = blanket_algorithm
+        self._dependency_filter = dependency_filter
+        self.max_blanket = max_blanket
+        self.collider_alpha = collider_alpha if collider_alpha is not None else alpha / 10.0
+        self.symmetry_correction = symmetry_correction
+
+    # ------------------------------------------------------------------
+
+    def discover(
+        self,
+        table: Table | None,
+        treatment: str,
+        outcome: str | None = None,
+        candidates: Sequence[str] | None = None,
+        fallback_exclude: Sequence[str] = (),
+    ) -> DiscoveryResult:
+        """Run CD for ``treatment`` and return the covariates ``Z``.
+
+        ``outcome`` is only used by the single-parent fallback (it must be
+        excluded from ``MB(T)`` when the boundary itself is returned).
+        ``candidates`` restricts the attribute universe; by default every
+        other column of the table is considered.
+
+        ``fallback_exclude`` lists attributes that must not enter the
+        fallback set ``MB(T) - {Y}`` -- HypDB passes the discovered outcome
+        parents here, because a boundary member that is also a parent of
+        the outcome is plausibly a *mediator*, and conditioning the total
+        effect on a mediator is the worse error.  When everything is
+        excluded the fallback is the empty set: the treatment is treated
+        as exogenous (the Staples / Berkeley regime in Sec. 7.3).
+        """
+        calls_before = self.test.calls
+        if candidates is None:
+            if table is None:
+                raise ValueError("candidates are required when no table is given")
+            candidates = [name for name in table.columns if name != treatment]
+
+        if self._dependency_filter is not None and table is not None:
+            dependency_report = self._dependency_filter.filter(table, treatment, candidates)
+        else:
+            dependency_report = DependencyReport(
+                kept=tuple(name for name in candidates if name != treatment)
+            )
+        universe = list(dependency_report.kept)
+
+        mb_t = sorted(self._blanket(table, treatment, universe))
+        boundaries: dict[str, tuple[str, ...]] = {}
+
+        extended_universe = list(dict.fromkeys(list(universe) + [treatment]))
+        for z in mb_t:
+            mb_z = self._blanket(table, z, extended_universe)
+            boundaries[z] = tuple(sorted(mb_z))
+        if self.symmetry_correction:
+            mb_t = [z for z in mb_t if treatment in boundaries[z]]
+        boundaries[treatment] = tuple(mb_t)
+
+        collected = self._phase_one(table, treatment, mb_t, boundaries)
+        parents = self._phase_two(table, treatment, mb_t, collected)
+
+        used_fallback = False
+        if not parents:
+            # Single-parent (or all-adjacent-parents) regime: Sec. 4 falls
+            # back to the boundary minus the outcome and minus anything the
+            # caller flagged as a likely mediator.
+            used_fallback = True
+            excluded = set(fallback_exclude) | {outcome}
+            parents = {name for name in mb_t if name not in excluded}
+
+        return DiscoveryResult(
+            treatment=treatment,
+            covariates=tuple(sorted(parents)),
+            markov_boundary=tuple(mb_t),
+            used_fallback=used_fallback,
+            dependency_report=dependency_report,
+            boundaries={node: tuple(sorted(mb)) for node, mb in boundaries.items()},
+            n_tests=self.test.calls - calls_before,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _blanket(
+        self, table: Table | None, target: str, universe: Sequence[str]
+    ) -> set[str]:
+        return self._blanket_algorithm(
+            table,
+            target,
+            self.test,
+            candidates=[name for name in universe if name != target],
+            alpha=self.alpha,
+            max_blanket=self.max_blanket,
+        )
+
+    def _phase_one(
+        self,
+        table: Table | None,
+        treatment: str,
+        mb_t: list[str],
+        boundaries: dict[str, tuple[str, ...]],
+    ) -> set[str]:
+        """Collect candidates exhibiting the collider signature (Alg. 1 l.2-7)."""
+        collected: set[str] = set()
+        for z in mb_t:
+            if z in collected:
+                continue
+            mb_z = list(boundaries[z])
+            witnesses = [w for w in mb_t if w != z]
+            if self._find_collider_witness(table, treatment, z, mb_z, witnesses, collected):
+                continue
+        return collected
+
+    def _find_collider_witness(
+        self,
+        table: Table | None,
+        treatment: str,
+        z: str,
+        mb_z: list[str],
+        witnesses: list[str],
+        collected: set[str],
+    ) -> bool:
+        """Search S ⊆ MB(Z) - {T} and W with (Z ⊥ W | S) ∧ (Z ⊥̸ W | S ∪ {T})."""
+        base = [name for name in mb_z if name != treatment]
+        for subset in bounded_subsets(base, self.max_cond_size):
+            for w in witnesses:
+                if w in subset:
+                    continue
+                plain = self.test.test(table, z, w, subset)
+                if not plain.independent(self.alpha):
+                    continue
+                opened = self.test.test(table, z, w, tuple(subset) + (treatment,))
+                # Accept at collider_alpha, or -- for Monte-Carlo tests whose
+                # p-resolution is coarser than collider_alpha -- at the
+                # method's floor (the most significant result it can report).
+                if opened.dependent(self.collider_alpha) or (
+                    opened.p_floor > self.collider_alpha and opened.at_floor()
+                ):
+                    collected.add(z)
+                    collected.add(w)
+                    return True
+        return False
+
+    def _phase_two(
+        self,
+        table: Table | None,
+        treatment: str,
+        mb_t: list[str],
+        collected: set[str],
+    ) -> set[str]:
+        """Discard candidates separable from T (Alg. 1 l.9-11)."""
+        parents = set(collected)
+        for candidate in sorted(collected):
+            base = [name for name in mb_t if name != candidate]
+            for subset in bounded_subsets(base, self.max_cond_size):
+                result = self.test.test(table, treatment, candidate, subset)
+                if result.independent(self.alpha):
+                    parents.discard(candidate)
+                    break
+        return parents

@@ -1,0 +1,196 @@
+"""Handling of logical dependencies before covariate discovery (Sec. 4).
+
+Integrity constraints confuse every constraint-based discovery algorithm:
+
+* an approximate functional dependency ``X => T`` (e.g. ``AirportWAC =>
+  Airport``) makes ``MB(T) = {X}``, isolating the treatment from the rest
+  of the DAG;
+* key-like attributes (``ID``, ``FlightNum``, ``TailNum``) have entropies
+  that grow with the sample size and participate in spurious dependencies
+  with everything.
+
+HypDB therefore (1) drops attributes that are two-way approximate FDs of
+the treatment (``H(T|X) <= eps`` and ``H(X|T) <= eps``), (2) de-duplicates
+mutually determined attribute pairs among the candidates, and (3) detects
+key-like attributes by checking whether an attribute's entropy depends on
+the subsample size -- the entropy of a genuine attribute is a property of
+the generating distribution, while for a key it tracks ``log n``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.infotheory.cache import EntropyEngine
+from repro.relation.table import Table
+from repro.utils.validation import ensure_rng
+
+
+@dataclass
+class DependencyReport:
+    """Which attributes were dropped, and why."""
+
+    kept: tuple[str, ...]
+    dropped: dict[str, str] = field(default_factory=dict)
+
+    def reason(self, attribute: str) -> str | None:
+        """The drop reason for ``attribute`` (``None`` if kept)."""
+        return self.dropped.get(attribute)
+
+
+class LogicalDependencyFilter:
+    """Filters candidate attributes before Markov-boundary computation.
+
+    Parameters
+    ----------
+    fd_epsilon:
+        Threshold on conditional entropies for approximate FDs.
+    key_subsample_sizes:
+        Number of nested subsamples used in the key-detection entropy
+        regression.
+    key_correlation_threshold:
+        Minimum Pearson correlation between ``log n`` and ``H(X)`` over
+        the subsamples to declare an attribute key-like.
+    key_min_growth:
+        Minimum absolute entropy growth (nats) between the smallest and
+        largest subsample to declare key-likeness (filters constant-noise
+        correlations).
+    seed:
+        Generator or seed for the subsampling.
+    """
+
+    def __init__(
+        self,
+        fd_epsilon: float = 0.01,
+        key_subsample_sizes: int = 5,
+        key_correlation_threshold: float = 0.9,
+        key_min_growth: float = 0.15,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.fd_epsilon = fd_epsilon
+        self.key_subsample_sizes = key_subsample_sizes
+        self.key_correlation_threshold = key_correlation_threshold
+        self.key_min_growth = key_min_growth
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------
+
+    def filter(
+        self,
+        table: Table,
+        treatment: str,
+        candidates: Sequence[str] | None = None,
+    ) -> DependencyReport:
+        """Return the candidates that survive all three filters."""
+        names = [
+            name
+            for name in (candidates if candidates is not None else table.columns)
+            if name != treatment
+        ]
+        report = DependencyReport(kept=())
+        engine = EntropyEngine(table, estimator="plugin")
+
+        survivors: list[str] = []
+        for name in names:
+            if self._is_fd_equivalent(engine, treatment, name):
+                report.dropped[name] = f"two-way approximate FD with treatment {treatment!r}"
+            else:
+                survivors.append(name)
+
+        key_like = self.detect_key_attributes(table, survivors)
+        survivors = [name for name in survivors if name not in key_like]
+        for name in key_like:
+            report.dropped[name] = "key-like: entropy grows with sample size"
+
+        survivors = self._deduplicate(engine, survivors, report)
+        report.kept = tuple(survivors)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _is_fd_equivalent(self, engine: EntropyEngine, a: str, b: str) -> bool:
+        """Two-way approximate FD: ``H(a|b) <= eps`` and ``H(b|a) <= eps``."""
+        return (
+            engine.conditional_entropy((a,), (b,)) <= self.fd_epsilon
+            and engine.conditional_entropy((b,), (a,)) <= self.fd_epsilon
+        )
+
+    def _deduplicate(
+        self,
+        engine: EntropyEngine,
+        names: list[str],
+        report: DependencyReport,
+    ) -> list[str]:
+        """Keep one representative of each mutually-determined attribute group.
+
+        Among equivalents, the attribute with the smallest domain (then the
+        alphabetically first) is kept -- e.g. ``Airport`` survives and its
+        world-area code is dropped.
+        """
+        table = engine.table
+        ordered = sorted(names, key=lambda name: (table.domain_size(name), name))
+        kept: list[str] = []
+        for name in ordered:
+            duplicate_of = None
+            for representative in kept:
+                if self._is_fd_equivalent(engine, name, representative):
+                    duplicate_of = representative
+                    break
+            if duplicate_of is None:
+                kept.append(name)
+            else:
+                report.dropped[name] = (
+                    f"two-way approximate FD with kept attribute {duplicate_of!r}"
+                )
+        # Restore the caller's ordering for determinism downstream.
+        kept_set = set(kept)
+        return [name for name in names if name in kept_set]
+
+    # ------------------------------------------------------------------
+
+    def detect_key_attributes(
+        self, table: Table, candidates: Sequence[str] | None = None
+    ) -> set[str]:
+        """Attributes whose entropy is a function of the sample size.
+
+        Draws ``key_subsample_sizes`` nested subsamples with sizes spread
+        geometrically between ``n/16`` and ``n/2``, computes each
+        attribute's plug-in entropy per subsample, and flags attributes
+        whose entropy correlates strongly with ``log n`` *and* grows by at
+        least ``key_min_growth`` nats across the sweep.
+        """
+        names = list(candidates if candidates is not None else table.columns)
+        n = table.n_rows
+        if n < 64 or not names:
+            return set()
+        sizes = np.unique(
+            np.geomspace(max(n // 16, 16), max(n // 2, 32), self.key_subsample_sizes).astype(int)
+        )
+        if len(sizes) < 3:
+            return set()
+        # One nested permutation so subsamples are prefixes of each other:
+        # this removes resampling noise from the regression.
+        order = self._rng.permutation(n)
+        entropies = {name: [] for name in names}
+        for size in sizes:
+            subsample = table.take(order[:size])
+            sub_engine = EntropyEngine(subsample, estimator="plugin")
+            for name in names:
+                entropies[name].append(sub_engine.entropy((name,)))
+        log_sizes = np.log(sizes.astype(float))
+        keys: set[str] = set()
+        for name in names:
+            values = np.asarray(entropies[name])
+            growth = values[-1] - values[0]
+            if growth < self.key_min_growth:
+                continue
+            spread = values.std()
+            if spread == 0:
+                continue
+            correlation = float(np.corrcoef(log_sizes, values)[0, 1])
+            if correlation >= self.key_correlation_threshold:
+                keys.add(name)
+        return keys

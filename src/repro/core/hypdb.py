@@ -1,0 +1,394 @@
+"""The HypDB facade: end-to-end detect -> explain -> resolve.
+
+Typical use::
+
+    from repro import HypDB
+    from repro.datasets import flight_data
+
+    table = flight_data(seed=7)
+    db = HypDB(table, seed=7)
+    report = db.analyze(
+        "SELECT Carrier, avg(Delayed) FROM FlightData "
+        "WHERE Carrier IN ('AA','UA') AND Airport IN ('COS','MFE','MTJ','ROC') "
+        "GROUP BY Carrier"
+    )
+    print(report.format())
+
+``analyze`` performs, per query context Γ (paper Secs. 3-4):
+
+1. **Covariate / mediator discovery** -- the CD algorithm on the
+   WHERE-filtered population (logical dependencies dropped first), giving
+   ``Z = PA_T`` and ``M = PA_Y - {T} - Z``.
+2. **Detection** -- the balance tests ``T ⊥ Z | Γ`` and ``T ⊥ Z∪M | Γ``.
+3. **Explanation** -- responsibilities over ``Z ∪ M`` and top-k
+   fine-grained triples for the leading attributes.
+4. **Resolution** -- the rewritten-query answers: adjusted total effect
+   (Eq. 2), natural direct effect (Eq. 3), and significance tests for the
+   naive / total / direct differences.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.core.detector import BalanceResult, detect_bias, with_joint_column
+from repro.core.discovery import CovariateDiscoverer, DiscoveryResult
+from repro.core.explain import (
+    coarse_grained_explanations,
+    fine_grained_explanations,
+)
+from repro.core.fd import LogicalDependencyFilter
+from repro.core.query import GroupByQuery, QueryContext
+from repro.core.report import BiasReport, ContextReport, EffectEstimate, Timings
+from repro.core.rewrite import NoOverlapError, direct_effect, total_effect
+from repro.relation.table import Table
+from repro.stats.base import DEFAULT_ALPHA, CIResult, CITest
+from repro.stats.hybrid import HybridTest
+
+
+class HypDB:
+    """Detect, explain, and resolve bias in group-by queries over a table.
+
+    Parameters
+    ----------
+    table:
+        The relation to analyze.
+    test:
+        Conditional-independence test; defaults to HyMIT (the paper's
+        recommended hybrid).
+    alpha:
+        Significance level for every test (paper: 0.01).
+    max_cond_size:
+        Conditioning-set cap forwarded to the CD algorithm.
+    dependency_filter:
+        ``"auto"`` (default) drops approximate FDs and key-like attributes
+        before discovery; ``None`` disables the filter; or pass a
+        pre-configured :class:`LogicalDependencyFilter`.
+    estimator:
+        Entropy estimator for explanations (``miller_madow`` by default).
+    seed:
+        Seed for all stochastic components (tests, key detection).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        test: CITest | None = None,
+        alpha: float = DEFAULT_ALPHA,
+        max_cond_size: int | None = 3,
+        dependency_filter: LogicalDependencyFilter | str | None = "auto",
+        estimator: str = "miller_madow",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.table = table
+        self.alpha = alpha
+        self.estimator = estimator
+        # m = 1000 permutations gives the Monte-Carlo branch a p-value
+        # resolution of ~0.001 -- fine enough for the CD algorithm's strict
+        # collider threshold (alpha / 10).  Pass an explicit test to change.
+        self.test = test if test is not None else HybridTest(n_permutations=1000, seed=seed)
+        if dependency_filter == "auto":
+            dependency_filter = LogicalDependencyFilter(seed=seed)
+        elif isinstance(dependency_filter, str):
+            raise ValueError(
+                f"dependency_filter must be 'auto', None, or a filter instance; "
+                f"got {dependency_filter!r}"
+            )
+        # IAMB boundaries: the ranked grow phase keeps conditioning sets
+        # small, which preserves test power during the shrink phase on
+        # real data (Grow-Shrink admits spurious members early and then
+        # needs high-dimensional tests to remove them).
+        from repro.causal.iamb import iamb_markov_blanket
+
+        self.discoverer = CovariateDiscoverer(
+            self.test,
+            alpha=alpha,
+            max_cond_size=max_cond_size,
+            dependency_filter=dependency_filter,
+            blanket_algorithm=iamb_markov_blanket,
+        )
+        # WHERE-filtered views are memoized so that covariate discovery,
+        # mediator discovery, detection, and resolution all run against the
+        # same Table instance and therefore share one entropy cache.
+        self._filter_memo: dict[Any, Table] = {}
+
+    def _filtered(self, predicate) -> Table:
+        if predicate not in self._filter_memo:
+            self._filter_memo[predicate] = self.table.where(predicate)
+        return self._filter_memo[predicate]
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+
+    def discover_covariates(
+        self,
+        query: GroupByQuery,
+        candidates: Sequence[str] | None = None,
+        fallback_exclude: Sequence[str] = (),
+    ) -> DiscoveryResult:
+        """Run CD for the query's treatment on the WHERE-filtered data.
+
+        Grouping attributes and outcomes are excluded from the candidate
+        covariates (they define the contexts / estimands themselves).
+        ``fallback_exclude`` (typically the discovered outcome parents) is
+        kept out of the single-parent fallback set -- see
+        :meth:`CovariateDiscoverer.discover`.
+        """
+        filtered = self._filtered(query.where)
+        excluded = set(query.groupings) | set(query.outcomes) | {query.treatment}
+        universe = candidates if candidates is not None else [
+            name for name in self.table.columns if name not in excluded
+        ]
+        outcome = query.outcomes[0] if query.outcomes else None
+        return self.discoverer.discover(
+            filtered,
+            query.treatment,
+            outcome=outcome,
+            candidates=universe,
+            fallback_exclude=fallback_exclude,
+        )
+
+    def discover_outcome_parents(self, query: GroupByQuery) -> tuple[str, ...]:
+        """``M̂ = union_j PA_{Y_j} - {T}`` via CD on each outcome.
+
+        These are the candidate mediators (paper Sec. 2: mediators for the
+        direct effect are ``PA_Y - {T}``); ``analyze`` subtracts the final
+        covariate set before using them.
+        """
+        filtered = self._filtered(query.where)
+        excluded = set(query.groupings) | {*query.outcomes}
+        parents: set[str] = set()
+        for outcome in query.outcomes:
+            universe = [
+                name
+                for name in self.table.columns
+                if name not in excluded or name == query.treatment
+            ]
+            universe = [name for name in universe if name != outcome]
+            result = self.discoverer.discover(
+                filtered, outcome, outcome=None, candidates=universe
+            )
+            parents |= set(result.covariates)
+        parents -= {query.treatment}
+        return tuple(sorted(parents))
+
+    # ------------------------------------------------------------------
+    # End-to-end analysis
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        query: GroupByQuery | str,
+        covariates: Sequence[str] | None = None,
+        mediators: Sequence[str] | None = None,
+        top_k: int = 2,
+        explain_top_attributes: int = 2,
+        compute_direct: bool = True,
+    ) -> BiasReport:
+        """Run the full pipeline and return a :class:`BiasReport`.
+
+        ``covariates`` / ``mediators`` may be supplied to skip discovery
+        (the statistics-literature setting where they are known).
+        """
+        if isinstance(query, str):
+            query = GroupByQuery.from_sql(query)
+
+        detection_start = time.perf_counter()
+        discovery: DiscoveryResult | None = None
+        outcome_parents: tuple[str, ...] = ()
+        if mediators is None and (compute_direct or covariates is None):
+            outcome_parents = self.discover_outcome_parents(query)
+        if covariates is None:
+            discovery = self.discover_covariates(
+                query, fallback_exclude=outcome_parents
+            )
+            z = discovery.covariates
+        else:
+            z = tuple(covariates)
+        if mediators is None:
+            m = tuple(sorted(set(outcome_parents) - set(z))) if compute_direct else ()
+        else:
+            m = tuple(mediators)
+
+        contexts = query.contexts(self.table, filtered=self._filtered(query.where))
+        balances_total: list[BalanceResult | None] = []
+        balances_direct: list[BalanceResult | None] = []
+        for context in contexts:
+            balances_total.append(
+                detect_bias(context.table, query.treatment, z, self.test, self.alpha)
+                if z
+                else None
+            )
+            balances_direct.append(
+                detect_bias(
+                    context.table, query.treatment, z + m, self.test, self.alpha
+                )
+                if (compute_direct and (z or m))
+                else None
+            )
+        detection_seconds = time.perf_counter() - detection_start
+
+        explanation_start = time.perf_counter()
+        coarse_per_context = []
+        fine_per_context = []
+        for context in contexts:
+            coarse = tuple(
+                coarse_grained_explanations(
+                    context.table, query.treatment, z + m, estimator=self.estimator
+                )
+            )
+            coarse_per_context.append(coarse)
+            fine: dict[str, tuple] = {}
+            for item in coarse[:explain_top_attributes]:
+                fine[item.attribute] = tuple(
+                    fine_grained_explanations(
+                        context.table,
+                        query.treatment,
+                        query.outcomes[0],
+                        item.attribute,
+                        top_k=top_k,
+                    )
+                )
+            fine_per_context.append(fine)
+        explanation_seconds = time.perf_counter() - explanation_start
+
+        resolution_start = time.perf_counter()
+        context_reports: list[ContextReport] = []
+        for index, context in enumerate(contexts):
+            naive = self._naive_estimate(query, context)
+            total = self._total_estimate(query, context, z)
+            direct = (
+                self._direct_estimate(query, context, z, m) if compute_direct else None
+            )
+            context_reports.append(
+                ContextReport(
+                    values=context.values,
+                    label=context.label(query.groupings),
+                    n_rows=context.n_rows,
+                    balance_total=balances_total[index],
+                    balance_direct=balances_direct[index],
+                    naive=naive,
+                    total=total,
+                    direct=direct,
+                    coarse=coarse_per_context[index],
+                    fine=fine_per_context[index],
+                )
+            )
+        resolution_seconds = time.perf_counter() - resolution_start
+
+        return BiasReport(
+            query=query,
+            covariates=z,
+            mediators=m,
+            covariate_discovery=discovery,
+            contexts=tuple(context_reports),
+            timings=Timings(
+                detection=detection_seconds,
+                explanation=explanation_seconds,
+                resolution=resolution_seconds,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Estimates
+    # ------------------------------------------------------------------
+
+    def _naive_estimate(self, query: GroupByQuery, context: QueryContext) -> EffectEstimate:
+        """The original SQL answer: group means per treatment value."""
+        table = context.table
+        values = sorted(
+            (value for (value,) in table.value_counts([query.treatment])), key=repr
+        )
+        averages: dict[Any, dict[str, float]] = {value: {} for value in values}
+        for outcome in query.outcomes:
+            numeric = table.numeric(outcome)
+            codes = table.codes(query.treatment)
+            for value in values:
+                code = table.domain(query.treatment).index(value)
+                mask = codes == code
+                averages[value][outcome] = (
+                    float(np.mean(numeric[mask])) if mask.any() else float("nan")
+                )
+        significance = {
+            outcome: self.test.test(table, query.treatment, outcome)
+            for outcome in query.outcomes
+        }
+        return EffectEstimate(
+            kind="naive",
+            treatment_values=tuple(values),
+            outcomes=query.outcomes,
+            averages=averages,
+            significance=significance,
+        )
+
+    def _total_estimate(
+        self, query: GroupByQuery, context: QueryContext, z: tuple[str, ...]
+    ) -> EffectEstimate:
+        try:
+            answer = total_effect(context.table, query.treatment, query.outcomes, z)
+        except (NoOverlapError, ValueError) as exc:
+            return EffectEstimate(
+                kind="total",
+                treatment_values=(),
+                outcomes=query.outcomes,
+                error=str(exc),
+            )
+        significance = {
+            outcome: self._conditional_significance(context.table, query.treatment, outcome, z)
+            for outcome in query.outcomes
+        }
+        return EffectEstimate(
+            kind="total",
+            treatment_values=answer.treatment_values,
+            outcomes=query.outcomes,
+            averages=answer.averages,
+            significance=significance,
+            matched_fraction=answer.matched_fraction,
+        )
+
+    def _direct_estimate(
+        self,
+        query: GroupByQuery,
+        context: QueryContext,
+        z: tuple[str, ...],
+        m: tuple[str, ...],
+    ) -> EffectEstimate:
+        try:
+            answer = direct_effect(
+                context.table, query.treatment, query.outcomes, z, m
+            )
+        except (NoOverlapError, ValueError) as exc:
+            return EffectEstimate(
+                kind="direct",
+                treatment_values=(),
+                outcomes=query.outcomes,
+                error=str(exc),
+            )
+        significance = {
+            outcome: self._conditional_significance(
+                context.table, query.treatment, outcome, z + m
+            )
+            for outcome in query.outcomes
+        }
+        return EffectEstimate(
+            kind="direct",
+            treatment_values=answer.treatment_values,
+            outcomes=query.outcomes,
+            averages=answer.averages,
+            significance=significance,
+            matched_fraction=answer.matched_fraction,
+        )
+
+    def _conditional_significance(
+        self, table: Table, treatment: str, outcome: str, conditioning: tuple[str, ...]
+    ) -> CIResult:
+        """Significance of the rewritten difference: ``I(Y;T|V) = 0`` (Sec. 7.1)."""
+        if not conditioning:
+            return self.test.test(table, treatment, outcome)
+        augmented = with_joint_column(table, conditioning, "__hypdb_cond__")
+        return self.test.test(augmented, treatment, outcome, ("__hypdb_cond__",))

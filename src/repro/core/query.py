@@ -1,0 +1,149 @@
+"""The group-by-average query model (paper Listing 1).
+
+A :class:`GroupByQuery` captures the causal reading of an OLAP query:
+
+* ``treatment`` -- the grouping attribute ``T`` whose effect the analyst
+  intends to compare;
+* ``outcomes`` -- the averaged attributes ``Y1..Ye``;
+* ``groupings`` -- the remaining GROUP BY attributes ``X``; each of their
+  value combinations, conjoined with the WHERE clause ``C``, forms a
+  *context* Γᵢ (Sec. 2), and HypDB analyzes every context independently;
+* ``where`` -- the WHERE predicate ``C``.
+
+Queries can be built directly or parsed from SQL text; by convention the
+*first* GROUP BY attribute is the treatment unless the caller says
+otherwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.relation.predicates import And, Eq, Predicate, TRUE
+from repro.relation.table import Table
+from repro.sql.parser import parse_select
+from repro.utils.validation import check_disjoint
+
+
+@dataclass(frozen=True)
+class QueryContext:
+    """One context Γᵢ = C ∧ (X = xᵢ) of a query (Sec. 2)."""
+
+    values: tuple[Any, ...]  # the X values; () when the query has no X
+    predicate: Predicate
+    table: Table
+
+    @property
+    def n_rows(self) -> int:
+        """Rows in the context's subpopulation."""
+        return self.table.n_rows
+
+    def label(self, groupings: Sequence[str]) -> str:
+        """Human-readable name, e.g. ``"Month=3, Year=2010"``."""
+        if not self.values:
+            return "(all)"
+        return ", ".join(
+            f"{name}={value}" for name, value in zip(groupings, self.values)
+        )
+
+
+@dataclass(frozen=True)
+class GroupByQuery:
+    """A group-by-average OLAP query with its causal interpretation."""
+
+    treatment: str
+    outcomes: tuple[str, ...]
+    groupings: tuple[str, ...] = field(default=())
+    where: Predicate = TRUE
+
+    def __post_init__(self) -> None:
+        if not self.outcomes:
+            raise ValueError("a query needs at least one avg(...) outcome")
+        check_disjoint(
+            treatment=[self.treatment],
+            outcomes=self.outcomes,
+            groupings=self.groupings,
+        )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_sql(cls, sql: str, treatment: str | None = None) -> "GroupByQuery":
+        """Parse a SQL string into a query.
+
+        ``treatment`` defaults to the first GROUP BY attribute (the paper's
+        convention in every example: ``GROUP BY Carrier``, ``GROUP BY
+        Gender``, ...).
+        """
+        statement = parse_select(sql)
+        if not statement.group_by:
+            raise ValueError("the query must GROUP BY the treatment attribute")
+        chosen = treatment if treatment is not None else statement.group_by[0]
+        if chosen not in statement.group_by:
+            raise ValueError(
+                f"treatment {chosen!r} must appear in GROUP BY {statement.group_by}"
+            )
+        groupings = tuple(name for name in statement.group_by if name != chosen)
+        return cls(
+            treatment=chosen,
+            outcomes=statement.outcome_columns(),
+            groupings=groupings,
+            where=statement.where,
+        )
+
+    # ------------------------------------------------------------------
+
+    def group_by_columns(self) -> tuple[str, ...]:
+        """The full GROUP BY list ``(T, X...)``."""
+        return (self.treatment,) + self.groupings
+
+    def analysis_columns(self) -> tuple[str, ...]:
+        """Attributes named anywhere in the query."""
+        where_columns = tuple(sorted(self.where.columns()))
+        return self.group_by_columns() + self.outcomes + where_columns
+
+    def contexts(self, table: Table, filtered: Table | None = None) -> list[QueryContext]:
+        """Materialize every context Γᵢ against ``table``.
+
+        Without extra groupings there is a single context defined by the
+        WHERE clause.  With groupings ``X``, one context is produced per
+        observed value combination of ``X`` in the filtered data.
+        ``filtered`` lets callers pass an already WHERE-filtered table so
+        its entropy cache is shared across pipeline phases.
+        """
+        if filtered is None:
+            filtered = table.where(self.where)
+        if not self.groupings:
+            return [QueryContext(values=(), predicate=self.where, table=filtered)]
+        contexts: list[QueryContext] = []
+        for values, indices in filtered.group_indices(self.groupings):
+            condition = And(
+                [self.where]
+                + [Eq(name, value) for name, value in zip(self.groupings, values)]
+            )
+            contexts.append(
+                QueryContext(
+                    values=values,
+                    predicate=condition,
+                    table=filtered.take(indices),
+                )
+            )
+        contexts.sort(key=lambda context: repr(context.values))
+        return contexts
+
+    def treatment_values(self, table: Table) -> list[Any]:
+        """The treatment's observed values after the WHERE clause (sorted)."""
+        filtered = table.where(self.where)
+        return sorted(
+            (value for (value,) in filtered.value_counts([self.treatment])), key=repr
+        )
+
+    def __repr__(self) -> str:
+        aggregates = ", ".join(f"avg({name})" for name in self.outcomes)
+        parts = [f"SELECT {', '.join(self.group_by_columns())}, {aggregates}"]
+        if self.where is not TRUE:
+            parts.append(f"WHERE {self.where!r}")
+        parts.append(f"GROUP BY {', '.join(self.group_by_columns())}")
+        return " ".join(parts)

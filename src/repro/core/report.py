@@ -1,0 +1,188 @@
+"""Report objects produced by the HypDB pipeline.
+
+A :class:`BiasReport` bundles, per query context: the naive (SQL) answers,
+the balance verdicts, coarse- and fine-grained explanations, and the
+rewritten-query answers for total and direct effects with their
+significance -- i.e. everything shown in the paper's Figs. 1, 3 and 4.
+``format()`` renders the report in the same layout those figures use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.detector import BalanceResult
+from repro.core.discovery import DiscoveryResult
+from repro.core.explain import CoarseExplanation, FineExplanation
+from repro.core.query import GroupByQuery
+from repro.stats.base import CIResult
+
+
+@dataclass(frozen=True)
+class EffectEstimate:
+    """Per-treatment averages of one estimand, with significance.
+
+    ``kind`` is ``"naive"`` (the original SQL answer), ``"total"`` (Eq. 2),
+    or ``"direct"`` (Eq. 3).  ``significance`` holds the independence test
+    whose null is "this estimand's difference is zero" (Sec. 7.1), keyed by
+    outcome.  ``error`` is set (and ``averages`` empty) when the estimand
+    is undefined on the context, e.g. total overlap failure.
+    """
+
+    kind: str
+    treatment_values: tuple[Any, ...]
+    outcomes: tuple[str, ...]
+    averages: dict[Any, dict[str, float]] = field(default_factory=dict)
+    significance: dict[str, CIResult] = field(default_factory=dict)
+    matched_fraction: float = 1.0
+    error: str | None = None
+
+    def average(self, treatment_value: Any, outcome: str | None = None) -> float:
+        """The estimated average for one treatment group."""
+        if self.error is not None:
+            raise ValueError(f"{self.kind} estimate unavailable: {self.error}")
+        chosen = outcome if outcome is not None else self.outcomes[0]
+        return self.averages[treatment_value][chosen]
+
+    def difference(self, outcome: str | None = None) -> float:
+        """``avg(t1) - avg(t0)`` for binary treatments."""
+        if len(self.treatment_values) != 2:
+            raise ValueError("difference requires a binary treatment")
+        t0, t1 = self.treatment_values
+        return self.average(t1, outcome) - self.average(t0, outcome)
+
+    def p_value(self, outcome: str | None = None) -> float:
+        """p-value of the zero-difference null for one outcome."""
+        chosen = outcome if outcome is not None else self.outcomes[0]
+        return self.significance[chosen].p_value
+
+
+@dataclass(frozen=True)
+class ContextReport:
+    """Everything HypDB derived for one query context Γ."""
+
+    values: tuple[Any, ...]
+    label: str
+    n_rows: int
+    balance_total: BalanceResult | None
+    balance_direct: BalanceResult | None
+    naive: EffectEstimate
+    total: EffectEstimate | None
+    direct: EffectEstimate | None
+    coarse: tuple[CoarseExplanation, ...] = field(default=())
+    fine: dict[str, tuple[FineExplanation, ...]] = field(default_factory=dict)
+
+    @property
+    def biased(self) -> bool:
+        """True when either balance test rejected.
+
+        A query can be balanced w.r.t. the covariates (e.g. when the
+        treatment is exogenous and ``Z = ()``) yet still biased for the
+        *direct* effect reading because the mediators are unbalanced --
+        the Berkeley admissions case.
+        """
+        for balance in (self.balance_total, self.balance_direct):
+            if balance is not None and balance.biased:
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class Timings:
+    """Wall-clock seconds per pipeline phase (paper Table 1 columns)."""
+
+    detection: float = 0.0
+    explanation: float = 0.0
+    resolution: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.detection + self.explanation + self.resolution
+
+
+@dataclass(frozen=True)
+class BiasReport:
+    """The full output of ``HypDB.analyze`` for one query."""
+
+    query: GroupByQuery
+    covariates: tuple[str, ...]
+    mediators: tuple[str, ...]
+    covariate_discovery: DiscoveryResult | None
+    contexts: tuple[ContextReport, ...]
+    timings: Timings = field(default_factory=Timings)
+
+    @property
+    def biased(self) -> bool:
+        """True when any context is biased."""
+        return any(context.biased for context in self.contexts)
+
+    def context(self, values: tuple[Any, ...] = ()) -> ContextReport:
+        """Look up a context report by its grouping values."""
+        for report in self.contexts:
+            if report.values == values:
+                return report
+        raise KeyError(f"no context with values {values!r}")
+
+    # ------------------------------------------------------------------
+
+    def format(self, precision: int = 4) -> str:
+        """Render the report in the layout of the paper's result figures."""
+        lines: list[str] = []
+        lines.append(f"Query: {self.query!r}")
+        lines.append(f"Covariates (Z): {list(self.covariates)}")
+        lines.append(f"Mediators  (M): {list(self.mediators)}")
+        verdict = "BIASED" if self.biased else "unbiased"
+        lines.append(f"Verdict: query is {verdict}")
+        for context in self.contexts:
+            lines.append("")
+            lines.append(f"-- Context {context.label} ({context.n_rows} rows) --")
+            if context.balance_total is not None:
+                lines.append(
+                    f"  balance wrt Z:   I={context.balance_total.result.statistic:.4f} "
+                    f"p={context.balance_total.p_value:.4g} "
+                    f"-> {'BIASED' if context.balance_total.biased else 'balanced'}"
+                )
+            if context.balance_direct is not None:
+                lines.append(
+                    f"  balance wrt Z+M: I={context.balance_direct.result.statistic:.4f} "
+                    f"p={context.balance_direct.p_value:.4g} "
+                    f"-> {'BIASED' if context.balance_direct.biased else 'balanced'}"
+                )
+            lines.extend(self._format_estimates(context, precision))
+            if context.coarse:
+                lines.append("  coarse-grained explanations (responsibility):")
+                for item in context.coarse:
+                    lines.append(f"    {item.attribute:<20s} {item.responsibility:.2f}")
+            for attribute, triples in context.fine.items():
+                lines.append(f"  fine-grained explanations for {attribute}:")
+                for rank, triple in enumerate(triples, start=1):
+                    lines.append(
+                        f"    {rank}. T={triple.treatment_value} "
+                        f"Y={triple.outcome_value} {attribute}={triple.attribute_value}"
+                    )
+        return "\n".join(lines)
+
+    def _format_estimates(self, context: ContextReport, precision: int) -> list[str]:
+        lines: list[str] = []
+        estimates = [context.naive, context.total, context.direct]
+        labels = {"naive": "SQL answer", "total": "rewritten (total)", "direct": "rewritten (direct)"}
+        for estimate in estimates:
+            if estimate is None:
+                continue
+            title = labels.get(estimate.kind, estimate.kind)
+            if estimate.error is not None:
+                lines.append(f"  {title}: unavailable ({estimate.error})")
+                continue
+            for outcome in estimate.outcomes:
+                per_group = ", ".join(
+                    f"{value}: {estimate.averages[value][outcome]:.{precision}f}"
+                    for value in estimate.treatment_values
+                )
+                suffix = ""
+                if len(estimate.treatment_values) == 2:
+                    suffix = f"  diff={estimate.difference(outcome):+.{precision}f}"
+                if outcome in estimate.significance:
+                    suffix += f"  p={estimate.significance[outcome].p_value:.4g}"
+                lines.append(f"  {title} avg({outcome}): {per_group}{suffix}")
+        return lines

@@ -1,0 +1,293 @@
+"""Query rewriting: adjusted effects with exact matching (paper Sec. 3.3).
+
+The rewritten query (Listing 2) implements the adjustment formula (Eq. 2):
+
+* **Blocks** -- partition the context into groups homogeneous on the
+  covariates ``Z`` and average each outcome per treatment within a block;
+* **Exact matching** -- discard blocks that do not contain *every*
+  treatment value (the SQL ``HAVING count(DISTINCT T) = 2``), enforcing the
+  overlap requirement of Assumption 2.1;
+* **Weights** -- re-average the block averages with weights proportional
+  to the retained blocks' sizes (probabilities are re-normalized w.r.t.
+  the data remaining after pruning, as the paper specifies).
+
+The natural direct effect (Eq. 3) is computed analogously with the
+mediator formula: outcome averages are taken per ``(T, M)`` cell and the
+cell weights are ``sum_z Pr(z) * Pr(m | T = t_ref, z)`` where ``t_ref`` is
+the treatment whose mediator distribution is held fixed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.relation.table import Table
+
+
+@dataclass(frozen=True)
+class AdjustedAnswer:
+    """Adjusted per-treatment averages for one context.
+
+    ``averages[t][outcome]`` is the adjusted mean of ``outcome`` under
+    treatment value ``t``; ``matched_fraction`` reports how much of the
+    context survived exact matching (1.0 = full overlap).
+    """
+
+    treatment: str
+    treatment_values: tuple[Any, ...]
+    outcomes: tuple[str, ...]
+    averages: dict[Any, dict[str, float]]
+    n_blocks: int
+    n_matched_blocks: int
+    matched_fraction: float
+    kind: str = "total"
+    reference: Any = None
+
+    def average(self, treatment_value: Any, outcome: str | None = None) -> float:
+        """Adjusted average for one treatment group."""
+        chosen = outcome if outcome is not None else self.outcomes[0]
+        return self.averages[treatment_value][chosen]
+
+    def difference(self, outcome: str | None = None) -> float:
+        """``avg(t1) - avg(t0)`` for binary treatments (Eq. 1 / Eq. 7)."""
+        if len(self.treatment_values) != 2:
+            raise ValueError(
+                "difference is only defined for binary treatments; "
+                f"observed values {self.treatment_values}"
+            )
+        t0, t1 = self.treatment_values
+        return self.average(t1, outcome) - self.average(t0, outcome)
+
+    def __repr__(self) -> str:
+        rendered = {
+            value: {name: round(avg, 4) for name, avg in per_outcome.items()}
+            for value, per_outcome in self.averages.items()
+        }
+        return (
+            f"AdjustedAnswer({self.kind}, {rendered}, "
+            f"matched={self.matched_fraction:.2%})"
+        )
+
+
+class NoOverlapError(Exception):
+    """Raised when exact matching prunes every block.
+
+    No block contains all treatment values, so the adjustment formula is
+    undefined on this context (Assumption 2.1's overlap fails everywhere).
+    """
+
+    def __init__(self, treatment: str, covariates: tuple[str, ...] = ()) -> None:
+        self.treatment = treatment
+        self.covariates = tuple(covariates)
+        super().__init__(
+            f"no block over covariates {list(self.covariates)} contains every value "
+            f"of treatment {treatment!r}; overlap fails on the whole context"
+        )
+
+
+def total_effect(
+    context_table: Table,
+    treatment: str,
+    outcomes: Sequence[str],
+    covariates: Sequence[str],
+) -> AdjustedAnswer:
+    """Adjusted averages per treatment value (Listing 2 / Eq. 2).
+
+    With no covariates this degrades gracefully to the plain group-by
+    averages (a single all-containing block).
+    """
+    outcome_names = tuple(outcomes)
+    z = tuple(covariates)
+    values = _treatment_values(context_table, treatment)
+    numeric = {name: context_table.numeric(name) for name in outcome_names}
+    t_codes = context_table.codes(treatment)
+    value_code = {value: context_table.domain(treatment).index(value) for value in values}
+
+    blocks = context_table.group_indices(z)
+    matched: list[tuple[np.ndarray, dict[Any, np.ndarray]]] = []
+    for _, indices in blocks:
+        block_t = t_codes[indices]
+        per_value = {
+            value: indices[block_t == value_code[value]] for value in values
+        }
+        if all(len(rows) > 0 for rows in per_value.values()):
+            matched.append((indices, per_value))
+    if not matched:
+        raise NoOverlapError(treatment=treatment, covariates=z)
+
+    total_rows = sum(len(indices) for indices, _ in matched)
+    averages: dict[Any, dict[str, float]] = {
+        value: {name: 0.0 for name in outcome_names} for value in values
+    }
+    for indices, per_value in matched:
+        weight = len(indices) / total_rows
+        for value in values:
+            rows = per_value[value]
+            for name in outcome_names:
+                averages[value][name] += weight * float(np.mean(numeric[name][rows]))
+
+    return AdjustedAnswer(
+        treatment=treatment,
+        treatment_values=tuple(values),
+        outcomes=outcome_names,
+        averages=averages,
+        n_blocks=len(blocks),
+        n_matched_blocks=len(matched),
+        matched_fraction=total_rows / context_table.n_rows,
+        kind="total",
+    )
+
+
+def direct_effect(
+    context_table: Table,
+    treatment: str,
+    outcomes: Sequence[str],
+    covariates: Sequence[str],
+    mediators: Sequence[str],
+    reference: Any = None,
+) -> AdjustedAnswer:
+    """Natural-direct-effect averages via the mediator formula (Eq. 3).
+
+    For each treatment value ``t`` this reports::
+
+        E[Y(t, M(t_ref))] = sum_{z,m} w(z, m) * E[Y | T = t, Z = z, M = m]
+        w(z, m) = Pr(z) * Pr(m | T = t_ref, z)          (re-normalized)
+
+    so the difference between two treatment values is the NDE.  ``t_ref``
+    defaults to the largest treatment value (``t1`` in the paper's
+    ``{t0, t1}`` convention).  The outcome expectation conditions on the
+    covariates *and* the mediators jointly (Pearl's mediation formula
+    [38]); the paper's Eq. 3 drops ``z`` from the expectation, which is
+    equivalent when ``M ⊇ PA_Y - {T}`` renders ``Y`` independent of ``Z``
+    given ``(T, M)`` -- conditioning on both is correct in either case and
+    robust when the discovered ``M`` is incomplete.
+
+    Exact matching applies twice: ``(z, m)`` cells must contain every
+    treatment value, and ``z`` strata must contain the reference
+    treatment; weights are re-normalized over the surviving cells.
+
+    With no mediators the result equals the plain group averages: all of
+    the effect is direct.
+    """
+    outcome_names = tuple(outcomes)
+    z = tuple(covariates)
+    m = tuple(mediators)
+    overlap = set(z) & set(m)
+    if overlap:
+        raise ValueError(f"covariates and mediators overlap: {sorted(overlap)}")
+    values = _treatment_values(context_table, treatment)
+    if reference is None:
+        reference = values[-1]
+    elif reference not in values:
+        raise ValueError(
+            f"reference {reference!r} is not an observed treatment value {values}"
+        )
+    if not m:
+        return _replace_kind(
+            total_effect(context_table, treatment, outcome_names, ()),
+            kind="direct",
+            reference=reference,
+        )
+
+    numeric = {name: context_table.numeric(name) for name in outcome_names}
+    t_codes = context_table.codes(treatment)
+    value_code = {value: context_table.domain(treatment).index(value) for value in values}
+    reference_code = value_code[reference]
+    n = context_table.n_rows
+    zm = z + m
+
+    # One pass over the (z, m) cells: collect matched cells' conditional
+    # means, the reference counts per cell, and the reference totals per
+    # z stratum (the denominator of Pr(m | t_ref, z)).
+    cell_means: dict[tuple[Any, ...], dict[Any, dict[str, float]]] = {}
+    cell_reference_counts: dict[tuple[Any, ...], int] = {}
+    cell_sizes: dict[tuple[Any, ...], int] = {}
+    stratum_reference_totals: dict[tuple[Any, ...], int] = {}
+    for zm_value, indices in context_table.group_indices(zm):
+        z_value = zm_value[: len(z)]
+        cell_t = t_codes[indices]
+        reference_rows = int(np.count_nonzero(cell_t == reference_code))
+        stratum_reference_totals[z_value] = (
+            stratum_reference_totals.get(z_value, 0) + reference_rows
+        )
+        per_value = {value: indices[cell_t == value_code[value]] for value in values}
+        if not all(len(rows) > 0 for rows in per_value.values()):
+            continue
+        cell_means[zm_value] = {
+            value: {
+                name: float(np.mean(numeric[name][per_value[value]]))
+                for name in outcome_names
+            }
+            for value in values
+        }
+        cell_reference_counts[zm_value] = reference_rows
+        cell_sizes[zm_value] = len(indices)
+    if not cell_means:
+        raise NoOverlapError(treatment=treatment, covariates=zm)
+
+    # w(z, m) = Pr(z) * Pr(m | t_ref, z) over matched cells, re-normalized.
+    z_totals = context_table.value_counts(z) if z else {(): n}
+    weights: dict[tuple[Any, ...], float] = {}
+    for zm_value in cell_means:
+        z_value = zm_value[: len(z)]
+        reference_total = stratum_reference_totals.get(z_value, 0)
+        if reference_total == 0:
+            continue
+        pr_z = z_totals[z_value] / n
+        weights[zm_value] = pr_z * cell_reference_counts[zm_value] / reference_total
+    mass = sum(weights.values())
+    if mass <= 0:
+        raise NoOverlapError(treatment=treatment, covariates=zm)
+
+    averages: dict[Any, dict[str, float]] = {
+        value: {name: 0.0 for name in outcome_names} for value in values
+    }
+    for zm_value, weight in weights.items():
+        share = weight / mass
+        for value in values:
+            for name in outcome_names:
+                averages[value][name] += share * cell_means[zm_value][value][name]
+
+    matched_rows = sum(cell_sizes[key] for key in weights)
+    return AdjustedAnswer(
+        treatment=treatment,
+        treatment_values=tuple(values),
+        outcomes=outcome_names,
+        averages=averages,
+        n_blocks=context_table.n_groups(zm),
+        n_matched_blocks=len(weights),
+        matched_fraction=matched_rows / n,
+        kind="direct",
+        reference=reference,
+    )
+
+
+# ----------------------------------------------------------------------
+
+
+def _treatment_values(table: Table, treatment: str) -> list[Any]:
+    values = sorted((value for (value,) in table.value_counts([treatment])), key=repr)
+    if len(values) < 2:
+        raise ValueError(
+            f"treatment {treatment!r} has {len(values)} observed value(s); "
+            "at least two are needed to compare effects"
+        )
+    return values
+
+
+def _replace_kind(answer: AdjustedAnswer, kind: str, reference: Any) -> AdjustedAnswer:
+    return AdjustedAnswer(
+        treatment=answer.treatment,
+        treatment_values=answer.treatment_values,
+        outcomes=answer.outcomes,
+        averages=answer.averages,
+        n_blocks=answer.n_blocks,
+        n_matched_blocks=answer.n_matched_blocks,
+        matched_fraction=answer.matched_fraction,
+        kind=kind,
+        reference=reference,
+    )

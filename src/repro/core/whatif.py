@@ -1,0 +1,92 @@
+"""What-if (interventional) queries over the discovered causal structure.
+
+Paper Sec. 8: hypothetical-OLAP systems compute query answers under
+hypothetical database *updates*, but a causal what-if -- "what would the
+average delay be if every flight in this region were operated by UA?" --
+requires accounting for confounding, not just editing tuples.  HypDB's
+machinery answers it directly: under unconfoundedness w.r.t. ``Z``,
+
+    E[Y | do(T = t), subpopulation] =
+        sum_z Pr(z | subpopulation) * E[Y | T = t, Z = z, subpopulation]
+
+which is the per-treatment-arm component of the adjustment formula
+(Eq. 2) restricted to the subpopulation.  The paper lists efficient
+what-if/how-so support as future work; this module provides the
+laptop-scale version on top of the rewriting engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.rewrite import total_effect
+from repro.relation.predicates import Predicate
+from repro.relation.table import Table
+
+
+@dataclass(frozen=True)
+class WhatIfAnswer:
+    """The estimated outcome averages under hypothetical interventions."""
+
+    treatment: str
+    outcome: str
+    factual_average: float
+    interventions: dict[Any, float]  # treatment value -> E[Y | do(T = t)]
+    n_rows: int
+    matched_fraction: float
+
+    def effect_of(self, value: Any) -> float:
+        """Change vs the factual average if everyone received ``value``."""
+        return self.interventions[value] - self.factual_average
+
+    def __repr__(self) -> str:
+        rendered = {value: round(avg, 4) for value, avg in self.interventions.items()}
+        return (
+            f"WhatIfAnswer(do({self.treatment}=...): {rendered}; "
+            f"factual={self.factual_average:.4f})"
+        )
+
+
+def what_if(
+    table: Table,
+    treatment: str,
+    outcome: str,
+    covariates: Sequence[str],
+    where: Predicate | None = None,
+) -> WhatIfAnswer:
+    """Estimate ``E[Y | do(T = t), where]`` for every treatment value.
+
+    Parameters
+    ----------
+    table:
+        The full relation.
+    treatment, outcome:
+        The intervened attribute and the numeric outcome.
+    covariates:
+        A set satisfying unconfoundedness (e.g. HypDB's discovered ``Z``).
+    where:
+        Optional subpopulation ("for flights out of Colorado, what if...").
+
+    The factual average is the subpopulation's observed ``avg(outcome)``;
+    each intervention value's estimate comes from the adjustment formula
+    with exact matching, so unsupported strata are excluded (and reported
+    through ``matched_fraction``).
+    """
+    context = table.where(where)
+    if context.n_rows == 0:
+        raise ValueError("the WHERE clause selects no rows")
+    factual = float(context.numeric(outcome).mean())
+    answer = total_effect(context, treatment, [outcome], list(covariates))
+    interventions = {
+        value: answer.average(value, outcome) for value in answer.treatment_values
+    }
+    return WhatIfAnswer(
+        treatment=treatment,
+        outcome=outcome,
+        factual_average=factual,
+        interventions=interventions,
+        n_rows=context.n_rows,
+        matched_fraction=answer.matched_fraction,
+    )

@@ -1,0 +1,37 @@
+"""Dataset generators reproducing the paper's evaluation datasets (Sec. 7.1).
+
+Network access is unavailable, so the public datasets are replaced by
+faithful synthetic generators (documented substitutions in DESIGN.md):
+
+* :func:`flight_data` -- DOT on-time style data with a calibrated
+  Simpson's paradox (Fig. 1), FD attributes, and key-like attributes.
+* :func:`adult_data` -- UCI-census style data where marital status and
+  education mediate the gender/income association (Fig. 3 top).
+* :func:`berkeley_data` -- the *real* 1973 Berkeley admission aggregates
+  (Bickel et al.), expanded to one row per applicant (Fig. 4 top).
+* :func:`staples_data` -- online-pricing data where income affects price
+  only through distance (Fig. 3 bottom).
+* :func:`cancer_data` -- the LUCAS-style simulated data from the paper's
+  Fig. 7 ground-truth DAG (Fig. 4 bottom), plus :func:`cancer_dag`.
+* :func:`random_dataset` -- RandomData: samples from random Erdős–Rényi
+  causal DAGs (Sec. 7.4 quality benchmarks).
+"""
+
+from repro.datasets.adult import adult_data
+from repro.datasets.berkeley import BERKELEY_ADMISSIONS, berkeley_data
+from repro.datasets.cancer import cancer_dag, cancer_data
+from repro.datasets.flights import flight_data
+from repro.datasets.random_data import RandomDataset, random_dataset
+from repro.datasets.staples import staples_data
+
+__all__ = [
+    "adult_data",
+    "BERKELEY_ADMISSIONS",
+    "berkeley_data",
+    "cancer_dag",
+    "cancer_data",
+    "flight_data",
+    "RandomDataset",
+    "random_dataset",
+    "staples_data",
+]

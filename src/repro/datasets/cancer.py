@@ -1,0 +1,135 @@
+"""CancerData: the LUCAS-style simulated dataset (paper Fig. 7, Sec. 7.3).
+
+The ground-truth causal DAG is the one drawn in the paper's Fig. 7::
+
+    Anxiety ------\\
+    Peer_Pressure -+-> Smoking --\\
+    Genetics --------------------+-> Lung_Cancer --> Coughing --\\
+        \\                        |        \\                     +-> Fatigue
+         \\-> Attention_Disorder  |         \\--------------------/      |
+                      \\          |   Allergy --> Coughing               |
+                       \\         |                                      v
+                        \\--------+----------------------------> Car_Accident
+    Born_an_Even_Day  (isolated)
+
+All attributes are binary.  The CPTs below are calibrated so that the
+paper's headline numbers hold: the car-accident rate is ~0.60 for the
+no-lung-cancer group and ~0.77 for the lung-cancer group, the total effect
+survives adjustment, and the *direct* effect of lung cancer on car
+accidents is zero by construction (there is no edge), with fatigue carrying
+most of the responsibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.causal.bayesnet import DiscreteBayesNet
+from repro.causal.dag import CausalDAG
+from repro.relation.table import Table
+from repro.utils.validation import check_positive, ensure_rng
+
+CANCER_EDGES: tuple[tuple[str, str], ...] = (
+    ("Anxiety", "Smoking"),
+    ("Peer_Pressure", "Smoking"),
+    ("Smoking", "Lung_Cancer"),
+    ("Genetics", "Lung_Cancer"),
+    ("Genetics", "Attention_Disorder"),
+    ("Allergy", "Coughing"),
+    ("Lung_Cancer", "Coughing"),
+    ("Lung_Cancer", "Fatigue"),
+    ("Coughing", "Fatigue"),
+    ("Attention_Disorder", "Car_Accident"),
+    ("Fatigue", "Car_Accident"),
+)
+
+CANCER_NODES: tuple[str, ...] = (
+    "Anxiety",
+    "Peer_Pressure",
+    "Smoking",
+    "Genetics",
+    "Lung_Cancer",
+    "Allergy",
+    "Coughing",
+    "Fatigue",
+    "Attention_Disorder",
+    "Car_Accident",
+    "Born_an_Even_Day",
+)
+
+
+def cancer_dag() -> CausalDAG:
+    """The ground-truth DAG of CancerData (paper Fig. 7)."""
+    return CausalDAG(nodes=CANCER_NODES, edges=CANCER_EDGES)
+
+
+def _bernoulli(p: float) -> tuple[float, float]:
+    """A distribution row ``(P(0), P(1))``."""
+    return (1.0 - p, p)
+
+
+def _cancer_bayesnet() -> tuple[DiscreteBayesNet, dict[str, tuple[int, ...]]]:
+    domains = {node: (0, 1) for node in CANCER_NODES}
+    conditionals: dict[str, dict[tuple[int, ...], tuple[float, float]]] = {
+        # Roots.
+        "Anxiety": {(): _bernoulli(0.64)},
+        "Peer_Pressure": {(): _bernoulli(0.33)},
+        "Genetics": {(): _bernoulli(0.15)},
+        "Allergy": {(): _bernoulli(0.33)},
+        "Born_an_Even_Day": {(): _bernoulli(0.50)},
+        # Smoking | (Anxiety, Peer_Pressure) -- parents sorted alphabetically.
+        "Smoking": {
+            (0, 0): _bernoulli(0.20),
+            (0, 1): _bernoulli(0.45),
+            (1, 0): _bernoulli(0.62),
+            (1, 1): _bernoulli(0.88),
+        },
+        # Lung_Cancer | (Genetics, Smoking).
+        "Lung_Cancer": {
+            (0, 0): _bernoulli(0.10),
+            (0, 1): _bernoulli(0.35),
+            (1, 0): _bernoulli(0.60),
+            (1, 1): _bernoulli(0.82),
+        },
+        # Attention_Disorder | (Genetics,).
+        "Attention_Disorder": {
+            (0,): _bernoulli(0.28),
+            (1,): _bernoulli(0.65),
+        },
+        # Coughing | (Allergy, Lung_Cancer).
+        "Coughing": {
+            (0, 0): _bernoulli(0.15),
+            (0, 1): _bernoulli(0.75),
+            (1, 0): _bernoulli(0.55),
+            (1, 1): _bernoulli(0.92),
+        },
+        # Fatigue | (Coughing, Lung_Cancer).
+        "Fatigue": {
+            (0, 0): _bernoulli(0.25),
+            (0, 1): _bernoulli(0.65),
+            (1, 0): _bernoulli(0.62),
+            (1, 1): _bernoulli(0.88),
+        },
+        # Car_Accident | (Attention_Disorder, Fatigue).
+        "Car_Accident": {
+            (0, 0): _bernoulli(0.45),
+            (0, 1): _bernoulli(0.76),
+            (1, 0): _bernoulli(0.68),
+            (1, 1): _bernoulli(0.93),
+        },
+    }
+    return DiscreteBayesNet.from_conditionals(cancer_dag(), domains, conditionals)
+
+
+def cancer_data(
+    n_rows: int = 2000,
+    seed: int | np.random.Generator | None = None,
+) -> Table:
+    """Sample a CancerData table from the Fig. 7 ground-truth model.
+
+    The paper's evaluation uses 2 000 rows; all attributes are 0/1.
+    """
+    check_positive("n_rows", n_rows)
+    rng = ensure_rng(seed)
+    net, domains = _cancer_bayesnet()
+    return net.sample(n_rows, rng=rng, domains=domains)

@@ -1,0 +1,254 @@
+"""FlightData: DOT on-time-performance style generator (paper Sec. 7.1).
+
+The real dataset (101 attributes, tens of millions of rows) is not
+available offline; this generator produces data with the same *causal and
+logical structure* the paper's experiments rely on:
+
+* a calibrated **Simpson's paradox** between Carrier and Delayed (Fig. 1):
+  AA has a lower overall delay rate than UA on the four paper airports
+  (COS, MFE, MTJ, ROC) yet a *higher* delay rate at each individual
+  airport, because AA's traffic concentrates at low-delay airports;
+* **covariates**: Airport and Year confound Carrier and Delayed (Airport
+  strongly, Year mildly -- matching the Fig. 1(d) responsibility ranking);
+* **mediators**: Dest and DepTime depend on Carrier and affect Delayed;
+* **approximate FDs**: ``AirportWAC <=> Airport`` and
+  ``CarrierName <=> Carrier`` (the traps of Sec. 4);
+* **key-like attributes**: FlightNum, TailNum, FlightID with entropies
+  that grow with the sample size;
+* optional padding columns to approach the 101-attribute width.
+
+The causal graph is::
+
+    Airport -> Carrier -> Dest ----\\
+        \\        \\-> DepTime -> Delayed
+         \\------------------------/
+    Year -> Carrier, Year -> Delayed
+    Month/DayOfWeek -> Delayed            (minor exogenous covariates)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relation.table import Table
+from repro.utils.validation import check_positive, ensure_rng
+
+AIRPORTS = ("COS", "DEN", "MFE", "MTJ", "ORD", "ROC", "SEA", "SFO")
+CARRIERS = ("AA", "DL", "UA", "WN")
+YEARS = (2008, 2009, 2010)
+DEPTIMES = ("evening", "morning", "night")
+
+# World-area codes: a bijection with Airport (approximate FD trap).
+AIRPORT_WAC = {
+    "COS": 82, "DEN": 82, "MFE": 74, "MTJ": 82,
+    "ORD": 41, "ROC": 22, "SEA": 93, "SFO": 91,
+}
+# DEN/COS/MTJ share a WAC in reality; perturb to make it a bijection so the
+# FD filter (two-way FD) can catch it exactly as the paper describes.
+AIRPORT_WAC = {airport: 10 + index for index, airport in enumerate(AIRPORTS)}
+
+CARRIER_NAME = {
+    "AA": "American Airlines",
+    "DL": "Delta Air Lines",
+    "UA": "United Airlines",
+    "WN": "Southwest Airlines",
+}
+
+# Base delay probability per airport: ROC/ORD/SFO are delay-heavy,
+# COS/MFE are delay-light (drives the Fig. 1 reversal).
+_AIRPORT_DELAY = {
+    "COS": 0.08, "DEN": 0.15, "MFE": 0.10, "MTJ": 0.22,
+    "ORD": 0.30, "ROC": 0.42, "SEA": 0.18, "SFO": 0.25,
+}
+
+# P(carrier | airport): AA concentrates at low-delay airports, UA at
+# high-delay ones; DL/WN are spread out (they make Fig. 5(a)'s random
+# carrier-pair queries interesting).
+_CARRIER_MIX = {
+    #          AA    DL    UA    WN
+    "COS": (0.55, 0.20, 0.05, 0.20),
+    "DEN": (0.25, 0.25, 0.25, 0.25),
+    "MFE": (0.50, 0.20, 0.10, 0.20),
+    "MTJ": (0.35, 0.25, 0.20, 0.20),
+    "ORD": (0.20, 0.25, 0.40, 0.15),
+    "ROC": (0.12, 0.20, 0.53, 0.15),
+    "SEA": (0.20, 0.30, 0.30, 0.20),
+    "SFO": (0.15, 0.25, 0.45, 0.15),
+}
+
+# Direct carrier effect on delay is *tiny*: almost all of each carrier's
+# per-airport disadvantage flows through the mediators (DepTime, Dest), so
+# the paper's Fig. 1 shape holds -- significant total effect, insignificant
+# direct effect.
+_CARRIER_DIRECT = {"AA": 0.01, "DL": 0.00, "UA": 0.00, "WN": 0.01}
+
+# Year effects: traffic mix and delays drift mildly over time (Year is the
+# second-ranked covariate in Fig. 1(d)).
+_YEAR_DELAY = {2008: 0.035, 2009: 0.00, 2010: -0.025}
+_YEAR_CARRIER_TILT = {2008: "UA", 2009: "DL", 2010: "AA"}
+
+_DEPTIME_DELAY = {"morning": -0.04, "evening": 0.14, "night": 0.00}
+# P(deptime | carrier): AA flies more evenings (a mediator of its delays).
+_DEPTIME_MIX = {
+    "AA": (0.60, 0.25, 0.15),  # evening, morning, night
+    "DL": (0.30, 0.45, 0.25),
+    "UA": (0.22, 0.58, 0.20),
+    "WN": (0.35, 0.40, 0.25),
+}
+
+# A global destination pool (NOT airport-specific: a per-airport namespace
+# would make Dest functionally determine Airport and mask it from every
+# Markov boundary -- the very pathology of Sec. 4).
+DESTS = ("ATL", "DFW", "JFK", "LAX", "PHX")
+_DEST_DELAY = {"ATL": 0.04, "DFW": 0.01, "JFK": 0.05, "LAX": 0.02, "PHX": -0.02}
+# P(dest | carrier): each carrier's route network skews somewhere.
+_DEST_MIX = {
+    "AA": (0.15, 0.35, 0.20, 0.20, 0.10),
+    "DL": (0.40, 0.10, 0.20, 0.15, 0.15),
+    "UA": (0.15, 0.10, 0.25, 0.30, 0.20),
+    "WN": (0.20, 0.25, 0.10, 0.20, 0.25),
+}
+
+
+def flight_data(
+    n_rows: int = 20000,
+    seed: int | np.random.Generator | None = None,
+    include_keys: bool = True,
+    n_padding_columns: int = 0,
+) -> Table:
+    """Generate a FlightData table.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of flights (the paper's sample is 43 853; the default is
+        laptop-friendly while keeping every effect significant).
+    seed:
+        Generator or seed.
+    include_keys:
+        Include the key-like attributes FlightID / FlightNum / TailNum and
+        the approximate-FD attributes AirportWAC / CarrierName.
+    n_padding_columns:
+        Extra independent low-signal columns (``Pad00``...), used to
+        stress-test discovery on wide schemas (the real data has 101
+        attributes).
+    """
+    check_positive("n_rows", n_rows)
+    rng = ensure_rng(seed)
+    n = n_rows
+
+    airport_idx = rng.choice(len(AIRPORTS), size=n, p=_airport_distribution())
+    airports = np.array(AIRPORTS)[airport_idx]
+    years = np.array(YEARS)[rng.integers(0, len(YEARS), size=n)]
+    months = rng.integers(1, 13, size=n)
+    days = rng.integers(1, 29, size=n)
+    weekdays = rng.integers(1, 8, size=n)
+
+    carriers = _sample_carriers(rng, airports, years)
+    dests = _sample_dests(rng, airports, carriers)
+    deptimes = _sample_deptimes(rng, carriers)
+    delayed = _sample_delays(rng, airports, carriers, years, months, weekdays, dests, deptimes)
+
+    columns: dict[str, list] = {
+        "Airport": airports.tolist(),
+        "Carrier": carriers.tolist(),
+        "Year": years.tolist(),
+        "Quarter": ((months - 1) // 3 + 1).tolist(),
+        "Month": months.tolist(),
+        "Day": days.tolist(),
+        "DayOfWeek": weekdays.tolist(),
+        "Dest": dests.tolist(),
+        "DepTime": deptimes.tolist(),
+        "Delayed": delayed.tolist(),
+    }
+    if include_keys:
+        columns["AirportWAC"] = [AIRPORT_WAC[a] for a in airports]
+        columns["CarrierName"] = [CARRIER_NAME[c] for c in carriers]
+        columns["FlightID"] = list(range(n))
+        columns["FlightNum"] = rng.integers(1, max(n // 2, 1000), size=n).tolist()
+        columns["TailNum"] = [
+            f"N{number:05d}" for number in rng.integers(0, max(n // 3, 1000), size=n)
+        ]
+    for pad in range(n_padding_columns):
+        columns[f"Pad{pad:02d}"] = rng.integers(0, 5, size=n).tolist()
+    return Table.from_columns(columns)
+
+
+# ----------------------------------------------------------------------
+
+
+def _airport_distribution() -> np.ndarray:
+    weights = np.array([1.2, 1.5, 1.0, 0.8, 1.6, 1.2, 1.3, 1.4])
+    return weights / weights.sum()
+
+
+def _sample_carriers(
+    rng: np.random.Generator, airports: np.ndarray, years: np.ndarray
+) -> np.ndarray:
+    n = len(airports)
+    carriers = np.empty(n, dtype=object)
+    carrier_index = {carrier: i for i, carrier in enumerate(CARRIERS)}
+    for airport in AIRPORTS:
+        for year in YEARS:
+            mask = (airports == airport) & (years == year)
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            mix = np.array(_CARRIER_MIX[airport], dtype=float)
+            tilt = _YEAR_CARRIER_TILT[year]
+            mix[carrier_index[tilt]] += 0.30
+            mix /= mix.sum()
+            carriers[mask] = rng.choice(CARRIERS, size=count, p=mix)
+    return carriers.astype(str)
+
+
+def _sample_dests(
+    rng: np.random.Generator, airports: np.ndarray, carriers: np.ndarray
+) -> np.ndarray:
+    n = len(airports)
+    dests = np.empty(n, dtype=object)
+    for carrier in CARRIERS:
+        mask = carriers == carrier
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        dests[mask] = rng.choice(DESTS, size=count, p=_DEST_MIX[carrier])
+    return dests.astype(str)
+
+
+def _sample_deptimes(rng: np.random.Generator, carriers: np.ndarray) -> np.ndarray:
+    n = len(carriers)
+    deptimes = np.empty(n, dtype=object)
+    for carrier in CARRIERS:
+        mask = carriers == carrier
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        deptimes[mask] = rng.choice(DEPTIMES, size=count, p=_DEPTIME_MIX[carrier])
+    return deptimes.astype(str)
+
+
+def _dest_effect(dest: str) -> float:
+    """Per-destination delay offset (congested hubs add delay)."""
+    return _DEST_DELAY[dest]
+
+
+def _sample_delays(
+    rng: np.random.Generator,
+    airports: np.ndarray,
+    carriers: np.ndarray,
+    years: np.ndarray,
+    months: np.ndarray,
+    weekdays: np.ndarray,
+    dests: np.ndarray,
+    deptimes: np.ndarray,
+) -> np.ndarray:
+    probability = np.array([_AIRPORT_DELAY[a] for a in airports])
+    probability += np.array([_CARRIER_DIRECT[c] for c in carriers])
+    probability += np.array([_YEAR_DELAY[y] for y in years])
+    probability += 0.03 * np.isin(months, (12, 1, 2))  # winter effect
+    probability += 0.02 * (weekdays >= 6)  # weekend effect
+    probability += np.array([_dest_effect(d) for d in dests])
+    probability += np.array([_DEPTIME_DELAY[t] for t in deptimes])
+    probability = np.clip(probability, 0.01, 0.95)
+    return (rng.random(len(probability)) < probability).astype(int)

@@ -1,0 +1,69 @@
+"""StaplesData: online-pricing discrimination data (paper Sec. 7.3, Fig. 3).
+
+The Wall Street Journal investigation [59] found Staples' online prices
+varied with the user's distance to competitors' stores, which low-income
+users happened to live far from -- discrimination *mediated* by geography
+rather than directly by income.  The generator implements exactly that
+chain::
+
+    Income -> Distance -> Price        (no direct Income -> Price edge)
+    Region -> Distance                 (extra exogenous structure)
+
+so HypDB should report a significant total effect of income on price and a
+direct effect statistically indistinguishable from zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relation.table import Table
+from repro.utils.validation import check_positive, ensure_rng
+
+REGIONS = ("rural", "suburban", "urban")
+
+# P(Distance = far | income, region): low income and rural regions live
+# farther from competitors' stores.
+_P_FAR = {
+    (0, "rural"): 0.85,
+    (0, "suburban"): 0.65,
+    (0, "urban"): 0.45,
+    (1, "rural"): 0.55,
+    (1, "suburban"): 0.30,
+    (1, "urban"): 0.12,
+}
+
+# P(Price = high | distance): users far from competitors see high prices.
+_P_HIGH_PRICE = {"far": 0.090, "near": 0.020}
+
+
+def staples_data(
+    n_rows: int = 50000,
+    seed: int | np.random.Generator | None = None,
+) -> Table:
+    """Generate a StaplesData table.
+
+    Columns: ``Income`` (1 = high), ``Region``, ``Distance`` (near/far to a
+    competitor store), ``Price`` (1 = high price shown).  The paper's
+    sample has 988 871 rows; the default is laptop-scale with the same
+    proportions.
+    """
+    check_positive("n_rows", n_rows)
+    rng = ensure_rng(seed)
+    income = (rng.random(n_rows) < 0.5).astype(int)
+    region = np.array(REGIONS)[rng.choice(len(REGIONS), size=n_rows, p=(0.3, 0.45, 0.25))]
+
+    p_far = np.array([_P_FAR[(inc, reg)] for inc, reg in zip(income, region)])
+    distance = np.where(rng.random(n_rows) < p_far, "far", "near")
+
+    p_high = np.array([_P_HIGH_PRICE[d] for d in distance])
+    price = (rng.random(n_rows) < p_high).astype(int)
+
+    return Table.from_columns(
+        {
+            "Income": income.tolist(),
+            "Region": region.tolist(),
+            "Distance": distance.tolist(),
+            "Price": price.tolist(),
+        }
+    )

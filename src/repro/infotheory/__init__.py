@@ -1,0 +1,34 @@
+"""Information-theoretic estimators (paper Sec. 2 and Appendix 10.1).
+
+Entropies are estimated from samples with either the plug-in (maximum
+likelihood) estimator or the Miller-Madow bias-corrected estimator the paper
+uses.  Every higher-level quantity -- conditional entropy, (conditional)
+mutual information, pointwise contributions -- is derived from joint
+entropies, and :class:`~repro.infotheory.cache.EntropyEngine` memoizes those
+joints (the "caching entropy" optimization of Sec. 6).
+"""
+
+from repro.infotheory.cache import EntropyEngine
+from repro.infotheory.contributions import contribution_table, pointwise_contribution
+from repro.infotheory.entropy import (
+    entropy_from_counts,
+    entropy_from_probabilities,
+    miller_madow_entropy,
+    plugin_entropy,
+)
+from repro.infotheory.mutual_information import (
+    conditional_mutual_information,
+    mutual_information_from_matrix,
+)
+
+__all__ = [
+    "EntropyEngine",
+    "contribution_table",
+    "pointwise_contribution",
+    "entropy_from_counts",
+    "entropy_from_probabilities",
+    "miller_madow_entropy",
+    "plugin_entropy",
+    "conditional_mutual_information",
+    "mutual_information_from_matrix",
+]

@@ -1,0 +1,54 @@
+"""Columnar relational engine for categorical data.
+
+This subpackage is the storage and query substrate that every other part of
+the library builds on.  It provides:
+
+* :class:`~repro.relation.table.Table` -- an immutable columnar table of
+  categorical attributes (dictionary-encoded integer codes plus per-column
+  domains), with selection, projection, grouping, and counting.
+* predicates (:mod:`repro.relation.predicates`) -- a small composable WHERE
+  clause AST (``Eq``, ``In``, ``And``, ...).
+* group-by-average evaluation (:mod:`repro.relation.groupby`) -- the OLAP
+  query class from paper Listing 1.
+* an OLAP data cube with count measure (:mod:`repro.relation.cube`) -- the
+  pre-computation the paper uses to accelerate HypDB (Sec. 6, Fig. 6(d)).
+"""
+
+from repro.relation.cube import DataCube
+from repro.relation.groupby import GroupByResult, group_by_average
+from repro.relation.predicates import (
+    And,
+    Eq,
+    Ge,
+    Gt,
+    In,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    NotIn,
+    Or,
+    Predicate,
+    TRUE,
+)
+from repro.relation.table import Table
+
+__all__ = [
+    "Table",
+    "DataCube",
+    "GroupByResult",
+    "group_by_average",
+    "Predicate",
+    "Eq",
+    "Ne",
+    "In",
+    "NotIn",
+    "Lt",
+    "Le",
+    "Gt",
+    "Ge",
+    "And",
+    "Or",
+    "Not",
+    "TRUE",
+]

@@ -1,0 +1,131 @@
+"""Group-by-average evaluation (paper Listing 1).
+
+The paper restricts OLAP queries to group-by-average queries::
+
+    SELECT T, X, avg(Y1), ..., avg(Ye)
+    FROM D WHERE C GROUP BY T, X
+
+:func:`group_by_average` evaluates exactly that shape against a
+:class:`~repro.relation.table.Table` and returns a :class:`GroupByResult`
+whose rows are ``(group key..., averages...)`` plus the group size, which
+the bias detector and the rewriting machinery both need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.relation.predicates import Predicate
+from repro.relation.table import Table
+
+
+@dataclass(frozen=True)
+class GroupByRow:
+    """One output row of a group-by-average query."""
+
+    key: tuple[Any, ...]
+    averages: tuple[float, ...]
+    count: int
+
+    def as_dict(
+        self, group_columns: Sequence[str], value_columns: Sequence[str]
+    ) -> dict[str, Any]:
+        """Render the row as ``{column: value}`` for display."""
+        rendered: dict[str, Any] = dict(zip(group_columns, self.key))
+        rendered.update(
+            {f"avg({name})": average for name, average in zip(value_columns, self.averages)}
+        )
+        rendered["count"] = self.count
+        return rendered
+
+
+@dataclass(frozen=True)
+class GroupByResult:
+    """The full answer of a group-by-average query."""
+
+    group_columns: tuple[str, ...]
+    value_columns: tuple[str, ...]
+    rows: tuple[GroupByRow, ...]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def average(self, key: tuple[Any, ...], value_column: str | None = None) -> float:
+        """Look up the average for one group (first value column by default)."""
+        index = 0 if value_column is None else self.value_columns.index(value_column)
+        for row in self.rows:
+            if row.key == key:
+                return row.averages[index]
+        raise KeyError(f"no group {key!r} in result")
+
+    def keys(self) -> list[tuple[Any, ...]]:
+        """The group keys, in result order."""
+        return [row.key for row in self.rows]
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """Render all rows as dictionaries (stable order)."""
+        return [row.as_dict(self.group_columns, self.value_columns) for row in self.rows]
+
+    def format(self, precision: int = 4) -> str:
+        """Pretty-print the result as an aligned text table."""
+        header = list(self.group_columns) + [f"avg({name})" for name in self.value_columns]
+        header.append("count")
+        body: list[list[str]] = []
+        for row in self.rows:
+            cells = [str(value) for value in row.key]
+            cells += [f"{average:.{precision}f}" for average in row.averages]
+            cells.append(str(row.count))
+            body.append(cells)
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = ["  ".join(cell.ljust(width) for cell, width in zip(header, widths))]
+        lines.append("  ".join("-" * width for width in widths))
+        for line in body:
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+        return "\n".join(lines)
+
+
+def group_by_average(
+    table: Table,
+    group_columns: Sequence[str],
+    value_columns: Sequence[str],
+    where: Predicate | None = None,
+) -> GroupByResult:
+    """Evaluate ``SELECT group, avg(values...) FROM table WHERE ... GROUP BY group``.
+
+    Parameters
+    ----------
+    table:
+        The input relation.
+    group_columns:
+        The GROUP BY attributes (``T, X`` in Listing 1).  May be empty, in
+        which case the whole (filtered) table forms a single group.
+    value_columns:
+        The attributes to average; must be numeric.
+    where:
+        Optional WHERE predicate (``C`` in Listing 1).
+
+    Returns a :class:`GroupByResult` with one row per observed group, in
+    deterministic (sorted-key) order.
+    """
+    filtered = table.where(where)
+    values = [filtered.numeric(name) for name in value_columns]
+    rows: list[GroupByRow] = []
+    for key, indices in filtered.group_indices(group_columns):
+        averages = tuple(float(np.mean(column[indices])) for column in values)
+        rows.append(GroupByRow(key=key, averages=averages, count=len(indices)))
+    rows.sort(key=lambda row: repr(row.key))
+    return GroupByResult(
+        group_columns=tuple(group_columns),
+        value_columns=tuple(value_columns),
+        rows=tuple(rows),
+    )

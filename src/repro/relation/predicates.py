@@ -1,0 +1,308 @@
+"""WHERE-clause predicates over :class:`~repro.relation.table.Table`.
+
+The paper's queries (Listing 1) filter with conjunctions of equality and
+``IN`` conditions, e.g. ``Carrier IN ('AA','UA') AND Airport IN (...)``.
+This module provides a small composable predicate AST that evaluates to a
+boolean row mask.  Predicates are immutable value objects with structural
+equality, so they can be used as cache keys (the entropy cache keys on the
+query context Γ).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relation.table import Table
+
+
+class Predicate:
+    """Base class for row predicates.
+
+    Subclasses implement :meth:`mask`; the boolean operators ``&``, ``|``
+    and ``~`` build composite predicates.
+    """
+
+    def mask(self, table: "Table") -> np.ndarray:
+        """Return a boolean array marking the rows that satisfy the predicate."""
+        raise NotImplementedError
+
+    def columns(self) -> frozenset[str]:
+        """The set of column names the predicate reads."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class _True(Predicate):
+    """The trivially true predicate (empty WHERE clause)."""
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return np.ones(table.n_rows, dtype=bool)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+TRUE = _True()
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    """``column = value``."""
+
+    column: str
+    value: Any
+
+    def mask(self, table: "Table") -> np.ndarray:
+        domain = table.domain(self.column)
+        try:
+            code = domain.index(self.value)
+        except ValueError:
+            return np.zeros(table.n_rows, dtype=bool)
+        return table.codes(self.column) == code
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def __repr__(self) -> str:
+        return f"{self.column} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Ne(Predicate):
+    """``column != value``."""
+
+    column: str
+    value: Any
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return ~Eq(self.column, self.value).mask(table)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def __repr__(self) -> str:
+        return f"{self.column} != {self.value!r}"
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """``column IN (values...)``."""
+
+    column: str
+    values: tuple[Any, ...]
+
+    def __init__(self, column: str, values: Iterable[Any]) -> None:
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "values", tuple(values))
+
+    def mask(self, table: "Table") -> np.ndarray:
+        domain = table.domain(self.column)
+        wanted = set(self.values)
+        codes = [code for code, value in enumerate(domain) if value in wanted]
+        if not codes:
+            return np.zeros(table.n_rows, dtype=bool)
+        return np.isin(table.codes(self.column), codes)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(repr(value) for value in self.values)
+        return f"{self.column} IN ({rendered})"
+
+
+@dataclass(frozen=True)
+class NotIn(Predicate):
+    """``column NOT IN (values...)``."""
+
+    column: str
+    values: tuple[Any, ...]
+
+    def __init__(self, column: str, values: Iterable[Any]) -> None:
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "values", tuple(values))
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return ~In(self.column, self.values).mask(table)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(repr(value) for value in self.values)
+        return f"{self.column} NOT IN ({rendered})"
+
+
+class _Comparison(Predicate):
+    """Shared implementation of the numeric comparison predicates."""
+
+    column: str
+    value: float
+    _op_symbol = "?"
+
+    def _compare(self, values: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return self._compare(table.numeric(self.column))
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def __repr__(self) -> str:
+        return f"{self.column} {self._op_symbol} {self.value!r}"
+
+
+@dataclass(frozen=True, repr=False)
+class Lt(_Comparison):
+    """``column < value`` (numeric columns only)."""
+
+    column: str
+    value: float
+    _op_symbol = "<"
+
+    def _compare(self, values: np.ndarray) -> np.ndarray:
+        return values < self.value
+
+
+@dataclass(frozen=True, repr=False)
+class Le(_Comparison):
+    """``column <= value`` (numeric columns only)."""
+
+    column: str
+    value: float
+    _op_symbol = "<="
+
+    def _compare(self, values: np.ndarray) -> np.ndarray:
+        return values <= self.value
+
+
+@dataclass(frozen=True, repr=False)
+class Gt(_Comparison):
+    """``column > value`` (numeric columns only)."""
+
+    column: str
+    value: float
+    _op_symbol = ">"
+
+    def _compare(self, values: np.ndarray) -> np.ndarray:
+        return values > self.value
+
+
+@dataclass(frozen=True, repr=False)
+class Ge(_Comparison):
+    """``column >= value`` (numeric columns only)."""
+
+    column: str
+    value: float
+    _op_symbol = ">="
+
+    def _compare(self, values: np.ndarray) -> np.ndarray:
+        return values >= self.value
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    operands: tuple[Predicate, ...] = field(default=())
+
+    def __init__(self, operands: Iterable[Predicate]) -> None:
+        flattened: list[Predicate] = []
+        for operand in operands:
+            if isinstance(operand, And):
+                flattened.extend(operand.operands)
+            elif isinstance(operand, _True):
+                continue
+            else:
+                flattened.append(operand)
+        object.__setattr__(self, "operands", tuple(flattened))
+
+    def mask(self, table: "Table") -> np.ndarray:
+        result = np.ones(table.n_rows, dtype=bool)
+        for operand in self.operands:
+            result &= operand.mask(table)
+        return result
+
+    def columns(self) -> frozenset[str]:
+        return frozenset().union(*(operand.columns() for operand in self.operands)) \
+            if self.operands else frozenset()
+
+    def __repr__(self) -> str:
+        if not self.operands:
+            return "TRUE"
+        return " AND ".join(f"({operand!r})" for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    operands: tuple[Predicate, ...] = field(default=())
+
+    def __init__(self, operands: Iterable[Predicate]) -> None:
+        flattened: list[Predicate] = []
+        for operand in operands:
+            if isinstance(operand, Or):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        object.__setattr__(self, "operands", tuple(flattened))
+
+    def mask(self, table: "Table") -> np.ndarray:
+        result = np.zeros(table.n_rows, dtype=bool)
+        for operand in self.operands:
+            result |= operand.mask(table)
+        return result
+
+    def columns(self) -> frozenset[str]:
+        return frozenset().union(*(operand.columns() for operand in self.operands)) \
+            if self.operands else frozenset()
+
+    def __repr__(self) -> str:
+        if not self.operands:
+            return "FALSE"
+        return " OR ".join(f"({operand!r})" for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    operand: Predicate
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return ~self.operand.mask(table)
+
+    def columns(self) -> frozenset[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"NOT ({self.operand!r})"
+
+
+def conjunction(predicates: Iterable[Predicate]) -> Predicate:
+    """Combine predicates with AND; the empty iterable yields ``TRUE``."""
+    materialized = [predicate for predicate in predicates if not isinstance(predicate, _True)]
+    if not materialized:
+        return TRUE
+    if len(materialized) == 1:
+        return materialized[0]
+    return And(materialized)

@@ -1,0 +1,418 @@
+"""Immutable columnar table of categorical attributes.
+
+The paper's setting is a relational instance over discrete domains
+(Sec. 2).  :class:`Table` stores each column dictionary-encoded: an
+``int64`` code array plus an ordered tuple of domain values.  All of the
+statistics in the library (entropies, contingency tables, group-bys) reduce
+to counting joint codes, which this class implements once with numpy.
+
+Tables are immutable; selections and projections return new views that share
+the underlying code arrays, so a WHERE clause never copies column data.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.utils.validation import check_columns_exist
+
+
+class Table:
+    """A columnar, dictionary-encoded table of categorical data.
+
+    Parameters
+    ----------
+    codes:
+        Mapping from column name to an ``int64`` array of codes in
+        ``[0, len(domains[name]))``.  All arrays must share one length.
+    domains:
+        Mapping from column name to the ordered tuple of domain values the
+        codes index into.
+
+    Most callers should use :meth:`from_columns`, :meth:`from_rows`, or
+    :meth:`from_csv` instead of this low-level constructor.
+    """
+
+    __slots__ = ("_codes", "_domains", "_columns", "_n_rows", "_entropy_caches")
+
+    def __init__(
+        self,
+        codes: Mapping[str, np.ndarray],
+        domains: Mapping[str, tuple[Any, ...]],
+    ) -> None:
+        if set(codes) != set(domains):
+            raise ValueError("codes and domains must have identical column sets")
+        self._columns: tuple[str, ...] = tuple(codes)
+        lengths = {name: len(array) for name, array in codes.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"columns have inconsistent lengths: {lengths}")
+        self._n_rows = next(iter(lengths.values()), 0)
+        self._codes = {name: np.asarray(array, dtype=np.int64) for name, array in codes.items()}
+        self._domains = {name: tuple(values) for name, values in domains.items()}
+        for name in self._columns:
+            size = len(self._domains[name])
+            column = self._codes[name]
+            if len(column) and (column.min() < 0 or column.max() >= size):
+                raise ValueError(f"codes for column {name!r} fall outside its domain")
+        # Per-instance memo shared by every EntropyEngine bound to this
+        # table (the "caching entropy" optimization of paper Sec. 6).
+        self._entropy_caches: dict[str, dict[frozenset[str], float]] = {}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_columns(cls, raw_columns: Mapping[str, Sequence[Any]]) -> "Table":
+        """Build a table from raw (decoded) column values.
+
+        Each column's domain is the sorted set of distinct values it
+        contains.  Values may be any hashable, orderable objects (strings,
+        ints, ...); mixed-type columns are ordered by ``repr`` as a
+        deterministic fallback.
+        """
+        codes: dict[str, np.ndarray] = {}
+        domains: dict[str, tuple[Any, ...]] = {}
+        for name, values in raw_columns.items():
+            column_codes, domain = _encode(values)
+            codes[name] = column_codes
+            domains[name] = domain
+        return cls(codes, domains)
+
+    @classmethod
+    def from_rows(cls, columns: Sequence[str], rows: Iterable[Sequence[Any]]) -> "Table":
+        """Build a table from an iterable of row tuples."""
+        materialized = [tuple(row) for row in rows]
+        for row in materialized:
+            if len(row) != len(columns):
+                raise ValueError(
+                    f"row {row!r} has {len(row)} values but {len(columns)} columns declared"
+                )
+        raw = {
+            name: [row[index] for row in materialized] for index, name in enumerate(columns)
+        }
+        return cls.from_columns(raw)
+
+    @classmethod
+    def from_csv(cls, path: str | Path, delimiter: str = ",") -> "Table":
+        """Load a table from a CSV file with a header row.
+
+        Every value is kept as a string except values that parse as
+        integers, which are converted (the paper's outcomes are 0/1
+        indicator attributes, so integer parsing makes ``avg`` work out of
+        the box).
+        """
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle, delimiter=delimiter)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise ValueError(f"{path} is empty; a header row is required") from None
+            rows = [[_parse_csv_value(value) for value in row] for row in reader]
+        return cls.from_rows(header, rows)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Column names, in declaration order."""
+        return self._columns
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self._n_rows
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __repr__(self) -> str:
+        return f"Table({self._n_rows} rows x {len(self._columns)} columns)"
+
+    def domain(self, column: str) -> tuple[Any, ...]:
+        """The ordered domain (distinct values) of ``column``."""
+        self._check_columns([column])
+        return self._domains[column]
+
+    def domain_size(self, column: str) -> int:
+        """Number of distinct values in the (encoded) domain of ``column``."""
+        return len(self.domain(column))
+
+    def codes(self, column: str) -> np.ndarray:
+        """The raw ``int64`` code array of ``column`` (do not mutate)."""
+        self._check_columns([column])
+        return self._codes[column]
+
+    def column(self, column: str) -> list[Any]:
+        """The decoded values of ``column`` as a Python list."""
+        self._check_columns([column])
+        domain = self._domains[column]
+        return [domain[code] for code in self._codes[column]]
+
+    def numeric(self, column: str) -> np.ndarray:
+        """The values of ``column`` as a float array.
+
+        Raises ``TypeError`` if the column's domain contains non-numeric
+        values; the group-by-average evaluator uses this for outcome
+        attributes (paper Listing 1 restricts aggregates to ``avg``).
+        """
+        domain = self.domain(column)
+        try:
+            lookup = np.array([float(value) for value in domain], dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise TypeError(f"column {column!r} is not numeric: {exc}") from exc
+        return lookup[self._codes[column]]
+
+    def rows(self, columns: Sequence[str] | None = None) -> list[tuple[Any, ...]]:
+        """Materialize the table (or a projection of it) as row tuples."""
+        names = self._columns if columns is None else tuple(columns)
+        self._check_columns(names)
+        decoded = [self.column(name) for name in names]
+        return list(zip(*decoded)) if decoded else []
+
+    def head(self, n: int = 5) -> list[tuple[Any, ...]]:
+        """The first ``n`` rows, decoded."""
+        return self.rows()[:n]
+
+    # ------------------------------------------------------------------
+    # Relational operations
+    # ------------------------------------------------------------------
+
+    def select(self, mask: np.ndarray) -> "Table":
+        """Return the rows where the boolean ``mask`` is true.
+
+        Domains are preserved unchanged, so codes remain comparable across
+        the parent table and all of its selections -- a property the
+        contingency-table machinery relies on.
+        """
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_ or mask.shape != (self._n_rows,):
+            raise ValueError(f"mask must be a boolean array of length {self._n_rows}")
+        codes = {name: self._codes[name][mask] for name in self._columns}
+        return Table(codes, self._domains)
+
+    def where(self, predicate: "Predicate | None") -> "Table":
+        """Return the rows satisfying ``predicate`` (``None`` means all)."""
+        if predicate is None:
+            return self
+        return self.select(predicate.mask(self))
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Return the rows at ``indices`` (used for subsampling)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        codes = {name: self._codes[name][indices] for name in self._columns}
+        return Table(codes, self._domains)
+
+    def project(self, columns: Sequence[str]) -> "Table":
+        """Return a table with only ``columns`` (shares code arrays)."""
+        names = tuple(columns)
+        self._check_columns(names)
+        codes = {name: self._codes[name] for name in names}
+        domains = {name: self._domains[name] for name in names}
+        return Table(codes, domains)
+
+    def drop(self, columns: Sequence[str]) -> "Table":
+        """Return a table without ``columns``."""
+        dropped = set(columns)
+        self._check_columns(columns)
+        keep = [name for name in self._columns if name not in dropped]
+        return self.project(keep)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Return a table with columns renamed per ``mapping``."""
+        self._check_columns(mapping.keys())
+        codes = {mapping.get(name, name): self._codes[name] for name in self._columns}
+        domains = {mapping.get(name, name): self._domains[name] for name in self._columns}
+        return Table(codes, domains)
+
+    def with_column(self, name: str, values: Sequence[Any]) -> "Table":
+        """Return a table extended (or overwritten) with a raw column."""
+        if len(values) != self._n_rows:
+            raise ValueError(
+                f"new column {name!r} has {len(values)} values, table has {self._n_rows} rows"
+            )
+        new_codes, new_domain = _encode(values)
+        codes = dict(self._codes)
+        domains = dict(self._domains)
+        codes[name] = new_codes
+        domains[name] = new_domain
+        return Table(codes, domains)
+
+    def concat(self, other: "Table") -> "Table":
+        """Stack ``other`` below this table (schemas must match by name)."""
+        if set(other.columns) != set(self._columns):
+            raise ValueError("cannot concat tables with different column sets")
+        raw = {
+            name: self.column(name) + other.column(name) for name in self._columns
+        }
+        return Table.from_columns(raw)
+
+    def shuffled(self, rng: np.random.Generator) -> "Table":
+        """Return a row-permuted copy (used by the naive permutation test)."""
+        order = rng.permutation(self._n_rows)
+        return self.take(order)
+
+    def sample_rows(self, n: int, rng: np.random.Generator) -> "Table":
+        """Return ``n`` rows drawn uniformly without replacement."""
+        if n > self._n_rows:
+            raise ValueError(f"cannot sample {n} rows from a table of {self._n_rows}")
+        indices = rng.choice(self._n_rows, size=n, replace=False)
+        return self.take(indices)
+
+    # ------------------------------------------------------------------
+    # Counting / grouping kernels
+    # ------------------------------------------------------------------
+
+    def joint_codes(self, columns: Sequence[str]) -> tuple[np.ndarray, int]:
+        """Encode the row tuples over ``columns`` as dense codes.
+
+        Returns ``(codes, k)`` where ``codes`` is an ``int64`` array of
+        values in ``[0, k)`` and equal codes correspond to equal row tuples.
+        The encoding packs columns in a mixed-radix number and re-compresses
+        to *observed* values whenever the radix product risks overflowing
+        ``int64``, so arbitrarily many columns are supported.
+
+        The empty column list encodes every row as the single code ``0``.
+        """
+        names = tuple(columns)
+        self._check_columns(names)
+        if not names:
+            return np.zeros(self._n_rows, dtype=np.int64), 1
+
+        packed = self._codes[names[0]]
+        width = len(self._domains[names[0]])
+        packed, width = _compress(packed)
+        for name in names[1:]:
+            radix = len(self._domains[name])
+            if radix == 0:
+                radix = 1
+            if width > (2**62) // max(radix, 1):
+                packed, width = _compress(packed)
+            packed = packed * radix + self._codes[name]
+            width = width * radix
+            if width > 2**40:
+                # Keep the code space tight; contingency tables and
+                # bincount-based entropy both want dense codes.
+                packed, width = _compress(packed)
+        packed, width = _compress(packed)
+        return packed, width
+
+    def value_counts(self, columns: Sequence[str]) -> dict[tuple[Any, ...], int]:
+        """Counts of each observed value combination over ``columns``."""
+        names = tuple(columns)
+        self._check_columns(names)
+        if not names:
+            return {(): self._n_rows}
+        stacked = np.stack([self._codes[name] for name in names], axis=1)
+        unique, counts = np.unique(stacked, axis=0, return_counts=True)
+        result: dict[tuple[Any, ...], int] = {}
+        for row, count in zip(unique, counts):
+            key = tuple(self._domains[name][code] for name, code in zip(names, row))
+            result[key] = int(count)
+        return result
+
+    def joint_counts(self, columns: Sequence[str]) -> np.ndarray:
+        """Cell counts of the joint distribution over ``columns``.
+
+        Fast path: when the full domain product fits a dense ``bincount``
+        (< 2^22 cells) the counts are produced with one O(n) pass and no
+        sorting; the returned vector may then contain zero cells, which is
+        harmless for every consumer (entropies use the 0 log 0 = 0
+        convention and observed-cell counts ignore zeros).
+        """
+        names = tuple(columns)
+        self._check_columns(names)
+        if not names:
+            return np.array([self._n_rows], dtype=np.int64)
+        width = 1
+        for name in names:
+            width *= max(len(self._domains[name]), 1)
+            if width > (1 << 22):
+                break
+        if width <= (1 << 22):
+            packed = self._codes[names[0]]
+            for name in names[1:]:
+                packed = packed * len(self._domains[name]) + self._codes[name]
+            return np.bincount(packed, minlength=width)
+        codes, observed = self.joint_codes(names)
+        return np.bincount(codes, minlength=observed)
+
+    def distinct(self, columns: Sequence[str]) -> list[tuple[Any, ...]]:
+        """The distinct value combinations over ``columns`` (sorted)."""
+        return sorted(self.value_counts(columns), key=repr)
+
+    def n_groups(self, columns: Sequence[str]) -> int:
+        """Number of *observed* distinct value combinations over ``columns``."""
+        return int(np.count_nonzero(self.joint_counts(columns)))
+
+    def group_indices(self, columns: Sequence[str]) -> list[tuple[tuple[Any, ...], np.ndarray]]:
+        """Partition row indices by the values of ``columns``.
+
+        Returns a list of ``(key_tuple, row_index_array)`` pairs, one per
+        observed group, in a deterministic order.  This is the kernel behind
+        group-by evaluation, the blocks of the rewritten query (Listing 2),
+        and per-group permutation testing (Alg. 2).
+        """
+        names = tuple(columns)
+        codes, width = self.joint_codes(names)
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+        segments = np.split(order, boundaries)
+        result = []
+        for segment in segments:
+            if len(segment) == 0:
+                continue
+            first = int(segment[0])
+            key = tuple(self._domains[name][self._codes[name][first]] for name in names)
+            result.append((key, segment))
+        return result
+
+    def entropy_cache(self, estimator: str) -> dict[frozenset[str], float]:
+        """The shared entropy memo for ``estimator`` (see EntropyEngine).
+
+        Different Table instances never share a cache, so selections and
+        projections always start fresh (their row sets differ).
+        """
+        return self._entropy_caches.setdefault(estimator, {})
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_columns(self, requested: Iterable[str]) -> None:
+        check_columns_exist(self._columns, requested)
+
+
+def _encode(values: Sequence[Any]) -> tuple[np.ndarray, tuple[Any, ...]]:
+    """Dictionary-encode raw values into (codes, sorted domain)."""
+    try:
+        domain = tuple(sorted(set(values)))
+    except TypeError:
+        domain = tuple(sorted(set(values), key=repr))
+    index = {value: code for code, value in enumerate(domain)}
+    codes = np.fromiter((index[value] for value in values), dtype=np.int64, count=len(values))
+    return codes, domain
+
+
+def _compress(codes: np.ndarray) -> tuple[np.ndarray, int]:
+    """Re-map codes onto the dense range of observed values."""
+    if len(codes) == 0:
+        return codes.astype(np.int64), 0
+    unique, inverse = np.unique(codes, return_inverse=True)
+    return inverse.astype(np.int64), len(unique)
+
+
+def _parse_csv_value(text: str) -> Any:
+    """Parse a CSV cell: integers become ints, everything else stays a string."""
+    try:
+        return int(text)
+    except ValueError:
+        return text

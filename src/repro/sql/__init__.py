@@ -1,0 +1,30 @@
+"""A small SQL front-end for the paper's OLAP query dialect.
+
+HypDB's input is a group-by-average SQL query (paper Listing 1).  This
+subpackage implements a lexer and recursive-descent parser for the needed
+dialect::
+
+    SELECT Carrier, avg(Delayed)
+    FROM FlightData
+    WHERE Carrier IN ('AA', 'UA') AND Airport IN ('COS','MFE','MTJ','ROC')
+    GROUP BY Carrier
+
+The parser produces a :class:`~repro.sql.ast.SelectStatement` whose WHERE
+clause compiles to the :mod:`repro.relation.predicates` AST, so parsed
+queries run directly against a :class:`~repro.relation.table.Table`.
+"""
+
+from repro.sql.ast import Aggregate, SelectStatement
+from repro.sql.errors import SqlSyntaxError
+from repro.sql.lexer import Token, TokenKind, tokenize
+from repro.sql.parser import parse_select
+
+__all__ = [
+    "Aggregate",
+    "SelectStatement",
+    "SqlSyntaxError",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_select",
+]

@@ -1,0 +1,48 @@
+"""AST produced by the SQL parser.
+
+A parsed statement keeps the grouping attributes, the averaged outcome
+attributes, the source table name, and a compiled
+:class:`~repro.relation.predicates.Predicate` for the WHERE clause, which is
+exactly the information HypDB needs to interpret a query causally (paper
+Sec. 3): grouping attribute ``T`` (treatment), outcomes ``Y``, context ``C``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relation.predicates import Predicate, TRUE
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An ``avg(column)`` item in the SELECT list."""
+
+    column: str
+
+    def __repr__(self) -> str:
+        return f"avg({self.column})"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed group-by-average query (paper Listing 1)."""
+
+    select_columns: tuple[str, ...]
+    aggregates: tuple[Aggregate, ...]
+    table_name: str
+    where: Predicate = TRUE
+    group_by: tuple[str, ...] = field(default=())
+
+    def outcome_columns(self) -> tuple[str, ...]:
+        """The averaged attributes ``Y1..Ye``."""
+        return tuple(aggregate.column for aggregate in self.aggregates)
+
+    def __repr__(self) -> str:
+        select_items = list(self.select_columns) + [repr(agg) for agg in self.aggregates]
+        parts = [f"SELECT {', '.join(select_items)}", f"FROM {self.table_name}"]
+        if self.where is not TRUE:
+            parts.append(f"WHERE {self.where!r}")
+        if self.group_by:
+            parts.append(f"GROUP BY {', '.join(self.group_by)}")
+        return " ".join(parts)

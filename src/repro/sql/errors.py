@@ -1,0 +1,15 @@
+"""Errors raised by the SQL front-end."""
+
+from __future__ import annotations
+
+
+class SqlSyntaxError(ValueError):
+    """Raised when the SQL text cannot be tokenized or parsed.
+
+    Carries the character position so callers can point at the offending
+    fragment.
+    """
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position

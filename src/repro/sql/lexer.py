@@ -1,0 +1,152 @@
+"""Tokenizer for the SQL subset (see :mod:`repro.sql`).
+
+Keywords are case-insensitive, identifiers keep their case; string literals
+use single quotes with ``''`` escaping (SQL style); numbers may be signed
+integers or decimals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.sql.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "AVG",
+    "AS",
+    "ON",
+}
+
+
+class TokenKind(Enum):
+    """Lexical categories of the SQL subset."""
+
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    STRING = auto()
+    NUMBER = auto()
+    COMMA = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    OPERATOR = auto()  # = != <> < <= > >=
+    STAR = auto()
+    DOT = auto()
+    END = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its source position."""
+
+    kind: TokenKind
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True when this token is the given (case-insensitive) keyword."""
+        return self.kind is TokenKind.KEYWORD and self.text == word.upper()
+
+
+_PUNCTUATION = {
+    ",": TokenKind.COMMA,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "*": TokenKind.STAR,
+    ".": TokenKind.DOT,
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; the result always ends with an ``END`` token."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[char], char, index))
+            index += 1
+            continue
+        if char == "'":
+            literal, index = _read_string(text, index)
+            tokens.append(literal)
+            continue
+        if char.isdigit() or (
+            char in "+-" and index + 1 < length and text[index + 1].isdigit()
+        ):
+            number, index = _read_number(text, index)
+            tokens.append(number)
+            continue
+        if char in "=<>!":
+            operator, index = _read_operator(text, index)
+            tokens.append(operator)
+            continue
+        if char.isalpha() or char == "_":
+            word, index = _read_word(text, index)
+            tokens.append(word)
+            continue
+        raise SqlSyntaxError(f"unexpected character {char!r}", index)
+    tokens.append(Token(TokenKind.END, "", length))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> tuple[Token, int]:
+    index = start + 1
+    pieces: list[str] = []
+    while index < len(text):
+        char = text[index]
+        if char == "'":
+            if index + 1 < len(text) and text[index + 1] == "'":
+                pieces.append("'")
+                index += 2
+                continue
+            return Token(TokenKind.STRING, "".join(pieces), start), index + 1
+        pieces.append(char)
+        index += 1
+    raise SqlSyntaxError("unterminated string literal", start)
+
+
+def _read_number(text: str, start: int) -> tuple[Token, int]:
+    index = start
+    if text[index] in "+-":
+        index += 1
+    seen_dot = False
+    while index < len(text) and (text[index].isdigit() or (text[index] == "." and not seen_dot)):
+        if text[index] == ".":
+            seen_dot = True
+        index += 1
+    return Token(TokenKind.NUMBER, text[start:index], start), index
+
+
+def _read_operator(text: str, start: int) -> tuple[Token, int]:
+    two = text[start : start + 2]
+    if two in {"!=", "<>", "<=", ">="}:
+        return Token(TokenKind.OPERATOR, two, start), start + 2
+    one = text[start]
+    if one in {"=", "<", ">"}:
+        return Token(TokenKind.OPERATOR, one, start), start + 1
+    raise SqlSyntaxError(f"unexpected operator start {one!r}", start)
+
+
+def _read_word(text: str, start: int) -> tuple[Token, int]:
+    index = start
+    while index < len(text) and (text[index].isalnum() or text[index] == "_"):
+        index += 1
+    word = text[start:index]
+    upper = word.upper()
+    if upper in KEYWORDS:
+        return Token(TokenKind.KEYWORD, upper, start), index
+    return Token(TokenKind.IDENTIFIER, word, start), index

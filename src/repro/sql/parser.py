@@ -1,0 +1,203 @@
+"""Recursive-descent parser for the SQL subset (see :mod:`repro.sql`).
+
+Grammar (keywords case-insensitive)::
+
+    select     := SELECT item (',' item)* FROM identifier
+                  [WHERE condition] [GROUP BY identifier (',' identifier)*]
+    item       := identifier | AVG '(' identifier ')'
+    condition  := or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := unary (AND unary)*
+    unary      := NOT unary | primary
+    primary    := '(' condition ')'
+                | identifier IN '(' literal (',' literal)* ')'
+                | identifier NOT IN '(' literal (',' literal)* ')'
+                | identifier ('=' | '!=' | '<>' | '<' | '<=' | '>' | '>=') literal
+    literal    := string | number
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.relation.predicates import (
+    And,
+    Eq,
+    Ge,
+    Gt,
+    In,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    NotIn,
+    Or,
+    Predicate,
+    TRUE,
+)
+from repro.sql.ast import Aggregate, SelectStatement
+from repro.sql.errors import SqlSyntaxError
+from repro.sql.lexer import Token, TokenKind, tokenize
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse a group-by-average SELECT statement."""
+    return _Parser(tokenize(text)).parse_select()
+
+
+class _Parser:
+    """Stateful cursor over the token stream."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token stream helpers ------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.END:
+            self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise SqlSyntaxError(f"expected {word}, found {token.text!r}", token.position)
+        return token
+
+    def _expect_kind(self, kind: TokenKind, what: str) -> Token:
+        token = self._advance()
+        if token.kind is not kind:
+            raise SqlSyntaxError(f"expected {what}, found {token.text!r}", token.position)
+        return token
+
+    def _match_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _match_kind(self, kind: TokenKind) -> bool:
+        if self._peek().kind is kind:
+            self._advance()
+            return True
+        return False
+
+    # -- grammar productions -------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        plain_columns: list[str] = []
+        aggregates: list[Aggregate] = []
+        while True:
+            token = self._peek()
+            if token.is_keyword("AVG"):
+                self._advance()
+                self._expect_kind(TokenKind.LPAREN, "'('")
+                column = self._expect_kind(TokenKind.IDENTIFIER, "column name").text
+                self._expect_kind(TokenKind.RPAREN, "')'")
+                aggregates.append(Aggregate(column))
+            elif token.kind is TokenKind.IDENTIFIER:
+                plain_columns.append(self._advance().text)
+            else:
+                raise SqlSyntaxError(
+                    f"expected column or avg(...), found {token.text!r}", token.position
+                )
+            if not self._match_kind(TokenKind.COMMA):
+                break
+        self._expect_keyword("FROM")
+        table_name = self._expect_kind(TokenKind.IDENTIFIER, "table name").text
+
+        where: Predicate = TRUE
+        if self._match_keyword("WHERE"):
+            where = self._parse_condition()
+
+        group_by: list[str] = []
+        if self._match_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._expect_kind(TokenKind.IDENTIFIER, "column name").text)
+            while self._match_kind(TokenKind.COMMA):
+                group_by.append(self._expect_kind(TokenKind.IDENTIFIER, "column name").text)
+
+        tail = self._peek()
+        if tail.kind is not TokenKind.END:
+            raise SqlSyntaxError(f"unexpected trailing input {tail.text!r}", tail.position)
+        return SelectStatement(
+            select_columns=tuple(plain_columns),
+            aggregates=tuple(aggregates),
+            table_name=table_name,
+            where=where,
+            group_by=tuple(group_by),
+        )
+
+    def _parse_condition(self) -> Predicate:
+        return self._parse_or()
+
+    def _parse_or(self) -> Predicate:
+        operands = [self._parse_and()]
+        while self._match_keyword("OR"):
+            operands.append(self._parse_and())
+        return operands[0] if len(operands) == 1 else Or(operands)
+
+    def _parse_and(self) -> Predicate:
+        operands = [self._parse_unary()]
+        while self._match_keyword("AND"):
+            operands.append(self._parse_unary())
+        return operands[0] if len(operands) == 1 else And(operands)
+
+    def _parse_unary(self) -> Predicate:
+        if self._match_keyword("NOT"):
+            return Not(self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Predicate:
+        if self._match_kind(TokenKind.LPAREN):
+            inner = self._parse_condition()
+            self._expect_kind(TokenKind.RPAREN, "')'")
+            return inner
+        column = self._expect_kind(TokenKind.IDENTIFIER, "column name").text
+        token = self._peek()
+        if token.is_keyword("IN"):
+            self._advance()
+            return In(column, self._parse_literal_list())
+        if token.is_keyword("NOT"):
+            self._advance()
+            self._expect_keyword("IN")
+            return NotIn(column, self._parse_literal_list())
+        operator = self._expect_kind(TokenKind.OPERATOR, "comparison operator").text
+        literal = self._parse_literal()
+        if operator == "=":
+            return Eq(column, literal)
+        if operator in {"!=", "<>"}:
+            return Ne(column, literal)
+        numeric = float(literal)
+        if operator == "<":
+            return Lt(column, numeric)
+        if operator == "<=":
+            return Le(column, numeric)
+        if operator == ">":
+            return Gt(column, numeric)
+        if operator == ">=":
+            return Ge(column, numeric)
+        raise SqlSyntaxError(f"unsupported operator {operator!r}", token.position)
+
+    def _parse_literal_list(self) -> list[Any]:
+        self._expect_kind(TokenKind.LPAREN, "'('")
+        literals = [self._parse_literal()]
+        while self._match_kind(TokenKind.COMMA):
+            literals.append(self._parse_literal())
+        self._expect_kind(TokenKind.RPAREN, "')'")
+        return literals
+
+    def _parse_literal(self) -> Any:
+        token = self._advance()
+        if token.kind is TokenKind.STRING:
+            return token.text
+        if token.kind is TokenKind.NUMBER:
+            text = token.text
+            return float(text) if "." in text else int(text)
+        raise SqlSyntaxError(f"expected literal, found {token.text!r}", token.position)

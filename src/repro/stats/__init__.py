@@ -1,0 +1,45 @@
+"""Conditional-independence testing (paper Sec. 5-6).
+
+The testing stack, bottom-up:
+
+* :mod:`repro.stats.contingency` -- contingency-table construction from a
+  table's columns, overall and per conditioning group.
+* :mod:`repro.stats.patefield` -- sampling random r x c tables with fixed
+  marginals from the permutation (multivariate hypergeometric) distribution,
+  the key optimization replacing data shuffling (Sec. 5).
+* :mod:`repro.stats.chi2` -- the chi-squared approximation via the G
+  statistic ``2 n I(X;Y|Z)``.
+* :mod:`repro.stats.permutation` -- MIT (Alg. 2), the Monte-Carlo
+  permutation test over contingency tables, with optional weighted group
+  sampling.
+* :mod:`repro.stats.hybrid` -- HyMIT (Sec. 6): chi-squared when the degrees
+  of freedom are small relative to the sample, MIT otherwise.
+* :mod:`repro.stats.naive` -- the textbook shuffle-the-column permutation
+  test, kept as the slow baseline MIT is benchmarked against.
+"""
+
+from repro.stats.base import CIResult, CITest, CountingTest
+from repro.stats.chi2 import ChiSquaredTest, g_statistic
+from repro.stats.contingency import conditional_contingencies, contingency_matrix
+from repro.stats.fdr import FdrOutcome, benjamini_hochberg, fdr_filter_results
+from repro.stats.hybrid import HybridTest
+from repro.stats.naive import NaiveShuffleTest
+from repro.stats.patefield import sample_contingency_tables
+from repro.stats.permutation import PermutationTest
+
+__all__ = [
+    "CIResult",
+    "CITest",
+    "CountingTest",
+    "ChiSquaredTest",
+    "g_statistic",
+    "conditional_contingencies",
+    "contingency_matrix",
+    "FdrOutcome",
+    "benjamini_hochberg",
+    "fdr_filter_results",
+    "HybridTest",
+    "NaiveShuffleTest",
+    "sample_contingency_tables",
+    "PermutationTest",
+]

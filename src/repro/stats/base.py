@@ -1,0 +1,124 @@
+"""Common interface for conditional-independence tests.
+
+Every discovery algorithm in the library (Grow-Shrink, IAMB, FGS, CD) is
+parameterized by a :class:`CITest`, so the paper's quality comparisons --
+CD(chi2) vs CD(MIT) vs CD(HyMIT) -- are a one-argument change.  Tests keep a
+call counter because the number of independence tests performed is the
+standard efficiency metric for constraint-based methods (Fig. 6(a)).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.relation.table import Table
+
+DEFAULT_ALPHA = 0.01  # significance level used in all of the paper's tests
+
+
+@dataclass(frozen=True)
+class CIResult:
+    """Outcome of one conditional-independence test.
+
+    Attributes
+    ----------
+    statistic:
+        The estimated conditional mutual information ``I(X;Y|Z)`` (nats).
+    p_value:
+        Significance of the statistic under the null ``I = 0``.
+    method:
+        Name of the procedure that produced the result.
+    df:
+        Degrees of freedom, when the method has a parametric null.
+    p_interval:
+        95% binomial confidence interval around the Monte-Carlo p-value
+        (MIT only; paper Alg. 2 line 13).
+    p_floor:
+        Smallest p-value the method can report (``1/(m+1)`` for a
+        Monte-Carlo test with ``m`` replicates, 0 for parametric tests).
+        Consumers that compare against thresholds finer than the method's
+        resolution use this to recognize "maximally significant" results.
+    """
+
+    statistic: float
+    p_value: float
+    method: str
+    df: int | None = None
+    p_interval: tuple[float, float] | None = None
+    p_floor: float = 0.0
+
+    def at_floor(self) -> bool:
+        """True when the p-value is the smallest the method can produce."""
+        return self.p_value <= self.p_floor * (1.0 + 1e-9)
+
+    def independent(self, alpha: float = DEFAULT_ALPHA) -> bool:
+        """True when the null (independence) is *not* rejected at ``alpha``."""
+        return self.p_value >= alpha
+
+    def dependent(self, alpha: float = DEFAULT_ALPHA) -> bool:
+        """True when the null is rejected at ``alpha``."""
+        return self.p_value < alpha
+
+
+class CITest:
+    """Base class for conditional-independence tests.
+
+    Subclasses implement :meth:`_test`; :meth:`test` adds argument
+    normalization and call counting.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def test(
+        self,
+        table: Table,
+        x: str,
+        y: str,
+        z: Sequence[str] = (),
+    ) -> CIResult:
+        """Test ``x ⊥ y | z`` on ``table`` and return a :class:`CIResult`."""
+        conditioning = tuple(z)
+        if x == y:
+            raise ValueError("x and y must be distinct attributes")
+        if x in conditioning or y in conditioning:
+            raise ValueError("conditioning set must not contain x or y")
+        self.calls += 1
+        return self._test(table, x, y, conditioning)
+
+    def independent(
+        self,
+        table: Table,
+        x: str,
+        y: str,
+        z: Sequence[str] = (),
+        alpha: float = DEFAULT_ALPHA,
+    ) -> bool:
+        """Convenience: run the test and report non-rejection at ``alpha``."""
+        return self.test(table, x, y, z).independent(alpha)
+
+    def reset_counter(self) -> None:
+        """Zero the call counter (used by benchmark harnesses)."""
+        self.calls = 0
+
+    def _test(self, table: Table, x: str, y: str, z: tuple[str, ...]) -> CIResult:
+        raise NotImplementedError
+
+
+class CountingTest(CITest):
+    """Decorator-style wrapper that delegates to another test.
+
+    Lets a harness count the tests issued by one algorithm while sharing a
+    single underlying test object (and its caches) across algorithms.
+    """
+
+    def __init__(self, inner: CITest) -> None:
+        super().__init__()
+        self._inner = inner
+        self.name = f"counted({inner.name})"
+
+    def _test(self, table: Table, x: str, y: str, z: tuple[str, ...]) -> CIResult:
+        return self._inner.test(table, x, y, z)

@@ -1,0 +1,72 @@
+"""False-discovery-rate control for families of independence tests.
+
+HypDB issues many hypothesis tests -- one balance test per query context,
+many during discovery -- and the paper lists FDR control as the standard
+remedy for the resulting multiple-comparisons burden (Sec. 8, citing the
+PC-algorithm FDR work [24]).  This module provides the
+Benjamini-Hochberg procedure and a helper that applies it to a family of
+:class:`~repro.stats.base.CIResult` objects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.base import CIResult
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class FdrOutcome:
+    """The result of a Benjamini-Hochberg pass over a test family."""
+
+    rejected: tuple[bool, ...]
+    threshold: float  # largest p-value rejected (0.0 when none are)
+    q: float
+
+    @property
+    def n_rejected(self) -> int:
+        """Number of rejected (declared-dependent) hypotheses."""
+        return sum(self.rejected)
+
+
+def benjamini_hochberg(p_values: Sequence[float], q: float = 0.05) -> FdrOutcome:
+    """Benjamini-Hochberg step-up procedure at FDR level ``q``.
+
+    Sorts the p-values, finds the largest ``k`` with
+    ``p_(k) <= k/m * q``, and rejects hypotheses 1..k.  Valid under
+    independence or positive dependence of the tests.
+    """
+    check_fraction("q", q)
+    p = np.asarray(list(p_values), dtype=np.float64)
+    if np.any((p < 0) | (p > 1)):
+        raise ValueError("p-values must lie in [0, 1]")
+    m = len(p)
+    if m == 0:
+        return FdrOutcome(rejected=(), threshold=0.0, q=q)
+    order = np.argsort(p, kind="stable")
+    sorted_p = p[order]
+    criteria = sorted_p <= (np.arange(1, m + 1) / m) * q
+    if not criteria.any():
+        return FdrOutcome(rejected=tuple(False for _ in range(m)), threshold=0.0, q=q)
+    k = int(np.max(np.nonzero(criteria)[0]))  # last index passing
+    threshold = float(sorted_p[k])
+    rejected = p <= threshold
+    return FdrOutcome(rejected=tuple(bool(r) for r in rejected), threshold=threshold, q=q)
+
+
+def fdr_filter_results(
+    results: Sequence[CIResult], q: float = 0.05
+) -> list[tuple[CIResult, bool]]:
+    """Pair each test result with its FDR-corrected dependence verdict.
+
+    Useful when one query produces a balance test per context Γ (e.g. a
+    GROUP BY over many strata): raw per-context alpha thresholds would
+    flag spurious contexts; the corrected verdicts control the expected
+    fraction of falsely-flagged contexts at ``q``.
+    """
+    outcome = benjamini_hochberg([result.p_value for result in results], q=q)
+    return list(zip(results, outcome.rejected))

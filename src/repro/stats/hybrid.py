@@ -1,0 +1,96 @@
+"""HyMIT: the hybrid independence test (paper Sec. 6).
+
+The chi-squared approximation of the G statistic is reliable when the
+sample size is sufficiently larger than the degrees of freedom
+``df = (|Pi_X|-1)(|Pi_Y|-1)|Pi_Z|``.  HyMIT therefore uses the chi-squared
+test when ``df <= n / beta`` (``beta = 5`` is the paper's recommendation)
+and falls back to the exact but expensive MIT permutation test otherwise --
+the regime of sparse subpopulations and many categories where parametric
+tests break down (Fig. 5(d)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relation.table import Table
+from repro.stats.base import CIResult, CITest
+from repro.stats.chi2 import ChiSquaredTest, degrees_of_freedom
+from repro.stats.permutation import PermutationTest
+from repro.utils.validation import check_positive
+
+
+class HybridTest(CITest):
+    """Chi-squared when well-powered, MIT otherwise.
+
+    Parameters
+    ----------
+    beta:
+        Sample-size multiple required for the parametric branch.
+    routing:
+        ``"cells"`` (default) uses Cochran's rule -- chi-squared only when
+        ``n >= beta * |Pi_X| * |Pi_Y| * |Pi_Z|`` (expected cell counts of
+        at least ``beta``).  ``"df"`` is the paper's literal rule
+        ``df <= n / beta``; it is retained for ablation, but it admits
+        sparse regimes where the G statistic is strongly inflated and the
+        chi-squared branch produces false dependencies (the pathology the
+        paper itself attributes to parametric tests on sparse data in
+        Sec. 7.4).
+    n_permutations, group_sampling, seed:
+        Forwarded to the embedded :class:`PermutationTest`.
+    """
+
+    name = "hymit"
+
+    def __init__(
+        self,
+        beta: float = 5.0,
+        routing: str = "cells",
+        n_permutations: int = 1000,
+        group_sampling: str | float | None = "log",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        check_positive("beta", beta)
+        if routing not in ("cells", "df"):
+            raise ValueError(f"routing must be 'cells' or 'df', got {routing!r}")
+        self.beta = beta
+        self.routing = routing
+        self._chi2 = ChiSquaredTest()
+        self._mit = PermutationTest(
+            n_permutations=n_permutations,
+            group_sampling=group_sampling,
+            seed=seed,
+        )
+
+    @property
+    def chi2_calls(self) -> int:
+        """How many tests were routed to the chi-squared branch."""
+        return self._chi2.calls
+
+    @property
+    def mit_calls(self) -> int:
+        """How many tests were routed to the permutation branch."""
+        return self._mit.calls
+
+    def _test(self, table: Table, x: str, y: str, z: tuple[str, ...]) -> CIResult:
+        if self.routing == "df":
+            df = degrees_of_freedom(table, x, y, z)
+            use_chi2 = df <= table.n_rows / self.beta
+        else:
+            n_cells = (
+                table.n_groups((x,)) * table.n_groups((y,)) * max(table.n_groups(z), 1)
+            )
+            use_chi2 = table.n_rows >= self.beta * n_cells
+        if use_chi2:
+            result = self._chi2.test(table, x, y, z)
+        else:
+            result = self._mit.test(table, x, y, z)
+        return CIResult(
+            statistic=result.statistic,
+            p_value=result.p_value,
+            method=f"{self.name}[{result.method}]",
+            df=result.df,
+            p_interval=result.p_interval,
+            p_floor=result.p_floor,
+        )

@@ -1,0 +1,109 @@
+"""Random contingency tables with fixed marginals (paper Sec. 5).
+
+Randomly shuffling one column of the data against another leaves both
+marginal count vectors unchanged; the induced distribution over tables is
+the multivariate (Fisher's noncentral-free) hypergeometric distribution with
+the observed marginals.  Patefield's algorithm AS 159 [36] samples from
+exactly this distribution.  We implement the same distribution with a
+conditional hypergeometric chain:
+
+* fill the matrix row by row;
+* within a row, allocate the row total across columns left to right, where
+  the count for cell ``(i, j)`` is a hypergeometric draw with population =
+  remaining column capacity, successes = remaining capacity of column ``j``,
+  and draws = what is left of row ``i``.
+
+Each prefix of cells then has exactly the probability the shuffle assigns
+it, which is the correctness property the tests verify against a
+brute-force shuffle.  The chain is vectorized across the ``m`` Monte-Carlo
+replicates, so the cost is ``O(r * c)`` batched hypergeometric draws
+independent of the data size -- the speedup over shuffling that makes MIT
+practical.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.utils.validation import ensure_rng
+
+
+def sample_contingency_tables(
+    row_margins: Sequence[int],
+    col_margins: Sequence[int],
+    m: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Draw ``m`` random ``r x c`` count matrices with the given marginals.
+
+    Parameters
+    ----------
+    row_margins, col_margins:
+        Non-negative integer marginal totals; both must sum to the same
+        grand total.
+    m:
+        Number of tables to sample.
+    rng:
+        numpy Generator or seed.
+
+    Returns an ``(m, r, c)`` integer array.  Every table has exactly the
+    requested marginals, distributed as random permutation (AS 159).
+    """
+    rows = np.asarray(row_margins, dtype=np.int64)
+    cols = np.asarray(col_margins, dtype=np.int64)
+    if np.any(rows < 0) or np.any(cols < 0):
+        raise ValueError("marginals must be non-negative")
+    if rows.sum() != cols.sum():
+        raise ValueError(
+            f"marginal totals disagree: rows sum to {rows.sum()}, columns to {cols.sum()}"
+        )
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    generator = ensure_rng(rng)
+
+    r = len(rows)
+    c = len(cols)
+    tables = np.zeros((m, r, c), dtype=np.int64)
+    if r == 0 or c == 0 or rows.sum() == 0:
+        return tables
+
+    # Remaining capacity of each column, per replicate.
+    col_remaining = np.broadcast_to(cols, (m, c)).copy()
+    for i in range(r):
+        row_remaining = np.full(m, rows[i], dtype=np.int64)
+        if i == r - 1:
+            # Last row is forced: it absorbs whatever capacity is left.
+            tables[:, i, :] = col_remaining
+            break
+        for j in range(c - 1):
+            ngood = col_remaining[:, j]
+            nbad = col_remaining[:, j + 1 :].sum(axis=1)
+            # Vectorized hypergeometric across replicates; cells where the
+            # row is already exhausted draw 0 automatically (nsample = 0).
+            draws = generator.hypergeometric(ngood, nbad, row_remaining)
+            tables[:, i, j] = draws
+            row_remaining -= draws
+            col_remaining[:, j] -= draws
+        tables[:, i, c - 1] = row_remaining
+        col_remaining[:, c - 1] -= row_remaining
+    return tables
+
+
+def shuffle_null_table(
+    x_codes: np.ndarray,
+    y_codes: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """One null-table draw by literally shuffling (reference implementation).
+
+    Kept for testing: the distribution of :func:`sample_contingency_tables`
+    must match the distribution of this function's output.
+    """
+    generator = ensure_rng(rng)
+    permuted = generator.permutation(x_codes)
+    x_values, x_idx = np.unique(permuted, return_inverse=True)
+    y_values, y_idx = np.unique(y_codes, return_inverse=True)
+    flat = np.bincount(x_idx * len(y_values) + y_idx, minlength=len(x_values) * len(y_values))
+    return flat.reshape(len(x_values), len(y_values))

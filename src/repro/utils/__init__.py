@@ -1,0 +1,24 @@
+"""Shared utilities: validation, subset enumeration, Borda rank aggregation."""
+
+from repro.utils.borda import borda_aggregate, rank_by_value
+from repro.utils.subsets import bounded_subsets, nonempty_subsets, powerset
+from repro.utils.validation import (
+    check_columns_exist,
+    check_disjoint,
+    check_fraction,
+    check_positive,
+    ensure_rng,
+)
+
+__all__ = [
+    "borda_aggregate",
+    "rank_by_value",
+    "bounded_subsets",
+    "nonempty_subsets",
+    "powerset",
+    "check_columns_exist",
+    "check_disjoint",
+    "check_fraction",
+    "check_positive",
+    "ensure_rng",
+]

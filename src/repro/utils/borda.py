@@ -1,0 +1,45 @@
+"""Borda-count rank aggregation (paper Sec. 3.2, Alg. 3 step 6).
+
+Fine-grained explanations rank each candidate triple twice -- once by its
+contribution to I(T;Z) and once by its contribution to I(Y;Z) -- and then
+merge the two rankings with Borda's method [26]: each ranking awards
+``len(ranking) - position`` points to an item and items are sorted by total
+points.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+from typing import TypeVar
+
+ItemT = TypeVar("ItemT", bound=Hashable)
+
+
+def rank_by_value(scores: Mapping[ItemT, float], descending: bool = True) -> list[ItemT]:
+    """Return the items of ``scores`` ordered by score.
+
+    Ties are broken by the repr of the item so that the ordering is
+    deterministic across runs regardless of dict insertion order.
+    """
+    sign = -1.0 if descending else 1.0
+    return sorted(scores, key=lambda item: (sign * scores[item], repr(item)))
+
+
+def borda_aggregate(rankings: Sequence[Sequence[ItemT]]) -> list[ItemT]:
+    """Merge several rankings of the same item set with the Borda count.
+
+    Each ranking contributes ``n - position`` points per item (n = ranking
+    length); missing items receive zero points from that ranking, which lets
+    callers aggregate rankings over slightly different candidate sets.
+
+    Returns the items ordered by total points, highest first, with
+    deterministic tie-breaking.
+    """
+    if not rankings:
+        return []
+    points: dict[ItemT, float] = {}
+    for ranking in rankings:
+        n = len(ranking)
+        for position, item in enumerate(ranking):
+            points[item] = points.get(item, 0.0) + (n - position)
+    return sorted(points, key=lambda item: (-points[item], repr(item)))

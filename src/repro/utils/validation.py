@@ -1,0 +1,63 @@
+"""Argument-validation helpers used across the library.
+
+These helpers centralize the error messages so every public entry point
+raises consistent, actionable exceptions instead of failing deep inside
+numpy with an opaque traceback.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a numpy Generator from a seed, a Generator, or None.
+
+    Every stochastic component in the library funnels its ``seed`` argument
+    through this function, which makes all experiments reproducible by
+    passing an integer.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_fraction(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in the closed unit interval."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_columns_exist(available: Iterable[str], requested: Iterable[str]) -> None:
+    """Raise ``KeyError`` listing every requested column that is missing."""
+    available_set = set(available)
+    missing = [column for column in requested if column not in available_set]
+    if missing:
+        raise KeyError(
+            f"unknown column(s) {missing}; available columns are {sorted(available_set)}"
+        )
+
+
+def check_disjoint(**named_groups: Sequence[str]) -> None:
+    """Raise ``ValueError`` if any two named column groups overlap.
+
+    Used by the causal-analysis entry points to reject treatments that also
+    appear among the outcomes or covariates, which would make the adjustment
+    formula meaningless.
+    """
+    names = list(named_groups)
+    for i, first in enumerate(names):
+        for second in names[i + 1 :]:
+            overlap = set(named_groups[first]) & set(named_groups[second])
+            if overlap:
+                raise ValueError(
+                    f"{first} and {second} must be disjoint; both contain {sorted(overlap)}"
+                )

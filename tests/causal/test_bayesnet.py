@@ -1,0 +1,154 @@
+"""Unit tests for the discrete Bayesian network sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.causal.bayesnet import DiscreteBayesNet
+from repro.causal.dag import CausalDAG
+
+
+@pytest.fixture
+def chain() -> CausalDAG:
+    return CausalDAG(["A", "B"], [("A", "B")])
+
+
+class TestValidation:
+    def test_missing_cpt_rejected(self, chain):
+        with pytest.raises(ValueError, match="missing CPT"):
+            DiscreteBayesNet(chain, {"A": 2, "B": 2}, {"A": np.array([[0.5, 0.5]])})
+
+    def test_missing_cardinality_rejected(self, chain):
+        with pytest.raises(ValueError, match="missing cardinalities"):
+            DiscreteBayesNet(chain, {"A": 2}, {})
+
+    def test_cardinality_below_two_rejected(self, chain):
+        with pytest.raises(ValueError, match=">= 2"):
+            DiscreteBayesNet(
+                chain,
+                {"A": 1, "B": 2},
+                {"A": np.array([[1.0]]), "B": np.array([[0.5, 0.5]])},
+            )
+
+    def test_wrong_cpt_shape_rejected(self, chain):
+        with pytest.raises(ValueError, match="shape"):
+            DiscreteBayesNet(
+                chain,
+                {"A": 2, "B": 2},
+                {"A": np.array([[0.5, 0.5]]), "B": np.array([[0.5, 0.5]])},
+            )
+
+    def test_unnormalized_rows_rejected(self, chain):
+        with pytest.raises(ValueError, match="sum to 1"):
+            DiscreteBayesNet(
+                chain,
+                {"A": 2, "B": 2},
+                {
+                    "A": np.array([[0.5, 0.5]]),
+                    "B": np.array([[0.9, 0.9], [0.5, 0.5]]),
+                },
+            )
+
+
+class TestRandomNets:
+    def test_random_net_shapes(self):
+        dag = CausalDAG(["A", "B", "C"], [("A", "C"), ("B", "C")])
+        net = DiscreteBayesNet.random(dag, categories=3, rng=0)
+        assert net.cpt("C").shape == (9, 3)
+        assert net.cpt("A").shape == (1, 3)
+
+    def test_per_node_categories(self):
+        dag = CausalDAG(["A", "B"], [("A", "B")])
+        net = DiscreteBayesNet.random(dag, categories={"A": 2, "B": 5}, rng=0)
+        assert net.cardinality("B") == 5
+        assert net.cpt("B").shape == (2, 5)
+
+    def test_strength_spikes_rows(self):
+        dag = CausalDAG([f"N{i}" for i in range(40)], [])
+        flat = DiscreteBayesNet.random(dag, categories=4, strength=1.0, rng=0)
+        spiky = DiscreteBayesNet.random(dag, categories=4, strength=20.0, rng=0)
+        mean_max = lambda net: np.mean([net.cpt(n).max() for n in dag.nodes()])  # noqa: E731
+        assert mean_max(spiky) > mean_max(flat) + 0.1
+
+
+class TestSampling:
+    def test_sample_shape_and_domains(self):
+        dag = CausalDAG(["A", "B"], [("A", "B")])
+        net = DiscreteBayesNet.random(dag, categories=3, rng=1)
+        table = net.sample(500, rng=2)
+        assert table.n_rows == 500
+        assert set(table.columns) == {"A", "B"}
+        assert set(table.column("A")) <= {0, 1, 2}
+
+    def test_sample_respects_root_marginals(self):
+        dag = CausalDAG(["A"], [])
+        net = DiscreteBayesNet(dag, {"A": 2}, {"A": np.array([[0.9, 0.1]])})
+        table = net.sample(20000, rng=3)
+        share = table.column("A").count(1) / 20000
+        assert share == pytest.approx(0.1, abs=0.01)
+
+    def test_sample_respects_conditionals(self):
+        dag = CausalDAG(["A", "B"], [("A", "B")])
+        net = DiscreteBayesNet(
+            dag,
+            {"A": 2, "B": 2},
+            {
+                "A": np.array([[0.5, 0.5]]),
+                "B": np.array([[0.95, 0.05], [0.1, 0.9]]),
+            },
+        )
+        table = net.sample(20000, rng=4)
+        rows = table.rows(["A", "B"])
+        p_b1_given_a1 = sum(1 for a, b in rows if a == 1 and b == 1) / sum(
+            1 for a, _ in rows if a == 1
+        )
+        assert p_b1_given_a1 == pytest.approx(0.9, abs=0.02)
+
+    def test_domains_decode(self):
+        dag = CausalDAG(["A"], [])
+        net = DiscreteBayesNet(dag, {"A": 2}, {"A": np.array([[0.5, 0.5]])})
+        table = net.sample(100, rng=5, domains={"A": ("no", "yes")})
+        assert set(table.column("A")) <= {"no", "yes"}
+
+    def test_collider_dependence_structure(self, rng):
+        """Samples reproduce the collider's independence pattern."""
+        from repro.infotheory.mutual_information import conditional_mutual_information
+
+        dag = CausalDAG(["A", "B", "C"], [("A", "C"), ("B", "C")])
+        net = DiscreteBayesNet.random(dag, categories=2, strength=8.0, rng=6)
+        table = net.sample(30000, rng=7)
+        marginal = conditional_mutual_information(table, "A", "B", estimator="plugin")
+        conditional = conditional_mutual_information(
+            table, "A", "B", ("C",), estimator="plugin"
+        )
+        assert marginal < 0.002
+        assert conditional > marginal
+
+
+class TestFromConditionals:
+    def test_explicit_cpts(self):
+        dag = CausalDAG(["Rain", "Wet"], [("Rain", "Wet")])
+        net, domains = DiscreteBayesNet.from_conditionals(
+            dag,
+            {"Rain": (0, 1), "Wet": (0, 1)},
+            {
+                "Rain": {(): (0.7, 0.3)},
+                "Wet": {(0,): (0.9, 0.1), (1,): (0.05, 0.95)},
+            },
+        )
+        table = net.sample(20000, rng=8, domains=domains)
+        rows = table.rows(["Rain", "Wet"])
+        p_wet_given_rain = sum(1 for r, w in rows if r == 1 and w == 1) / sum(
+            1 for r, _ in rows if r == 1
+        )
+        assert p_wet_given_rain == pytest.approx(0.95, abs=0.02)
+
+    def test_missing_conditional_rejected(self):
+        dag = CausalDAG(["A", "B"], [("A", "B")])
+        with pytest.raises(ValueError, match="no conditional"):
+            DiscreteBayesNet.from_conditionals(
+                dag,
+                {"A": (0, 1), "B": (0, 1)},
+                {"A": {(): (0.5, 0.5)}, "B": {(0,): (0.5, 0.5)}},
+            )

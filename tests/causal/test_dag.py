@@ -1,0 +1,148 @@
+"""Unit tests for CausalDAG: structure, d-separation, Markov boundaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.causal.dag import CausalDAG
+from repro.datasets.cancer import cancer_dag
+
+
+class TestStructure:
+    def test_parents_children(self, chain_dag):
+        assert chain_dag.parents("B") == {"A"}
+        assert chain_dag.children("B") == {"C"}
+        assert chain_dag.neighbors("B") == {"A", "C"}
+
+    def test_ancestors_descendants(self, chain_dag):
+        assert chain_dag.ancestors("C") == {"A", "B"}
+        assert chain_dag.descendants("A") == {"B", "C"}
+
+    def test_cycle_rejected(self, chain_dag):
+        with pytest.raises(ValueError, match="cycle"):
+            chain_dag.add_edge("C", "A")
+
+    def test_self_loop_rejected(self, chain_dag):
+        with pytest.raises(ValueError, match="self-loop"):
+            chain_dag.add_edge("A", "A")
+
+    def test_unknown_node(self, chain_dag):
+        with pytest.raises(KeyError, match="unknown node"):
+            chain_dag.parents("missing")
+
+    def test_topological_order(self, paper_dag):
+        order = paper_dag.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for source, target in paper_dag.edges():
+            assert position[source] < position[target]
+
+    def test_copy_is_independent(self, chain_dag):
+        copy = chain_dag.copy()
+        copy.add_edge("A", "C")
+        assert not chain_dag.has_edge("A", "C")
+
+    def test_equality_and_hash(self, chain_dag):
+        same = CausalDAG(chain_dag.nodes(), chain_dag.edges())
+        assert chain_dag == same
+        assert hash(chain_dag) == hash(same)
+
+    def test_is_collider(self, collider_dag):
+        assert collider_dag.is_collider("A", "C", "B")
+        assert not collider_dag.is_collider("A", "B", "C")
+
+    def test_mediators(self, paper_dag):
+        extended = paper_dag.copy()
+        extended.add_edge("Y", "C")
+        assert extended.mediators("T", "C") == {"Y"}
+
+    def test_mediators_none_for_direct_edge(self, chain_dag):
+        assert chain_dag.mediators("A", "B") == set()
+
+
+class TestDSeparation:
+    def test_chain_blocked_by_middle(self, chain_dag):
+        assert not chain_dag.d_separated("A", "C")
+        assert chain_dag.d_separated("A", "C", ["B"])
+
+    def test_fork(self):
+        dag = CausalDAG(["A", "B", "C"], [("B", "A"), ("B", "C")])
+        assert not dag.d_separated("A", "C")
+        assert dag.d_separated("A", "C", ["B"])
+
+    def test_collider_blocks_marginally(self, collider_dag):
+        assert collider_dag.d_separated("A", "B")
+
+    def test_conditioning_on_collider_opens(self, collider_dag):
+        assert not collider_dag.d_separated("A", "B", ["C"])
+
+    def test_conditioning_on_collider_descendant_opens(self):
+        dag = CausalDAG(["A", "B", "C", "D"], [("A", "C"), ("B", "C"), ("C", "D")])
+        assert dag.d_separated("A", "B")
+        assert not dag.d_separated("A", "B", ["D"])
+
+    def test_symmetry(self, paper_dag):
+        nodes = paper_dag.nodes()
+        for x in nodes:
+            for y in nodes:
+                if x >= y:
+                    continue
+                assert paper_dag.d_separated(x, y) == paper_dag.d_separated(y, x)
+
+    def test_berkson_example_from_paper(self):
+        """Appendix Ex. 10.1: Peer_Pressure ⊥ Anxiety but not given Smoking."""
+        dag = cancer_dag()
+        assert dag.d_separated("Peer_Pressure", "Anxiety")
+        assert not dag.d_separated("Peer_Pressure", "Anxiety", ["Smoking"])
+
+    def test_set_arguments(self, paper_dag):
+        assert paper_dag.d_separated(["Z"], ["W"], [])
+        assert not paper_dag.d_separated(["Z", "W"], ["Y"], [])
+        assert paper_dag.d_separated(["Z", "W"], ["Y"], ["T"])
+
+    def test_isolated_node_separated_from_all(self):
+        dag = cancer_dag()
+        assert dag.d_separated("Born_an_Even_Day", "Car_Accident")
+        assert dag.d_separated("Born_an_Even_Day", "Smoking", ["Lung_Cancer"])
+
+    def test_overlapping_sets_connected(self, chain_dag):
+        assert not chain_dag.d_separated(["A", "B"], ["B"], [])
+
+
+class TestMarkovBoundary:
+    def test_parents_children_spouses(self, paper_dag):
+        assert paper_dag.markov_boundary("T") == {"Z", "W", "Y", "C", "D"}
+
+    def test_root_node(self, paper_dag):
+        assert paper_dag.markov_boundary("Z") == {"T", "W"}
+
+    def test_leaf_node(self, paper_dag):
+        assert paper_dag.markov_boundary("Y") == {"T"}
+
+    def test_isolated_node(self):
+        dag = cancer_dag()
+        assert dag.markov_boundary("Born_an_Even_Day") == set()
+
+    def test_boundary_d_separates_rest(self, paper_dag):
+        """MB(X) must render X independent of everything else."""
+        for node in paper_dag.nodes():
+            boundary = paper_dag.markov_boundary(node)
+            rest = set(paper_dag.nodes()) - boundary - {node}
+            for other in rest:
+                assert paper_dag.d_separated(node, other, sorted(boundary))
+
+
+class TestBackdoor:
+    def test_parents_satisfy_backdoor(self, paper_dag):
+        assert paper_dag.satisfies_backdoor("T", "Y", ["Z", "W"])
+
+    def test_empty_set_fails_with_confounder(self):
+        dag = CausalDAG(["T", "Y", "U"], [("U", "T"), ("U", "Y"), ("T", "Y")])
+        assert not dag.satisfies_backdoor("T", "Y", [])
+        assert dag.satisfies_backdoor("T", "Y", ["U"])
+
+    def test_descendant_of_treatment_fails(self, paper_dag):
+        assert not paper_dag.satisfies_backdoor("T", "Y", ["C"])
+
+    def test_empty_set_ok_when_exogenous(self):
+        dag = CausalDAG(["T", "Y"], [("T", "Y")])
+        assert dag.satisfies_backdoor("T", "Y", [])

@@ -1,0 +1,77 @@
+"""Tests for Grow-Shrink and IAMB Markov-boundary discovery.
+
+Oracle-driven tests validate the algorithms' logic exactly; data-driven
+tests validate the statistical pipeline end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.causal.bayesnet import DiscreteBayesNet
+from repro.causal.growshrink import grow_shrink_markov_blanket
+from repro.causal.iamb import iamb_markov_blanket
+from repro.causal.oracle import DSeparationOracle
+from repro.causal.random_dag import random_erdos_renyi_dag
+from repro.datasets.cancer import cancer_dag
+from repro.stats.chi2 import ChiSquaredTest
+
+ALGORITHMS = [grow_shrink_markov_blanket, iamb_markov_blanket]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestWithOracle:
+    def test_paper_dag_boundary(self, algorithm, paper_dag):
+        oracle = DSeparationOracle(paper_dag)
+        found = algorithm(None, "T", oracle, candidates=paper_dag.nodes())
+        assert found == paper_dag.markov_boundary("T")
+
+    def test_all_nodes_cancer_dag(self, algorithm):
+        dag = cancer_dag()
+        oracle = DSeparationOracle(dag)
+        for node in dag.nodes():
+            found = algorithm(None, node, oracle, candidates=dag.nodes())
+            assert found == dag.markov_boundary(node), node
+
+    def test_random_dags(self, algorithm):
+        for seed in range(5):
+            dag = random_erdos_renyi_dag(10, expected_parents=1.5, rng=seed)
+            oracle = DSeparationOracle(dag)
+            for node in dag.nodes()[:4]:
+                found = algorithm(None, node, oracle, candidates=dag.nodes())
+                assert found == dag.markov_boundary(node)
+
+    def test_isolated_node_empty_boundary(self, algorithm):
+        dag = cancer_dag()
+        oracle = DSeparationOracle(dag)
+        found = algorithm(None, "Born_an_Even_Day", oracle, candidates=dag.nodes())
+        assert found == set()
+
+    def test_candidates_required_without_table(self, algorithm):
+        oracle = DSeparationOracle(cancer_dag())
+        with pytest.raises(ValueError, match="candidates"):
+            algorithm(None, "Smoking", oracle)
+
+    def test_max_blanket_caps_growth(self, algorithm, paper_dag):
+        oracle = DSeparationOracle(paper_dag)
+        found = algorithm(
+            None, "T", oracle, candidates=paper_dag.nodes(), max_blanket=2
+        )
+        assert len(found) <= 2
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestWithData:
+    def test_recovers_boundary_from_samples(self, algorithm):
+        from tests.conftest import strong_binary_net
+
+        dag = random_erdos_renyi_dag(6, expected_parents=1.2, rng=3)
+        net, domains = strong_binary_net(dag)
+        table = net.sample(30000, rng=5, domains=domains)
+        test = ChiSquaredTest()
+        # Check a node with a non-trivial boundary.
+        target = max(dag.nodes(), key=lambda n: len(dag.markov_boundary(n)))
+        found = algorithm(table, target, test)
+        truth = dag.markov_boundary(target)
+        # Allow one mistake: finite-sample tests are noisy.
+        assert len(found.symmetric_difference(truth)) <= 1

@@ -1,0 +1,90 @@
+"""Unit tests for structure-recovery metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.causal.dag import CausalDAG
+from repro.causal.structure.metrics import F1Report, parent_recovery_f1, skeleton_f1
+from repro.causal.structure.pdag import PDAG
+
+
+@pytest.fixture
+def truth() -> CausalDAG:
+    return CausalDAG(
+        ["A", "B", "C", "D"],
+        [("A", "C"), ("B", "C"), ("C", "D")],
+    )
+
+
+class TestF1Report:
+    def test_perfect(self):
+        report = F1Report(true_positives=5, false_positives=0, false_negatives=0)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+
+    def test_zero_predictions(self):
+        report = F1Report(true_positives=0, false_positives=0, false_negatives=3)
+        assert report.precision == 0.0
+        assert report.f1 == 0.0
+
+    def test_intermediate(self):
+        report = F1Report(true_positives=2, false_positives=2, false_negatives=2)
+        assert report.precision == pytest.approx(0.5)
+        assert report.recall == pytest.approx(0.5)
+        assert report.f1 == pytest.approx(0.5)
+
+
+class TestParentRecovery:
+    def test_exact_recovery(self, truth):
+        predicted = {node: truth.parents(node) for node in truth.nodes()}
+        assert parent_recovery_f1(truth, predicted).f1 == 1.0
+
+    def test_missing_parent_counts_fn(self, truth):
+        predicted = {"C": {"A"}, "D": {"C"}}
+        report = parent_recovery_f1(truth, predicted)
+        assert report.false_negatives == 1
+        assert report.false_positives == 0
+
+    def test_extra_parent_counts_fp(self, truth):
+        predicted = {"C": {"A", "B", "D"}}
+        report = parent_recovery_f1(truth, predicted)
+        assert report.false_positives >= 1
+
+    def test_min_true_parents_restriction(self, truth):
+        """With min_true_parents=2 only node C is scored."""
+        predicted = {"C": {"A", "B"}, "D": set()}
+        report = parent_recovery_f1(truth, predicted, min_true_parents=2)
+        assert report.f1 == 1.0  # D's missing parent is not counted
+
+    def test_accepts_pdag(self, truth):
+        pdag = PDAG(truth.nodes())
+        for source, target in truth.edges():
+            pdag.orient(source, target)
+        assert parent_recovery_f1(truth, pdag).f1 == 1.0
+
+    def test_undirected_edges_not_credited(self, truth):
+        pdag = PDAG(truth.nodes())
+        for source, target in truth.edges():
+            pdag.add_undirected(source, target)
+        report = parent_recovery_f1(truth, pdag)
+        assert report.true_positives == 0
+        assert report.false_negatives == 3
+
+
+class TestSkeletonF1:
+    def test_orientation_ignored(self, truth):
+        pdag = PDAG(truth.nodes())
+        pdag.orient("C", "A")  # wrong direction, same adjacency
+        pdag.add_undirected("B", "C")
+        pdag.orient("C", "D")
+        assert skeleton_f1(truth, pdag).f1 == 1.0
+
+    def test_spurious_edge_penalized(self, truth):
+        pdag = PDAG(truth.nodes())
+        for source, target in truth.edges():
+            pdag.orient(source, target)
+        pdag.add_undirected("A", "B")
+        report = skeleton_f1(truth, pdag)
+        assert report.false_positives == 1

@@ -1,0 +1,36 @@
+"""Unit tests for the d-separation CI oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.causal.oracle import DSeparationOracle
+
+
+class TestOracle:
+    def test_separated_reports_independent(self, collider_dag):
+        oracle = DSeparationOracle(collider_dag)
+        result = oracle.test(None, "A", "B")
+        assert result.independent()
+        assert result.p_value == 1.0
+        assert result.statistic == 0.0
+
+    def test_connected_reports_dependent(self, collider_dag):
+        oracle = DSeparationOracle(collider_dag)
+        result = oracle.test(None, "A", "B", ["C"])
+        assert result.dependent()
+        assert result.statistic == 1.0
+
+    def test_counts_calls(self, chain_dag):
+        oracle = DSeparationOracle(chain_dag)
+        oracle.test(None, "A", "C")
+        oracle.test(None, "A", "C", ["B"])
+        assert oracle.calls == 2
+
+    def test_rejects_same_variable(self, chain_dag):
+        oracle = DSeparationOracle(chain_dag)
+        with pytest.raises(ValueError, match="distinct"):
+            oracle.test(None, "A", "A")
+
+    def test_dag_property(self, chain_dag):
+        assert DSeparationOracle(chain_dag).dag is chain_dag

@@ -1,0 +1,56 @@
+"""Tests for the PC-stable structure learner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.causal.oracle import DSeparationOracle
+from repro.causal.random_dag import random_erdos_renyi_dag
+from repro.causal.structure.metrics import parent_recovery_f1, skeleton_f1
+from repro.causal.structure.pc import PCStable
+from repro.datasets.cancer import cancer_dag
+from repro.stats.chi2 import ChiSquaredTest
+
+
+class TestWithOracle:
+    def test_collider_oriented(self, collider_dag):
+        pdag = PCStable(DSeparationOracle(collider_dag)).learn(None, collider_dag.nodes())
+        assert pdag.parents("C") == {"A", "B"}
+
+    def test_chain_skeleton_undirected(self, chain_dag):
+        pdag = PCStable(DSeparationOracle(chain_dag)).learn(None, chain_dag.nodes())
+        assert pdag.skeleton() == {frozenset({"A", "B"}), frozenset({"B", "C"})}
+        assert pdag.directed_edges() == []
+
+    def test_paper_dag_recovered(self, paper_dag):
+        pdag = PCStable(DSeparationOracle(paper_dag)).learn(None, paper_dag.nodes())
+        assert parent_recovery_f1(paper_dag, pdag).f1 == 1.0
+
+    def test_cancer_dag_skeleton_exact(self):
+        dag = cancer_dag()
+        pdag = PCStable(DSeparationOracle(dag), max_cond_size=4).learn(None, dag.nodes())
+        assert skeleton_f1(dag, pdag).f1 == 1.0
+
+    def test_random_dags_skeleton(self):
+        for seed in range(4):
+            dag = random_erdos_renyi_dag(7, expected_parents=1.3, rng=seed)
+            pdag = PCStable(DSeparationOracle(dag), max_cond_size=4).learn(
+                None, dag.nodes()
+            )
+            assert skeleton_f1(dag, pdag).f1 == 1.0, seed
+
+    def test_nodes_required_without_table(self, chain_dag):
+        with pytest.raises(ValueError, match="nodes"):
+            PCStable(DSeparationOracle(chain_dag)).learn(None)
+
+
+class TestWithData:
+    def test_sampled_collider(self):
+        from repro.causal.dag import CausalDAG
+        from tests.conftest import strong_binary_net
+
+        dag = CausalDAG(["A", "B", "C"], [("A", "C"), ("B", "C")])
+        net, domains = strong_binary_net(dag)
+        table = net.sample(20000, rng=13, domains=domains)
+        pdag = PCStable(ChiSquaredTest()).learn(table)
+        assert pdag.parents("C") == {"A", "B"}

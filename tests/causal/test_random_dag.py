@@ -1,0 +1,58 @@
+"""Unit tests for random DAG generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.causal.random_dag import random_erdos_renyi_dag
+
+
+class TestRandomDag:
+    def test_node_count_and_names(self):
+        dag = random_erdos_renyi_dag(8, rng=0)
+        assert dag.n_nodes() == 8
+        assert dag.nodes() == [f"X{i}" for i in range(8)]
+
+    def test_acyclic_by_construction(self):
+        for seed in range(20):
+            dag = random_erdos_renyi_dag(12, expected_parents=3.0, rng=seed)
+            order = dag.topological_order()  # raises if cyclic
+            assert len(order) == 12
+
+    def test_expected_parents_controls_density(self):
+        sparse = sum(
+            random_erdos_renyi_dag(16, expected_parents=0.5, rng=s).n_edges()
+            for s in range(10)
+        )
+        dense = sum(
+            random_erdos_renyi_dag(16, expected_parents=3.0, rng=s).n_edges()
+            for s in range(10)
+        )
+        assert dense > sparse * 2
+
+    def test_mean_in_degree_near_target(self):
+        total_edges = 0
+        trials = 30
+        for seed in range(trials):
+            total_edges += random_erdos_renyi_dag(16, expected_parents=2.0, rng=seed).n_edges()
+        mean_parents = total_edges / (trials * 16)
+        assert mean_parents == pytest.approx(2.0, rel=0.25)
+
+    def test_seed_reproducible(self):
+        a = random_erdos_renyi_dag(10, rng=7)
+        b = random_erdos_renyi_dag(10, rng=7)
+        assert a == b
+
+    def test_single_node(self):
+        dag = random_erdos_renyi_dag(1, rng=0)
+        assert dag.n_edges() == 0
+
+    def test_prefix(self):
+        dag = random_erdos_renyi_dag(3, rng=0, node_prefix="V")
+        assert dag.nodes() == ["V0", "V1", "V2"]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            random_erdos_renyi_dag(0)
+        with pytest.raises(ValueError):
+            random_erdos_renyi_dag(5, expected_parents=0)

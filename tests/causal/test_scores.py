@@ -1,0 +1,100 @@
+"""Unit tests for the decomposable network scores."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.causal.structure.scores import (
+    aic_score,
+    bdeu_score,
+    bic_score,
+    family_log_likelihood,
+    get_score_function,
+)
+from repro.relation.table import Table
+
+
+@pytest.fixture
+def dependent_table(rng) -> Table:
+    n = 4000
+    a = rng.integers(0, 2, n)
+    b = np.where(rng.random(n) < 0.9, a, 1 - a)
+    c = rng.integers(0, 2, n)
+    return Table.from_columns({"A": a.tolist(), "B": b.tolist(), "C": c.tolist()})
+
+
+class TestLogLikelihood:
+    def test_non_positive(self, dependent_table):
+        assert family_log_likelihood(dependent_table, "B", []) <= 0
+
+    def test_adding_informative_parent_improves(self, dependent_table):
+        without = family_log_likelihood(dependent_table, "B", [])
+        with_parent = family_log_likelihood(dependent_table, "B", ["A"])
+        assert with_parent > without
+
+    def test_adding_any_parent_never_hurts(self, dependent_table):
+        without = family_log_likelihood(dependent_table, "B", [])
+        with_noise = family_log_likelihood(dependent_table, "B", ["C"])
+        assert with_noise >= without - 1e-9
+
+    def test_deterministic_family_is_zero(self):
+        table = Table.from_columns({"A": [0, 1, 0, 1], "B": [0, 1, 0, 1]})
+        assert family_log_likelihood(table, "B", ["A"]) == pytest.approx(0.0)
+
+    def test_relation_to_entropy(self, dependent_table):
+        """LL(node | ()) = -n * H_plugin(node)."""
+        from repro.infotheory.entropy import plugin_entropy
+
+        counts = dependent_table.joint_counts(("B",))
+        expected = -dependent_table.n_rows * plugin_entropy(counts)
+        assert family_log_likelihood(dependent_table, "B", []) == pytest.approx(expected)
+
+
+class TestPenalizedScores:
+    def test_bic_penalizes_noise_parent(self, dependent_table):
+        assert bic_score(dependent_table, "B", ["C"]) < bic_score(dependent_table, "B", [])
+
+    def test_bic_rewards_informative_parent(self, dependent_table):
+        assert bic_score(dependent_table, "B", ["A"]) > bic_score(dependent_table, "B", [])
+
+    def test_aic_penalty_lighter_than_bic(self, dependent_table):
+        # Same LL, smaller penalty at this n.
+        aic_gap = aic_score(dependent_table, "B", ["A", "C"]) - aic_score(
+            dependent_table, "B", ["A"]
+        )
+        bic_gap = bic_score(dependent_table, "B", ["A", "C"]) - bic_score(
+            dependent_table, "B", ["A"]
+        )
+        assert aic_gap > bic_gap
+
+    def test_bdeu_rewards_informative_parent(self, dependent_table):
+        assert bdeu_score(dependent_table, "B", ["A"]) > bdeu_score(
+            dependent_table, "B", []
+        )
+
+    def test_bdeu_iss_must_be_positive(self, dependent_table):
+        with pytest.raises(ValueError, match="positive"):
+            bdeu_score(dependent_table, "B", [], equivalent_sample_size=0)
+
+    def test_bdeu_marginal_likelihood_identity(self):
+        """For a single binary node with iss=2 (a=1 each), the BDeu score is
+        the log Beta-binomial marginal likelihood."""
+        from scipy.special import gammaln
+
+        table = Table.from_columns({"A": [0, 0, 0, 1]})
+        score = bdeu_score(table, "A", [], equivalent_sample_size=2.0)
+        expected = (
+            gammaln(2) - gammaln(2 + 4) + (gammaln(1 + 3) - gammaln(1)) + (gammaln(1 + 1) - gammaln(1))
+        )
+        assert score == pytest.approx(float(expected))
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("name", ["aic", "bic", "bde", "bdeu", "BIC"])
+    def test_known_names(self, name):
+        assert callable(get_score_function(name))
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown score"):
+            get_score_function("mdl2")

@@ -1,0 +1,152 @@
+"""Tests for the structure-learning baselines (FGS, IAMB, hill climbing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.causal.bayesnet import DiscreteBayesNet
+from repro.causal.oracle import DSeparationOracle
+from repro.causal.random_dag import random_erdos_renyi_dag
+from repro.causal.structure.fgs import FullGrowShrink
+from repro.causal.structure.hillclimb import HillClimbLearner
+from repro.causal.structure.iamb_learner import IambLearner
+from repro.causal.structure.metrics import parent_recovery_f1, skeleton_f1
+from repro.causal.structure.pdag import PDAG
+from repro.datasets.cancer import cancer_dag
+from repro.stats.chi2 import ChiSquaredTest
+
+
+class TestPDAG:
+    def test_orient_and_parents(self):
+        pdag = PDAG(["A", "B", "C"])
+        pdag.add_undirected("A", "B")
+        pdag.orient("A", "B")
+        assert pdag.parents("B") == {"A"}
+        assert pdag.children("A") == {"B"}
+        assert pdag.undirected_edges() == []
+
+    def test_orient_conflict_raises(self):
+        pdag = PDAG(["A", "B"])
+        pdag.orient("A", "B")
+        with pytest.raises(ValueError, match="already oriented"):
+            pdag.orient("B", "A")
+        assert not pdag.orient_if_possible("B", "A")
+
+    def test_orient_same_direction_idempotent(self):
+        pdag = PDAG(["A", "B"])
+        pdag.orient("A", "B")
+        pdag.orient("A", "B")
+        assert pdag.directed_edges() == [("A", "B")]
+
+    def test_adjacent_covers_both_kinds(self):
+        pdag = PDAG(["A", "B", "C"])
+        pdag.add_undirected("A", "B")
+        pdag.orient("B", "C")
+        assert pdag.adjacent("A", "B") and pdag.adjacent("B", "A")
+        assert pdag.adjacent("B", "C")
+        assert not pdag.adjacent("A", "C")
+
+    def test_skeleton(self):
+        pdag = PDAG(["A", "B", "C"])
+        pdag.add_undirected("A", "B")
+        pdag.orient("B", "C")
+        assert pdag.skeleton() == {frozenset({"A", "B"}), frozenset({"B", "C"})}
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            PDAG(["A"]).add_undirected("A", "A")
+
+
+@pytest.mark.parametrize("learner_class", [FullGrowShrink, IambLearner])
+class TestConstraintLearnersWithOracle:
+    def test_paper_dag_parents_recovered(self, learner_class, paper_dag):
+        oracle = DSeparationOracle(paper_dag)
+        pdag = learner_class(oracle).learn(None, paper_dag.nodes())
+        assert pdag.parents("T") == {"Z", "W"}
+        assert pdag.parents("C") == {"T", "D"}
+        assert parent_recovery_f1(paper_dag, pdag).f1 == 1.0
+
+    def test_collider_orientation(self, learner_class, collider_dag):
+        oracle = DSeparationOracle(collider_dag)
+        pdag = learner_class(oracle).learn(None, collider_dag.nodes())
+        assert pdag.parents("C") == {"A", "B"}
+
+    def test_chain_stays_undirected(self, learner_class, chain_dag):
+        """A chain's orientation is not identifiable: edges stay undirected."""
+        oracle = DSeparationOracle(chain_dag)
+        pdag = learner_class(oracle).learn(None, chain_dag.nodes())
+        assert pdag.skeleton() == {frozenset({"A", "B"}), frozenset({"B", "C"})}
+        assert pdag.directed_edges() == []
+
+    def test_cancer_dag_skeleton(self, learner_class):
+        dag = cancer_dag()
+        oracle = DSeparationOracle(dag)
+        pdag = learner_class(oracle, max_cond_size=4).learn(None, dag.nodes())
+        report = skeleton_f1(dag, pdag)
+        assert report.f1 == 1.0
+
+
+class TestHillClimb:
+    def test_learns_strong_dependency_skeleton(self):
+        from tests.conftest import strong_binary_net
+
+        dag = random_erdos_renyi_dag(5, expected_parents=1.2, rng=1)
+        net, domains = strong_binary_net(dag)
+        table = net.sample(20000, rng=3, domains=domains)
+        learned = HillClimbLearner("bic", max_parents=3).learn(table)
+        truth_skeleton = {frozenset(e) for e in dag.edges()}
+        learned_skeleton = {frozenset(e) for e in learned.edges()}
+        missing = truth_skeleton - learned_skeleton
+        assert len(missing) <= 1
+
+    def test_empty_on_independent_data(self, rng):
+        from repro.relation.table import Table
+
+        n = 5000
+        table = Table.from_columns(
+            {f"X{i}": rng.integers(0, 2, n).tolist() for i in range(4)}
+        )
+        learned = HillClimbLearner("bic").learn(table)
+        assert learned.n_edges() == 0
+
+    def test_aic_denser_than_bic(self, rng):
+        from repro.relation.table import Table
+
+        n = 800
+        table = Table.from_columns(
+            {f"X{i}": rng.integers(0, 3, n).tolist() for i in range(5)}
+        )
+        aic_edges = HillClimbLearner("aic").learn(table).n_edges()
+        bic_edges = HillClimbLearner("bic").learn(table).n_edges()
+        assert aic_edges >= bic_edges
+
+    def test_max_parents_respected(self):
+        dag = random_erdos_renyi_dag(6, expected_parents=2.5, rng=4)
+        net = DiscreteBayesNet.random(dag, categories=2, strength=8.0, rng=5)
+        table = net.sample(8000, rng=6)
+        learned = HillClimbLearner("aic", max_parents=2).learn(table)
+        assert all(len(learned.parents(node)) <= 2 for node in learned.nodes())
+
+    def test_learn_pdag_wraps_dag(self):
+        dag = random_erdos_renyi_dag(4, expected_parents=1.0, rng=7)
+        net = DiscreteBayesNet.random(dag, categories=2, strength=6.0, rng=8)
+        table = net.sample(5000, rng=9)
+        learner = HillClimbLearner("bde")
+        pdag = learner.learn_pdag(table)
+        assert pdag.undirected_edges() == []
+
+    def test_unknown_score_rejected(self):
+        with pytest.raises(ValueError, match="unknown score"):
+            HillClimbLearner("bogus")
+
+
+class TestConstraintLearnersWithData:
+    def test_fgs_on_sampled_collider(self):
+        from repro.causal.dag import CausalDAG
+        from tests.conftest import strong_binary_net
+
+        dag = CausalDAG(["A", "B", "C"], [("A", "C"), ("B", "C")])
+        net, domains = strong_binary_net(dag)
+        table = net.sample(20000, rng=11, domains=domains)
+        pdag = FullGrowShrink(ChiSquaredTest()).learn(table)
+        assert pdag.parents("C") == {"A", "B"}

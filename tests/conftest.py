@@ -1,0 +1,89 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.causal.dag import CausalDAG
+from repro.relation.table import Table
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_table() -> Table:
+    """A tiny deterministic table used across relational tests."""
+    return Table.from_columns(
+        {
+            "T": ["a", "a", "b", "b", "a", "b"],
+            "Y": [1, 0, 1, 1, 0, 1],
+            "Z": ["u", "v", "u", "v", "u", "v"],
+        }
+    )
+
+
+@pytest.fixture
+def confounded_table(rng: np.random.Generator) -> Table:
+    """Z confounds T and Y: T ⊥̸ Y marginally but T ⊥ Y | Z."""
+    n = 8000
+    z = rng.integers(0, 3, n)
+    t = (rng.random(n) < 0.25 + 0.25 * z).astype(int)
+    y = (rng.random(n) < 0.15 + 0.3 * z).astype(int)
+    return Table.from_columns({"Z": z.tolist(), "T": t.tolist(), "Y": y.tolist()})
+
+
+@pytest.fixture
+def chain_dag() -> CausalDAG:
+    """A -> B -> C chain."""
+    return CausalDAG(nodes=["A", "B", "C"], edges=[("A", "B"), ("B", "C")])
+
+
+@pytest.fixture
+def collider_dag() -> CausalDAG:
+    """A -> C <- B collider."""
+    return CausalDAG(nodes=["A", "B", "C"], edges=[("A", "C"), ("B", "C")])
+
+
+def strong_binary_net(dag: CausalDAG):
+    """A binary Bayesian network over ``dag`` with strong, explicit CPTs.
+
+    Random Dirichlet CPTs occasionally produce near-independent edges,
+    which makes data-driven discovery tests flaky; this helper guarantees
+    every edge carries detectable signal: P(node=1 | parents) ramps from
+    0.12 (all parents 0) to 0.82 (all parents 1).
+    """
+    from repro.causal.bayesnet import DiscreteBayesNet
+    from itertools import product
+
+    domains = {node: (0, 1) for node in dag.nodes()}
+    conditionals = {}
+    for node in dag.nodes():
+        parents = sorted(dag.parents(node))
+        table = {}
+        if not parents:
+            table[()] = (0.6, 0.4)
+        else:
+            for values in product((0, 1), repeat=len(parents)):
+                p = 0.12 + 0.70 * (sum(values) / len(parents))
+                table[values] = (1.0 - p, p)
+        conditionals[node] = table
+    net, decoded = DiscreteBayesNet.from_conditionals(dag, domains, conditionals)
+    return net, decoded
+
+
+@pytest.fixture
+def paper_dag() -> CausalDAG:
+    """The Fig. 2-style DAG used in the discovery tests.
+
+    Z and W are non-adjacent parents of T; Y is a child of T; C is a child
+    of T with a second parent D (so D is a spouse of T).
+    """
+    return CausalDAG(
+        nodes=["Z", "W", "T", "Y", "C", "D"],
+        edges=[("Z", "T"), ("W", "T"), ("T", "Y"), ("T", "C"), ("D", "C")],
+    )

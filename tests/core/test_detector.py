@@ -1,0 +1,69 @@
+"""Unit tests for bias detection (Def. 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import detect_bias, with_joint_column
+from repro.relation.table import Table
+from repro.stats.chi2 import ChiSquaredTest
+
+
+class TestWithJointColumn:
+    def test_joint_column_encodes_combinations(self, small_table):
+        augmented = with_joint_column(small_table, ["Y", "Z"], "J")
+        assert augmented.n_groups(["J"]) == small_table.n_groups(["Y", "Z"])
+
+    def test_joint_column_preserves_rows(self, small_table):
+        augmented = with_joint_column(small_table, ["Y"], "J")
+        assert augmented.n_rows == small_table.n_rows
+
+
+class TestDetectBias:
+    def test_balanced_when_no_variables(self, small_table):
+        result = detect_bias(small_table, "T", [], ChiSquaredTest())
+        assert not result.biased
+        assert result.result.method == "trivial"
+
+    def test_unbalanced_covariate_detected(self, confounded_table):
+        result = detect_bias(confounded_table, "T", ["Z"], ChiSquaredTest())
+        assert result.biased
+        assert result.p_value < 0.01
+
+    def test_balanced_covariate_accepted(self, rng):
+        n = 6000
+        table = Table.from_columns(
+            {
+                "T": rng.integers(0, 2, n).tolist(),
+                "Z": rng.integers(0, 3, n).tolist(),
+            }
+        )
+        result = detect_bias(table, "T", ["Z"], ChiSquaredTest())
+        assert not result.biased
+
+    def test_joint_test_catches_joint_imbalance(self, rng):
+        """Two individually balanced variables whose JOINT differs by T."""
+        n = 8000
+        t = rng.integers(0, 2, n)
+        a = rng.integers(0, 2, n)
+        # b == a XOR t-ish: marginally balanced, jointly not.
+        flip = rng.random(n) < 0.9
+        b = (a ^ (t * flip)).astype(int)
+        table = Table.from_columns(
+            {"T": t.tolist(), "A": a.tolist(), "B": b.tolist()}
+        )
+        chi2 = ChiSquaredTest()
+        joint = detect_bias(table, "T", ["A", "B"], chi2)
+        assert joint.biased
+
+    def test_treatment_in_variables_rejected(self, small_table):
+        with pytest.raises(ValueError, match="treatment"):
+            detect_bias(small_table, "T", ["T", "Y"], ChiSquaredTest())
+
+    def test_repr_shows_verdict(self, confounded_table):
+        result = detect_bias(confounded_table, "T", ["Z"], ChiSquaredTest())
+        assert "BIASED" in repr(result)
+
+    def test_alpha_threshold_respected(self, confounded_table):
+        weak = detect_bias(confounded_table, "T", ["Z"], ChiSquaredTest(), alpha=1e-300)
+        assert not weak.biased  # nothing is significant at alpha ~ 0

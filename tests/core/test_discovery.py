@@ -1,0 +1,133 @@
+"""Tests for the CD algorithm (Alg. 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.causal.bayesnet import DiscreteBayesNet
+from repro.causal.dag import CausalDAG
+from repro.causal.oracle import DSeparationOracle
+from repro.core.discovery import CovariateDiscoverer
+from repro.datasets.cancer import cancer_dag
+from repro.stats.chi2 import ChiSquaredTest
+
+
+class TestWithOracle:
+    def test_paper_dag_parents_found(self, paper_dag):
+        oracle = DSeparationOracle(paper_dag)
+        result = CovariateDiscoverer(oracle).discover(
+            None, "T", outcome="Y", candidates=paper_dag.nodes()
+        )
+        assert set(result.covariates) == {"Z", "W"}
+        assert not result.used_fallback
+
+    def test_spouse_not_reported_as_parent(self, paper_dag):
+        """D (a parent of T's child C) must not survive Phase II."""
+        oracle = DSeparationOracle(paper_dag)
+        result = CovariateDiscoverer(oracle).discover(
+            None, "T", outcome="Y", candidates=paper_dag.nodes()
+        )
+        assert "D" not in result.covariates
+
+    def test_cancer_dag_nodes_with_nonadjacent_parents(self):
+        """CD identifies PA exactly when two parents are non-adjacent."""
+        dag = cancer_dag()
+        oracle = DSeparationOracle(dag)
+        discoverer = CovariateDiscoverer(oracle, max_cond_size=4)
+        for node in ("Smoking", "Lung_Cancer", "Coughing", "Car_Accident"):
+            result = discoverer.discover(None, node, candidates=dag.nodes())
+            assert set(result.covariates) == dag.parents(node), node
+            assert not result.used_fallback
+
+    def test_adjacent_parents_trigger_fallback(self):
+        """Fatigue's parents (Lung_Cancer -> Coughing) are adjacent, so the
+        identification assumption of Sec. 4 fails and CD must fall back to
+        the Markov boundary."""
+        dag = cancer_dag()
+        oracle = DSeparationOracle(dag)
+        result = CovariateDiscoverer(oracle, max_cond_size=4).discover(
+            None, "Fatigue", outcome="Car_Accident", candidates=dag.nodes()
+        )
+        assert result.used_fallback
+        assert set(result.covariates) == dag.markov_boundary("Fatigue") - {"Car_Accident"}
+
+    def test_single_parent_falls_back_to_boundary(self):
+        dag = CausalDAG(["P", "T", "Y"], [("P", "T"), ("T", "Y")])
+        oracle = DSeparationOracle(dag)
+        result = CovariateDiscoverer(oracle).discover(
+            None, "T", outcome="Y", candidates=dag.nodes()
+        )
+        assert result.used_fallback
+        assert set(result.covariates) == {"P"}  # MB(T) - {Y}
+
+    def test_fallback_exclude_removes_mediators(self):
+        dag = CausalDAG(["T", "M", "Y"], [("T", "M"), ("M", "Y")])
+        oracle = DSeparationOracle(dag)
+        result = CovariateDiscoverer(oracle).discover(
+            None, "T", outcome="Y", candidates=dag.nodes(), fallback_exclude=["M"]
+        )
+        assert result.used_fallback
+        assert result.covariates == ()
+
+    def test_markov_boundary_reported(self, paper_dag):
+        oracle = DSeparationOracle(paper_dag)
+        result = CovariateDiscoverer(oracle).discover(
+            None, "T", candidates=paper_dag.nodes()
+        )
+        assert set(result.markov_boundary) == paper_dag.markov_boundary("T")
+
+    def test_test_count_tracked(self, paper_dag):
+        oracle = DSeparationOracle(paper_dag)
+        result = CovariateDiscoverer(oracle).discover(
+            None, "T", candidates=paper_dag.nodes()
+        )
+        assert result.n_tests > 0
+        assert result.n_tests == oracle.calls
+
+    def test_candidates_required_without_table(self, paper_dag):
+        oracle = DSeparationOracle(paper_dag)
+        with pytest.raises(ValueError, match="candidates"):
+            CovariateDiscoverer(oracle).discover(None, "T")
+
+    def test_repr_mentions_source(self, paper_dag):
+        oracle = DSeparationOracle(paper_dag)
+        result = CovariateDiscoverer(oracle).discover(
+            None, "T", candidates=paper_dag.nodes()
+        )
+        assert "Alg. 1" in repr(result)
+
+
+class TestWithData:
+    @pytest.fixture
+    def sampled(self):
+        from tests.conftest import strong_binary_net
+
+        dag = CausalDAG(
+            ["Z", "W", "T", "Y"],
+            [("Z", "T"), ("W", "T"), ("T", "Y")],
+        )
+        net, domains = strong_binary_net(dag)
+        return dag, net.sample(30000, rng=22, domains=domains)
+
+    def test_recovers_parents_from_samples(self, sampled):
+        dag, table = sampled
+        result = CovariateDiscoverer(ChiSquaredTest()).discover(
+            table, "T", outcome="Y"
+        )
+        assert set(result.covariates) == {"Z", "W"}
+
+    def test_iamb_blanket_variant(self, sampled):
+        from repro.causal.iamb import iamb_markov_blanket
+
+        dag, table = sampled
+        result = CovariateDiscoverer(
+            ChiSquaredTest(), blanket_algorithm=iamb_markov_blanket
+        ).discover(table, "T", outcome="Y")
+        assert set(result.covariates) == {"Z", "W"}
+
+    def test_symmetry_correction_can_be_disabled(self, sampled):
+        dag, table = sampled
+        result = CovariateDiscoverer(
+            ChiSquaredTest(), symmetry_correction=False
+        ).discover(table, "T", outcome="Y")
+        assert {"Z", "W"} <= set(result.covariates)

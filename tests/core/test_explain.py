@@ -1,0 +1,114 @@
+"""Unit tests for coarse- and fine-grained explanations (Sec. 3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.explain import (
+    coarse_grained_explanations,
+    fine_grained_explanations,
+)
+from repro.relation.table import Table
+
+
+@pytest.fixture
+def two_confounders(rng) -> Table:
+    """Z1 strongly confounds T; Z2 weakly; W is pure noise."""
+    n = 20000
+    z1 = rng.integers(0, 2, n)
+    z2 = rng.integers(0, 2, n)
+    w = rng.integers(0, 2, n)
+    t = (rng.random(n) < 0.2 + 0.5 * z1 + 0.1 * z2).astype(int)
+    y = (rng.random(n) < 0.1 + 0.4 * z1 + 0.1 * z2).astype(int)
+    return Table.from_columns(
+        {
+            "Z1": z1.tolist(),
+            "Z2": z2.tolist(),
+            "W": w.tolist(),
+            "T": t.tolist(),
+            "Y": y.tolist(),
+        }
+    )
+
+
+class TestCoarseGrained:
+    def test_strong_confounder_ranked_first(self, two_confounders):
+        explanations = coarse_grained_explanations(
+            two_confounders, "T", ["Z1", "Z2", "W"]
+        )
+        assert explanations[0].attribute == "Z1"
+        assert explanations[0].responsibility > explanations[1].responsibility
+
+    def test_responsibilities_sum_to_one(self, two_confounders):
+        explanations = coarse_grained_explanations(
+            two_confounders, "T", ["Z1", "Z2", "W"]
+        )
+        assert sum(item.responsibility for item in explanations) == pytest.approx(1.0)
+
+    def test_noise_attribute_near_zero(self, two_confounders):
+        explanations = coarse_grained_explanations(
+            two_confounders, "T", ["Z1", "Z2", "W"]
+        )
+        by_name = {item.attribute: item.responsibility for item in explanations}
+        assert by_name["W"] < 0.05
+
+    def test_single_variable_gets_all_responsibility(self, confounded_table):
+        explanations = coarse_grained_explanations(confounded_table, "T", ["Z"])
+        assert explanations[0].responsibility == pytest.approx(1.0)
+
+    def test_empty_variables(self, confounded_table):
+        assert coarse_grained_explanations(confounded_table, "T", []) == []
+
+    def test_balanced_data_all_zero(self, rng):
+        n = 5000
+        table = Table.from_columns(
+            {
+                "T": rng.integers(0, 2, n).tolist(),
+                "Z": rng.integers(0, 2, n).tolist(),
+            }
+        )
+        explanations = coarse_grained_explanations(
+            table, "T", ["Z"], estimator="plugin"
+        )
+        assert explanations[0].responsibility in (0.0, 1.0)
+        assert explanations[0].information_drop < 0.001
+
+    def test_treatment_rejected(self, confounded_table):
+        with pytest.raises(ValueError, match="treatment"):
+            coarse_grained_explanations(confounded_table, "T", ["T"])
+
+    def test_repr(self, confounded_table):
+        explanations = coarse_grained_explanations(confounded_table, "T", ["Z"])
+        assert "rho" in repr(explanations[0])
+
+
+class TestFineGrained:
+    def test_top_triples_capture_confounding(self, confounded_table):
+        triples = fine_grained_explanations(confounded_table, "T", "Y", "Z", top_k=2)
+        assert len(triples) == 2
+        # Strongest pattern: Z=2 co-occurs with T=1, Y=1.
+        top = triples[0]
+        assert (top.treatment_value, top.outcome_value, top.attribute_value) == (1, 1, 2)
+
+    def test_kappas_reported(self, confounded_table):
+        triples = fine_grained_explanations(confounded_table, "T", "Y", "Z", top_k=1)
+        assert triples[0].kappa_treatment > 0
+        assert triples[0].kappa_outcome > 0
+
+    def test_top_k_bounds_output(self, confounded_table):
+        triples = fine_grained_explanations(confounded_table, "T", "Y", "Z", top_k=100)
+        assert len(triples) == len(confounded_table.distinct(["T", "Y", "Z"]))
+
+    def test_top_k_positive_required(self, confounded_table):
+        with pytest.raises(ValueError, match="positive"):
+            fine_grained_explanations(confounded_table, "T", "Y", "Z", top_k=0)
+
+    def test_empty_table(self):
+        table = Table.from_columns({"T": [], "Y": [], "Z": []})
+        assert fine_grained_explanations(table, "T", "Y", "Z") == []
+
+    def test_deterministic(self, confounded_table):
+        first = fine_grained_explanations(confounded_table, "T", "Y", "Z", top_k=3)
+        second = fine_grained_explanations(confounded_table, "T", "Y", "Z", top_k=3)
+        assert first == second

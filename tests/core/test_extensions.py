@@ -1,0 +1,173 @@
+"""Tests for the paper's future-work extensions: SQL emission, effect
+bounds, and what-if queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import effect_bounds
+from repro.core.query import GroupByQuery
+from repro.core.rewrite import NoOverlapError
+from repro.core.sqlgen import predicate_to_sql, rewritten_total_effect_sql, sql_literal
+from repro.core.whatif import what_if
+from repro.relation.predicates import And, Eq, Ge, Gt, In, Le, Lt, Ne, Not, NotIn, Or, TRUE
+from repro.relation.table import Table
+
+
+@pytest.fixture
+def confounded(rng) -> Table:
+    n = 30000
+    z = rng.integers(0, 2, n)
+    t = (rng.random(n) < 0.25 + 0.5 * z).astype(int)
+    y = (rng.random(n) < 0.2 + 0.4 * z + 0.1 * t).astype(int)
+    return Table.from_columns({"Z": z.tolist(), "T": t.tolist(), "Y": y.tolist()})
+
+
+class TestSqlLiteral:
+    def test_numbers_unquoted(self):
+        assert sql_literal(5) == "5"
+        assert sql_literal(2.5) == "2.5"
+
+    def test_strings_quoted_and_escaped(self):
+        assert sql_literal("AA") == "'AA'"
+        assert sql_literal("O'Hare") == "'O''Hare'"
+
+    def test_booleans(self):
+        assert sql_literal(True) == "TRUE"
+
+
+class TestPredicateToSql:
+    @pytest.mark.parametrize(
+        "predicate, expected",
+        [
+            (TRUE, "TRUE"),
+            (Eq("A", 1), "A = 1"),
+            (Ne("A", "x"), "A <> 'x'"),
+            (In("A", [1, 2]), "A IN (1, 2)"),
+            (NotIn("A", ["u"]), "A NOT IN ('u')"),
+            (Lt("A", 3), "A < 3"),
+            (Le("A", 3), "A <= 3"),
+            (Gt("A", 3), "A > 3"),
+            (Ge("A", 3), "A >= 3"),
+            (Not(Eq("A", 1)), "NOT (A = 1)"),
+        ],
+    )
+    def test_atoms(self, predicate, expected):
+        assert predicate_to_sql(predicate) == expected
+
+    def test_conjunction_and_disjunction(self):
+        sql = predicate_to_sql(And([Eq("A", 1), Or([Eq("B", 2), Eq("C", 3)])]))
+        assert sql == "(A = 1) AND ((B = 2) OR (C = 3))"
+
+    def test_round_trips_through_parser(self):
+        """Emitted WHERE text must re-parse to the same predicate."""
+        from repro.sql.parser import parse_select
+
+        predicate = And([In("Carrier", ["AA", "UA"]), Gt("Delay", 15)])
+        sql = f"SELECT avg(Y) FROM D WHERE {predicate_to_sql(predicate)} GROUP BY T"
+        assert parse_select(sql).where == And([In("Carrier", ["AA", "UA"]), Gt("Delay", 15.0)])
+
+
+class TestRewrittenSql:
+    def test_contains_paper_listing_structure(self):
+        query = GroupByQuery.from_sql(
+            "SELECT Carrier, avg(Delayed) FROM D "
+            "WHERE Carrier IN ('AA','UA') GROUP BY Carrier"
+        )
+        sql = rewritten_total_effect_sql(query, ["Airport", "Year"])
+        assert "WITH Blocks AS" in sql
+        assert "Weights AS" in sql
+        assert "HAVING count(DISTINCT Carrier) = 2" in sql
+        assert "GROUP BY Carrier, Airport, Year" in sql
+        assert "sum(Blocks.avg_Delayed * Weights.W)" in sql
+
+    def test_groupings_propagate(self):
+        query = GroupByQuery(
+            treatment="T", outcomes=("Y",), groupings=("X",)
+        )
+        sql = rewritten_total_effect_sql(query, ["Z"])
+        assert "Blocks.X = Weights.X" in sql
+
+    def test_multiple_outcomes(self):
+        query = GroupByQuery(treatment="T", outcomes=("Y1", "Y2"))
+        sql = rewritten_total_effect_sql(query, ["Z"])
+        assert "avg(Y1) AS avg_Y1" in sql
+        assert "avg(Y2) AS avg_Y2" in sql
+
+    def test_empty_covariates_rejected(self):
+        query = GroupByQuery(treatment="T", outcomes=("Y",))
+        with pytest.raises(ValueError, match="Z is empty"):
+            rewritten_total_effect_sql(query, [])
+
+
+class TestEffectBounds:
+    def test_envelope_contains_adjusted_truth(self, confounded):
+        bounds = effect_bounds(confounded, "T", "Y", ["Z"])
+        # True direct effect is ~0.1; naive ~0.3.
+        assert bounds.lower < 0.15
+        assert bounds.upper > 0.25
+        assert bounds.sign_identified()
+
+    def test_empty_set_included(self, confounded):
+        bounds = effect_bounds(confounded, "T", "Y", ["Z"])
+        subsets = {candidate.covariates for candidate in bounds.candidates}
+        assert () in subsets
+        assert ("Z",) in subsets
+
+    def test_max_subset_size(self, confounded):
+        extended = confounded.with_column(
+            "W", (np.arange(confounded.n_rows) % 2).tolist()
+        )
+        bounds = effect_bounds(extended, "T", "Y", ["Z", "W"], max_subset_size=1)
+        assert all(len(c.covariates) <= 1 for c in bounds.candidates)
+
+    def test_non_overlapping_subsets_skipped(self):
+        """Z fully determines T here, so adjusting for Z is impossible;
+        only the unadjusted (empty-set) estimate survives."""
+        table = Table.from_columns(
+            {"Z": [0, 0, 1, 1], "T": [0, 0, 1, 1], "Y": [0, 1, 0, 1]}
+        )
+        bounds = effect_bounds(table, "T", "Y", ["Z"], min_matched_fraction=0.9)
+        assert {c.covariates for c in bounds.candidates} == {()}
+        assert bounds.n_skipped == 1
+        assert bounds.width == 0.0
+
+    def test_width_and_repr(self, confounded):
+        bounds = effect_bounds(confounded, "T", "Y", ["Z"])
+        assert bounds.width == pytest.approx(bounds.upper - bounds.lower)
+        assert "EffectBounds" in repr(bounds)
+
+
+class TestWhatIf:
+    def test_intervention_removes_confounding(self, confounded):
+        answer = what_if(confounded, "T", "Y", ["Z"])
+        # do(T=1) - do(T=0) must estimate the true ~0.1 effect, not the
+        # confounded ~0.3 association.
+        effect = answer.interventions[1] - answer.interventions[0]
+        assert effect == pytest.approx(0.1, abs=0.03)
+
+    def test_factual_average_matches_table(self, confounded):
+        answer = what_if(confounded, "T", "Y", ["Z"])
+        assert answer.factual_average == pytest.approx(
+            float(np.mean(confounded.numeric("Y"))), abs=1e-9
+        )
+
+    def test_subpopulation_where(self, confounded):
+        answer = what_if(confounded, "T", "Y", ["Z"], where=Eq("Z", 1))
+        assert answer.n_rows == confounded.where(Eq("Z", 1)).n_rows
+        # Within a Z stratum there is no confounding: intervention equals
+        # the stratum's conditional means.
+        assert answer.interventions[1] - answer.interventions[0] == pytest.approx(
+            0.1, abs=0.04
+        )
+
+    def test_empty_subpopulation_rejected(self, confounded):
+        with pytest.raises(ValueError, match="no rows"):
+            what_if(confounded, "T", "Y", ["Z"], where=Eq("Z", 99))
+
+    def test_effect_of(self, confounded):
+        answer = what_if(confounded, "T", "Y", ["Z"])
+        assert answer.effect_of(1) == pytest.approx(
+            answer.interventions[1] - answer.factual_average
+        )

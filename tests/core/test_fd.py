@@ -1,0 +1,102 @@
+"""Unit tests for logical-dependency filtering (Sec. 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fd import LogicalDependencyFilter
+from repro.relation.table import Table
+
+
+@pytest.fixture
+def fd_table(rng) -> Table:
+    n = 4000
+    airport = rng.integers(0, 4, n)
+    wac = airport + 100  # bijection with airport
+    carrier = rng.integers(0, 2, n)
+    carrier_name = ["AA Inc" if value == 0 else "UA Inc" for value in carrier]
+    delayed = (rng.random(n) < 0.2 + 0.1 * airport).astype(int)
+    return Table.from_columns(
+        {
+            "Airport": airport.tolist(),
+            "AirportWAC": wac.tolist(),
+            "Carrier": carrier.tolist(),
+            "CarrierName": carrier_name,
+            "Delayed": delayed.tolist(),
+            "RowID": list(range(n)),
+        }
+    )
+
+
+class TestFdFiltering:
+    def test_treatment_equivalent_dropped(self, fd_table):
+        report = LogicalDependencyFilter(seed=0).filter(fd_table, "Carrier")
+        assert "CarrierName" not in report.kept
+        assert "FD" in report.reason("CarrierName")
+
+    def test_duplicate_pair_keeps_one(self, fd_table):
+        report = LogicalDependencyFilter(seed=0).filter(fd_table, "Carrier")
+        kept = set(report.kept)
+        assert ("Airport" in kept) != ("AirportWAC" in kept)
+        # Smallest-domain-first tie-break prefers the original attribute.
+        assert "Airport" in kept
+
+    def test_key_attribute_dropped(self, fd_table):
+        report = LogicalDependencyFilter(seed=0).filter(fd_table, "Carrier")
+        assert "RowID" not in report.kept
+        assert "key-like" in report.reason("RowID")
+
+    def test_genuine_attributes_survive(self, fd_table):
+        report = LogicalDependencyFilter(seed=0).filter(fd_table, "Carrier")
+        assert "Delayed" in report.kept
+
+    def test_treatment_never_in_kept(self, fd_table):
+        report = LogicalDependencyFilter(seed=0).filter(fd_table, "Carrier")
+        assert "Carrier" not in report.kept
+
+    def test_candidates_restrict_universe(self, fd_table):
+        report = LogicalDependencyFilter(seed=0).filter(
+            fd_table, "Carrier", candidates=["Airport", "Delayed"]
+        )
+        assert set(report.kept) <= {"Airport", "Delayed"}
+
+    def test_reason_none_for_kept(self, fd_table):
+        report = LogicalDependencyFilter(seed=0).filter(fd_table, "Carrier")
+        assert report.reason("Delayed") is None
+
+
+class TestKeyDetection:
+    def test_detects_unique_key(self, rng):
+        n = 4000
+        table = Table.from_columns(
+            {
+                "ID": list(range(n)),
+                "Cat": rng.integers(0, 3, n).tolist(),
+            }
+        )
+        keys = LogicalDependencyFilter(seed=1).detect_key_attributes(table)
+        assert "ID" in keys
+        assert "Cat" not in keys
+
+    def test_detects_high_cardinality_near_key(self, rng):
+        n = 4000
+        table = Table.from_columns(
+            {
+                "TailNum": rng.integers(0, n // 2, n).tolist(),
+                "Binary": rng.integers(0, 2, n).tolist(),
+            }
+        )
+        keys = LogicalDependencyFilter(seed=2).detect_key_attributes(table)
+        assert "TailNum" in keys
+        assert "Binary" not in keys
+
+    def test_small_table_returns_nothing(self):
+        table = Table.from_columns({"A": [1, 2, 3]})
+        assert LogicalDependencyFilter(seed=3).detect_key_attributes(table) == set()
+
+    def test_moderate_cardinality_not_flagged(self, rng):
+        """A 12-category attribute (like Month) is not key-like."""
+        n = 6000
+        table = Table.from_columns({"Month": rng.integers(1, 13, n).tolist()})
+        keys = LogicalDependencyFilter(seed=4).detect_key_attributes(table)
+        assert keys == set()

@@ -1,0 +1,117 @@
+"""Unit tests for the GroupByQuery model and its contexts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import GroupByQuery
+from repro.relation.predicates import Eq, In, TRUE
+from repro.relation.table import Table
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table.from_columns(
+        {
+            "T": ["a", "b", "a", "b", "a", "b"],
+            "X": ["p", "p", "q", "q", "p", "q"],
+            "Y": [1, 0, 1, 1, 0, 0],
+        }
+    )
+
+
+class TestConstruction:
+    def test_requires_outcome(self):
+        with pytest.raises(ValueError, match="avg"):
+            GroupByQuery(treatment="T", outcomes=())
+
+    def test_treatment_outcome_overlap_rejected(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            GroupByQuery(treatment="T", outcomes=("T",))
+
+    def test_grouping_overlap_rejected(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            GroupByQuery(treatment="T", outcomes=("Y",), groupings=("T",))
+
+    def test_group_by_columns(self):
+        query = GroupByQuery(treatment="T", outcomes=("Y",), groupings=("X",))
+        assert query.group_by_columns() == ("T", "X")
+
+
+class TestFromSql:
+    def test_first_group_by_is_treatment(self):
+        query = GroupByQuery.from_sql("SELECT avg(Y) FROM D GROUP BY T, X")
+        assert query.treatment == "T"
+        assert query.groupings == ("X",)
+
+    def test_explicit_treatment(self):
+        query = GroupByQuery.from_sql(
+            "SELECT avg(Y) FROM D GROUP BY T, X", treatment="X"
+        )
+        assert query.treatment == "X"
+        assert query.groupings == ("T",)
+
+    def test_treatment_must_be_grouped(self):
+        with pytest.raises(ValueError, match="must appear in GROUP BY"):
+            GroupByQuery.from_sql("SELECT avg(Y) FROM D GROUP BY T", treatment="W")
+
+    def test_group_by_required(self):
+        with pytest.raises(ValueError, match="GROUP BY"):
+            GroupByQuery.from_sql("SELECT avg(Y) FROM D")
+
+    def test_where_compiled(self):
+        query = GroupByQuery.from_sql(
+            "SELECT avg(Y) FROM D WHERE T IN ('a') GROUP BY T"
+        )
+        assert query.where == In("T", ["a"])
+
+
+class TestContexts:
+    def test_no_groupings_single_context(self, table):
+        query = GroupByQuery(treatment="T", outcomes=("Y",))
+        contexts = query.contexts(table)
+        assert len(contexts) == 1
+        assert contexts[0].values == ()
+        assert contexts[0].n_rows == 6
+        assert contexts[0].label(()) == "(all)"
+
+    def test_groupings_split_contexts(self, table):
+        query = GroupByQuery(treatment="T", outcomes=("Y",), groupings=("X",))
+        contexts = query.contexts(table)
+        assert [context.values for context in contexts] == [("p",), ("q",)]
+        assert sum(context.n_rows for context in contexts) == 6
+
+    def test_where_applies_before_split(self, table):
+        query = GroupByQuery(
+            treatment="T", outcomes=("Y",), groupings=("X",), where=Eq("T", "a")
+        )
+        contexts = query.contexts(table)
+        for context in contexts:
+            assert set(context.table.column("T")) == {"a"}
+
+    def test_context_predicate_reproduces_rows(self, table):
+        query = GroupByQuery(treatment="T", outcomes=("Y",), groupings=("X",))
+        for context in query.contexts(table):
+            refiltered = table.where(context.predicate)
+            assert sorted(refiltered.rows()) == sorted(context.table.rows())
+
+    def test_prefiltered_table_reused(self, table):
+        query = GroupByQuery(treatment="T", outcomes=("Y",))
+        filtered = table.where(TRUE)
+        contexts = query.contexts(table, filtered=filtered)
+        assert contexts[0].table is filtered
+
+    def test_context_label(self, table):
+        query = GroupByQuery(treatment="T", outcomes=("Y",), groupings=("X",))
+        context = query.contexts(table)[0]
+        assert context.label(("X",)) == "X=p"
+
+    def test_treatment_values(self, table):
+        query = GroupByQuery(treatment="T", outcomes=("Y",), where=Eq("X", "p"))
+        assert query.treatment_values(table) == ["a", "b"]
+
+    def test_analysis_columns(self):
+        query = GroupByQuery(
+            treatment="T", outcomes=("Y",), groupings=("X",), where=Eq("W", 1)
+        )
+        assert set(query.analysis_columns()) == {"T", "X", "Y", "W"}

@@ -1,0 +1,139 @@
+"""Unit tests for the report objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import BalanceResult
+from repro.core.query import GroupByQuery
+from repro.core.report import BiasReport, ContextReport, EffectEstimate, Timings
+from repro.stats.base import CIResult
+
+
+def make_estimate(kind="naive", error=None, p=0.001):
+    if error is not None:
+        return EffectEstimate(
+            kind=kind, treatment_values=(), outcomes=("Y",), error=error
+        )
+    return EffectEstimate(
+        kind=kind,
+        treatment_values=("a", "b"),
+        outcomes=("Y",),
+        averages={"a": {"Y": 0.2}, "b": {"Y": 0.5}},
+        significance={"Y": CIResult(statistic=0.01, p_value=p, method="chi2")},
+    )
+
+
+def make_context(biased=True, direct_biased=False):
+    balance = BalanceResult(
+        variables=("Z",),
+        result=CIResult(statistic=0.1, p_value=0.0001 if biased else 0.9, method="chi2"),
+    )
+    balance_direct = BalanceResult(
+        variables=("Z", "M"),
+        result=CIResult(
+            statistic=0.1, p_value=0.0001 if direct_biased else 0.9, method="chi2"
+        ),
+    )
+    return ContextReport(
+        values=(),
+        label="(all)",
+        n_rows=100,
+        balance_total=balance,
+        balance_direct=balance_direct,
+        naive=make_estimate("naive"),
+        total=make_estimate("total"),
+        direct=make_estimate("direct"),
+    )
+
+
+class TestEffectEstimate:
+    def test_average_and_difference(self):
+        estimate = make_estimate()
+        assert estimate.average("b") == 0.5
+        assert estimate.difference() == pytest.approx(0.3)
+        assert estimate.p_value() == 0.001
+
+    def test_error_estimate_blocks_access(self):
+        estimate = make_estimate(error="no overlap")
+        with pytest.raises(ValueError, match="no overlap"):
+            estimate.average("a")
+
+    def test_difference_requires_binary(self):
+        estimate = EffectEstimate(
+            kind="naive",
+            treatment_values=("a", "b", "c"),
+            outcomes=("Y",),
+            averages={v: {"Y": 0.0} for v in "abc"},
+        )
+        with pytest.raises(ValueError, match="binary"):
+            estimate.difference()
+
+
+class TestContextReport:
+    def test_biased_from_total_balance(self):
+        assert make_context(biased=True).biased
+        assert not make_context(biased=False).biased
+
+    def test_biased_from_direct_balance_only(self):
+        """The Berkeley pattern: Z = () balanced, Z+M unbalanced."""
+        context = make_context(biased=False, direct_biased=True)
+        assert context.biased
+
+
+class TestTimings:
+    def test_total(self):
+        timings = Timings(detection=1.0, explanation=0.5, resolution=0.25)
+        assert timings.total == pytest.approx(1.75)
+
+
+class TestBiasReport:
+    def make_report(self, biased=True):
+        query = GroupByQuery(treatment="T", outcomes=("Y",))
+        return BiasReport(
+            query=query,
+            covariates=("Z",),
+            mediators=("M",),
+            covariate_discovery=None,
+            contexts=(make_context(biased=biased),),
+        )
+
+    def test_biased_aggregates_contexts(self):
+        assert self.make_report(biased=True).biased
+        assert not self.make_report(biased=False).biased
+
+    def test_context_lookup(self):
+        report = self.make_report()
+        assert report.context(()) is report.contexts[0]
+        with pytest.raises(KeyError):
+            report.context(("x",))
+
+    def test_format_sections(self):
+        rendered = self.make_report().format()
+        assert "Covariates (Z): ['Z']" in rendered
+        assert "Mediators  (M): ['M']" in rendered
+        assert "SQL answer" in rendered
+        assert "rewritten (total)" in rendered
+        assert "rewritten (direct)" in rendered
+        assert "diff=" in rendered
+
+    def test_format_reports_errors(self):
+        query = GroupByQuery(treatment="T", outcomes=("Y",))
+        context = ContextReport(
+            values=(),
+            label="(all)",
+            n_rows=10,
+            balance_total=None,
+            balance_direct=None,
+            naive=make_estimate("naive"),
+            total=make_estimate("total", error="overlap fails"),
+            direct=None,
+        )
+        report = BiasReport(
+            query=query,
+            covariates=(),
+            mediators=(),
+            covariate_discovery=None,
+            contexts=(context,),
+        )
+        assert "unavailable (overlap fails)" in report.format()

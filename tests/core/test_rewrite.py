@@ -1,0 +1,164 @@
+"""Unit tests for query rewriting: adjusted total and direct effects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rewrite import NoOverlapError, direct_effect, total_effect
+from repro.relation.table import Table
+
+
+def make_confounded(rng, n=40000, direct=0.0):
+    """Z -> T, Z -> Y, T -> Y with a controllable direct effect."""
+    z = rng.integers(0, 2, n)
+    t = (rng.random(n) < 0.25 + 0.5 * z).astype(int)
+    y = (rng.random(n) < 0.2 + 0.4 * z + direct * t).astype(int)
+    return Table.from_columns({"Z": z.tolist(), "T": t.tolist(), "Y": y.tolist()})
+
+
+class TestTotalEffect:
+    def test_removes_confounding(self, rng):
+        table = make_confounded(rng, direct=0.0)
+        answer = total_effect(table, "T", ["Y"], ["Z"])
+        assert answer.difference("Y") == pytest.approx(0.0, abs=0.02)
+
+    def test_naive_estimate_is_biased(self, rng):
+        table = make_confounded(rng, direct=0.0)
+        naive = total_effect(table, "T", ["Y"], [])
+        assert abs(naive.difference("Y")) > 0.1
+
+    def test_recovers_true_effect(self, rng):
+        table = make_confounded(rng, direct=0.15)
+        answer = total_effect(table, "T", ["Y"], ["Z"])
+        assert answer.difference("Y") == pytest.approx(0.15, abs=0.025)
+
+    def test_exact_matching_prunes_partial_blocks(self):
+        table = Table.from_columns(
+            {
+                # Block z=1 has only T=0 rows -> pruned by exact matching.
+                "Z": [0, 0, 0, 0, 1, 1],
+                "T": [0, 1, 0, 1, 0, 0],
+                "Y": [0, 1, 0, 1, 1, 1],
+            }
+        )
+        answer = total_effect(table, "T", ["Y"], ["Z"])
+        assert answer.n_blocks == 2
+        assert answer.n_matched_blocks == 1
+        assert answer.matched_fraction == pytest.approx(4 / 6)
+        assert answer.average(1, "Y") == pytest.approx(1.0)
+
+    def test_no_overlap_raises(self):
+        table = Table.from_columns(
+            {"Z": [0, 0, 1, 1], "T": [0, 0, 1, 1], "Y": [0, 1, 0, 1]}
+        )
+        with pytest.raises(NoOverlapError, match="overlap fails"):
+            total_effect(table, "T", ["Y"], ["Z"])
+
+    def test_empty_covariates_equals_group_means(self, small_table):
+        answer = total_effect(small_table, "T", ["Y"], [])
+        assert answer.average("a", "Y") == pytest.approx(1 / 3)
+        assert answer.average("b", "Y") == pytest.approx(1.0)
+
+    def test_multiple_outcomes(self, rng):
+        table = make_confounded(rng, n=5000)
+        extended = table.with_column("Y2", table.column("Y"))
+        answer = total_effect(extended, "T", ["Y", "Y2"], ["Z"])
+        assert answer.average(1, "Y") == answer.average(1, "Y2")
+
+    def test_single_treatment_value_rejected(self):
+        table = Table.from_columns({"T": [0, 0], "Y": [0, 1]})
+        with pytest.raises(ValueError, match="at least two"):
+            total_effect(table, "T", ["Y"], [])
+
+    def test_multivalued_treatment_difference_undefined(self):
+        table = Table.from_columns({"T": [0, 1, 2, 0, 1, 2], "Y": [0, 1, 0, 1, 0, 1]})
+        answer = total_effect(table, "T", ["Y"], [])
+        with pytest.raises(ValueError, match="binary"):
+            answer.difference("Y")
+        assert len(answer.treatment_values) == 3
+
+    def test_adjustment_formula_by_hand(self):
+        """Verify Eq. 2 against a hand computation."""
+        table = Table.from_columns(
+            {
+                "Z": [0, 0, 0, 0, 1, 1, 1, 1],
+                "T": [0, 0, 1, 1, 0, 1, 1, 1],
+                "Y": [0, 1, 1, 1, 0, 1, 0, 1],
+            }
+        )
+        answer = total_effect(table, "T", ["Y"], ["Z"])
+        # Both blocks matched. Pr(z=0)=0.5, Pr(z=1)=0.5.
+        # E[Y|t=1,z=0]=1.0, E[Y|t=1,z=1]=2/3 -> 0.5*1 + 0.5*2/3 = 5/6.
+        assert answer.average(1, "Y") == pytest.approx(5 / 6)
+        # E[Y|t=0,z=0]=0.5, E[Y|t=0,z=1]=0.0 -> 0.25.
+        assert answer.average(0, "Y") == pytest.approx(0.25)
+
+
+class TestDirectEffect:
+    def make_mediated(self, rng, n=60000, direct=0.0):
+        """T -> M -> Y with optional direct T -> Y edge and confounder Z."""
+        z = rng.integers(0, 2, n)
+        t = (rng.random(n) < 0.3 + 0.4 * z).astype(int)
+        m = (rng.random(n) < 0.2 + 0.5 * t).astype(int)
+        y = (rng.random(n) < 0.15 + 0.4 * m + 0.15 * z + direct * t).astype(int)
+        return Table.from_columns(
+            {"Z": z.tolist(), "T": t.tolist(), "M": m.tolist(), "Y": y.tolist()}
+        )
+
+    def test_zero_direct_effect_detected(self, rng):
+        table = self.make_mediated(rng, direct=0.0)
+        answer = direct_effect(table, "T", ["Y"], ["Z"], ["M"])
+        assert answer.difference("Y") == pytest.approx(0.0, abs=0.02)
+
+    def test_total_effect_remains(self, rng):
+        table = self.make_mediated(rng, direct=0.0)
+        answer = total_effect(table, "T", ["Y"], ["Z"])
+        assert answer.difference("Y") > 0.1  # mediated path intact
+
+    def test_recovers_direct_component(self, rng):
+        table = self.make_mediated(rng, direct=0.12)
+        answer = direct_effect(table, "T", ["Y"], ["Z"], ["M"])
+        assert answer.difference("Y") == pytest.approx(0.12, abs=0.025)
+
+    def test_no_mediators_equals_group_means(self, small_table):
+        answer = direct_effect(small_table, "T", ["Y"], [], [])
+        assert answer.kind == "direct"
+        assert answer.average("a", "Y") == pytest.approx(1 / 3)
+
+    def test_reference_defaults_to_largest(self, rng):
+        table = self.make_mediated(rng, n=5000)
+        answer = direct_effect(table, "T", ["Y"], ["Z"], ["M"])
+        assert answer.reference == 1
+
+    def test_explicit_reference(self, rng):
+        table = self.make_mediated(rng, n=20000)
+        answer = direct_effect(table, "T", ["Y"], ["Z"], ["M"], reference=0)
+        assert answer.reference == 0
+
+    def test_bad_reference_rejected(self, rng):
+        table = self.make_mediated(rng, n=2000)
+        with pytest.raises(ValueError, match="observed treatment value"):
+            direct_effect(table, "T", ["Y"], ["Z"], ["M"], reference=7)
+
+    def test_overlapping_z_m_rejected(self, rng):
+        table = self.make_mediated(rng, n=2000)
+        with pytest.raises(ValueError, match="overlap"):
+            direct_effect(table, "T", ["Y"], ["Z"], ["Z"])
+
+    def test_no_overlap_raises(self):
+        table = Table.from_columns(
+            {"M": [0, 0, 1, 1], "T": [0, 0, 1, 1], "Y": [0, 1, 0, 1]}
+        )
+        with pytest.raises(NoOverlapError):
+            direct_effect(table, "T", ["Y"], [], ["M"])
+
+    def test_matched_fraction_reported(self, rng):
+        table = self.make_mediated(rng, n=3000)
+        answer = direct_effect(table, "T", ["Y"], ["Z"], ["M"])
+        assert 0.0 < answer.matched_fraction <= 1.0
+
+    def test_repr(self, rng):
+        table = self.make_mediated(rng, n=2000)
+        answer = direct_effect(table, "T", ["Y"], ["Z"], ["M"])
+        assert "direct" in repr(answer)

@@ -1,0 +1,232 @@
+"""Tests for the dataset generators: structure and calibrated effects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BERKELEY_ADMISSIONS,
+    adult_data,
+    berkeley_data,
+    cancer_dag,
+    cancer_data,
+    flight_data,
+    random_dataset,
+    staples_data,
+)
+from repro.relation.groupby import group_by_average
+from repro.relation.predicates import In
+
+
+class TestFlightData:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return flight_data(n_rows=30000, seed=7)
+
+    def test_schema(self, table):
+        expected = {
+            "Airport", "Carrier", "Year", "Quarter", "Month", "Day",
+            "DayOfWeek", "Dest", "DepTime", "Delayed", "AirportWAC",
+            "CarrierName", "FlightID", "FlightNum", "TailNum",
+        }
+        assert set(table.columns) == expected
+
+    def test_simpson_reversal_calibrated(self, table):
+        """AA beats UA overall on the 4 paper airports but loses at each."""
+        where = In("Carrier", ["AA", "UA"]) & In(
+            "Airport", ["COS", "MFE", "MTJ", "ROC"]
+        )
+        overall = group_by_average(table, ["Carrier"], ["Delayed"], where=where)
+        assert overall.average(("AA",)) < overall.average(("UA",))
+        per_airport = group_by_average(
+            table, ["Airport", "Carrier"], ["Delayed"], where=where
+        )
+        for airport in ("COS", "MFE", "MTJ", "ROC"):
+            assert per_airport.average((airport, "AA")) > per_airport.average(
+                (airport, "UA")
+            ), airport
+
+    def test_fd_attributes_are_bijections(self, table):
+        assert table.n_groups(["Airport", "AirportWAC"]) == table.n_groups(["Airport"])
+        assert table.n_groups(["Carrier", "CarrierName"]) == table.n_groups(["Carrier"])
+
+    def test_key_attribute_unique(self, table):
+        assert table.n_groups(["FlightID"]) == table.n_rows
+
+    def test_quarter_is_fd_of_month(self, table):
+        assert table.n_groups(["Month", "Quarter"]) == 12
+
+    def test_no_keys_option(self):
+        table = flight_data(n_rows=100, seed=0, include_keys=False)
+        assert "FlightID" not in table.columns
+
+    def test_padding_columns(self):
+        table = flight_data(n_rows=100, seed=0, n_padding_columns=3)
+        assert "Pad02" in table.columns
+
+    def test_seed_reproducible(self):
+        a = flight_data(n_rows=500, seed=3)
+        b = flight_data(n_rows=500, seed=3)
+        assert a.rows() == b.rows()
+
+
+class TestBerkeleyData:
+    def test_row_count_matches_published_table(self):
+        table = berkeley_data()
+        expected = sum(a + r for a, r in BERKELEY_ADMISSIONS.values())
+        assert table.n_rows == expected
+
+    def test_aggregate_rates_match_bickel(self):
+        table = berkeley_data()
+        result = group_by_average(table, ["Gender"], ["Accepted"])
+        assert result.average(("Male",)) == pytest.approx(0.445, abs=0.005)
+        assert result.average(("Female",)) == pytest.approx(0.304, abs=0.005)
+
+    def test_per_department_counts_exact(self):
+        table = berkeley_data()
+        counts = table.value_counts(["Department", "Gender", "Accepted"])
+        assert counts[("A", "Male", 1)] == 512
+        assert counts[("F", "Female", 0)] == 317
+
+    def test_department_a_reversal(self):
+        """In department A women are admitted at a higher rate."""
+        table = berkeley_data()
+        result = group_by_average(table, ["Department", "Gender"], ["Accepted"])
+        assert result.average(("A", "Female")) > result.average(("A", "Male"))
+
+    def test_deterministic(self):
+        assert berkeley_data().rows() == berkeley_data().rows()
+
+
+class TestStaplesData:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return staples_data(n_rows=60000, seed=4)
+
+    def test_low_income_sees_higher_prices(self, table):
+        result = group_by_average(table, ["Income"], ["Price"])
+        assert result.average((0,)) > result.average((1,))
+
+    def test_no_direct_effect_within_distance(self, table):
+        result = group_by_average(table, ["Distance", "Income"], ["Price"])
+        for distance in ("near", "far"):
+            gap = abs(
+                result.average((distance, 0)) - result.average((distance, 1))
+            )
+            assert gap < 0.01, distance
+
+    def test_distance_depends_on_income(self, table):
+        result = group_by_average(
+            table.with_column(
+                "Far", [1 if d == "far" else 0 for d in table.column("Distance")]
+            ),
+            ["Income"],
+            ["Far"],
+        )
+        assert result.average((0,)) > result.average((1,)) + 0.15
+
+
+class TestCancerData:
+    def test_dag_matches_paper_figure(self):
+        dag = cancer_dag()
+        assert dag.parents("Car_Accident") == {"Attention_Disorder", "Fatigue"}
+        assert dag.parents("Lung_Cancer") == {"Genetics", "Smoking"}
+        assert dag.markov_boundary("Born_an_Even_Day") == set()
+
+    def test_no_direct_cancer_accident_edge(self):
+        assert not cancer_dag().has_edge("Lung_Cancer", "Car_Accident")
+
+    def test_accident_rates_match_paper(self):
+        table = cancer_data(20000, seed=3)
+        result = group_by_average(table, ["Lung_Cancer"], ["Car_Accident"])
+        assert result.average((0,)) == pytest.approx(0.62, abs=0.04)
+        assert result.average((1,)) == pytest.approx(0.78, abs=0.04)
+
+    def test_binary_domains(self):
+        table = cancer_data(200, seed=1)
+        for column in table.columns:
+            assert set(table.column(column)) <= {0, 1}
+
+    def test_default_size_matches_paper(self):
+        assert cancer_data(seed=0).n_rows == 2000
+
+
+class TestAdultData:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return adult_data(n_rows=30000, seed=5)
+
+    def test_income_disparity_shape(self, table):
+        result = group_by_average(table, ["Gender"], ["Income"])
+        assert result.average(("Female",)) < 0.20
+        assert result.average(("Male",)) > 0.28
+
+    def test_married_men_dominate(self, table):
+        counts = table.value_counts(["Gender", "MaritalStatus"])
+        married_male = counts.get(("Male", "Married"), 0)
+        married_female = counts.get(("Female", "Married"), 0)
+        assert married_male > 2 * married_female
+
+    def test_marriage_income_association(self, table):
+        result = group_by_average(table, ["MaritalStatus"], ["Income"])
+        assert result.average(("Married",)) > result.average(("Single",)) + 0.15
+
+    def test_direct_gap_small_within_strata(self, table):
+        """Within (marital, education, hours) strata the gender gap is tiny."""
+        result = group_by_average(
+            table, ["MaritalStatus", "Education", "HoursPerWeek", "Gender"], ["Income"]
+        )
+        gaps = []
+        for marital in ("Married", "Single"):
+            for education in ("HSgrad", "Bachelors"):
+                try:
+                    male = result.average((marital, education, "full", "Male"))
+                    female = result.average((marital, education, "full", "Female"))
+                except KeyError:
+                    continue
+                gaps.append(male - female)
+        assert gaps
+        assert abs(np.mean(gaps)) < 0.05
+
+
+class TestRandomDataset:
+    def test_bundle_consistency(self):
+        dataset = random_dataset(n_nodes=6, n_rows=1000, seed=9)
+        assert dataset.table.n_rows == 1000
+        assert set(dataset.table.columns) == set(dataset.dag.nodes())
+        assert dataset.network.dag == dataset.dag
+
+    def test_category_range(self):
+        dataset = random_dataset(n_nodes=5, n_rows=500, categories=(2, 6), seed=10)
+        for node in dataset.nodes:
+            assert 2 <= dataset.network.cardinality(node) <= 6
+
+    def test_invalid_category_range(self):
+        with pytest.raises(ValueError, match="invalid category range"):
+            random_dataset(categories=(5, 2), seed=0)
+
+    def test_seed_reproducible(self):
+        a = random_dataset(n_nodes=5, n_rows=300, seed=11)
+        b = random_dataset(n_nodes=5, n_rows=300, seed=11)
+        assert a.dag == b.dag
+        assert a.table.rows() == b.table.rows()
+
+    def test_dependencies_detectable(self):
+        """Sampled data must reflect the DAG's edges statistically."""
+        from repro.stats.chi2 import ChiSquaredTest
+
+        # Sparse DAG: in dense graphs the many random parent effects can
+        # average out and mask individual marginal dependencies.
+        dataset = random_dataset(
+            n_nodes=6, n_rows=20000, expected_parents=1.0, strength=8.0, seed=12
+        )
+        test = ChiSquaredTest()
+        detected = 0
+        edges = dataset.dag.edges()
+        for source, target in edges:
+            if test.test(dataset.table, source, target).dependent(0.01):
+                detected += 1
+        assert edges, "random DAG should have at least one edge at this density"
+        # Random CPTs occasionally produce weak edges; most must show up.
+        assert detected >= len(edges) * 0.5

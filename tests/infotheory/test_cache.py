@@ -1,0 +1,109 @@
+"""Unit tests for the cached entropy engine."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.infotheory.cache import EntropyEngine
+from repro.relation.table import Table
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table.from_columns(
+        {
+            "A": [0, 0, 1, 1, 0, 1, 0, 1],
+            "B": [0, 1, 0, 1, 0, 1, 0, 1],
+            "C": [0, 0, 0, 0, 1, 1, 1, 1],
+        }
+    )
+
+
+class TestEntropy:
+    def test_empty_set_is_zero(self, table):
+        assert EntropyEngine(table).entropy(()) == 0.0
+
+    def test_single_column(self, table):
+        engine = EntropyEngine(table, estimator="plugin")
+        assert engine.entropy(("A",)) == pytest.approx(math.log(2))
+
+    def test_order_insensitive(self, table):
+        engine = EntropyEngine(table)
+        assert engine.entropy(("A", "B")) == engine.entropy(("B", "A"))
+
+    def test_cache_hits_recorded(self, table):
+        engine = EntropyEngine(table)
+        engine.entropy(("A",))
+        engine.entropy(("A",))
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.cache_misses == 1
+
+    def test_cache_shared_across_engines_on_same_table(self, table):
+        first = EntropyEngine(table)
+        first.entropy(("A", "B"))
+        second = EntropyEngine(table)
+        second.entropy(("A", "B"))
+        assert second.stats.cache_hits == 1
+        assert second.stats.cache_misses == 0
+
+    def test_caching_disabled(self, table):
+        engine = EntropyEngine(table, caching=False)
+        engine.entropy(("A",))
+        engine.entropy(("A",))
+        assert engine.stats.cache_hits == 0
+        assert engine.cache_size() == 0
+
+    def test_preload_and_clear(self, table):
+        engine = EntropyEngine(table)
+        engine.preload([("A",), ("B",), ("A", "B")])
+        assert engine.cache_size() >= 3
+        engine.clear_cache()
+        assert engine.cache_size() == 0
+
+
+class TestConditionalEntropy:
+    def test_chain_rule(self, table):
+        engine = EntropyEngine(table, estimator="plugin")
+        joint = engine.entropy(("A", "C"))
+        assert engine.conditional_entropy(("A",), ("C",)) == pytest.approx(
+            joint - engine.entropy(("C",))
+        )
+
+    def test_self_conditioning_is_zero(self, table):
+        engine = EntropyEngine(table, estimator="plugin")
+        assert engine.conditional_entropy(("A",), ("A",)) == pytest.approx(0.0)
+
+
+class TestMutualInformation:
+    def test_identical_columns_full_information(self, table):
+        copied = table.with_column("A2", table.column("A"))
+        engine = EntropyEngine(copied, estimator="plugin")
+        assert engine.mutual_information(("A",), ("A2",)) == pytest.approx(
+            engine.entropy(("A",))
+        )
+
+    def test_independent_columns_near_zero(self, table):
+        engine = EntropyEngine(table, estimator="plugin")
+        # A and C are orthogonal by construction in this table.
+        assert engine.mutual_information(("A",), ("C",)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetry(self, confounded_table):
+        engine = EntropyEngine(confounded_table, estimator="plugin")
+        assert engine.mutual_information(("T",), ("Y",)) == pytest.approx(
+            engine.mutual_information(("Y",), ("T",))
+        )
+
+    def test_conditioning_reduces_confounded_mi(self, confounded_table):
+        engine = EntropyEngine(confounded_table, estimator="plugin")
+        marginal = engine.mutual_information(("T",), ("Y",))
+        conditional = engine.mutual_information(("T",), ("Y",), ("Z",))
+        assert marginal > conditional
+
+    def test_overlap_rejected(self, table):
+        engine = EntropyEngine(table)
+        with pytest.raises(ValueError, match="overlaps"):
+            engine.mutual_information(("A",), ("B",), ("A",))
+        with pytest.raises(ValueError, match="disjoint"):
+            engine.mutual_information(("A",), ("A",))

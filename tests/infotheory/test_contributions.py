@@ -1,0 +1,61 @@
+"""Unit tests for pointwise MI contributions (Def. 3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.infotheory.cache import EntropyEngine
+from repro.infotheory.contributions import contribution_table, pointwise_contribution
+from repro.relation.table import Table
+
+
+class TestPointwiseContribution:
+    def test_independent_cell_is_zero(self):
+        assert pointwise_contribution(0.25, 0.5, 0.5) == pytest.approx(0.0)
+
+    def test_positive_association(self):
+        assert pointwise_contribution(0.4, 0.5, 0.5) > 0
+
+    def test_negative_association(self):
+        assert pointwise_contribution(0.1, 0.5, 0.5) < 0
+
+    def test_zero_joint_is_zero(self):
+        assert pointwise_contribution(0.0, 0.5, 0.5) == 0.0
+
+    def test_inconsistent_marginals_rejected(self):
+        with pytest.raises(ValueError, match="positive marginals"):
+            pointwise_contribution(0.2, 0.0, 0.5)
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            pointwise_contribution(-0.1, 0.5, 0.5)
+
+
+class TestContributionTable:
+    def test_sums_to_plugin_mi(self, confounded_table):
+        contributions = contribution_table(confounded_table, "T", "Y")
+        engine = EntropyEngine(confounded_table, estimator="plugin")
+        assert sum(contributions.values()) == pytest.approx(
+            engine.mutual_information(("T",), ("Y",)), abs=1e-10
+        )
+
+    def test_keys_are_observed_pairs(self, small_table):
+        contributions = contribution_table(small_table, "T", "Y")
+        observed = set(small_table.value_counts(["T", "Y"]))
+        assert set(contributions) == observed
+
+    def test_empty_table(self):
+        table = Table.from_columns({"A": [], "B": []})
+        assert contribution_table(table, "A", "B") == {}
+
+    def test_perfect_correlation_all_positive(self):
+        table = Table.from_columns({"A": [0, 0, 1, 1], "B": [0, 0, 1, 1]})
+        contributions = contribution_table(table, "A", "B")
+        assert all(value > 0 for value in contributions.values())
+
+    def test_confounder_sign_structure(self, confounded_table):
+        # High Z co-occurs with T=1 and Y=1: the (1, 2) cell of (T, Z)
+        # contributes positively.
+        contributions = contribution_table(confounded_table, "T", "Z")
+        assert contributions[(1, 2)] > 0
+        assert contributions[(1, 0)] < 0

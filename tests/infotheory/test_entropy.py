@@ -1,0 +1,105 @@
+"""Unit tests for entropy estimators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.infotheory.entropy import (
+    entropy_from_counts,
+    entropy_from_probabilities,
+    miller_madow_entropy,
+    plugin_entropy,
+)
+
+
+class TestEntropyFromProbabilities:
+    def test_uniform(self):
+        assert entropy_from_probabilities([0.5, 0.5]) == pytest.approx(math.log(2))
+
+    def test_deterministic_is_zero(self):
+        assert entropy_from_probabilities([1.0, 0.0]) == 0.0
+
+    def test_zero_entries_ignored(self):
+        assert entropy_from_probabilities([0.5, 0.5, 0.0]) == pytest.approx(math.log(2))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            entropy_from_probabilities([-0.1, 1.1])
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            entropy_from_probabilities([0.5, 0.2])
+
+
+class TestPluginEntropy:
+    def test_uniform_counts(self):
+        assert plugin_entropy([10, 10]) == pytest.approx(math.log(2))
+
+    def test_matches_probability_formula(self):
+        counts = np.array([3, 5, 2])
+        expected = entropy_from_probabilities(counts / counts.sum())
+        assert plugin_entropy(counts) == pytest.approx(expected)
+
+    def test_empty_counts(self):
+        assert plugin_entropy([]) == 0.0
+        assert plugin_entropy([0, 0]) == 0.0
+
+    def test_single_category(self):
+        assert plugin_entropy([42]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            plugin_entropy([-1, 2])
+
+    def test_accepts_iterables(self):
+        assert plugin_entropy(iter([5, 5])) == pytest.approx(math.log(2))
+
+
+class TestMillerMadow:
+    def test_correction_added(self):
+        counts = [10, 10]
+        n = 20
+        observed_cells = 2
+        expected = plugin_entropy(counts) + (observed_cells - 1) / (2 * n)
+        assert miller_madow_entropy(counts) == pytest.approx(expected)
+
+    def test_zero_cells_not_counted(self):
+        # [10, 10, 0] must give the same correction as [10, 10].
+        assert miller_madow_entropy([10, 10, 0]) == pytest.approx(
+            miller_madow_entropy([10, 10])
+        )
+
+    def test_correction_shrinks_with_n(self):
+        small = miller_madow_entropy([5, 5]) - plugin_entropy([5, 5])
+        large = miller_madow_entropy([500, 500]) - plugin_entropy([500, 500])
+        assert small > large
+
+    def test_empty(self):
+        assert miller_madow_entropy([]) == 0.0
+
+    def test_reduces_bias_on_average(self, rng):
+        # The plug-in estimator underestimates; Miller-Madow should land
+        # closer to the true entropy on average for small samples.
+        p = np.array([0.5, 0.2, 0.2, 0.1])
+        truth = entropy_from_probabilities(p)
+        plugin_errors, mm_errors = [], []
+        for _ in range(300):
+            sample = rng.multinomial(30, p)
+            plugin_errors.append(plugin_entropy(sample) - truth)
+            mm_errors.append(miller_madow_entropy(sample) - truth)
+        assert abs(np.mean(mm_errors)) < abs(np.mean(plugin_errors))
+
+
+class TestDispatch:
+    def test_dispatch_plugin(self):
+        assert entropy_from_counts([1, 1], "plugin") == pytest.approx(math.log(2))
+
+    def test_dispatch_miller_madow_default(self):
+        assert entropy_from_counts([1, 1]) == miller_madow_entropy([1, 1])
+
+    def test_unknown_estimator(self):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            entropy_from_counts([1], "bogus")

@@ -1,0 +1,77 @@
+"""Unit tests for the OLAP data cube."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.relation.cube import DataCube
+from repro.relation.table import Table
+
+
+@pytest.fixture
+def table(rng) -> Table:
+    n = 2000
+    return Table.from_columns(
+        {
+            "A": rng.integers(0, 3, n).tolist(),
+            "B": rng.integers(0, 2, n).tolist(),
+            "C": rng.integers(0, 4, n).tolist(),
+        }
+    )
+
+
+class TestDataCube:
+    def test_cuboid_count_is_power_of_two(self, table):
+        cube = DataCube(table, ["A", "B", "C"])
+        assert cube.n_cuboids() == 8
+
+    def test_counts_match_direct_scan(self, table):
+        cube = DataCube(table, ["A", "B", "C"])
+        for columns in (["A"], ["B", "C"], ["A", "B", "C"], []):
+            assert cube.counts(columns) == table.value_counts(columns)
+
+    def test_counts_respect_requested_column_order(self, table):
+        cube = DataCube(table, ["A", "B", "C"])
+        forward = cube.counts(["A", "B"])
+        backward = cube.counts(["B", "A"])
+        for (a, b), count in forward.items():
+            assert backward[(b, a)] == count
+
+    def test_grand_total(self, table):
+        cube = DataCube(table, ["A", "B"])
+        assert cube.counts([]) == {(): table.n_rows}
+
+    def test_uncovered_request_raises(self, table):
+        cube = DataCube(table, ["A", "B"])
+        with pytest.raises(KeyError, match="cannot answer"):
+            cube.counts(["C"])
+
+    def test_covers(self, table):
+        cube = DataCube(table, ["A", "B"])
+        assert cube.covers(["A"])
+        assert cube.covers(["B", "A"])
+        assert not cube.covers(["C"])
+
+    def test_attribute_limit_enforced(self, table):
+        with pytest.raises(ValueError, match="exceeds the limit"):
+            DataCube(table, ["A", "B", "C"], max_attributes=2)
+
+    def test_duplicate_attributes_rejected(self, table):
+        with pytest.raises(ValueError, match="distinct"):
+            DataCube(table, ["A", "A"])
+
+    def test_count_vector_sums_to_n(self, table):
+        cube = DataCube(table, ["A", "B", "C"])
+        assert sum(cube.count_vector(["A", "C"])) == table.n_rows
+
+    def test_entropy_engine_integration(self, table):
+        from repro.infotheory.cache import EntropyEngine
+
+        cube = DataCube(table, ["A", "B", "C"])
+        with_cube = EntropyEngine(table, cube=cube)
+        without = EntropyEngine(table)
+        for columns in (("A",), ("A", "B"), ("A", "B", "C")):
+            assert with_cube.entropy(columns) == pytest.approx(without.entropy(columns))
+        assert with_cube.stats.cube_answers > 0
+        assert with_cube.stats.scan_answers == 0

@@ -1,0 +1,73 @@
+"""Unit tests for group-by-average evaluation (Listing 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relation.groupby import group_by_average
+from repro.relation.predicates import Eq
+from repro.relation.table import Table
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table.from_columns(
+        {
+            "T": ["a", "a", "b", "b", "b"],
+            "X": ["p", "q", "p", "q", "q"],
+            "Y": [1, 0, 1, 1, 0],
+        }
+    )
+
+
+class TestGroupByAverage:
+    def test_single_group_column(self, table):
+        result = group_by_average(table, ["T"], ["Y"])
+        assert result.average(("a",)) == pytest.approx(0.5)
+        assert result.average(("b",)) == pytest.approx(2 / 3)
+
+    def test_counts_reported(self, table):
+        result = group_by_average(table, ["T"], ["Y"])
+        by_key = {row.key: row.count for row in result}
+        assert by_key == {("a",): 2, ("b",): 3}
+
+    def test_multiple_group_columns(self, table):
+        result = group_by_average(table, ["T", "X"], ["Y"])
+        assert result.average(("b", "q")) == pytest.approx(0.5)
+        assert len(result) == 4
+
+    def test_where_clause_applies_first(self, table):
+        result = group_by_average(table, ["T"], ["Y"], where=Eq("X", "q"))
+        assert result.average(("a",)) == pytest.approx(0.0)
+        assert result.average(("b",)) == pytest.approx(0.5)
+
+    def test_empty_group_columns_single_group(self, table):
+        result = group_by_average(table, [], ["Y"])
+        assert len(result) == 1
+        assert result.average(()) == pytest.approx(3 / 5)
+
+    def test_multiple_value_columns(self):
+        table = Table.from_columns({"T": [0, 0, 1], "A": [1, 0, 1], "B": [2, 4, 6]})
+        result = group_by_average(table, ["T"], ["A", "B"])
+        assert result.average((0,), "A") == pytest.approx(0.5)
+        assert result.average((0,), "B") == pytest.approx(3.0)
+
+    def test_missing_group_raises(self, table):
+        result = group_by_average(table, ["T"], ["Y"])
+        with pytest.raises(KeyError):
+            result.average(("zzz",))
+
+    def test_rows_sorted_deterministically(self, table):
+        result = group_by_average(table, ["T", "X"], ["Y"])
+        assert result.keys() == sorted(result.keys(), key=repr)
+
+    def test_as_dicts(self, table):
+        dicts = group_by_average(table, ["T"], ["Y"]).as_dicts()
+        assert dicts[0]["T"] == "a"
+        assert "avg(Y)" in dicts[0]
+        assert dicts[0]["count"] == 2
+
+    def test_format_contains_header_and_rows(self, table):
+        rendered = group_by_average(table, ["T"], ["Y"]).format()
+        assert "avg(Y)" in rendered
+        assert "a" in rendered and "b" in rendered

@@ -1,0 +1,137 @@
+"""Unit tests for the WHERE-clause predicate AST."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.relation.predicates import (
+    And,
+    Eq,
+    Ge,
+    Gt,
+    In,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    NotIn,
+    Or,
+    TRUE,
+    conjunction,
+)
+from repro.relation.table import Table
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table.from_columns(
+        {
+            "Carrier": ["AA", "UA", "AA", "DL", "UA"],
+            "Delay": [10, 0, 25, 5, 40],
+        }
+    )
+
+
+class TestAtoms:
+    def test_eq(self, table):
+        np.testing.assert_array_equal(
+            Eq("Carrier", "AA").mask(table), [True, False, True, False, False]
+        )
+
+    def test_eq_unknown_value_matches_nothing(self, table):
+        assert not Eq("Carrier", "ZZ").mask(table).any()
+
+    def test_ne(self, table):
+        np.testing.assert_array_equal(
+            Ne("Carrier", "AA").mask(table), [False, True, False, True, True]
+        )
+
+    def test_in(self, table):
+        np.testing.assert_array_equal(
+            In("Carrier", ["AA", "DL"]).mask(table), [True, False, True, True, False]
+        )
+
+    def test_in_empty_list_matches_nothing(self, table):
+        assert not In("Carrier", []).mask(table).any()
+
+    def test_not_in(self, table):
+        np.testing.assert_array_equal(
+            NotIn("Carrier", ["AA"]).mask(table), [False, True, False, True, True]
+        )
+
+    def test_comparisons(self, table):
+        np.testing.assert_array_equal(
+            Lt("Delay", 10).mask(table), [False, True, False, True, False]
+        )
+        np.testing.assert_array_equal(
+            Le("Delay", 10).mask(table), [True, True, False, True, False]
+        )
+        np.testing.assert_array_equal(
+            Gt("Delay", 10).mask(table), [False, False, True, False, True]
+        )
+        np.testing.assert_array_equal(
+            Ge("Delay", 10).mask(table), [True, False, True, False, True]
+        )
+
+    def test_comparison_on_string_column_raises(self, table):
+        with pytest.raises(TypeError, match="not numeric"):
+            Lt("Carrier", 1).mask(table)
+
+    def test_true_matches_everything(self, table):
+        assert TRUE.mask(table).all()
+
+
+class TestCombinators:
+    def test_and(self, table):
+        predicate = Eq("Carrier", "AA") & Gt("Delay", 15)
+        np.testing.assert_array_equal(
+            predicate.mask(table), [False, False, True, False, False]
+        )
+
+    def test_or(self, table):
+        predicate = Eq("Carrier", "DL") | Gt("Delay", 30)
+        np.testing.assert_array_equal(
+            predicate.mask(table), [False, False, False, True, True]
+        )
+
+    def test_not(self, table):
+        predicate = ~Eq("Carrier", "AA")
+        np.testing.assert_array_equal(
+            predicate.mask(table), Ne("Carrier", "AA").mask(table)
+        )
+
+    def test_and_flattens_nested(self):
+        nested = And([And([Eq("A", 1), Eq("B", 2)]), Eq("C", 3)])
+        assert len(nested.operands) == 3
+
+    def test_and_drops_true(self):
+        predicate = And([TRUE, Eq("A", 1)])
+        assert len(predicate.operands) == 1
+
+    def test_or_flattens_nested(self):
+        nested = Or([Or([Eq("A", 1)]), Eq("B", 2)])
+        assert len(nested.operands) == 2
+
+    def test_columns_collected(self):
+        predicate = And([Eq("A", 1), Or([Eq("B", 2), Not(Eq("C", 3))])])
+        assert predicate.columns() == frozenset({"A", "B", "C"})
+
+    def test_conjunction_empty_is_true(self):
+        assert conjunction([]) is TRUE
+
+    def test_conjunction_single_passthrough(self):
+        atom = Eq("A", 1)
+        assert conjunction([atom]) is atom
+
+    def test_predicates_are_hashable_value_objects(self):
+        assert Eq("A", 1) == Eq("A", 1)
+        assert In("A", [1, 2]) == In("A", (1, 2))
+        assert hash(Eq("A", 1)) == hash(Eq("A", 1))
+        assert Eq("A", 1) != Eq("A", 2)
+
+    def test_repr_is_sql_like(self):
+        predicate = And([In("Carrier", ["AA", "UA"]), Eq("Year", 2008)])
+        rendered = repr(predicate)
+        assert "Carrier IN" in rendered
+        assert "Year = 2008" in rendered

@@ -1,0 +1,209 @@
+"""Unit tests for the columnar Table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.relation.predicates import Eq, In
+from repro.relation.table import Table
+
+
+class TestConstruction:
+    def test_from_columns_encodes_domains_sorted(self):
+        table = Table.from_columns({"X": ["b", "a", "b", "c"]})
+        assert table.domain("X") == ("a", "b", "c")
+        assert table.column("X") == ["b", "a", "b", "c"]
+
+    def test_from_rows_round_trips(self):
+        table = Table.from_rows(["A", "B"], [(1, "x"), (2, "y"), (1, "x")])
+        assert table.rows() == [(1, "x"), (2, "y"), (1, "x")]
+
+    def test_from_rows_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="columns declared"):
+            Table.from_rows(["A", "B"], [(1,)])
+
+    def test_inconsistent_column_lengths_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            Table(
+                codes={"A": np.array([0, 1]), "B": np.array([0])},
+                domains={"A": (1, 2), "B": (3,)},
+            )
+
+    def test_codes_outside_domain_rejected(self):
+        with pytest.raises(ValueError, match="outside its domain"):
+            Table(codes={"A": np.array([0, 5])}, domains={"A": (1, 2)})
+
+    def test_mixed_type_column_uses_repr_ordering(self):
+        table = Table.from_columns({"X": [1, "a", 1, "a"]})
+        assert table.domain_size("X") == 2
+
+    def test_empty_table(self):
+        table = Table.from_columns({"X": []})
+        assert len(table) == 0
+        assert table.value_counts(["X"]) == {}
+
+    def test_repr_mentions_shape(self, small_table):
+        assert "6 rows" in repr(small_table)
+        assert "3 columns" in repr(small_table)
+
+
+class TestCsv:
+    def test_csv_round_trip(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("A,B\n1,x\n2,y\n")
+        table = Table.from_csv(path)
+        assert table.rows() == [(1, "x"), (2, "y")]
+        # Integers are parsed as ints so avg() works.
+        assert table.numeric("A").tolist() == [1.0, 2.0]
+
+    def test_csv_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="header"):
+            Table.from_csv(path)
+
+
+class TestAccessors:
+    def test_unknown_column_raises_keyerror(self, small_table):
+        with pytest.raises(KeyError, match="unknown column"):
+            small_table.column("missing")
+
+    def test_numeric_rejects_string_columns(self, small_table):
+        with pytest.raises(TypeError, match="not numeric"):
+            small_table.numeric("T")
+
+    def test_numeric_on_int_column(self, small_table):
+        np.testing.assert_allclose(
+            small_table.numeric("Y"), [1.0, 0.0, 1.0, 1.0, 0.0, 1.0]
+        )
+
+    def test_head_limits_rows(self, small_table):
+        assert len(small_table.head(2)) == 2
+
+
+class TestRelationalOps:
+    def test_select_keeps_domains(self, small_table):
+        mask = np.array([True, False, True, False, True, False])
+        selected = small_table.select(mask)
+        assert selected.n_rows == 3
+        assert selected.domain("T") == small_table.domain("T")
+
+    def test_select_rejects_bad_mask(self, small_table):
+        with pytest.raises(ValueError, match="boolean array"):
+            small_table.select(np.array([1, 0, 1, 0, 1, 0]))
+
+    def test_where_none_returns_same_table(self, small_table):
+        assert small_table.where(None) is small_table
+
+    def test_where_predicate(self, small_table):
+        filtered = small_table.where(Eq("T", "a"))
+        assert set(filtered.column("T")) == {"a"}
+        assert filtered.n_rows == 3
+
+    def test_project_and_drop(self, small_table):
+        assert small_table.project(["T"]).columns == ("T",)
+        assert small_table.drop(["T"]).columns == ("Y", "Z")
+
+    def test_rename(self, small_table):
+        renamed = small_table.rename({"T": "Treatment"})
+        assert "Treatment" in renamed.columns
+        assert renamed.column("Treatment") == small_table.column("T")
+
+    def test_with_column_adds_and_overwrites(self, small_table):
+        extended = small_table.with_column("W", [9, 8, 7, 6, 5, 4])
+        assert extended.column("W") == [9, 8, 7, 6, 5, 4]
+        overwritten = extended.with_column("W", [0] * 6)
+        assert set(overwritten.column("W")) == {0}
+
+    def test_with_column_length_mismatch(self, small_table):
+        with pytest.raises(ValueError, match="6 rows"):
+            small_table.with_column("W", [1, 2])
+
+    def test_concat(self, small_table):
+        doubled = small_table.concat(small_table)
+        assert doubled.n_rows == 12
+
+    def test_concat_schema_mismatch(self, small_table):
+        other = Table.from_columns({"X": [1]})
+        with pytest.raises(ValueError, match="different column sets"):
+            small_table.concat(other)
+
+    def test_take_and_sample(self, small_table, rng):
+        taken = small_table.take(np.array([0, 2]))
+        assert taken.rows() == [small_table.rows()[0], small_table.rows()[2]]
+        sample = small_table.sample_rows(4, rng)
+        assert sample.n_rows == 4
+        with pytest.raises(ValueError, match="cannot sample"):
+            small_table.sample_rows(100, rng)
+
+    def test_shuffled_preserves_multiset(self, small_table, rng):
+        shuffled = small_table.shuffled(rng)
+        assert sorted(shuffled.rows()) == sorted(small_table.rows())
+
+
+class TestCountingKernels:
+    def test_value_counts(self, small_table):
+        counts = small_table.value_counts(["T"])
+        assert counts == {("a",): 3, ("b",): 3}
+
+    def test_value_counts_empty_columns(self, small_table):
+        assert small_table.value_counts([]) == {(): 6}
+
+    def test_joint_codes_match_value_counts(self, small_table):
+        codes, width = small_table.joint_codes(["T", "Z"])
+        assert len(codes) == 6
+        assert width == len(small_table.value_counts(["T", "Z"]))
+
+    def test_joint_counts_total(self, small_table):
+        counts = small_table.joint_counts(["T", "Y", "Z"])
+        assert counts.sum() == 6
+
+    def test_joint_counts_agree_with_value_counts(self, small_table):
+        dense = small_table.joint_counts(["T", "Z"])
+        sparse = small_table.value_counts(["T", "Z"])
+        assert sorted(c for c in dense if c > 0) == sorted(sparse.values())
+
+    def test_n_groups_counts_observed_only(self):
+        table = Table.from_columns({"A": [0, 0, 1], "B": [0, 0, 1]})
+        # Domain product is 4 but only (0,0) and (1,1) are observed.
+        assert table.n_groups(["A", "B"]) == 2
+
+    def test_n_groups_empty_columns_is_one(self, small_table):
+        assert small_table.n_groups([]) == 1
+
+    def test_group_indices_partition_all_rows(self, small_table):
+        groups = small_table.group_indices(["T"])
+        total = sum(len(indices) for _, indices in groups)
+        assert total == small_table.n_rows
+        keys = {key for key, _ in groups}
+        assert keys == {("a",), ("b",)}
+
+    def test_group_indices_rows_match_key(self, small_table):
+        for key, indices in small_table.group_indices(["T", "Z"]):
+            for index in indices:
+                row_t = small_table.column("T")[index]
+                row_z = small_table.column("Z")[index]
+                assert (row_t, row_z) == key
+
+    def test_distinct_sorted(self, small_table):
+        assert small_table.distinct(["T"]) == [("a",), ("b",)]
+
+    def test_many_columns_joint_codes_do_not_overflow(self, rng):
+        # 20 columns of 50 categories each: the naive radix product would
+        # overflow int64; the iterative compression must keep codes valid.
+        n = 500
+        raw = {f"C{i}": rng.integers(0, 50, n).tolist() for i in range(20)}
+        table = Table.from_columns(raw)
+        codes, width = table.joint_codes(list(raw))
+        assert codes.min() >= 0
+        assert codes.max() < width
+        assert width <= n
+
+    def test_entropy_cache_is_per_instance(self, small_table):
+        cache = small_table.entropy_cache("plugin")
+        cache[frozenset({"T"})] = 1.23
+        assert small_table.entropy_cache("plugin")[frozenset({"T"})] == 1.23
+        # A selection starts with a fresh cache.
+        selected = small_table.where(In("T", ["a"]))
+        assert frozenset({"T"}) not in selected.entropy_cache("plugin")

@@ -1,0 +1,68 @@
+"""Unit tests for the SQL tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql.errors import SqlSyntaxError
+from repro.sql.lexer import TokenKind, tokenize
+
+
+def kinds(text: str) -> list[TokenKind]:
+    return [token.kind for token in tokenize(text)]
+
+
+def texts(text: str) -> list[str]:
+    return [token.text for token in tokenize(text)][:-1]  # drop END
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert texts("select FROM Where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("Carrier DepDelay_15")
+        assert tokens[0].text == "Carrier"
+        assert tokens[1].text == "DepDelay_15"
+        assert tokens[0].kind is TokenKind.IDENTIFIER
+
+    def test_string_literal(self):
+        token = tokenize("'AA'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.text == "AA"
+
+    def test_string_with_escaped_quote(self):
+        token = tokenize("'O''Hare'")[0]
+        assert token.text == "O'Hare"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize("'abc")
+
+    def test_numbers(self):
+        tokens = tokenize("42 -7 3.14")
+        assert [t.text for t in tokens[:3]] == ["42", "-7", "3.14"]
+        assert all(t.kind is TokenKind.NUMBER for t in tokens[:3])
+
+    def test_operators(self):
+        assert texts("= != <> < <= > >=") == ["=", "!=", "<>", "<", "<=", ">", ">="]
+
+    def test_punctuation(self):
+        assert kinds("( ) , *")[:4] == [
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.COMMA,
+            TokenKind.STAR,
+        ]
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].kind is TokenKind.END
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("SELECT @")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7

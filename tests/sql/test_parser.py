@@ -1,0 +1,105 @@
+"""Unit tests for the SQL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relation.predicates import And, Eq, Gt, In, Not, NotIn, Or, TRUE
+from repro.relation.table import Table
+from repro.sql.errors import SqlSyntaxError
+from repro.sql.parser import parse_select
+
+PAPER_QUERY = (
+    "SELECT Carrier, avg(Delayed) FROM FlightData "
+    "WHERE Carrier IN ('AA','UA') AND Airport IN ('COS','MFE','MTJ','ROC') "
+    "GROUP BY Carrier"
+)
+
+
+class TestParseSelect:
+    def test_paper_listing_one(self):
+        statement = parse_select(PAPER_QUERY)
+        assert statement.table_name == "FlightData"
+        assert statement.select_columns == ("Carrier",)
+        assert statement.outcome_columns() == ("Delayed",)
+        assert statement.group_by == ("Carrier",)
+        assert isinstance(statement.where, And)
+
+    def test_multiple_aggregates(self):
+        statement = parse_select("SELECT T, avg(Y1), avg(Y2) FROM D GROUP BY T")
+        assert statement.outcome_columns() == ("Y1", "Y2")
+
+    def test_no_where_defaults_true(self):
+        statement = parse_select("SELECT avg(Y) FROM D GROUP BY T")
+        assert statement.where is TRUE
+
+    def test_equality_condition(self):
+        statement = parse_select("SELECT avg(Y) FROM D WHERE A = 'x' GROUP BY T")
+        assert statement.where == Eq("A", "x")
+
+    def test_numeric_literals(self):
+        statement = parse_select("SELECT avg(Y) FROM D WHERE Year = 2008 GROUP BY T")
+        assert statement.where == Eq("Year", 2008)
+
+    def test_comparison(self):
+        statement = parse_select("SELECT avg(Y) FROM D WHERE Delay > 15 GROUP BY T")
+        assert statement.where == Gt("Delay", 15.0)
+
+    def test_not_in(self):
+        statement = parse_select(
+            "SELECT avg(Y) FROM D WHERE A NOT IN (1, 2) GROUP BY T"
+        )
+        assert statement.where == NotIn("A", (1, 2))
+
+    def test_or_and_precedence(self):
+        statement = parse_select(
+            "SELECT avg(Y) FROM D WHERE A = 1 OR B = 2 AND C = 3 GROUP BY T"
+        )
+        # AND binds tighter than OR.
+        assert isinstance(statement.where, Or)
+        left, right = statement.where.operands
+        assert left == Eq("A", 1)
+        assert isinstance(right, And)
+
+    def test_parentheses_override_precedence(self):
+        statement = parse_select(
+            "SELECT avg(Y) FROM D WHERE (A = 1 OR B = 2) AND C = 3 GROUP BY T"
+        )
+        assert isinstance(statement.where, And)
+
+    def test_not(self):
+        statement = parse_select("SELECT avg(Y) FROM D WHERE NOT A = 1 GROUP BY T")
+        assert statement.where == Not(Eq("A", 1))
+
+    def test_multi_group_by(self):
+        statement = parse_select("SELECT avg(Y) FROM D GROUP BY T, X, W")
+        assert statement.group_by == ("T", "X", "W")
+
+    def test_parsed_where_executes(self):
+        table = Table.from_columns({"A": [1, 2, 3], "Y": [0, 1, 1]})
+        statement = parse_select("SELECT avg(Y) FROM t WHERE A IN (2, 3) GROUP BY Y")
+        assert statement.where.mask(table).tolist() == [False, True, True]
+
+    def test_repr_round_trip_parses(self):
+        statement = parse_select(PAPER_QUERY)
+        assert parse_select(repr(statement)) == statement
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "sql, message",
+        [
+            ("avg(Y) FROM D", "expected SELECT"),
+            ("SELECT FROM D", "expected column"),
+            ("SELECT avg(Y FROM D", "expected '\\)'"),
+            ("SELECT avg(Y) D", "expected FROM"),
+            ("SELECT avg(Y) FROM D WHERE GROUP BY T", "column name"),
+            ("SELECT avg(Y) FROM D GROUP T", "expected BY"),
+            ("SELECT avg(Y) FROM D GROUP BY T extra", "trailing input"),
+            ("SELECT avg(Y) FROM D WHERE A IN 1 GROUP BY T", "expected '\\('"),
+            ("SELECT avg(Y) FROM D WHERE A = GROUP BY T", "expected literal"),
+        ],
+    )
+    def test_syntax_errors(self, sql, message):
+        with pytest.raises(SqlSyntaxError, match=message):
+            parse_select(sql)

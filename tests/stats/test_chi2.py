@@ -1,0 +1,100 @@
+"""Unit tests for the chi-squared (G) conditional-independence test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.relation.table import Table
+from repro.stats.chi2 import ChiSquaredTest, degrees_of_freedom, g_statistic
+
+
+@pytest.fixture
+def independent_table(rng) -> Table:
+    n = 5000
+    return Table.from_columns(
+        {
+            "X": rng.integers(0, 3, n).tolist(),
+            "Y": rng.integers(0, 2, n).tolist(),
+            "Z": rng.integers(0, 2, n).tolist(),
+        }
+    )
+
+
+class TestDegreesOfFreedom:
+    def test_marginal(self, independent_table):
+        assert degrees_of_freedom(independent_table, "X", "Y", ()) == (3 - 1) * (2 - 1)
+
+    def test_conditional(self, independent_table):
+        df = degrees_of_freedom(independent_table, "X", "Y", ("Z",))
+        assert df == (3 - 1) * (2 - 1) * 2
+
+    def test_constant_column_gives_zero(self):
+        table = Table.from_columns({"X": [1, 1, 1], "Y": [0, 1, 0]})
+        assert degrees_of_freedom(table, "X", "Y", ()) == 0
+
+
+class TestGStatistic:
+    def test_scales_with_n(self, confounded_table):
+        cmi, g = g_statistic(confounded_table, "T", "Y")
+        assert g == pytest.approx(2 * confounded_table.n_rows * cmi)
+
+    def test_non_negative(self, independent_table):
+        _, g = g_statistic(independent_table, "X", "Y", ("Z",))
+        assert g >= 0
+
+
+class TestChiSquaredTest:
+    def test_detects_dependence(self, confounded_table):
+        result = ChiSquaredTest().test(confounded_table, "T", "Y")
+        assert result.dependent(0.01)
+
+    def test_accepts_conditional_independence(self, confounded_table):
+        result = ChiSquaredTest().test(confounded_table, "T", "Y", ("Z",))
+        assert result.independent(0.01)
+
+    def test_accepts_marginal_independence(self, independent_table):
+        result = ChiSquaredTest().test(independent_table, "X", "Y")
+        assert result.independent(0.01)
+
+    def test_constant_variable_trivially_independent(self):
+        table = Table.from_columns({"X": [1] * 10, "Y": [0, 1] * 5})
+        result = ChiSquaredTest().test(table, "X", "Y")
+        assert result.p_value == 1.0
+        assert result.df == 0
+
+    def test_empty_table(self):
+        table = Table.from_columns({"X": [], "Y": []})
+        result = ChiSquaredTest().test(table, "X", "Y")
+        assert result.p_value == 1.0
+
+    def test_argument_validation(self, independent_table):
+        test = ChiSquaredTest()
+        with pytest.raises(ValueError, match="distinct"):
+            test.test(independent_table, "X", "X")
+        with pytest.raises(ValueError, match="conditioning"):
+            test.test(independent_table, "X", "Y", ("X",))
+
+    def test_call_counter(self, independent_table):
+        test = ChiSquaredTest()
+        test.test(independent_table, "X", "Y")
+        test.test(independent_table, "X", "Z")
+        assert test.calls == 2
+        test.reset_counter()
+        assert test.calls == 0
+
+    def test_false_positive_rate_calibrated(self, rng):
+        """Under the null, rejections at alpha=0.05 stay near 5%."""
+        rejections = 0
+        trials = 200
+        for _ in range(trials):
+            n = 400
+            table = Table.from_columns(
+                {
+                    "X": rng.integers(0, 2, n).tolist(),
+                    "Y": rng.integers(0, 2, n).tolist(),
+                }
+            )
+            if ChiSquaredTest().test(table, "X", "Y").p_value < 0.05:
+                rejections += 1
+        assert rejections / trials < 0.12

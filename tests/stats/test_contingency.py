@@ -1,0 +1,66 @@
+"""Unit tests for contingency-table construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.contingency import conditional_contingencies, contingency_matrix
+from repro.relation.table import Table
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table.from_columns(
+        {
+            "X": ["a", "a", "b", "b", "a", "b"],
+            "Y": [0, 1, 0, 1, 1, 1],
+            "Z": ["u", "u", "u", "v", "v", "v"],
+        }
+    )
+
+
+class TestContingencyMatrix:
+    def test_counts_and_labels(self, table):
+        matrix, rows, cols = contingency_matrix(table, "X", "Y")
+        assert rows == ["a", "b"]
+        assert cols == [0, 1]
+        np.testing.assert_array_equal(matrix, [[1, 2], [1, 2]])
+
+    def test_total_is_n(self, table):
+        matrix, _, _ = contingency_matrix(table, "X", "Y")
+        assert matrix.sum() == table.n_rows
+
+    def test_indices_restrict(self, table):
+        matrix, rows, cols = contingency_matrix(table, "X", "Y", np.array([0, 1, 2]))
+        assert matrix.sum() == 3
+
+    def test_compressed_to_observed_values(self, table):
+        # Within indices where X == 'a' only, the matrix has a single row.
+        indices = np.array([0, 1, 4])
+        matrix, rows, _ = contingency_matrix(table, "X", "Y", indices)
+        assert rows == ["a"]
+        assert matrix.shape[0] == 1
+
+
+class TestConditionalContingencies:
+    def test_one_matrix_per_group(self, table):
+        groups = conditional_contingencies(table, "X", "Y", ["Z"])
+        assert {group.z_value for group in groups} == {("u",), ("v",)}
+
+    def test_weights_sum_to_one(self, table):
+        groups = conditional_contingencies(table, "X", "Y", ["Z"])
+        assert sum(group.weight for group in groups) == pytest.approx(1.0)
+
+    def test_group_sizes(self, table):
+        groups = conditional_contingencies(table, "X", "Y", ["Z"])
+        assert sum(group.n for group in groups) == table.n_rows
+
+    def test_empty_conditioning_single_group(self, table):
+        groups = conditional_contingencies(table, "X", "Y", [])
+        assert len(groups) == 1
+        assert groups[0].weight == pytest.approx(1.0)
+
+    def test_empty_table(self):
+        table = Table.from_columns({"X": [], "Y": [], "Z": []})
+        assert conditional_contingencies(table, "X", "Y", ["Z"]) == []

@@ -1,0 +1,72 @@
+"""Unit tests for Benjamini-Hochberg FDR control."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.base import CIResult
+from repro.stats.fdr import benjamini_hochberg, fdr_filter_results
+
+
+class TestBenjaminiHochberg:
+    def test_textbook_example(self):
+        # Classic BH walk-through values.
+        p = [0.01, 0.04, 0.03, 0.005, 0.8]
+        outcome = benjamini_hochberg(p, q=0.05)
+        assert outcome.rejected == (True, True, True, True, False)
+
+    def test_nothing_rejected_under_uniform_nulls(self):
+        p = [0.3, 0.5, 0.7, 0.9]
+        outcome = benjamini_hochberg(p, q=0.05)
+        assert outcome.n_rejected == 0
+        assert outcome.threshold == 0.0
+
+    def test_all_rejected_when_all_tiny(self):
+        outcome = benjamini_hochberg([1e-5, 1e-6, 1e-4], q=0.05)
+        assert outcome.n_rejected == 3
+
+    def test_step_up_rescues_borderline(self):
+        """0.04 alone fails 1/2*0.05 but is rescued by the step-up rule
+        when a smaller p-value pushes the threshold."""
+        outcome = benjamini_hochberg([0.001, 0.04], q=0.05)
+        assert outcome.rejected == (True, True)
+
+    def test_empty(self):
+        outcome = benjamini_hochberg([], q=0.05)
+        assert outcome.rejected == ()
+
+    def test_rejections_more_lenient_than_bonferroni(self, rng):
+        p = np.concatenate([rng.uniform(0, 0.01, 10), rng.uniform(0.2, 1, 40)])
+        outcome = benjamini_hochberg(p.tolist(), q=0.05)
+        bonferroni = (p < 0.05 / len(p)).sum()
+        assert outcome.n_rejected >= bonferroni
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            benjamini_hochberg([0.5], q=2.0)
+        with pytest.raises(ValueError, match="p-values"):
+            benjamini_hochberg([1.5], q=0.05)
+
+    def test_fdr_controlled_empirically(self, rng):
+        """Across repeated all-null families, the FDR stays near q."""
+        false_discoveries = 0
+        families = 300
+        for _ in range(families):
+            p = rng.uniform(0, 1, 20)
+            if benjamini_hochberg(p.tolist(), q=0.05).n_rejected > 0:
+                false_discoveries += 1
+        # With all hypotheses null, P(any rejection) <= q.
+        assert false_discoveries / families < 0.10
+
+
+class TestFilterResults:
+    def test_pairs_results_with_verdicts(self):
+        results = [
+            CIResult(statistic=0.1, p_value=0.001, method="chi2"),
+            CIResult(statistic=0.0, p_value=0.7, method="chi2"),
+        ]
+        paired = fdr_filter_results(results, q=0.05)
+        assert paired[0][1] is True
+        assert paired[1][1] is False
+        assert paired[0][0] is results[0]

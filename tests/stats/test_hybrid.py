@@ -1,0 +1,96 @@
+"""Unit tests for HyMIT, the hybrid independence test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.relation.table import Table
+from repro.stats.hybrid import HybridTest
+
+
+class TestRouting:
+    def test_small_df_routes_to_chi2(self, confounded_table):
+        test = HybridTest(seed=0)
+        result = test.test(confounded_table, "T", "Y")
+        assert "chi2" in result.method
+        assert test.chi2_calls == 1
+        assert test.mit_calls == 0
+
+    def test_sparse_strata_route_to_mit(self, rng):
+        n = 600
+        table = Table.from_columns(
+            {
+                "X": rng.integers(0, 4, n).tolist(),
+                "Y": rng.integers(0, 4, n).tolist(),
+                "Z": rng.integers(0, 40, n).tolist(),
+            }
+        )
+        test = HybridTest(n_permutations=100, seed=0)
+        result = test.test(table, "X", "Y", ("Z",))
+        assert "mit" in result.method
+        assert test.mit_calls == 1
+
+    def test_df_routing_mode(self, rng):
+        n = 600
+        table = Table.from_columns(
+            {
+                "X": rng.integers(0, 2, n).tolist(),
+                "Y": rng.integers(0, 2, n).tolist(),
+                "Z": rng.integers(0, 60, n).tolist(),
+            }
+        )
+        cells_test = HybridTest(routing="cells", n_permutations=50, seed=0)
+        df_test = HybridTest(routing="df", n_permutations=50, seed=0)
+        cells_test.test(table, "X", "Y", ("Z",))
+        df_test.test(table, "X", "Y", ("Z",))
+        # df routing keeps chi2 in this regime; cells routing defers to MIT.
+        assert cells_test.mit_calls == 1
+        assert df_test.chi2_calls == 1
+
+    def test_invalid_routing_rejected(self):
+        with pytest.raises(ValueError, match="routing"):
+            HybridTest(routing="bogus")
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            HybridTest(beta=0)
+
+
+class TestVerdicts:
+    def test_detects_dependence(self, confounded_table):
+        result = HybridTest(seed=1).test(confounded_table, "T", "Z")
+        assert result.dependent(0.01)
+
+    def test_accepts_conditional_independence(self, confounded_table):
+        result = HybridTest(seed=1).test(confounded_table, "T", "Y", ("Z",))
+        assert result.independent(0.01)
+
+    def test_sparse_null_not_rejected(self, rng):
+        """The Cochran routing protects against sparse-strata chi2 blowups."""
+        n = 2000
+        table = Table.from_columns(
+            {
+                "X": rng.integers(0, 3, n).tolist(),
+                "Y": rng.integers(0, 5, n).tolist(),
+                "W": rng.integers(1, 8, n).tolist(),
+                "M": rng.integers(1, 13, n).tolist(),
+                "C": rng.integers(0, 2, n).tolist(),
+            }
+        )
+        result = HybridTest(n_permutations=200, seed=2).test(
+            table, "X", "Y", ("W", "M", "C")
+        )
+        assert result.independent(0.01)
+
+    def test_p_floor_propagated(self, rng):
+        n = 500
+        table = Table.from_columns(
+            {
+                "X": rng.integers(0, 4, n).tolist(),
+                "Y": rng.integers(0, 4, n).tolist(),
+                "Z": rng.integers(0, 40, n).tolist(),
+            }
+        )
+        result = HybridTest(n_permutations=100, seed=3).test(table, "X", "Y", ("Z",))
+        assert result.p_floor == pytest.approx(1 / 101)

@@ -1,0 +1,87 @@
+"""Tests for the fixed-marginal contingency-table sampler.
+
+The correctness property is distributional: the sampler must produce
+tables with exactly the requested marginals, distributed like the tables
+obtained by randomly shuffling one column against the other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.patefield import sample_contingency_tables, shuffle_null_table
+
+
+class TestMarginals:
+    @pytest.mark.parametrize(
+        "rows, cols",
+        [
+            ([10, 20], [15, 15]),
+            ([5, 0, 7], [4, 4, 4]),
+            ([1], [1]),
+            ([3, 3, 3, 3], [6, 6]),
+            ([100], [40, 60]),
+        ],
+    )
+    def test_exact_marginals(self, rows, cols, rng):
+        tables = sample_contingency_tables(rows, cols, 50, rng)
+        assert tables.shape == (50, len(rows), len(cols))
+        np.testing.assert_array_equal(tables.sum(axis=2), np.tile(rows, (50, 1)))
+        np.testing.assert_array_equal(tables.sum(axis=1), np.tile(cols, (50, 1)))
+
+    def test_non_negative_cells(self, rng):
+        tables = sample_contingency_tables([7, 13], [9, 11], 100, rng)
+        assert (tables >= 0).all()
+
+    def test_zero_total(self, rng):
+        tables = sample_contingency_tables([0, 0], [0, 0], 5, rng)
+        assert tables.sum() == 0
+
+    def test_mismatched_totals_rejected(self):
+        with pytest.raises(ValueError, match="disagree"):
+            sample_contingency_tables([10], [5], 3)
+
+    def test_negative_marginals_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            sample_contingency_tables([-1, 2], [1, 0], 3)
+
+    def test_m_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            sample_contingency_tables([1], [1], 0)
+
+    def test_seed_reproducible(self):
+        a = sample_contingency_tables([10, 10], [10, 10], 20, 42)
+        b = sample_contingency_tables([10, 10], [10, 10], 20, 42)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDistribution:
+    def test_2x2_matches_hypergeometric(self, rng):
+        """For a 2x2 table, cell (0,0) is exactly hypergeometric."""
+        rows, cols = [12, 8], [10, 10]
+        m = 4000
+        tables = sample_contingency_tables(rows, cols, m, rng)
+        observed = tables[:, 0, 0]
+        expected_mean = rows[0] * cols[0] / 20
+        # Hypergeometric(ngood=10, nbad=10, nsample=12) mean & variance.
+        n, k, total = 12, 10, 20
+        variance = n * (k / total) * (1 - k / total) * (total - n) / (total - 1)
+        assert observed.mean() == pytest.approx(expected_mean, abs=0.1)
+        assert observed.var() == pytest.approx(variance, rel=0.15)
+
+    def test_matches_shuffle_distribution(self, rng):
+        """Cell means under the sampler match the brute-force shuffle."""
+        x = np.array([0] * 15 + [1] * 10)
+        y = np.array(([0] * 9 + [1] * 6) + ([0] * 4 + [1] * 6))
+        m = 3000
+        sampled = sample_contingency_tables([15, 10], [13, 12], m, rng)
+        shuffled = np.stack([shuffle_null_table(x, y, rng) for _ in range(m)])
+        np.testing.assert_allclose(
+            sampled.mean(axis=0), shuffled.mean(axis=0), atol=0.25
+        )
+
+    def test_wide_table_cells_vary(self, rng):
+        tables = sample_contingency_tables([20, 20, 20], [15, 15, 15, 15], 200, rng)
+        # The sampler must actually randomize, not return a constant table.
+        assert len({tuple(t.ravel()) for t in tables}) > 100

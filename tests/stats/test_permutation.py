@@ -1,0 +1,125 @@
+"""Unit tests for MIT (Alg. 2), the permutation test over contingency tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.infotheory.mutual_information import (
+    mutual_information_batch,
+    mutual_information_from_matrix,
+)
+from repro.relation.table import Table
+from repro.stats.naive import NaiveShuffleTest
+from repro.stats.permutation import PermutationTest
+
+
+class TestMutualInformationBatch:
+    def test_matches_scalar_kernel(self, rng):
+        from repro.stats.patefield import sample_contingency_tables
+
+        tables = sample_contingency_tables([20, 30], [25, 25], 50, rng)
+        batch = mutual_information_batch(tables, "plugin")
+        scalar = [mutual_information_from_matrix(t, "plugin") for t in tables]
+        np.testing.assert_allclose(batch, scalar, atol=1e-12)
+
+    def test_miller_madow_variant(self, rng):
+        from repro.stats.patefield import sample_contingency_tables
+
+        tables = sample_contingency_tables([10, 10], [10, 10], 20, rng)
+        batch = mutual_information_batch(tables, "miller_madow")
+        scalar = [mutual_information_from_matrix(t, "miller_madow") for t in tables]
+        np.testing.assert_allclose(batch, scalar, atol=1e-12)
+
+    def test_empty_batch(self):
+        assert mutual_information_batch(np.zeros((0, 2, 2))).shape == (0,)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="m, r, c"):
+            mutual_information_batch(np.zeros((2, 2)))
+
+
+class TestPermutationTest:
+    def test_detects_marginal_dependence(self, confounded_table):
+        test = PermutationTest(n_permutations=300, seed=0)
+        result = test.test(confounded_table, "T", "Y")
+        assert result.dependent(0.01)
+        assert result.p_floor == pytest.approx(1 / 301)
+
+    def test_accepts_conditional_independence(self, confounded_table):
+        test = PermutationTest(n_permutations=300, seed=0)
+        result = test.test(confounded_table, "T", "Y", ("Z",))
+        assert result.independent(0.01)
+
+    def test_p_interval_reported(self, confounded_table):
+        result = PermutationTest(n_permutations=200, seed=1).test(
+            confounded_table, "T", "Y", ("Z",)
+        )
+        low, high = result.p_interval
+        assert 0.0 <= low <= result.p_value + 0.01
+        assert result.p_value - 0.01 <= high <= 1.0
+
+    def test_agrees_with_naive_shuffle(self, confounded_table):
+        mit = PermutationTest(n_permutations=200, seed=2).test(
+            confounded_table, "T", "Y", ("Z",)
+        )
+        naive = NaiveShuffleTest(n_permutations=100, seed=3).test(
+            confounded_table, "T", "Y", ("Z",)
+        )
+        assert mit.statistic == pytest.approx(naive.statistic)
+        assert abs(mit.p_value - naive.p_value) < 0.2
+
+    def test_degenerate_constant_variable(self):
+        table = Table.from_columns({"X": [1] * 20, "Y": [0, 1] * 10})
+        result = PermutationTest(n_permutations=50, seed=0).test(table, "X", "Y")
+        assert result.p_value == 1.0
+
+    def test_empty_table(self):
+        table = Table.from_columns({"X": [], "Y": []})
+        result = PermutationTest(n_permutations=50, seed=0).test(table, "X", "Y")
+        assert result.p_value == 1.0
+
+    def test_null_calibration_with_group_sampling(self, rng):
+        """Under a true conditional null, sampled-group MIT keeps its size.
+
+        This is a regression test for a weighting bug where the observed
+        statistic was re-normalized over sampled groups but the replicates
+        were not, which drove the null p-values to zero.
+        """
+        n = 4000
+        table = Table.from_columns(
+            {
+                "X": rng.integers(0, 3, n).tolist(),
+                "Y": rng.integers(0, 3, n).tolist(),
+                "Z": rng.integers(0, 30, n).tolist(),
+            }
+        )
+        p_values = []
+        for seed in range(30):
+            test = PermutationTest(n_permutations=100, group_sampling="log", seed=seed)
+            p_values.append(test.test(table, "X", "Y", ("Z",)).p_value)
+        p_values = np.array(p_values)
+        assert p_values.mean() > 0.2
+        assert (p_values < 0.01).mean() <= 0.1
+
+    def test_group_sampling_fraction(self, confounded_table):
+        test = PermutationTest(n_permutations=100, group_sampling=0.5, seed=4)
+        result = test.test(confounded_table, "T", "Y", ("Z",))
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="positive"):
+            PermutationTest(n_permutations=0)
+        with pytest.raises(ValueError, match="in \\[0, 1\\]"):
+            PermutationTest(group_sampling=1.5)
+
+    def test_invalid_sampling_policy(self, confounded_table):
+        test = PermutationTest(n_permutations=10, group_sampling="bogus", seed=0)
+        with pytest.raises(ValueError, match="group_sampling"):
+            test.test(confounded_table, "T", "Y", ("Z",))
+
+    def test_power_with_group_sampling(self, confounded_table):
+        """Sampling groups must not destroy power on real dependence."""
+        test = PermutationTest(n_permutations=200, group_sampling="log", seed=5)
+        result = test.test(confounded_table, "T", "Z")
+        assert result.dependent(0.01)

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import staples_data
+
+
+@pytest.fixture
+def staples_csv(tmp_path):
+    table = staples_data(n_rows=4000, seed=4)
+    path = tmp_path / "staples.csv"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.columns)
+        writer.writerows(table.rows())
+    return str(path)
+
+
+class TestQueryCommand:
+    def test_prints_group_averages(self, staples_csv, capsys):
+        code = main(
+            [
+                "query",
+                "--csv",
+                staples_csv,
+                "--sql",
+                "SELECT Income, avg(Price) FROM t GROUP BY Income",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg(Price)" in out
+
+    def test_bad_sql_reports_error(self, staples_csv, capsys):
+        code = main(["query", "--csv", staples_csv, "--sql", "SELECT FROM"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestAnalyzeCommand:
+    def test_full_pipeline_with_known_sets(self, staples_csv, capsys):
+        code = main(
+            [
+                "analyze",
+                "--csv",
+                staples_csv,
+                "--sql",
+                "SELECT Income, avg(Price) FROM t GROUP BY Income",
+                "--covariates",
+                "--mediators",
+                "Distance",
+                "--test",
+                "chi2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Covariates (Z): []" in out
+        assert "Mediators  (M): ['Distance']" in out
+        assert "rewritten (direct)" in out
+
+    def test_discovery_path(self, staples_csv, capsys):
+        code = main(
+            [
+                "analyze",
+                "--csv",
+                staples_csv,
+                "--sql",
+                "SELECT Income, avg(Price) FROM t GROUP BY Income",
+                "--test",
+                "chi2",
+                "--no-direct",
+            ]
+        )
+        assert code == 0
+        assert "Query:" in capsys.readouterr().out
+
+
+class TestDiscoverCommand:
+    def test_prints_covariates(self, staples_csv, capsys):
+        code = main(
+            [
+                "discover",
+                "--csv",
+                staples_csv,
+                "--treatment",
+                "Income",
+                "--outcome",
+                "Price",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "covariates" in out
+        assert "markov boundary" in out

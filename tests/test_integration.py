@@ -1,0 +1,229 @@
+"""End-to-end integration tests: the paper's five evaluation scenarios.
+
+These check the *shape* of the paper's findings (who wins, what is
+significant, what explains the bias), not the exact numbers, using fast
+configurations of each dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hypdb import HypDB
+from repro.datasets import (
+    adult_data,
+    berkeley_data,
+    cancer_data,
+    flight_data,
+    staples_data,
+)
+
+ALPHA = 0.01
+
+
+@pytest.fixture(scope="module")
+def flight_report():
+    table = flight_data(n_rows=30000, seed=7)
+    db = HypDB(table, seed=7)
+    return db.analyze(
+        "SELECT Carrier, avg(Delayed) FROM FlightData "
+        "WHERE Carrier IN ('AA','UA') AND Airport IN ('COS','MFE','MTJ','ROC') "
+        "GROUP BY Carrier"
+    )
+
+
+class TestFlightScenario:
+    """Paper Fig. 1: Simpson's paradox on FlightData."""
+
+    def test_query_flagged_biased(self, flight_report):
+        assert flight_report.biased
+
+    def test_airport_discovered_as_covariate(self, flight_report):
+        assert "Airport" in flight_report.covariates
+
+    def test_fd_and_key_attributes_dropped(self, flight_report):
+        dropped = flight_report.covariate_discovery.dependency_report.dropped
+        assert "CarrierName" in dropped
+        assert "FlightID" in dropped
+        assert not set(flight_report.covariates) & {"AirportWAC", "TailNum"}
+
+    def test_naive_favors_aa_rewrite_reverses(self, flight_report):
+        context = flight_report.contexts[0]
+        assert context.naive.average("AA") < context.naive.average("UA")
+        assert context.naive.p_value() < ALPHA
+        # Total effect: UA is actually (slightly) better.
+        assert context.total.difference() < 0
+        assert context.total.p_value() < ALPHA
+
+    def test_direct_effect_insignificant(self, flight_report):
+        context = flight_report.contexts[0]
+        assert context.direct.p_value() >= ALPHA
+
+    def test_airport_top_explanation(self, flight_report):
+        coarse = flight_report.contexts[0].coarse
+        assert coarse[0].attribute == "Airport"
+
+    def test_fine_grained_matches_paper_top_pattern(self, flight_report):
+        """Paper Fig. 1(d): rank-1 is (UA, ROC, Delayed=1)."""
+        triples = flight_report.contexts[0].fine["Airport"]
+        top = triples[0]
+        assert top.treatment_value == "UA"
+        assert top.attribute_value == "ROC"
+        assert top.outcome_value == 1
+
+
+@pytest.fixture(scope="module")
+def berkeley_report():
+    return HypDB(berkeley_data(), seed=1).analyze(
+        "SELECT Gender, avg(Accepted) FROM BerkeleyData GROUP BY Gender"
+    )
+
+
+class TestBerkeleyScenario:
+    """Paper Fig. 4 top: 1973 admissions discrimination case."""
+
+    def test_flagged_biased(self, berkeley_report):
+        assert berkeley_report.biased
+
+    def test_department_is_the_explanation(self, berkeley_report):
+        coarse = berkeley_report.contexts[0].coarse
+        assert coarse[0].attribute == "Department"
+        assert coarse[0].responsibility == pytest.approx(1.0)
+
+    def test_naive_matches_published_rates(self, berkeley_report):
+        naive = berkeley_report.contexts[0].naive
+        assert naive.average("Male") == pytest.approx(0.445, abs=0.005)
+        assert naive.average("Female") == pytest.approx(0.304, abs=0.005)
+        assert naive.p_value() < ALPHA
+
+    def test_trend_reverses_after_conditioning(self, berkeley_report):
+        """The paper's key HypDB finding: the association survives
+        conditioning on Department but the trend is *reversed*."""
+        direct = berkeley_report.contexts[0].direct
+        assert direct.average("Female") > direct.average("Male")
+        assert direct.p_value() < ALPHA
+
+    def test_fine_grained_departments(self, berkeley_report):
+        """Paper: men applied to high-acceptance departments A/B."""
+        triples = berkeley_report.contexts[0].fine["Department"]
+        top = triples[0]
+        assert top.treatment_value == "Male"
+        assert top.attribute_value in ("A", "B")
+
+
+@pytest.fixture(scope="module")
+def staples_report():
+    return HypDB(staples_data(n_rows=50000, seed=4), seed=1).analyze(
+        "SELECT Income, avg(Price) FROM StaplesData GROUP BY Income"
+    )
+
+
+class TestStaplesScenario:
+    """Paper Fig. 3 bottom: income affects price only via distance."""
+
+    def test_low_income_pays_more(self, staples_report):
+        naive = staples_report.contexts[0].naive
+        assert naive.average(0) > naive.average(1)
+        assert naive.p_value() < ALPHA
+
+    def test_total_effect_significant(self, staples_report):
+        total = staples_report.contexts[0].total
+        assert total.average(0) > total.average(1)
+        assert total.p_value() < ALPHA
+
+    def test_no_direct_effect(self, staples_report):
+        direct = staples_report.contexts[0].direct
+        assert abs(direct.difference()) < 0.005
+        assert direct.p_value() >= ALPHA
+
+    def test_distance_explains_everything(self, staples_report):
+        coarse = staples_report.contexts[0].coarse
+        assert coarse[0].attribute == "Distance"
+        assert coarse[0].responsibility > 0.9
+
+    def test_distance_discovered_as_mediator(self, staples_report):
+        assert "Distance" in staples_report.mediators
+
+
+@pytest.fixture(scope="module")
+def cancer_report():
+    return HypDB(cancer_data(n_rows=2000, seed=3), seed=1).analyze(
+        "SELECT Lung_Cancer, avg(Car_Accident) FROM CancerData GROUP BY Lung_Cancer"
+    )
+
+
+class TestCancerScenario:
+    """Paper Fig. 4 bottom: ground-truth validation on CancerData."""
+
+    def test_flagged_biased(self, cancer_report):
+        assert cancer_report.biased
+
+    def test_exact_parents_of_treatment_discovered(self, cancer_report):
+        assert set(cancer_report.covariates) == {"Genetics", "Smoking"}
+        assert not cancer_report.covariate_discovery.used_fallback
+
+    def test_mediators_are_accident_parents(self, cancer_report):
+        assert set(cancer_report.mediators) == {"Attention_Disorder", "Fatigue"}
+
+    def test_total_effect_significant(self, cancer_report):
+        total = cancer_report.contexts[0].total
+        assert total.average(1) > total.average(0)
+        assert total.p_value() < ALPHA
+
+    def test_direct_effect_insignificant(self, cancer_report):
+        """Ground truth has no Lung_Cancer -> Car_Accident edge."""
+        direct = cancer_report.contexts[0].direct
+        assert direct.p_value() >= ALPHA
+
+    def test_fatigue_most_responsible(self, cancer_report):
+        coarse = cancer_report.contexts[0].coarse
+        assert coarse[0].attribute == "Fatigue"
+
+    def test_fine_grained_matches_paper(self, cancer_report):
+        """Paper: rank-1 (0,0,0), rank-2 (1,1,1) for Fatigue."""
+        triples = cancer_report.contexts[0].fine["Fatigue"]
+        patterns = [
+            (t.treatment_value, t.outcome_value, t.attribute_value) for t in triples
+        ]
+        assert (0, 0, 0) in patterns
+        assert (1, 1, 1) in patterns
+
+
+@pytest.fixture(scope="module")
+def adult_report():
+    return HypDB(adult_data(n_rows=30000, seed=5), seed=1).analyze(
+        "SELECT Gender, avg(Income) FROM AdultData GROUP BY Gender"
+    )
+
+
+class TestAdultScenario:
+    """Paper Fig. 3 top: gender/income analysis on census-style data."""
+
+    def test_flagged_biased(self, adult_report):
+        assert adult_report.biased
+
+    def test_naive_disparity_shape(self, adult_report):
+        naive = adult_report.contexts[0].naive
+        assert naive.average("Female") < 0.20
+        assert naive.average("Male") > 0.28
+        assert naive.p_value() < ALPHA
+
+    def test_direct_effect_shows_no_disparity(self, adult_report):
+        direct = adult_report.contexts[0].direct
+        assert abs(direct.difference()) < 0.03
+        assert direct.p_value() >= ALPHA
+
+    def test_marital_status_top_explanation(self, adult_report):
+        coarse = adult_report.contexts[0].coarse
+        assert coarse[0].attribute == "MaritalStatus"
+
+    def test_married_male_insight(self, adult_report):
+        """Paper: rank-1 fine-grained triple is (Male, 1, Married)."""
+        triples = adult_report.contexts[0].fine["MaritalStatus"]
+        top = triples[0]
+        assert top.treatment_value == "Male"
+        assert top.attribute_value == "Married"
+        assert top.outcome_value == 1
+
+    def test_marital_status_discovered_as_mediator(self, adult_report):
+        assert "MaritalStatus" in adult_report.mediators

@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.causal.dag import CausalDAG
+from repro.causal.random_dag import random_erdos_renyi_dag
+from repro.infotheory.cache import EntropyEngine
+from repro.infotheory.contributions import contribution_table
+from repro.infotheory.entropy import miller_madow_entropy, plugin_entropy
+from repro.relation.table import Table
+from repro.stats.patefield import sample_contingency_tables
+from repro.utils.borda import borda_aggregate
+
+counts_strategy = st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=12)
+
+small_categorical_columns = st.lists(
+    st.integers(min_value=0, max_value=3), min_size=2, max_size=120
+)
+
+
+class TestEntropyProperties:
+    @given(counts_strategy)
+    def test_plugin_entropy_bounds(self, counts):
+        """0 <= H <= log(#cells) for any count vector."""
+        h = plugin_entropy(counts)
+        observed = sum(1 for c in counts if c > 0)
+        assert h >= -1e-9
+        if observed > 0:
+            assert h <= math.log(observed) + 1e-9
+
+    @given(counts_strategy)
+    def test_miller_madow_dominates_plugin(self, counts):
+        assert miller_madow_entropy(counts) >= plugin_entropy(counts) - 1e-12
+
+    @given(counts_strategy)
+    def test_entropy_invariant_to_zeros_and_order(self, counts):
+        h = plugin_entropy(counts)
+        padded = list(counts) + [0, 0, 0]
+        np.random.default_rng(0).shuffle(padded)
+        assert math.isclose(plugin_entropy(padded), h, rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(counts_strategy, st.integers(min_value=2, max_value=5))
+    def test_scaling_counts_preserves_plugin_entropy(self, counts, factor):
+        scaled = [c * factor for c in counts]
+        assert math.isclose(
+            plugin_entropy(scaled), plugin_entropy(counts), rel_tol=1e-9, abs_tol=1e-12
+        )
+
+
+class TestMutualInformationProperties:
+    @given(small_categorical_columns, small_categorical_columns)
+    @settings(max_examples=40)
+    def test_plugin_mi_non_negative_and_symmetric(self, xs, ys):
+        n = min(len(xs), len(ys))
+        table = Table.from_columns({"X": xs[:n], "Y": ys[:n]})
+        engine = EntropyEngine(table, estimator="plugin", caching=False)
+        mi_xy = engine.mutual_information(("X",), ("Y",))
+        mi_yx = engine.mutual_information(("Y",), ("X",))
+        assert mi_xy >= -1e-9
+        assert math.isclose(mi_xy, mi_yx, rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(small_categorical_columns, small_categorical_columns)
+    @settings(max_examples=40)
+    def test_mi_bounded_by_marginal_entropies(self, xs, ys):
+        n = min(len(xs), len(ys))
+        table = Table.from_columns({"X": xs[:n], "Y": ys[:n]})
+        engine = EntropyEngine(table, estimator="plugin", caching=False)
+        mi = engine.mutual_information(("X",), ("Y",))
+        assert mi <= engine.entropy(("X",)) + 1e-9
+        assert mi <= engine.entropy(("Y",)) + 1e-9
+
+    @given(small_categorical_columns, small_categorical_columns)
+    @settings(max_examples=40)
+    def test_contributions_decompose_mi(self, xs, ys):
+        n = min(len(xs), len(ys))
+        table = Table.from_columns({"X": xs[:n], "Y": ys[:n]})
+        engine = EntropyEngine(table, estimator="plugin", caching=False)
+        total = sum(contribution_table(table, "X", "Y").values())
+        assert abs(total - engine.mutual_information(("X",), ("Y",))) < 1e-9
+
+
+class TestPatefieldProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=4),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40)
+    def test_marginals_always_exact(self, rows, n_cols, seed):
+        total = sum(rows)
+        rng = np.random.default_rng(seed)
+        # Build a column margin with the same total.
+        cols = [0] * n_cols
+        for _ in range(total):
+            cols[int(rng.integers(0, n_cols))] += 1
+        tables = sample_contingency_tables(rows, cols, 5, seed)
+        assert (tables >= 0).all()
+        np.testing.assert_array_equal(tables.sum(axis=2), np.tile(rows, (5, 1)))
+        np.testing.assert_array_equal(tables.sum(axis=1), np.tile(cols, (5, 1)))
+
+
+class TestDagProperties:
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30)
+    def test_markov_boundary_symmetry(self, n_nodes, seed):
+        """X in MB(Y) iff Y in MB(X) (boundaries are symmetric)."""
+        dag = random_erdos_renyi_dag(n_nodes, expected_parents=1.5, rng=seed)
+        for x in dag.nodes():
+            for y in dag.markov_boundary(x):
+                assert x in dag.markov_boundary(y)
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30)
+    def test_d_separation_given_boundary(self, n_nodes, seed):
+        dag = random_erdos_renyi_dag(n_nodes, expected_parents=1.2, rng=seed)
+        nodes = dag.nodes()
+        for node in nodes:
+            boundary = dag.markov_boundary(node)
+            for other in nodes:
+                if other == node or other in boundary:
+                    continue
+                assert dag.d_separated(node, other, sorted(boundary))
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30)
+    def test_parents_satisfy_backdoor_for_any_non_descendant(self, n_nodes, seed):
+        """Prop. 2.3: PA_T satisfies the back-door criterion for any outcome."""
+        dag = random_erdos_renyi_dag(n_nodes, expected_parents=1.5, rng=seed)
+        nodes = dag.nodes()
+        treatment = nodes[0]
+        parents = sorted(dag.parents(treatment))
+        for outcome in dag.descendants(treatment):
+            assert dag.satisfies_backdoor(treatment, outcome, parents)
+
+
+class TestBordaProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=8, unique=True))
+    def test_unanimous_rankings_preserved(self, items):
+        ranking = list(items)
+        assert borda_aggregate([ranking, ranking, ranking]) == ranking
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=6, unique=True),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_aggregate_is_permutation_of_items(self, items, seed):
+        rng = np.random.default_rng(seed)
+        rankings = []
+        for _ in range(3):
+            shuffled = list(items)
+            rng.shuffle(shuffled)
+            rankings.append(shuffled)
+        merged = borda_aggregate(rankings)
+        assert sorted(merged) == sorted(items)

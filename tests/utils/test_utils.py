@@ -1,0 +1,105 @@
+"""Unit tests for shared utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.borda import borda_aggregate, rank_by_value
+from repro.utils.subsets import bounded_subsets, nonempty_subsets, powerset
+from repro.utils.validation import (
+    check_columns_exist,
+    check_disjoint,
+    check_fraction,
+    check_positive,
+    ensure_rng,
+)
+
+
+class TestSubsets:
+    def test_powerset_counts(self):
+        assert len(list(powerset("abc"))) == 8
+
+    def test_powerset_includes_empty(self):
+        assert () in list(powerset("ab"))
+
+    def test_nonempty_excludes_empty(self):
+        subsets = list(nonempty_subsets("ab"))
+        assert () not in subsets
+        assert len(subsets) == 3
+
+    def test_bounded_respects_limit(self):
+        subsets = list(bounded_subsets("abcd", 2))
+        assert max(len(s) for s in subsets) == 2
+        assert len(subsets) == 1 + 4 + 6
+
+    def test_bounded_none_is_full_powerset(self):
+        assert list(bounded_subsets("abc", None)) == list(powerset("abc"))
+
+    def test_smallest_first_ordering(self):
+        sizes = [len(s) for s in bounded_subsets("abcd", 3)]
+        assert sizes == sorted(sizes)
+
+
+class TestBorda:
+    def test_rank_by_value_descending(self):
+        assert rank_by_value({"a": 1.0, "b": 3.0, "c": 2.0}) == ["b", "c", "a"]
+
+    def test_rank_by_value_ascending(self):
+        assert rank_by_value({"a": 1.0, "b": 3.0}, descending=False) == ["a", "b"]
+
+    def test_rank_ties_deterministic(self):
+        assert rank_by_value({"b": 1.0, "a": 1.0}) == rank_by_value({"a": 1.0, "b": 1.0})
+
+    def test_aggregate_single_ranking_identity(self):
+        assert borda_aggregate([["x", "y", "z"]]) == ["x", "y", "z"]
+
+    def test_aggregate_combines(self):
+        merged = borda_aggregate([["a", "b", "c"], ["b", "a", "c"]])
+        assert merged[2] == "c"
+        assert set(merged[:2]) == {"a", "b"}
+
+    def test_aggregate_consensus_winner(self):
+        merged = borda_aggregate([["a", "b", "c"], ["a", "c", "b"], ["b", "a", "c"]])
+        assert merged[0] == "a"
+
+    def test_aggregate_empty(self):
+        assert borda_aggregate([]) == []
+
+    def test_aggregate_handles_missing_items(self):
+        merged = borda_aggregate([["a", "b"], ["b", "c"]])
+        assert set(merged) == {"a", "b", "c"}
+        assert merged[0] == "b"
+
+
+class TestValidation:
+    def test_ensure_rng_from_seed(self):
+        a = ensure_rng(5)
+        b = ensure_rng(5)
+        assert a.random() == b.random()
+
+    def test_ensure_rng_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError, match="positive"):
+            check_positive("x", 0)
+
+    def test_check_fraction(self):
+        check_fraction("f", 0.5)
+        check_fraction("f", 0.0)
+        check_fraction("f", 1.0)
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            check_fraction("f", 1.5)
+
+    def test_check_columns_exist(self):
+        check_columns_exist(["a", "b"], ["a"])
+        with pytest.raises(KeyError, match="unknown column"):
+            check_columns_exist(["a"], ["a", "z"])
+
+    def test_check_disjoint(self):
+        check_disjoint(first=["a"], second=["b"])
+        with pytest.raises(ValueError, match="disjoint"):
+            check_disjoint(first=["a", "b"], second=["b"])
