@@ -1,0 +1,27 @@
+# Local entry points mirroring .github/workflows/ci.yml.
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: ci test fast slow lint bench gate
+
+ci:
+	bash scripts/ci.sh
+
+test:
+	python -m pytest -x -q
+
+fast:
+	python -m pytest -x -q -m "not slow"
+
+slow:
+	python -m pytest -q -m slow
+
+lint:
+	ruff check src tests benchmarks scripts
+
+bench:
+	REPRO_BENCH_SCALE=$(or $(REPRO_BENCH_SCALE),0.25) \
+		python -m pytest benchmarks/bench_engine_scaling.py -q
+
+gate:
+	python scripts/check_bench_regression.py

@@ -1,0 +1,119 @@
+"""Execution-engine scaling on the Fig. 6(b) workload (BENCH_engine.json).
+
+Runs the MIT permutation test (the paper's hot path) on the Fig. 6(b)
+RandomData workload under ``SerialEngine`` and ``ParallelEngine`` at
+increasing worker counts, verifying bit-identical p-values along the way,
+and emits a machine-readable ``BENCH_engine.json`` that records:
+
+* per-engine wall-clock seconds and the speedup over serial,
+* a calibration timing (a fixed single-core numpy workload) so the CI
+  regression gate can normalize away runner-speed differences,
+* the workload parameters, so the gate refuses to compare timings taken
+  at different ``REPRO_BENCH_SCALE``.
+
+On a >= 4-core machine the jobs=4 row is expected to show a >= 2x speedup;
+set ``REPRO_BENCH_STRICT=1`` to turn that expectation into a hard assert
+(left soft by default so laptops and 1-core containers can still produce
+artifacts).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+from conftest import bench_scale, scaled, write_bench_json
+
+from repro.datasets.random_data import random_dataset
+from repro.engine import ParallelEngine, SerialEngine
+from repro.stats.permutation import PermutationTest
+
+#: Worker counts measured after serial; each row reuses one warm pool.
+PARALLEL_JOBS = (2, 4)
+
+
+def _calibration_seconds() -> float:
+    """Time a fixed numpy workload to normalize cross-machine timings."""
+    rng = np.random.default_rng(0)
+    matrix = rng.random((400, 400))
+    start = time.perf_counter()
+    for _ in range(20):
+        matrix = np.tanh(matrix @ matrix.T / 400.0)
+    return time.perf_counter() - start
+
+
+def test_engine_scaling(benchmark, report_sink, bench_jobs):
+    dataset = random_dataset(
+        n_nodes=6, n_rows=scaled(20000), categories=4, expected_parents=1.5,
+        strength=6.0, seed=41,
+    )
+    table = dataset.table
+    nodes = dataset.nodes
+    x, y, z = nodes[0], nodes[1], (nodes[2], nodes[3])
+    n_permutations = scaled(8000, minimum=200)
+    # Keeps each row's timing well clear of scheduler noise even at the
+    # CI smoke scale (0.25): the gate compares ~0.4s rows, not ~10ms ones.
+    repeats = 15
+
+    def run(engine):
+        result = None
+        for _ in range(repeats):
+            result = PermutationTest(
+                n_permutations=n_permutations, seed=0, engine=engine
+            ).test(table, x, y, z)
+        return result
+
+    benchmark.group = "engine_scaling"
+    serial_start = time.perf_counter()
+    serial_result = benchmark.pedantic(lambda: run(SerialEngine()), rounds=1)
+    serial_seconds = time.perf_counter() - serial_start
+
+    rows = [{"engine": "serial", "jobs": 1, "seconds": serial_seconds, "speedup": 1.0}]
+    jobs_under_test = sorted({*PARALLEL_JOBS, bench_jobs} - {1})
+    for jobs in jobs_under_test:
+        with ParallelEngine(jobs=jobs) as engine:
+            run(engine)  # warm the pool so the row times work, not forking
+            start = time.perf_counter()
+            result = run(engine)
+            seconds = time.perf_counter() - start
+        assert result.p_value == serial_result.p_value, (
+            f"jobs={jobs} diverged from serial: {result.p_value} vs {serial_result.p_value}"
+        )
+        assert result.statistic == serial_result.statistic
+        rows.append(
+            {
+                "engine": "parallel",
+                "jobs": jobs,
+                "seconds": seconds,
+                "speedup": serial_seconds / seconds if seconds > 0 else float("inf"),
+            }
+        )
+
+    payload = {
+        "benchmark": "engine_scaling",
+        "workload": {
+            "figure": "fig6b",
+            "n_rows": table.n_rows,
+            "n_permutations": n_permutations,
+            "repeats": repeats,
+            "scale": bench_scale(),
+        },
+        "cpu_count": os.cpu_count(),
+        "calibration_seconds": _calibration_seconds(),
+        "results": rows,
+    }
+    write_bench_json("engine", payload)
+
+    for row in rows:
+        report_sink(
+            "engine_scaling",
+            f"{row['engine']:<9s} jobs={row['jobs']}  "
+            f"{row['seconds']:8.3f}s  speedup={row['speedup']:.2f}x",
+        )
+    assert 0.0 <= serial_result.p_value <= 1.0
+
+    cores = os.cpu_count() or 1
+    if os.environ.get("REPRO_BENCH_STRICT") == "1" and cores >= 4:
+        best = max(row["speedup"] for row in rows if row["jobs"] >= 4)
+        assert best >= 2.0, f"expected >=2x speedup on {cores} cores, got {best:.2f}x"

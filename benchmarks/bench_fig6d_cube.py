@@ -32,14 +32,16 @@ def _entropy_workload(engine: EntropyEngine, nodes) -> float:
 
 @pytest.mark.parametrize("base_rows", SIZES)
 @pytest.mark.parametrize("mode", ["cube", "no_cube"])
-def test_fig6d_cube_vs_scan(base_rows, mode, benchmark, report_sink):
+def test_fig6d_cube_vs_scan(base_rows, mode, benchmark, report_sink, bench_jobs):
     n_rows = scaled(base_rows)
     dataset = random_dataset(
         n_nodes=N_ATTRIBUTES, n_rows=n_rows, categories=2, expected_parents=1.5,
         strength=4.0, seed=60,
     )
     nodes = dataset.nodes
-    cube = DataCube(dataset.table, nodes) if mode == "cube" else None
+    # bench_jobs (--jobs / REPRO_BENCH_JOBS) parallelizes the roll-up; the
+    # materialized lattice is identical for any worker count.
+    cube = DataCube(dataset.table, nodes, engine=bench_jobs) if mode == "cube" else None
     benchmark.group = f"fig6d_n={base_rows}"
 
     def run():

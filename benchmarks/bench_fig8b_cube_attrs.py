@@ -21,13 +21,13 @@ ATTRIBUTE_COUNTS = [8, 10, 12]
 
 @pytest.mark.parametrize("n_attributes", ATTRIBUTE_COUNTS)
 @pytest.mark.parametrize("mode", ["cube", "no_cube"])
-def test_fig8b_cube_vs_attributes(n_attributes, mode, benchmark, report_sink):
+def test_fig8b_cube_vs_attributes(n_attributes, mode, benchmark, report_sink, bench_jobs):
     dataset = random_dataset(
         n_nodes=n_attributes, n_rows=scaled(30000), categories=2,
         expected_parents=1.5, strength=4.0, seed=80,
     )
     nodes = dataset.nodes
-    cube = DataCube(dataset.table, nodes) if mode == "cube" else None
+    cube = DataCube(dataset.table, nodes, engine=bench_jobs) if mode == "cube" else None
     benchmark.group = f"fig8b_attrs={n_attributes}"
 
     def run():

@@ -9,17 +9,27 @@ paper (see DESIGN.md Sec. 3).  Conventions:
 * each experiment prints its paper-style rows *and* appends them to
   ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote them;
 * sizes default to laptop scale and grow with ``REPRO_BENCH_SCALE`` (a
-  float multiplier, default 1.0).
+  float multiplier, default 1.0);
+* machine-readable benchmarks write ``BENCH_<name>.json`` into
+  ``benchmarks/results/`` via :func:`write_bench_json`; CI compares those
+  against the committed baselines in ``benchmarks/baselines/`` with
+  ``scripts/check_bench_regression.py``;
+* the execution-engine worker count defaults to serial and grows with
+  ``REPRO_BENCH_JOBS`` or ``pytest --jobs N`` (the ``bench_jobs``
+  fixture).
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
+from typing import Any
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BASELINES_DIR = Path(__file__).parent / "baselines"
 
 
 def bench_scale() -> float:
@@ -32,11 +42,48 @@ def scaled(base: int, minimum: int = 1) -> int:
     return max(minimum, int(base * bench_scale()))
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=None,
+        help="execution-engine worker count for benchmarks "
+        "(default: env REPRO_BENCH_JOBS or 1)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_jobs(request: pytest.FixtureRequest) -> int:
+    """Worker count for engine-aware benchmarks (``--jobs`` / env)."""
+    option = request.config.getoption("--jobs")
+    if option is not None:
+        return max(1, option)
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+def write_bench_json(name: str, payload: dict[str, Any]) -> Path:
+    """Write one machine-readable benchmark result (``BENCH_<name>.json``).
+
+    The payload should carry raw timings plus enough workload metadata
+    (scale, sizes) for the regression gate to refuse apples-to-oranges
+    comparisons.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_results_dir():
     """Start every benchmark session with an empty results archive."""
     RESULTS_DIR.mkdir(exist_ok=True)
     for stale in RESULTS_DIR.glob("*.txt"):
+        stale.unlink()
+    for stale in RESULTS_DIR.glob("BENCH_*.json"):
         stale.unlink()
     yield
 

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: compare BENCH_*.json results against baselines.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        [--results benchmarks/results] [--baselines benchmarks/baselines] \
+        [--tolerance 0.25]
+
+For every ``BENCH_<name>.json`` in the results directory with a matching
+file in the baselines directory, each timing row is compared after
+normalizing by the run's ``calibration_seconds`` (a fixed single-core
+numpy workload timed on the same machine), which factors out raw
+runner-speed differences.  The gate fails (exit 1) when any normalized
+timing exceeds its baseline by more than ``--tolerance`` (default 25%,
+env ``REPRO_BENCH_TOLERANCE``).
+
+Guard rails:
+
+* results whose ``workload`` metadata differs from the baseline's are
+  skipped with a warning (different ``REPRO_BENCH_SCALE`` runs are not
+  comparable);
+* results with no baseline are reported but pass -- commit the produced
+  JSON under ``benchmarks/baselines/`` to start gating a new benchmark;
+* rows whose baseline timing is below the noise floor (50 ms) are
+  reported but not gated -- sub-second scheduler jitter would otherwise
+  make the gate cry wolf;
+* parallel rows are only gated when the baseline was recorded on a
+  machine with the same ``cpu_count`` -- calibration normalizes
+  single-core speed, not core count, so a 1-core baseline says nothing
+  about a 4-core runner's parallel timings (serial rows stay gated);
+* improvements are reported, never required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Baseline rows faster than this are too noisy to gate at tight tolerances.
+NOISE_FLOOR_SECONDS = 0.05
+
+
+def _row_key(row: dict) -> tuple:
+    return (row.get("engine", "?"), row.get("jobs", "?"))
+
+
+def _normalized(row: dict, payload: dict) -> float | None:
+    calibration = payload.get("calibration_seconds")
+    seconds = row.get("seconds")
+    if not calibration or seconds is None:
+        return None
+    return seconds / calibration
+
+
+def check_file(result_path: Path, baseline_path: Path, tolerance: float) -> list[str]:
+    """Return a list of failure messages for one benchmark pair."""
+    with open(result_path) as handle:
+        current = json.load(handle)
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+
+    if current.get("workload") != baseline.get("workload"):
+        print(
+            f"  ~ {result_path.name}: workload metadata differs from baseline "
+            f"(current {current.get('workload')}, baseline {baseline.get('workload')}); "
+            f"skipping comparison"
+        )
+        return []
+
+    baseline_rows = {_row_key(row): row for row in baseline.get("results", [])}
+    failures: list[str] = []
+    for row in current.get("results", []):
+        key = _row_key(row)
+        reference = baseline_rows.get(key)
+        if reference is None:
+            print(f"  ~ {result_path.name} {key}: no baseline row; skipping")
+            continue
+        now = _normalized(row, current)
+        then = _normalized(reference, baseline)
+        if now is None or then is None or then == 0:
+            print(f"  ~ {result_path.name} {key}: missing timing data; skipping")
+            continue
+        if reference.get("seconds", 0.0) < NOISE_FLOOR_SECONDS:
+            print(
+                f"  ~ {result_path.name} {key}: baseline {reference.get('seconds', 0.0):.3f}s "
+                f"below {NOISE_FLOOR_SECONDS:.2f}s noise floor; reported, not gated"
+            )
+            continue
+        if row.get("engine") != "serial" and current.get("cpu_count") != baseline.get(
+            "cpu_count"
+        ):
+            print(
+                f"  ~ {result_path.name} {key}: parallel row, baseline cpu_count="
+                f"{baseline.get('cpu_count')} != current {current.get('cpu_count')}; "
+                f"reported, not gated (regenerate the baseline on this runner class)"
+            )
+            continue
+        ratio = now / then
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{result_path.name} {key}: normalized runtime {ratio:.2f}x baseline "
+                f"(tolerance {1.0 + tolerance:.2f}x)"
+            )
+        elif ratio < 1.0 - tolerance:
+            verdict = "improvement"
+        print(
+            f"  {result_path.name} {key}: {row['seconds']:.3f}s, "
+            f"{ratio:.2f}x baseline (normalized) -> {verdict}"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results", type=Path, default=REPO_ROOT / "benchmarks" / "results"
+    )
+    parser.add_argument(
+        "--baselines", type=Path, default=REPO_ROOT / "benchmarks" / "baselines"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25")),
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    result_files = sorted(args.results.glob("BENCH_*.json"))
+    if not result_files:
+        print(f"no BENCH_*.json found under {args.results}; nothing to gate")
+        return 0
+
+    failures: list[str] = []
+    for result_path in result_files:
+        baseline_path = args.baselines / result_path.name
+        if not baseline_path.exists():
+            print(f"  ~ {result_path.name}: no committed baseline; passing (commit one to gate)")
+            continue
+        failures.extend(check_file(result_path, baseline_path, args.tolerance))
+
+    if failures:
+        print("\nbenchmark regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml: lint, fast lane, slow lane,
+# smoke benchmark, regression gate.  `make ci` runs this script, so a
+# green local run means a green CI run (modulo runner speed).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== lint (ruff) =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks scripts
+else
+    echo "ruff not installed; skipping lint (CI runs it -- 'pip install ruff' to match)"
+fi
+
+echo "== fast lane: tier-1 tests, no slow markers =="
+python -m pytest -x -q -m "not slow"
+
+echo "== slow lane: permutation-heavy statistical tests =="
+python -m pytest -q -m slow
+
+echo "== smoke benchmark: engine scaling =="
+REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-0.25}" \
+    python -m pytest benchmarks/bench_engine_scaling.py -q
+
+echo "== benchmark regression gate =="
+python scripts/check_bench_regression.py
+
+echo "CI checks passed"

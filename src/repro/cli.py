@@ -22,6 +22,7 @@ from collections.abc import Sequence
 
 from repro.core.hypdb import HypDB
 from repro.core.query import GroupByQuery
+from repro.engine import resolve_engine
 from repro.relation.groupby import group_by_average
 from repro.relation.table import Table
 from repro.stats.chi2 import ChiSquaredTest
@@ -57,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("--alpha", type=float, default=0.01, help="significance level")
     analyze.add_argument("--top-k", type=int, default=2, help="fine-grained explanations per attribute")
+    _add_jobs(analyze)
 
     query = subparsers.add_parser("query", help="evaluate the group-by-average query only")
     _add_common(query)
@@ -67,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--outcome", help="outcome attribute (for the fallback)")
     discover.add_argument("--seed", type=int, default=0, help="random seed")
     discover.add_argument("--alpha", type=float, default=0.01, help="significance level")
+    _add_jobs(discover)
     return parser
 
 
@@ -76,39 +79,55 @@ def _add_common(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument("--seed", type=int, default=0, help="random seed")
 
 
-def _make_test(name: str, seed: int):
+def _add_jobs(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the execution engine (1 = serial; "
+        "results are identical for any value)",
+    )
+
+
+def _make_test(name: str, seed: int, engine=None):
     if name == "chi2":
         return ChiSquaredTest()
     if name == "mit":
-        return PermutationTest(n_permutations=1000, group_sampling="log", seed=seed)
-    return HybridTest(n_permutations=1000, seed=seed)
+        return PermutationTest(
+            n_permutations=1000, group_sampling="log", seed=seed, engine=engine
+        )
+    return HybridTest(n_permutations=1000, seed=seed, engine=engine)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    engine = resolve_engine(getattr(args, "jobs", 1))
     try:
         if args.command == "analyze":
-            return _run_analyze(args)
+            return _run_analyze(args, engine)
         if args.command == "query":
             return _run_query(args)
         if args.command == "discover":
-            return _run_discover(args)
+            return _run_discover(args, engine)
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        engine.close()  # shut worker pools down before interpreter exit
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 
-def _run_analyze(args: argparse.Namespace) -> int:
+def _run_analyze(args: argparse.Namespace, engine) -> int:
     table = Table.from_csv(args.csv)
     query = GroupByQuery.from_sql(args.sql, treatment=args.treatment)
     db = HypDB(
         table,
-        test=_make_test(args.test, args.seed),
+        test=_make_test(args.test, args.seed, engine),
         alpha=args.alpha,
         seed=args.seed,
+        engine=engine,
     )
     report = db.analyze(
         query,
@@ -131,9 +150,9 @@ def _run_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_discover(args: argparse.Namespace) -> int:
+def _run_discover(args: argparse.Namespace, engine) -> int:
     table = Table.from_csv(args.csv)
-    db = HypDB(table, alpha=args.alpha, seed=args.seed)
+    db = HypDB(table, alpha=args.alpha, seed=args.seed, engine=engine)
     result = db.discoverer.discover(table, args.treatment, outcome=args.outcome)
     print(f"treatment:        {result.treatment}")
     print(f"covariates (Z):   {list(result.covariates)}")

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.causal.growshrink import grow_shrink_markov_blanket
 from repro.core.fd import DependencyReport, LogicalDependencyFilter
+from repro.engine import ExecutionEngine, SerialEngine, resolve_engine, spawn_seeds
 from repro.relation.table import Table
 from repro.stats.base import DEFAULT_ALPHA, CITest
 from repro.utils.subsets import bounded_subsets
@@ -85,6 +86,13 @@ class CovariateDiscoverer:
         Keep ``Z`` in ``MB(T)`` only when ``T`` is also in ``MB(Z)``.
         Boundaries of a faithful distribution are symmetric; enforcing this
         on data removes one-sided false boundary members.
+    engine:
+        Execution engine (or a job count) for the independent units of
+        Alg. 1: the per-member boundary computations, the Phase I collider
+        searches, and the Phase II separability checks.  Each unit runs on
+        a re-seeded clone of ``test`` with a pre-spawned seed, so the
+        discovered covariates are identical for any engine and worker
+        count.
     """
 
     def __init__(
@@ -97,6 +105,7 @@ class CovariateDiscoverer:
         max_blanket: int | None = None,
         collider_alpha: float | None = None,
         symmetry_correction: bool = True,
+        engine: ExecutionEngine | int | None = None,
     ) -> None:
         self.test = test
         self.alpha = alpha
@@ -106,6 +115,7 @@ class CovariateDiscoverer:
         self.max_blanket = max_blanket
         self.collider_alpha = collider_alpha if collider_alpha is not None else alpha / 10.0
         self.symmetry_correction = symmetry_correction
+        self.engine = resolve_engine(engine)
 
     # ------------------------------------------------------------------
 
@@ -150,9 +160,14 @@ class CovariateDiscoverer:
         boundaries: dict[str, tuple[str, ...]] = {}
 
         extended_universe = list(dict.fromkeys(list(universe) + [treatment]))
-        for z in mb_t:
-            mb_z = self._blanket(table, z, extended_universe)
+        boundary_tasks = [
+            (table, z, extended_universe, self._blanket_algorithm,
+             self.alpha, self.max_blanket, clone)
+            for z, clone in zip(mb_t, self._spawn_tests(len(mb_t)))
+        ]
+        for z, mb_z, counters in self.engine.map(_boundary_task, boundary_tasks):
             boundaries[z] = tuple(sorted(mb_z))
+            self.test.absorb_counters(counters)
         if self.symmetry_correction:
             mb_t = [z for z in mb_t if treatment in boundaries[z]]
         boundaries[treatment] = tuple(mb_t)
@@ -193,6 +208,16 @@ class CovariateDiscoverer:
             max_blanket=self.max_blanket,
         )
 
+    def _spawn_tests(self, n: int) -> list[CITest]:
+        """``n`` re-seeded worker clones of the test for one fan-out.
+
+        Clones run a serial engine internally so that engine tasks never
+        nest process pools; the parent keeps its own engine for work issued
+        outside a fan-out.
+        """
+        seeds = spawn_seeds(self.test.draw_entropy(), n)
+        return [self.test.spawn_worker(seed, engine=SerialEngine()) for seed in seeds]
+
     def _phase_one(
         self,
         table: Table | None,
@@ -200,46 +225,32 @@ class CovariateDiscoverer:
         mb_t: list[str],
         boundaries: dict[str, tuple[str, ...]],
     ) -> set[str]:
-        """Collect candidates exhibiting the collider signature (Alg. 1 l.2-7)."""
-        collected: set[str] = set()
-        for z in mb_t:
-            if z in collected:
-                continue
-            mb_z = list(boundaries[z])
-            witnesses = [w for w in mb_t if w != z]
-            if self._find_collider_witness(table, treatment, z, mb_z, witnesses, collected):
-                continue
-        return collected
+        """Collect candidates exhibiting the collider signature (Alg. 1 l.2-7).
 
-    def _find_collider_witness(
-        self,
-        table: Table | None,
-        treatment: str,
-        z: str,
-        mb_z: list[str],
-        witnesses: list[str],
-        collected: set[str],
-    ) -> bool:
-        """Search S ⊆ MB(Z) - {T} and W with (Z ⊥ W | S) ∧ (Z ⊥̸ W | S ∪ {T})."""
-        base = [name for name in mb_z if name != treatment]
-        for subset in bounded_subsets(base, self.max_cond_size):
-            for w in witnesses:
-                if w in subset:
-                    continue
-                plain = self.test.test(table, z, w, subset)
-                if not plain.independent(self.alpha):
-                    continue
-                opened = self.test.test(table, z, w, tuple(subset) + (treatment,))
-                # Accept at collider_alpha, or -- for Monte-Carlo tests whose
-                # p-resolution is coarser than collider_alpha -- at the
-                # method's floor (the most significant result it can report).
-                if opened.dependent(self.collider_alpha) or (
-                    opened.p_floor > self.collider_alpha and opened.at_floor()
-                ):
-                    collected.add(z)
-                    collected.add(w)
-                    return True
-        return False
+        Every boundary member's witness search is an independent engine
+        task; the collected set is the union of the per-member findings.
+
+        Scheduling note: the earlier serial implementation skipped members
+        already collected as witnesses, an order-dependent shortcut that a
+        fan-out cannot reproduce.  Searching every member instead is
+        engine-invariant and can only *add* collider evidence (each extra
+        pair still carries a genuine signature, and Phase II still prunes
+        spouses), at the cost of a few more tests per discovery.
+        """
+        tasks = []
+        for z, clone in zip(mb_t, self._spawn_tests(len(mb_t))):
+            base = [name for name in boundaries[z] if name != treatment]
+            witnesses = [w for w in mb_t if w != z]
+            tasks.append(
+                (table, treatment, z, base, witnesses,
+                 self.max_cond_size, self.alpha, self.collider_alpha, clone)
+            )
+        collected: set[str] = set()
+        for pair, counters in self.engine.map(_phase_one_task, tasks):
+            self.test.absorb_counters(counters)
+            if pair is not None:
+                collected.update(pair)
+        return collected
 
     def _phase_two(
         self,
@@ -249,12 +260,66 @@ class CovariateDiscoverer:
         collected: set[str],
     ) -> set[str]:
         """Discard candidates separable from T (Alg. 1 l.9-11)."""
+        candidates = sorted(collected)
+        tasks = [
+            (table, treatment, candidate,
+             [name for name in mb_t if name != candidate],
+             self.max_cond_size, self.alpha, clone)
+            for candidate, clone in zip(candidates, self._spawn_tests(len(candidates)))
+        ]
         parents = set(collected)
-        for candidate in sorted(collected):
-            base = [name for name in mb_t if name != candidate]
-            for subset in bounded_subsets(base, self.max_cond_size):
-                result = self.test.test(table, treatment, candidate, subset)
-                if result.independent(self.alpha):
-                    parents.discard(candidate)
-                    break
+        for candidate, separable, counters in self.engine.map(_phase_two_task, tasks):
+            self.test.absorb_counters(counters)
+            if separable:
+                parents.discard(candidate)
         return parents
+
+
+# ----------------------------------------------------------------------
+# Engine task functions (module-level so they pickle)
+# ----------------------------------------------------------------------
+
+
+def _boundary_task(task):
+    """Compute the Markov boundary of one node with a cloned test."""
+    table, target, universe, blanket_algorithm, alpha, max_blanket, test = task
+    boundary = blanket_algorithm(
+        table,
+        target,
+        test,
+        candidates=[name for name in universe if name != target],
+        alpha=alpha,
+        max_blanket=max_blanket,
+    )
+    return target, boundary, test.counters()
+
+
+def _phase_one_task(task):
+    """Search S ⊆ MB(Z) - {T} and W with (Z ⊥ W | S) ∧ (Z ⊥̸ W | S ∪ {T})."""
+    table, treatment, z, base, witnesses, max_cond_size, alpha, collider_alpha, test = task
+    for subset in bounded_subsets(base, max_cond_size):
+        for w in witnesses:
+            if w in subset:
+                continue
+            plain = test.test(table, z, w, subset)
+            if not plain.independent(alpha):
+                continue
+            opened = test.test(table, z, w, tuple(subset) + (treatment,))
+            # Accept at collider_alpha, or -- for Monte-Carlo tests whose
+            # p-resolution is coarser than collider_alpha -- at the
+            # method's floor (the most significant result it can report).
+            if opened.dependent(collider_alpha) or (
+                opened.p_floor > collider_alpha and opened.at_floor()
+            ):
+                return (z, w), test.counters()
+    return None, test.counters()
+
+
+def _phase_two_task(task):
+    """Decide whether some subset of MB(T) separates one candidate from T."""
+    table, treatment, candidate, base, max_cond_size, alpha, test = task
+    for subset in bounded_subsets(base, max_cond_size):
+        result = test.test(table, treatment, candidate, subset)
+        if result.independent(alpha):
+            return candidate, True, test.counters()
+    return candidate, False, test.counters()

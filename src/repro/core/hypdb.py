@@ -45,6 +45,7 @@ from repro.core.fd import LogicalDependencyFilter
 from repro.core.query import GroupByQuery, QueryContext
 from repro.core.report import BiasReport, ContextReport, EffectEstimate, Timings
 from repro.core.rewrite import NoOverlapError, direct_effect, total_effect
+from repro.engine import ExecutionEngine, SerialEngine, resolve_engine, spawn_seeds
 from repro.relation.table import Table
 from repro.stats.base import DEFAULT_ALPHA, CIResult, CITest
 from repro.stats.hybrid import HybridTest
@@ -72,6 +73,12 @@ class HypDB:
         Entropy estimator for explanations (``miller_madow`` by default).
     seed:
         Seed for all stochastic components (tests, key detection).
+    engine:
+        Execution engine (or a job count) scheduling the independent units
+        of the pipeline: Monte-Carlo replicates inside the default test,
+        discovery subtasks, and per-context detection + explanation.
+        Results are bit-identical for any engine and worker count (the
+        seed-spawning discipline of :mod:`repro.engine.seeds`).
     """
 
     def __init__(
@@ -83,14 +90,20 @@ class HypDB:
         dependency_filter: LogicalDependencyFilter | str | None = "auto",
         estimator: str = "miller_madow",
         seed: int | np.random.Generator | None = None,
+        engine: ExecutionEngine | int | None = None,
     ) -> None:
         self.table = table
         self.alpha = alpha
         self.estimator = estimator
+        self.engine = resolve_engine(engine)
         # m = 1000 permutations gives the Monte-Carlo branch a p-value
         # resolution of ~0.001 -- fine enough for the CD algorithm's strict
         # collider threshold (alpha / 10).  Pass an explicit test to change.
-        self.test = test if test is not None else HybridTest(n_permutations=1000, seed=seed)
+        self.test = (
+            test
+            if test is not None
+            else HybridTest(n_permutations=1000, seed=seed, engine=self.engine)
+        )
         if dependency_filter == "auto":
             dependency_filter = LogicalDependencyFilter(seed=seed)
         elif isinstance(dependency_filter, str):
@@ -110,6 +123,7 @@ class HypDB:
             max_cond_size=max_cond_size,
             dependency_filter=dependency_filter,
             blanket_algorithm=iamb_markov_blanket,
+            engine=self.engine,
         )
         # WHERE-filtered views are memoized so that covariate discovery,
         # mediator discovery, detection, and resolution all run against the
@@ -215,47 +229,49 @@ class HypDB:
         else:
             m = tuple(mediators)
 
+        discovery_seconds = time.perf_counter() - detection_start
+
+        # Detection and explanation are independent across query contexts:
+        # each context becomes one engine task carrying a re-seeded clone
+        # of the test (see CITest.spawn_worker).  The parent absorbs the
+        # clones' call counters and worker-computed entropy caches, so the
+        # fan-out is invisible except for wall-clock time.  Under a
+        # parallel engine the per-phase timings are summed worker seconds
+        # (CPU work), not wall clock.
         contexts = query.contexts(self.table, filtered=self._filtered(query.where))
+        seeds = spawn_seeds(self.test.draw_entropy(), len(contexts))
+        tasks = [
+            (
+                context.table,
+                query.treatment,
+                z,
+                m,
+                self.alpha,
+                compute_direct,
+                query.outcomes[0] if query.outcomes else None,
+                explain_top_attributes,
+                top_k,
+                self.estimator,
+                self.test.spawn_worker(seed, engine=SerialEngine()),
+            )
+            for context, seed in zip(contexts, seeds)
+        ]
         balances_total: list[BalanceResult | None] = []
         balances_direct: list[BalanceResult | None] = []
-        for context in contexts:
-            balances_total.append(
-                detect_bias(context.table, query.treatment, z, self.test, self.alpha)
-                if z
-                else None
-            )
-            balances_direct.append(
-                detect_bias(
-                    context.table, query.treatment, z + m, self.test, self.alpha
-                )
-                if (compute_direct and (z or m))
-                else None
-            )
-        detection_seconds = time.perf_counter() - detection_start
-
-        explanation_start = time.perf_counter()
         coarse_per_context = []
         fine_per_context = []
-        for context in contexts:
-            coarse = tuple(
-                coarse_grained_explanations(
-                    context.table, query.treatment, z + m, estimator=self.estimator
-                )
-            )
+        detection_seconds = discovery_seconds
+        explanation_seconds = 0.0
+        for context, outcome in zip(contexts, self.engine.map(_context_analysis_task, tasks)):
+            balance_total, balance_direct, coarse, fine, det_s, exp_s, counters, caches = outcome
+            balances_total.append(balance_total)
+            balances_direct.append(balance_direct)
             coarse_per_context.append(coarse)
-            fine: dict[str, tuple] = {}
-            for item in coarse[:explain_top_attributes]:
-                fine[item.attribute] = tuple(
-                    fine_grained_explanations(
-                        context.table,
-                        query.treatment,
-                        query.outcomes[0],
-                        item.attribute,
-                        top_k=top_k,
-                    )
-                )
             fine_per_context.append(fine)
-        explanation_seconds = time.perf_counter() - explanation_start
+            detection_seconds += det_s
+            explanation_seconds += exp_s
+            self.test.absorb_counters(counters)
+            context.table.merge_entropy_caches(caches)
 
         resolution_start = time.perf_counter()
         context_reports: list[ContextReport] = []
@@ -392,3 +408,58 @@ class HypDB:
             return self.test.test(table, treatment, outcome)
         augmented = with_joint_column(table, conditioning, "__hypdb_cond__")
         return self.test.test(augmented, treatment, outcome, ("__hypdb_cond__",))
+
+
+def _context_analysis_task(task):
+    """Engine task: detection + explanation for one query context Γ.
+
+    Returns the balance verdicts, explanations, per-phase seconds, the
+    clone's counter snapshot, and the entropy caches the worker built on
+    its copy of the context table (merged back by the parent).
+    """
+    (
+        table,
+        treatment,
+        z,
+        m,
+        alpha,
+        compute_direct,
+        outcome,
+        explain_top_attributes,
+        top_k,
+        estimator,
+        test,
+    ) = task
+    detection_start = time.perf_counter()
+    balance_total = (
+        detect_bias(table, treatment, z, test, alpha) if z else None
+    )
+    balance_direct = (
+        detect_bias(table, treatment, z + m, test, alpha)
+        if (compute_direct and (z or m))
+        else None
+    )
+    detection_seconds = time.perf_counter() - detection_start
+
+    explanation_start = time.perf_counter()
+    coarse = tuple(
+        coarse_grained_explanations(table, treatment, z + m, estimator=estimator)
+    )
+    fine: dict[str, tuple] = {}
+    for item in coarse[:explain_top_attributes]:
+        fine[item.attribute] = tuple(
+            fine_grained_explanations(
+                table, treatment, outcome, item.attribute, top_k=top_k
+            )
+        )
+    explanation_seconds = time.perf_counter() - explanation_start
+    return (
+        balance_total,
+        balance_direct,
+        coarse,
+        fine,
+        detection_seconds,
+        explanation_seconds,
+        test.counters(),
+        table.export_entropy_caches(),
+    )

@@ -90,7 +90,13 @@ class ContextReport:
 
 @dataclass(frozen=True)
 class Timings:
-    """Wall-clock seconds per pipeline phase (paper Table 1 columns)."""
+    """Seconds per pipeline phase (paper Table 1 columns).
+
+    Under a serial engine these are wall-clock seconds.  Under a parallel
+    engine, detection and explanation are the *summed* per-context worker
+    seconds (the CPU work done), which can exceed wall clock by up to the
+    worker count; use them to compare workloads, not to measure latency.
+    """
 
     detection: float = 0.0
     explanation: float = 0.0

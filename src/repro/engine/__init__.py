@@ -1,0 +1,42 @@
+"""Execution engines: schedule independent statistical work across workers.
+
+See :mod:`repro.engine.base` for the task contract that keeps results
+bit-identical across engines and worker counts, and
+:mod:`repro.engine.seeds` for the seed-spawning discipline.
+"""
+
+from __future__ import annotations
+
+from repro.engine.base import ExecutionEngine, chunked, default_chunk_size
+from repro.engine.parallel import ParallelEngine
+from repro.engine.seeds import draw_entropy, spawn_seeds
+from repro.engine.serial import SerialEngine
+
+__all__ = [
+    "ExecutionEngine",
+    "ParallelEngine",
+    "SerialEngine",
+    "chunked",
+    "default_chunk_size",
+    "draw_entropy",
+    "resolve_engine",
+    "spawn_seeds",
+]
+
+
+def resolve_engine(engine: "ExecutionEngine | int | None") -> ExecutionEngine:
+    """Normalize the ``engine`` argument accepted across the library.
+
+    ``None`` -> :class:`SerialEngine`; an integer is a job count
+    (``<= 1`` serial, otherwise :class:`ParallelEngine`); an engine
+    instance passes through unchanged.
+    """
+    if engine is None:
+        return SerialEngine()
+    if isinstance(engine, ExecutionEngine):
+        return engine
+    if isinstance(engine, int) and not isinstance(engine, bool):
+        return SerialEngine() if engine <= 1 else ParallelEngine(jobs=engine)
+    raise TypeError(
+        f"engine must be an ExecutionEngine, a job count, or None; got {engine!r}"
+    )

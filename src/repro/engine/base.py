@@ -1,0 +1,88 @@
+"""Execution-engine abstraction for independent statistical work.
+
+HypDB's hot path is dominated by *embarrassingly parallel* units: the
+Monte-Carlo replicates of one permutation test (Alg. 2), the per-group
+Patefield sampling, the CI tests of independent discovery candidates, the
+per-context detection/explanation work, and the cuboids of one roll-up
+level of a data cube.  An :class:`ExecutionEngine` schedules such units:
+callers build a list of *tasks* (small, picklable payloads), hand them to
+:meth:`ExecutionEngine.map` together with a module-level task function,
+and receive the results in task order.
+
+The contract that makes results reproducible across engines and worker
+counts:
+
+* task functions are **pure** -- every random draw comes from a seed
+  carried inside the task payload (see :mod:`repro.engine.seeds`);
+* task lists and their seeds are built **before** scheduling, from parent
+  state only, and never depend on the number of workers;
+* results are returned **in task order**, regardless of completion order.
+
+Under these rules ``SerialEngine`` and ``ParallelEngine(jobs=k)`` produce
+bit-identical results for every ``k``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from typing import Any, TypeVar
+
+Task = TypeVar("Task")
+Result = TypeVar("Result")
+
+
+class ExecutionEngine:
+    """Schedules independent tasks; see the module docstring for the contract."""
+
+    name = "abstract"
+
+    @property
+    def jobs(self) -> int:
+        """Number of worker processes the engine may use (1 = in-process)."""
+        return 1
+
+    def map(
+        self,
+        fn: Callable[[Task], Result],
+        tasks: Sequence[Task],
+        chunk_size: int | None = None,
+    ) -> list[Result]:
+        """Apply ``fn`` to every task and return the results in task order.
+
+        ``fn`` must be a module-level (picklable) callable and each task a
+        picklable value.  ``chunk_size`` overrides the engine's batching of
+        tasks per worker round-trip; it never affects the results.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; the engine stays usable)."""
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+def chunked(items: Sequence[Any], size: int) -> list[list[Any]]:
+    """Split ``items`` into consecutive batches of at most ``size``."""
+    if size <= 0:
+        raise ValueError(f"chunk size must be positive, got {size}")
+    return [list(items[start : start + size]) for start in range(0, len(items), size)]
+
+
+def default_chunk_size(n_tasks: int, jobs: int, oversubscription: int = 4) -> int:
+    """Batch tasks so each worker sees ~``oversubscription`` batches.
+
+    Small batches waste round-trips on IPC; one batch per worker loses the
+    load balancing that keeps stragglers from dominating.  A handful of
+    batches per worker is the standard compromise.
+    """
+    if n_tasks <= 0:
+        return 1
+    return max(1, math.ceil(n_tasks / max(1, jobs * oversubscription)))

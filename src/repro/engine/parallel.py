@@ -1,0 +1,143 @@
+"""Multi-process engine built on :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Tasks are shipped to workers in chunks (one pickle round-trip per chunk,
+not per task) and results are gathered in submission order, so the output
+is independent of worker scheduling.  The pool is created lazily on the
+first parallel ``map`` and reused across calls -- process start-up costs
+are paid once per engine, not once per test.
+
+The engine is picklable: only its configuration travels (the pool is
+dropped), so a task payload may safely contain an object that references a
+``ParallelEngine``.  An unpickled copy starts with no pool and would lazily
+create one; callers that fan out work containing engines should downgrade
+them to :class:`~repro.engine.serial.SerialEngine` first (see
+``CITest.spawn_worker``) to avoid nested pools.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from repro.engine.base import ExecutionEngine, chunked, default_chunk_size
+
+
+def _run_batch(fn: Callable, batch: list) -> list:
+    """Worker-side driver: apply ``fn`` to one chunk of tasks."""
+    return [fn(task) for task in batch]
+
+
+def _pick_context(start_method: str | None) -> multiprocessing.context.BaseContext:
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    # fork inherits the parent's modules and avoids re-importing numpy in
+    # every worker; fall back to the platform default elsewhere.
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ParallelEngine(ExecutionEngine):
+    """Fans tasks out across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count; defaults to ``os.cpu_count()``.
+    chunk_size:
+        Fixed batch size per worker round-trip; by default a size is
+        derived from the task count and ``jobs``.  Affects scheduling
+        granularity only, never results.
+    min_tasks:
+        Task lists shorter than this run inline (the pool cannot pay for
+        itself on one or two tasks).
+    start_method:
+        multiprocessing start method (``"fork"`` where available).
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        chunk_size: int | None = None,
+        min_tasks: int = 2,
+        start_method: str | None = None,
+    ) -> None:
+        resolved = jobs if jobs is not None else (os.cpu_count() or 1)
+        if resolved < 1:
+            raise ValueError(f"jobs must be >= 1, got {resolved}")
+        if min_tasks < 0:
+            raise ValueError(f"min_tasks must be >= 0, got {min_tasks}")
+        self._jobs = int(resolved)
+        self._chunk_size = chunk_size
+        self._min_tasks = min_tasks
+        self._start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    # ------------------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        chunk_size: int | None = None,
+    ) -> list:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self._jobs <= 1 or len(tasks) < self._min_tasks:
+            return [fn(task) for task in tasks]
+        size = chunk_size or self._chunk_size or default_chunk_size(len(tasks), self._jobs)
+        batches = chunked(tasks, size)
+        futures = [self._executor().submit(_run_batch, fn, batch) for batch in batches]
+        results: list = []
+        for future in futures:  # submission order == task order
+            results.extend(future.result())
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self) -> None:
+        # A pool left open at interpreter exit races the executor's own
+        # teardown hooks (OSError: Bad file descriptor noise on 3.11+);
+        # close defensively, but never let finalization errors escape.
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._jobs, mp_context=_pick_context(self._start_method)
+            )
+        return self._pool
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {
+            "jobs": self._jobs,
+            "chunk_size": self._chunk_size,
+            "min_tasks": self._min_tasks,
+            "start_method": self._start_method,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__init__(
+            jobs=state["jobs"],
+            chunk_size=state["chunk_size"],
+            min_tasks=state["min_tasks"],
+            start_method=state["start_method"],
+        )

@@ -1,0 +1,26 @@
+"""The in-process engine: runs every task inline, in order."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.engine.base import ExecutionEngine
+
+
+class SerialEngine(ExecutionEngine):
+    """Runs tasks one by one in the calling process.
+
+    This is the reference implementation that every parallel engine must
+    match bit-for-bit; it is also the default everywhere, so single-core
+    callers pay no scheduling overhead.
+    """
+
+    name = "serial"
+
+    def map(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        chunk_size: int | None = None,
+    ) -> list:
+        return [fn(task) for task in tasks]

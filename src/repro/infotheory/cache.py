@@ -8,6 +8,16 @@ and memoizes every joint entropy it computes.  It can optionally be backed
 by a pre-computed :class:`~repro.relation.cube.DataCube`, in which case
 covered requests are answered by cuboid lookup without touching the data
 (Fig. 6(d)).
+
+**Worker safety.**  Every piece of state here -- the memo dict
+(``frozenset`` keys, ``float`` values), :class:`EngineStats`, and the
+bound :class:`~repro.relation.table.Table` -- is picklable, so an engine
+(or a table whose shared cache it populates) can travel into an execution
+-engine worker.  A worker's copy of the memo diverges from the parent's;
+to avoid silently discarding worker-computed entropies, tasks return
+:meth:`EntropyEngine.export_cache` (or
+``Table.export_entropy_caches``) and the parent merges it back with
+:meth:`EntropyEngine.merge_cache` (or ``Table.merge_entropy_caches``).
 """
 
 from __future__ import annotations
@@ -150,6 +160,19 @@ class EntropyEngine:
     def clear_cache(self) -> None:
         """Drop all memoized entropies (stats are kept)."""
         self._cache.clear()
+
+    def export_cache(self) -> dict[frozenset[str], float]:
+        """Picklable snapshot of the memo (for returning from a worker)."""
+        return dict(self._cache)
+
+    def merge_cache(self, cache: dict[frozenset[str], float]) -> None:
+        """Merge a snapshot exported by a worker copy of this engine.
+
+        Entropies are pure functions of the bound table and estimator, so
+        merging snapshots from (copies of) the same binding is idempotent
+        and never loses entries.
+        """
+        self._cache.update(cache)
 
     # ------------------------------------------------------------------
 

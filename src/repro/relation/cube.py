@@ -16,8 +16,10 @@ cuboids.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from itertools import combinations
 from typing import Any
 
+from repro.engine import ExecutionEngine, resolve_engine
 from repro.relation.table import Table
 from repro.utils.validation import check_columns_exist
 
@@ -34,6 +36,11 @@ class DataCube:
     max_attributes:
         Safety bound on the lattice size (the paper notes engines restrict
         cubes to ~12 attributes because the lattice is exponential).
+    engine:
+        Execution engine (or a job count) for the roll-up: within one
+        lattice level every cuboid depends only on the level above, so the
+        ``C(k, s)`` cuboids of level ``s`` are evaluated as independent
+        tasks.  The materialized lattice is identical for any engine.
     """
 
     def __init__(
@@ -41,6 +48,7 @@ class DataCube:
         table: Table,
         attributes: Sequence[str],
         max_attributes: int = 12,
+        engine: ExecutionEngine | int | None = None,
     ) -> None:
         names = tuple(attributes)
         check_columns_exist(table.columns, names)
@@ -52,6 +60,7 @@ class DataCube:
             )
         self._attributes = names
         self._n_rows = table.n_rows
+        self._engine = resolve_engine(engine)
         self._cuboids: dict[frozenset[str], dict[tuple[Any, ...], int]] = {}
         self._build(table)
 
@@ -60,22 +69,29 @@ class DataCube:
     # ------------------------------------------------------------------
 
     def _build(self, table: Table) -> None:
-        """Materialize the lattice: finest cuboid from data, rest by roll-up."""
+        """Materialize the lattice: finest cuboid from data, rest by roll-up.
+
+        A cuboid over S is the aggregation of the cuboid over S + {a} for
+        any a not in S; we always roll up from a parent one attribute
+        wider, which is the cheapest available.  Levels are processed
+        widest first, and the cuboids within one level fan out as engine
+        tasks (each task ships its parent cuboid and the positions to
+        keep).
+        """
         base_key = frozenset(self._attributes)
         self._cuboids[base_key] = table.value_counts(self._attributes)
-        # Roll up level by level: a cuboid over S is the aggregation of the
-        # cuboid over S + {a} for any a not in S; we always roll up from a
-        # parent one attribute wider, which is the cheapest available.
-        ordered_levels = sorted(
-            {frozenset(subset) for subset in _all_subsets(self._attributes)},
-            key=len,
-            reverse=True,
-        )
-        for subset in ordered_levels:
-            if subset in self._cuboids:
-                continue
-            parent = self._find_parent(subset)
-            self._cuboids[subset] = self._roll_up(parent, subset)
+        for size in range(len(self._attributes) - 1, -1, -1):
+            subsets = [frozenset(combo) for combo in combinations(self._attributes, size)]
+            tasks = []
+            for subset in subsets:
+                parent = self._find_parent(subset)
+                parent_order = [name for name in self._attributes if name in parent]
+                keep_positions = [
+                    index for index, name in enumerate(parent_order) if name in subset
+                ]
+                tasks.append((self._cuboids[parent], keep_positions))
+            for subset, rolled in zip(subsets, self._engine.map(_roll_up_task, tasks)):
+                self._cuboids[subset] = rolled
 
     def _find_parent(self, subset: frozenset[str]) -> frozenset[str]:
         for attribute in self._attributes:
@@ -84,19 +100,6 @@ class DataCube:
                 if candidate in self._cuboids:
                     return candidate
         raise RuntimeError(f"no materialized parent for cuboid {sorted(subset)}")
-
-    def _roll_up(
-        self, parent: frozenset[str], subset: frozenset[str]
-    ) -> dict[tuple[Any, ...], int]:
-        parent_order = [name for name in self._attributes if name in parent]
-        keep_positions = [
-            index for index, name in enumerate(parent_order) if name in subset
-        ]
-        rolled: dict[tuple[Any, ...], int] = {}
-        for key, count in self._cuboids[parent].items():
-            reduced = tuple(key[position] for position in keep_positions)
-            rolled[reduced] = rolled.get(reduced, 0) + count
-        return rolled
 
     # ------------------------------------------------------------------
     # Lookup
@@ -148,9 +151,11 @@ class DataCube:
         return [cuboid[key] for key in sorted(cuboid, key=repr)]
 
 
-def _all_subsets(attributes: Sequence[str]):
-    from itertools import chain, combinations
-
-    return chain.from_iterable(
-        combinations(attributes, size) for size in range(len(attributes) + 1)
-    )
+def _roll_up_task(task) -> dict[tuple[Any, ...], int]:
+    """Engine task: aggregate one parent cuboid down to a child cuboid."""
+    parent_cuboid, keep_positions = task
+    rolled: dict[tuple[Any, ...], int] = {}
+    for key, count in parent_cuboid.items():
+        reduced = tuple(key[position] for position in keep_positions)
+        rolled[reduced] = rolled.get(reduced, 0) + count
+    return rolled

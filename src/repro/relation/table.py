@@ -379,9 +379,33 @@ class Table:
         """The shared entropy memo for ``estimator`` (see EntropyEngine).
 
         Different Table instances never share a cache, so selections and
-        projections always start fresh (their row sets differ).
+        projections always start fresh (their row sets differ).  Caches are
+        plain picklable dicts and travel with the table into worker
+        processes; entries computed by a worker are brought home with
+        :meth:`export_entropy_caches` / :meth:`merge_entropy_caches`.
         """
         return self._entropy_caches.setdefault(estimator, {})
+
+    def export_entropy_caches(self) -> dict[str, dict[frozenset[str], float]]:
+        """Snapshot every entropy memo of this table (picklable).
+
+        Engine tasks return this snapshot so the parent process can merge
+        worker-computed entropies back into its own table instance instead
+        of silently losing them when the worker exits.
+        """
+        return {estimator: dict(cache) for estimator, cache in self._entropy_caches.items()}
+
+    def merge_entropy_caches(
+        self, caches: Mapping[str, Mapping[frozenset[str], float]]
+    ) -> None:
+        """Merge an exported snapshot into this table's entropy memos.
+
+        Only valid for snapshots taken from (copies of) this same table --
+        entropies depend on the row set.  Existing entries are overwritten
+        with equal values, so merging is idempotent.
+        """
+        for estimator, cache in caches.items():
+            self._entropy_caches.setdefault(estimator, {}).update(cache)
 
     # ------------------------------------------------------------------
     # Internals

@@ -9,8 +9,11 @@ standard efficiency metric for constraint-based methods (Fig. 6(a)).
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import copy
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.relation.table import Table
 
@@ -103,6 +106,56 @@ class CITest:
     def reset_counter(self) -> None:
         """Zero the call counter (used by benchmark harnesses)."""
         self.calls = 0
+
+    # ------------------------------------------------------------------
+    # Execution-engine integration
+    #
+    # Fan-out layers (discovery, detection) ship *clones* of a test into
+    # engine tasks instead of sharing the parent instance: a clone carries
+    # its own pre-assigned random stream, so results do not depend on the
+    # order in which workers run.  The parent absorbs the clones' call
+    # counters afterwards, keeping Fig. 6(a)-style test counts exact.
+    # ------------------------------------------------------------------
+
+    def draw_entropy(self) -> int:
+        """Root entropy for seeding a fan-out (advances the test's RNG).
+
+        Deterministic tests have no RNG and return a constant; stochastic
+        subclasses override this to draw from their stream so consecutive
+        fan-outs get fresh, reproducible seeds.
+        """
+        return 0
+
+    def reseed(self, seed: int | np.random.SeedSequence) -> None:
+        """Re-seed the test's random stream (no-op for deterministic tests)."""
+
+    def set_engine(self, engine) -> None:
+        """Swap the test's execution engine (no-op for serial-only tests)."""
+
+    def spawn_worker(
+        self, seed: int | np.random.SeedSequence, engine=None
+    ) -> "CITest":
+        """A deep copy prepared for one engine task.
+
+        The clone is re-seeded with ``seed``, its counters are zeroed (the
+        parent adds them back via :meth:`absorb_counters`), and its engine
+        is replaced by ``engine`` when given -- fan-out callers pass a
+        serial engine so tasks never nest process pools.
+        """
+        clone = copy.deepcopy(self)
+        if engine is not None:
+            clone.set_engine(engine)
+        clone.reseed(seed)
+        clone.reset_counter()
+        return clone
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the test's call counters (picklable)."""
+        return {"calls": self.calls}
+
+    def absorb_counters(self, delta: Mapping[str, int]) -> None:
+        """Add a worker clone's counter snapshot onto this instance."""
+        self.calls += int(delta.get("calls", 0))
 
     def _test(self, table: Table, x: str, y: str, z: tuple[str, ...]) -> CIResult:
         raise NotImplementedError

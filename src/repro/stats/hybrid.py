@@ -11,8 +11,11 @@ tests break down (Fig. 5(d)).
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+
 import numpy as np
 
+from repro.engine import ExecutionEngine
 from repro.relation.table import Table
 from repro.stats.base import CIResult, CITest
 from repro.stats.chi2 import ChiSquaredTest, degrees_of_freedom
@@ -36,8 +39,9 @@ class HybridTest(CITest):
         chi-squared branch produces false dependencies (the pathology the
         paper itself attributes to parametric tests on sparse data in
         Sec. 7.4).
-    n_permutations, group_sampling, seed:
-        Forwarded to the embedded :class:`PermutationTest`.
+    n_permutations, group_sampling, seed, engine:
+        Forwarded to the embedded :class:`PermutationTest` (``engine``
+        parallelizes the Monte-Carlo branch's replicates).
     """
 
     name = "hymit"
@@ -49,6 +53,7 @@ class HybridTest(CITest):
         n_permutations: int = 1000,
         group_sampling: str | float | None = "log",
         seed: int | np.random.Generator | None = None,
+        engine: ExecutionEngine | int | None = None,
     ) -> None:
         super().__init__()
         check_positive("beta", beta)
@@ -61,6 +66,7 @@ class HybridTest(CITest):
             n_permutations=n_permutations,
             group_sampling=group_sampling,
             seed=seed,
+            engine=engine,
         )
 
     @property
@@ -72,6 +78,36 @@ class HybridTest(CITest):
     def mit_calls(self) -> int:
         """How many tests were routed to the permutation branch."""
         return self._mit.calls
+
+    # ------------------------------------------------------------------
+    # Execution-engine integration (see CITest)
+    # ------------------------------------------------------------------
+
+    def draw_entropy(self) -> int:
+        return self._mit.draw_entropy()
+
+    def reseed(self, seed: int | np.random.SeedSequence) -> None:
+        self._mit.reseed(seed)
+
+    def set_engine(self, engine: ExecutionEngine) -> None:
+        self._mit.set_engine(engine)
+
+    def reset_counter(self) -> None:
+        super().reset_counter()
+        self._chi2.reset_counter()
+        self._mit.reset_counter()
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "calls": self.calls,
+            "chi2_calls": self._chi2.calls,
+            "mit_calls": self._mit.calls,
+        }
+
+    def absorb_counters(self, delta: Mapping[str, int]) -> None:
+        super().absorb_counters(delta)
+        self._chi2.calls += int(delta.get("chi2_calls", 0))
+        self._mit.calls += int(delta.get("mit_calls", 0))
 
     def _test(self, table: Table, x: str, y: str, z: tuple[str, ...]) -> CIResult:
         if self.routing == "df":

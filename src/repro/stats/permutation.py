@@ -26,6 +26,7 @@ import math
 
 import numpy as np
 
+from repro.engine import ExecutionEngine, draw_entropy, resolve_engine, spawn_seeds
 from repro.infotheory.entropy import entropy_from_counts
 from repro.infotheory.mutual_information import (
     mutual_information_batch,
@@ -36,6 +37,14 @@ from repro.stats.base import CIResult, CITest
 from repro.stats.contingency import GroupContingency, conditional_contingencies
 from repro.stats.patefield import sample_contingency_tables
 from repro.utils.validation import check_fraction, ensure_rng
+
+#: Monte-Carlo replicates per pre-seeded engine task.  Part of the
+#: reproducibility contract, NOT a tuning knob: the partition of replicates
+#: into seed blocks determines which SeedSequence child drives which
+#: replicate, so this must stay fixed for results to be reproducible.
+#: Scheduling granularity is tuned engine-side (``chunk_size``), which
+#: batches whole tasks and cannot affect results.
+_REPLICATE_SEED_BLOCK = 250
 
 
 class PermutationTest(CITest):
@@ -58,6 +67,14 @@ class PermutationTest(CITest):
         null replicates use the same estimator so the comparison is fair.
     seed:
         Generator or seed for reproducibility.
+    engine:
+        Execution engine (or a job count) for the Monte-Carlo fan-out.
+        Each non-degenerate group's replicates are split into fixed
+        blocks of ``_REPLICATE_SEED_BLOCK`` and scheduled as independent
+        tasks with pre-spawned seeds.  Because the block size is a module
+        constant (not a knob), the seed-to-replicate assignment -- and
+        therefore every p-value -- is bit-identical for any engine,
+        worker count, or engine batching ``chunk_size``.
     """
 
     name = "mit"
@@ -69,6 +86,7 @@ class PermutationTest(CITest):
         log_scale: float = 3.0,
         estimator: str = "plugin",
         seed: int | np.random.Generator | None = None,
+        engine: ExecutionEngine | int | None = None,
     ) -> None:
         super().__init__()
         if n_permutations <= 0:
@@ -80,8 +98,20 @@ class PermutationTest(CITest):
         self.log_scale = log_scale
         self.estimator = estimator
         self._rng = ensure_rng(seed)
+        self.engine = resolve_engine(engine)
         if group_sampling is not None:
             self.name = "mit_sampling"
+
+    # ------------------------------------------------------------------
+
+    def draw_entropy(self) -> int:
+        return draw_entropy(self._rng)
+
+    def reseed(self, seed: int | np.random.SeedSequence) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def set_engine(self, engine: ExecutionEngine) -> None:
+        self.engine = engine
 
     # ------------------------------------------------------------------
 
@@ -105,15 +135,7 @@ class PermutationTest(CITest):
         # mixing raw and re-normalized weights would inflate one side of the
         # comparison and destroy the test's validity under the null.
         total_weight = sum(group.weight for group in selected)
-        replicate_stats = np.zeros(m, dtype=np.float64)
-        for group in selected:
-            if min(group.matrix.shape) < 2:
-                continue  # degenerate group: MI is 0 in every permutation
-            tables = sample_contingency_tables(
-                group.matrix.sum(axis=1), group.matrix.sum(axis=0), m, self._rng
-            )
-            per_replicate = mutual_information_batch(tables, self.estimator)
-            replicate_stats += (group.weight / total_weight) * per_replicate
+        replicate_stats = self._null_replicates(selected, m, total_weight)
 
         exceed = int(np.count_nonzero(replicate_stats >= observed - 1e-12))
         # Add-one smoothing keeps the p-value away from an impossible 0.
@@ -128,6 +150,49 @@ class PermutationTest(CITest):
             p_interval=interval,
             p_floor=1.0 / (m + 1),
         )
+
+    # ------------------------------------------------------------------
+
+    def _null_replicates(
+        self, selected: list[GroupContingency], m: int, total_weight: float
+    ) -> np.ndarray:
+        """The ``m`` weighted null statistics, computed as engine tasks.
+
+        One task covers one (group, seed-block) pair and carries its own
+        spawned seed; block boundaries depend only on ``m`` and the fixed
+        ``_REPLICATE_SEED_BLOCK``, so the aggregate is identical for any
+        engine or scheduling granularity.  Changing the block *constant*
+        would re-partition the seed assignment -- it is deliberately not
+        a parameter.
+        """
+        work = [group for group in selected if min(group.matrix.shape) >= 2]
+        chunk = min(_REPLICATE_SEED_BLOCK, m)
+        starts = range(0, m, chunk)
+        seeds = spawn_seeds(self.draw_entropy(), len(work) * len(starts))
+        tasks = []
+        for index, group in enumerate(work):
+            rows = group.matrix.sum(axis=1)
+            cols = group.matrix.sum(axis=0)
+            for offset, start in enumerate(starts):
+                tasks.append(
+                    (
+                        rows,
+                        cols,
+                        min(chunk, m - start),
+                        seeds[index * len(starts) + offset],
+                        self.estimator,
+                    )
+                )
+        partials = self.engine.map(_null_replicate_chunk, tasks)
+        replicate_stats = np.zeros(m, dtype=np.float64)
+        cursor = 0
+        for group in work:
+            scale = group.weight / total_weight
+            for start in starts:
+                partial = partials[cursor]
+                cursor += 1
+                replicate_stats[start : start + len(partial)] += scale * partial
+        return replicate_stats
 
     # ------------------------------------------------------------------
 
@@ -172,3 +237,15 @@ class PermutationTest(CITest):
         h_rows = entropy_from_counts(group.matrix.sum(axis=1), "plugin")
         h_cols = entropy_from_counts(group.matrix.sum(axis=0), "plugin")
         return group.weight * max(h_rows, h_cols)
+
+
+def _null_replicate_chunk(task) -> np.ndarray:
+    """Engine task: the null mutual informations of one replicate chunk.
+
+    The payload carries only the group's marginals and a pre-spawned seed,
+    so the task is pure and cheap to ship to a worker process.
+    """
+    rows, cols, count, seed, estimator = task
+    rng = np.random.default_rng(seed)
+    tables = sample_contingency_tables(rows, cols, count, rng)
+    return mutual_information_batch(tables, estimator)

@@ -1,0 +1,149 @@
+"""Engine determinism: jobs=1 and jobs=4 must produce identical results.
+
+The library-wide contract (see :mod:`repro.engine.base`) is that task
+lists and seeds are built before scheduling, so the worker count can never
+change a p-value, a discovered covariate set, or a report.  These tests
+pin that contract at every layer the engine touches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.discovery import CovariateDiscoverer
+from repro.core.hypdb import HypDB
+from repro.datasets.flights import flight_data
+from repro.datasets.random_data import random_dataset
+from repro.engine import ParallelEngine, SerialEngine
+from repro.relation.cube import DataCube
+from repro.stats.chi2 import ChiSquaredTest
+from repro.stats.hybrid import HybridTest
+from repro.stats.permutation import PermutationTest
+
+FLIGHTS_SQL = (
+    "SELECT Carrier, avg(Delayed) FROM FlightData "
+    "WHERE Carrier IN ('AA','UA') AND Airport IN ('COS','MFE','MTJ','ROC') "
+    "GROUP BY Carrier"
+)
+
+
+@pytest.fixture(scope="module")
+def parallel_engine():
+    with ParallelEngine(jobs=4) as engine:
+        yield engine
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return random_dataset(
+        n_nodes=5, n_rows=4000, categories=3, expected_parents=1.5, strength=6.0, seed=11
+    )
+
+
+class TestPermutationDeterminism:
+    def test_identical_p_values_across_engines(self, dataset, parallel_engine):
+        nodes = dataset.nodes
+        args = (dataset.table, nodes[0], nodes[1], (nodes[2],))
+        serial = PermutationTest(n_permutations=300, seed=5, engine=SerialEngine()).test(*args)
+        parallel = PermutationTest(n_permutations=300, seed=5, engine=parallel_engine).test(*args)
+        assert serial.p_value == parallel.p_value
+        assert serial.statistic == parallel.statistic
+        assert serial.p_interval == parallel.p_interval
+
+    def test_engine_batching_invariant(self, dataset):
+        """Engine chunk_size batches whole tasks; it can never change p-values."""
+        nodes = dataset.nodes
+        args = (dataset.table, nodes[0], nodes[1], (nodes[2],))
+        reference = PermutationTest(n_permutations=300, seed=5).test(*args)
+        for chunk_size in (1, 3, 1000):
+            with ParallelEngine(jobs=2, chunk_size=chunk_size) as engine:
+                result = PermutationTest(
+                    n_permutations=300, seed=5, engine=engine
+                ).test(*args)
+            assert result.p_value == reference.p_value
+            assert result.p_interval == reference.p_interval
+
+    def test_consecutive_calls_draw_fresh_replicates(self, dataset):
+        """The fan-out must not reset the stream between test calls."""
+        nodes = dataset.nodes
+        test = PermutationTest(n_permutations=100, seed=5)
+        state_before = test._rng.bit_generator.state
+        first = test.test(dataset.table, nodes[0], nodes[1])
+        state_between = test._rng.bit_generator.state
+        second = test.test(dataset.table, nodes[0], nodes[1])
+        # Each call consumes parent entropy, so the stream advances and the
+        # second call's replicates are fresh, not a replay of the first.
+        assert state_before != state_between
+        assert state_between != test._rng.bit_generator.state
+        # Same observed statistic either way; and a fresh instance with the
+        # same seed replays the first call exactly.
+        assert first.statistic == second.statistic
+        replay = PermutationTest(n_permutations=100, seed=5).test(
+            dataset.table, nodes[0], nodes[1]
+        )
+        assert replay.p_value == first.p_value
+        assert replay.p_interval == first.p_interval
+
+    def test_hybrid_routes_identically(self, dataset, parallel_engine):
+        nodes = dataset.nodes
+        args = (dataset.table, nodes[0], nodes[1], (nodes[2], nodes[3]))
+        serial = HybridTest(n_permutations=200, seed=3, engine=SerialEngine()).test(*args)
+        parallel = HybridTest(n_permutations=200, seed=3, engine=parallel_engine).test(*args)
+        assert serial.p_value == parallel.p_value
+        assert serial.method == parallel.method
+
+
+class TestDiscoveryDeterminism:
+    def test_identical_covariates_across_engines(self, dataset, parallel_engine):
+        table = dataset.table
+        treatment = dataset.nodes[0]
+        serial = CovariateDiscoverer(ChiSquaredTest(), engine=SerialEngine()).discover(
+            table, treatment
+        )
+        parallel = CovariateDiscoverer(ChiSquaredTest(), engine=parallel_engine).discover(
+            table, treatment
+        )
+        assert serial.covariates == parallel.covariates
+        assert serial.markov_boundary == parallel.markov_boundary
+        assert serial.boundaries == parallel.boundaries
+        assert serial.n_tests == parallel.n_tests
+
+
+class TestCubeDeterminism:
+    def test_identical_cuboids_across_engines(self, dataset, parallel_engine):
+        attributes = dataset.nodes[:5]
+        serial = DataCube(dataset.table, attributes)
+        parallel = DataCube(dataset.table, attributes, engine=parallel_engine)
+        assert serial.n_cuboids() == parallel.n_cuboids()
+        assert serial._cuboids == parallel._cuboids
+
+
+@pytest.mark.slow
+class TestHypDBDeterminism:
+    """The acceptance bar: byte-identical flights reports, jobs=1 vs jobs=4."""
+
+    def test_flights_quickstart_byte_identical(self, parallel_engine):
+        def report(engine):
+            table = flight_data(n_rows=20000, seed=7)
+            return HypDB(table, seed=7, engine=engine).analyze(FLIGHTS_SQL)
+
+        serial = report(SerialEngine())
+        parallel = report(parallel_engine)
+        assert serial.format() == parallel.format()
+        assert serial.covariates == parallel.covariates
+        assert serial.mediators == parallel.mediators
+        for left, right in zip(serial.contexts, parallel.contexts):
+            if left.balance_total is not None:
+                assert left.balance_total.p_value == right.balance_total.p_value
+            if left.balance_direct is not None:
+                assert left.balance_direct.p_value == right.balance_direct.p_value
+            assert left.coarse == right.coarse
+
+    def test_counters_match_across_engines(self, parallel_engine):
+        def run(engine):
+            table = flight_data(n_rows=8000, seed=7)
+            db = HypDB(table, seed=7, engine=engine)
+            db.analyze(FLIGHTS_SQL)
+            return db.test.counters()
+
+        assert run(SerialEngine()) == run(parallel_engine)

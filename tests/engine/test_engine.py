@@ -1,0 +1,151 @@
+"""Unit tests for the execution-engine subsystem."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ExecutionEngine,
+    ParallelEngine,
+    SerialEngine,
+    chunked,
+    default_chunk_size,
+    draw_entropy,
+    resolve_engine,
+    spawn_seeds,
+)
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def seeded_draw(seed) -> int:
+    return int(np.random.default_rng(seed).integers(1_000_000))
+
+
+class TestSerialEngine:
+    def test_maps_in_order(self):
+        assert SerialEngine().map(square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty_tasks(self):
+        assert SerialEngine().map(square, []) == []
+
+    def test_jobs_is_one(self):
+        assert SerialEngine().jobs == 1
+
+
+class TestParallelEngine:
+    def test_maps_in_order(self):
+        with ParallelEngine(jobs=3) as engine:
+            assert engine.map(square, list(range(20))) == [x * x for x in range(20)]
+
+    def test_empty_tasks(self):
+        with ParallelEngine(jobs=2) as engine:
+            assert engine.map(square, []) == []
+
+    def test_fewer_tasks_than_workers(self):
+        with ParallelEngine(jobs=8) as engine:
+            assert engine.map(square, [5, 6, 7]) == [25, 36, 49]
+
+    def test_single_task_runs_inline(self):
+        engine = ParallelEngine(jobs=4)
+        assert engine.map(square, [9]) == [81]
+        assert engine._pool is None  # below min_tasks: no pool was started
+        engine.close()
+
+    def test_chunk_size_does_not_change_results(self):
+        tasks = list(range(17))
+        expected = [x * x for x in tasks]
+        with ParallelEngine(jobs=2) as engine:
+            for chunk in (1, 3, 17, 100):
+                assert engine.map(square, tasks, chunk_size=chunk) == expected
+
+    def test_default_jobs_positive(self):
+        assert ParallelEngine().jobs >= 1
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ParallelEngine(jobs=0)
+
+    def test_pickle_drops_pool(self):
+        with ParallelEngine(jobs=2, chunk_size=5) as engine:
+            engine.map(square, list(range(10)))
+            clone = pickle.loads(pickle.dumps(engine))
+        assert clone.jobs == 2
+        assert clone._pool is None
+        assert clone._chunk_size == 5
+
+    def test_close_is_idempotent_and_reusable(self):
+        engine = ParallelEngine(jobs=2)
+        assert engine.map(square, list(range(4))) == [0, 1, 4, 9]
+        engine.close()
+        engine.close()
+        assert engine.map(square, list(range(4))) == [0, 1, 4, 9]
+        engine.close()
+
+    def test_worker_seeds_are_deterministic(self):
+        seeds = spawn_seeds(1234, 6)
+        serial = SerialEngine().map(seeded_draw, seeds)
+        with ParallelEngine(jobs=3) as engine:
+            parallel = engine.map(seeded_draw, seeds)
+        assert serial == parallel
+
+
+class TestResolveEngine:
+    def test_none_is_serial(self):
+        assert isinstance(resolve_engine(None), SerialEngine)
+
+    def test_small_job_counts_are_serial(self):
+        assert isinstance(resolve_engine(1), SerialEngine)
+        assert isinstance(resolve_engine(0), SerialEngine)
+
+    def test_job_count_builds_parallel(self):
+        engine = resolve_engine(4)
+        assert isinstance(engine, ParallelEngine)
+        assert engine.jobs == 4
+
+    def test_instance_passes_through(self):
+        engine = SerialEngine()
+        assert resolve_engine(engine) is engine
+
+    def test_bool_and_junk_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_engine(True)
+        with pytest.raises(TypeError):
+            resolve_engine("4")
+
+
+class TestHelpers:
+    def test_chunked_covers_all_items(self):
+        batches = chunked(list(range(10)), 3)
+        assert batches == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+    def test_chunked_rejects_bad_size(self):
+        with pytest.raises(ValueError, match="chunk size"):
+            chunked([1], 0)
+
+    def test_default_chunk_size_bounds(self):
+        assert default_chunk_size(0, 4) == 1
+        assert default_chunk_size(1, 4) == 1
+        assert default_chunk_size(1000, 4) >= 1
+
+    def test_spawn_seeds_independent_streams(self):
+        seeds = spawn_seeds(7, 4)
+        draws = {seeded_draw(seed) for seed in seeds}
+        assert len(draws) == 4  # distinct streams
+
+    def test_spawn_seeds_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(7, -1)
+
+    def test_draw_entropy_advances_parent(self):
+        rng = np.random.default_rng(0)
+        assert draw_entropy(rng) != draw_entropy(rng)
+
+    def test_base_engine_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ExecutionEngine().map(square, [1])

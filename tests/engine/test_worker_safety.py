@@ -1,0 +1,130 @@
+"""Worker-safety of shared state: entropy caches, test clones, pickling."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine import ParallelEngine, SerialEngine, spawn_seeds
+from repro.infotheory.cache import EntropyEngine
+from repro.relation.table import Table
+from repro.stats.chi2 import ChiSquaredTest
+from repro.stats.hybrid import HybridTest
+from repro.stats.permutation import PermutationTest
+
+
+@pytest.fixture
+def table(rng: np.random.Generator) -> Table:
+    n = 500
+    return Table.from_columns(
+        {
+            "A": rng.integers(0, 3, n).tolist(),
+            "B": rng.integers(0, 2, n).tolist(),
+            "C": rng.integers(0, 4, n).tolist(),
+        }
+    )
+
+
+def _entropy_task(task):
+    """Worker-side: compute entropies and export the populated cache."""
+    worker_table, column_sets = task
+    engine = EntropyEngine(worker_table, estimator="plugin")
+    engine.preload(column_sets)
+    return worker_table.export_entropy_caches()
+
+
+class TestTableCaches:
+    def test_caches_travel_with_pickle(self, table):
+        table.entropy_cache("plugin")[frozenset({"A"})] = 1.5
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone.entropy_cache("plugin")[frozenset({"A"})] == 1.5
+
+    def test_export_is_a_snapshot(self, table):
+        table.entropy_cache("plugin")[frozenset({"A"})] = 1.5
+        exported = table.export_entropy_caches()
+        table.entropy_cache("plugin")[frozenset({"B"})] = 2.5
+        assert frozenset({"B"}) not in exported["plugin"]
+
+    def test_merge_brings_worker_entries_home(self, table):
+        exported = {"plugin": {frozenset({"A", "B"}): 0.7}}
+        table.merge_entropy_caches(exported)
+        assert table.entropy_cache("plugin")[frozenset({"A", "B"})] == 0.7
+
+    def test_merge_is_idempotent(self, table):
+        exported = {"plugin": {frozenset({"A"}): 0.1}}
+        table.merge_entropy_caches(exported)
+        table.merge_entropy_caches(exported)
+        assert table.entropy_cache("plugin") == {frozenset({"A"}): 0.1}
+
+    def test_self_merge_is_safe(self, table):
+        table.entropy_cache("plugin")[frozenset({"A"})] = 1.0
+        table.merge_entropy_caches(table.export_entropy_caches())
+        assert table.entropy_cache("plugin") == {frozenset({"A"}): 1.0}
+
+    def test_no_cache_loss_across_process_fanout(self, table):
+        """Entries computed in workers land in the parent cache (no loss)."""
+        column_sets = [("A",), ("B",), ("A", "B"), ("A", "C")]
+        tasks = [(table, [columns]) for columns in column_sets]
+        with ParallelEngine(jobs=2) as engine:
+            for caches in engine.map(_entropy_task, tasks):
+                table.merge_entropy_caches(caches)
+        cache = table.entropy_cache("plugin")
+        for columns in column_sets:
+            assert frozenset(columns) in cache
+
+    def test_parent_and_worker_values_agree(self, table):
+        local = EntropyEngine(table, estimator="plugin")
+        expected = local.entropy(("A", "B"))
+        (caches,) = SerialEngine().map(_entropy_task, [(pickle.loads(pickle.dumps(table)), [("A", "B")])])
+        assert caches["plugin"][frozenset({"A", "B"})] == pytest.approx(expected)
+
+
+class TestEntropyEngineCache:
+    def test_export_and_merge(self, table):
+        first = EntropyEngine(table, estimator="plugin", caching=True)
+        first.entropy(("A",))
+        second = EntropyEngine(table, estimator="plugin", caching=False)
+        second.merge_cache(first.export_cache())
+        assert second.cache_size() >= 1
+
+
+class TestWorkerClones:
+    def test_spawn_worker_is_independent(self, table):
+        parent = PermutationTest(n_permutations=50, seed=1)
+        seeds = spawn_seeds(parent.draw_entropy(), 2)
+        clone_a = parent.spawn_worker(seeds[0], engine=SerialEngine())
+        clone_b = parent.spawn_worker(seeds[1], engine=SerialEngine())
+        clone_a.test(table, "A", "B")
+        assert clone_a.calls == 1
+        assert clone_b.calls == 0
+        assert parent.calls == 0
+
+    def test_spawn_worker_downgrades_engine(self, table):
+        with ParallelEngine(jobs=2) as engine:
+            parent = PermutationTest(n_permutations=50, seed=1, engine=engine)
+            clone = parent.spawn_worker(spawn_seeds(0, 1)[0], engine=SerialEngine())
+        assert isinstance(clone.engine, SerialEngine)
+        assert isinstance(parent.engine, ParallelEngine)
+
+    def test_clone_with_parallel_engine_pickles(self, table):
+        with ParallelEngine(jobs=2) as engine:
+            engine.map(len, [[1], [2]])  # start the pool
+            parent = PermutationTest(n_permutations=50, seed=1, engine=engine)
+            clone = pickle.loads(pickle.dumps(parent))
+        assert clone.engine.jobs == 2
+
+    def test_counter_absorption(self, table):
+        parent = HybridTest(n_permutations=50, seed=0)
+        clone = parent.spawn_worker(spawn_seeds(3, 1)[0], engine=SerialEngine())
+        clone.test(table, "A", "B")
+        clone.test(table, "A", "C", ("B",))
+        parent.absorb_counters(clone.counters())
+        assert parent.calls == 2
+        assert parent.chi2_calls + parent.mit_calls == 2
+
+    def test_chi2_clone_is_deterministic(self, table):
+        parent = ChiSquaredTest()
+        clone = parent.spawn_worker(spawn_seeds(9, 1)[0])
+        assert clone.test(table, "A", "B").p_value == parent.test(table, "A", "B").p_value

@@ -59,6 +59,7 @@ class TestPermutationTest:
         assert 0.0 <= low <= result.p_value + 0.01
         assert result.p_value - 0.01 <= high <= 1.0
 
+    @pytest.mark.slow
     def test_agrees_with_naive_shuffle(self, confounded_table):
         mit = PermutationTest(n_permutations=200, seed=2).test(
             confounded_table, "T", "Y", ("Z",)
@@ -79,6 +80,7 @@ class TestPermutationTest:
         result = PermutationTest(n_permutations=50, seed=0).test(table, "X", "Y")
         assert result.p_value == 1.0
 
+    @pytest.mark.slow
     def test_null_calibration_with_group_sampling(self, rng):
         """Under a true conditional null, sampled-group MIT keeps its size.
 
