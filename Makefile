@@ -1,8 +1,8 @@
-# Local entry points mirroring .github/workflows/ci.yml.
+# Local entry points mirroring .github/workflows/ci.yml and nightly.yml.
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: ci test fast slow lint bench gate
+.PHONY: ci test fast slow cov lint bench gate regen-baseline serve
 
 ci:
 	bash scripts/ci.sh
@@ -16,12 +16,32 @@ fast:
 slow:
 	python -m pytest -q -m slow
 
+# Coverage-gated fast lane (requires pytest-cov; floor mirrors CI).
+cov:
+	python -m pytest -x -q -m "not slow" \
+		--cov=repro --cov-report=term-missing:skip-covered \
+		--cov-fail-under=$(or $(REPRO_COV_FLOOR),90)
+
 lint:
 	ruff check src tests benchmarks scripts
 
 bench:
 	REPRO_BENCH_SCALE=$(or $(REPRO_BENCH_SCALE),0.25) \
-		python -m pytest benchmarks/bench_engine_scaling.py -q
+		python -m pytest -q \
+			benchmarks/bench_engine_scaling.py \
+			benchmarks/bench_service_throughput.py
 
 gate:
 	python scripts/check_bench_regression.py
+
+# Regenerate the regression-gate baselines on THIS machine (the gate
+# records cpu_count; regenerate on the CI runner class -- or dispatch the
+# nightly baseline-regen job -- to gate parallel rows in CI).
+regen-baseline: bench
+	cp benchmarks/results/BENCH_engine.json \
+	   benchmarks/results/BENCH_service.json \
+	   benchmarks/baselines/
+	@echo "baselines updated; commit benchmarks/baselines/*.json"
+
+serve:
+	python -m repro.cli serve --port 8000

@@ -1,0 +1,159 @@
+"""Service throughput: cold vs warm latency over HTTP (BENCH_service.json).
+
+Stands up the analysis service (ThreadingHTTPServer + serial engine) in
+process, registers the paper's FlightData workload, and measures:
+
+* **cold** -- one full ``analyze`` (discovery + detection + explanation +
+  resolution) through the HTTP API with an empty result cache;
+* **warm** -- the same request repeated against the populated cache
+  (median over many requests), plus sequential and concurrent
+  requests-per-second.
+
+The acceptance bar for the service layer is a warm-cache repeated request
+at least 100x faster than the cold run -- the multi-level cache is what
+makes HypDB interactive inside the query lifecycle (cf. the cached-entropy
+series of Fig. 6(c)).  The emitted ``BENCH_service.json`` follows the
+regression-gate schema: rows keyed by (engine, jobs), a calibration
+timing, and workload metadata (the warm row sits below the gate's noise
+floor, so it is reported rather than gated).
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import threading
+import time
+
+import numpy as np
+from conftest import bench_scale, scaled, write_bench_json
+
+from repro.datasets.flights import flight_data
+from repro.service.client import ServiceClient
+from repro.service.core import AnalysisService
+from repro.service.http import make_server
+
+SQL = (
+    "SELECT Carrier, avg(Delayed) FROM FlightData "
+    "WHERE Carrier IN ('AA','UA') AND Airport IN ('COS','MFE','MTJ','ROC') "
+    "GROUP BY Carrier"
+)
+ANALYZE_PARAMS = {"seed": 7}
+#: The warm-over-cold factor the service must clear (acceptance bar).
+MIN_WARM_SPEEDUP = 100.0
+
+
+def _calibration_seconds() -> float:
+    """Time a fixed numpy workload to normalize cross-machine timings."""
+    rng = np.random.default_rng(0)
+    matrix = rng.random((400, 400))
+    start = time.perf_counter()
+    for _ in range(20):
+        matrix = np.tanh(matrix @ matrix.T / 400.0)
+    return time.perf_counter() - start
+
+
+def test_service_throughput(benchmark, report_sink):
+    table = flight_data(n_rows=scaled(40000, minimum=4000), seed=7)
+    warm_requests = scaled(100, minimum=30)
+
+    service = AnalysisService()
+    server = make_server(service)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(f"http://{host}:{port}")
+    client.register(
+        "flights", columns={name: table.column(name) for name in table.columns}
+    )
+
+    benchmark.group = "service_throughput"
+    try:
+        cold_start = time.perf_counter()
+        cold_response = benchmark.pedantic(
+            lambda: client.analyze("flights", SQL, **ANALYZE_PARAMS), rounds=1
+        )
+        cold_seconds = time.perf_counter() - cold_start
+        assert not cold_response["cached"]
+
+        warm_latencies: list[float] = []
+        for _ in range(warm_requests):
+            start = time.perf_counter()
+            warm_response = client.analyze("flights", SQL, **ANALYZE_PARAMS)
+            warm_latencies.append(time.perf_counter() - start)
+            assert warm_response["cached"]
+        warm_seconds = statistics.median(warm_latencies)
+        sequential_rps = warm_requests / sum(warm_latencies)
+        assert warm_response["result"] == cold_response["result"]
+
+        concurrent_rps = _concurrent_rps(client, warm_requests)
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=5)
+
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    rows = [
+        {"engine": "service-cold", "jobs": 1, "seconds": cold_seconds, "speedup": 1.0},
+        {
+            "engine": "service-warm",
+            "jobs": 1,
+            "seconds": warm_seconds,
+            "speedup": speedup,
+            "sequential_rps": sequential_rps,
+            "concurrent_rps": concurrent_rps,
+        },
+    ]
+    payload = {
+        "benchmark": "service_throughput",
+        "workload": {
+            "dataset": "flights",
+            "n_rows": table.n_rows,
+            "sql": SQL,
+            "warm_requests": warm_requests,
+            "scale": bench_scale(),
+        },
+        "cpu_count": os.cpu_count(),
+        "calibration_seconds": _calibration_seconds(),
+        "results": rows,
+    }
+    write_bench_json("service", payload)
+
+    report_sink(
+        "service_throughput",
+        f"cold analyze      {cold_seconds:8.3f}s",
+    )
+    report_sink(
+        "service_throughput",
+        f"warm analyze      {warm_seconds:8.5f}s  ({speedup:,.0f}x, "
+        f"{sequential_rps:,.0f} req/s sequential, {concurrent_rps:,.0f} req/s x4 threads)",
+    )
+
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm cache must be >= {MIN_WARM_SPEEDUP:.0f}x faster than cold: "
+        f"cold {cold_seconds:.3f}s vs warm median {warm_seconds:.5f}s ({speedup:.1f}x)"
+    )
+
+
+def _concurrent_rps(client: ServiceClient, total_requests: int, threads: int = 4) -> float:
+    """Warm requests/sec with several client threads (ThreadingHTTPServer)."""
+    per_thread = max(1, total_requests // threads)
+    errors: list[Exception] = []
+
+    def worker() -> None:
+        try:
+            for _ in range(per_thread):
+                client.analyze("flights", SQL, **ANALYZE_PARAMS)
+        except Exception as error:  # pragma: no cover - surfaced via assert
+            errors.append(error)
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    start = time.perf_counter()
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    assert not errors, errors[0]
+    return (per_thread * threads) / elapsed if elapsed > 0 else float("inf")

@@ -25,10 +25,11 @@ Guard rails:
 * rows whose baseline timing is below the noise floor (50 ms) are
   reported but not gated -- sub-second scheduler jitter would otherwise
   make the gate cry wolf;
-* parallel rows are only gated when the baseline was recorded on a
-  machine with the same ``cpu_count`` -- calibration normalizes
-  single-core speed, not core count, so a 1-core baseline says nothing
-  about a 4-core runner's parallel timings (serial rows stay gated);
+* parallel rows (``jobs > 1``) are only gated when the baseline was
+  recorded on a machine with the same ``cpu_count`` -- calibration
+  normalizes single-core speed, not core count, so a 1-core baseline
+  says nothing about a 4-core runner's parallel timings
+  (single-threaded rows stay gated);
 * improvements are reported, never required.
 """
 
@@ -49,6 +50,14 @@ def _row_key(row: dict) -> tuple:
     return (row.get("engine", "?"), row.get("jobs", "?"))
 
 
+def _is_parallel(row: dict) -> bool:
+    """Rows using more than one worker; single-threaded rows (serial
+    engine, service cold/warm) stay gated across core counts because
+    calibration normalizes single-core speed."""
+    jobs = row.get("jobs", 1)
+    return isinstance(jobs, (int, float)) and jobs > 1
+
+
 def _normalized(row: dict, payload: dict) -> float | None:
     calibration = payload.get("calibration_seconds")
     seconds = row.get("seconds")
@@ -59,10 +68,17 @@ def _normalized(row: dict, payload: dict) -> float | None:
 
 def check_file(result_path: Path, baseline_path: Path, tolerance: float) -> list[str]:
     """Return a list of failure messages for one benchmark pair."""
-    with open(result_path) as handle:
-        current = json.load(handle)
-    with open(baseline_path) as handle:
-        baseline = json.load(handle)
+    try:
+        with open(result_path) as handle:
+            current = json.load(handle)
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+    except (json.JSONDecodeError, OSError) as error:
+        # A corrupt baseline (or result) must fail loudly: silently skipping
+        # would disable the gate exactly when something went wrong.
+        return [f"{result_path.name}: malformed benchmark JSON ({error})"]
+    if not isinstance(current, dict) or not isinstance(baseline, dict):
+        return [f"{result_path.name}: malformed benchmark JSON (expected an object)"]
 
     if current.get("workload") != baseline.get("workload"):
         print(
@@ -91,9 +107,7 @@ def check_file(result_path: Path, baseline_path: Path, tolerance: float) -> list
                 f"below {NOISE_FLOOR_SECONDS:.2f}s noise floor; reported, not gated"
             )
             continue
-        if row.get("engine") != "serial" and current.get("cpu_count") != baseline.get(
-            "cpu_count"
-        ):
+        if _is_parallel(row) and current.get("cpu_count") != baseline.get("cpu_count"):
             print(
                 f"  ~ {result_path.name} {key}: parallel row, baseline cpu_count="
                 f"{baseline.get('cpu_count')} != current {current.get('cpu_count')}; "

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Local mirror of .github/workflows/ci.yml: lint, fast lane, slow lane,
-# smoke benchmark, regression gate.  `make ci` runs this script, so a
-# green local run means a green CI run (modulo runner speed).
+# Local mirror of .github/workflows/ci.yml: lint, coverage-gated fast
+# lane, slow lane, smoke benchmarks, regression gate.  `make ci` runs
+# this script, so a green local run means a green CI run (modulo runner
+# speed).  Tools CI installs via pip (ruff, pytest-cov) are skipped with
+# a notice when absent locally.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+# Keep in sync with the --cov-fail-under in .github/workflows/ci.yml.
+COV_FLOOR="${REPRO_COV_FLOOR:-90}"
 
 echo "== lint (ruff) =="
 if command -v ruff >/dev/null 2>&1; then
@@ -14,15 +19,24 @@ else
     echo "ruff not installed; skipping lint (CI runs it -- 'pip install ruff' to match)"
 fi
 
-echo "== fast lane: tier-1 tests, no slow markers =="
-python -m pytest -x -q -m "not slow"
+echo "== fast lane: tier-1 tests, no slow markers (coverage-gated) =="
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+    python -m pytest -x -q -m "not slow" \
+        --cov=repro --cov-report=term --cov-fail-under="$COV_FLOOR"
+else
+    echo "pytest-cov not installed; running without the coverage gate" \
+         "(CI enforces --cov-fail-under=$COV_FLOOR -- 'pip install pytest-cov' to match)"
+    python -m pytest -x -q -m "not slow"
+fi
 
 echo "== slow lane: permutation-heavy statistical tests =="
 python -m pytest -q -m slow
 
-echo "== smoke benchmark: engine scaling =="
+echo "== smoke benchmarks: engine scaling + service throughput =="
 REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-0.25}" \
-    python -m pytest benchmarks/bench_engine_scaling.py -q
+    python -m pytest -q \
+        benchmarks/bench_engine_scaling.py \
+        benchmarks/bench_service_throughput.py
 
 echo "== benchmark regression gate =="
 python scripts/check_bench_regression.py

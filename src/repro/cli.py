@@ -12,6 +12,9 @@ Examples::
 
     # Only run covariate discovery for a treatment attribute
     hypdb discover --csv flights.csv --treatment Carrier --outcome Delayed
+
+    # Serve the HTTP JSON API (register datasets up front with --csv)
+    hypdb serve --port 8000 --jobs 4 --csv flights=flights.csv
 """
 
 from __future__ import annotations
@@ -25,9 +28,8 @@ from repro.core.query import GroupByQuery
 from repro.engine import resolve_engine
 from repro.relation.groupby import group_by_average
 from repro.relation.table import Table
-from repro.stats.chi2 import ChiSquaredTest
-from repro.stats.hybrid import HybridTest
-from repro.stats.permutation import PermutationTest
+from repro.service.core import AnalysisService, make_test
+from repro.service.http import make_server
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +72,35 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--seed", type=int, default=0, help="random seed")
     discover.add_argument("--alpha", type=float, default=0.01, help="significance level")
     _add_jobs(discover)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the long-lived analysis service (HTTP JSON API)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8000, help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--csv",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="preregister a dataset from a CSV file (repeatable)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        help="in-memory result-cache capacity (LRU)",
+    )
+    serve.add_argument(
+        "--disk-cache",
+        default=None,
+        metavar="DIR",
+        help="directory for the persistent result-cache layer",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
+    _add_jobs(serve)
     return parser
 
 
@@ -89,16 +120,6 @@ def _add_jobs(subparser: argparse.ArgumentParser) -> None:
     )
 
 
-def _make_test(name: str, seed: int, engine=None):
-    if name == "chi2":
-        return ChiSquaredTest()
-    if name == "mit":
-        return PermutationTest(
-            n_permutations=1000, group_sampling="log", seed=seed, engine=engine
-        )
-    return HybridTest(n_permutations=1000, seed=seed, engine=engine)
-
-
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -111,6 +132,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_query(args)
         if args.command == "discover":
             return _run_discover(args, engine)
+        if args.command == "serve":
+            return _run_serve(args, engine)
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -124,7 +147,7 @@ def _run_analyze(args: argparse.Namespace, engine) -> int:
     query = GroupByQuery.from_sql(args.sql, treatment=args.treatment)
     db = HypDB(
         table,
-        test=_make_test(args.test, args.seed, engine),
+        test=make_test(args.test, args.seed, engine),
         alpha=args.alpha,
         seed=args.seed,
         engine=engine,
@@ -162,6 +185,34 @@ def _run_discover(args: argparse.Namespace, engine) -> int:
         print("dropped attributes:")
         for name, reason in sorted(result.dependency_report.dropped.items()):
             print(f"  {name}: {reason}")
+    return 0
+
+
+def _run_serve(args: argparse.Namespace, engine) -> int:
+    service = AnalysisService(
+        engine=engine,
+        max_cache_entries=args.cache_entries,
+        disk_cache=args.disk_cache,
+    )
+    for spec in args.csv:
+        name, separator, path = spec.partition("=")
+        if not separator or not name or not path:
+            raise ValueError(f"--csv expects NAME=PATH, got {spec!r}")
+        summary = service.register(name, csv_path=path)
+        print(f"registered {name}: {summary['n_rows']} rows, "
+              f"fingerprint {summary['fingerprint'][:12]}...")
+    server = make_server(service, host=args.host, port=args.port)
+    server.verbose = args.verbose
+    host, port = server.server_address[:2]
+    print(f"hypdb service listening on http://{host}:{port}")
+    print("endpoints: GET /health /stats; "
+          "POST /register /analyze /query /discover /whatif /batch")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
     return 0
 
 

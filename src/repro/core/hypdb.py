@@ -311,6 +311,39 @@ class HypDB:
         )
 
     # ------------------------------------------------------------------
+    # What-if queries
+    # ------------------------------------------------------------------
+
+    def what_if(
+        self,
+        treatment: str,
+        outcome: str,
+        covariates: Sequence[str] | None = None,
+        where=None,
+    ):
+        """Answer ``E[Y | do(T = t), where]`` for every treatment value.
+
+        ``covariates`` defaults to the CD-discovered adjustment set for the
+        implied query ``SELECT T, avg(Y) ... WHERE ... GROUP BY T``, so the
+        what-if inherits HypDB's confounding handling (paper Sec. 8).
+        ``where`` is a :class:`~repro.relation.predicates.Predicate`
+        restricting the subpopulation (``None`` means the whole table).
+        """
+        from repro.core.whatif import what_if
+        from repro.relation.predicates import TRUE
+
+        query = GroupByQuery(
+            treatment=treatment,
+            outcomes=(outcome,),
+            where=where if where is not None else TRUE,
+        )
+        if covariates is None:
+            covariates = self.discover_covariates(query).covariates
+        return what_if(
+            self.table, treatment, outcome, covariates, where=query.where
+        )
+
+    # ------------------------------------------------------------------
     # Estimates
     # ------------------------------------------------------------------
 

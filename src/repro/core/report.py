@@ -5,10 +5,21 @@ the balance verdicts, coarse- and fine-grained explanations, and the
 rewritten-query answers for total and direct effects with their
 significance -- i.e. everything shown in the paper's Figs. 1, 3 and 4.
 ``format()`` renders the report in the same layout those figures use.
+
+Reports are also JSON-serializable: ``to_dict()`` produces a plain dict of
+JSON types and ``json_bytes()`` its canonical encoding (sorted keys, no
+whitespace, NaN mapped to null).  The canonical form is *deterministic* --
+two reports computed from the same table, query, and seed serialize to the
+same bytes regardless of execution engine or worker count -- which is what
+lets the analysis service cache and replay results verbatim.  Wall-clock
+``timings`` are therefore excluded from the canonical form; serialize them
+separately via ``Timings.to_dict()`` when needed.
 """
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -17,6 +28,91 @@ from repro.core.discovery import DiscoveryResult
 from repro.core.explain import CoarseExplanation, FineExplanation
 from repro.core.query import GroupByQuery
 from repro.stats.base import CIResult
+
+
+def json_value(value: Any) -> Any:
+    """Map one cell value onto a JSON type.
+
+    Domain values are strings or ints in practice; NaN / infinities (which
+    JSON proper cannot carry) become ``None``, and anything exotic falls
+    back to its ``repr`` so serialization never fails.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
+
+
+def canonical_json_bytes(payload: Any) -> bytes:
+    """The canonical JSON encoding used across the service layer.
+
+    Sorted keys and fixed separators make the encoding a pure function of
+    the payload's values, so equal results are equal bytes -- the property
+    the result cache and the byte-identity tests rely on.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def ci_result_to_dict(result: CIResult) -> dict[str, Any]:
+    """Serialize one conditional-independence test outcome."""
+    return {
+        "statistic": json_value(result.statistic),
+        "p_value": json_value(result.p_value),
+        "method": result.method,
+        "df": result.df,
+        "p_interval": list(result.p_interval) if result.p_interval is not None else None,
+        "p_floor": json_value(result.p_floor),
+    }
+
+
+def balance_to_dict(balance: BalanceResult | None) -> dict[str, Any] | None:
+    """Serialize one balance verdict (``None`` stays ``None``)."""
+    if balance is None:
+        return None
+    return {
+        "variables": list(balance.variables),
+        "biased": balance.biased,
+        "alpha": balance.alpha,
+        "result": ci_result_to_dict(balance.result),
+    }
+
+
+def discovery_to_dict(discovery: DiscoveryResult | None) -> dict[str, Any] | None:
+    """Serialize a CD run: the sets it found and why attributes dropped."""
+    if discovery is None:
+        return None
+    return {
+        "treatment": discovery.treatment,
+        "covariates": list(discovery.covariates),
+        "markov_boundary": list(discovery.markov_boundary),
+        "used_fallback": discovery.used_fallback,
+        "n_tests": discovery.n_tests,
+        "boundaries": {
+            name: list(members) for name, members in sorted(discovery.boundaries.items())
+        },
+        "dropped": dict(sorted(discovery.dependency_report.dropped.items())),
+    }
+
+
+def _coarse_to_dict(item: CoarseExplanation) -> dict[str, Any]:
+    return {
+        "attribute": item.attribute,
+        "responsibility": json_value(item.responsibility),
+        "information_drop": json_value(item.information_drop),
+    }
+
+
+def _fine_to_dict(triple: FineExplanation) -> dict[str, Any]:
+    return {
+        "treatment_value": json_value(triple.treatment_value),
+        "outcome_value": json_value(triple.outcome_value),
+        "attribute_value": json_value(triple.attribute_value),
+        "kappa_treatment": json_value(triple.kappa_treatment),
+        "kappa_outcome": json_value(triple.kappa_outcome),
+    }
 
 
 @dataclass(frozen=True)
@@ -57,6 +153,30 @@ class EffectEstimate:
         chosen = outcome if outcome is not None else self.outcomes[0]
         return self.significance[chosen].p_value
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form; per-group averages keep ``treatment_values`` order."""
+        return {
+            "kind": self.kind,
+            "treatment_values": [json_value(value) for value in self.treatment_values],
+            "outcomes": list(self.outcomes),
+            "averages": [
+                {
+                    "treatment_value": json_value(value),
+                    "by_outcome": {
+                        outcome: json_value(average)
+                        for outcome, average in sorted(self.averages[value].items())
+                    },
+                }
+                for value in self.treatment_values
+            ],
+            "significance": {
+                outcome: ci_result_to_dict(result)
+                for outcome, result in sorted(self.significance.items())
+            },
+            "matched_fraction": json_value(self.matched_fraction),
+            "error": self.error,
+        }
+
 
 @dataclass(frozen=True)
 class ContextReport:
@@ -87,6 +207,25 @@ class ContextReport:
                 return True
         return False
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form of everything derived for this context."""
+        return {
+            "values": [json_value(value) for value in self.values],
+            "label": self.label,
+            "n_rows": self.n_rows,
+            "biased": self.biased,
+            "balance_total": balance_to_dict(self.balance_total),
+            "balance_direct": balance_to_dict(self.balance_direct),
+            "naive": self.naive.to_dict(),
+            "total": self.total.to_dict() if self.total is not None else None,
+            "direct": self.direct.to_dict() if self.direct is not None else None,
+            "coarse": [_coarse_to_dict(item) for item in self.coarse],
+            "fine": {
+                attribute: [_fine_to_dict(triple) for triple in triples]
+                for attribute, triples in sorted(self.fine.items())
+            },
+        }
+
 
 @dataclass(frozen=True)
 class Timings:
@@ -105,6 +244,15 @@ class Timings:
     @property
     def total(self) -> float:
         return self.detection + self.explanation + self.resolution
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-ready form (not part of the canonical report payload)."""
+        return {
+            "detection": self.detection,
+            "explanation": self.explanation,
+            "resolution": self.resolution,
+            "total": self.total,
+        }
 
 
 @dataclass(frozen=True)
@@ -129,6 +277,33 @@ class BiasReport:
             if report.values == values:
                 return report
         raise KeyError(f"no context with values {values!r}")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The canonical, deterministic JSON-ready form of the report.
+
+        Excludes :attr:`timings` (wall-clock, run-dependent) so that equal
+        analyses serialize to equal payloads; the service layer reports
+        timings in its response envelope instead.
+        """
+        return {
+            "query": repr(self.query),
+            "treatment": self.query.treatment,
+            "outcomes": list(self.query.outcomes),
+            "groupings": list(self.query.groupings),
+            "covariates": list(self.covariates),
+            "mediators": list(self.mediators),
+            "biased": self.biased,
+            "covariate_discovery": discovery_to_dict(self.covariate_discovery),
+            "contexts": [context.to_dict() for context in self.contexts],
+        }
+
+    def json_bytes(self) -> bytes:
+        """Canonical JSON encoding of :meth:`to_dict` (cache-stable)."""
+        return canonical_json_bytes(self.to_dict())
 
     # ------------------------------------------------------------------
 

@@ -36,10 +36,28 @@ class WhatIfAnswer:
     interventions: dict[Any, float]  # treatment value -> E[Y | do(T = t)]
     n_rows: int
     matched_fraction: float
+    covariates: tuple[str, ...] = ()  # the adjustment set used
 
     def effect_of(self, value: Any) -> float:
         """Change vs the factual average if everyone received ``value``."""
         return self.interventions[value] - self.factual_average
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form; interventions keep the answer's value order."""
+        from repro.core.report import json_value
+
+        return {
+            "treatment": self.treatment,
+            "outcome": self.outcome,
+            "covariates": list(self.covariates),
+            "factual_average": json_value(self.factual_average),
+            "interventions": [
+                {"treatment_value": json_value(value), "average": json_value(average)}
+                for value, average in self.interventions.items()
+            ],
+            "n_rows": self.n_rows,
+            "matched_fraction": json_value(self.matched_fraction),
+        }
 
     def __repr__(self) -> str:
         rendered = {value: round(avg, 4) for value, avg in self.interventions.items()}
@@ -89,4 +107,5 @@ def what_if(
         interventions=interventions,
         n_rows=context.n_rows,
         matched_fraction=answer.matched_fraction,
+        covariates=tuple(covariates),
     )

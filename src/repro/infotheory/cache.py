@@ -47,6 +47,22 @@ class EngineStats:
         self.cube_answers = 0
         self.scan_answers = 0
 
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of entropy requests answered from the memo (0 when idle)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready counters (consumed by the service ``/stats`` endpoint)."""
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cube_answers": self.cube_answers,
+            "scan_answers": self.scan_answers,
+            "hit_ratio": self.hit_ratio,
+        }
+
 
 class EntropyEngine:
     """Memoizing entropy / mutual-information calculator over one table.

@@ -386,6 +386,16 @@ class Table:
         """
         return self._entropy_caches.setdefault(estimator, {})
 
+    def entropy_cache_sizes(self) -> dict[str, int]:
+        """Entries per estimator in this table's entropy memos.
+
+        Instrumentation for the service layer: a registered dataset's cache
+        sizes show how "warm" it is across requests.  Snapshots the outer
+        dict first so a concurrent request adding a new estimator memo
+        cannot fault the iteration.
+        """
+        return {estimator: len(cache) for estimator, cache in dict(self._entropy_caches).items()}
+
     def export_entropy_caches(self) -> dict[str, dict[frozenset[str], float]]:
         """Snapshot every entropy memo of this table (picklable).
 

@@ -1,0 +1,42 @@
+"""Long-running analysis service with multi-level result caching.
+
+The paper positions HypDB *inside* the query lifecycle -- detect / explain
+/ resolve requests arrive interactively, and Fig. 6(c) shows that cached
+entropies are what make repeated analyses tractable.  This package turns
+the library into that long-lived system:
+
+* :mod:`repro.service.fingerprint` -- content fingerprints for tables and
+  canonical cache keys for requests;
+* :mod:`repro.service.registry` -- the dataset registry: tables are loaded
+  once, deduplicated by fingerprint, and share their entropy caches across
+  every subsequent request;
+* :mod:`repro.service.cache` -- the result cache: an in-memory LRU with an
+  optional disk-backed layer, keyed by (dataset fingerprint, request kind,
+  canonical parameters, seed);
+* :mod:`repro.service.core` -- :class:`AnalysisService`, the transport-
+  independent request handlers bridging onto the execution-engine layer
+  (``HypDB(engine=...)``);
+* :mod:`repro.service.http` -- a stdlib ``ThreadingHTTPServer`` JSON API
+  (register / analyze / query / discover / whatif / batch);
+* :mod:`repro.service.client` -- a stdlib ``urllib`` client helper.
+"""
+
+from __future__ import annotations
+
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.core import AnalysisService, ServiceResult
+from repro.service.fingerprint import fingerprint_table, request_key
+from repro.service.http import make_server
+from repro.service.registry import DatasetEntry, DatasetRegistry
+
+__all__ = [
+    "AnalysisService",
+    "CacheStats",
+    "DatasetEntry",
+    "DatasetRegistry",
+    "ResultCache",
+    "ServiceResult",
+    "fingerprint_table",
+    "make_server",
+    "request_key",
+]

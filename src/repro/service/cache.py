@@ -1,0 +1,167 @@
+"""The result cache: in-memory LRU plus an optional disk-backed layer.
+
+Entries are the *canonical serialized bytes* of a response (see
+``repro.core.report.canonical_json_bytes``), keyed by the request key of
+:func:`repro.service.fingerprint.request_key`.  Storing bytes rather than
+objects makes the warm path trivially byte-identical to the cold path and
+keeps the disk layer a plain directory of ``<key>.json`` files that a
+restarted service (or another process pointed at the same directory) can
+reuse.
+
+Writes to disk are atomic (temp file + rename) so a crashed writer never
+leaves a truncated entry; a concurrent reader sees either the old file or
+the new one.  Results are deterministic functions of their key, so two
+processes racing to write the same key write identical bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass
+class CacheStats:
+    """Counters across both cache levels."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+    disk_errors: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "disk_errors": self.disk_errors,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+class ResultCache:
+    """Two-level cache of canonical response bytes.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory LRU capacity (least-recently-used entries are evicted
+        once exceeded).  Evicted entries remain on disk when a disk layer
+        is configured, so eviction costs a file read, not a recompute.
+    disk_dir:
+        Optional directory for the persistent layer; created if missing.
+        ``None`` (default) keeps the cache memory-only.
+    """
+
+    def __init__(self, max_entries: int = 256, disk_dir: str | Path | None = None) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._disk_dir: Path | None = None
+        if disk_dir is not None:
+            self._disk_dir = Path(disk_dir)
+            self._disk_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> bytes | None:
+        """The cached payload for ``key``, or ``None`` on a full miss.
+
+        A disk hit is promoted into the memory layer on the way out.
+        """
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is not None:
+                self._entries.move_to_end(key)
+                self.stats.memory_hits += 1
+                return payload
+        if self._disk_dir is not None:
+            try:
+                payload = (self._disk_dir / f"{key}.json").read_bytes()
+            except OSError:
+                payload = None
+            if payload is not None:
+                with self._lock:
+                    self.stats.disk_hits += 1
+                    self._store_in_memory(key, payload)
+                return payload
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def put(self, key: str, payload: bytes) -> None:
+        """Store ``payload`` in memory and (when configured) on disk."""
+        with self._lock:
+            self._store_in_memory(key, payload)
+            self.stats.stores += 1
+        if self._disk_dir is not None:
+            final = self._disk_dir / f"{key}.json"
+            # pid + thread id: concurrent writers of the same key (two
+            # threads racing the same cold request) get distinct temp
+            # files, so neither os.replace can lose its source.
+            temporary = self._disk_dir / (
+                f".{key}.{os.getpid()}.{threading.get_ident()}.tmp"
+            )
+            try:
+                temporary.write_bytes(payload)
+                os.replace(temporary, final)
+            except OSError:
+                # The disk layer degrades rather than failing the request:
+                # the result is already served from memory.
+                with self._lock:
+                    self.stats.disk_errors += 1
+
+    def clear(self) -> None:
+        """Drop the memory layer (disk entries are kept; stats are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def describe(self) -> dict[str, object]:
+        """JSON-ready summary (``/stats`` endpoint)."""
+        with self._lock:
+            in_memory = len(self._entries)
+        on_disk = (
+            sum(1 for _ in self._disk_dir.glob("*.json"))
+            if self._disk_dir is not None
+            else None
+        )
+        return {
+            "max_entries": self._max_entries,
+            "in_memory": in_memory,
+            "on_disk": on_disk,
+            "disk_dir": str(self._disk_dir) if self._disk_dir is not None else None,
+            **self.stats.as_dict(),
+        }
+
+    # ------------------------------------------------------------------
+
+    def _store_in_memory(self, key: str, payload: bytes) -> None:
+        """Insert under the lock, evicting the LRU tail past capacity."""
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1

@@ -1,0 +1,102 @@
+"""Stdlib client helper for the analysis service's HTTP JSON API.
+
+Mirrors the endpoints of :mod:`repro.service.http` one method per
+endpoint; every method returns the parsed response envelope.  Raises
+:class:`ServiceError` (carrying the HTTP status and the server's message)
+on any non-2xx response.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to a running analysis service.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8000"`` (trailing slash optional).
+    timeout:
+        Per-request socket timeout in seconds.  Cold analyses compute the
+        full pipeline, so the default is generous.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._get("/health")
+
+    def stats(self) -> dict[str, Any]:
+        return self._get("/stats")
+
+    def register(self, name: str, **source: Any) -> dict[str, Any]:
+        """Register a dataset (``columns=``, ``rows=``+``column_names=``,
+        or ``csv_path=`` -- see ``AnalysisService.register``)."""
+        return self._post("/register", {"name": name, **source})
+
+    def analyze(self, dataset: str, sql: str, **params: Any) -> dict[str, Any]:
+        return self._post("/analyze", {"dataset": dataset, "sql": sql, **params})
+
+    def query(self, dataset: str, sql: str) -> dict[str, Any]:
+        return self._post("/query", {"dataset": dataset, "sql": sql})
+
+    def discover(self, dataset: str, treatment: str, **params: Any) -> dict[str, Any]:
+        return self._post(
+            "/discover", {"dataset": dataset, "treatment": treatment, **params}
+        )
+
+    def whatif(
+        self, dataset: str, treatment: str, outcome: str, **params: Any
+    ) -> dict[str, Any]:
+        return self._post(
+            "/whatif",
+            {"dataset": dataset, "treatment": treatment, "outcome": outcome, **params},
+        )
+
+    def batch(self, requests: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+        return self._post("/batch", {"requests": list(requests)})
+
+    # -- plumbing ------------------------------------------------------
+
+    def _get(self, path: str) -> dict[str, Any]:
+        return self._request(urllib.request.Request(self.base_url + path))
+
+    def _post(self, path: str, body: Mapping[str, Any]) -> dict[str, Any]:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        return self._request(request)
+
+    def _request(self, request: urllib.request.Request) -> dict[str, Any]:
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                message = json.loads(raw).get("error", raw.decode("utf-8", "replace"))
+            except (json.JSONDecodeError, AttributeError):
+                message = raw.decode("utf-8", "replace")
+            raise ServiceError(error.code, message) from None

@@ -1,0 +1,370 @@
+"""The analysis service: request handlers over the registry and caches.
+
+:class:`AnalysisService` is transport-independent -- the HTTP layer
+(:mod:`repro.service.http`) and in-process callers (tests, benchmarks) go
+through the same methods.  Every read request follows one shape:
+
+1. resolve the dataset (registry -- shared tables, shared entropy caches);
+2. derive the request key (fingerprint + kind + canonical params + seed);
+3. serve from the result cache when possible (memory, then disk);
+4. otherwise compute through the library with the service's execution
+   engine, serialize canonically, store, and return.
+
+Responses are :class:`ServiceResult` objects carrying the *bytes* of the
+canonical JSON payload.  Because results are deterministic for a fixed
+seed (engine- and worker-count-invariant), a cache hit returns exactly the
+bytes the cold computation produced.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.hypdb import HypDB
+from repro.core.query import GroupByQuery
+from repro.core.report import canonical_json_bytes, discovery_to_dict, json_value
+from repro.engine import ExecutionEngine, resolve_engine
+from repro.relation.groupby import group_by_average
+from repro.relation.table import Table
+from repro.service.cache import ResultCache
+from repro.service.fingerprint import request_key
+from repro.service.registry import DatasetEntry, DatasetRegistry
+from repro.stats.base import DEFAULT_ALPHA, CITest
+from repro.stats.chi2 import ChiSquaredTest
+from repro.stats.hybrid import HybridTest
+from repro.stats.permutation import PermutationTest
+
+#: Request kinds served through the result cache.
+CACHED_KINDS = ("analyze", "query", "discover", "whatif")
+
+
+def make_test(name: str, seed: int, engine: ExecutionEngine | None = None) -> CITest:
+    """Build a conditional-independence test by CLI/service name."""
+    if name == "chi2":
+        return ChiSquaredTest()
+    if name == "mit":
+        return PermutationTest(
+            n_permutations=1000, group_sampling="log", seed=seed, engine=engine
+        )
+    if name == "hymit":
+        return HybridTest(n_permutations=1000, seed=seed, engine=engine)
+    raise ValueError(f"unknown test {name!r}; expected one of hymit, chi2, mit")
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One response: the canonical payload bytes plus cache provenance."""
+
+    kind: str
+    cached: bool
+    payload: bytes
+    elapsed_seconds: float
+
+    @property
+    def result(self) -> Any:
+        """The payload parsed back into Python objects."""
+        return json.loads(self.payload)
+
+
+class AnalysisService:
+    """Registry + result cache + execution engine behind one request API.
+
+    Parameters
+    ----------
+    engine:
+        Execution engine (or job count) shared by every request; a single
+        service process fans statistical work across cores while threads
+        handle concurrent clients.
+    max_cache_entries:
+        Capacity of the in-memory result-cache layer.
+    disk_cache:
+        Optional directory for the persistent result-cache layer.
+    """
+
+    def __init__(
+        self,
+        engine: ExecutionEngine | int | None = None,
+        max_cache_entries: int = 256,
+        disk_cache: str | None = None,
+    ) -> None:
+        self.engine = resolve_engine(engine)
+        self.registry = DatasetRegistry()
+        self.cache = ResultCache(max_entries=max_cache_entries, disk_dir=disk_cache)
+        self.started_at = time.time()
+        self._requests = 0
+        self._requests_lock = threading.Lock()
+
+    def close(self) -> None:
+        """Shut the execution engine's worker pool down."""
+        self.engine.close()
+
+    # ------------------------------------------------------------------
+    # Dataset registration
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        columns: Mapping[str, Sequence[Any]] | None = None,
+        rows: Sequence[Sequence[Any]] | None = None,
+        column_names: Sequence[str] | None = None,
+        csv_path: str | None = None,
+    ) -> dict[str, Any]:
+        """Register a dataset from columns, rows, or a CSV file.
+
+        Exactly one source must be given: ``columns`` (name -> values),
+        ``rows`` with ``column_names``, or ``csv_path`` (server-local).
+        Content identical to an already-registered table shares that
+        table's instance -- and therefore its warm entropy caches.
+        """
+        sources = [columns is not None, rows is not None, csv_path is not None]
+        if sum(sources) != 1:
+            raise ValueError("provide exactly one of columns, rows, or csv_path")
+        if columns is not None:
+            table = Table.from_columns({str(k): list(v) for k, v in columns.items()})
+        elif rows is not None:
+            if column_names is None:
+                raise ValueError("rows requires column_names")
+            table = Table.from_rows(tuple(column_names), rows)
+        else:
+            table = Table.from_csv(csv_path)
+        entry, reused = self.registry.register(name, table)
+        return {
+            "dataset": entry.name,
+            "fingerprint": entry.fingerprint,
+            "n_rows": entry.table.n_rows,
+            "columns": list(entry.table.columns),
+            "reused": reused,
+        }
+
+    # ------------------------------------------------------------------
+    # Read requests (cached)
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        dataset: str,
+        sql: str,
+        treatment: str | None = None,
+        covariates: Sequence[str] | None = None,
+        mediators: Sequence[str] | None = None,
+        top_k: int = 2,
+        explain_top_attributes: int = 2,
+        compute_direct: bool = True,
+        alpha: float = DEFAULT_ALPHA,
+        test: str = "hymit",
+        seed: int = 0,
+    ) -> ServiceResult:
+        """The full detect / explain / resolve pipeline for one query."""
+        entry = self.registry.get(dataset)
+        query = GroupByQuery.from_sql(sql, treatment=treatment)
+        params = {
+            "query": repr(query),
+            "covariates": list(covariates) if covariates is not None else None,
+            "mediators": list(mediators) if mediators is not None else None,
+            "top_k": top_k,
+            "explain_top_attributes": explain_top_attributes,
+            "compute_direct": compute_direct,
+            "alpha": alpha,
+            "test": test,
+        }
+
+        def compute() -> dict[str, Any]:
+            db = self._hypdb(entry, alpha=alpha, test=test, seed=seed)
+            report = db.analyze(
+                query,
+                covariates=covariates,
+                mediators=mediators,
+                top_k=top_k,
+                explain_top_attributes=explain_top_attributes,
+                compute_direct=compute_direct,
+            )
+            return report.to_dict()
+
+        return self._respond(entry, "analyze", params, seed, compute)
+
+    def query(self, dataset: str, sql: str) -> ServiceResult:
+        """Evaluate the (possibly biased) group-by-average query only."""
+        entry = self.registry.get(dataset)
+        query = GroupByQuery.from_sql(sql)
+        params = {"query": repr(query)}
+
+        def compute() -> dict[str, Any]:
+            answer = group_by_average(
+                entry.table, query.group_by_columns(), query.outcomes, where=query.where
+            )
+            return {
+                "group_columns": list(answer.group_columns),
+                "value_columns": list(answer.value_columns),
+                "rows": [
+                    {
+                        "key": [json_value(value) for value in row.key],
+                        "averages": [json_value(average) for average in row.averages],
+                        "count": row.count,
+                    }
+                    for row in answer.rows
+                ],
+            }
+
+        return self._respond(entry, "query", params, None, compute)
+
+    def discover(
+        self,
+        dataset: str,
+        treatment: str,
+        outcome: str | None = None,
+        alpha: float = DEFAULT_ALPHA,
+        test: str = "hymit",
+        seed: int = 0,
+    ) -> ServiceResult:
+        """Covariate discovery (the CD algorithm) for one treatment."""
+        entry = self.registry.get(dataset)
+        params = {"treatment": treatment, "outcome": outcome, "alpha": alpha, "test": test}
+
+        def compute() -> dict[str, Any]:
+            db = self._hypdb(entry, alpha=alpha, test=test, seed=seed)
+            result = db.discoverer.discover(entry.table, treatment, outcome=outcome)
+            return discovery_to_dict(result)
+
+        return self._respond(entry, "discover", params, seed, compute)
+
+    def whatif(
+        self,
+        dataset: str,
+        treatment: str,
+        outcome: str,
+        covariates: Sequence[str] | None = None,
+        where_sql: str | None = None,
+        alpha: float = DEFAULT_ALPHA,
+        test: str = "hymit",
+        seed: int = 0,
+    ) -> ServiceResult:
+        """Interventional averages ``E[Y | do(T = t), where]`` (Sec. 8).
+
+        ``where_sql`` is an optional SQL WHERE expression restricting the
+        subpopulation, e.g. ``"Airport IN ('COS','MFE')"``.
+        """
+        entry = self.registry.get(dataset)
+        where = _parse_where(where_sql, treatment, outcome)
+        params = {
+            "treatment": treatment,
+            "outcome": outcome,
+            "covariates": list(covariates) if covariates is not None else None,
+            "where": where_sql,
+            "alpha": alpha,
+            "test": test,
+        }
+
+        def compute() -> dict[str, Any]:
+            db = self._hypdb(entry, alpha=alpha, test=test, seed=seed)
+            answer = db.what_if(treatment, outcome, covariates=covariates, where=where)
+            return answer.to_dict()
+
+        return self._respond(entry, "whatif", params, seed, compute)
+
+    def batch(self, requests: Sequence[Mapping[str, Any]]) -> list[ServiceResult]:
+        """Run several read requests in order and return all results.
+
+        Each item is ``{"kind": <analyze|query|discover|whatif>, ...}``
+        with that kind's parameters.  Requests share the warm caches, so a
+        batch repeating a (dataset, params, seed) triple pays once.
+        """
+        handlers: dict[str, Callable[..., ServiceResult]] = {
+            "analyze": self.analyze,
+            "query": self.query,
+            "discover": self.discover,
+            "whatif": self.whatif,
+        }
+        results: list[ServiceResult] = []
+        for index, request in enumerate(requests):
+            arguments = dict(request)
+            kind = arguments.pop("kind", None)
+            handler = handlers.get(kind)
+            if handler is None:
+                raise ValueError(
+                    f"batch item {index}: unknown kind {kind!r}; "
+                    f"expected one of {sorted(handlers)}"
+                )
+            results.append(handler(**arguments))
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready service statistics (``/stats`` endpoint)."""
+        with self._requests_lock:
+            requests = self._requests
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "requests": requests,
+            "engine": type(self.engine).__name__,
+            "jobs": getattr(self.engine, "jobs", 1),
+            "datasets": self.registry.describe(),
+            "result_cache": self.cache.describe(),
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _hypdb(self, entry: DatasetEntry, alpha: float, test: str, seed: int) -> HypDB:
+        """A fresh HypDB bound to the shared table.
+
+        Fresh per request so the RNG state depends only on the request's
+        seed (never on request order); bound to the registry's table
+        instance so entropy memos accumulate across requests.
+        """
+        return HypDB(
+            entry.table,
+            test=make_test(test, seed, self.engine),
+            alpha=alpha,
+            seed=seed,
+            engine=self.engine,
+        )
+
+    def _respond(
+        self,
+        entry: DatasetEntry,
+        kind: str,
+        params: Mapping[str, Any],
+        seed: int | None,
+        compute: Callable[[], Any],
+    ) -> ServiceResult:
+        with self._requests_lock:
+            self._requests += 1
+        key = request_key(entry.fingerprint, kind, params, seed)
+        start = time.perf_counter()
+        payload = self.cache.get(key)
+        if payload is not None:
+            return ServiceResult(
+                kind=kind,
+                cached=True,
+                payload=payload,
+                elapsed_seconds=time.perf_counter() - start,
+            )
+        payload = canonical_json_bytes(compute())
+        self.cache.put(key, payload)
+        return ServiceResult(
+            kind=kind,
+            cached=False,
+            payload=payload,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+
+def _parse_where(where_sql: str | None, treatment: str, outcome: str):
+    """Parse a bare SQL WHERE expression into a Predicate (or ``None``)."""
+    if where_sql is None or not where_sql.strip():
+        return None
+    wrapped = (
+        f"SELECT {treatment}, avg({outcome}) FROM t "
+        f"WHERE {where_sql} GROUP BY {treatment}"
+    )
+    return GroupByQuery.from_sql(wrapped).where

@@ -1,0 +1,76 @@
+"""Content fingerprints for tables and canonical keys for requests.
+
+A dataset fingerprint is a SHA-256 over the table's schema (column names,
+in order), every column's domain, and the raw bytes of every code array.
+Two tables with identical content -- regardless of how or when they were
+loaded -- fingerprint identically, which is what lets the registry
+deduplicate registrations and share entropy caches, and what makes result
+-cache entries transferable across service restarts (the disk layer).
+
+A request key extends the fingerprint with the request kind, the
+canonicalized parameters (sorted-key JSON, so dict ordering never splits
+the cache), and the seed.  Anything that can change the answer is in the
+key; anything that cannot (transport, timing, engine parallelism -- results
+are engine-invariant by the PR-1 seeding discipline) is not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping
+from typing import Any
+
+import numpy as np
+
+from repro.relation.table import Table
+
+#: Bump when the fingerprint recipe changes; keeps stale disk-cache
+#: entries from older layouts unreachable instead of wrong.
+FINGERPRINT_VERSION = b"hypdb-fp-v1"
+
+
+def fingerprint_table(table: Table) -> str:
+    """SHA-256 content fingerprint of a table (hex digest).
+
+    Covers column order, per-column domains, and the code arrays
+    themselves.  Selections / projections of a table fingerprint
+    differently from their parent (their row sets or schemas differ), and
+    equal-content tables built through different constructors fingerprint
+    identically (codes are canonical: domains are sorted at encode time).
+    """
+    digest = hashlib.sha256()
+    digest.update(FINGERPRINT_VERSION)
+    for name in table.columns:
+        digest.update(b"\x00c")
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00d")
+        digest.update(repr(table.domain(name)).encode("utf-8"))
+        digest.update(b"\x00v")
+        digest.update(np.ascontiguousarray(table.codes(name)).tobytes())
+    return digest.hexdigest()
+
+
+def canonical_params(params: Mapping[str, Any]) -> str:
+    """Render request parameters as canonical JSON text.
+
+    ``None``-valued entries are dropped so "parameter omitted" and
+    "parameter explicitly null" key identically (they mean the same
+    default); non-JSON values fall back to ``repr``.
+    """
+    pruned = {name: value for name, value in params.items() if value is not None}
+    return json.dumps(pruned, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+def request_key(
+    fingerprint: str, kind: str, params: Mapping[str, Any], seed: int | None
+) -> str:
+    """The result-cache key for one request (SHA-256 hex digest).
+
+    Hex digests are safe as file names, so the same key addresses both the
+    in-memory LRU and the disk layer.
+    """
+    material = "\x00".join(
+        (fingerprint, kind, canonical_params(params), repr(seed))
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()

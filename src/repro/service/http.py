@@ -1,0 +1,170 @@
+"""Stdlib HTTP JSON API over :class:`AnalysisService`.
+
+``ThreadingHTTPServer`` gives one thread per connection while the shared
+:class:`~repro.service.core.AnalysisService` fans statistical work across
+cores through its execution engine -- a single process serving concurrent
+clients (no third-party framework, per the repo's no-new-deps rule).
+
+Endpoints (all bodies JSON):
+
+=========  ======  ====================================================
+path       method  body / response
+=========  ======  ====================================================
+/health    GET     liveness probe
+/stats     GET     registry, cache, and engine statistics
+/register  POST    ``{"name", "columns" | "rows"+"column_names" | "csv_path"}``
+/analyze   POST    ``{"dataset", "sql", ...}`` -> full bias report
+/query     POST    ``{"dataset", "sql"}`` -> group-by-average answer
+/discover  POST    ``{"dataset", "treatment", ...}`` -> CD result
+/whatif    POST    ``{"dataset", "treatment", "outcome", ...}``
+/batch     POST    ``{"requests": [{"kind", ...}, ...]}``
+=========  ======  ====================================================
+
+Read responses are the envelope ``{"status": "ok", "kind", "cached",
+"elapsed_seconds", "result": ...}`` where the ``result`` value is spliced
+in as the service's canonical payload bytes -- the HTTP body carries the
+result byte-for-byte as the direct API would serialize it.
+
+Errors: 400 for malformed requests, 404 for unknown datasets or paths,
+500 for unexpected failures; all carry ``{"status": "error", "error"}``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core.report import canonical_json_bytes
+from repro.service.core import AnalysisService, ServiceResult
+from repro.service.registry import UnknownDatasetError
+
+#: Request bodies above this size are rejected (sanity bound, ~256 MiB).
+MAX_BODY_BYTES = 1 << 28
+
+
+def envelope_bytes(result: ServiceResult) -> bytes:
+    """Build the response envelope around the canonical payload bytes."""
+    head = (
+        f'{{"status":"ok","kind":{json.dumps(result.kind)},'
+        f'"cached":{"true" if result.cached else "false"},'
+        f'"elapsed_seconds":{json.dumps(round(result.elapsed_seconds, 6))},'
+        f'"result":'
+    )
+    return head.encode("utf-8") + result.payload + b"}"
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared service instance."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: AnalysisService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer  # narrowed for the attribute access below
+    protocol_version = "HTTP/1.1"
+
+    # -- routing -------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            if self.path == "/health":
+                self._send(200, canonical_json_bytes({"status": "ok"}))
+            elif self.path == "/stats":
+                self._send(200, canonical_json_bytes(self.server.service.stats()))
+            else:
+                self._send_error(404, f"unknown path {self.path!r}")
+        except Exception as error:  # pragma: no cover - defensive 500
+            self._send_error(500, f"{type(error).__name__}: {error}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            body = self._read_body()
+        except ValueError as error:
+            self._send_error(400, str(error))
+            return
+        service = self.server.service
+        try:
+            if self.path == "/register":
+                arguments = {
+                    field: body.pop(field, None)
+                    for field in ("columns", "rows", "column_names", "csv_path")
+                }
+                name = body.pop("name", "")
+                _reject_extras(body)  # validate before mutating the registry
+                summary = service.register(name=name, **arguments)
+                self._send(
+                    200, canonical_json_bytes({"status": "ok", "result": summary})
+                )
+            elif self.path == "/batch":
+                results = service.batch(body.get("requests", []))
+                parts = b",".join(envelope_bytes(result) for result in results)
+                self._send(200, b'{"status":"ok","results":[' + parts + b"]}")
+            elif self.path in ("/analyze", "/query", "/discover", "/whatif"):
+                handler = getattr(service, self.path[1:])
+                self._send(200, envelope_bytes(handler(**body)))
+            else:
+                self._send_error(404, f"unknown path {self.path!r}")
+        except UnknownDatasetError as error:
+            self._send_error(404, _message(error))
+        except (TypeError, ValueError) as error:
+            self._send_error(400, _message(error))
+        except Exception as error:  # pragma: no cover - defensive 500
+            # Includes bare KeyError from deep library code: that is a
+            # server bug, not a client addressing mistake.
+            self._send_error(500, f"{type(error).__name__}: {error}")
+
+    # -- plumbing ------------------------------------------------------
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            # The unread body would desynchronize a keep-alive connection
+            # (the next "request line" would be body bytes) -- drop it.
+            self.close_connection = True
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw or b"{}")
+        except json.JSONDecodeError as error:
+            raise ValueError(f"request body is not valid JSON: {error}") from None
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    def _send(self, status: int, payload: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send(status, canonical_json_bytes({"status": "error", "error": message}))
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Quiet by default; the CLI flips ``server.verbose`` on."""
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+
+def _reject_extras(body: dict) -> None:
+    if body:
+        raise ValueError(f"unexpected register fields: {sorted(body)}")
+
+
+def _message(error: BaseException) -> str:
+    """Unwrap exception args (KeyError repr-quotes its message)."""
+    if error.args and isinstance(error.args[0], str):
+        return error.args[0]
+    return str(error)
+
+
+def make_server(
+    service: AnalysisService, host: str = "127.0.0.1", port: int = 0
+) -> ServiceHTTPServer:
+    """Bind the service to an HTTP server (``port=0`` picks a free port)."""
+    return ServiceHTTPServer((host, port), service)

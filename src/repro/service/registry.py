@@ -1,0 +1,119 @@
+"""The dataset registry: load once, fingerprint, share entropy caches.
+
+Every request names a registered dataset.  The registry deduplicates by
+content fingerprint: registering the same data twice (under the same or a
+different name) binds both names to one :class:`Table` *instance*, so the
+entropy memos that instance accumulates (paper Sec. 6, "Caching entropy")
+serve every alias and every subsequent request.  This is the service's
+first cache level -- below the result cache, above the raw data.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.relation.table import Table
+from repro.service.fingerprint import fingerprint_table
+
+
+class UnknownDatasetError(KeyError):
+    """Lookup of a dataset name that was never registered.
+
+    Subclasses ``KeyError`` for callers doing dict-style handling, but
+    gives the HTTP layer a precise type to map to 404 (a bare ``KeyError``
+    from deeper library code is a server bug, not a client error).
+    """
+
+
+@dataclass
+class DatasetEntry:
+    """One registered dataset: a named, fingerprinted table."""
+
+    name: str
+    fingerprint: str
+    table: Table
+    registered_at: float = field(default_factory=time.time)
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready summary (``/stats`` endpoint)."""
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "n_rows": self.table.n_rows,
+            "columns": list(self.table.columns),
+            "entropy_cache_sizes": self.table.entropy_cache_sizes(),
+        }
+
+
+class DatasetRegistry:
+    """Thread-safe name -> table registry with content deduplication."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_name: dict[str, DatasetEntry] = {}
+        self._by_fingerprint: dict[str, Table] = {}
+
+    def register(self, name: str, table: Table) -> tuple[DatasetEntry, bool]:
+        """Register ``table`` under ``name``; returns ``(entry, reused)``.
+
+        ``reused`` is true when a table with identical content was already
+        registered -- the new name is bound to the *existing* instance so
+        its warm entropy caches keep serving.  Re-registering a name with
+        different content simply rebinds the name (the old table stays
+        reachable through any other names or cache entries it has).
+        """
+        if not name:
+            raise ValueError("dataset name must be non-empty")
+        fingerprint = fingerprint_table(table)
+        with self._lock:
+            shared = self._by_fingerprint.get(fingerprint)
+            reused = shared is not None
+            if shared is None:
+                self._by_fingerprint[fingerprint] = table
+                shared = table
+            entry = DatasetEntry(name=name, fingerprint=fingerprint, table=shared)
+            self._by_name[name] = entry
+            # Rebinding a name can orphan its old table; drop tables no
+            # name references so a long-lived service doesn't leak them.
+            live = {item.fingerprint for item in self._by_name.values()}
+            self._by_fingerprint = {
+                print_: table_
+                for print_, table_ in self._by_fingerprint.items()
+                if print_ in live
+            }
+            return entry, reused
+
+    def get(self, name: str) -> DatasetEntry:
+        """Look up a dataset by name (:class:`UnknownDatasetError` if not)."""
+        with self._lock:
+            try:
+                return self._by_name[name]
+            except KeyError:
+                known = sorted(self._by_name)
+                raise UnknownDatasetError(
+                    f"unknown dataset {name!r}; registered datasets: {known}"
+                ) from None
+
+    def names(self) -> list[str]:
+        """Registered dataset names, sorted."""
+        with self._lock:
+            return sorted(self._by_name)
+
+    @property
+    def n_tables(self) -> int:
+        """Distinct table instances currently held (<= number of names)."""
+        with self._lock:
+            return len(self._by_fingerprint)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_name)
+
+    def describe(self) -> list[dict[str, Any]]:
+        """JSON-ready summary of every registered dataset."""
+        with self._lock:
+            entries = list(self._by_name.values())
+        return [entry.describe() for entry in sorted(entries, key=lambda e: e.name)]

@@ -6,7 +6,14 @@ import pytest
 
 from repro.core.detector import BalanceResult
 from repro.core.query import GroupByQuery
-from repro.core.report import BiasReport, ContextReport, EffectEstimate, Timings
+from repro.core.report import (
+    BiasReport,
+    ContextReport,
+    EffectEstimate,
+    Timings,
+    canonical_json_bytes,
+    json_value,
+)
 from repro.stats.base import CIResult
 
 
@@ -137,3 +144,72 @@ class TestBiasReport:
             contexts=(context,),
         )
         assert "unavailable (overlap fails)" in report.format()
+
+
+class TestSerialization:
+    def make_report(self):
+        query = GroupByQuery(treatment="T", outcomes=("Y",))
+        return BiasReport(
+            query=query,
+            covariates=("Z",),
+            mediators=("M",),
+            covariate_discovery=None,
+            contexts=(make_context(),),
+            timings=Timings(detection=1.0, explanation=0.5, resolution=0.25),
+        )
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        payload = self.make_report().to_dict()
+        json.dumps(payload)  # raises on any non-JSON type
+        assert payload["treatment"] == "T"
+        assert payload["covariates"] == ["Z"]
+        assert payload["biased"] is True
+        context = payload["contexts"][0]
+        assert context["balance_total"]["biased"] is True
+        assert context["naive"]["averages"][0] == {
+            "treatment_value": "a",
+            "by_outcome": {"Y": 0.2},
+        }
+
+    def test_to_dict_excludes_wall_clock_timings(self):
+        payload = self.make_report().to_dict()
+        assert "timings" not in payload
+        assert self.make_report().timings.to_dict()["total"] == pytest.approx(1.75)
+
+    def test_json_bytes_is_canonical(self):
+        import json
+
+        first = self.make_report().json_bytes()
+        second = self.make_report().json_bytes()
+        assert first == second
+        # Canonical encoding: sorted keys, no whitespace, round-trips.
+        assert b" " not in first.replace(b"SQL answer", b"")[:200]
+        parsed = json.loads(first)
+        assert canonical_json_bytes(parsed) == first
+
+    def test_nan_and_exotic_values_become_json(self):
+        nan = float("nan")
+        estimate = EffectEstimate(
+            kind="naive",
+            treatment_values=(nan, (1, 2)),
+            outcomes=("Y",),
+            averages={
+                nan: {"Y": float("nan")},
+                (1, 2): {"Y": 0.5},
+            },
+        )
+        payload = estimate.to_dict()
+        assert payload["treatment_values"][0] is None
+        assert payload["treatment_values"][1] == "(1, 2)"
+        assert payload["averages"][0]["by_outcome"]["Y"] is None
+        canonical_json_bytes(payload)  # NaN never reaches the encoder
+
+    def test_json_value_passthrough(self):
+        assert json_value("s") == "s"
+        assert json_value(3) == 3
+        assert json_value(0.5) == 0.5
+        assert json_value(True) is True
+        assert json_value(None) is None
+        assert json_value(float("inf")) is None

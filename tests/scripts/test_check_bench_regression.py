@@ -1,0 +1,204 @@
+"""Tests for the benchmark regression gate (scripts/check_bench_regression.py).
+
+Runs the script as a subprocess against synthetic results/baselines
+directories, covering: regression detection, calibration normalization,
+the parallel-row core-count skip, the noise floor, missing baselines, and
+malformed baseline files.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "check_bench_regression.py"
+
+WORKLOAD = {"figure": "fig6b", "n_rows": 5000, "scale": 0.25}
+
+
+def payload(
+    serial_seconds: float,
+    parallel_seconds: float | None = None,
+    calibration: float = 1.0,
+    cpu_count: int = 4,
+    workload: dict | None = None,
+) -> dict:
+    rows = [{"engine": "serial", "jobs": 1, "seconds": serial_seconds, "speedup": 1.0}]
+    if parallel_seconds is not None:
+        rows.append(
+            {"engine": "parallel", "jobs": 4, "seconds": parallel_seconds, "speedup": 1.0}
+        )
+    return {
+        "benchmark": "engine_scaling",
+        "workload": WORKLOAD if workload is None else workload,
+        "cpu_count": cpu_count,
+        "calibration_seconds": calibration,
+        "results": rows,
+    }
+
+
+def run_gate(tmp_path: Path, current: dict | str, baseline: dict | str | None):
+    """Write the fixture files and run the gate; returns CompletedProcess."""
+    results = tmp_path / "results"
+    baselines = tmp_path / "baselines"
+    results.mkdir(exist_ok=True)
+    baselines.mkdir(exist_ok=True)
+    name = "BENCH_engine.json"
+    current_text = current if isinstance(current, str) else json.dumps(current)
+    (results / name).write_text(current_text)
+    if baseline is not None:
+        baseline_text = baseline if isinstance(baseline, str) else json.dumps(baseline)
+        (baselines / name).write_text(baseline_text)
+    return subprocess.run(
+        [
+            sys.executable,
+            str(SCRIPT),
+            "--results",
+            str(results),
+            "--baselines",
+            str(baselines),
+            "--tolerance",
+            "0.25",
+        ],
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestRegressionDetection:
+    def test_regression_fails_the_gate(self, tmp_path):
+        completed = run_gate(tmp_path, payload(2.0), payload(1.0))
+        assert completed.returncode == 1
+        assert "REGRESSION" in completed.stdout
+        assert "2.00x baseline" in completed.stdout
+
+    def test_within_tolerance_passes(self, tmp_path):
+        completed = run_gate(tmp_path, payload(1.2), payload(1.0))
+        assert completed.returncode == 0
+        assert "gate passed" in completed.stdout
+
+    def test_improvement_is_reported_never_required(self, tmp_path):
+        completed = run_gate(tmp_path, payload(0.5), payload(1.0))
+        assert completed.returncode == 0
+        assert "improvement" in completed.stdout
+
+
+class TestCalibrationNormalization:
+    def test_slow_runner_is_normalized_away(self, tmp_path):
+        # Twice the wall clock on a machine whose calibration is also twice
+        # as slow: normalized ratio 1.0, no regression.
+        completed = run_gate(
+            tmp_path, payload(2.0, calibration=2.0), payload(1.0, calibration=1.0)
+        )
+        assert completed.returncode == 0
+        assert "1.00x baseline (normalized)" in completed.stdout
+
+    def test_fast_runner_does_not_mask_regressions(self, tmp_path):
+        # Half the calibration time (a 2x faster machine) but the same wall
+        # clock: normalized, the benchmark got 2x slower.
+        completed = run_gate(
+            tmp_path, payload(1.0, calibration=0.5), payload(1.0, calibration=1.0)
+        )
+        assert completed.returncode == 1
+        assert "REGRESSION" in completed.stdout
+
+
+class TestCoreCountSkip:
+    def test_parallel_rows_skip_on_core_count_mismatch(self, tmp_path):
+        completed = run_gate(
+            tmp_path,
+            payload(1.0, parallel_seconds=9.0, cpu_count=4),
+            payload(1.0, parallel_seconds=1.0, cpu_count=1),
+        )
+        assert completed.returncode == 0
+        assert "reported, not gated" in completed.stdout
+        assert "regenerate the baseline" in completed.stdout
+
+    def test_serial_rows_stay_gated_despite_mismatch(self, tmp_path):
+        completed = run_gate(
+            tmp_path,
+            payload(9.0, parallel_seconds=9.0, cpu_count=4),
+            payload(1.0, parallel_seconds=1.0, cpu_count=1),
+        )
+        assert completed.returncode == 1
+        assert "('serial', 1)" in completed.stdout
+
+    def test_single_threaded_rows_gate_across_core_counts(self, tmp_path):
+        # jobs == 1 rows that are not engine "serial" (the service bench's
+        # cold/warm rows) must stay gated even when cpu_count differs --
+        # calibration already normalizes single-core speed.
+        def service_payload(cold_seconds, cpu_count):
+            return {
+                "benchmark": "service_throughput",
+                "workload": {"dataset": "flights", "scale": 0.25},
+                "cpu_count": cpu_count,
+                "calibration_seconds": 1.0,
+                "results": [
+                    {"engine": "service-cold", "jobs": 1, "seconds": cold_seconds}
+                ],
+            }
+
+        completed = run_gate(
+            tmp_path,
+            service_payload(9.0, cpu_count=4),
+            service_payload(1.0, cpu_count=1),
+        )
+        assert completed.returncode == 1
+        assert "('service-cold', 1)" in completed.stdout
+
+    def test_matching_core_count_gates_parallel_rows(self, tmp_path):
+        completed = run_gate(
+            tmp_path,
+            payload(1.0, parallel_seconds=9.0, cpu_count=4),
+            payload(1.0, parallel_seconds=1.0, cpu_count=4),
+        )
+        assert completed.returncode == 1
+        assert "('parallel', 4)" in completed.stdout
+
+
+class TestGuardRails:
+    def test_malformed_baseline_fails_loudly(self, tmp_path):
+        completed = run_gate(tmp_path, payload(1.0), "{not json at all")
+        assert completed.returncode == 1
+        assert "malformed benchmark JSON" in completed.stdout
+
+    def test_non_object_baseline_fails_loudly(self, tmp_path):
+        completed = run_gate(tmp_path, payload(1.0), "[1, 2, 3]")
+        assert completed.returncode == 1
+        assert "malformed benchmark JSON" in completed.stdout
+
+    def test_missing_baseline_passes_with_notice(self, tmp_path):
+        completed = run_gate(tmp_path, payload(1.0), None)
+        assert completed.returncode == 0
+        assert "no committed baseline" in completed.stdout
+
+    def test_workload_mismatch_skips_comparison(self, tmp_path):
+        other = dict(WORKLOAD, scale=1.0)
+        completed = run_gate(tmp_path, payload(9.0, workload=other), payload(1.0))
+        assert completed.returncode == 0
+        assert "workload metadata differs" in completed.stdout
+
+    def test_noise_floor_rows_not_gated(self, tmp_path):
+        completed = run_gate(tmp_path, payload(0.04), payload(0.01))
+        assert completed.returncode == 0
+        assert "noise floor" in completed.stdout
+
+    def test_empty_results_dir_passes(self, tmp_path):
+        (tmp_path / "results").mkdir()
+        (tmp_path / "baselines").mkdir()
+        completed = subprocess.run(
+            [
+                sys.executable,
+                str(SCRIPT),
+                "--results",
+                str(tmp_path / "results"),
+                "--baselines",
+                str(tmp_path / "baselines"),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0
+        assert "nothing to gate" in completed.stdout

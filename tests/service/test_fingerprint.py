@@ -1,0 +1,80 @@
+"""Tests for dataset fingerprints and request keys."""
+
+from __future__ import annotations
+
+from repro.relation.table import Table
+from repro.service.fingerprint import (
+    canonical_params,
+    fingerprint_table,
+    request_key,
+)
+
+
+def _table(**overrides):
+    columns = {
+        "T": ["a", "b", "a", "b"],
+        "Y": [1, 0, 1, 1],
+        "Z": ["u", "v", "u", "v"],
+    }
+    columns.update(overrides)
+    return Table.from_columns(columns)
+
+
+class TestFingerprintTable:
+    def test_equal_content_equal_fingerprint(self):
+        assert fingerprint_table(_table()) == fingerprint_table(_table())
+
+    def test_constructor_route_does_not_matter(self):
+        by_columns = _table()
+        by_rows = Table.from_rows(
+            ("T", "Y", "Z"),
+            [("a", 1, "u"), ("b", 0, "v"), ("a", 1, "u"), ("b", 1, "v")],
+        )
+        assert fingerprint_table(by_columns) == fingerprint_table(by_rows)
+
+    def test_data_change_changes_fingerprint(self):
+        assert fingerprint_table(_table()) != fingerprint_table(
+            _table(Y=[1, 0, 1, 0])
+        )
+
+    def test_column_name_changes_fingerprint(self):
+        renamed = _table().rename({"Z": "W"})
+        assert fingerprint_table(_table()) != fingerprint_table(renamed)
+
+    def test_column_order_changes_fingerprint(self):
+        reordered = _table().project(["Z", "Y", "T"])
+        assert fingerprint_table(_table()) != fingerprint_table(reordered)
+
+    def test_domain_difference_changes_fingerprint(self):
+        # Same codes, different decoded values: ["a","b"] vs ["a","c"].
+        one = Table.from_columns({"T": ["a", "b"]})
+        other = Table.from_columns({"T": ["a", "c"]})
+        assert fingerprint_table(one) != fingerprint_table(other)
+
+    def test_selection_changes_fingerprint(self):
+        import numpy as np
+
+        table = _table()
+        subset = table.select(np.array([True, True, True, False]))
+        assert fingerprint_table(table) != fingerprint_table(subset)
+
+
+class TestRequestKey:
+    def test_param_order_is_canonical(self):
+        assert canonical_params({"a": 1, "b": 2}) == canonical_params({"b": 2, "a": 1})
+
+    def test_none_params_match_omitted(self):
+        assert canonical_params({"a": 1, "b": None}) == canonical_params({"a": 1})
+
+    def test_key_depends_on_every_component(self):
+        base = request_key("fp", "analyze", {"sql": "q"}, 0)
+        assert request_key("fp2", "analyze", {"sql": "q"}, 0) != base
+        assert request_key("fp", "query", {"sql": "q"}, 0) != base
+        assert request_key("fp", "analyze", {"sql": "r"}, 0) != base
+        assert request_key("fp", "analyze", {"sql": "q"}, 1) != base
+        assert request_key("fp", "analyze", {"sql": "q"}, 0) == base
+
+    def test_key_is_filename_safe(self):
+        key = request_key("fp", "analyze", {"sql": "q"}, 0)
+        assert len(key) == 64
+        assert all(ch in "0123456789abcdef" for ch in key)

@@ -1,0 +1,193 @@
+"""End-to-end tests for the HTTP JSON API.
+
+The acceptance property for the service layer: for a fixed seed,
+``analyze`` over HTTP returns byte-identical JSON to the direct
+:class:`HypDB` API -- for both serial and parallel engines, on both the
+cold and the warm cache path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.hypdb import HypDB
+from repro.core.report import canonical_json_bytes
+from repro.datasets import staples_data
+from repro.engine import ParallelEngine
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.core import AnalysisService
+from repro.service.http import make_server
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+ANALYZE_PARAMS = {"covariates": ["Distance"], "mediators": [], "seed": 7}
+
+
+@pytest.fixture(scope="module")
+def table():
+    return staples_data(n_rows=1200, seed=4)
+
+
+@pytest.fixture(scope="module")
+def columns(table):
+    return {name: table.column(name) for name in table.columns}
+
+
+@pytest.fixture
+def client(columns):
+    """A served AnalysisService (serial engine) with staples registered."""
+    service = AnalysisService()
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    client.register("staples", columns=columns)
+    yield client
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+class TestDeterminism:
+    def test_serial_cold_and_warm_match_direct_api(self, client, table):
+        direct = HypDB(table, seed=7).analyze(SQL, covariates=["Distance"], mediators=[])
+        cold = client.analyze("staples", SQL, **ANALYZE_PARAMS)
+        warm = client.analyze("staples", SQL, **ANALYZE_PARAMS)
+        assert not cold["cached"] and warm["cached"]
+        for response in (cold, warm):
+            assert canonical_json_bytes(response["result"]) == direct.json_bytes()
+
+    def test_parallel_engine_cold_and_warm_match_direct_api(self, columns, table):
+        with ParallelEngine(jobs=2) as engine:
+            direct = HypDB(table, seed=7, engine=engine).analyze(
+                SQL, covariates=["Distance"], mediators=[]
+            )
+            service = AnalysisService(engine=engine)
+            server = make_server(service)
+            threading.Thread(target=server.serve_forever, daemon=True).start()
+            host, port = server.server_address[:2]
+            client = ServiceClient(f"http://{host}:{port}")
+            try:
+                client.register("staples", columns=columns)
+                cold = client.analyze("staples", SQL, **ANALYZE_PARAMS)
+                warm = client.analyze("staples", SQL, **ANALYZE_PARAMS)
+            finally:
+                server.shutdown()
+                server.server_close()
+        assert not cold["cached"] and warm["cached"]
+        for response in (cold, warm):
+            assert canonical_json_bytes(response["result"]) == direct.json_bytes()
+
+
+class TestEndpoints:
+    def test_health_and_stats(self, client):
+        assert client.health() == {"status": "ok"}
+        client.query("staples", SQL)
+        stats = client.stats()
+        assert stats["datasets"][0]["name"] == "staples"
+        assert stats["requests"] >= 1
+
+    def test_query_roundtrip(self, client):
+        response = client.query("staples", SQL)
+        assert response["status"] == "ok"
+        assert response["kind"] == "query"
+        assert len(response["result"]["rows"]) == 2
+
+    def test_discover_roundtrip(self, client):
+        response = client.discover("staples", "Income", outcome="Price", test="chi2")
+        assert response["kind"] == "discover"
+        assert "covariates" in response["result"]
+
+    def test_whatif_roundtrip(self, client):
+        response = client.whatif(
+            "staples", "Income", "Price", covariates=["Distance"]
+        )
+        assert response["kind"] == "whatif"
+        assert len(response["result"]["interventions"]) == 2
+
+    def test_batch_roundtrip(self, client):
+        response = client.batch(
+            [
+                {"kind": "query", "dataset": "staples", "sql": SQL},
+                {"kind": "query", "dataset": "staples", "sql": SQL},
+            ]
+        )
+        assert [item["cached"] for item in response["results"]] == [False, True]
+        assert response["results"][0]["result"] == response["results"][1]["result"]
+
+    def test_register_dedup_over_http(self, client, columns):
+        response = client.register("alias", columns=columns)
+        assert response["result"]["reused"]
+
+
+class TestErrors:
+    def test_unknown_dataset_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.query("missing", SQL)
+        assert excinfo.value.status == 404
+        assert "unknown dataset" in excinfo.value.message
+
+    def test_bad_sql_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.query("staples", "SELECT FROM")
+        assert excinfo.value.status == 400
+
+    def test_unknown_path_is_404(self, client):
+        import urllib.request
+
+        request = urllib.request.Request(
+            client.base_url + "/nope", data=b"{}", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 404
+
+    def test_malformed_json_is_400(self, client):
+        import urllib.request
+
+        request = urllib.request.Request(
+            client.base_url + "/query", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_unexpected_register_field_is_400_without_mutating(self, client, columns):
+        with pytest.raises(ServiceError) as excinfo:
+            client.register("x", columns=columns, bogus=1)
+        assert excinfo.value.status == 400
+        # The rejected request must not have registered the dataset.
+        with pytest.raises(ServiceError) as lookup:
+            client.query("x", SQL)
+        assert lookup.value.status == 404
+
+    def test_unexpected_analyze_field_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.analyze("staples", SQL, bogus=1)
+        assert excinfo.value.status == 400
+
+
+class TestConcurrency:
+    def test_parallel_clients_share_the_cache(self, client):
+        results: list[dict] = []
+        errors: list[Exception] = []
+
+        def hit() -> None:
+            try:
+                results.append(client.query("staples", SQL))
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=hit) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 8
+        payloads = {json.dumps(item["result"], sort_keys=True) for item in results}
+        assert len(payloads) == 1
+        assert client.query("staples", SQL)["cached"]

@@ -1,0 +1,88 @@
+"""Tests for the dataset registry (dedup + entropy-cache sharing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.infotheory.cache import EntropyEngine
+from repro.relation.table import Table
+from repro.service.registry import DatasetRegistry
+
+
+def _table():
+    return Table.from_columns(
+        {
+            "T": ["a", "b", "a", "b", "a", "a"],
+            "Y": [1, 0, 1, 1, 0, 1],
+        }
+    )
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        registry = DatasetRegistry()
+        entry, reused = registry.register("d", _table())
+        assert not reused
+        assert registry.get("d") is entry
+        assert registry.names() == ["d"]
+        assert len(registry) == 1
+
+    def test_same_content_shares_table_instance(self):
+        registry = DatasetRegistry()
+        first, _ = registry.register("one", _table())
+        second, reused = registry.register("two", _table())
+        assert reused
+        assert second.table is first.table
+        assert second.fingerprint == first.fingerprint
+
+    def test_shared_instance_shares_entropy_cache(self):
+        registry = DatasetRegistry()
+        first, _ = registry.register("one", _table())
+        second, _ = registry.register("two", _table())
+        EntropyEngine(first.table).entropy(["T", "Y"])
+        # The alias sees the warm memo: a new engine over it hits the cache.
+        engine = EntropyEngine(second.table)
+        engine.entropy(["T", "Y"])
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.cache_misses == 0
+
+    def test_rebind_name_to_different_content(self):
+        registry = DatasetRegistry()
+        registry.register("d", _table())
+        other = Table.from_columns({"T": ["x", "y"], "Y": [0, 1]})
+        entry, reused = registry.register("d", other)
+        assert not reused
+        assert registry.get("d") is entry
+        assert len(registry) == 1
+
+    def test_rebinding_prunes_orphaned_tables(self):
+        registry = DatasetRegistry()
+        for index in range(10):
+            table = Table.from_columns({"T": ["a", "b"], "Y": [index, 1]})
+            registry.register("ephemeral", table)
+        # Only the latest content is still referenced; a long-lived
+        # service must not accumulate the nine orphans.
+        assert registry.n_tables == 1
+        keep, _ = registry.register("keep", _table())
+        registry.register("alias", _table())  # shares keep's table
+        assert registry.n_tables == 2
+        assert registry.get("alias").table is keep.table
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetRegistry().register("", _table())
+
+    def test_unknown_name_raises_with_known_names(self):
+        registry = DatasetRegistry()
+        registry.register("known", _table())
+        with pytest.raises(KeyError, match="known"):
+            registry.get("missing")
+
+    def test_describe_reports_cache_sizes(self):
+        registry = DatasetRegistry()
+        entry, _ = registry.register("d", _table())
+        EntropyEngine(entry.table).entropy(["T"])
+        (summary,) = registry.describe()
+        assert summary["name"] == "d"
+        assert summary["n_rows"] == 6
+        assert summary["entropy_cache_sizes"] == {"miller_madow": 1}

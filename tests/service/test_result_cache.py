@@ -1,0 +1,102 @@
+"""Tests for the two-level result cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+
+class TestMemoryLayer:
+    def test_roundtrip(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get("k") is None
+        cache.put("k", b"payload")
+        assert cache.get("k") == b"payload"
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_drops_least_recent(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.get("a")  # refresh a; b becomes the LRU tail
+        cache.put("c", b"3")
+        assert cache.get("a") == b"1"
+        assert cache.get("c") == b"3"
+        assert cache.get("b") is None
+        assert cache.stats.evictions == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+    def test_clear_keeps_stats(self):
+        cache = ResultCache()
+        cache.put("k", b"v")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.stores == 1
+
+    def test_concurrent_puts_and_gets(self):
+        cache = ResultCache(max_entries=8)
+
+        def worker(tag: int) -> None:
+            for i in range(200):
+                key = f"k{(tag + i) % 16}"
+                cache.put(key, key.encode())
+                got = cache.get(key)
+                assert got is None or got == key.encode()
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 8
+
+
+class TestDiskLayer:
+    def test_disk_roundtrip_and_promotion(self, tmp_path):
+        cache = ResultCache(max_entries=1, disk_dir=tmp_path / "cache")
+        cache.put("a", b"1")
+        cache.put("b", b"2")  # evicts a from memory; both remain on disk
+        assert cache.get("a") == b"1"
+        assert cache.stats.disk_hits == 1
+        # The promotion brought a back into the memory layer.
+        assert cache.get("a") == b"1"
+        assert cache.stats.memory_hits >= 1
+
+    def test_survives_new_instance(self, tmp_path):
+        first = ResultCache(disk_dir=tmp_path / "cache")
+        first.put("k", b"persisted")
+        second = ResultCache(disk_dir=tmp_path / "cache")
+        assert second.get("k") == b"persisted"
+        assert second.stats.disk_hits == 1
+
+    def test_memory_only_misses_without_disk(self, tmp_path):
+        writer = ResultCache(disk_dir=tmp_path / "cache")
+        writer.put("k", b"v")
+        memory_only = ResultCache()
+        assert memory_only.get("k") is None
+
+    def test_disk_write_failure_degrades_gracefully(self, tmp_path):
+        import shutil
+
+        cache = ResultCache(disk_dir=tmp_path / "cache")
+        shutil.rmtree(tmp_path / "cache")
+        (tmp_path / "cache").write_text("not a directory")
+        cache.put("k", b"v")  # disk write fails; must not raise
+        assert cache.get("k") == b"v"  # memory layer still serves
+        assert cache.stats.disk_errors == 1
+
+    def test_describe_counts_both_layers(self, tmp_path):
+        cache = ResultCache(max_entries=1, disk_dir=tmp_path / "cache")
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        summary = cache.describe()
+        assert summary["in_memory"] == 1
+        assert summary["on_disk"] == 2
+        assert summary["stores"] == 2

@@ -1,0 +1,170 @@
+"""Tests for :class:`AnalysisService` (transport-independent)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hypdb import HypDB
+from repro.datasets import staples_data
+from repro.relation.groupby import group_by_average
+from repro.service.core import AnalysisService, make_test
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+
+
+@pytest.fixture(scope="module")
+def table():
+    return staples_data(n_rows=1500, seed=4)
+
+
+@pytest.fixture
+def service(table):
+    service = AnalysisService()
+    service.register("staples", columns={name: table.column(name) for name in table.columns})
+    return service
+
+
+class TestRegister:
+    def test_register_sources_are_exclusive(self, service):
+        with pytest.raises(ValueError, match="exactly one"):
+            service.register("x", columns={"A": [1]}, csv_path="/tmp/x.csv")
+        with pytest.raises(ValueError, match="exactly one"):
+            service.register("x")
+
+    def test_rows_require_column_names(self, service):
+        with pytest.raises(ValueError, match="column_names"):
+            service.register("x", rows=[[1, 2]])
+
+    def test_register_rows(self, service):
+        summary = service.register(
+            "tiny", rows=[["a", 1], ["b", 0]], column_names=["T", "Y"]
+        )
+        assert summary["n_rows"] == 2
+        assert summary["columns"] == ["T", "Y"]
+
+    def test_register_csv(self, service, table, tmp_path):
+        import csv
+
+        path = tmp_path / "d.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.columns)
+            writer.writerows(table.rows())
+        summary = service.register("from_csv", csv_path=str(path))
+        # Identical content -> deduplicated against the fixture dataset.
+        assert summary["reused"]
+        assert summary["fingerprint"] == service.registry.get("staples").fingerprint
+
+
+class TestAnalyze:
+    def test_matches_direct_api_byte_for_byte(self, service, table):
+        response = service.analyze(
+            "staples", SQL, covariates=["Distance"], mediators=[], seed=7
+        )
+        direct = HypDB(table, seed=7).analyze(SQL, covariates=["Distance"], mediators=[])
+        assert response.payload == direct.json_bytes()
+        assert not response.cached
+
+    def test_warm_path_returns_identical_bytes(self, service):
+        cold = service.analyze("staples", SQL, covariates=["Distance"], mediators=[], seed=7)
+        warm = service.analyze("staples", SQL, covariates=["Distance"], mediators=[], seed=7)
+        assert warm.cached
+        assert warm.payload == cold.payload
+
+    def test_seed_is_part_of_the_key(self, service):
+        service.analyze("staples", SQL, covariates=["Distance"], mediators=[], seed=7)
+        other = service.analyze("staples", SQL, covariates=["Distance"], mediators=[], seed=8)
+        # A different seed is a different cache entry (even when the hybrid
+        # test's parametric branch makes the payloads coincide).
+        assert not other.cached
+
+    def test_params_are_part_of_the_key(self, service):
+        service.analyze("staples", SQL, covariates=["Distance"], mediators=[], seed=7)
+        without_direct = service.analyze(
+            "staples", SQL, covariates=["Distance"], mediators=[], seed=7,
+            compute_direct=False,
+        )
+        assert not without_direct.cached
+
+    def test_unknown_dataset_raises_keyerror(self, service):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            service.analyze("nope", SQL)
+
+
+class TestQueryDiscoverWhatIf:
+    def test_query_matches_group_by_average(self, service, table):
+        response = service.query("staples", SQL)
+        answer = group_by_average(table, ("Income",), ("Price",))
+        rows = response.result["rows"]
+        assert [row["count"] for row in rows] == [row.count for row in answer.rows]
+        assert rows[0]["averages"][0] == pytest.approx(answer.rows[0].averages[0])
+        assert service.query("staples", SQL).cached
+
+    def test_discover_uses_chi2_quickly(self, service, table):
+        response = service.discover("staples", "Income", outcome="Price", test="chi2")
+        direct = HypDB(table, test=make_test("chi2", 0), seed=0).discoverer.discover(
+            table, "Income", outcome="Price"
+        )
+        assert response.result["covariates"] == list(direct.covariates)
+        assert service.discover("staples", "Income", outcome="Price", test="chi2").cached
+
+    def test_whatif_with_explicit_covariates(self, service, table):
+        response = service.whatif(
+            "staples", "Income", "Price", covariates=["Distance"]
+        )
+        result = response.result
+        assert result["covariates"] == ["Distance"]
+        assert len(result["interventions"]) == 2
+        assert result["n_rows"] == table.n_rows
+
+    def test_whatif_where_restricts_subpopulation(self, service, table):
+        response = service.whatif(
+            "staples", "Income", "Price", covariates=["Distance"],
+            where_sql="Region IN ('urban')",
+        )
+        assert response.result["n_rows"] < table.n_rows
+
+    def test_unknown_test_name_rejected(self, service):
+        with pytest.raises(ValueError, match="unknown test"):
+            service.discover("staples", "Income", test="bogus")
+
+
+class TestBatch:
+    def test_batch_shares_the_cache(self, service):
+        results = service.batch(
+            [
+                {"kind": "query", "dataset": "staples", "sql": SQL},
+                {"kind": "query", "dataset": "staples", "sql": SQL},
+            ]
+        )
+        assert [result.cached for result in results] == [False, True]
+        assert results[0].payload == results[1].payload
+
+    def test_batch_rejects_unknown_kind(self, service):
+        with pytest.raises(ValueError, match="unknown kind"):
+            service.batch([{"kind": "explode"}])
+
+
+class TestDiskCache:
+    def test_restarted_service_serves_from_disk(self, table, tmp_path):
+        columns = {name: table.column(name) for name in table.columns}
+        first = AnalysisService(disk_cache=str(tmp_path / "cache"))
+        first.register("staples", columns=columns)
+        cold = first.query("staples", SQL)
+
+        second = AnalysisService(disk_cache=str(tmp_path / "cache"))
+        second.register("staples", columns=columns)
+        warm = second.query("staples", SQL)
+        assert warm.cached
+        assert warm.payload == cold.payload
+        assert second.cache.stats.disk_hits == 1
+
+
+class TestStats:
+    def test_stats_shape(self, service):
+        service.query("staples", SQL)
+        stats = service.stats()
+        assert stats["requests"] == 1
+        assert stats["engine"] == "SerialEngine"
+        assert stats["datasets"][0]["name"] == "staples"
+        assert stats["result_cache"]["stores"] == 1

@@ -98,3 +98,59 @@ class TestDiscoverCommand:
         out = capsys.readouterr().out
         assert "covariates" in out
         assert "markov boundary" in out
+
+
+class TestServeCommand:
+    def test_parser_accepts_serve_options(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port", "0",
+                "--csv", "staples=/tmp/staples.csv",
+                "--cache-entries", "16",
+                "--disk-cache", "/tmp/cache",
+                "--jobs", "2",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.csv == ["staples=/tmp/staples.csv"]
+        assert args.cache_entries == 16
+
+    def test_bad_csv_spec_is_an_error(self, capsys):
+        code = main(["serve", "--port", "0", "--csv", "no-equals-sign"])
+        assert code == 2
+        assert "NAME=PATH" in capsys.readouterr().err
+
+    def test_serve_registers_and_listens(self, staples_csv):
+        """Drive _run_serve's setup path, then shut the server down."""
+        import threading
+
+        from repro.cli import build_parser, _run_serve
+        from repro.engine import SerialEngine
+        import repro.cli as cli_module
+        import repro.service.http as http_module
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--csv", f"staples={staples_csv}"]
+        )
+        started = threading.Event()
+        captured = {}
+        original = http_module.ServiceHTTPServer.serve_forever
+
+        def fake_serve_forever(self, poll_interval=0.5):
+            captured["server"] = self
+            started.set()
+
+        assert cli_module.make_server is http_module.make_server
+        http_module.ServiceHTTPServer.serve_forever = fake_serve_forever
+        try:
+            code = _run_serve(args, SerialEngine())
+        finally:
+            http_module.ServiceHTTPServer.serve_forever = original
+        assert code == 0
+        assert started.is_set()
+        service = captured["server"].service
+        assert service.registry.names() == ["staples"]
