@@ -29,7 +29,8 @@ bench:
 	REPRO_BENCH_SCALE=$(or $(REPRO_BENCH_SCALE),0.25) \
 		python -m pytest -q \
 			benchmarks/bench_engine_scaling.py \
-			benchmarks/bench_service_throughput.py
+			benchmarks/bench_service_throughput.py \
+			benchmarks/bench_dataset_plane.py
 
 gate:
 	python scripts/check_bench_regression.py
@@ -40,6 +41,7 @@ gate:
 regen-baseline: bench
 	cp benchmarks/results/BENCH_engine.json \
 	   benchmarks/results/BENCH_service.json \
+	   benchmarks/results/BENCH_kernels.json \
 	   benchmarks/baselines/
 	@echo "baselines updated; commit benchmarks/baselines/*.json"
 

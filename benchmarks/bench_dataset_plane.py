@@ -1,0 +1,215 @@
+"""Dataset plane + grouped contingency kernel (BENCH_kernels.json).
+
+Two measurements back the PR-3 performance claims:
+
+* **Task dispatch** -- an engine fan-out over the 4-attribute flights
+  workload, once with tasks embedding the full ``Table`` (the pre-plane
+  transport) and once with tasks carrying a published ``TableRef``.
+  Records wall time per fan-out and the pickled payload per task; the
+  bytes ratio is asserted >= 10x (it is deterministic, not a timing).
+* **Grouped kernel** -- ``conditional_contingencies`` via the single-pass
+  ``(z, x, y)`` bincount kernel vs the per-group scan, across conditioning
+  group counts.  Under ``REPRO_BENCH_STRICT=1`` the kernel must be >= 3x
+  faster at >= 1000 groups (the wide-Z regime group sampling targets).
+
+Emits ``BENCH_kernels.json`` with calibration + workload metadata for
+``scripts/check_bench_regression.py``.  Parallel (jobs=2) dispatch rows
+gate only on runners whose ``cpu_count`` matches the committed baseline;
+the single-threaded kernel rows gate everywhere via calibration
+normalization.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+
+import numpy as np
+from conftest import bench_scale, scaled, write_bench_json
+
+from repro.datasets.flights import flight_data
+from repro.engine import ParallelEngine, resolve_table
+from repro.relation.table import Table
+from repro.stats.contingency import (
+    _conditional_contingencies_scan,
+    conditional_contingencies,
+)
+
+#: Fan-out shape for the dispatch comparison (tasks per map call).
+DISPATCH_TASKS = 32
+DISPATCH_JOBS = 2
+
+#: (label, z-column cardinalities) for the kernel comparison; observed
+#: group counts land near the cardinality product.
+KERNEL_CASES = (
+    ("g32", (32,)),
+    ("g1024", (32, 32)),
+    ("g4096", (64, 64)),
+)
+
+
+def _calibration_seconds() -> float:
+    """Time a fixed numpy workload to normalize cross-machine timings."""
+    rng = np.random.default_rng(0)
+    matrix = rng.random((400, 400))
+    start = time.perf_counter()
+    for _ in range(20):
+        matrix = np.tanh(matrix @ matrix.T / 400.0)
+    return time.perf_counter() - start
+
+
+def _dispatch_task(task):
+    """Minimal engine task: resolve the handle, touch one column."""
+    handle, column = task
+    table = resolve_table(handle)
+    return int(table.codes(column)[0])
+
+
+def test_dispatch_payloads(benchmark, report_sink):
+    table = flight_data(n_rows=scaled(50000, minimum=5000), seed=7).project(
+        ["Carrier", "Airport", "Year", "Delayed"]
+    )
+    benchmark.group = "dataset_plane"
+
+    def fan_out(handle):
+        with ParallelEngine(jobs=DISPATCH_JOBS, min_tasks=1) as engine:
+            tasks = [(handle, "Carrier")] * DISPATCH_TASKS
+            engine.map(_dispatch_task, tasks)  # warm the pool (fork cost)
+            start = time.perf_counter()
+            engine.map(_dispatch_task, tasks)
+            return time.perf_counter() - start
+
+    table_seconds = benchmark.pedantic(lambda: fan_out(table), rounds=1)
+
+    with ParallelEngine(jobs=DISPATCH_JOBS, min_tasks=1) as publisher:
+        ref = publisher.publish(table)
+        ref_bytes = len(pickle.dumps((ref, "Carrier")))
+        table_bytes = len(pickle.dumps((table, "Carrier")))
+        tasks = [(ref, "Carrier")] * DISPATCH_TASKS
+        publisher.map(_dispatch_task, tasks)  # warm pool + resident tables
+        start = time.perf_counter()
+        publisher.map(_dispatch_task, tasks)
+        ref_seconds = time.perf_counter() - start
+
+    rows = [
+        {
+            "engine": "dispatch_table",
+            "jobs": DISPATCH_JOBS,
+            "seconds": table_seconds,
+            "bytes_per_task": table_bytes,
+        },
+        {
+            "engine": "dispatch_ref",
+            "jobs": DISPATCH_JOBS,
+            "seconds": ref_seconds,
+            "bytes_per_task": ref_bytes,
+        },
+    ]
+    for row in rows:
+        report_sink(
+            "dataset_plane",
+            f"{row['engine']:<15s} jobs={row['jobs']}  "
+            f"{row['seconds']:8.3f}s  {row['bytes_per_task']:>10d} B/task",
+        )
+    ratio = table_bytes / ref_bytes
+    report_sink("dataset_plane", f"payload reduction: {ratio:.0f}x fewer bytes/task")
+    assert ratio >= 10.0, (
+        f"TableRef payload only {ratio:.1f}x smaller than table payload"
+    )
+    _merge_payload(rows)
+
+
+def test_grouped_kernel(benchmark, report_sink):
+    rng = np.random.default_rng(23)
+    n = scaled(120000, minimum=30000)
+    repeats = 12
+    benchmark.group = "dataset_plane"
+
+    def measure_all():
+        rows = []
+        speedups: dict[str, float] = {}
+        for label, cardinalities in KERNEL_CASES:
+            columns = {
+                "X": rng.integers(0, 4, n).tolist(),
+                "Y": rng.integers(0, 3, n).tolist(),
+            }
+            z = tuple(f"Z{index}" for index in range(len(cardinalities)))
+            for name, cardinality in zip(z, cardinalities):
+                columns[name] = rng.integers(0, cardinality, n).tolist()
+            table = Table.from_columns(columns)
+            n_groups = table.n_groups(z)
+
+            def run(fn):
+                result = None
+                start = time.perf_counter()
+                for _ in range(repeats):
+                    result = fn(table, "X", "Y", z)
+                return time.perf_counter() - start, result
+
+            scan_seconds, scan_groups = run(_conditional_contingencies_scan)
+            kernel_seconds, kernel_groups = run(conditional_contingencies)
+            assert len(scan_groups) == len(kernel_groups) == n_groups
+            assert all(
+                np.array_equal(fast.matrix, reference.matrix)
+                for fast, reference in zip(kernel_groups, scan_groups)
+            )
+            speedup = (
+                scan_seconds / kernel_seconds if kernel_seconds > 0 else float("inf")
+            )
+            speedups[label] = speedup
+            rows.append(
+                {
+                    "engine": f"kernel_scan_{label}",
+                    "jobs": 1,
+                    "seconds": scan_seconds,
+                    "groups": n_groups,
+                }
+            )
+            rows.append(
+                {
+                    "engine": f"kernel_grouped_{label}",
+                    "jobs": 1,
+                    "seconds": kernel_seconds,
+                    "groups": n_groups,
+                }
+            )
+            report_sink(
+                "dataset_plane",
+                f"{label:<6s} groups={n_groups:<6d} scan={scan_seconds:7.3f}s  "
+                f"grouped={kernel_seconds:7.3f}s  speedup={speedup:.1f}x",
+            )
+        return rows, speedups
+
+    rows, speedups = benchmark.pedantic(measure_all, rounds=1)
+
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        wide = min(speedups["g1024"], speedups["g4096"])
+        assert wide >= 3.0, (
+            f"grouped kernel only {wide:.1f}x faster than the per-group scan "
+            f"at >=1000 groups"
+        )
+    _merge_payload(rows)
+
+
+# ----------------------------------------------------------------------
+
+
+_ROWS: list[dict] = []
+
+
+def _merge_payload(rows: list[dict]) -> None:
+    """Accumulate rows from both tests into one BENCH_kernels.json."""
+    _ROWS.extend(rows)
+    payload = {
+        "benchmark": "dataset_plane",
+        "workload": {
+            "dispatch_tasks": DISPATCH_TASKS,
+            "kernel_cases": [label for label, _ in KERNEL_CASES],
+            "scale": bench_scale(),
+        },
+        "cpu_count": os.cpu_count(),
+        "calibration_seconds": _calibration_seconds(),
+        "results": list(_ROWS),
+    }
+    write_bench_json("kernels", payload)

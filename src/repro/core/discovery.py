@@ -27,7 +27,13 @@ from dataclasses import dataclass, field
 
 from repro.causal.growshrink import grow_shrink_markov_blanket
 from repro.core.fd import DependencyReport, LogicalDependencyFilter
-from repro.engine import ExecutionEngine, SerialEngine, resolve_engine, spawn_seeds
+from repro.engine import (
+    ExecutionEngine,
+    SerialEngine,
+    resolve_engine,
+    resolve_table,
+    spawn_seeds,
+)
 from repro.relation.table import Table
 from repro.stats.base import DEFAULT_ALPHA, CITest
 from repro.utils.subsets import bounded_subsets
@@ -159,21 +165,28 @@ class CovariateDiscoverer:
         mb_t = sorted(self._blanket(table, treatment, universe))
         boundaries: dict[str, tuple[str, ...]] = {}
 
-        extended_universe = list(dict.fromkeys(list(universe) + [treatment]))
-        boundary_tasks = [
-            (table, z, extended_universe, self._blanket_algorithm,
-             self.alpha, self.max_blanket, clone)
-            for z, clone in zip(mb_t, self._spawn_tests(len(mb_t)))
-        ]
-        for z, mb_z, counters in self.engine.map(_boundary_task, boundary_tasks):
-            boundaries[z] = tuple(sorted(mb_z))
-            self.test.absorb_counters(counters)
-        if self.symmetry_correction:
-            mb_t = [z for z in mb_t if treatment in boundaries[z]]
-        boundaries[treatment] = tuple(mb_t)
+        # Publish the table on the dataset plane once for the whole
+        # discovery: every fan-out below ships a cheap handle instead of
+        # re-pickling the code arrays per chunk.
+        handle = self.engine.publish(table)
+        try:
+            extended_universe = list(dict.fromkeys(list(universe) + [treatment]))
+            boundary_tasks = [
+                (handle, z, extended_universe, self._blanket_algorithm,
+                 self.alpha, self.max_blanket, clone)
+                for z, clone in zip(mb_t, self._spawn_tests(len(mb_t)))
+            ]
+            for z, mb_z, counters in self.engine.map(_boundary_task, boundary_tasks):
+                boundaries[z] = tuple(sorted(mb_z))
+                self.test.absorb_counters(counters)
+            if self.symmetry_correction:
+                mb_t = [z for z in mb_t if treatment in boundaries[z]]
+            boundaries[treatment] = tuple(mb_t)
 
-        collected = self._phase_one(table, treatment, mb_t, boundaries)
-        parents = self._phase_two(table, treatment, mb_t, collected)
+            collected = self._phase_one(handle, treatment, mb_t, boundaries)
+            parents = self._phase_two(handle, treatment, mb_t, collected)
+        finally:
+            self.engine.release(handle)
 
         used_fallback = False
         if not parents:
@@ -220,7 +233,7 @@ class CovariateDiscoverer:
 
     def _phase_one(
         self,
-        table: Table | None,
+        handle,
         treatment: str,
         mb_t: list[str],
         boundaries: dict[str, tuple[str, ...]],
@@ -242,7 +255,7 @@ class CovariateDiscoverer:
             base = [name for name in boundaries[z] if name != treatment]
             witnesses = [w for w in mb_t if w != z]
             tasks.append(
-                (table, treatment, z, base, witnesses,
+                (handle, treatment, z, base, witnesses,
                  self.max_cond_size, self.alpha, self.collider_alpha, clone)
             )
         collected: set[str] = set()
@@ -254,7 +267,7 @@ class CovariateDiscoverer:
 
     def _phase_two(
         self,
-        table: Table | None,
+        handle,
         treatment: str,
         mb_t: list[str],
         collected: set[str],
@@ -262,7 +275,7 @@ class CovariateDiscoverer:
         """Discard candidates separable from T (Alg. 1 l.9-11)."""
         candidates = sorted(collected)
         tasks = [
-            (table, treatment, candidate,
+            (handle, treatment, candidate,
              [name for name in mb_t if name != candidate],
              self.max_cond_size, self.alpha, clone)
             for candidate, clone in zip(candidates, self._spawn_tests(len(candidates)))
@@ -282,7 +295,8 @@ class CovariateDiscoverer:
 
 def _boundary_task(task):
     """Compute the Markov boundary of one node with a cloned test."""
-    table, target, universe, blanket_algorithm, alpha, max_blanket, test = task
+    handle, target, universe, blanket_algorithm, alpha, max_blanket, test = task
+    table = resolve_table(handle)
     boundary = blanket_algorithm(
         table,
         target,
@@ -296,7 +310,8 @@ def _boundary_task(task):
 
 def _phase_one_task(task):
     """Search S ⊆ MB(Z) - {T} and W with (Z ⊥ W | S) ∧ (Z ⊥̸ W | S ∪ {T})."""
-    table, treatment, z, base, witnesses, max_cond_size, alpha, collider_alpha, test = task
+    handle, treatment, z, base, witnesses, max_cond_size, alpha, collider_alpha, test = task
+    table = resolve_table(handle)
     for subset in bounded_subsets(base, max_cond_size):
         for w in witnesses:
             if w in subset:
@@ -317,7 +332,8 @@ def _phase_one_task(task):
 
 def _phase_two_task(task):
     """Decide whether some subset of MB(T) separates one candidate from T."""
-    table, treatment, candidate, base, max_cond_size, alpha, test = task
+    handle, treatment, candidate, base, max_cond_size, alpha, test = task
+    table = resolve_table(handle)
     for subset in bounded_subsets(base, max_cond_size):
         result = test.test(table, treatment, candidate, subset)
         if result.independent(alpha):

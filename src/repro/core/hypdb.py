@@ -45,7 +45,13 @@ from repro.core.fd import LogicalDependencyFilter
 from repro.core.query import GroupByQuery, QueryContext
 from repro.core.report import BiasReport, ContextReport, EffectEstimate, Timings
 from repro.core.rewrite import NoOverlapError, direct_effect, total_effect
-from repro.engine import ExecutionEngine, SerialEngine, resolve_engine, spawn_seeds
+from repro.engine import (
+    ExecutionEngine,
+    SerialEngine,
+    resolve_engine,
+    resolve_table,
+    spawn_seeds,
+)
 from repro.relation.table import Table
 from repro.stats.base import DEFAULT_ALPHA, CIResult, CITest
 from repro.stats.hybrid import HybridTest
@@ -240,9 +246,12 @@ class HypDB:
         # (CPU work), not wall clock.
         contexts = query.contexts(self.table, filtered=self._filtered(query.where))
         seeds = spawn_seeds(self.test.draw_entropy(), len(contexts))
+        # Each context's table is published on the dataset plane once per
+        # analyze; the task tuples carry O(1) handles, not code arrays.
+        handles = [self.engine.publish(context.table) for context in contexts]
         tasks = [
             (
-                context.table,
+                handle,
                 query.treatment,
                 z,
                 m,
@@ -254,7 +263,7 @@ class HypDB:
                 self.estimator,
                 self.test.spawn_worker(seed, engine=SerialEngine()),
             )
-            for context, seed in zip(contexts, seeds)
+            for handle, seed in zip(handles, seeds)
         ]
         balances_total: list[BalanceResult | None] = []
         balances_direct: list[BalanceResult | None] = []
@@ -262,7 +271,12 @@ class HypDB:
         fine_per_context = []
         detection_seconds = discovery_seconds
         explanation_seconds = 0.0
-        for context, outcome in zip(contexts, self.engine.map(_context_analysis_task, tasks)):
+        try:
+            outcomes = self.engine.map(_context_analysis_task, tasks)
+        finally:
+            for handle in handles:
+                self.engine.release(handle)
+        for context, outcome in zip(contexts, outcomes):
             balance_total, balance_direct, coarse, fine, det_s, exp_s, counters, caches = outcome
             balances_total.append(balance_total)
             balances_direct.append(balance_direct)
@@ -448,10 +462,13 @@ def _context_analysis_task(task):
 
     Returns the balance verdicts, explanations, per-phase seconds, the
     clone's counter snapshot, and the entropy caches the worker built on
-    its copy of the context table (merged back by the parent).
+    its (worker-resident) copy of the context table -- merged back by the
+    parent.  The context table arrives as a dataset-plane handle; a
+    worker that sees the same fingerprint across tasks reuses one
+    resident instance, so its entropy memos stay warm between tasks.
     """
     (
-        table,
+        handle,
         treatment,
         z,
         m,
@@ -463,6 +480,7 @@ def _context_analysis_task(task):
         estimator,
         test,
     ) = task
+    table = resolve_table(handle)
     detection_start = time.perf_counter()
     balance_total = (
         detect_bias(table, treatment, z, test, alpha) if z else None

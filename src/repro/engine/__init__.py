@@ -8,6 +8,7 @@ bit-identical across engines and worker counts, and
 from __future__ import annotations
 
 from repro.engine.base import ExecutionEngine, chunked, default_chunk_size
+from repro.engine.dataplane import TableRef, resolve_table
 from repro.engine.parallel import ParallelEngine
 from repro.engine.seeds import draw_entropy, spawn_seeds
 from repro.engine.serial import SerialEngine
@@ -16,10 +17,12 @@ __all__ = [
     "ExecutionEngine",
     "ParallelEngine",
     "SerialEngine",
+    "TableRef",
     "chunked",
     "default_chunk_size",
     "draw_entropy",
     "resolve_engine",
+    "resolve_table",
     "spawn_seeds",
 ]
 

@@ -56,6 +56,22 @@ class ExecutionEngine:
         """
         raise NotImplementedError
 
+    def publish(self, table):
+        """Make ``table`` worker-resident; returns the handle tasks carry.
+
+        The in-process default is the identity: the table itself is the
+        cheapest possible handle when tasks never cross a process
+        boundary.  :class:`~repro.engine.parallel.ParallelEngine`
+        overrides this to return a :class:`~repro.engine.dataplane.TableRef`
+        so chunk submissions ship O(1) bytes instead of the code arrays.
+        Task functions materialize either form with
+        :func:`repro.engine.dataplane.resolve`.
+        """
+        return table
+
+    def release(self, handle) -> None:
+        """Drop a handle returned by :meth:`publish` (no-op in-process)."""
+
     def close(self) -> None:
         """Release worker resources (idempotent; the engine stays usable)."""
 

@@ -1,0 +1,357 @@
+"""The dataset plane: worker-resident tables behind content fingerprints.
+
+Before this module existed, every engine task that needed data embedded the
+full :class:`~repro.relation.table.Table`, so each chunk submission
+re-pickled all ``int64`` code arrays through the IPC pipe -- O(rows x cols
+x 8 B) per chunk.  The dataset plane inverts that: the parent *publishes* a
+table once, workers keep it *resident*, and tasks carry a
+:class:`TableRef` -- a few hundred bytes of fingerprint plus schema --
+instead of the data.  This mirrors how the paper's in-database execution
+avoids shipping data to the algorithm: keep the data where the work
+happens, move only handles and summaries.
+
+Publication transports, in order of preference:
+
+1. **Shared memory** -- the parent copies the code arrays into one
+   ``multiprocessing.shared_memory`` segment per table; workers attach by
+   name (lazily, on first resolve) and wrap zero-copy numpy views.  Works
+   for any start method and for tables published after the pool started.
+2. **Fork inheritance** -- with the ``fork`` start method (the Linux
+   default), the parent-side registry is visible to children created after
+   publication at no cost (copy-on-write).
+3. **Pickle-once worker cache** -- when shared memory is unavailable, the
+   engine ships the registry's fallback tables through the pool
+   *initializer*: one pickle per worker process, not one per chunk.
+   Fallback publications bump a generation counter so an already-running
+   pool is recreated before its next map (publish once per pool).
+
+Every transport is invisible to results: :func:`resolve` hands back a
+table with identical content (and, in the parent process, the *identical
+instance*), and no RNG is consumed anywhere, so p-values, reports, and
+discovered covariates are byte-identical to in-task table shipping for
+every engine and worker count.
+
+Cleanup: segments are reference-counted per fingerprint.  Engines release
+what they published on ``close()`` and an ``atexit`` hook unlinks
+anything left, guarded by the creating PID so forked workers can never
+unlink the parent's segments (and the resource tracker stays quiet).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.relation.table import Table
+
+__all__ = ["TableRef", "publish", "release", "resolve_table"]
+
+#: Attach-resolved tables a worker keeps resident before evicting the
+#: oldest.  Each entry pins its table object, its entropy memos, and its
+#: shared-memory mapping, so an unbounded cache would grow a long-lived
+#: service's workers forever as distinct datasets / query contexts stream
+#: through.  Parent-side publications are refcounted and never evicted.
+WORKER_CACHE_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A cheap, picklable handle to a published table.
+
+    The pickled form is O(1) -- a fingerprint, a segment name, and three
+    integers.  The schema (column names and domains, which for key-like
+    columns are as large as the data) travels inside the shared-memory
+    segment, pickled once at publication, never per task.
+    """
+
+    fingerprint: str
+    n_rows: int
+    n_cols: int
+    segment: str | None  # shared-memory name; None = registry-only transport
+    schema_bytes: int  # pickled-schema length at the tail of the segment
+
+
+class _Registry:
+    """Process-local state of the plane (one instance per process).
+
+    A forked worker inherits the parent's instance contents (cheap,
+    copy-on-write); a spawned worker starts empty and is filled by the
+    pool initializer plus lazy shared-memory attaches.
+    """
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.tables: dict[str, Table] = {}  # fingerprint -> resident table
+        self.refs: dict[str, TableRef] = {}
+        self.refcounts: dict[str, int] = {}
+        self.segments: dict[str, Any] = {}  # created segments (this process)
+        self.attached: dict[str, Any] = {}  # attached segments, resolution order
+        self.pinned: list[Any] = []  # evicted handles whose buffers escaped
+        self.owner_pid: dict[str, int] = {}
+        self.fallback_generation = 0
+
+
+_registry = _Registry()
+
+
+def publish(table: Table) -> TableRef:
+    """Make ``table`` resident and return its :class:`TableRef`.
+
+    Idempotent per content: publishing an equal-content table again (from
+    any caller) bumps a reference count and returns the existing handle.
+    Callers release what they publish; see :func:`release`.
+    """
+    fingerprint = table.fingerprint()
+    with _registry.lock:
+        existing = _registry.refs.get(fingerprint)
+        if existing is not None:
+            _registry.refcounts[fingerprint] += 1
+            return existing
+        segment_name, schema_bytes = _create_segment(fingerprint, table)
+        ref = TableRef(
+            fingerprint=fingerprint,
+            n_rows=table.n_rows,
+            n_cols=len(table.columns),
+            segment=segment_name,
+            schema_bytes=schema_bytes,
+        )
+        _registry.tables[fingerprint] = table
+        _registry.refs[fingerprint] = ref
+        _registry.refcounts[fingerprint] = 1
+        if segment_name is None:
+            # Registry-only tables reach workers by fork inheritance or
+            # the pool initializer; a live pool predates this publication
+            # and must be recreated (ParallelEngine watches this counter).
+            _registry.fallback_generation += 1
+        return ref
+
+
+def release(ref: TableRef) -> None:
+    """Drop one reference to a published table; evict and unlink at zero."""
+    with _registry.lock:
+        count = _registry.refcounts.get(ref.fingerprint)
+        if count is None:
+            return
+        if count > 1:
+            _registry.refcounts[ref.fingerprint] = count - 1
+            return
+        _registry.refcounts.pop(ref.fingerprint, None)
+        _registry.refs.pop(ref.fingerprint, None)
+        _registry.tables.pop(ref.fingerprint, None)
+        _destroy_segment(ref.fingerprint)
+
+
+def resolve_table(handle: "Table | TableRef | None") -> "Table | None":
+    """Materialize a task payload's table handle.
+
+    ``None`` and plain tables pass through (the serial transport embeds
+    the instance itself).  A :class:`TableRef` resolves, in order, to the
+    process-local registry (the parent and fork-inherited workers hit
+    this for free), the worker's resolved cache, or a fresh zero-copy
+    attach of the shared-memory segment.
+    """
+    if handle is None or isinstance(handle, Table):
+        return handle
+    table = _registry.tables.get(handle.fingerprint)
+    if table is not None:
+        return table
+    with _registry.lock:
+        table = _registry.tables.get(handle.fingerprint)
+        if table is not None:
+            return table
+        if handle.segment is None:
+            raise RuntimeError(
+                f"table {handle.fingerprint[:12]} is not resident in this process "
+                "and has no shared-memory segment; was it released before its "
+                "tasks ran?"
+            )
+        table = _attach_segment(handle)
+        # Cache by fingerprint: content-addressing makes the cache immune
+        # to republication (a new segment for the same fingerprint holds
+        # identical bytes), and the table's entropy memos stay warm across
+        # every task this worker runs against it.
+        _registry.tables[handle.fingerprint] = table
+        _evict_worker_cache()
+        return table
+
+
+def _evict_worker_cache() -> None:
+    """Drop the oldest attach-resolved tables past ``WORKER_CACHE_LIMIT``.
+
+    Only entries this process *attached* are candidates (``attached``
+    insertion order is resolution order); publications it owns are
+    refcounted elsewhere.  Dropping the table destroys the numpy views,
+    so the mapping can close and actually return its pages -- unless some
+    live object still borrows the buffer, in which case ``close`` raises
+    ``BufferError`` and the entry is kept for a later attempt.
+    """
+    for fingerprint in list(_registry.attached):
+        if len(_registry.attached) <= WORKER_CACHE_LIMIT:
+            return
+        segment = _registry.attached.pop(fingerprint)
+        table = _registry.tables.pop(fingerprint, None)
+        del table
+        try:
+            segment.close()
+        except BufferError:
+            # A view still escapes (e.g. a projection created by earlier
+            # work).  Pin the handle for the process lifetime instead of
+            # risking a noisy close in __del__ later; the mapping stays,
+            # which is exactly the pre-eviction behavior.
+            _registry.pinned.append(segment)
+
+
+def fallback_generation() -> int:
+    """Counter of registry-only publications (pool-recreate signal)."""
+    with _registry.lock:
+        return _registry.fallback_generation
+
+
+def fallback_payload() -> bytes | None:
+    """Pickled registry-only tables for a pool initializer (or ``None``).
+
+    Pickled once here, shipped once per worker at pool start -- never per
+    task.  Only used by non-fork start methods; fork workers inherit the
+    registry directly.
+    """
+    with _registry.lock:
+        tables = {
+            fingerprint: table
+            for fingerprint, table in _registry.tables.items()
+            if _registry.refs[fingerprint].segment is None
+        }
+    if not tables:
+        return None
+    return pickle.dumps(tables, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def install_payload(payload: bytes | None) -> None:
+    """Worker-side pool initializer: make fallback tables resident."""
+    if payload is None:
+        return
+    for fingerprint, table in pickle.loads(payload).items():
+        _registry.tables.setdefault(fingerprint, table)
+
+
+def resident_count() -> int:
+    """Number of tables resident in this process (instrumentation)."""
+    with _registry.lock:
+        return len(_registry.tables)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory transport
+# ----------------------------------------------------------------------
+
+
+def _create_segment(fingerprint: str, table: Table) -> tuple[str | None, int]:
+    """Copy code arrays + pickled schema into one shared-memory segment.
+
+    Layout: ``n_cols`` contiguous ``int64`` rows of length ``n_rows``,
+    followed by the pickled ``(columns, domains)`` pair.  Returns
+    ``(segment name, schema length)``, or ``(None, 0)`` when shared memory
+    is unavailable (no ``/dev/shm``, exotic platforms) or the table is
+    empty -- the registry-only transport covers those.
+    """
+    n_rows = table.n_rows
+    n_cols = len(table.columns)
+    if n_rows == 0 or n_cols == 0:
+        return None, 0
+    schema = pickle.dumps(
+        (table.columns, tuple(table.domain(name) for name in table.columns)),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    codes_bytes = n_rows * n_cols * np.dtype(np.int64).itemsize
+    try:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(
+            create=True, size=codes_bytes + len(schema)
+        )
+    except (ImportError, OSError):
+        return None, 0
+    buffer = np.ndarray((n_cols, n_rows), dtype=np.int64, buffer=segment.buf)
+    for position, name in enumerate(table.columns):
+        buffer[position] = table.codes(name)
+    segment.buf[codes_bytes : codes_bytes + len(schema)] = schema
+    _registry.segments[fingerprint] = segment
+    _registry.owner_pid[fingerprint] = os.getpid()
+    return segment.name, len(schema)
+
+
+def _attach_segment(ref: TableRef) -> Table:
+    """Worker-side zero-copy attach: shared buffer -> immutable Table."""
+    segment = _attach_untracked(ref.segment)
+    stride = ref.n_rows * np.dtype(np.int64).itemsize
+    codes_bytes = ref.n_cols * stride
+    columns, domains = pickle.loads(
+        bytes(segment.buf[codes_bytes : codes_bytes + ref.schema_bytes])
+    )
+    codes: dict[str, np.ndarray] = {}
+    for position, name in enumerate(columns):
+        view = np.ndarray(
+            (ref.n_rows,), dtype=np.int64, buffer=segment.buf, offset=position * stride
+        )
+        view.flags.writeable = False
+        codes[name] = view
+    # Keep the handle open for the worker's lifetime: the numpy views
+    # reference its buffer, and closing a mapping with exported pointers
+    # raises BufferError.  The parent owns unlinking.
+    _registry.attached[ref.fingerprint] = segment
+    return Table(codes, dict(zip(columns, domains)))
+
+
+def _attach_untracked(name: str):
+    """Attach a shared-memory segment without resource-tracker tracking.
+
+    Only the *creating* process may own cleanup: a worker that registers
+    an attach-only handle with its resource tracker would (a) warn about a
+    "leaked" segment at exit and (b), under spawn start methods, have its
+    tracker *unlink the parent's live segment* -- the cpython gh-82300
+    double-tracking hazard.  Python 3.13 exposes ``track=False`` for
+    exactly this; for 3.10-3.12 the documented workaround is suppressing
+    ``resource_tracker.register`` around the attach (workers are
+    single-threaded, so the swap cannot race).
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _destroy_segment(fingerprint: str) -> None:
+    segment = _registry.segments.pop(fingerprint, None)
+    owner = _registry.owner_pid.pop(fingerprint, None)
+    if segment is None or owner != os.getpid():
+        # Forked children inherit the parent's bookkeeping; only the
+        # creating process may unlink.
+        return
+    try:
+        segment.close()
+        segment.unlink()
+    except (FileNotFoundError, OSError):
+        pass
+
+
+@atexit.register
+def _cleanup_at_exit() -> None:
+    """Unlink every segment this process created and never released."""
+    with _registry.lock:
+        for fingerprint in list(_registry.segments):
+            _destroy_segment(fingerprint)

@@ -18,10 +18,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any
 
+from repro.engine import dataplane
 from repro.engine.base import ExecutionEngine, chunked, default_chunk_size
 
 
@@ -77,10 +79,59 @@ class ParallelEngine(ExecutionEngine):
         self._min_tasks = min_tasks
         self._start_method = start_method
         self._pool: ProcessPoolExecutor | None = None
+        # Dataset-plane bookkeeping: [ref, publish count] per fingerprint
+        # (released on close), and which fallback generation the current
+        # pool was created against.  One engine is shared by all service
+        # request threads, so the bookkeeping and the pool lifecycle are
+        # guarded by a lock (ProcessPoolExecutor.submit itself is
+        # thread-safe).
+        self._published: dict[str, list] = {}
+        self._pool_generation = dataplane.fallback_generation()
+        self._lock = threading.Lock()
+        # Pool-recreation coordination: maps in flight on the current
+        # pool; recreation (fallback-generation bump) waits for zero so a
+        # pool is never shut down under a thread still submitting to it.
+        self._active_maps = 0
+        self._no_active_maps = threading.Condition(self._lock)
 
     @property
     def jobs(self) -> int:
         return self._jobs
+
+    # ------------------------------------------------------------------
+    # Dataset plane
+    # ------------------------------------------------------------------
+
+    def publish(self, table):
+        """Publish ``table`` on the dataset plane; tasks carry the ref.
+
+        Empty tables stay inline (their pickles are already O(1)).  The
+        engine remembers its publications and releases them on
+        :meth:`close`, so callers that forget to release never leak
+        shared-memory segments past the engine's lifetime.
+        """
+        if table is None or table.n_rows == 0 or not table.columns:
+            return table
+        with self._lock:
+            ref = dataplane.publish(table)
+            entry = self._published.get(ref.fingerprint)
+            if entry is None:
+                self._published[ref.fingerprint] = [ref, 1]
+            else:
+                entry[1] += 1
+            return ref
+
+    def release(self, handle) -> None:
+        if not isinstance(handle, dataplane.TableRef):
+            return
+        with self._lock:
+            entry = self._published.get(handle.fingerprint)
+            if entry is None:
+                return
+            entry[1] -= 1
+            if entry[1] <= 0:
+                del self._published[handle.fingerprint]
+            dataplane.release(handle)
 
     # ------------------------------------------------------------------
 
@@ -97,16 +148,30 @@ class ParallelEngine(ExecutionEngine):
             return [fn(task) for task in tasks]
         size = chunk_size or self._chunk_size or default_chunk_size(len(tasks), self._jobs)
         batches = chunked(tasks, size)
-        futures = [self._executor().submit(_run_batch, fn, batch) for batch in batches]
-        results: list = []
-        for future in futures:  # submission order == task order
-            results.extend(future.result())
-        return results
+        executor = self._acquire_executor()
+        try:
+            futures = [executor.submit(_run_batch, fn, batch) for batch in batches]
+            results: list = []
+            for future in futures:  # submission order == task order
+                results.extend(future.result())
+            return results
+        finally:
+            self._release_executor()
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
+        with self._lock:
+            pool = self._pool
             self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        # Release any publications the callers themselves never released
+        # (pool first, segments second: workers detach before unlinking).
+        with self._lock:
+            leaked = list(self._published.values())
+            self._published.clear()
+        for ref, count in leaked:
+            for _ in range(count):
+                dataplane.release(ref)
 
     def __del__(self) -> None:
         # A pool left open at interpreter exit races the executor's own
@@ -119,12 +184,57 @@ class ParallelEngine(ExecutionEngine):
 
     # ------------------------------------------------------------------
 
-    def _executor(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self._jobs, mp_context=_pick_context(self._start_method)
-            )
-        return self._pool
+    def _acquire_executor(self) -> ProcessPoolExecutor:
+        """The current pool, with this map registered as in flight.
+
+        Matched by :meth:`_release_executor` in a ``finally``.  When a
+        fallback publication has obsoleted the pool, recreation waits for
+        concurrent maps to drain first -- their tables predate the new
+        publication, so finishing on the old pool is correct, while
+        shutting it down under them would fail their submits.
+        """
+        with self._no_active_maps:
+            generation = dataplane.fallback_generation()
+            while (
+                self._pool is not None
+                and self._pool_generation != generation
+                and self._active_maps > 0
+            ):
+                self._no_active_maps.wait()
+                generation = dataplane.fallback_generation()
+            if self._pool is not None and self._pool_generation != generation:
+                # A table was published without a shared-memory segment
+                # after this pool started; its workers predate the
+                # publication and can never see it.  Recreate the pool so
+                # the data travels once more -- publish once per pool,
+                # never per chunk.
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            if self._pool is None:
+                context = _pick_context(self._start_method)
+                if context.get_start_method() == "fork":
+                    # Fork children inherit the parent registry for free.
+                    payload = None
+                else:
+                    # Spawned workers get the registry-only tables through
+                    # the initializer: pickled once here, shipped once per
+                    # worker.
+                    payload = dataplane.fallback_payload()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._jobs,
+                    mp_context=context,
+                    initializer=dataplane.install_payload,
+                    initargs=(payload,),
+                )
+                self._pool_generation = generation
+            self._active_maps += 1
+            return self._pool
+
+    def _release_executor(self) -> None:
+        with self._no_active_maps:
+            self._active_maps -= 1
+            if self._active_maps == 0:
+                self._no_active_maps.notify_all()
 
     def __getstate__(self) -> dict[str, Any]:
         return {

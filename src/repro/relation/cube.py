@@ -19,7 +19,7 @@ from collections.abc import Sequence
 from itertools import combinations
 from typing import Any
 
-from repro.engine import ExecutionEngine, resolve_engine
+from repro.engine import ExecutionEngine, TableRef, resolve_engine, resolve_table
 from repro.relation.table import Table
 from repro.utils.validation import check_columns_exist
 
@@ -71,15 +71,26 @@ class DataCube:
     def _build(self, table: Table) -> None:
         """Materialize the lattice: finest cuboid from data, rest by roll-up.
 
-        A cuboid over S is the aggregation of the cuboid over S + {a} for
-        any a not in S; we always roll up from a parent one attribute
-        wider, which is the cheapest available.  Levels are processed
-        widest first, and the cuboids within one level fan out as engine
-        tasks (each task ships its parent cuboid and the positions to
-        keep).
+        A cuboid over S is the aggregation of any cuboid over a superset
+        of S.  In process (serial engines) each level rolls up from a
+        parent one attribute wider -- the cheapest available -- widest
+        level first.  Across processes that scheme would ship every parent
+        cuboid to the workers, so a parallel engine instead publishes the
+        *table* on the dataset plane once and fans every non-base cuboid
+        out as one task carrying ``(handle, positions to keep)``: each
+        worker derives the finest cuboid once, keeps it resident, and
+        aggregates all its assigned cuboids from it.  Both schemes sum the
+        same partitions, so the materialized lattice is identical.
         """
         base_key = frozenset(self._attributes)
         self._cuboids[base_key] = table.value_counts(self._attributes)
+        if self._engine.jobs <= 1:
+            self._build_by_rollup()
+        else:
+            self._build_from_plane(table)
+
+    def _build_by_rollup(self) -> None:
+        """In-process scheme: every cuboid from an immediate parent."""
         for size in range(len(self._attributes) - 1, -1, -1):
             subsets = [frozenset(combo) for combo in combinations(self._attributes, size)]
             tasks = []
@@ -92,6 +103,34 @@ class DataCube:
                 tasks.append((self._cuboids[parent], keep_positions))
             for subset, rolled in zip(subsets, self._engine.map(_roll_up_task, tasks)):
                 self._cuboids[subset] = rolled
+
+    def _build_from_plane(self, table: Table) -> None:
+        """Cross-process scheme: all cuboids from worker-resident bases."""
+        handle = self._engine.publish(table)
+        try:
+            subsets = [
+                frozenset(combo)
+                for size in range(len(self._attributes) - 1, -1, -1)
+                for combo in combinations(self._attributes, size)
+            ]
+            tasks = [
+                (
+                    handle,
+                    self._attributes,
+                    [
+                        index
+                        for index, name in enumerate(self._attributes)
+                        if name in subset
+                    ],
+                )
+                for subset in subsets
+            ]
+            for subset, rolled in zip(
+                subsets, self._engine.map(_roll_up_from_base_task, tasks)
+            ):
+                self._cuboids[subset] = rolled
+        finally:
+            self._engine.release(handle)
 
     def _find_parent(self, subset: frozenset[str]) -> frozenset[str]:
         for attribute in self._attributes:
@@ -154,8 +193,45 @@ class DataCube:
 def _roll_up_task(task) -> dict[tuple[Any, ...], int]:
     """Engine task: aggregate one parent cuboid down to a child cuboid."""
     parent_cuboid, keep_positions = task
+    return _aggregate(parent_cuboid, keep_positions)
+
+
+#: Worker-resident base cuboids, keyed by (table fingerprint, attributes).
+#: Bounded: cube builds are rare and workers only ever see a handful of
+#: (table, attribute-set) pairs; the clear keeps a pathological stream of
+#: distinct cubes from pinning worker memory.
+_BASE_CUBOIDS: dict[tuple[str, tuple[str, ...]], dict] = {}
+_BASE_CUBOID_LIMIT = 4
+
+
+def _roll_up_from_base_task(task) -> dict[tuple[Any, ...], int]:
+    """Engine task: aggregate one cuboid from the worker's base cuboid.
+
+    The base (finest) cuboid is derived from the dataset-plane table on
+    first use and kept resident, so a worker pays the O(n) scan once and
+    every task after that is a dict aggregation -- no cuboid ever crosses
+    the process boundary.
+    """
+    handle, attributes, keep_positions = task
+    table = resolve_table(handle)
+    # A TableRef already carries the content fingerprint; only the inline
+    # (plain-table) transport pays the hash, and that memoizes.
+    fingerprint = (
+        handle.fingerprint if isinstance(handle, TableRef) else table.fingerprint()
+    )
+    key = (fingerprint, tuple(attributes))
+    base = _BASE_CUBOIDS.get(key)
+    if base is None:
+        if len(_BASE_CUBOIDS) >= _BASE_CUBOID_LIMIT:
+            _BASE_CUBOIDS.clear()
+        base = table.value_counts(attributes)
+        _BASE_CUBOIDS[key] = base
+    return _aggregate(base, keep_positions)
+
+
+def _aggregate(cuboid: dict, keep_positions: list[int]) -> dict[tuple[Any, ...], int]:
     rolled: dict[tuple[Any, ...], int] = {}
-    for key, count in parent_cuboid.items():
+    for key, count in cuboid.items():
         reduced = tuple(key[position] for position in keep_positions)
         rolled[reduced] = rolled.get(reduced, 0) + count
     return rolled

@@ -13,13 +13,63 @@ the underlying code arrays, so a WHERE clause never copies column data.
 from __future__ import annotations
 
 import csv
+import hashlib
 from collections.abc import Iterable, Mapping, Sequence
 from pathlib import Path
-from typing import Any
+from typing import Any, NamedTuple
 
 import numpy as np
 
 from repro.utils.validation import check_columns_exist
+
+#: Bump when the fingerprint recipe changes; keeps stale disk-cache
+#: entries from older layouts unreachable instead of wrong.
+FINGERPRINT_VERSION = b"hypdb-fp-v1"
+
+#: Cell budget for the single-pass grouped-contingency kernel: tensors
+#: larger than this fall back to the per-group scan (the tensor is dense
+#: over groups x observed-X x observed-Y, so a pathological combination
+#: of wide conditioning sets and high-cardinality X/Y could otherwise
+#: allocate gigabytes for a mostly-empty tensor).
+GROUPED_MAX_CELLS = 1 << 23
+
+#: Dense-packing budget shared with :meth:`Table.joint_counts`: when the
+#: full domain product fits, group codes are derived with pure O(n)
+#: bincount arithmetic (no sort).
+_DENSE_WIDTH = 1 << 22
+
+
+class GroupedContingencies(NamedTuple):
+    """The single-pass grouped contingency summary of ``X x Y | Z``.
+
+    ``tensor[g, i, j]`` counts rows with the g-th observed ``Z`` group,
+    the i-th *observed* ``X`` code and the j-th *observed* ``Y`` code.
+    Groups are ordered by ascending joint ``Z`` code (the same order
+    :meth:`Table.group_indices` produces); ``x_codes`` / ``y_codes`` map
+    tensor axes back to domain codes, ascending.  ``group_rows`` holds one
+    representative row index per group (for decoding ``Z`` labels).
+    """
+
+    tensor: np.ndarray  # (G, r, c) int64 counts
+    group_counts: np.ndarray  # (G,) int64 rows per group
+    group_rows: np.ndarray  # (G,) a representative row index per group
+    x_codes: np.ndarray  # (r,) observed X domain codes, ascending
+    y_codes: np.ndarray  # (c,) observed Y domain codes, ascending
+
+    @property
+    def n_groups(self) -> int:
+        """Observed ``Z`` groups (``|Pi_Z|``)."""
+        return len(self.group_counts)
+
+    @property
+    def n_x(self) -> int:
+        """Observed distinct ``X`` values (``|Pi_X|``)."""
+        return len(self.x_codes)
+
+    @property
+    def n_y(self) -> int:
+        """Observed distinct ``Y`` values (``|Pi_Y|``)."""
+        return len(self.y_codes)
 
 
 class Table:
@@ -38,7 +88,14 @@ class Table:
     :meth:`from_csv` instead of this low-level constructor.
     """
 
-    __slots__ = ("_codes", "_domains", "_columns", "_n_rows", "_entropy_caches")
+    __slots__ = (
+        "_codes",
+        "_domains",
+        "_columns",
+        "_n_rows",
+        "_entropy_caches",
+        "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -62,6 +119,9 @@ class Table:
         # Per-instance memo shared by every EntropyEngine bound to this
         # table (the "caching entropy" optimization of paper Sec. 6).
         self._entropy_caches: dict[str, dict[frozenset[str], float]] = {}
+        # Content fingerprint, hashed lazily on first request (the dataset
+        # plane publishes tables by fingerprint once per analysis).
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -153,8 +213,29 @@ class Table:
     def column(self, column: str) -> list[Any]:
         """The decoded values of ``column`` as a Python list."""
         self._check_columns([column])
-        domain = self._domains[column]
-        return [domain[code] for code in self._codes[column]]
+        return self._domain_array(column)[self._codes[column]].tolist()
+
+    def fingerprint(self) -> str:
+        """SHA-256 content fingerprint of the table (hex digest), memoized.
+
+        Covers column order, per-column domains, and the code arrays
+        themselves, so equal-content tables fingerprint identically
+        regardless of how they were constructed.  Tables are immutable, so
+        the digest is hashed once and cached on the instance; the dataset
+        plane and the service registry both key on it.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(FINGERPRINT_VERSION)
+            for name in self._columns:
+                digest.update(b"\x00c")
+                digest.update(name.encode("utf-8"))
+                digest.update(b"\x00d")
+                digest.update(repr(self._domains[name]).encode("utf-8"))
+                digest.update(b"\x00v")
+                digest.update(np.ascontiguousarray(self._codes[name]).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def numeric(self, column: str) -> np.ndarray:
         """The values of ``column`` as a float array.
@@ -246,13 +327,52 @@ class Table:
         return Table(codes, domains)
 
     def concat(self, other: "Table") -> "Table":
-        """Stack ``other`` below this table (schemas must match by name)."""
+        """Stack ``other`` below this table (schemas must match by name).
+
+        Codes are remapped onto the merged domain of *observed* values
+        (one O(n) vectorized gather per column) instead of decoding both
+        tables to Python lists and re-encoding; the resulting domains and
+        their order are exactly what re-encoding from raw values produces.
+        """
         if set(other.columns) != set(self._columns):
             raise ValueError("cannot concat tables with different column sets")
-        raw = {
-            name: self.column(name) + other.column(name) for name in self._columns
-        }
-        return Table.from_columns(raw)
+        codes: dict[str, np.ndarray] = {}
+        domains: dict[str, tuple[Any, ...]] = {}
+        for name in self._columns:
+            observed = {
+                *self._observed_values(name),
+                *other._observed_values(name),
+            }
+            try:
+                merged = tuple(sorted(observed))
+            except TypeError:
+                merged = tuple(sorted(observed, key=repr))
+            index = {value: position for position, value in enumerate(merged)}
+            codes[name] = np.concatenate(
+                [
+                    self._remap_codes(name, index),
+                    other._remap_codes(name, index),
+                ]
+            )
+            domains[name] = merged
+        return Table(codes, domains)
+
+    def _observed_values(self, column: str) -> list[Any]:
+        """The domain values actually present in ``column`` (domain order)."""
+        domain = self._domains[column]
+        present = np.bincount(self._codes[column], minlength=len(domain)) > 0
+        return [domain[code] for code in np.flatnonzero(present)]
+
+    def _remap_codes(self, column: str, index: Mapping[Any, int]) -> np.ndarray:
+        """Gather ``column``'s codes through a merged-domain index.
+
+        Unobserved domain values map to -1; they are never indexed by a
+        code, so the sentinel stays out of the result.
+        """
+        lookup = np.array(
+            [index.get(value, -1) for value in self._domains[column]], dtype=np.int64
+        )
+        return lookup[self._codes[column]]
 
     def shuffled(self, rng: np.random.Generator) -> "Table":
         """Return a row-permuted copy (used by the naive permutation test)."""
@@ -305,18 +425,31 @@ class Table:
         return packed, width
 
     def value_counts(self, columns: Sequence[str]) -> dict[tuple[Any, ...], int]:
-        """Counts of each observed value combination over ``columns``."""
+        """Counts of each observed value combination over ``columns``.
+
+        Keys are produced in ascending joint-code (lexicographic) order --
+        the same order the previous ``np.unique(axis=0)`` implementation
+        used -- but through :meth:`joint_codes` plus one ``bincount``, so
+        the per-row work is integer arithmetic instead of structured-row
+        comparison.
+        """
         names = tuple(columns)
         self._check_columns(names)
         if not names:
             return {(): self._n_rows}
-        stacked = np.stack([self._codes[name] for name in names], axis=1)
-        unique, counts = np.unique(stacked, axis=0, return_counts=True)
-        result: dict[tuple[Any, ...], int] = {}
-        for row, count in zip(unique, counts):
-            key = tuple(self._domains[name][code] for name, code in zip(names, row))
-            result[key] = int(count)
-        return result
+        if self._n_rows == 0:
+            return {}
+        codes, width = self.joint_codes(names)
+        counts = np.bincount(codes, minlength=width)
+        # Any row of a group decodes to the same key; the scatter keeps the
+        # last row index seen per joint code.
+        representatives = np.empty(width, dtype=np.int64)
+        representatives[codes] = np.arange(self._n_rows, dtype=np.int64)
+        decoded = [
+            self._domain_array(name)[self._codes[name][representatives]]
+            for name in names
+        ]
+        return dict(zip(zip(*decoded), counts.tolist()))
 
     def joint_counts(self, columns: Sequence[str]) -> np.ndarray:
         """Cell counts of the joint distribution over ``columns``.
@@ -331,15 +464,9 @@ class Table:
         self._check_columns(names)
         if not names:
             return np.array([self._n_rows], dtype=np.int64)
-        width = 1
-        for name in names:
-            width *= max(len(self._domains[name]), 1)
-            if width > (1 << 22):
-                break
-        if width <= (1 << 22):
-            packed = self._codes[names[0]]
-            for name in names[1:]:
-                packed = packed * len(self._domains[name]) + self._codes[name]
+        dense = self._dense_packed(names)
+        if dense is not None:
+            packed, width = dense
             return np.bincount(packed, minlength=width)
         codes, observed = self.joint_codes(names)
         return np.bincount(codes, minlength=observed)
@@ -374,6 +501,126 @@ class Table:
             key = tuple(self._domains[name][self._codes[name][first]] for name in names)
             result.append((key, segment))
         return result
+
+    def grouped_contingencies(
+        self,
+        x: str,
+        y: str,
+        z: Sequence[str] = (),
+        max_cells: int = GROUPED_MAX_CELLS,
+    ) -> GroupedContingencies | None:
+        """All per-group ``X x Y`` contingency matrices in one pass.
+
+        Packs ``(z-group, x, y)`` into one joint code and materializes the
+        full ``(G, r, c)`` count tensor with a single ``bincount`` --
+        O(n) work total instead of the O(#groups) interpreter loop of the
+        per-group scan, which is exactly the regime MIT's wide conditioning
+        sets produce (paper Sec. 5).  ``r`` / ``c`` count the values of
+        ``X`` / ``Y`` observed in the whole (sub)population; per-group
+        compression to in-group observed values is a cheap slice of the
+        tensor (see :func:`repro.stats.contingency.conditional_contingencies`).
+
+        Returns ``None`` -- caller falls back to the per-group scan --
+        when the table is empty or the dense tensor would exceed
+        ``max_cells`` cells.
+        """
+        names = (x, y, *z)
+        self._check_columns(names)
+        n = self._n_rows
+        if n == 0:
+            return None
+        group_codes, group_counts, group_rows = self._observed_group_codes(tuple(z))
+        x_codes, x_compressed = self._observed_column_codes(x)
+        y_codes, y_compressed = self._observed_column_codes(y)
+        n_groups = len(group_counts)
+        rows = len(x_codes)
+        cols = len(y_codes)
+        if n_groups * rows * cols > max_cells:
+            return None
+        packed = (group_codes * rows + x_compressed) * cols + y_compressed
+        tensor = np.bincount(packed, minlength=n_groups * rows * cols).reshape(
+            n_groups, rows, cols
+        )
+        return GroupedContingencies(
+            tensor=tensor,
+            group_counts=group_counts,
+            group_rows=group_rows,
+            x_codes=x_codes,
+            y_codes=y_codes,
+        )
+
+    def _observed_group_codes(
+        self, names: tuple[str, ...]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Dense observed-group codes over ``names`` plus counts and reps.
+
+        Returns ``(codes, group_counts, group_rows)`` where ``codes`` maps
+        every row to its group in ``[0, G)``, groups ordered by ascending
+        joint code (identical to :meth:`joint_codes` /
+        :meth:`group_indices` order).  When the full domain product fits
+        the dense budget the codes come from pure bincount arithmetic (no
+        sort); otherwise :meth:`joint_codes` compresses as usual.
+        """
+        n = self._n_rows
+        if not names:
+            return (
+                np.zeros(n, dtype=np.int64),
+                np.array([n], dtype=np.int64),
+                np.zeros(1, dtype=np.int64),
+            )
+        dense = self._dense_packed(names)
+        if dense is not None:
+            packed, width = dense
+            full_counts = np.bincount(packed, minlength=width)
+            present = full_counts > 0
+            remap = np.cumsum(present) - 1
+            codes = remap[packed]
+            group_counts = full_counts[present]
+        else:
+            codes, observed = self.joint_codes(names)
+            group_counts = np.bincount(codes, minlength=observed)
+        group_rows = np.empty(len(group_counts), dtype=np.int64)
+        group_rows[codes] = np.arange(n, dtype=np.int64)
+        return codes, group_counts, group_rows
+
+    def _dense_packed(self, names: tuple[str, ...]) -> tuple[np.ndarray, int] | None:
+        """Full-domain mixed-radix packing over ``names``, or ``None``.
+
+        The O(n) no-sort path shared by :meth:`joint_counts` and
+        :meth:`_observed_group_codes`; declines (``None``) when the domain
+        product exceeds ``_DENSE_WIDTH`` and callers must go through the
+        compressing :meth:`joint_codes` instead.  Packed codes ascend in
+        the same lexicographic order joint codes do.
+        """
+        width = 1
+        for name in names:
+            width *= max(len(self._domains[name]), 1)
+            if width > _DENSE_WIDTH:
+                return None
+        packed = self._codes[names[0]]
+        for name in names[1:]:
+            packed = packed * len(self._domains[name]) + self._codes[name]
+        return packed, width
+
+    def _observed_column_codes(self, column: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(observed domain codes ascending, rows compressed onto them)``."""
+        codes = self._codes[column]
+        present = np.bincount(codes, minlength=len(self._domains[column])) > 0
+        observed = np.flatnonzero(present)
+        remap = np.cumsum(present) - 1
+        return observed.astype(np.int64), remap[codes]
+
+    def _domain_array(self, column: str) -> np.ndarray:
+        """The domain of ``column`` as a 1-D object array (for gathers).
+
+        Built element-by-element so domain values that are themselves
+        sequences never trigger numpy's multi-dimensional inference.
+        """
+        domain = self._domains[column]
+        array = np.empty(len(domain), dtype=object)
+        for position, value in enumerate(domain):
+            array[position] = value
+        return array
 
     def entropy_cache(self, estimator: str) -> dict[frozenset[str], float]:
         """The shared entropy memo for ``estimator`` (see EntropyEngine).

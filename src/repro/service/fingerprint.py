@@ -21,13 +21,14 @@ import json
 from collections.abc import Mapping
 from typing import Any
 
-import numpy as np
+from repro.relation.table import FINGERPRINT_VERSION, Table
 
-from repro.relation.table import Table
-
-#: Bump when the fingerprint recipe changes; keeps stale disk-cache
-#: entries from older layouts unreachable instead of wrong.
-FINGERPRINT_VERSION = b"hypdb-fp-v1"
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "canonical_params",
+    "fingerprint_table",
+    "request_key",
+]
 
 
 def fingerprint_table(table: Table) -> str:
@@ -38,17 +39,12 @@ def fingerprint_table(table: Table) -> str:
     differently from their parent (their row sets or schemas differ), and
     equal-content tables built through different constructors fingerprint
     identically (codes are canonical: domains are sorted at encode time).
+
+    The recipe lives on :meth:`Table.fingerprint` (memoized per instance)
+    so the dataset plane and the registry hash a given table once; this
+    wrapper remains the service-facing entry point.
     """
-    digest = hashlib.sha256()
-    digest.update(FINGERPRINT_VERSION)
-    for name in table.columns:
-        digest.update(b"\x00c")
-        digest.update(name.encode("utf-8"))
-        digest.update(b"\x00d")
-        digest.update(repr(table.domain(name)).encode("utf-8"))
-        digest.update(b"\x00v")
-        digest.update(np.ascontiguousarray(table.codes(name)).tobytes())
-    return digest.hexdigest()
+    return table.fingerprint()
 
 
 def canonical_params(params: Mapping[str, Any]) -> str:

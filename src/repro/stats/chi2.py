@@ -5,6 +5,15 @@ asymptotically chi-squared with ``df = (|Pi_X|-1)(|Pi_Y|-1)|Pi_Z|`` degrees
 of freedom, where ``|Pi_.|`` counts the *observed* distinct values (paper
 Sec. 6).  The approximation is only trustworthy when the sample is large
 relative to ``df`` -- the regime HyMIT routes to this test.
+
+Both the statistic and the degrees of freedom are read off one
+single-pass grouped contingency tensor (:meth:`Table.grouped_contingencies`)
+instead of four separate ``joint_counts`` scans.  The marginal count
+vectors extracted from the tensor list their positive cells in exactly the
+order the old packed count vectors did (x-major, then y, then the joint
+``Z`` code), so every entropy -- and therefore every p-value -- is
+bit-identical to the previous implementation; zero cells never contribute
+(the estimators drop them before summing).
 """
 
 from __future__ import annotations
@@ -12,23 +21,75 @@ from __future__ import annotations
 from scipy import stats as scipy_stats
 
 from repro.infotheory.cache import EntropyEngine
-from repro.relation.table import Table
+from repro.infotheory.entropy import entropy_from_counts
+from repro.relation.table import GroupedContingencies, Table
 from repro.stats.base import CIResult, CITest
 
 
-def degrees_of_freedom(table: Table, x: str, y: str, z: tuple[str, ...]) -> int:
+#: Sentinel for "caller has not attempted the grouped kernel": distinct
+#: from ``None``, which means "attempted and declined" -- passing ``None``
+#: must never trigger a second (equally doomed) kernel pass.
+_ATTEMPT_KERNEL = object()
+
+
+def degrees_of_freedom(
+    table: Table,
+    x: str,
+    y: str,
+    z: tuple[str, ...],
+    grouped: GroupedContingencies | None = None,
+) -> int:
     """``(|Pi_X|-1) * (|Pi_Y|-1) * |Pi_Z|`` over observed values."""
-    n_x = table.n_groups((x,))
-    n_y = table.n_groups((y,))
-    n_z = table.n_groups(z)
+    if grouped is not None:
+        n_x, n_y, n_z = grouped.n_x, grouped.n_y, grouped.n_groups
+    else:
+        n_x = table.n_groups((x,))
+        n_y = table.n_groups((y,))
+        n_z = table.n_groups(z)
     return max(n_x - 1, 0) * max(n_y - 1, 0) * max(n_z, 1)
 
 
-def g_statistic(table: Table, x: str, y: str, z: tuple[str, ...] = ()) -> tuple[float, float]:
-    """Return ``(Î_plugin(X;Y|Z), G = 2 n Î)`` for the table."""
-    engine = EntropyEngine(table, estimator="plugin", caching=False)
-    cmi = engine.mutual_information((x,), (y,), z)
+def g_statistic(
+    table: Table,
+    x: str,
+    y: str,
+    z: tuple[str, ...] = (),
+    grouped=_ATTEMPT_KERNEL,
+) -> tuple[float, float]:
+    """Return ``(Î_plugin(X;Y|Z), G = 2 n Î)`` for the table.
+
+    ``grouped`` lets a caller that already ran the kernel pass its output
+    through: a :class:`GroupedContingencies` is consumed directly, and an
+    explicit ``None`` records "kernel already declined", skipping straight
+    to the entropy scans instead of re-attempting.
+    """
+    if grouped is _ATTEMPT_KERNEL:
+        grouped = table.grouped_contingencies(x, y, z)
+    if grouped is None:
+        # Kernel declined (empty table or over-budget tensor): compute the
+        # four joint entropies by direct scans, as before.
+        engine = EntropyEngine(table, estimator="plugin", caching=False)
+        cmi = engine.mutual_information((x,), (y,), z)
+    else:
+        cmi = _cmi_from_grouped(grouped, bool(z))
     return cmi, 2.0 * table.n_rows * max(cmi, 0.0)
+
+
+def _cmi_from_grouped(grouped: GroupedContingencies, conditioned: bool) -> float:
+    """``H(XZ) + H(YZ) - H(XYZ) - H(Z)`` from the grouped tensor.
+
+    The transposes arrange each marginal's cells in the packed order the
+    direct ``joint_counts`` scans produced (leading variable major, joint
+    ``Z`` code minor), so the plug-in entropies match bit for bit.  With
+    no conditioning set ``H(Z)`` is exactly 0, mirroring
+    ``EntropyEngine.entropy(())``.
+    """
+    tensor = grouped.tensor
+    h_xz = entropy_from_counts(tensor.sum(axis=2).T.ravel(), "plugin")
+    h_yz = entropy_from_counts(tensor.sum(axis=1).T.ravel(), "plugin")
+    h_xyz = entropy_from_counts(tensor.transpose(1, 2, 0).ravel(), "plugin")
+    h_z = entropy_from_counts(grouped.group_counts, "plugin") if conditioned else 0.0
+    return h_xz + h_yz - h_xyz - h_z
 
 
 class ChiSquaredTest(CITest):
@@ -37,10 +98,36 @@ class ChiSquaredTest(CITest):
     name = "chi2"
 
     def _test(self, table: Table, x: str, y: str, z: tuple[str, ...]) -> CIResult:
+        return self._from_grouped(table, x, y, z, table.grouped_contingencies(x, y, z))
+
+    def test_with_grouped(
+        self,
+        table: Table,
+        x: str,
+        y: str,
+        z: tuple[str, ...],
+        grouped: GroupedContingencies | None,
+    ) -> CIResult:
+        """Run the test on a pre-computed grouped-kernel summary.
+
+        The hybrid test routes with the kernel output in hand; this entry
+        point reuses it (and counts the call) instead of re-scanning.
+        """
+        self.calls += 1
+        return self._from_grouped(table, x, y, z, grouped)
+
+    def _from_grouped(
+        self,
+        table: Table,
+        x: str,
+        y: str,
+        z: tuple[str, ...],
+        grouped: GroupedContingencies | None,
+    ) -> CIResult:
         if table.n_rows == 0:
             return CIResult(statistic=0.0, p_value=1.0, method=self.name, df=0)
-        cmi, g = g_statistic(table, x, y, z)
-        df = degrees_of_freedom(table, x, y, z)
+        cmi, g = g_statistic(table, x, y, z, grouped=grouped)
+        df = degrees_of_freedom(table, x, y, z, grouped=grouped)
         if df <= 0:
             # One of the variables is constant in this (sub)population:
             # independence holds trivially.

@@ -18,7 +18,11 @@ import numpy as np
 from repro.engine import ExecutionEngine
 from repro.relation.table import Table
 from repro.stats.base import CIResult, CITest
-from repro.stats.chi2 import ChiSquaredTest, degrees_of_freedom
+from repro.stats.chi2 import ChiSquaredTest
+from repro.stats.contingency import (
+    _conditional_contingencies_scan,
+    contingencies_from_grouped,
+)
 from repro.stats.permutation import PermutationTest
 from repro.utils.validation import check_positive
 
@@ -110,18 +114,38 @@ class HybridTest(CITest):
         self._mit.calls += int(delta.get("mit_calls", 0))
 
     def _test(self, table: Table, x: str, y: str, z: tuple[str, ...]) -> CIResult:
+        # One grouped-kernel pass serves the routing decision (observed
+        # |Pi_X| / |Pi_Y| / |Pi_Z| are the tensor's dimensions) and then
+        # feeds whichever branch wins, so neither branch re-summarizes the
+        # data.  When the kernel declines (empty table / over-budget
+        # tensor) both routing and branches fall back to their own scans,
+        # which compute the exact same integers.
+        grouped = table.grouped_contingencies(x, y, z)
+        if grouped is not None:
+            n_x, n_y, n_z = grouped.n_x, grouped.n_y, grouped.n_groups
+        else:
+            n_x = table.n_groups((x,))
+            n_y = table.n_groups((y,))
+            n_z = table.n_groups(z)
         if self.routing == "df":
-            df = degrees_of_freedom(table, x, y, z)
+            df = max(n_x - 1, 0) * max(n_y - 1, 0) * max(n_z, 1)
             use_chi2 = df <= table.n_rows / self.beta
         else:
-            n_cells = (
-                table.n_groups((x,)) * table.n_groups((y,)) * max(table.n_groups(z), 1)
-            )
+            n_cells = n_x * n_y * max(n_z, 1)
             use_chi2 = table.n_rows >= self.beta * n_cells
         if use_chi2:
-            result = self._chi2.test(table, x, y, z)
+            # grouped=None tells the chi2 side "kernel already declined":
+            # it goes straight to the entropy scans, never re-attempting.
+            result = self._chi2.test_with_grouped(table, x, y, z, grouped)
+        elif grouped is not None:
+            result = self._mit.test_with_groups(
+                table, x, y, z, contingencies_from_grouped(table, grouped, z)
+            )
         else:
-            result = self._mit.test(table, x, y, z)
+            # Same declined-kernel shortcut for the Monte-Carlo branch.
+            result = self._mit.test_with_groups(
+                table, x, y, z, _conditional_contingencies_scan(table, x, y, z)
+            )
         return CIResult(
             statistic=result.statistic,
             p_value=result.p_value,

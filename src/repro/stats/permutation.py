@@ -116,7 +116,27 @@ class PermutationTest(CITest):
     # ------------------------------------------------------------------
 
     def _test(self, table: Table, x: str, y: str, z: tuple[str, ...]) -> CIResult:
-        groups = conditional_contingencies(table, x, y, z)
+        return self._test_groups(conditional_contingencies(table, x, y, z))
+
+    def test_with_groups(
+        self,
+        table: Table,
+        x: str,
+        y: str,
+        z: tuple[str, ...],
+        groups: list[GroupContingency],
+    ) -> CIResult:
+        """Run MIT on pre-summarized contingency groups.
+
+        The hybrid test routes with the grouped-kernel output already in
+        hand; this entry point consumes it (and counts the call) instead
+        of re-summarizing the data.  RNG consumption is identical to
+        :meth:`test` -- entropy is drawn per fan-out, not per summary.
+        """
+        self.calls += 1
+        return self._test_groups(groups)
+
+    def _test_groups(self, groups: list[GroupContingency]) -> CIResult:
         if not groups:
             return CIResult(statistic=0.0, p_value=1.0, method=self.name)
         selected = self._select_groups(groups)

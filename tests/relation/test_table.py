@@ -207,3 +207,84 @@ class TestCountingKernels:
         # A selection starts with a fresh cache.
         selected = small_table.where(In("T", ["a"]))
         assert frozenset({"T"}) not in selected.entropy_cache("plugin")
+
+
+class TestVectorizedPaths:
+    """The vectorized concat / column / value_counts rewrites must match
+    what decode-and-re-encode produced, including selection edge cases."""
+
+    @staticmethod
+    def _reference_concat(left: Table, right: Table) -> Table:
+        return Table.from_columns(
+            {name: left.column(name) + right.column(name) for name in left.columns}
+        )
+
+    def test_concat_matches_reencoding(self, small_table):
+        fast = small_table.concat(small_table)
+        reference = self._reference_concat(small_table, small_table)
+        assert fast.columns == reference.columns
+        for name in fast.columns:
+            assert fast.domain(name) == reference.domain(name)
+            np.testing.assert_array_equal(fast.codes(name), reference.codes(name))
+
+    def test_concat_drops_unobserved_domain_values(self, small_table):
+        # Selections preserve domains, so "a" stays in the domain of the
+        # left part even when no row carries it; re-encoding (the previous
+        # implementation) dropped it, and concat must still do so.
+        left = small_table.where(Eq("T", "b"))
+        right = small_table.where(Eq("T", "b"))
+        assert "a" in left.domain("T")
+        combined = left.concat(right)
+        assert combined.domain("T") == ("b",)
+        reference = self._reference_concat(left, right)
+        for name in combined.columns:
+            assert combined.domain(name) == reference.domain(name)
+            np.testing.assert_array_equal(combined.codes(name), reference.codes(name))
+
+    def test_concat_disjoint_domains(self):
+        left = Table.from_columns({"X": ["a", "c"]})
+        right = Table.from_columns({"X": ["b", "d"]})
+        combined = left.concat(right)
+        assert combined.domain("X") == ("a", "b", "c", "d")
+        assert combined.column("X") == ["a", "c", "b", "d"]
+
+    def test_concat_mixed_types_sorts_by_repr(self):
+        left = Table.from_columns({"X": [1, "one"]})
+        right = Table.from_columns({"X": [2]})
+        combined = left.concat(right)
+        reference = self._reference_concat(left, right)
+        assert combined.domain("X") == reference.domain("X")
+        assert combined.column("X") == [1, "one", 2]
+
+    def test_concat_empty_side(self, small_table):
+        empty = small_table.select(np.zeros(small_table.n_rows, dtype=bool))
+        combined = empty.concat(small_table)
+        reference = self._reference_concat(empty, small_table)
+        for name in combined.columns:
+            assert combined.domain(name) == reference.domain(name)
+            np.testing.assert_array_equal(combined.codes(name), reference.codes(name))
+
+    def test_column_decodes_python_objects(self, small_table):
+        values = small_table.column("Y")
+        assert values == [1, 0, 1, 1, 0, 1]
+        assert all(type(value) is int for value in values)
+
+    def test_value_counts_keys_in_lexicographic_code_order(self, small_table):
+        counts = small_table.value_counts(["T", "Z"])
+        assert list(counts) == sorted(counts)  # ascending joint-code order
+        assert all(type(count) is int for count in counts.values())
+
+    def test_value_counts_on_selection(self, small_table):
+        filtered = small_table.where(Eq("T", "a"))
+        assert filtered.value_counts(["T"]) == {("a",): 3}
+        empty = small_table.select(np.zeros(small_table.n_rows, dtype=bool))
+        assert empty.value_counts(["T"]) == {}
+
+    def test_fingerprint_memoized_and_content_addressed(self, small_table):
+        first = small_table.fingerprint()
+        assert small_table.fingerprint() is first  # memoized string
+        rebuilt = Table.from_columns(
+            {name: small_table.column(name) for name in small_table.columns}
+        )
+        assert rebuilt.fingerprint() == first
+        assert small_table.where(Eq("T", "a")).fingerprint() != first

@@ -1,0 +1,80 @@
+"""Service layer over the dataset plane: pool reuse across requests.
+
+A long-lived :class:`AnalysisService` keeps one engine (one worker pool)
+across requests; every request publishes its context tables on the plane
+and releases them afterwards.  These tests pin that (a) responses through
+the parallel plane are byte-identical to serial responses, cold and warm,
+(b) the pool is created once and reused across requests, and (c) requests
+do not leak published tables or shared-memory segments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import staples_data
+from repro.engine import ParallelEngine
+from repro.engine import dataplane
+from repro.service.core import AnalysisService
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+PARAMS = {"covariates": ["Distance"], "mediators": [], "seed": 7}
+
+
+@pytest.fixture(scope="module")
+def columns():
+    table = staples_data(n_rows=1200, seed=4)
+    return {name: table.column(name) for name in table.columns}
+
+
+@pytest.fixture
+def parallel_service(columns):
+    # min_tasks=1: even single-task fan-outs go to the pool, so the tests
+    # below observe worker behavior regardless of how many query contexts
+    # the workload produces.
+    service = AnalysisService(engine=ParallelEngine(jobs=2, min_tasks=1))
+    service.register("staples", columns=columns)
+    yield service
+    service.close()
+
+
+@pytest.fixture
+def serial_service(columns):
+    service = AnalysisService()
+    service.register("staples", columns=columns)
+    yield service
+    service.close()
+
+
+class TestPoolReuseAcrossRequests:
+    def test_parallel_payload_matches_serial_cold_and_warm(
+        self, parallel_service, serial_service
+    ):
+        serial = serial_service.analyze("staples", SQL, **PARAMS)
+        cold = parallel_service.analyze("staples", SQL, **PARAMS)
+        warm = parallel_service.analyze("staples", SQL, **PARAMS)
+        assert not cold.cached and warm.cached
+        assert cold.payload == serial.payload
+        assert warm.payload == serial.payload
+
+    def test_one_pool_serves_consecutive_requests(self, parallel_service):
+        engine = parallel_service.engine
+        parallel_service.analyze("staples", SQL, **PARAMS)
+        pool = engine._pool
+        assert pool is not None  # the fan-out actually used workers
+        # A different request (fresh seed -> cache miss) reuses the pool.
+        parallel_service.analyze("staples", SQL, covariates=["Distance"], mediators=[], seed=8)
+        assert engine._pool is pool
+
+    def test_requests_release_their_publications(self, parallel_service):
+        resident_before = dataplane.resident_count()
+        parallel_service.analyze("staples", SQL, **PARAMS)
+        assert dataplane.resident_count() == resident_before
+        assert parallel_service.engine._published == {}
+
+    def test_distinct_requests_distinct_results_same_plane(self, parallel_service):
+        adjusted = parallel_service.analyze("staples", SQL, **PARAMS)
+        unadjusted = parallel_service.analyze(
+            "staples", SQL, covariates=[], mediators=[], seed=7
+        )
+        assert adjusted.payload != unadjusted.payload

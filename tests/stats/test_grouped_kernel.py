@@ -1,0 +1,170 @@
+"""The single-pass grouped contingency kernel vs the per-group scan.
+
+The contract: :meth:`Table.grouped_contingencies` (and everything built on
+it -- ``conditional_contingencies``, the chi-squared G statistic, HyMIT
+routing) produces *byte-identical* results to the per-group reference
+scan, for randomized tables including sub-populations whose domains carry
+unobserved values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.infotheory.cache import EntropyEngine
+from repro.relation.table import Table
+from repro.stats.chi2 import ChiSquaredTest, degrees_of_freedom, g_statistic
+from repro.stats.contingency import (
+    _conditional_contingencies_scan,
+    conditional_contingencies,
+    contingencies_from_grouped,
+)
+from repro.stats.hybrid import HybridTest
+from repro.stats.permutation import PermutationTest
+
+
+def random_table(rng: np.random.Generator, n: int, n_cols: int = 4) -> Table:
+    """A randomized categorical table; sometimes a selection, so domains
+    can contain values no row carries (the compressed-matrix edge case)."""
+    columns = {}
+    for index in range(n_cols):
+        cardinality = int(rng.integers(1, 7))
+        values = rng.integers(0, cardinality, n)
+        if rng.random() < 0.5:
+            columns[f"c{index}"] = [f"v{value}" for value in values]
+        else:
+            columns[f"c{index}"] = values.tolist()
+    table = Table.from_columns(columns)
+    if n and rng.random() < 0.6:
+        table = table.select(rng.random(n) < 0.7)
+    return table
+
+
+def random_case(rng: np.random.Generator):
+    table = random_table(rng, int(rng.integers(0, 400)))
+    names = list(table.columns)
+    z = tuple(names[2 : 2 + int(rng.integers(0, 3))])
+    return table, names[0], names[1], z
+
+
+class TestKernelMatchesScan:
+    def test_matrices_labels_weights_identical(self):
+        rng = np.random.default_rng(7)
+        non_trivial = 0
+        for _ in range(120):
+            table, x, y, z = random_case(rng)
+            fast = conditional_contingencies(table, x, y, z)
+            reference = _conditional_contingencies_scan(table, x, y, z)
+            assert len(fast) == len(reference)
+            non_trivial += len(reference) > 1
+            for got, expected in zip(fast, reference):
+                assert got.z_value == expected.z_value
+                assert got.weight == expected.weight
+                assert got.matrix.dtype == expected.matrix.dtype
+                assert np.array_equal(got.matrix, expected.matrix)
+        assert non_trivial > 20  # the sweep actually exercised grouped cases
+
+    def test_empty_conditioning_single_group(self, small_table):
+        groups = conditional_contingencies(small_table, "T", "Y", ())
+        assert len(groups) == 1
+        assert groups[0].z_value == ()
+        assert groups[0].weight == 1.0
+
+    def test_over_budget_tensor_falls_back(self, small_table):
+        assert small_table.grouped_contingencies("T", "Y", ("Z",), max_cells=1) is None
+        # The public path still answers, via the scan.
+        groups = conditional_contingencies(small_table, "T", "Y", ("Z",))
+        assert len(groups) == 2
+
+    def test_empty_table_returns_none(self):
+        table = Table.from_columns({"X": [], "Y": []})
+        assert table.grouped_contingencies("X", "Y") is None
+        assert conditional_contingencies(table, "X", "Y", ()) == []
+
+    def test_expand_matches_public_path(self, small_table):
+        grouped = small_table.grouped_contingencies("T", "Y", ("Z",))
+        expanded = contingencies_from_grouped(small_table, grouped, ("Z",))
+        public = conditional_contingencies(small_table, "T", "Y", ("Z",))
+        assert [group.z_value for group in expanded] == [
+            group.z_value for group in public
+        ]
+
+
+class TestChiSquaredByteIdentity:
+    def test_g_statistic_matches_entropy_engine(self):
+        rng = np.random.default_rng(11)
+        for _ in range(80):
+            table, x, y, z = random_case(rng)
+            if table.n_rows == 0:
+                continue
+            cmi_new, g_new = g_statistic(table, x, y, z)
+            engine = EntropyEngine(table, estimator="plugin", caching=False)
+            cmi_old = engine.mutual_information((x,), (y,), z)
+            assert cmi_new == cmi_old  # bitwise, not approx
+            assert g_new == 2.0 * table.n_rows * max(cmi_old, 0.0)
+
+    def test_degrees_of_freedom_from_kernel(self):
+        rng = np.random.default_rng(13)
+        for _ in range(40):
+            table, x, y, z = random_case(rng)
+            if table.n_rows == 0:
+                continue
+            grouped = table.grouped_contingencies(x, y, z)
+            assert degrees_of_freedom(table, x, y, z, grouped=grouped) == (
+                degrees_of_freedom(table, x, y, z)
+            )
+
+    def test_chi2_test_unchanged_on_fallback(self, confounded_table):
+        routed = ChiSquaredTest().test(confounded_table, "T", "Y", ("Z",))
+        grouped_none = ChiSquaredTest().test_with_grouped(
+            confounded_table, "T", "Y", ("Z",), None
+        )
+        assert routed.p_value == grouped_none.p_value
+        assert routed.statistic == grouped_none.statistic
+        assert routed.df == grouped_none.df
+
+
+class TestHybridRouting:
+    def test_routing_decision_matches_n_groups(self):
+        rng = np.random.default_rng(17)
+        for _ in range(30):
+            table, x, y, z = random_case(rng)
+            if table.n_rows == 0:
+                continue
+            test = HybridTest(n_permutations=60, seed=1)
+            result = test.test(table, x, y, z)
+            n_cells = (
+                table.n_groups((x,)) * table.n_groups((y,)) * max(table.n_groups(z), 1)
+            )
+            expected_branch = (
+                "chi2" if table.n_rows >= test.beta * n_cells else "mit_sampling"
+            )
+            assert result.method == f"hymit[{expected_branch}]"
+
+    def test_branch_results_match_direct_tests(self, confounded_table):
+        hybrid = HybridTest(n_permutations=80, seed=5).test(
+            confounded_table, "T", "Y", ("Z",)
+        )
+        direct = ChiSquaredTest().test(confounded_table, "T", "Y", ("Z",))
+        assert hybrid.method == "hymit[chi2]"
+        assert hybrid.p_value == direct.p_value
+
+    def test_counters_route_exactly_once(self, confounded_table):
+        test = HybridTest(n_permutations=50, seed=0)
+        test.test(confounded_table, "T", "Y", ("Z",))
+        assert test.calls == 1
+        assert test.chi2_calls + test.mit_calls == 1
+
+
+class TestPermutationWithGroups:
+    def test_precomputed_groups_reproduce_p_value(self, confounded_table):
+        z = ("Z",)
+        reference = PermutationTest(n_permutations=120, seed=9).test(
+            confounded_table, "T", "Y", z
+        )
+        test = PermutationTest(n_permutations=120, seed=9)
+        groups = conditional_contingencies(confounded_table, "T", "Y", z)
+        result = test.test_with_groups(confounded_table, "T", "Y", z, groups)
+        assert result.p_value == reference.p_value
+        assert result.statistic == reference.statistic
+        assert test.calls == 1
