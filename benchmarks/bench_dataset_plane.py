@@ -11,6 +11,12 @@ Two measurements back the PR-3 performance claims:
   ``(z, x, y)`` bincount kernel vs the per-group scan, across conditioning
   group counts.  Under ``REPRO_BENCH_STRICT=1`` the kernel must be >= 3x
   faster at >= 1000 groups (the wide-Z regime group sampling targets).
+* **Replicate payloads** -- MIT's replicate fan-out over wide marginals,
+  once with tasks embedding each group's marginal vectors (the pre-plane
+  transport) and once with tasks carrying ``(GroupedRef, group_index)``
+  against the tensor published once on the plane.  The bytes-per-task
+  ratio is asserted >= 10x (deterministic, not a timing), and both
+  fan-outs must produce bit-identical replicate statistics.
 
 Emits ``BENCH_kernels.json`` with calibration + workload metadata for
 ``scripts/check_bench_regression.py``.  Parallel (jobs=2) dispatch rows
@@ -29,16 +35,28 @@ import numpy as np
 from conftest import bench_scale, scaled, write_bench_json
 
 from repro.datasets.flights import flight_data
-from repro.engine import ParallelEngine, resolve_table
+from repro.engine import ParallelEngine, resolve_table, spawn_seeds
 from repro.relation.table import Table
 from repro.stats.contingency import (
     _conditional_contingencies_scan,
     conditional_contingencies,
+    contingencies_from_grouped,
 )
+from repro.stats.permutation import _null_replicate_chunk
 
 #: Fan-out shape for the dispatch comparison (tasks per map call).
 DISPATCH_TASKS = 32
 DISPATCH_JOBS = 2
+
+#: Replicate-payload workload: wide marginals (|Pi_X| x |Pi_Y|) across a
+#: conditioning attribute -- the regime where marginal-list payloads grow
+#: while GroupedRef payloads stay O(1).
+REPLICATE_CARDINALITIES = (128, 96, 16)  # |X|, |Y|, |Z| domains
+#: Replicates per task.  Small on purpose: the payload measurement (the
+#: actual gate) is independent of it, and Patefield sampling over
+#: 128 x 96 marginals is expensive enough that the full in-test block
+#: size would dominate the smoke-benchmark budget for no extra signal.
+REPLICATE_CHUNK = 25
 
 #: (label, z-column cardinalities) for the kernel comparison; observed
 #: group counts land near the cardinality product.
@@ -116,6 +134,100 @@ def test_dispatch_payloads(benchmark, report_sink):
     report_sink("dataset_plane", f"payload reduction: {ratio:.0f}x fewer bytes/task")
     assert ratio >= 10.0, (
         f"TableRef payload only {ratio:.1f}x smaller than table payload"
+    )
+    _merge_payload(rows)
+
+
+def test_replicate_payload(benchmark, report_sink):
+    """bytes/task of MIT replicate tasks: marginal lists vs GroupedRef."""
+    rng = np.random.default_rng(29)
+    n = scaled(60000, minimum=20000)
+    x_card, y_card, z_card = REPLICATE_CARDINALITIES
+    table = Table.from_columns(
+        {
+            "X": rng.integers(0, x_card, n).tolist(),
+            "Y": rng.integers(0, y_card, n).tolist(),
+            "Z": rng.integers(0, z_card, n).tolist(),
+        }
+    )
+    benchmark.group = "dataset_plane"
+    grouped = table.grouped_contingencies("X", "Y", ("Z",))
+    assert grouped is not None
+    groups = contingencies_from_grouped(table, grouped, ("Z",))
+    work = [group for group in groups if min(group.matrix.shape) >= 2]
+    seeds = spawn_seeds(123, len(work))
+
+    def measure():
+        rows = []
+        with ParallelEngine(jobs=DISPATCH_JOBS, min_tasks=1) as engine:
+            marginal_tasks = [
+                (g.matrix.sum(axis=1), g.matrix.sum(axis=0), REPLICATE_CHUNK, s, "plugin")
+                for g, s in zip(work, seeds)
+            ]
+            handle = engine.publish_grouped(table, ("X", "Y", "Z"), grouped)
+            if handle is None:
+                import pytest
+
+                pytest.skip("shared memory unavailable: no GroupedRef transport")
+            try:
+                ref_tasks = [
+                    (handle, g.index, REPLICATE_CHUNK, s, "plugin")
+                    for g, s in zip(work, seeds)
+                ]
+                # One pickled chunk is what actually crosses the pipe:
+                # per-task bytes include the in-chunk sharing of the ref.
+                marginal_bytes = len(pickle.dumps(marginal_tasks)) / len(work)
+                ref_bytes = len(pickle.dumps(ref_tasks)) / len(work)
+                engine.map(_null_replicate_chunk, ref_tasks)  # warm the pool
+                start = time.perf_counter()
+                marginal_partials = engine.map(_null_replicate_chunk, marginal_tasks)
+                marginal_seconds = time.perf_counter() - start
+                start = time.perf_counter()
+                ref_partials = engine.map(_null_replicate_chunk, ref_tasks)
+                ref_seconds = time.perf_counter() - start
+            finally:
+                engine.release_grouped(handle)
+        assert all(
+            np.array_equal(first, second)
+            for first, second in zip(marginal_partials, ref_partials)
+        ), "GroupedRef replicate statistics diverged from marginal-list tasks"
+        # No "seconds" in the JSON rows: both arms spend their wall time
+        # in identical Patefield sampling (the kernel rows already gate
+        # compute), and a jobs=2 map on a loaded 1-core box swings far
+        # beyond the gate tolerance.  The payload bytes are exact and are
+        # asserted below; the timings go to the human-readable report.
+        rows.append(
+            {
+                "engine": "replicate_marginals",
+                "jobs": DISPATCH_JOBS,
+                "bytes_per_task": marginal_bytes,
+            }
+        )
+        rows.append(
+            {
+                "engine": "replicate_groupedref",
+                "jobs": DISPATCH_JOBS,
+                "bytes_per_task": ref_bytes,
+            }
+        )
+        return rows, marginal_bytes / ref_bytes, (marginal_seconds, ref_seconds)
+
+    rows, ratio, seconds = benchmark.pedantic(measure, rounds=1)
+    for row, elapsed in zip(rows, seconds):
+        report_sink(
+            "dataset_plane",
+            f"{row['engine']:<22s} jobs={row['jobs']}  {elapsed:8.3f}s  "
+            f"{row['bytes_per_task']:>10.0f} B/task",
+        )
+    report_sink(
+        "dataset_plane",
+        f"replicate payload reduction: {ratio:.0f}x fewer bytes/task "
+        f"({len(work)} groups, marginals {REPLICATE_CARDINALITIES[0]}x"
+        f"{REPLICATE_CARDINALITIES[1]})",
+    )
+    assert ratio >= 10.0, (
+        f"GroupedRef replicate payload only {ratio:.1f}x smaller than "
+        f"marginal-list payload"
     )
     _merge_payload(rows)
 
@@ -206,6 +318,7 @@ def _merge_payload(rows: list[dict]) -> None:
         "workload": {
             "dispatch_tasks": DISPATCH_TASKS,
             "kernel_cases": [label for label, _ in KERNEL_CASES],
+            "replicate_cardinalities": list(REPLICATE_CARDINALITIES),
             "scale": bench_scale(),
         },
         "cpu_count": os.cpu_count(),

@@ -21,7 +21,7 @@ fi
 
 echo "== fast lane: tier-1 tests, no slow markers (coverage-gated) =="
 if python -c "import pytest_cov" >/dev/null 2>&1; then
-    python -m pytest -x -q -m "not slow" \
+    python -m pytest -x -q -m "not slow" --durations=10 \
         --cov=repro --cov-report=term --cov-fail-under="$COV_FLOOR"
 else
     echo "pytest-cov not installed; running without the coverage gate" \
@@ -32,11 +32,12 @@ fi
 echo "== slow lane: permutation-heavy statistical tests =="
 python -m pytest -q -m slow
 
-echo "== smoke benchmarks: engine scaling + service throughput =="
+echo "== smoke benchmarks: engine scaling + service throughput + dataset plane =="
 REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-0.25}" \
     python -m pytest -q \
         benchmarks/bench_engine_scaling.py \
-        benchmarks/bench_service_throughput.py
+        benchmarks/bench_service_throughput.py \
+        benchmarks/bench_dataset_plane.py
 
 echo "== benchmark regression gate =="
 python scripts/check_bench_regression.py

@@ -176,15 +176,16 @@ class CovariateDiscoverer:
                  self.alpha, self.max_blanket, clone)
                 for z, clone in zip(mb_t, self._spawn_tests(len(mb_t)))
             ]
-            for z, mb_z, counters in self.engine.map(_boundary_task, boundary_tasks):
+            for z, mb_z, counters, caches in self.engine.map(_boundary_task, boundary_tasks):
                 boundaries[z] = tuple(sorted(mb_z))
                 self.test.absorb_counters(counters)
+                self._absorb_caches(table, caches)
             if self.symmetry_correction:
                 mb_t = [z for z in mb_t if treatment in boundaries[z]]
             boundaries[treatment] = tuple(mb_t)
 
-            collected = self._phase_one(handle, treatment, mb_t, boundaries)
-            parents = self._phase_two(handle, treatment, mb_t, collected)
+            collected = self._phase_one(table, handle, treatment, mb_t, boundaries)
+            parents = self._phase_two(table, handle, treatment, mb_t, collected)
         finally:
             self.engine.release(handle)
 
@@ -231,8 +232,24 @@ class CovariateDiscoverer:
         seeds = spawn_seeds(self.test.draw_entropy(), n)
         return [self.test.spawn_worker(seed, engine=SerialEngine()) for seed in seeds]
 
+    @staticmethod
+    def _absorb_caches(table: Table | None, caches) -> None:
+        """Merge a task's entropy-cache snapshot into the parent table.
+
+        Ordered (tuple-keyed) entries only: those are bit-exact for their
+        packed order no matter which process computed them, so importing
+        them cannot perturb any later p-value -- it only lets the parent's
+        own tests (and the next fan-out's clones) skip the scans a worker
+        already paid for.  Set-keyed entries stay out: their value depends
+        on which column order was computed first, and importing a worker's
+        choice could change the parent's.
+        """
+        if table is not None and caches:
+            table.merge_entropy_caches(caches, ordered_only=True)
+
     def _phase_one(
         self,
+        table: Table | None,
         handle,
         treatment: str,
         mb_t: list[str],
@@ -259,14 +276,16 @@ class CovariateDiscoverer:
                  self.max_cond_size, self.alpha, self.collider_alpha, clone)
             )
         collected: set[str] = set()
-        for pair, counters in self.engine.map(_phase_one_task, tasks):
+        for pair, counters, caches in self.engine.map(_phase_one_task, tasks):
             self.test.absorb_counters(counters)
+            self._absorb_caches(table, caches)
             if pair is not None:
                 collected.update(pair)
         return collected
 
     def _phase_two(
         self,
+        table: Table | None,
         handle,
         treatment: str,
         mb_t: list[str],
@@ -281,8 +300,11 @@ class CovariateDiscoverer:
             for candidate, clone in zip(candidates, self._spawn_tests(len(candidates)))
         ]
         parents = set(collected)
-        for candidate, separable, counters in self.engine.map(_phase_two_task, tasks):
+        for candidate, separable, counters, caches in self.engine.map(
+            _phase_two_task, tasks
+        ):
             self.test.absorb_counters(counters)
+            self._absorb_caches(table, caches)
             if separable:
                 parents.discard(candidate)
         return parents
@@ -294,7 +316,13 @@ class CovariateDiscoverer:
 
 
 def _boundary_task(task):
-    """Compute the Markov boundary of one node with a cloned test."""
+    """Compute the Markov boundary of one node with a cloned test.
+
+    Besides the boundary and the clone's counters, the task exports the
+    entropy caches its table accumulated: the parent merges the ordered
+    (bit-exact) entries so work a worker already scanned for is never
+    re-scanned by the parent or by later fan-outs.
+    """
     handle, target, universe, blanket_algorithm, alpha, max_blanket, test = task
     table = resolve_table(handle)
     boundary = blanket_algorithm(
@@ -305,7 +333,7 @@ def _boundary_task(task):
         alpha=alpha,
         max_blanket=max_blanket,
     )
-    return target, boundary, test.counters()
+    return target, boundary, test.counters(), _export_caches(table)
 
 
 def _phase_one_task(task):
@@ -326,8 +354,8 @@ def _phase_one_task(task):
             if opened.dependent(collider_alpha) or (
                 opened.p_floor > collider_alpha and opened.at_floor()
             ):
-                return (z, w), test.counters()
-    return None, test.counters()
+                return (z, w), test.counters(), _export_caches(table)
+    return None, test.counters(), _export_caches(table)
 
 
 def _phase_two_task(task):
@@ -337,5 +365,10 @@ def _phase_two_task(task):
     for subset in bounded_subsets(base, max_cond_size):
         result = test.test(table, treatment, candidate, subset)
         if result.independent(alpha):
-            return candidate, True, test.counters()
-    return candidate, False, test.counters()
+            return candidate, True, test.counters(), _export_caches(table)
+    return candidate, False, test.counters(), _export_caches(table)
+
+
+def _export_caches(table):
+    """A task table's entropy-cache snapshot ({} for oracle tests' None)."""
+    return table.export_entropy_caches() if table is not None else {}

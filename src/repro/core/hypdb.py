@@ -85,6 +85,13 @@ class HypDB:
         discovery subtasks, and per-context detection + explanation.
         Results are bit-identical for any engine and worker count (the
         seed-spawning discipline of :mod:`repro.engine.seeds`).
+    filter_source:
+        Optional factory ``predicate -> Table`` for WHERE-filtered views.
+        The service passes the registry's fingerprint-memoizing factory so
+        a view the registry has hashed before republishes on the dataset
+        plane in O(1); the default is a plain ``table.where(predicate)``.
+        The factory must return a view of *this* table (same rows the
+        predicate selects) -- it only changes how the view is produced.
     """
 
     def __init__(
@@ -97,11 +104,13 @@ class HypDB:
         estimator: str = "miller_madow",
         seed: int | np.random.Generator | None = None,
         engine: ExecutionEngine | int | None = None,
+        filter_source=None,
     ) -> None:
         self.table = table
         self.alpha = alpha
         self.estimator = estimator
         self.engine = resolve_engine(engine)
+        self._filter_source = filter_source
         # m = 1000 permutations gives the Monte-Carlo branch a p-value
         # resolution of ~0.001 -- fine enough for the CD algorithm's strict
         # collider threshold (alpha / 10).  Pass an explicit test to change.
@@ -138,7 +147,11 @@ class HypDB:
 
     def _filtered(self, predicate) -> Table:
         if predicate not in self._filter_memo:
-            self._filter_memo[predicate] = self.table.where(predicate)
+            if self._filter_source is not None:
+                view = self._filter_source(predicate)
+            else:
+                view = self.table.where(predicate)
+            self._filter_memo[predicate] = view
         return self._filter_memo[predicate]
 
     # ------------------------------------------------------------------

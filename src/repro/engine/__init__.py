@@ -8,13 +8,14 @@ bit-identical across engines and worker counts, and
 from __future__ import annotations
 
 from repro.engine.base import ExecutionEngine, chunked, default_chunk_size
-from repro.engine.dataplane import TableRef, resolve_table
+from repro.engine.dataplane import GroupedRef, TableRef, resolve_grouped, resolve_table
 from repro.engine.parallel import ParallelEngine
 from repro.engine.seeds import draw_entropy, spawn_seeds
 from repro.engine.serial import SerialEngine
 
 __all__ = [
     "ExecutionEngine",
+    "GroupedRef",
     "ParallelEngine",
     "SerialEngine",
     "TableRef",
@@ -22,6 +23,7 @@ __all__ = [
     "default_chunk_size",
     "draw_entropy",
     "resolve_engine",
+    "resolve_grouped",
     "resolve_table",
     "spawn_seeds",
 ]

@@ -72,6 +72,24 @@ class ExecutionEngine:
     def release(self, handle) -> None:
         """Drop a handle returned by :meth:`publish` (no-op in-process)."""
 
+    def publish_grouped(self, table, key, grouped):
+        """Make a grouped-contingency tensor worker-resident.
+
+        ``key`` is the ``(x, y, *z)`` column tuple identifying the summary
+        on ``table``.  The in-process default hands back the tensor itself
+        (the cheapest handle when tasks never cross a process boundary).
+        :class:`~repro.engine.parallel.ParallelEngine` publishes it on the
+        dataset plane and returns an O(1)
+        :class:`~repro.engine.dataplane.GroupedRef` -- or ``None`` when
+        shared memory is unavailable, telling the caller to embed marginal
+        vectors in its tasks instead.  Task functions materialize any
+        non-``None`` handle with :func:`repro.engine.dataplane.resolve_grouped`.
+        """
+        return grouped
+
+    def release_grouped(self, handle) -> None:
+        """Drop a handle returned by :meth:`publish_grouped` (no-op here)."""
+
     def close(self) -> None:
         """Release worker resources (idempotent; the engine stays usable)."""
 

@@ -48,9 +48,18 @@ from typing import Any
 
 import numpy as np
 
-from repro.relation.table import Table
+from repro.relation.table import GroupedContingencies, Table
 
-__all__ = ["TableRef", "publish", "release", "resolve_table"]
+__all__ = [
+    "GroupedRef",
+    "TableRef",
+    "publish",
+    "publish_grouped",
+    "release",
+    "release_grouped",
+    "resolve_grouped",
+    "resolve_table",
+]
 
 #: Attach-resolved tables a worker keeps resident before evicting the
 #: oldest.  Each entry pins its table object, its entropy memos, and its
@@ -58,6 +67,26 @@ __all__ = ["TableRef", "publish", "release", "resolve_table"]
 #: service's workers forever as distinct datasets / query contexts stream
 #: through.  Parent-side publications are refcounted and never evicted.
 WORKER_CACHE_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class GroupedRef:
+    """A cheap, picklable handle to a published grouped-contingency tensor.
+
+    Identifies the summary by content: the owning table's fingerprint plus
+    the ``(x, y, *z)`` column key.  The pickled form is ~100-250 B and --
+    unlike the per-group marginal lists MIT replicate tasks used to embed
+    -- independent of the number of conditioning groups and of the
+    marginal widths.  All five arrays travel inside one shared-memory
+    segment whose layout is fully determined by ``(n_groups, n_x, n_y)``.
+    """
+
+    fingerprint: str
+    key: tuple[str, ...]
+    segment: str
+    n_groups: int
+    n_x: int
+    n_y: int
 
 
 @dataclass(frozen=True)
@@ -95,6 +124,16 @@ class _Registry:
         self.pinned: list[Any] = []  # evicted handles whose buffers escaped
         self.owner_pid: dict[str, int] = {}
         self.fallback_generation = 0
+        # Grouped-tensor plane: same shape as the table plane, keyed by
+        # (fingerprint, column key).  Grouped publications never use the
+        # registry-only fallback (publish_grouped returns None instead of
+        # bumping the pool generation), so no generation counter here.
+        self.grouped: dict[tuple, GroupedContingencies] = {}
+        self.grouped_refs: dict[tuple, GroupedRef] = {}
+        self.grouped_refcounts: dict[tuple, int] = {}
+        self.grouped_segments: dict[tuple, Any] = {}
+        self.grouped_attached: dict[tuple, Any] = {}
+        self.grouped_owner_pid: dict[tuple, int] = {}
 
 
 _registry = _Registry()
@@ -205,6 +244,167 @@ def _evict_worker_cache() -> None:
             # risking a noisy close in __del__ later; the mapping stays,
             # which is exactly the pre-eviction behavior.
             _registry.pinned.append(segment)
+
+
+# ----------------------------------------------------------------------
+# Grouped-tensor plane
+# ----------------------------------------------------------------------
+
+
+def publish_grouped(
+    fingerprint: str, key: tuple[str, ...], grouped: GroupedContingencies
+) -> GroupedRef | None:
+    """Make a grouped-contingency tensor resident; return its handle.
+
+    Content-addressed by ``(table fingerprint, column key)`` and
+    refcounted exactly like table publications.  Returns ``None`` when
+    shared memory is unavailable -- the caller then falls back to
+    embedding marginal vectors in its tasks (there is no pickle-once
+    fallback transport for tensors: a tensor is one test's working set,
+    not a table the whole pool needs, so recreating the pool for it would
+    cost more than it saves).
+    """
+    composite = (fingerprint, tuple(key))
+    with _registry.lock:
+        existing = _registry.grouped_refs.get(composite)
+        if existing is not None:
+            _registry.grouped_refcounts[composite] += 1
+            return existing
+        segment_name = _create_grouped_segment(composite, grouped)
+        if segment_name is None:
+            return None
+        ref = GroupedRef(
+            fingerprint=fingerprint,
+            key=tuple(key),
+            segment=segment_name,
+            n_groups=grouped.n_groups,
+            n_x=grouped.n_x,
+            n_y=grouped.n_y,
+        )
+        _registry.grouped[composite] = grouped
+        _registry.grouped_refs[composite] = ref
+        _registry.grouped_refcounts[composite] = 1
+        return ref
+
+
+def release_grouped(ref: GroupedRef) -> None:
+    """Drop one reference to a published tensor; evict and unlink at zero."""
+    composite = (ref.fingerprint, ref.key)
+    with _registry.lock:
+        count = _registry.grouped_refcounts.get(composite)
+        if count is None:
+            return
+        if count > 1:
+            _registry.grouped_refcounts[composite] = count - 1
+            return
+        _registry.grouped_refcounts.pop(composite, None)
+        _registry.grouped_refs.pop(composite, None)
+        _registry.grouped.pop(composite, None)
+        _destroy_grouped_segment(composite)
+
+
+def resolve_grouped(
+    handle: "GroupedContingencies | GroupedRef",
+) -> GroupedContingencies:
+    """Materialize a replicate task's grouped-tensor handle.
+
+    In-process tensors pass through (the serial transport hands the object
+    itself).  A :class:`GroupedRef` resolves to the process-local registry
+    (parent / fork-inherited workers hit this for free) or to a zero-copy
+    attach of the shared-memory segment, cached per worker alongside the
+    table plane's attach cache and bounded the same way.
+    """
+    if isinstance(handle, GroupedContingencies):
+        return handle
+    composite = (handle.fingerprint, handle.key)
+    grouped = _registry.grouped.get(composite)
+    if grouped is not None:
+        return grouped
+    with _registry.lock:
+        grouped = _registry.grouped.get(composite)
+        if grouped is not None:
+            return grouped
+        grouped = _attach_grouped_segment(handle)
+        _registry.grouped[composite] = grouped
+        _evict_grouped_cache()
+        return grouped
+
+
+def _grouped_layout(n_groups: int, n_x: int, n_y: int) -> list[tuple[str, tuple[int, ...]]]:
+    """Field order + shapes of a grouped segment (all ``int64``)."""
+    return [
+        ("tensor", (n_groups, n_x, n_y)),
+        ("group_counts", (n_groups,)),
+        ("group_rows", (n_groups,)),
+        ("x_codes", (n_x,)),
+        ("y_codes", (n_y,)),
+    ]
+
+
+def _create_grouped_segment(composite: tuple, grouped: GroupedContingencies) -> str | None:
+    """Copy the five tensor arrays into one shared-memory segment."""
+    layout = _grouped_layout(grouped.n_groups, grouped.n_x, grouped.n_y)
+    itemsize = np.dtype(np.int64).itemsize
+    total = sum(int(np.prod(shape)) for _, shape in layout) * itemsize
+    try:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    except (ImportError, OSError):
+        return None
+    offset = 0
+    for field, shape in layout:
+        view = np.ndarray(shape, dtype=np.int64, buffer=segment.buf, offset=offset)
+        view[...] = getattr(grouped, field)
+        offset += int(np.prod(shape)) * itemsize
+    _registry.grouped_segments[composite] = segment
+    _registry.grouped_owner_pid[composite] = os.getpid()
+    return segment.name
+
+
+def _attach_grouped_segment(ref: GroupedRef) -> GroupedContingencies:
+    """Worker-side zero-copy attach: shared buffer -> read-only tensor."""
+    segment = _attach_untracked(ref.segment)
+    itemsize = np.dtype(np.int64).itemsize
+    offset = 0
+    fields: dict[str, np.ndarray] = {}
+    for field, shape in _grouped_layout(ref.n_groups, ref.n_x, ref.n_y):
+        view = np.ndarray(shape, dtype=np.int64, buffer=segment.buf, offset=offset)
+        view.flags.writeable = False
+        fields[field] = view
+        offset += int(np.prod(shape)) * itemsize
+    _registry.grouped_attached[(ref.fingerprint, ref.key)] = segment
+    return GroupedContingencies(**fields)
+
+
+def _evict_grouped_cache() -> None:
+    """Bound the worker's attach-resolved tensors (same policy as tables)."""
+    for composite in list(_registry.grouped_attached):
+        if len(_registry.grouped_attached) <= WORKER_CACHE_LIMIT:
+            return
+        segment = _registry.grouped_attached.pop(composite)
+        grouped = _registry.grouped.pop(composite, None)
+        del grouped
+        try:
+            segment.close()
+        except BufferError:
+            # A sliced view escaped into still-live objects; pin the
+            # handle for the process lifetime rather than crash the close.
+            _registry.pinned.append(segment)
+
+
+def _destroy_grouped_segment(composite: tuple) -> None:
+    segment = _registry.grouped_segments.pop(composite, None)
+    owner = _registry.grouped_owner_pid.pop(composite, None)
+    if segment is None or owner != os.getpid():
+        # Forked children inherit the parent's bookkeeping; only the
+        # creating process may unlink.
+        return
+    try:
+        segment.close()
+        segment.unlink()
+    except (FileNotFoundError, OSError):
+        pass
 
 
 def fallback_generation() -> int:
@@ -355,3 +555,5 @@ def _cleanup_at_exit() -> None:
     with _registry.lock:
         for fingerprint in list(_registry.segments):
             _destroy_segment(fingerprint)
+        for composite in list(_registry.grouped_segments):
+            _destroy_grouped_segment(composite)

@@ -86,6 +86,7 @@ class ParallelEngine(ExecutionEngine):
         # guarded by a lock (ProcessPoolExecutor.submit itself is
         # thread-safe).
         self._published: dict[str, list] = {}
+        self._published_grouped: dict[tuple, list] = {}
         self._pool_generation = dataplane.fallback_generation()
         self._lock = threading.Lock()
         # Pool-recreation coordination: maps in flight on the current
@@ -133,6 +134,42 @@ class ParallelEngine(ExecutionEngine):
                 del self._published[handle.fingerprint]
             dataplane.release(handle)
 
+    def publish_grouped(self, table, key, grouped):
+        """Publish a grouped tensor on the plane; tasks carry the ref.
+
+        Returns ``None`` (caller embeds marginal vectors) when there is
+        nothing to publish or shared memory is unavailable -- tensors get
+        no pickle-once pool fallback, because recreating a live pool for
+        one test's working set would cost more than the payload saves.
+        Publications are remembered and force-released on :meth:`close`.
+        """
+        if grouped is None or table is None:
+            return None
+        with self._lock:
+            ref = dataplane.publish_grouped(table.fingerprint(), tuple(key), grouped)
+            if ref is None:
+                return None
+            composite = (ref.fingerprint, ref.key)
+            entry = self._published_grouped.get(composite)
+            if entry is None:
+                self._published_grouped[composite] = [ref, 1]
+            else:
+                entry[1] += 1
+            return ref
+
+    def release_grouped(self, handle) -> None:
+        if not isinstance(handle, dataplane.GroupedRef):
+            return
+        with self._lock:
+            composite = (handle.fingerprint, handle.key)
+            entry = self._published_grouped.get(composite)
+            if entry is None:
+                return
+            entry[1] -= 1
+            if entry[1] <= 0:
+                del self._published_grouped[composite]
+            dataplane.release_grouped(handle)
+
     # ------------------------------------------------------------------
 
     def map(
@@ -169,9 +206,14 @@ class ParallelEngine(ExecutionEngine):
         with self._lock:
             leaked = list(self._published.values())
             self._published.clear()
+            leaked_grouped = list(self._published_grouped.values())
+            self._published_grouped.clear()
         for ref, count in leaked:
             for _ in range(count):
                 dataplane.release(ref)
+        for ref, count in leaked_grouped:
+            for _ in range(count):
+                dataplane.release_grouped(ref)
 
     def __del__(self) -> None:
         # A pool left open at interpreter exit races the executor's own

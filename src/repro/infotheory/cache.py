@@ -24,12 +24,19 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.infotheory.entropy import entropy_from_counts
 from repro.relation.cube import DataCube
-from repro.relation.table import Table
+from repro.relation.table import GroupedContingencies, Table
+
+#: Sentinel for "caller has not attempted the grouped kernel": distinct
+#: from ``None``, which means "attempted and declined" -- a caller that
+#: already watched the kernel decline must not trigger a second, equally
+#: doomed pass.
+ATTEMPT_KERNEL = object()
 
 
 @dataclass
@@ -40,12 +47,14 @@ class EngineStats:
     cache_misses: int = 0
     cube_answers: int = 0
     scan_answers: int = 0
+    grouped_answers: int = 0
 
     def reset(self) -> None:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cube_answers = 0
         self.scan_answers = 0
+        self.grouped_answers = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -60,6 +69,7 @@ class EngineStats:
             "cache_misses": self.cache_misses,
             "cube_answers": self.cube_answers,
             "scan_answers": self.scan_answers,
+            "grouped_answers": self.grouped_answers,
             "hit_ratio": self.hit_ratio,
         }
 
@@ -161,6 +171,111 @@ class EntropyEngine:
         h_z = self.entropy(z)
         return h_xz + h_yz - h_xyz - h_z
 
+    # ------------------------------------------------------------------
+    # Tensor-fed entropy batches (grouped contingency kernel)
+    # ------------------------------------------------------------------
+    #
+    # One Table.grouped_contingencies pass over (X, Y | Z) holds all four
+    # joint count vectors a CMI needs.  The transposes below arrange each
+    # marginal's cells in exactly the packed order the direct
+    # ``joint_counts`` scans produce (leading variable major, joint Z code
+    # minor -- proven bit-identical in stats/chi2._cmi_from_grouped), so a
+    # registered entropy is the identical float a fresh scan in that
+    # column order would compute.  Entries are therefore memoized under
+    # *ordered tuple* keys: unlike the set-keyed memo above (where the
+    # first computation order wins), an ordered entry can be shared across
+    # any number of tests without perturbing a single output bit.
+
+    def _grouped_count_sources(
+        self, x: str, y: str, z: tuple[str, ...], grouped: GroupedContingencies
+    ) -> dict[tuple[str, ...], Any]:
+        """Lazy count-vector extractors for the four entropies, by key."""
+        tensor = grouped.tensor
+        sources: dict[tuple[str, ...], Any] = {
+            (x, *z): lambda: tensor.sum(axis=2).T.ravel(),
+            (y, *z): lambda: tensor.sum(axis=1).T.ravel(),
+            (x, y, *z): lambda: tensor.transpose(1, 2, 0).ravel(),
+        }
+        if z:
+            sources[z] = lambda: grouped.group_counts
+        return sources
+
+    def absorb_grouped(
+        self, x: str, y: str, z: Sequence[str], grouped: GroupedContingencies
+    ) -> int:
+        """Register H(XZ), H(YZ), H(XYZ), H(Z) from one grouped-kernel pass.
+
+        Entries land in the shared memo under ordered keys ``(x, *z)``,
+        ``(y, *z)``, ``(x, y, *z)``, ``z``; keys already present are left
+        untouched (they are identical floats by construction, so skipping
+        is purely a cheap no-op).  Returns the number of entries added.
+        ``H(Z)`` for ``z = ()`` is exactly 0 by convention and never
+        stored.  No-op when caching is disabled.
+        """
+        if not self._caching:
+            return 0
+        added = 0
+        for key, counts in self._grouped_count_sources(x, y, tuple(z), grouped).items():
+            if key not in self._cache:
+                self._cache[key] = entropy_from_counts(counts(), self._estimator)
+                self.stats.grouped_answers += 1
+                added += 1
+        return added
+
+    def cmi_grouped(self, x: str, y: str, z: Sequence[str], grouped=ATTEMPT_KERNEL) -> float:
+        """``I(x ; y | z)`` fed from the grouped tensor and the ordered memo.
+
+        Resolution order per entropy: ordered-memo hit, then the grouped
+        tensor (run at most once per call, and only when >= 2 entropies
+        are actually missing -- a single gap is cheaper to fill with one
+        direct scan), then a ``joint_counts`` scan in the same packed
+        order.  Every source yields the identical float, so the returned
+        CMI is bit-identical to :meth:`mutual_information` on the same
+        arguments regardless of what was cached by whom.
+
+        ``grouped`` follows the chi2 convention: a kernel output is
+        consumed directly, an explicit ``None`` records "kernel already
+        declined" and skips straight to scans.
+        """
+        z = tuple(z)
+        keys = [(x, *z), (y, *z), (x, y, *z)] + ([z] if z else [])
+        cache = self._cache if self._caching else None
+        missing = [key for key in keys if cache is None or key not in cache]
+        if grouped is ATTEMPT_KERNEL:
+            grouped = (
+                self._table.grouped_contingencies(x, y, z) if len(missing) >= 2 else None
+            )
+        computed: dict[tuple[str, ...], float] = {}
+        if grouped is not None and missing:
+            if cache is not None:
+                # One registration path for tensor-fed entropies: the
+                # public absorb fills exactly the missing keys.
+                self.absorb_grouped(x, y, z, grouped)
+            else:
+                sources = self._grouped_count_sources(x, y, z, grouped)
+                for key in missing:
+                    computed[key] = entropy_from_counts(sources[key](), self._estimator)
+                    self.stats.grouped_answers += 1
+
+        def resolve(key: tuple[str, ...]) -> float:
+            if cache is not None and key in cache:
+                self.stats.cache_hits += 1
+                return cache[key]
+            self.stats.cache_misses += 1
+            if key in computed:
+                value = computed[key]
+            else:
+                value = self._compute_entropy(key)
+            if cache is not None:
+                cache[key] = value
+            return value
+
+        h_xz = resolve((x, *z))
+        h_yz = resolve((y, *z))
+        h_xyz = resolve((x, y, *z))
+        h_z = resolve(z) if z else 0.0
+        return h_xz + h_yz - h_xyz - h_z
+
     def preload(self, column_sets: Sequence[Sequence[str]]) -> None:
         """Compute and cache entropies for several column sets up front.
 
@@ -177,11 +292,15 @@ class EntropyEngine:
         """Drop all memoized entropies (stats are kept)."""
         self._cache.clear()
 
-    def export_cache(self) -> dict[frozenset[str], float]:
-        """Picklable snapshot of the memo (for returning from a worker)."""
+    def export_cache(self) -> dict:
+        """Picklable snapshot of the memo (for returning from a worker).
+
+        Contains both set-keyed and ordered (tuple-keyed) entries; see
+        :meth:`Table.entropy_cache` for the two key kinds.
+        """
         return dict(self._cache)
 
-    def merge_cache(self, cache: dict[frozenset[str], float]) -> None:
+    def merge_cache(self, cache: dict) -> None:
         """Merge a snapshot exported by a worker copy of this engine.
 
         Entropies are pure functions of the bound table and estimator, so

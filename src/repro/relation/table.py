@@ -15,6 +15,7 @@ from __future__ import annotations
 import csv
 import hashlib
 from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, NamedTuple
 
@@ -37,6 +38,35 @@ GROUPED_MAX_CELLS = 1 << 23
 #: full domain product fits, group codes are derived with pure O(n)
 #: bincount arithmetic (no sort).
 _DENSE_WIDTH = 1 << 22
+
+
+@dataclass
+class KernelCounters:
+    """Process-local instrumentation of the O(n) counting kernels.
+
+    ``joint_counts_scans`` counts full-column-scan count-vector passes
+    (:meth:`Table.joint_counts`); ``grouped_passes`` counts single-pass
+    grouped-contingency tensor builds (:meth:`Table.grouped_contingencies`).
+    Benchmarks and regression tests reset/read these to assert that the
+    tensor-fed entropy cache actually removes scans from discovery's hot
+    path.  Plain ints, no locking: the counters describe the process that
+    increments them (workers do not report back).
+    """
+
+    joint_counts_scans: int = 0
+    grouped_passes: int = 0
+
+    def reset(self) -> None:
+        self.joint_counts_scans = 0
+        self.grouped_passes = 0
+
+    def total(self) -> int:
+        """All O(n) counting passes seen since the last reset."""
+        return self.joint_counts_scans + self.grouped_passes
+
+
+#: Module-level counter instance (see :class:`KernelCounters`).
+KERNEL_COUNTERS = KernelCounters()
 
 
 class GroupedContingencies(NamedTuple):
@@ -95,6 +125,7 @@ class Table:
         "_n_rows",
         "_entropy_caches",
         "_fingerprint",
+        "_n_groups_memo",
     )
 
     def __init__(
@@ -122,6 +153,11 @@ class Table:
         # Content fingerprint, hashed lazily on first request (the dataset
         # plane publishes tables by fingerprint once per analysis).
         self._fingerprint: str | None = None
+        # Observed-group-count memo (frozenset key -> int).  The count is
+        # order-invariant, so a set key is exact; chi-squared degrees of
+        # freedom and HyMIT routing read |Pi_X|, |Pi_Y|, |Pi_Z| from here
+        # instead of re-scanning once any kernel pass has seeded them.
+        self._n_groups_memo: dict[frozenset[str], int] = {}
 
     # ------------------------------------------------------------------
     # Constructors
@@ -236,6 +272,19 @@ class Table:
                 digest.update(np.ascontiguousarray(self._codes[name]).tobytes())
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
+
+    def set_fingerprint(self, fingerprint: str) -> None:
+        """Seed the memoized content fingerprint without hashing.
+
+        Only valid when the caller *knows* the digest, e.g. the service
+        registry's ``(parent fingerprint, predicate) -> child fingerprint``
+        memo re-deriving a WHERE-filtered view it has hashed before.  A
+        wrong seed would alias distinct contents on the dataset plane, so
+        a non-``None`` memoized value must match instead of being replaced.
+        """
+        if self._fingerprint is not None and self._fingerprint != fingerprint:
+            raise ValueError("fingerprint seed disagrees with the hashed value")
+        self._fingerprint = fingerprint
 
     def numeric(self, column: str) -> np.ndarray:
         """The values of ``column`` as a float array.
@@ -464,6 +513,7 @@ class Table:
         self._check_columns(names)
         if not names:
             return np.array([self._n_rows], dtype=np.int64)
+        KERNEL_COUNTERS.joint_counts_scans += 1
         dense = self._dense_packed(names)
         if dense is not None:
             packed, width = dense
@@ -476,8 +526,26 @@ class Table:
         return sorted(self.value_counts(columns), key=repr)
 
     def n_groups(self, columns: Sequence[str]) -> int:
-        """Number of *observed* distinct value combinations over ``columns``."""
-        return int(np.count_nonzero(self.joint_counts(columns)))
+        """Number of *observed* distinct value combinations over ``columns``.
+
+        Memoized under the column *set*: the count is order-invariant, and
+        tables are immutable, so one scan (or one grouped-kernel pass,
+        which seeds the same memo) answers every later request in O(1).
+        """
+        key = frozenset(columns)
+        cached = self._n_groups_memo.get(key)
+        if cached is None:
+            cached = int(np.count_nonzero(self.joint_counts(columns)))
+            self._n_groups_memo[key] = cached
+        return cached
+
+    def n_groups_cached(self, columns: Sequence[str]) -> int | None:
+        """Peek the observed-group-count memo (``None`` = never computed).
+
+        Lets HyMIT decide whether its routing inputs are already known
+        without triggering the scans :meth:`n_groups` would issue.
+        """
+        return self._n_groups_memo.get(frozenset(columns))
 
     def group_indices(self, columns: Sequence[str]) -> list[tuple[tuple[Any, ...], np.ndarray]]:
         """Partition row indices by the values of ``columns``.
@@ -529,12 +597,19 @@ class Table:
         n = self._n_rows
         if n == 0:
             return None
+        KERNEL_COUNTERS.grouped_passes += 1
         group_codes, group_counts, group_rows = self._observed_group_codes(tuple(z))
         x_codes, x_compressed = self._observed_column_codes(x)
         y_codes, y_compressed = self._observed_column_codes(y)
         n_groups = len(group_counts)
         rows = len(x_codes)
         cols = len(y_codes)
+        # The pass just counted the observed values of X, Y, and the Z
+        # groups; seed the order-invariant memo so routing and degrees of
+        # freedom never re-scan for them.
+        self._n_groups_memo.setdefault(frozenset((x,)), rows)
+        self._n_groups_memo.setdefault(frozenset((y,)), cols)
+        self._n_groups_memo.setdefault(frozenset(z), n_groups)
         if n_groups * rows * cols > max_cells:
             return None
         packed = (group_codes * rows + x_compressed) * cols + y_compressed
@@ -622,14 +697,20 @@ class Table:
             array[position] = value
         return array
 
-    def entropy_cache(self, estimator: str) -> dict[frozenset[str], float]:
+    def entropy_cache(self, estimator: str) -> dict:
         """The shared entropy memo for ``estimator`` (see EntropyEngine).
 
-        Different Table instances never share a cache, so selections and
-        projections always start fresh (their row sets differ).  Caches are
-        plain picklable dicts and travel with the table into worker
-        processes; entries computed by a worker are brought home with
-        :meth:`export_entropy_caches` / :meth:`merge_entropy_caches`.
+        Two key kinds coexist in one dict: ``frozenset`` keys memoize an
+        entropy for *any* column order (first computation wins), while
+        ``tuple`` keys memoize the bit-exact value for that specific packed
+        cell order -- the tensor-fed chi-squared path uses ordered keys so
+        a cached entropy is always the identical float a fresh scan in
+        that order would produce.  Different Table instances never share a
+        cache, so selections and projections always start fresh (their row
+        sets differ).  Caches are plain picklable dicts and travel with
+        the table into worker processes; entries computed by a worker are
+        brought home with :meth:`export_entropy_caches` /
+        :meth:`merge_entropy_caches`.
         """
         return self._entropy_caches.setdefault(estimator, {})
 
@@ -653,15 +734,27 @@ class Table:
         return {estimator: dict(cache) for estimator, cache in self._entropy_caches.items()}
 
     def merge_entropy_caches(
-        self, caches: Mapping[str, Mapping[frozenset[str], float]]
+        self,
+        caches: Mapping[str, Mapping],
+        ordered_only: bool = False,
     ) -> None:
         """Merge an exported snapshot into this table's entropy memos.
 
         Only valid for snapshots taken from (copies of) this same table --
         entropies depend on the row set.  Existing entries are overwritten
         with equal values, so merging is idempotent.
+
+        ``ordered_only`` restricts the merge to tuple-keyed (ordered)
+        entries.  Ordered entries are pure functions of (table, estimator,
+        column order) and therefore bitwise-safe to import from any worker;
+        set-keyed entries are "first computation order wins", so importing
+        one could change which order this process caches first.  Discovery
+        merges worker snapshots with ``ordered_only=True`` to keep the
+        emitted p-value stream byte-identical to in-process computation.
         """
         for estimator, cache in caches.items():
+            if ordered_only:
+                cache = {key: value for key, value in cache.items() if isinstance(key, tuple)}
             self._entropy_caches.setdefault(estimator, {}).update(cache)
 
     # ------------------------------------------------------------------

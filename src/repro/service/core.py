@@ -307,6 +307,7 @@ class AnalysisService:
             "engine": type(self.engine).__name__,
             "jobs": getattr(self.engine, "jobs", 1),
             "datasets": self.registry.describe(),
+            "filter_memo_entries": self.registry.filter_memo_size,
             "result_cache": self.cache.describe(),
         }
 
@@ -319,7 +320,10 @@ class AnalysisService:
 
         Fresh per request so the RNG state depends only on the request's
         seed (never on request order); bound to the registry's table
-        instance so entropy memos accumulate across requests.
+        instance so entropy memos accumulate across requests.  WHERE
+        views come from the registry's fingerprint-memoizing factory, so
+        a repeated clause republishes on the dataset plane without the
+        O(n) content re-hash.
         """
         return HypDB(
             entry.table,
@@ -327,6 +331,9 @@ class AnalysisService:
             alpha=alpha,
             seed=seed,
             engine=self.engine,
+            filter_source=lambda predicate: self.registry.filtered_table(
+                entry, predicate
+            ),
         )
 
     def _respond(

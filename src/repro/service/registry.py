@@ -48,6 +48,12 @@ class DatasetEntry:
         }
 
 
+#: Bound on the (parent fingerprint, predicate) -> child fingerprint memo:
+#: entries are ~100 B each, the bound only exists so a service fed an
+#: unbounded stream of distinct WHERE clauses cannot grow without limit.
+FILTER_MEMO_LIMIT = 1024
+
+
 class DatasetRegistry:
     """Thread-safe name -> table registry with content deduplication."""
 
@@ -55,6 +61,11 @@ class DatasetRegistry:
         self._lock = threading.Lock()
         self._by_name: dict[str, DatasetEntry] = {}
         self._by_fingerprint: dict[str, Table] = {}
+        # (parent fingerprint, predicate) -> child fingerprint.  Predicates
+        # are frozen dataclasses with value equality, so a repeated WHERE
+        # clause re-derives its filtered view's fingerprint without the
+        # O(n) re-hash -- republication on the dataset plane becomes O(1).
+        self._filtered_fingerprints: dict[tuple, str] = {}
 
     def register(self, name: str, table: Table) -> tuple[DatasetEntry, bool]:
         """Register ``table`` under ``name``; returns ``(entry, reused)``.
@@ -96,6 +107,48 @@ class DatasetRegistry:
                 raise UnknownDatasetError(
                     f"unknown dataset {name!r}; registered datasets: {known}"
                 ) from None
+
+    def filtered_table(self, entry: DatasetEntry, predicate) -> Table:
+        """``entry.table.where(predicate)`` with a memoized fingerprint.
+
+        The WHERE-filtered view is rebuilt per request (tables are
+        immutable; the row selection itself is one vectorized gather), but
+        its content fingerprint -- the expensive O(n) SHA-256 the dataset
+        plane and the result cache key on -- is memoized under
+        ``(parent fingerprint, predicate)``.  A repeated clause therefore
+        republishes in O(1): the first request pays the hash, every later
+        one seeds the fresh view's memo slot and skips it.
+
+        Safe because the predicate fully determines the child's rows given
+        the parent's content, and the memo keys on the parent's *content*
+        fingerprint, not its name.
+        """
+        if predicate is None:
+            return entry.table
+        child = entry.table.where(predicate)
+        if child is entry.table:
+            return child
+        key = (entry.fingerprint, predicate)
+        with self._lock:
+            known = self._filtered_fingerprints.get(key)
+        if known is not None:
+            child.set_fingerprint(known)
+            return child
+        fingerprint = child.fingerprint()
+        with self._lock:
+            self._filtered_fingerprints[key] = fingerprint
+            while len(self._filtered_fingerprints) > FILTER_MEMO_LIMIT:
+                # dicts iterate in insertion order: drop the oldest entry.
+                self._filtered_fingerprints.pop(
+                    next(iter(self._filtered_fingerprints))
+                )
+        return child
+
+    @property
+    def filter_memo_size(self) -> int:
+        """Entries in the filtered-fingerprint memo (instrumentation)."""
+        with self._lock:
+            return len(self._filtered_fingerprints)
 
     def names(self) -> list[str]:
         """Registered dataset names, sorted."""

@@ -20,16 +20,11 @@ from __future__ import annotations
 
 from scipy import stats as scipy_stats
 
+from repro.infotheory.cache import ATTEMPT_KERNEL as _ATTEMPT_KERNEL
 from repro.infotheory.cache import EntropyEngine
 from repro.infotheory.entropy import entropy_from_counts
 from repro.relation.table import GroupedContingencies, Table
 from repro.stats.base import CIResult, CITest
-
-
-#: Sentinel for "caller has not attempted the grouped kernel": distinct
-#: from ``None``, which means "attempted and declined" -- passing ``None``
-#: must never trigger a second (equally doomed) kernel pass.
-_ATTEMPT_KERNEL = object()
 
 
 def degrees_of_freedom(
@@ -93,12 +88,31 @@ def _cmi_from_grouped(grouped: GroupedContingencies, conditioned: bool) -> float
 
 
 class ChiSquaredTest(CITest):
-    """G-test of conditional independence with a chi-squared null."""
+    """G-test of conditional independence with a chi-squared null.
+
+    The four joint entropies behind the statistic are served by the
+    tensor-fed :class:`EntropyEngine`: each comes from the table's shared
+    ordered-key memo when available, from one grouped-kernel pass
+    otherwise, and from a direct scan as the last resort.  All three
+    sources produce the identical float for a given packed order, so
+    p-values never depend on what happened to be cached -- but a test
+    repeated against the same :class:`Table` instance (the bread and
+    butter of discovery's Phase I/II subset enumeration) costs zero data
+    passes the second time.
+
+    ``share_entropies=False`` disables the shared memo (each call then
+    pays its own kernel pass); kept for ablation and the scan-count
+    regression tests.
+    """
 
     name = "chi2"
 
+    def __init__(self, share_entropies: bool = True) -> None:
+        super().__init__()
+        self.share_entropies = share_entropies
+
     def _test(self, table: Table, x: str, y: str, z: tuple[str, ...]) -> CIResult:
-        return self._from_grouped(table, x, y, z, table.grouped_contingencies(x, y, z))
+        return self._from_grouped(table, x, y, z, _ATTEMPT_KERNEL)
 
     def test_with_grouped(
         self,
@@ -106,12 +120,16 @@ class ChiSquaredTest(CITest):
         x: str,
         y: str,
         z: tuple[str, ...],
-        grouped: GroupedContingencies | None,
+        grouped,
     ) -> CIResult:
         """Run the test on a pre-computed grouped-kernel summary.
 
         The hybrid test routes with the kernel output in hand; this entry
         point reuses it (and counts the call) instead of re-scanning.
+        ``grouped`` may be a :class:`GroupedContingencies`, ``None``
+        ("kernel attempted and declined" -- go straight to scans), or the
+        :data:`ATTEMPT_KERNEL` sentinel ("not attempted" -- the entropy
+        engine decides whether a pass is worth it).
         """
         self.calls += 1
         return self._from_grouped(table, x, y, z, grouped)
@@ -122,12 +140,17 @@ class ChiSquaredTest(CITest):
         x: str,
         y: str,
         z: tuple[str, ...],
-        grouped: GroupedContingencies | None,
+        grouped,
     ) -> CIResult:
         if table.n_rows == 0:
             return CIResult(statistic=0.0, p_value=1.0, method=self.name, df=0)
-        cmi, g = g_statistic(table, x, y, z, grouped=grouped)
-        df = degrees_of_freedom(table, x, y, z, grouped=grouped)
+        engine = EntropyEngine(table, estimator="plugin", caching=self.share_entropies)
+        cmi = engine.cmi_grouped(x, y, z, grouped=grouped)
+        g = 2.0 * table.n_rows * max(cmi, 0.0)
+        df = degrees_of_freedom(
+            table, x, y, z,
+            grouped=grouped if isinstance(grouped, GroupedContingencies) else None,
+        )
         if df <= 0:
             # One of the variables is constant in this (sub)population:
             # independence holds trivially.

@@ -22,11 +22,19 @@ from repro.relation.table import GroupedContingencies, Table
 
 @dataclass(frozen=True)
 class GroupContingency:
-    """The ``X x Y`` contingency matrix of one conditioning group ``Z = z``."""
+    """The ``X x Y`` contingency matrix of one conditioning group ``Z = z``.
+
+    ``index`` is the group's position in the grouped-kernel tensor it was
+    sliced from (ascending joint ``Z`` code -- the scan produces the same
+    order, so both builders number groups identically).  Replicate tasks
+    that reference a published tensor address their group through it; -1
+    means "not derived from a tensor".
+    """
 
     z_value: tuple[Any, ...]
     matrix: np.ndarray
     weight: float  # Pr(Z = z) within the population the table represents
+    index: int = -1
 
     @property
     def n(self) -> int:
@@ -78,14 +86,29 @@ def conditional_contingencies(
     and weights are identical to the per-group scan (kept below as the
     fallback for over-budget tensors and pinned by the property tests).
     """
-    n = table.n_rows
-    if n == 0:
-        return []
+    groups, _ = grouped_with_contingencies(table, x, y, z)
+    return groups
+
+
+def grouped_with_contingencies(
+    table: Table, x: str, y: str, z: Sequence[str]
+) -> tuple[list[GroupContingency], GroupedContingencies | None]:
+    """The kernel/scan dispatch behind :func:`conditional_contingencies`,
+    also handing back the tensor the groups were sliced from.
+
+    Returns ``(groups, grouped)`` where ``grouped`` is ``None`` whenever
+    the kernel declined (empty table / over-budget tensor) and the groups
+    came from the reference scan.  Callers that publish the tensor on the
+    dataset plane (MIT's replicate fan-out) use this instead of
+    :func:`conditional_contingencies` so both share one decline policy.
+    """
+    if table.n_rows == 0:
+        return [], None
     names = tuple(z)
     grouped = table.grouped_contingencies(x, y, names)
     if grouped is None:
-        return _conditional_contingencies_scan(table, x, y, names)
-    return contingencies_from_grouped(table, grouped, names)
+        return _conditional_contingencies_scan(table, x, y, names), None
+    return contingencies_from_grouped(table, grouped, names), grouped
 
 
 def contingencies_from_grouped(
@@ -113,6 +136,7 @@ def contingencies_from_grouped(
                 z_value=tuple(z_values[index]),
                 matrix=matrix,
                 weight=int(grouped.group_counts[index]) / n,
+                index=index,
             )
         )
     return groups
@@ -130,9 +154,11 @@ def _conditional_contingencies_scan(
     if n == 0:
         return []
     groups: list[GroupContingency] = []
-    for z_value, indices in table.group_indices(z):
+    for index, (z_value, indices) in enumerate(table.group_indices(z)):
         matrix, _, _ = contingency_matrix(table, x, y, indices)
         groups.append(
-            GroupContingency(z_value=z_value, matrix=matrix, weight=len(indices) / n)
+            GroupContingency(
+                z_value=z_value, matrix=matrix, weight=len(indices) / n, index=index
+            )
         )
     return groups

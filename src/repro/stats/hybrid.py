@@ -16,6 +16,7 @@ from collections.abc import Mapping
 import numpy as np
 
 from repro.engine import ExecutionEngine
+from repro.infotheory.cache import ATTEMPT_KERNEL as _ATTEMPT_KERNEL
 from repro.relation.table import Table
 from repro.stats.base import CIResult, CITest
 from repro.stats.chi2 import ChiSquaredTest
@@ -46,6 +47,10 @@ class HybridTest(CITest):
     n_permutations, group_sampling, seed, engine:
         Forwarded to the embedded :class:`PermutationTest` (``engine``
         parallelizes the Monte-Carlo branch's replicates).
+    share_entropies:
+        Forwarded to the embedded :class:`ChiSquaredTest`: ``False``
+        disables the table-shared ordered entropy memo (ablation / scan
+        accounting only; results are identical either way).
     """
 
     name = "hymit"
@@ -58,6 +63,7 @@ class HybridTest(CITest):
         group_sampling: str | float | None = "log",
         seed: int | np.random.Generator | None = None,
         engine: ExecutionEngine | int | None = None,
+        share_entropies: bool = True,
     ) -> None:
         super().__init__()
         check_positive("beta", beta)
@@ -65,7 +71,7 @@ class HybridTest(CITest):
             raise ValueError(f"routing must be 'cells' or 'df', got {routing!r}")
         self.beta = beta
         self.routing = routing
-        self._chi2 = ChiSquaredTest()
+        self._chi2 = ChiSquaredTest(share_entropies=share_entropies)
         self._mit = PermutationTest(
             n_permutations=n_permutations,
             group_sampling=group_sampling,
@@ -117,16 +123,25 @@ class HybridTest(CITest):
         # One grouped-kernel pass serves the routing decision (observed
         # |Pi_X| / |Pi_Y| / |Pi_Z| are the tensor's dimensions) and then
         # feeds whichever branch wins, so neither branch re-summarizes the
-        # data.  When the kernel declines (empty table / over-budget
-        # tensor) both routing and branches fall back to their own scans,
-        # which compute the exact same integers.
-        grouped = table.grouped_contingencies(x, y, z)
-        if grouped is not None:
-            n_x, n_y, n_z = grouped.n_x, grouped.n_y, grouped.n_groups
-        else:
-            n_x = table.n_groups((x,))
-            n_y = table.n_groups((y,))
-            n_z = table.n_groups(z)
+        # data.  When every routing input is already memoized on the table
+        # (a previous pass seeded the observed-group counts) the kernel is
+        # not even attempted here: a chi-squared verdict may then be served
+        # entirely from the shared entropy memo, and the Monte-Carlo branch
+        # requests its own pass lazily.  When the kernel declines (empty
+        # table / over-budget tensor) both routing and branches fall back
+        # to their own scans, which compute the exact same integers.
+        grouped = _ATTEMPT_KERNEL
+        n_x = table.n_groups_cached((x,))
+        n_y = table.n_groups_cached((y,))
+        n_z = table.n_groups_cached(z)
+        if None in (n_x, n_y, n_z):
+            grouped = table.grouped_contingencies(x, y, z)
+            if grouped is not None:
+                n_x, n_y, n_z = grouped.n_x, grouped.n_y, grouped.n_groups
+            else:
+                n_x = table.n_groups((x,))
+                n_y = table.n_groups((y,))
+                n_z = table.n_groups(z)
         if self.routing == "df":
             df = max(n_x - 1, 0) * max(n_y - 1, 0) * max(n_z, 1)
             use_chi2 = df <= table.n_rows / self.beta
@@ -134,18 +149,24 @@ class HybridTest(CITest):
             n_cells = n_x * n_y * max(n_z, 1)
             use_chi2 = table.n_rows >= self.beta * n_cells
         if use_chi2:
-            # grouped=None tells the chi2 side "kernel already declined":
-            # it goes straight to the entropy scans, never re-attempting.
+            # A tensor in hand feeds the chi2 branch; None records "kernel
+            # already declined" (straight to scans, never re-attempting);
+            # the sentinel leaves the decision to the entropy engine.
             result = self._chi2.test_with_grouped(table, x, y, z, grouped)
-        elif grouped is not None:
-            result = self._mit.test_with_groups(
-                table, x, y, z, contingencies_from_grouped(table, grouped, z)
-            )
         else:
-            # Same declined-kernel shortcut for the Monte-Carlo branch.
-            result = self._mit.test_with_groups(
-                table, x, y, z, _conditional_contingencies_scan(table, x, y, z)
-            )
+            if grouped is _ATTEMPT_KERNEL:
+                grouped = table.grouped_contingencies(x, y, z)
+            if grouped is not None:
+                result = self._mit.test_with_groups(
+                    table, x, y, z,
+                    contingencies_from_grouped(table, grouped, z),
+                    grouped=grouped,
+                )
+            else:
+                # Same declined-kernel shortcut for the Monte-Carlo branch.
+                result = self._mit.test_with_groups(
+                    table, x, y, z, _conditional_contingencies_scan(table, x, y, z)
+                )
         return CIResult(
             statistic=result.statistic,
             p_value=result.p_value,

@@ -18,6 +18,22 @@ optional *group sampling* of Sec. 5 restricts the test to a weighted sample
 of groups with weights ``w_z = a_z * max(H(T|z), H(Y|z))`` -- groups where
 either variable is (nearly) constant cannot move the statistic and are
 skipped with high probability.
+
+**The GroupedRef task protocol.**  Replicate chunks are engine tasks.
+When the test was fed by the grouped contingency kernel, the parent
+publishes the whole ``(G, r, c)`` tensor on the dataset plane *once*
+(``engine.publish_grouped``) and every task carries only
+``(GroupedRef, group_index, count, seed, estimator)`` -- a ~100 B handle
+plus integers, O(1) regardless of how many groups ``Z`` induces or how
+wide the marginals are.  A worker resolves the handle to the
+worker-resident (shared-memory) tensor, slices its group, and derives the
+compressed row/column marginals from integer sums -- bit-identical to the
+marginal vectors the parent used to ship, so every p-value is unchanged.
+Lifecycle discipline: **publish before map, release only after map
+returns** (`engine.release_grouped` in a ``finally``); a handle whose
+segment was released before its tasks ran cannot resolve.  When the plane
+declines (no tensor, no shared memory), tasks fall back to embedding the
+per-group marginal vectors, exactly the pre-plane payload.
 """
 
 from __future__ import annotations
@@ -26,15 +42,21 @@ import math
 
 import numpy as np
 
-from repro.engine import ExecutionEngine, draw_entropy, resolve_engine, spawn_seeds
+from repro.engine import (
+    ExecutionEngine,
+    draw_entropy,
+    resolve_engine,
+    resolve_grouped,
+    spawn_seeds,
+)
 from repro.infotheory.entropy import entropy_from_counts
 from repro.infotheory.mutual_information import (
     mutual_information_batch,
     mutual_information_from_matrix,
 )
-from repro.relation.table import Table
+from repro.relation.table import GroupedContingencies, Table
 from repro.stats.base import CIResult, CITest
-from repro.stats.contingency import GroupContingency, conditional_contingencies
+from repro.stats.contingency import GroupContingency, grouped_with_contingencies
 from repro.stats.patefield import sample_contingency_tables
 from repro.utils.validation import check_fraction, ensure_rng
 
@@ -116,7 +138,9 @@ class PermutationTest(CITest):
     # ------------------------------------------------------------------
 
     def _test(self, table: Table, x: str, y: str, z: tuple[str, ...]) -> CIResult:
-        return self._test_groups(conditional_contingencies(table, x, y, z))
+        groups, grouped = grouped_with_contingencies(table, x, y, z)
+        plane = (table, (x, y, *z), grouped) if grouped is not None else None
+        return self._test_groups(groups, plane=plane)
 
     def test_with_groups(
         self,
@@ -125,18 +149,26 @@ class PermutationTest(CITest):
         y: str,
         z: tuple[str, ...],
         groups: list[GroupContingency],
+        grouped: GroupedContingencies | None = None,
     ) -> CIResult:
         """Run MIT on pre-summarized contingency groups.
 
         The hybrid test routes with the grouped-kernel output already in
         hand; this entry point consumes it (and counts the call) instead
-        of re-summarizing the data.  RNG consumption is identical to
-        :meth:`test` -- entropy is drawn per fan-out, not per summary.
+        of re-summarizing the data.  When ``grouped`` (the kernel tensor
+        the ``groups`` were expanded from) is supplied, the replicate
+        fan-out publishes it on the dataset plane and ships
+        ``GroupedRef``-indexed tasks instead of marginal vectors.  RNG
+        consumption is identical to :meth:`test` -- entropy is drawn per
+        fan-out, not per summary.
         """
         self.calls += 1
-        return self._test_groups(groups)
+        plane = None
+        if grouped is not None:
+            plane = (table, (x, y, *z), grouped)
+        return self._test_groups(groups, plane=plane)
 
-    def _test_groups(self, groups: list[GroupContingency]) -> CIResult:
+    def _test_groups(self, groups: list[GroupContingency], plane=None) -> CIResult:
         if not groups:
             return CIResult(statistic=0.0, p_value=1.0, method=self.name)
         selected = self._select_groups(groups)
@@ -155,7 +187,7 @@ class PermutationTest(CITest):
         # mixing raw and re-normalized weights would inflate one side of the
         # comparison and destroy the test's validity under the null.
         total_weight = sum(group.weight for group in selected)
-        replicate_stats = self._null_replicates(selected, m, total_weight)
+        replicate_stats = self._null_replicates(selected, m, total_weight, plane=plane)
 
         exceed = int(np.count_nonzero(replicate_stats >= observed - 1e-12))
         # Add-one smoothing keeps the p-value away from an impossible 0.
@@ -174,7 +206,11 @@ class PermutationTest(CITest):
     # ------------------------------------------------------------------
 
     def _null_replicates(
-        self, selected: list[GroupContingency], m: int, total_weight: float
+        self,
+        selected: list[GroupContingency],
+        m: int,
+        total_weight: float,
+        plane=None,
     ) -> np.ndarray:
         """The ``m`` weighted null statistics, computed as engine tasks.
 
@@ -184,26 +220,51 @@ class PermutationTest(CITest):
         engine or scheduling granularity.  Changing the block *constant*
         would re-partition the seed assignment -- it is deliberately not
         a parameter.
+
+        ``plane`` is an optional ``(table, key, grouped)`` triple: the
+        grouped tensor the selected groups were sliced from.  When given,
+        it is published on the dataset plane for the duration of the map
+        (publish-before-map / release-after-map) and tasks carry
+        ``(handle, group_index)`` instead of the group's marginal
+        vectors.  Workers derive marginals from the tensor slice -- the
+        same integers -- so the switch is invisible to every p-value.
         """
         work = [group for group in selected if min(group.matrix.shape) >= 2]
         chunk = min(_REPLICATE_SEED_BLOCK, m)
         starts = range(0, m, chunk)
         seeds = spawn_seeds(self.draw_entropy(), len(work) * len(starts))
-        tasks = []
-        for index, group in enumerate(work):
-            rows = group.matrix.sum(axis=1)
-            cols = group.matrix.sum(axis=0)
-            for offset, start in enumerate(starts):
-                tasks.append(
-                    (
-                        rows,
-                        cols,
-                        min(chunk, m - start),
-                        seeds[index * len(starts) + offset],
-                        self.estimator,
+        handle = None
+        if plane is not None and work:
+            table, key, grouped = plane
+            # GroupedRef on shared memory, the tensor itself in-process, or
+            # None when neither transport is available (fall back to
+            # embedding marginal vectors in the tasks).
+            handle = self.engine.publish_grouped(table, key, grouped)
+        try:
+            tasks = []
+            for index, group in enumerate(work):
+                if handle is not None and group.index >= 0:
+                    source: object = handle
+                    detail: object = group.index
+                else:
+                    # No published tensor, or a group that was not sliced
+                    # from one (index -1): embed the marginals directly.
+                    source = group.matrix.sum(axis=1)
+                    detail = group.matrix.sum(axis=0)
+                for offset, start in enumerate(starts):
+                    tasks.append(
+                        (
+                            source,
+                            detail,
+                            min(chunk, m - start),
+                            seeds[index * len(starts) + offset],
+                            self.estimator,
+                        )
                     )
-                )
-        partials = self.engine.map(_null_replicate_chunk, tasks)
+            partials = self.engine.map(_null_replicate_chunk, tasks)
+        finally:
+            if handle is not None:
+                self.engine.release_grouped(handle)
         replicate_stats = np.zeros(m, dtype=np.float64)
         cursor = 0
         for group in work:
@@ -262,10 +323,27 @@ class PermutationTest(CITest):
 def _null_replicate_chunk(task) -> np.ndarray:
     """Engine task: the null mutual informations of one replicate chunk.
 
-    The payload carries only the group's marginals and a pre-spawned seed,
-    so the task is pure and cheap to ship to a worker process.
+    Two payload shapes, both pure and cheap to ship:
+
+    * ``(rows, cols, count, seed, estimator)`` -- the group's marginal
+      vectors embedded directly (legacy / plane-unavailable transport);
+    * ``(handle, group_index, count, seed, estimator)`` -- a dataset-plane
+      handle (``GroupedRef`` or an in-process tensor) plus the group's
+      index; the worker slices the resident tensor and derives the
+      compressed marginals itself.  Columns (rows) whose margin is zero in
+      the group are all-zero in the slice, so summing over the full slice
+      yields exactly the compressed matrix's marginals.
     """
-    rows, cols, count, seed, estimator = task
+    source, detail, count, seed, estimator = task
+    if isinstance(source, np.ndarray):
+        rows, cols = source, detail
+    else:
+        grouped = resolve_grouped(source)
+        cell = grouped.tensor[detail]
+        row_sums = cell.sum(axis=1)
+        col_sums = cell.sum(axis=0)
+        rows = row_sums[row_sums > 0]
+        cols = col_sums[col_sums > 0]
     rng = np.random.default_rng(seed)
     tables = sample_contingency_tables(rows, cols, count, rng)
     return mutual_information_batch(tables, estimator)

@@ -1,0 +1,199 @@
+"""The tensor-fed entropy engine: absorb_grouped / cmi_grouped.
+
+Contract: every entropy registered from one grouped-kernel pass is the
+*identical float* a direct ``joint_counts`` scan in the same packed column
+order produces -- for randomized tables, including ``z = ()`` and
+selections whose domains carry unobserved values -- and routing discovery
+through the shared ordered memo removes data passes without moving a
+single output bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.causal.iamb import iamb_markov_blanket
+from repro.core.discovery import CovariateDiscoverer
+from repro.infotheory.cache import EntropyEngine
+from repro.relation.table import KERNEL_COUNTERS, Table
+from repro.stats.hybrid import HybridTest
+
+
+def random_table(rng: np.random.Generator, n: int, n_cols: int = 4) -> Table:
+    """Randomized categorical table; sometimes a selection, so domains can
+    contain values no row carries (the unobserved-domain edge case)."""
+    columns = {}
+    for index in range(n_cols):
+        cardinality = int(rng.integers(1, 7))
+        values = rng.integers(0, cardinality, n)
+        if rng.random() < 0.5:
+            columns[f"c{index}"] = [f"v{value}" for value in values]
+        else:
+            columns[f"c{index}"] = values.tolist()
+    table = Table.from_columns(columns)
+    if n and rng.random() < 0.6:
+        table = table.select(rng.random(n) < 0.7)
+    return table
+
+
+def random_case(rng: np.random.Generator):
+    table = random_table(rng, int(rng.integers(1, 400)))
+    names = list(table.columns)
+    z = tuple(names[2 : 2 + int(rng.integers(0, 3))])
+    return table, names[0], names[1], z
+
+
+class TestAbsorbGrouped:
+    @pytest.mark.parametrize("estimator", ["plugin", "miller_madow"])
+    def test_absorbed_entropies_match_joint_counts_bitwise(self, estimator):
+        rng = np.random.default_rng(31)
+        checked = 0
+        for _ in range(80):
+            table, x, y, z = random_case(rng)
+            if table.n_rows == 0:
+                continue
+            grouped = table.grouped_contingencies(x, y, z)
+            if grouped is None:
+                continue
+            engine = EntropyEngine(table, estimator=estimator)
+            added = engine.absorb_grouped(x, y, z, grouped)
+            assert added == (4 if z else 3)
+            # A scan-fed engine computes each entropy in the same packed
+            # order; the absorbed values must match bit for bit.
+            reference = EntropyEngine(
+                Table({c: table.codes(c) for c in table.columns},
+                      {c: table.domain(c) for c in table.columns}),
+                estimator=estimator,
+            )
+            for key in [(x, *z), (y, *z), (x, y, *z)] + ([z] if z else []):
+                cached = engine._cache[key]
+                assert cached == reference._compute_entropy(key)  # bitwise
+                checked += 1
+        assert checked > 60  # the sweep actually exercised the kernel
+
+    def test_absorb_skips_present_keys_and_uncached_engines(self, small_table):
+        grouped = small_table.grouped_contingencies("T", "Y", ("Z",))
+        engine = EntropyEngine(small_table, estimator="plugin")
+        assert engine.absorb_grouped("T", "Y", ("Z",), grouped) == 4
+        assert engine.absorb_grouped("T", "Y", ("Z",), grouped) == 0
+        uncached = EntropyEngine(small_table, estimator="plugin", caching=False)
+        assert uncached.absorb_grouped("T", "Y", ("Z",), grouped) == 0
+
+    def test_empty_conditioning_set_registers_three(self, small_table):
+        grouped = small_table.grouped_contingencies("T", "Y", ())
+        engine = EntropyEngine(small_table, estimator="plugin")
+        assert engine.absorb_grouped("T", "Y", (), grouped) == 3
+        assert () not in engine._cache  # H(()) is exactly 0, never stored
+
+
+class TestCmiGrouped:
+    @pytest.mark.parametrize("estimator", ["plugin", "miller_madow"])
+    def test_matches_mutual_information_bitwise(self, estimator):
+        rng = np.random.default_rng(37)
+        for _ in range(60):
+            table, x, y, z = random_case(rng)
+            if table.n_rows == 0:
+                continue
+            fed = EntropyEngine(table, estimator=estimator)
+            value = fed.cmi_grouped(x, y, z)
+            plain = EntropyEngine(table, estimator=estimator, caching=False)
+            assert value == plain.mutual_information((x,), (y,), z)  # bitwise
+            # A second call answers from the ordered memo, same float.
+            assert fed.cmi_grouped(x, y, z) == value
+            # And an engine that saw the values only through the cache
+            # still produces the identical CMI.
+            warm = EntropyEngine(table, estimator=estimator)
+            assert warm.cmi_grouped(x, y, z) == value
+
+    def test_declined_kernel_falls_back_to_scans(self, small_table):
+        engine = EntropyEngine(small_table, estimator="plugin")
+        via_scans = engine.cmi_grouped("T", "Y", ("Z",), grouped=None)
+        plain = EntropyEngine(small_table, estimator="plugin", caching=False)
+        assert via_scans == plain.mutual_information(("T",), ("Y",), ("Z",))
+        assert engine.stats.grouped_answers == 0
+        assert engine.stats.scan_answers > 0
+
+    def test_single_missing_key_uses_one_scan_not_a_kernel_pass(self, small_table):
+        engine = EntropyEngine(small_table, estimator="plugin")
+        engine.cmi_grouped("T", "Y", ("Z",))
+        # Remove one entry; refilling it must not re-run the kernel.
+        del engine._cache[("Y", "Z")]
+        KERNEL_COUNTERS.reset()
+        engine.cmi_grouped("T", "Y", ("Z",))
+        assert KERNEL_COUNTERS.grouped_passes == 0
+        assert KERNEL_COUNTERS.joint_counts_scans == 1
+
+    def test_ordered_keys_coexist_with_set_keys(self, small_table):
+        engine = EntropyEngine(small_table, estimator="plugin")
+        by_set = engine.entropy(("T", "Z"))
+        engine.cmi_grouped("T", "Y", ("Z",))
+        assert engine._cache[frozenset(("T", "Z"))] == by_set
+        assert ("T", "Z") in engine._cache
+
+
+class TestNGroupsMemo:
+    def test_memoized_value_matches_scan(self):
+        rng = np.random.default_rng(41)
+        for _ in range(30):
+            table, x, y, z = random_case(rng)
+            expected = int(np.count_nonzero(table.joint_counts((x,))))
+            assert table.n_groups((x,)) == expected
+            assert table.n_groups_cached((x,)) == expected
+            # Order-invariant key: any permutation answers from the memo.
+            if z:
+                forward = table.n_groups(z)
+                assert table.n_groups(tuple(reversed(z))) == forward
+
+    def test_kernel_pass_seeds_the_memo(self, small_table):
+        assert small_table.n_groups_cached(("T",)) is None
+        small_table.grouped_contingencies("T", "Y", ("Z",))
+        KERNEL_COUNTERS.reset()
+        assert small_table.n_groups(("T",)) == 2
+        assert small_table.n_groups(("Y",)) == 2
+        assert small_table.n_groups(("Z",)) == 2
+        assert KERNEL_COUNTERS.joint_counts_scans == 0
+
+
+class TestDiscoveryScanRegression:
+    """Pin the tentpole claim: the tensor-fed memo removes data passes
+    from discovery without changing a single reported number."""
+
+    @pytest.fixture
+    def workload(self, rng):
+        n = 4000
+        z = rng.integers(0, 3, n)
+        w = rng.integers(0, 4, n)
+        t = (rng.random(n) < 0.2 + 0.2 * (z % 2) + 0.1 * (w % 2)).astype(int)
+        y = (rng.random(n) < 0.2 + 0.25 * (z % 3) + 0.2 * t).astype(int)
+        return Table.from_columns(
+            {"Z": z.tolist(), "W": w.tolist(), "T": t.tolist(), "Y": y.tolist()}
+        )
+
+    def _discover(self, table, share, seed=3):
+        test = HybridTest(n_permutations=80, seed=seed, share_entropies=share)
+        discoverer = CovariateDiscoverer(
+            test, blanket_algorithm=iamb_markov_blanket, dependency_filter=None
+        )
+        KERNEL_COUNTERS.reset()
+        result = discoverer.discover(table, "T", outcome="Y")
+        passes = KERNEL_COUNTERS.total()
+        scans = KERNEL_COUNTERS.joint_counts_scans
+        return result, passes, scans
+
+    def test_shared_memo_reduces_passes_identical_results(self, workload):
+        shared, shared_passes, _ = self._discover(workload, share=True)
+        baseline_table = workload.select(np.ones(workload.n_rows, dtype=bool))
+        unshared, unshared_passes, _ = self._discover(baseline_table, share=False)
+        assert shared.covariates == unshared.covariates
+        assert shared.n_tests == unshared.n_tests
+        assert shared_passes < unshared_passes
+
+    def test_warm_table_discovery_is_nearly_scan_free(self, workload):
+        first, cold_passes, _ = self._discover(workload, share=True, seed=3)
+        second, warm_passes, warm_scans = self._discover(workload, share=True, seed=4)
+        assert second.covariates == first.covariates
+        # Chi2-routed tests answer entirely from the ordered memo; only
+        # the Monte-Carlo branch still needs tensors for Patefield groups.
+        assert warm_scans == 0
+        assert warm_passes <= cold_passes / 2

@@ -1,0 +1,117 @@
+"""The (parent fingerprint, predicate) -> child fingerprint memo.
+
+WHERE-filtered context tables are rebuilt per request, but their content
+fingerprint -- the O(n) SHA-256 the dataset plane and result cache key on
+-- must only ever be hashed once per (dataset, clause).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relation.predicates import Eq, In
+from repro.relation.table import Table
+from repro.service.core import AnalysisService
+from repro.service.registry import DatasetRegistry
+
+
+@pytest.fixture
+def registry_entry():
+    registry = DatasetRegistry()
+    table = Table.from_columns(
+        {
+            "T": [0, 1, 0, 1, 0, 1, 1, 0] * 50,
+            "Y": [1, 0, 1, 1, 0, 1, 0, 0] * 50,
+            "Z": ["u", "v", "u", "w", "v", "w", "u", "v"] * 50,
+        }
+    )
+    entry, _ = registry.register("d", table)
+    return registry, entry
+
+
+class TestFilteredTable:
+    def test_repeat_clause_skips_the_hash(self, registry_entry):
+        registry, entry = registry_entry
+        predicate = In("Z", ["u", "v"])
+        first = registry.filtered_table(entry, predicate)
+        assert first._fingerprint is not None  # miss: hashed and memoized
+        assert registry.filter_memo_size == 1
+        second = registry.filtered_table(entry, In("Z", ["u", "v"]))
+        # Hit: the fresh view's fingerprint is seeded, not re-hashed.
+        assert second is not first
+        assert second._fingerprint == first.fingerprint()
+        assert registry.filter_memo_size == 1
+
+    def test_distinct_clauses_get_distinct_fingerprints(self, registry_entry):
+        registry, entry = registry_entry
+        narrow = registry.filtered_table(entry, Eq("Z", "u"))
+        wide = registry.filtered_table(entry, In("Z", ["u", "v"]))
+        assert narrow.fingerprint() != wide.fingerprint()
+        assert registry.filter_memo_size == 2
+
+    def test_memo_keys_on_parent_content_not_name(self, registry_entry):
+        registry, entry = registry_entry
+        alias, reused = registry.register("alias", entry.table)
+        assert reused
+        registry.filtered_table(entry, Eq("Z", "u"))
+        assert registry.filter_memo_size == 1
+        registry.filtered_table(alias, Eq("Z", "u"))
+        assert registry.filter_memo_size == 1  # same parent content: one entry
+
+    def test_none_predicate_passes_parent_through(self, registry_entry):
+        registry, entry = registry_entry
+        assert registry.filtered_table(entry, None) is entry.table
+        assert registry.filter_memo_size == 0
+
+    def test_memo_is_bounded(self, registry_entry, monkeypatch):
+        import repro.service.registry as registry_module
+
+        monkeypatch.setattr(registry_module, "FILTER_MEMO_LIMIT", 3)
+        registry, entry = registry_entry
+        for value in ["u", "v", "w"]:
+            registry.filtered_table(entry, Eq("Z", value))
+            registry.filtered_table(entry, Eq("T", 0) if value == "w" else Eq("T", 1))
+        assert registry.filter_memo_size <= 3
+
+
+class TestSeededFingerprint:
+    def test_seed_matches_hash(self):
+        table = Table.from_columns({"A": [1, 2, 3]})
+        digest = table.fingerprint()
+        clone = Table.from_columns({"A": [1, 2, 3]})
+        clone.set_fingerprint(digest)
+        assert clone.fingerprint() == digest
+
+    def test_conflicting_seed_rejected(self):
+        table = Table.from_columns({"A": [1, 2, 3]})
+        table.fingerprint()
+        with pytest.raises(ValueError, match="disagrees"):
+            table.set_fingerprint("0" * 64)
+
+
+class TestServiceIntegration:
+    def test_where_clause_payloads_stable_and_memoized(self):
+        service = AnalysisService()
+        try:
+            service.register(
+                "flights",
+                columns={
+                    "T": [0, 1] * 200,
+                    "Y": [1, 0, 0, 1] * 100,
+                    "Z": ["a", "b", "c", "d"] * 100,
+                },
+            )
+            first = service.whatif(
+                "flights", "T", "Y", where_sql="Z IN ('a','b')", test="chi2", seed=1
+            )
+            # Different params -> result-cache miss, but the same WHERE
+            # clause -> fingerprint-memo hit on the re-filtered view.
+            second = service.whatif(
+                "flights", "T", "Y", where_sql="Z IN ('a','b')", test="chi2", seed=2
+            )
+            assert not first.cached
+            assert not second.cached
+            assert first.result["interventions"] == second.result["interventions"]
+            assert service.registry.filter_memo_size >= 1
+        finally:
+            service.close()

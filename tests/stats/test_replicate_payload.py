@@ -1,0 +1,179 @@
+"""O(1) replicate payloads: the GroupedRef task protocol end to end.
+
+Pins the tentpole contract of the grouped-tensor plane: MIT/HyMIT
+replicate fan-outs carrying ``(GroupedRef, group_index)`` produce
+bit-identical p-values to marginal-list payloads, on every transport
+(in-process tensor, fork-inherited registry, spawn + shared-memory
+attach), and the handles stay O(1) no matter how many conditioning
+groups the tensor holds.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine import ParallelEngine, SerialEngine, dataplane
+from repro.engine.base import ExecutionEngine
+from repro.engine.dataplane import GroupedRef, resolve_grouped
+from repro.relation.table import Table
+from repro.stats.hybrid import HybridTest
+from repro.stats.permutation import PermutationTest
+
+
+@pytest.fixture
+def wide_table(rng) -> Table:
+    n = 3000
+    z1 = rng.integers(0, 5, n)
+    z2 = rng.integers(0, 4, n)
+    t = (rng.random(n) < 0.25 + 0.1 * (z1 % 3)).astype(int)
+    y = (rng.random(n) < 0.2 + 0.1 * (z2 % 2) + 0.1 * t).astype(int)
+    return Table.from_columns(
+        {"Z1": z1.tolist(), "Z2": z2.tolist(), "T": t.tolist(), "Y": y.tolist()}
+    )
+
+
+def _mit_p_value(table, engine, seed=11):
+    test = PermutationTest(n_permutations=120, seed=seed, engine=engine)
+    result = test.test(table, "T", "Y", ("Z1", "Z2"))
+    return result.p_value, result.statistic
+
+
+class TestPValueIdentity:
+    def test_serial_parallel_and_legacy_payloads_agree(self, wide_table, monkeypatch):
+        serial = _mit_p_value(wide_table, SerialEngine())
+        with ParallelEngine(jobs=2, min_tasks=1) as engine:
+            parallel = _mit_p_value(wide_table, engine)
+        # Force the marginal-list fallback everywhere (plane unavailable).
+        monkeypatch.setattr(
+            ExecutionEngine, "publish_grouped", lambda self, table, key, grouped: None
+        )
+        legacy = _mit_p_value(wide_table, SerialEngine())
+        assert serial == parallel == legacy
+
+    @pytest.mark.slow
+    def test_spawn_workers_attach_the_tensor_segment(self, wide_table):
+        serial = _mit_p_value(wide_table, SerialEngine())
+        with ParallelEngine(jobs=2, min_tasks=1, start_method="spawn") as engine:
+            spawned = _mit_p_value(wide_table, engine)
+        assert serial == spawned
+
+    def test_hybrid_mit_branch_identical(self, rng):
+        # Small sample, many cells: Cochran's rule routes to the
+        # Monte-Carlo branch, which ships GroupedRef replicate tasks.
+        n = 900
+        z1 = rng.integers(0, 8, n)
+        z2 = rng.integers(0, 7, n)
+        t = (rng.random(n) < 0.3 + 0.05 * (z1 % 4)).astype(int)
+        y = (rng.random(n) < 0.2 + 0.08 * (z2 % 3) + 0.15 * t).astype(int)
+        sparse = Table.from_columns(
+            {"Z1": z1.tolist(), "Z2": z2.tolist(), "T": t.tolist(), "Y": y.tolist()}
+        )
+        serial = HybridTest(n_permutations=120, seed=5).test(
+            sparse, "T", "Y", ("Z1", "Z2")
+        )
+        with ParallelEngine(jobs=2, min_tasks=1) as engine:
+            parallel = HybridTest(n_permutations=120, seed=5, engine=engine).test(
+                sparse, "T", "Y", ("Z1", "Z2")
+            )
+        assert serial.method == "hymit[mit_sampling]"
+        assert serial.p_value == parallel.p_value
+        assert serial.statistic == parallel.statistic
+
+
+class TestGroupedRefPayload:
+    def _published(self, rng, z_card):
+        n = 2000
+        table = Table.from_columns(
+            {
+                "X": rng.integers(0, 6, n).tolist(),
+                "Y": rng.integers(0, 5, n).tolist(),
+                "Z": rng.integers(0, z_card, n).tolist(),
+            }
+        )
+        grouped = table.grouped_contingencies("X", "Y", ("Z",))
+        ref = dataplane.publish_grouped(table.fingerprint(), ("X", "Y", "Z"), grouped)
+        return table, grouped, ref
+
+    def test_handle_is_o1_in_group_count(self, rng):
+        _, _, narrow = self._published(rng, z_card=2)
+        _, _, wide = self._published(rng, z_card=64)
+        try:
+            assert narrow is not None and wide is not None
+            narrow_bytes = len(pickle.dumps(narrow))
+            wide_bytes = len(pickle.dumps(wide))
+            assert narrow_bytes == wide_bytes  # independent of |Pi_Z|
+            assert wide_bytes < 400
+        finally:
+            dataplane.release_grouped(narrow)
+            dataplane.release_grouped(wide)
+
+    def test_publish_is_refcounted_and_unlinks_at_zero(self, rng):
+        table, grouped, ref = self._published(rng, z_card=4)
+        composite = (ref.fingerprint, ref.key)
+        again = dataplane.publish_grouped(table.fingerprint(), ("X", "Y", "Z"), grouped)
+        assert again is ref
+        assert composite in dataplane._registry.grouped_segments
+        dataplane.release_grouped(ref)
+        assert composite in dataplane._registry.grouped_segments
+        dataplane.release_grouped(ref)
+        assert composite not in dataplane._registry.grouped_segments
+        assert composite not in dataplane._registry.grouped
+
+    def test_resolve_passthrough_and_registry_hit(self, rng):
+        table, grouped, ref = self._published(rng, z_card=4)
+        try:
+            assert resolve_grouped(grouped) is grouped
+            assert resolve_grouped(ref) is grouped  # parent registry hit
+        finally:
+            dataplane.release_grouped(ref)
+
+    def test_engine_close_releases_leaked_publications(self, rng):
+        n = 500
+        table = Table.from_columns(
+            {
+                "X": rng.integers(0, 3, n).tolist(),
+                "Y": rng.integers(0, 3, n).tolist(),
+                "Z": rng.integers(0, 3, n).tolist(),
+            }
+        )
+        grouped = table.grouped_contingencies("X", "Y", ("Z",))
+        engine = ParallelEngine(jobs=2)
+        ref = engine.publish_grouped(table, ("X", "Y", "Z"), grouped)
+        assert isinstance(ref, GroupedRef)
+        composite = (ref.fingerprint, ref.key)
+        assert composite in dataplane._registry.grouped_segments
+        engine.close()  # caller forgot release_grouped: close sweeps it
+        assert composite not in dataplane._registry.grouped_segments
+
+    def test_serial_engine_hands_back_the_tensor(self, rng):
+        table, grouped, ref = self._published(rng, z_card=4)
+        dataplane.release_grouped(ref)
+        engine = SerialEngine()
+        handle = engine.publish_grouped(table, ("X", "Y", "Z"), grouped)
+        assert handle is grouped
+        engine.release_grouped(handle)  # no-op, must not raise
+
+
+class TestWorkerMarginals:
+    def test_tensor_slice_marginals_match_compressed_matrix(self, rng):
+        """Zero-margin rows/columns never perturb the derived marginals."""
+        from repro.stats.contingency import contingencies_from_grouped
+
+        n = 1500
+        table = Table.from_columns(
+            {
+                "X": rng.integers(0, 7, n).tolist(),
+                "Y": rng.integers(0, 6, n).tolist(),
+                "Z": rng.integers(0, 30, n).tolist(),
+            }
+        ).select(rng.random(1500) < 0.2)  # sparse: some margins vanish
+        grouped = table.grouped_contingencies("X", "Y", ("Z",))
+        for group in contingencies_from_grouped(table, grouped, ("Z",)):
+            cell = grouped.tensor[group.index]
+            row_sums = cell.sum(axis=1)
+            col_sums = cell.sum(axis=0)
+            assert np.array_equal(row_sums[row_sums > 0], group.matrix.sum(axis=1))
+            assert np.array_equal(col_sums[col_sums > 0], group.matrix.sum(axis=0))
