@@ -1,4 +1,4 @@
-"""Service throughput: cold vs warm latency over HTTP (BENCH_service.json).
+"""Service throughput: cold/warm latency + v2 work sharing (BENCH_service.json).
 
 Stands up the analysis service (ThreadingHTTPServer + serial engine) in
 process, registers the paper's FlightData workload, and measures:
@@ -7,15 +7,22 @@ process, registers the paper's FlightData workload, and measures:
   resolution) through the HTTP API with an empty result cache;
 * **warm** -- the same request repeated against the populated cache
   (median over many requests), plus sequential and concurrent
-  requests-per-second.
+  requests-per-second;
+* **batch-of-duplicates** -- ``POST /v2/batch`` with N identical cold
+  analyze specs: the planner de-duplicates, so the batch costs ~one cold
+  compute instead of N;
+* **jobs API** -- N identical cold specs through ``POST /v2/jobs``: the
+  job-level coalescing attaches N-1 submissions to one computation.
 
-The acceptance bar for the service layer is a warm-cache repeated request
-at least 100x faster than the cold run -- the multi-level cache is what
-makes HypDB interactive inside the query lifecycle (cf. the cached-entropy
-series of Fig. 6(c)).  The emitted ``BENCH_service.json`` follows the
-regression-gate schema: rows keyed by (engine, jobs), a calibration
-timing, and workload metadata (the warm row sits below the gate's noise
-floor, so it is reported rather than gated).
+Acceptance bars: warm-cache repeated requests at least 100x faster than
+cold (the multi-level cache, cf. the cached-entropy series of Fig. 6(c)),
+and both v2 duplicate workloads at least 5x fewer kernel counting passes
+than N independent cold computes would cost (the coalescing bar; asserted
+on ``Table.KERNEL_COUNTERS``, which is exact and machine-independent).
+The emitted ``BENCH_service.json`` follows the regression-gate schema:
+rows keyed by (engine, jobs), a calibration timing, and workload metadata
+(the warm row sits below the gate's noise floor, so it is reported rather
+than gated).
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import numpy as np
 from conftest import bench_scale, scaled, write_bench_json
 
 from repro.datasets.flights import flight_data
+from repro.relation.table import KERNEL_COUNTERS
 from repro.service.client import ServiceClient
 from repro.service.core import AnalysisService
 from repro.service.http import make_server
@@ -41,6 +49,10 @@ SQL = (
 ANALYZE_PARAMS = {"seed": 7}
 #: The warm-over-cold factor the service must clear (acceptance bar).
 MIN_WARM_SPEEDUP = 100.0
+#: Identical cold specs per v2 duplicate workload.
+DUPLICATES = 10
+#: v2 duplicates must cost >= this factor fewer kernel passes than N solos.
+MIN_COALESCE_FACTOR = 5.0
 
 
 def _calibration_seconds() -> float:
@@ -69,11 +81,13 @@ def test_service_throughput(benchmark, report_sink):
 
     benchmark.group = "service_throughput"
     try:
+        KERNEL_COUNTERS.reset()
         cold_start = time.perf_counter()
         cold_response = benchmark.pedantic(
             lambda: client.analyze("flights", SQL, **ANALYZE_PARAMS), rounds=1
         )
         cold_seconds = time.perf_counter() - cold_start
+        cold_passes = KERNEL_COUNTERS.total()
         assert not cold_response["cached"]
 
         warm_latencies: list[float] = []
@@ -87,6 +101,28 @@ def test_service_throughput(benchmark, report_sink):
         assert warm_response["result"] == cold_response["result"]
 
         concurrent_rps = _concurrent_rps(client, warm_requests)
+
+        # -- v2 batch of N identical cold specs (planner de-duplication) --
+        batch_spec = {"kind": "analyze", "dataset": "flights", "sql": SQL, "seed": 11}
+        KERNEL_COUNTERS.reset()
+        batch_start = time.perf_counter()
+        batch_response = client.batch_v2([batch_spec] * DUPLICATES)
+        batch_seconds = time.perf_counter() - batch_start
+        batch_passes = KERNEL_COUNTERS.total()
+        assert batch_response["plan"]["deduplicated"] == DUPLICATES - 1
+        payloads = {repr(item["result"]) for item in batch_response["results"]}
+        assert len(payloads) == 1  # every duplicate got the leader's bytes
+
+        # -- v2 jobs API: N identical cold submissions coalesce --
+        job_spec = {"kind": "analyze", "dataset": "flights", "sql": SQL, "seed": 13}
+        KERNEL_COUNTERS.reset()
+        jobs_start = time.perf_counter()
+        job_ids = [client.submit(job_spec)["job_id"] for _ in range(DUPLICATES)]
+        for job_id in job_ids:
+            client.wait(job_id)
+        jobs_seconds = time.perf_counter() - jobs_start
+        jobs_passes = KERNEL_COUNTERS.total()
+        coalesced_jobs = client.stats()["job_manager"]["coalesced"]
     finally:
         server.shutdown()
         server.server_close()
@@ -94,6 +130,9 @@ def test_service_throughput(benchmark, report_sink):
         thread.join(timeout=5)
 
     speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    solo_passes = cold_passes * DUPLICATES  # what N independent colds cost
+    batch_factor = solo_passes / batch_passes if batch_passes else float("inf")
+    jobs_factor = solo_passes / jobs_passes if jobs_passes else float("inf")
     rows = [
         {"engine": "service-cold", "jobs": 1, "seconds": cold_seconds, "speedup": 1.0},
         {
@@ -104,6 +143,22 @@ def test_service_throughput(benchmark, report_sink):
             "sequential_rps": sequential_rps,
             "concurrent_rps": concurrent_rps,
         },
+        {
+            "engine": "service-batch-dup",
+            "jobs": 1,
+            "seconds": batch_seconds,
+            "kernel_passes": batch_passes,
+            "coalesce_factor": batch_factor,
+            "deduplicated": DUPLICATES - 1,
+        },
+        {
+            "engine": "service-jobs-dup",
+            "jobs": 1,
+            "seconds": jobs_seconds,
+            "kernel_passes": jobs_passes,
+            "coalesce_factor": jobs_factor,
+            "coalesced_jobs": coalesced_jobs,
+        },
     ]
     payload = {
         "benchmark": "service_throughput",
@@ -112,6 +167,7 @@ def test_service_throughput(benchmark, report_sink):
             "n_rows": table.n_rows,
             "sql": SQL,
             "warm_requests": warm_requests,
+            "duplicates": DUPLICATES,
             "scale": bench_scale(),
         },
         "cpu_count": os.cpu_count(),
@@ -122,17 +178,37 @@ def test_service_throughput(benchmark, report_sink):
 
     report_sink(
         "service_throughput",
-        f"cold analyze      {cold_seconds:8.3f}s",
+        f"cold analyze      {cold_seconds:8.3f}s  ({cold_passes} kernel passes)",
     )
     report_sink(
         "service_throughput",
         f"warm analyze      {warm_seconds:8.5f}s  ({speedup:,.0f}x, "
         f"{sequential_rps:,.0f} req/s sequential, {concurrent_rps:,.0f} req/s x4 threads)",
     )
+    report_sink(
+        "service_throughput",
+        f"batch x{DUPLICATES} dup     {batch_seconds:8.3f}s  "
+        f"({batch_passes} passes = {batch_factor:,.1f}x fewer than {DUPLICATES} solos)",
+    )
+    report_sink(
+        "service_throughput",
+        f"jobs  x{DUPLICATES} dup     {jobs_seconds:8.3f}s  "
+        f"({jobs_passes} passes = {jobs_factor:,.1f}x fewer, "
+        f"{coalesced_jobs} submissions coalesced)",
+    )
 
     assert speedup >= MIN_WARM_SPEEDUP, (
         f"warm cache must be >= {MIN_WARM_SPEEDUP:.0f}x faster than cold: "
         f"cold {cold_seconds:.3f}s vs warm median {warm_seconds:.5f}s ({speedup:.1f}x)"
+    )
+    assert batch_factor >= MIN_COALESCE_FACTOR, (
+        f"v2 batch of {DUPLICATES} duplicates must cost >= {MIN_COALESCE_FACTOR:.0f}x "
+        f"fewer kernel passes than {DUPLICATES} solo colds: "
+        f"{batch_passes} vs {solo_passes}"
+    )
+    assert jobs_factor >= MIN_COALESCE_FACTOR, (
+        f"jobs API with {DUPLICATES} duplicate submissions must cost >= "
+        f"{MIN_COALESCE_FACTOR:.0f}x fewer kernel passes: {jobs_passes} vs {solo_passes}"
     )
 
 

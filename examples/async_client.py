@@ -1,0 +1,88 @@
+"""Service API v2 walkthrough: async jobs and the work-sharing batch planner.
+
+Starts an in-process analysis service (the same code path ``hypdb
+serve`` runs), registers a synthetic flights table, and then:
+
+1. submits an ``analyze`` job, polls it, and checks the async result is
+   byte-identical to the synchronous endpoint;
+2. fires a burst of identical submissions to show job-level coalescing;
+3. sends a mixed batch through ``POST /v2/batch`` and prints the plan
+   summary (grouping, warm-first ordering, de-duplication).
+
+Run with::
+
+    PYTHONPATH=src python examples/async_client.py
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.datasets.flights import flight_data
+from repro.service.client import ServiceClient
+from repro.service.core import AnalysisService
+from repro.service.http import make_server
+
+SQL = (
+    "SELECT Carrier, avg(Delayed) FROM FlightData "
+    "WHERE Carrier IN ('AA','UA') GROUP BY Carrier"
+)
+
+
+def main() -> None:
+    table = flight_data(n_rows=5000, seed=7)
+    service = AnalysisService()
+    server = make_server(service)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    client.register(
+        "flights", columns={name: table.column(name) for name in table.columns}
+    )
+
+    try:
+        # -- 1. submit / poll / fetch ----------------------------------
+        spec = {"kind": "analyze", "dataset": "flights", "sql": SQL, "seed": 7}
+        accepted = client.submit(spec)
+        print(f"submitted: job_id={accepted['job_id']} status={accepted['job_status']}")
+        finished = client.wait(accepted["job_id"])
+        print(f"finished:  status={finished['job']['status']} "
+              f"cached={finished['job']['cached']}")
+
+        sync = client.analyze("flights", SQL, seed=7)
+        assert finished["result"] == sync["result"], "async != sync payload"
+        print("async result == synchronous result (same canonical bytes)")
+
+        # -- 2. identical submissions coalesce -------------------------
+        burst_spec = {**spec, "seed": 11}  # a fresh (cold) request key
+        job_ids = [client.submit(burst_spec)["job_id"] for _ in range(5)]
+        for job_id in job_ids:
+            client.wait(job_id)
+        stats = client.stats()
+        print(f"burst of 5 identical submissions: "
+              f"{stats['job_manager']['coalesced']} coalesced, "
+              f"{stats['job_manager']['completed']} executed")
+
+        # -- 3. planned batch ------------------------------------------
+        batch = client.batch_v2(
+            [
+                {"kind": "query", "dataset": "flights",
+                 "sql": "SELECT Carrier, avg(Delayed) FROM t GROUP BY Carrier"},
+                {"kind": "discover", "dataset": "flights",
+                 "treatment": "Carrier", "outcome": "Delayed", "test": "chi2"},
+                {"kind": "discover", "dataset": "flights",
+                 "treatment": "Carrier", "outcome": "Delayed", "test": "chi2"},
+            ]
+        )
+        print(f"batch plan: {json.dumps(batch['plan'], sort_keys=True)}")
+        kinds = [item["kind"] for item in batch["results"]]
+        print(f"batch results (submission order): {kinds}")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,10 @@ Examples::
 
     # Serve the HTTP JSON API (register datasets up front with --csv)
     hypdb serve --port 8000 --jobs 4 --csv flights=flights.csv
+
+    # Submit an async job to a running service and wait for the result
+    hypdb submit --url http://127.0.0.1:8000 --wait \
+        --json '{"kind": "discover", "dataset": "flights", "treatment": "Carrier"}'
 """
 
 from __future__ import annotations
@@ -100,7 +104,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
+    serve.add_argument(
+        "--job-workers",
+        type=int,
+        default=2,
+        help="worker threads of the async v2 jobs API",
+    )
     _add_jobs(serve)
+
+    submit = subparsers.add_parser(
+        "submit", help="submit an async job to a running service (v2 jobs API)"
+    )
+    submit.add_argument(
+        "--url", required=True, help="service base URL, e.g. http://127.0.0.1:8000"
+    )
+    source = submit.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--json",
+        dest="spec_json",
+        help='inline JSON request spec, e.g. \'{"kind": "query", ...}\'',
+    )
+    source.add_argument(
+        "--file",
+        dest="spec_file",
+        help="path to a JSON request-spec file ('-' reads stdin)",
+    )
+    submit.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes, print result"
+    )
+    submit.add_argument(
+        "--poll-interval", type=float, default=0.2, help="seconds between polls"
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0, help="--wait deadline in seconds"
+    )
     return parser
 
 
@@ -134,6 +171,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_discover(args, engine)
         if args.command == "serve":
             return _run_serve(args, engine)
+        if args.command == "submit":
+            return _run_submit(args)
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -188,11 +227,58 @@ def _run_discover(args: argparse.Namespace, engine) -> int:
     return 0
 
 
+def _run_submit(args: argparse.Namespace) -> int:
+    """Submit one request spec to a running service's v2 jobs API."""
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    if args.spec_json is not None:
+        raw = args.spec_json
+    elif args.spec_file == "-":
+        raw = sys.stdin.read()
+    else:
+        try:
+            with open(args.spec_file, encoding="utf-8") as handle:
+                raw = handle.read()
+        except OSError as error:
+            raise ValueError(f"cannot read spec file: {error}") from None
+    try:
+        spec = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"spec is not valid JSON: {error}") from None
+    if not isinstance(spec, dict):
+        raise ValueError("spec must be a JSON object with a 'kind' field")
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        accepted = client.submit(spec)
+        print(json.dumps(accepted, indent=2, sort_keys=True))
+        if not args.wait:
+            return 0
+        finished = client.wait(
+            accepted["job_id"],
+            timeout=args.timeout,
+            poll_interval=args.poll_interval,
+        )
+        print(json.dumps(finished, indent=2, sort_keys=True))
+        return 0
+    except TimeoutError as error:
+        # The job is still running server-side; the id was already
+        # printed, so the caller can keep polling it.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
 def _run_serve(args: argparse.Namespace, engine) -> int:
     service = AnalysisService(
         engine=engine,
         max_cache_entries=args.cache_entries,
         disk_cache=args.disk_cache,
+        job_workers=args.job_workers,
     )
     for spec in args.csv:
         name, separator, path = spec.partition("=")
@@ -205,8 +291,9 @@ def _run_serve(args: argparse.Namespace, engine) -> int:
     server.verbose = args.verbose
     host, port = server.server_address[:2]
     print(f"hypdb service listening on http://{host}:{port}")
-    print("endpoints: GET /health /stats; "
-          "POST /register /analyze /query /discover /whatif /batch")
+    print("endpoints: GET /health /stats /v2/jobs[/<id>]; "
+          "POST /register /analyze /query /discover /whatif /batch "
+          "/v2/jobs /v2/batch")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown

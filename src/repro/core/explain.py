@@ -75,11 +75,21 @@ def coarse_grained_explanations(
     if not names:
         return []
     engine = EntropyEngine(context_table, estimator=estimator)
-    total_information = engine.mutual_information((treatment,), names)
+    # Two-way statements (single variable on each side) route through the
+    # grouped/ordered entropy path: bit-identical floats (same packed
+    # orders, same summation) but one kernel pass cold and zero data
+    # passes warm.  Wider statements keep the set-keyed joint-entropy
+    # route -- the grouped kernel is a pairwise summary.
+    if len(names) == 1:
+        total_information = engine.cmi_shared(treatment, names[0])
+    else:
+        total_information = engine.mutual_information((treatment,), names)
     drops: dict[str, float] = {}
     for attribute in names:
         rest = tuple(name for name in names if name != attribute)
-        if rest:
+        if len(rest) == 1:
+            conditional = engine.cmi_shared(treatment, rest[0], (attribute,))
+        elif rest:
             conditional = engine.mutual_information((treatment,), rest, (attribute,))
         else:
             conditional = 0.0

@@ -112,11 +112,17 @@ class LogicalDependencyFilter:
     # ------------------------------------------------------------------
 
     def _is_fd_equivalent(self, engine: EntropyEngine, a: str, b: str) -> bool:
-        """Two-way approximate FD: ``H(a|b) <= eps`` and ``H(b|a) <= eps``."""
-        return (
-            engine.conditional_entropy((a,), (b,)) <= self.fd_epsilon
-            and engine.conditional_entropy((b,), (a,)) <= self.fd_epsilon
-        )
+        """Two-way approximate FD: ``H(a|b) <= eps`` and ``H(b|a) <= eps``.
+
+        Routed through the grouped/ordered entropy path (ROADMAP
+        "ordered-memo reach"): one kernel pass yields H(a), H(b), and
+        H(a,b) together -- in the same packed order the legacy
+        ``conditional_entropy`` scans used, so the thresholded floats are
+        bit-identical -- and on a warm table all three come from the memo
+        with zero data passes.
+        """
+        h_a, h_b, h_ab, _ = engine.shared_entropies(a, b)
+        return h_ab - h_b <= self.fd_epsilon and h_ab - h_a <= self.fd_epsilon
 
     def _deduplicate(
         self,

@@ -231,6 +231,33 @@ class HypDB:
         if isinstance(query, str):
             query = GroupByQuery.from_sql(query)
 
+        # Pin the WHERE-filtered population for the whole pipeline: the
+        # two discovery passes and the per-context fan-out all publish it
+        # (or grouped tensors derived from it) on the dataset plane, and
+        # the pin makes every publication after the first an O(1)
+        # refcount hit on one shared segment instead of a re-creation.
+        pinned = self.engine.pin(self._filtered(query.where))
+        try:
+            return self._analyze_pinned(
+                query,
+                covariates=covariates,
+                mediators=mediators,
+                top_k=top_k,
+                explain_top_attributes=explain_top_attributes,
+                compute_direct=compute_direct,
+            )
+        finally:
+            self.engine.unpin(pinned)
+
+    def _analyze_pinned(
+        self,
+        query: GroupByQuery,
+        covariates: Sequence[str] | None,
+        mediators: Sequence[str] | None,
+        top_k: int,
+        explain_top_attributes: int,
+        compute_direct: bool,
+    ) -> BiasReport:
         detection_start = time.perf_counter()
         discovery: DiscoveryResult | None = None
         outcome_parents: tuple[str, ...] = ()

@@ -72,6 +72,24 @@ class ExecutionEngine:
     def release(self, handle) -> None:
         """Drop a handle returned by :meth:`publish` (no-op in-process)."""
 
+    def pin(self, table):
+        """Publish ``table`` and keep it (and its summaries) plane-resident.
+
+        A *pin* is a publish whose reference outlives the individual
+        requests running under it: while a fingerprint is pinned,
+        :class:`~repro.engine.parallel.ParallelEngine` also defers the
+        release of grouped-contingency tensors published against it, so
+        consecutive tests and batched requests over the same table reuse
+        one shared-memory segment instead of re-creating it per request.
+        The in-process default is a plain :meth:`publish`.  Always match
+        with :meth:`unpin` (typically in a ``finally``).
+        """
+        return self.publish(table)
+
+    def unpin(self, handle) -> None:
+        """Release a :meth:`pin`: flush deferred work, drop the reference."""
+        self.release(handle)
+
     def publish_grouped(self, table, key, grouped):
         """Make a grouped-contingency tensor worker-resident.
 

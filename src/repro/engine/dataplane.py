@@ -51,7 +51,9 @@ import numpy as np
 from repro.relation.table import GroupedContingencies, Table
 
 __all__ = [
+    "PLANE_STATS",
     "GroupedRef",
+    "PlaneStats",
     "TableRef",
     "publish",
     "publish_grouped",
@@ -67,6 +69,51 @@ __all__ = [
 #: service's workers forever as distinct datasets / query contexts stream
 #: through.  Parent-side publications are refcounted and never evicted.
 WORKER_CACHE_LIMIT = 8
+
+
+@dataclass
+class PlaneStats:
+    """Process-local publication counters (instrumentation).
+
+    ``*_publications`` counts first publications (a new plane entry),
+    ``*_republications`` counts refcount hits on an already-resident
+    entry (the work-sharing case: a pinned batch republishing a table it
+    already holds), and ``*_segments`` counts shared-memory segments
+    actually created.  The service's ``/stats`` endpoint and the batch
+    -planner tests read these to assert publish-once behavior; plain
+    ints, no locking beyond the registry lock already held at every
+    increment site.
+    """
+
+    table_publications: int = 0
+    table_republications: int = 0
+    table_segments: int = 0
+    grouped_publications: int = 0
+    grouped_republications: int = 0
+    grouped_segments: int = 0
+
+    def reset(self) -> None:
+        self.table_publications = 0
+        self.table_republications = 0
+        self.table_segments = 0
+        self.grouped_publications = 0
+        self.grouped_republications = 0
+        self.grouped_segments = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-ready snapshot (consumed by the service ``/stats``)."""
+        return {
+            "table_publications": self.table_publications,
+            "table_republications": self.table_republications,
+            "table_segments": self.table_segments,
+            "grouped_publications": self.grouped_publications,
+            "grouped_republications": self.grouped_republications,
+            "grouped_segments": self.grouped_segments,
+        }
+
+
+#: Module-level counter instance (see :class:`PlaneStats`).
+PLANE_STATS = PlaneStats()
 
 
 @dataclass(frozen=True)
@@ -151,7 +198,9 @@ def publish(table: Table) -> TableRef:
         existing = _registry.refs.get(fingerprint)
         if existing is not None:
             _registry.refcounts[fingerprint] += 1
+            PLANE_STATS.table_republications += 1
             return existing
+        PLANE_STATS.table_publications += 1
         segment_name, schema_bytes = _create_segment(fingerprint, table)
         ref = TableRef(
             fingerprint=fingerprint,
@@ -269,10 +318,12 @@ def publish_grouped(
         existing = _registry.grouped_refs.get(composite)
         if existing is not None:
             _registry.grouped_refcounts[composite] += 1
+            PLANE_STATS.grouped_republications += 1
             return existing
         segment_name = _create_grouped_segment(composite, grouped)
         if segment_name is None:
             return None
+        PLANE_STATS.grouped_publications += 1
         ref = GroupedRef(
             fingerprint=fingerprint,
             key=tuple(key),
@@ -359,6 +410,7 @@ def _create_grouped_segment(composite: tuple, grouped: GroupedContingencies) -> 
         offset += int(np.prod(shape)) * itemsize
     _registry.grouped_segments[composite] = segment
     _registry.grouped_owner_pid[composite] = os.getpid()
+    PLANE_STATS.grouped_segments += 1
     return segment.name
 
 
@@ -482,6 +534,7 @@ def _create_segment(fingerprint: str, table: Table) -> tuple[str | None, int]:
     segment.buf[codes_bytes : codes_bytes + len(schema)] = schema
     _registry.segments[fingerprint] = segment
     _registry.owner_pid[fingerprint] = os.getpid()
+    PLANE_STATS.table_segments += 1
     return segment.name, len(schema)
 
 

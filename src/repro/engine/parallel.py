@@ -32,6 +32,14 @@ def _run_batch(fn: Callable, batch: list) -> list:
     return [fn(task) for task in batch]
 
 
+#: Distinct grouped tensors kept resident per engine while their table is
+#: pinned.  A tensor can be up to GROUPED_MAX_CELLS * 8 B, so an analyze
+#: issuing very many distinct wide tests under one pin must not defer
+#: them all; past the bound, releases happen immediately (pre-pin
+#: behavior, still correct -- deferral is purely a reuse optimization).
+DEFERRED_GROUPED_LIMIT = 16
+
+
 def _pick_context(start_method: str | None) -> multiprocessing.context.BaseContext:
     if start_method is not None:
         return multiprocessing.get_context(start_method)
@@ -87,6 +95,13 @@ class ParallelEngine(ExecutionEngine):
         # thread-safe).
         self._published: dict[str, list] = {}
         self._published_grouped: dict[tuple, list] = {}
+        # Pin bookkeeping: fingerprint -> pin count, plus the grouped
+        # releases deferred while their table was pinned (composite ->
+        # pending release count).  Deferred tensors stay plane-resident
+        # so every test under the pin republishes in O(1); the final
+        # unpin flushes them.
+        self._pinned: dict[str, int] = {}
+        self._deferred_grouped: dict[tuple, int] = {}
         self._pool_generation = dataplane.fallback_generation()
         self._lock = threading.Lock()
         # Pool-recreation coordination: maps in flight on the current
@@ -134,6 +149,52 @@ class ParallelEngine(ExecutionEngine):
                 del self._published[handle.fingerprint]
             dataplane.release(handle)
 
+    def pin(self, table):
+        """Publish ``table`` and hold its summaries resident until unpin.
+
+        Callers running several requests over one table (a batch group,
+        the phases of one ``analyze``) pin it once: every publish under
+        the pin -- the table itself *and* any grouped-contingency tensors
+        derived from it -- then hits the plane's refcounted entry instead
+        of re-creating a segment.  Pins nest and are thread-safe.
+        """
+        handle = self.publish(table)
+        if isinstance(handle, dataplane.TableRef):
+            with self._lock:
+                self._pinned[handle.fingerprint] = (
+                    self._pinned.get(handle.fingerprint, 0) + 1
+                )
+        return handle
+
+    def unpin(self, handle) -> None:
+        """Drop a :meth:`pin`: flush the deferred grouped releases."""
+        if not isinstance(handle, dataplane.TableRef):
+            return
+        to_flush: list[tuple] = []
+        with self._lock:
+            count = self._pinned.get(handle.fingerprint, 0)
+            if count > 1:
+                self._pinned[handle.fingerprint] = count - 1
+            else:
+                self._pinned.pop(handle.fingerprint, None)
+                for composite in [
+                    item
+                    for item in self._deferred_grouped
+                    if item[0] == handle.fingerprint
+                ]:
+                    pending = self._deferred_grouped.pop(composite)
+                    entry = self._published_grouped.get(composite)
+                    if entry is None:
+                        continue
+                    entry[1] -= pending
+                    if entry[1] <= 0:
+                        del self._published_grouped[composite]
+                    to_flush.append((entry[0], pending))
+        for ref, pending in to_flush:
+            for _ in range(pending):
+                dataplane.release_grouped(ref)
+        self.release(handle)
+
     def publish_grouped(self, table, key, grouped):
         """Publish a grouped tensor on the plane; tasks carry the ref.
 
@@ -164,6 +225,17 @@ class ParallelEngine(ExecutionEngine):
             composite = (handle.fingerprint, handle.key)
             entry = self._published_grouped.get(composite)
             if entry is None:
+                return
+            if handle.fingerprint in self._pinned and (
+                composite in self._deferred_grouped
+                or len(self._deferred_grouped) < DEFERRED_GROUPED_LIMIT
+            ):
+                # The owning table is pinned: keep the tensor resident so
+                # the next identical test republishes in O(1); the final
+                # unpin (or close) performs the actual release.
+                self._deferred_grouped[composite] = (
+                    self._deferred_grouped.get(composite, 0) + 1
+                )
                 return
             entry[1] -= 1
             if entry[1] <= 0:
@@ -206,8 +278,13 @@ class ParallelEngine(ExecutionEngine):
         with self._lock:
             leaked = list(self._published.values())
             self._published.clear()
+            # Deferred grouped releases are still counted inside the
+            # publication entries (their callers never decremented them),
+            # so force-releasing every entry covers them too.
             leaked_grouped = list(self._published_grouped.values())
             self._published_grouped.clear()
+            self._deferred_grouped.clear()
+            self._pinned.clear()
         for ref, count in leaked:
             for _ in range(count):
                 dataplane.release(ref)

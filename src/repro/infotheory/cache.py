@@ -276,6 +276,93 @@ class EntropyEngine:
         h_z = resolve(z) if z else 0.0
         return h_xz + h_yz - h_xyz - h_z
 
+    def shared_entropies(
+        self, x: str, y: str, z: Sequence[str] = (), grouped=ATTEMPT_KERNEL
+    ) -> tuple[float, float, float, float]:
+        """``H(x,*z), H(y,*z), H(x,y,*z), H(z)`` -- set-cache-first, kernel-fed.
+
+        The bitwise-compatible routing for callers that historically went
+        through :meth:`entropy`'s frozenset memo (the FD pre-filter, the
+        explanation ranking): each entropy resolves, in order, from the
+        *set-keyed* memo (exactly what those callers saw before), from
+        the *ordered* memo (entries are bit-exact for this packed order,
+        i.e. the identical float a fresh scan here would produce), from
+        one grouped-kernel pass (run at most once, and only when >= 2
+        entropies are missing), and finally from a direct scan in the
+        same column order as before.  Values resolved from any non-set
+        source are stored under *both* key kinds: the frozenset entry is
+        exactly the float the legacy scan would have memoized (so later
+        set-keyed callers are unperturbed), and the ordered entry is what
+        lets warm tables -- including entries merged back from workers,
+        which travel ordered-only -- answer with zero data passes.
+        """
+        z = tuple(z)
+        ordered_keys = [(x, *z), (y, *z), (x, y, *z)]
+        if z:
+            ordered_keys.append(z)
+        cache = self._cache if self._caching else None
+
+        def lookup(key: tuple[str, ...]) -> float | None:
+            if cache is None:
+                return None
+            value = cache.get(frozenset(key))
+            if value is None:
+                value = cache.get(key)
+            return value
+
+        missing = [key for key in ordered_keys if lookup(key) is None]
+        if grouped is ATTEMPT_KERNEL:
+            grouped = (
+                self._table.grouped_contingencies(x, y, z) if len(missing) >= 2 else None
+            )
+        computed: dict[tuple[str, ...], float] = {}
+        if grouped is not None and missing:
+            sources = self._grouped_count_sources(x, y, z, grouped)
+            for key in missing:
+                computed[key] = entropy_from_counts(sources[key](), self._estimator)
+                self.stats.grouped_answers += 1
+
+        def resolve(key: tuple[str, ...]) -> float:
+            if cache is not None:
+                set_key = frozenset(key)
+                value = cache.get(set_key)
+                if value is not None:
+                    self.stats.cache_hits += 1
+                    return value
+                value = cache.get(key)
+                if value is not None:
+                    self.stats.cache_hits += 1
+                    # The ordered entry IS the float a scan in this order
+                    # would have stored under the set key; seed it so
+                    # later set-keyed callers behave as if we had scanned.
+                    cache[set_key] = value
+                    return value
+            self.stats.cache_misses += 1
+            value = computed.get(key)
+            if value is None:
+                value = self._compute_entropy(key)
+            if cache is not None:
+                cache[key] = value
+                cache[frozenset(key)] = value
+            return value
+
+        h_xz = resolve(ordered_keys[0])
+        h_yz = resolve(ordered_keys[1])
+        h_xyz = resolve(ordered_keys[2])
+        h_z = resolve(z) if z else 0.0
+        return h_xz, h_yz, h_xyz, h_z
+
+    def cmi_shared(self, x: str, y: str, z: Sequence[str] = ()) -> float:
+        """``I(x ; y | z)`` through :meth:`shared_entropies`.
+
+        Bit-identical to :meth:`mutual_information` on the same arguments
+        (same entropy floats, same ``H(XZ) + H(YZ) - H(XYZ) - H(Z)``
+        summation order), but cold requests fill all four entropies from
+        one grouped-contingency pass and warm ones touch no data at all.
+        """
+        h_xz, h_yz, h_xyz, h_z = self.shared_entropies(x, y, z)
+        return h_xz + h_yz - h_xyz - h_z
+
     def preload(self, column_sets: Sequence[Sequence[str]]) -> None:
         """Compute and cache entropies for several column sets up front.
 

@@ -7,6 +7,8 @@ the library into that long-lived system:
 
 * :mod:`repro.service.fingerprint` -- content fingerprints for tables and
   canonical cache keys for requests;
+* :mod:`repro.service.spec` -- typed request specs: the declarative,
+  validated *what* of every request, shared by all execution surfaces;
 * :mod:`repro.service.registry` -- the dataset registry: tables are loaded
   once, deduplicated by fingerprint, and share their entropy caches across
   every subsequent request;
@@ -14,11 +16,16 @@ the library into that long-lived system:
   optional disk-backed layer, keyed by (dataset fingerprint, request kind,
   canonical parameters, seed);
 * :mod:`repro.service.core` -- :class:`AnalysisService`, the transport-
-  independent request handlers bridging onto the execution-engine layer
-  (``HypDB(engine=...)``);
+  independent spec executor with single-flight coalescing, bridging onto
+  the execution-engine layer (``HypDB(engine=...)``);
+* :mod:`repro.service.jobs` -- the async job manager behind the v2 jobs
+  API (submit now, poll for the canonical bytes later);
+* :mod:`repro.service.planner` -- the v2 batch planner: group by dataset
+  fingerprint, order cache-hits first, de-duplicate, publish once;
 * :mod:`repro.service.http` -- a stdlib ``ThreadingHTTPServer`` JSON API
-  (register / analyze / query / discover / whatif / batch);
-* :mod:`repro.service.client` -- a stdlib ``urllib`` client helper.
+  (v1 one-shot endpoints plus ``/v2/jobs`` and ``/v2/batch``);
+* :mod:`repro.service.client` -- a stdlib ``urllib`` client with typed
+  errors, bounded retries, and async job helpers.
 """
 
 from __future__ import annotations
@@ -27,16 +34,43 @@ from repro.service.cache import CacheStats, ResultCache
 from repro.service.core import AnalysisService, ServiceResult
 from repro.service.fingerprint import fingerprint_table, request_key
 from repro.service.http import make_server
+from repro.service.jobs import Job, JobManager, UnknownJobError
+from repro.service.planner import BatchPlan, execute_plan, plan_batch, run_batch
 from repro.service.registry import DatasetEntry, DatasetRegistry
+from repro.service.spec import (
+    SPEC_TYPES,
+    AnalyzeSpec,
+    DiscoverSpec,
+    QuerySpec,
+    RequestSpec,
+    SpecError,
+    WhatIfSpec,
+    spec_from_dict,
+)
 
 __all__ = [
+    "SPEC_TYPES",
     "AnalysisService",
+    "AnalyzeSpec",
+    "BatchPlan",
     "CacheStats",
     "DatasetEntry",
     "DatasetRegistry",
+    "DiscoverSpec",
+    "Job",
+    "JobManager",
+    "QuerySpec",
+    "RequestSpec",
     "ResultCache",
     "ServiceResult",
+    "SpecError",
+    "UnknownJobError",
+    "WhatIfSpec",
+    "execute_plan",
     "fingerprint_table",
     "make_server",
+    "plan_batch",
     "request_key",
+    "run_batch",
+    "spec_from_dict",
 ]

@@ -108,6 +108,25 @@ class ResultCache:
             self.stats.misses += 1
         return None
 
+    def peek(self, key: str) -> bytes | None:
+        """Probe both layers without touching stats, LRU order, or promotion.
+
+        Planning probes (the batch planner's warm-first ordering, the job
+        manager's submit-time shortcut) use this so that *inspecting* the
+        cache never skews the hit/miss counters or evicts entries the way
+        a real read path would.
+        """
+        with self._lock:
+            payload = self._entries.get(key)
+        if payload is not None:
+            return payload
+        if self._disk_dir is not None:
+            try:
+                return (self._disk_dir / f"{key}.json").read_bytes()
+            except OSError:
+                return None
+        return None
+
     def put(self, key: str, payload: bytes) -> None:
         """Store ``payload`` in memory and (when configured) on disk."""
         with self._lock:

@@ -1,27 +1,67 @@
 """Stdlib client helper for the analysis service's HTTP JSON API.
 
 Mirrors the endpoints of :mod:`repro.service.http` one method per
-endpoint; every method returns the parsed response envelope.  Raises
-:class:`ServiceError` (carrying the HTTP status and the server's message)
-on any non-2xx response.
+endpoint; every method returns the parsed response envelope.  Transport
+failures surface as typed exceptions -- :class:`ServiceError` carries the
+HTTP status and the server's parsed error payload,
+:class:`ServiceConnectionError` wraps connection-level failures after
+the bounded retry-with-backoff gives up -- never bare ``urllib`` errors.
+
+The v2 jobs API gets async helpers: :meth:`ServiceClient.submit` queues
+a spec and returns immediately with the job id,
+:meth:`ServiceClient.wait` polls until the job finishes and returns the
+final snapshot (with the result spliced in, byte-identical to the
+synchronous endpoint's payload), and :meth:`ServiceClient.batch_v2`
+sends a spec list through the work-sharing batch planner.
 """
 
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from collections.abc import Mapping, Sequence
 from typing import Any
 
 
 class ServiceError(RuntimeError):
-    """A non-2xx response from the service."""
+    """A non-2xx response from the service.
 
-    def __init__(self, status: int, message: str) -> None:
+    Attributes
+    ----------
+    status:
+        The HTTP status code (0 for connection-level failures).
+    message:
+        The server's ``error`` message (or the raw body).
+    payload:
+        The parsed JSON error body, when the server sent one.
+    """
+
+    def __init__(
+        self, status: int, message: str, payload: dict[str, Any] | None = None
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.payload = payload
+
+
+class ServiceConnectionError(ServiceError):
+    """The service could not be reached (after exhausting retries)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(0, message)
+
+
+class JobFailedError(ServiceError):
+    """A polled job finished in the ``error`` state."""
+
+    def __init__(self, job: dict[str, Any]) -> None:
+        status = job.get("error_status") or 500
+        super().__init__(status, job.get("error") or "job failed", payload=job)
+        self.job = job
 
 
 class ServiceClient:
@@ -34,11 +74,30 @@ class ServiceClient:
     timeout:
         Per-request socket timeout in seconds.  Cold analyses compute the
         full pipeline, so the default is generous.
+    retries:
+        Retries per request for *connection-establishment* failures only
+        (refused, reset during connect, DNS): the request never reached
+        the server, so resending is always safe.  HTTP errors never
+        retry (the server answered), and neither do read timeouts -- the
+        server may still be computing (or may have completed), and
+        resending a ``/v2/jobs`` submission there would enqueue a
+        duplicate orphan job.
+    backoff:
+        Base of the exponential backoff between retries, in seconds
+        (``backoff * 2**attempt``).
     """
 
-    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 600.0,
+        retries: int = 2,
+        backoff: float = 0.1,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
 
     # -- endpoints -----------------------------------------------------
 
@@ -75,6 +134,67 @@ class ServiceClient:
     def batch(self, requests: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
         return self._post("/batch", {"requests": list(requests)})
 
+    # -- v2: async jobs and planned batches ----------------------------
+
+    def submit(self, spec: Mapping[str, Any]) -> dict[str, Any]:
+        """Queue one ``{"kind": ..., ...}`` spec; returns the 202 body.
+
+        The job id is under ``"job_id"``; poll with :meth:`job` or block
+        with :meth:`wait`.
+        """
+        return self._post("/v2/jobs", dict(spec))
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """The job snapshot (plus spliced result bytes once done)."""
+        return self._get(f"/v2/jobs/{job_id}")
+
+    def jobs(
+        self, dataset: str | None = None, limit: int | None = None
+    ) -> dict[str, Any]:
+        """List recent jobs, optionally filtered by dataset name."""
+        parameters = {}
+        if dataset is not None:
+            parameters["dataset"] = dataset
+        if limit is not None:
+            parameters["limit"] = str(limit)
+        suffix = f"?{urllib.parse.urlencode(parameters)}" if parameters else ""
+        return self._get(f"/v2/jobs{suffix}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_interval: float = 0.05,
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state.
+
+        Returns the final snapshot (``response["result"]`` carries the
+        canonical payload) for ``done`` jobs; raises
+        :class:`JobFailedError` for ``error``/``cancelled`` jobs and
+        ``TimeoutError`` when ``timeout`` elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            response = self.job(job_id)
+            job = response["job"]
+            if job["status"] == "done":
+                return response
+            if job["status"] in ("error", "cancelled"):
+                raise JobFailedError(job)
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} not finished within {timeout}s")
+            time.sleep(poll_interval)
+
+    def submit_and_wait(
+        self, spec: Mapping[str, Any], timeout: float = 600.0
+    ) -> dict[str, Any]:
+        """Convenience: :meth:`submit` then :meth:`wait`."""
+        return self.wait(self.submit(spec)["job_id"], timeout=timeout)
+
+    def batch_v2(self, specs: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+        """Run a spec list through the work-sharing batch planner."""
+        return self._post("/v2/batch", {"requests": [dict(spec) for spec in specs]})
+
     # -- plumbing ------------------------------------------------------
 
     def _get(self, path: str) -> dict[str, Any]:
@@ -90,13 +210,41 @@ class ServiceClient:
         return self._request(request)
 
     def _request(self, request: urllib.request.Request) -> dict[str, Any]:
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read())
-        except urllib.error.HTTPError as error:
-            raw = error.read()
+        for attempt in range(self.retries + 1):
             try:
-                message = json.loads(raw).get("error", raw.decode("utf-8", "replace"))
-            except (json.JSONDecodeError, AttributeError):
-                message = raw.decode("utf-8", "replace")
-            raise ServiceError(error.code, message) from None
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return json.loads(response.read())
+            except urllib.error.HTTPError as error:
+                # The server answered: no retry, surface its message.
+                raw = error.read()
+                payload = None
+                try:
+                    payload = json.loads(raw)
+                    message = payload.get("error", raw.decode("utf-8", "replace"))
+                except (json.JSONDecodeError, AttributeError):
+                    message = raw.decode("utf-8", "replace")
+                raise ServiceError(error.code, message, payload) from None
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as error:
+                reason = getattr(error, "reason", error)
+                # Retry only failures to *establish* the connection (the
+                # request never left this process).  A timeout or a reset
+                # mid-request is ambiguous -- the server may have acted on
+                # it -- so resending could duplicate work (or jobs).
+                if not _retryable(reason) or attempt >= self.retries:
+                    raise ServiceConnectionError(
+                        f"cannot reach {self.base_url}: {reason}"
+                    ) from None
+                time.sleep(self.backoff * (2**attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _retryable(reason: object) -> bool:
+    """True only for errors raised before the request was transmitted.
+
+    A refused connection or a DNS failure means the server never saw the
+    request; anything later (reset, broken pipe, timeout) is ambiguous --
+    the server may have acted on it -- and must not be resent.
+    """
+    import socket
+
+    return isinstance(reason, (ConnectionRefusedError, socket.gaierror))

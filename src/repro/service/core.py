@@ -1,19 +1,31 @@
-"""The analysis service: request handlers over the registry and caches.
+"""The analysis service: spec execution over the registry and caches.
 
 :class:`AnalysisService` is transport-independent -- the HTTP layer
-(:mod:`repro.service.http`) and in-process callers (tests, benchmarks) go
-through the same methods.  Every read request follows one shape:
+(:mod:`repro.service.http`), the async job manager
+(:mod:`repro.service.jobs`), the batch planner
+(:mod:`repro.service.planner`), and in-process callers (tests,
+benchmarks) all go through :meth:`AnalysisService.execute` with a typed
+:class:`~repro.service.spec.RequestSpec`.  Every read request follows
+one shape:
 
 1. resolve the dataset (registry -- shared tables, shared entropy caches);
-2. derive the request key (fingerprint + kind + canonical params + seed);
+2. derive the request key from the spec (fingerprint + kind + canonical
+   params + seed);
 3. serve from the result cache when possible (memory, then disk);
 4. otherwise compute through the library with the service's execution
-   engine, serialize canonically, store, and return.
+   engine -- *single-flight*: concurrent identical cold requests attach
+   to one in-flight computation instead of racing it -- serialize
+   canonically, store, and return.
 
 Responses are :class:`ServiceResult` objects carrying the *bytes* of the
 canonical JSON payload.  Because results are deterministic for a fixed
-seed (engine- and worker-count-invariant), a cache hit returns exactly the
+seed (engine- and worker-count-invariant), a cache hit -- and every
+coalesced follower of an in-flight computation -- returns exactly the
 bytes the cold computation produced.
+
+The keyword methods (:meth:`analyze`, :meth:`query`, :meth:`discover`,
+:meth:`whatif`) remain as thin shims that build the corresponding spec;
+they are the v1 surface and keep their exact pre-spec semantics.
 """
 
 from __future__ import annotations
@@ -21,26 +33,40 @@ from __future__ import annotations
 import json
 import threading
 import time
-from collections.abc import Callable, Mapping, Sequence
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.hypdb import HypDB
-from repro.core.query import GroupByQuery
 from repro.core.report import canonical_json_bytes, discovery_to_dict, json_value
 from repro.engine import ExecutionEngine, resolve_engine
+from repro.engine.dataplane import PLANE_STATS
 from repro.relation.groupby import group_by_average
 from repro.relation.table import Table
 from repro.service.cache import ResultCache
-from repro.service.fingerprint import request_key
 from repro.service.registry import DatasetEntry, DatasetRegistry
+from repro.service.spec import (
+    SPEC_TYPES,
+    AnalyzeSpec,
+    DiscoverSpec,
+    QuerySpec,
+    RequestSpec,
+    WhatIfSpec,
+    parse_where,
+)
 from repro.stats.base import DEFAULT_ALPHA, CITest
 from repro.stats.chi2 import ChiSquaredTest
 from repro.stats.hybrid import HybridTest
 from repro.stats.permutation import PermutationTest
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (jobs imports core)
+    from repro.service.jobs import JobManager
+
 #: Request kinds served through the result cache.
-CACHED_KINDS = ("analyze", "query", "discover", "whatif")
+CACHED_KINDS = tuple(sorted(SPEC_TYPES))
+
+#: Backwards-compatible alias (the helper moved to ``service.spec``).
+_parse_where = parse_where
 
 
 def make_test(name: str, seed: int, engine: ExecutionEngine | None = None) -> CITest:
@@ -58,17 +84,34 @@ def make_test(name: str, seed: int, engine: ExecutionEngine | None = None) -> CI
 
 @dataclass(frozen=True)
 class ServiceResult:
-    """One response: the canonical payload bytes plus cache provenance."""
+    """One response: the canonical payload bytes plus cache provenance.
+
+    ``coalesced`` marks responses that attached to another request's
+    in-flight computation (single-flight) -- the bytes are identical to
+    that computation's; only the provenance differs.
+    """
 
     kind: str
     cached: bool
     payload: bytes
     elapsed_seconds: float
+    coalesced: bool = False
 
     @property
     def result(self) -> Any:
         """The payload parsed back into Python objects."""
         return json.loads(self.payload)
+
+
+class _Flight:
+    """One in-flight cold computation other threads can attach to."""
+
+    __slots__ = ("done", "error", "payload")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.payload: bytes | None = None
+        self.error: BaseException | None = None
 
 
 class AnalysisService:
@@ -84,6 +127,12 @@ class AnalysisService:
         Capacity of the in-memory result-cache layer.
     disk_cache:
         Optional directory for the persistent result-cache layer.
+    job_workers:
+        Worker threads of the async job manager (v2 jobs API); the
+        manager itself is created lazily on first use, so synchronous
+        callers never pay for it.
+    max_jobs:
+        Finished-job retention bound of the job manager.
     """
 
     def __init__(
@@ -91,17 +140,48 @@ class AnalysisService:
         engine: ExecutionEngine | int | None = None,
         max_cache_entries: int = 256,
         disk_cache: str | None = None,
+        job_workers: int = 2,
+        max_jobs: int = 1024,
     ) -> None:
         self.engine = resolve_engine(engine)
         self.registry = DatasetRegistry()
         self.cache = ResultCache(max_entries=max_cache_entries, disk_dir=disk_cache)
         self.started_at = time.time()
         self._requests = 0
+        self._coalesced = 0
         self._requests_lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self._flights_lock = threading.Lock()
+        self._job_workers = job_workers
+        self._max_jobs = max_jobs
+        self._job_manager: JobManager | None = None
+        self._job_manager_lock = threading.Lock()
+        self._closed = False
 
     def close(self) -> None:
-        """Shut the execution engine's worker pool down."""
+        """Shut the job manager and the execution engine's pool down."""
+        with self._job_manager_lock:
+            manager, self._job_manager = self._job_manager, None
+            self._closed = True
+        if manager is not None:
+            manager.close()
         self.engine.close()
+
+    @property
+    def job_manager(self) -> "JobManager":
+        """The async job manager (v2 jobs API), created on first use."""
+        with self._job_manager_lock:
+            if self._closed:
+                # A request racing shutdown must not resurrect a manager
+                # (leaked worker threads against a closed engine).
+                raise RuntimeError("service is closed")
+            if self._job_manager is None:
+                from repro.service.jobs import JobManager
+
+                self._job_manager = JobManager(
+                    self, workers=self._job_workers, max_finished=self._max_jobs
+                )
+            return self._job_manager
 
     # ------------------------------------------------------------------
     # Dataset registration
@@ -143,8 +223,15 @@ class AnalysisService:
         }
 
     # ------------------------------------------------------------------
-    # Read requests (cached)
+    # Spec execution (the one read path)
     # ------------------------------------------------------------------
+
+    def execute(self, spec: RequestSpec) -> ServiceResult:
+        """Run one spec: cache lookup, single-flight, or cold compute."""
+        entry = self.registry.get(spec.dataset)
+        return self._respond(entry, spec)
+
+    # -- v1 keyword shims ----------------------------------------------
 
     def analyze(
         self,
@@ -161,57 +248,25 @@ class AnalysisService:
         seed: int = 0,
     ) -> ServiceResult:
         """The full detect / explain / resolve pipeline for one query."""
-        entry = self.registry.get(dataset)
-        query = GroupByQuery.from_sql(sql, treatment=treatment)
-        params = {
-            "query": repr(query),
-            "covariates": list(covariates) if covariates is not None else None,
-            "mediators": list(mediators) if mediators is not None else None,
-            "top_k": top_k,
-            "explain_top_attributes": explain_top_attributes,
-            "compute_direct": compute_direct,
-            "alpha": alpha,
-            "test": test,
-        }
-
-        def compute() -> dict[str, Any]:
-            db = self._hypdb(entry, alpha=alpha, test=test, seed=seed)
-            report = db.analyze(
-                query,
+        return self.execute(
+            AnalyzeSpec(
+                dataset=dataset,
+                sql=sql,
+                treatment=treatment,
                 covariates=covariates,
                 mediators=mediators,
                 top_k=top_k,
                 explain_top_attributes=explain_top_attributes,
                 compute_direct=compute_direct,
+                alpha=alpha,
+                test=test,
+                seed=seed,
             )
-            return report.to_dict()
-
-        return self._respond(entry, "analyze", params, seed, compute)
+        )
 
     def query(self, dataset: str, sql: str) -> ServiceResult:
         """Evaluate the (possibly biased) group-by-average query only."""
-        entry = self.registry.get(dataset)
-        query = GroupByQuery.from_sql(sql)
-        params = {"query": repr(query)}
-
-        def compute() -> dict[str, Any]:
-            answer = group_by_average(
-                entry.table, query.group_by_columns(), query.outcomes, where=query.where
-            )
-            return {
-                "group_columns": list(answer.group_columns),
-                "value_columns": list(answer.value_columns),
-                "rows": [
-                    {
-                        "key": [json_value(value) for value in row.key],
-                        "averages": [json_value(average) for average in row.averages],
-                        "count": row.count,
-                    }
-                    for row in answer.rows
-                ],
-            }
-
-        return self._respond(entry, "query", params, None, compute)
+        return self.execute(QuerySpec(dataset=dataset, sql=sql))
 
     def discover(
         self,
@@ -223,15 +278,16 @@ class AnalysisService:
         seed: int = 0,
     ) -> ServiceResult:
         """Covariate discovery (the CD algorithm) for one treatment."""
-        entry = self.registry.get(dataset)
-        params = {"treatment": treatment, "outcome": outcome, "alpha": alpha, "test": test}
-
-        def compute() -> dict[str, Any]:
-            db = self._hypdb(entry, alpha=alpha, test=test, seed=seed)
-            result = db.discoverer.discover(entry.table, treatment, outcome=outcome)
-            return discovery_to_dict(result)
-
-        return self._respond(entry, "discover", params, seed, compute)
+        return self.execute(
+            DiscoverSpec(
+                dataset=dataset,
+                treatment=treatment,
+                outcome=outcome,
+                alpha=alpha,
+                test=test,
+                seed=seed,
+            )
+        )
 
     def whatif(
         self,
@@ -249,48 +305,40 @@ class AnalysisService:
         ``where_sql`` is an optional SQL WHERE expression restricting the
         subpopulation, e.g. ``"Airport IN ('COS','MFE')"``.
         """
-        entry = self.registry.get(dataset)
-        where = _parse_where(where_sql, treatment, outcome)
-        params = {
-            "treatment": treatment,
-            "outcome": outcome,
-            "covariates": list(covariates) if covariates is not None else None,
-            "where": where_sql,
-            "alpha": alpha,
-            "test": test,
-        }
-
-        def compute() -> dict[str, Any]:
-            db = self._hypdb(entry, alpha=alpha, test=test, seed=seed)
-            answer = db.what_if(treatment, outcome, covariates=covariates, where=where)
-            return answer.to_dict()
-
-        return self._respond(entry, "whatif", params, seed, compute)
+        return self.execute(
+            WhatIfSpec(
+                dataset=dataset,
+                treatment=treatment,
+                outcome=outcome,
+                covariates=covariates,
+                where_sql=where_sql,
+                alpha=alpha,
+                test=test,
+                seed=seed,
+            )
+        )
 
     def batch(self, requests: Sequence[Mapping[str, Any]]) -> list[ServiceResult]:
         """Run several read requests in order and return all results.
 
         Each item is ``{"kind": <analyze|query|discover|whatif>, ...}``
-        with that kind's parameters.  Requests share the warm caches, so a
-        batch repeating a (dataset, params, seed) triple pays once.
+        with that kind's parameters.  This is the v1 surface: strictly
+        sequential, in submission order (the v2 planner in
+        :mod:`repro.service.planner` adds grouping, ordering, and
+        dedup).  Requests share the warm caches, so a batch repeating a
+        (dataset, params, seed) triple pays once.
         """
-        handlers: dict[str, Callable[..., ServiceResult]] = {
-            "analyze": self.analyze,
-            "query": self.query,
-            "discover": self.discover,
-            "whatif": self.whatif,
-        }
         results: list[ServiceResult] = []
         for index, request in enumerate(requests):
             arguments = dict(request)
             kind = arguments.pop("kind", None)
-            handler = handlers.get(kind)
-            if handler is None:
+            spec_type = SPEC_TYPES.get(kind)
+            if spec_type is None:
                 raise ValueError(
                     f"batch item {index}: unknown kind {kind!r}; "
-                    f"expected one of {sorted(handlers)}"
+                    f"expected one of {sorted(SPEC_TYPES)}"
                 )
-            results.append(handler(**arguments))
+            results.append(self.execute(spec_type.from_dict(arguments)))
         return results
 
     # ------------------------------------------------------------------
@@ -301,14 +349,20 @@ class AnalysisService:
         """JSON-ready service statistics (``/stats`` endpoint)."""
         with self._requests_lock:
             requests = self._requests
+            coalesced = self._coalesced
+        with self._job_manager_lock:
+            manager = self._job_manager
         return {
             "uptime_seconds": time.time() - self.started_at,
             "requests": requests,
+            "coalesced": coalesced,
             "engine": type(self.engine).__name__,
             "jobs": getattr(self.engine, "jobs", 1),
             "datasets": self.registry.describe(),
             "filter_memo_entries": self.registry.filter_memo_size,
             "result_cache": self.cache.describe(),
+            "dataset_plane": PLANE_STATS.as_dict(),
+            "job_manager": manager.stats() if manager is not None else None,
         }
 
     # ------------------------------------------------------------------
@@ -336,42 +390,119 @@ class AnalysisService:
             ),
         )
 
-    def _respond(
-        self,
-        entry: DatasetEntry,
-        kind: str,
-        params: Mapping[str, Any],
-        seed: int | None,
-        compute: Callable[[], Any],
-    ) -> ServiceResult:
+    def _compute(self, spec: RequestSpec, entry: DatasetEntry) -> Any:
+        """Cold computation of one spec through the library."""
+        if isinstance(spec, AnalyzeSpec):
+            db = self._hypdb(entry, alpha=spec.alpha, test=spec.test, seed=spec.seed)
+            report = db.analyze(
+                spec.query(),
+                covariates=spec.covariates,
+                mediators=spec.mediators,
+                top_k=spec.top_k,
+                explain_top_attributes=spec.explain_top_attributes,
+                compute_direct=spec.compute_direct,
+            )
+            return report.to_dict()
+        if isinstance(spec, QuerySpec):
+            query = spec.query()
+            answer = group_by_average(
+                entry.table, query.group_by_columns(), query.outcomes, where=query.where
+            )
+            return {
+                "group_columns": list(answer.group_columns),
+                "value_columns": list(answer.value_columns),
+                "rows": [
+                    {
+                        "key": [json_value(value) for value in row.key],
+                        "averages": [json_value(average) for average in row.averages],
+                        "count": row.count,
+                    }
+                    for row in answer.rows
+                ],
+            }
+        if isinstance(spec, DiscoverSpec):
+            db = self._hypdb(entry, alpha=spec.alpha, test=spec.test, seed=spec.seed)
+            result = db.discoverer.discover(
+                entry.table, spec.treatment, outcome=spec.outcome
+            )
+            return discovery_to_dict(result)
+        if isinstance(spec, WhatIfSpec):
+            db = self._hypdb(entry, alpha=spec.alpha, test=spec.test, seed=spec.seed)
+            answer = db.what_if(
+                spec.treatment,
+                spec.outcome,
+                covariates=spec.covariates,
+                where=spec.where(),
+            )
+            return answer.to_dict()
+        raise ValueError(f"unsupported spec type {type(spec).__name__}")
+
+    def _respond(self, entry: DatasetEntry, spec: RequestSpec) -> ServiceResult:
         with self._requests_lock:
             self._requests += 1
-        key = request_key(entry.fingerprint, kind, params, seed)
+        key = spec.request_key(entry.fingerprint)
         start = time.perf_counter()
         payload = self.cache.get(key)
         if payload is not None:
             return ServiceResult(
-                kind=kind,
+                kind=spec.kind,
                 cached=True,
                 payload=payload,
                 elapsed_seconds=time.perf_counter() - start,
             )
-        payload = canonical_json_bytes(compute())
-        self.cache.put(key, payload)
+        # Single-flight: the first thread to miss becomes the leader and
+        # computes; concurrent identical requests attach to its flight and
+        # receive the same canonical bytes without touching the engine.
+        with self._flights_lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._flights[key] = flight
+        if not leader:
+            flight.done.wait()
+            with self._requests_lock:
+                self._coalesced += 1
+            if flight.error is not None:
+                raise flight.error
+            return ServiceResult(
+                kind=spec.kind,
+                cached=True,
+                payload=flight.payload,
+                elapsed_seconds=time.perf_counter() - start,
+                coalesced=True,
+            )
+        # Recheck the cache after winning leadership: a thread that missed
+        # while another flight for this key was landing would otherwise
+        # redo the whole cold computation the moment that flight retired.
+        payload = self.cache.get(key)
+        if payload is not None:
+            flight.payload = payload
+            with self._flights_lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+            return ServiceResult(
+                kind=spec.kind,
+                cached=True,
+                payload=payload,
+                elapsed_seconds=time.perf_counter() - start,
+            )
+        try:
+            payload = canonical_json_bytes(self._compute(spec, entry))
+            self.cache.put(key, payload)
+            flight.payload = payload
+        except BaseException as error:
+            # Followers re-raise the identical error; an error is not
+            # cached, so the next non-concurrent request retries.
+            flight.error = error
+            raise
+        finally:
+            with self._flights_lock:
+                self._flights.pop(key, None)
+            flight.done.set()
         return ServiceResult(
-            kind=kind,
+            kind=spec.kind,
             cached=False,
             payload=payload,
             elapsed_seconds=time.perf_counter() - start,
         )
-
-
-def _parse_where(where_sql: str | None, treatment: str, outcome: str):
-    """Parse a bare SQL WHERE expression into a Predicate (or ``None``)."""
-    if where_sql is None or not where_sql.strip():
-        return None
-    wrapped = (
-        f"SELECT {treatment}, avg({outcome}) FROM t "
-        f"WHERE {where_sql} GROUP BY {treatment}"
-    )
-    return GroupByQuery.from_sql(wrapped).where

@@ -7,39 +7,58 @@ clients (no third-party framework, per the repo's no-new-deps rule).
 
 Endpoints (all bodies JSON):
 
-=========  ======  ====================================================
-path       method  body / response
-=========  ======  ====================================================
-/health    GET     liveness probe
-/stats     GET     registry, cache, and engine statistics
-/register  POST    ``{"name", "columns" | "rows"+"column_names" | "csv_path"}``
-/analyze   POST    ``{"dataset", "sql", ...}`` -> full bias report
-/query     POST    ``{"dataset", "sql"}`` -> group-by-average answer
-/discover  POST    ``{"dataset", "treatment", ...}`` -> CD result
-/whatif    POST    ``{"dataset", "treatment", "outcome", ...}``
-/batch     POST    ``{"requests": [{"kind", ...}, ...]}``
-=========  ======  ====================================================
+==============  ======  ====================================================
+path            method  body / response
+==============  ======  ====================================================
+/health         GET     liveness probe
+/stats          GET     registry, cache, engine, and job statistics
+/register       POST    ``{"name", "columns" | "rows"+"column_names" | "csv_path"}``
+/analyze        POST    ``{"dataset", "sql", ...}`` -> full bias report
+/query          POST    ``{"dataset", "sql"}`` -> group-by-average answer
+/discover       POST    ``{"dataset", "treatment", ...}`` -> CD result
+/whatif         POST    ``{"dataset", "treatment", "outcome", ...}``
+/batch          POST    ``{"requests": [{"kind", ...}, ...]}`` (v1: sequential)
+/v2/jobs        POST    one spec ``{"kind", ...}`` -> 202 + job id
+/v2/jobs        GET     ``?dataset=&limit=`` -> job listing
+/v2/jobs/<id>   GET     job status; spliced result bytes once done
+/v2/batch       POST    ``{"requests": [...]}`` -> planned execution
+==============  ======  ====================================================
+
+The v1 read endpoints are thin shims over the typed request specs of
+:mod:`repro.service.spec` -- same canonical payload bytes as before the
+spec layer existed.  v2 adds the asynchronous jobs API (202-accepted,
+poll for the result) and the work-sharing batch planner; see
+:mod:`repro.service.jobs` and :mod:`repro.service.planner`.
 
 Read responses are the envelope ``{"status": "ok", "kind", "cached",
 "elapsed_seconds", "result": ...}`` where the ``result`` value is spliced
 in as the service's canonical payload bytes -- the HTTP body carries the
-result byte-for-byte as the direct API would serialize it.
+result byte-for-byte as the direct API would serialize it.  Finished-job
+responses splice the same bytes under ``"result"``.
 
-Errors: 400 for malformed requests, 404 for unknown datasets or paths,
-500 for unexpected failures; all carry ``{"status": "error", "error"}``.
+Errors: 400 for malformed requests, 404 for unknown datasets, jobs, or
+paths, 500 for unexpected failures; all carry ``{"status": "error",
+"error"}``.
 """
 
 from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.core.report import canonical_json_bytes
 from repro.service.core import AnalysisService, ServiceResult
+from repro.service.jobs import Job, UnknownJobError
+from repro.service.planner import run_batch
 from repro.service.registry import UnknownDatasetError
+from repro.service.spec import SPEC_TYPES, spec_from_dict
 
 #: Request bodies above this size are rejected (sanity bound, ~256 MiB).
 MAX_BODY_BYTES = 1 << 28
+
+#: v1 path -> spec type (the "thin shim" dispatch table).
+_V1_SPECS = {f"/{kind}": spec_type for kind, spec_type in SPEC_TYPES.items()}
 
 
 def envelope_bytes(result: ServiceResult) -> bytes:
@@ -51,6 +70,15 @@ def envelope_bytes(result: ServiceResult) -> bytes:
         f'"result":'
     )
     return head.encode("utf-8") + result.payload + b"}"
+
+
+def job_bytes(job: Job) -> bytes:
+    """The ``GET /v2/jobs/<id>`` body: metadata plus spliced result bytes."""
+    body = b'{"status":"ok","job":' + canonical_json_bytes(job.snapshot())
+    result = job.service_result()
+    if result is not None:
+        body += b',"result":' + result.payload
+    return body + b"}"
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -70,13 +98,23 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routing -------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parts = urlsplit(self.path)
         try:
-            if self.path == "/health":
+            if parts.path == "/health":
                 self._send(200, canonical_json_bytes({"status": "ok"}))
-            elif self.path == "/stats":
+            elif parts.path == "/stats":
                 self._send(200, canonical_json_bytes(self.server.service.stats()))
+            elif parts.path == "/v2/jobs":
+                self._send_job_list(parts.query)
+            elif parts.path.startswith("/v2/jobs/"):
+                job_id = parts.path[len("/v2/jobs/"):]
+                self._send(200, job_bytes(self.server.service.job_manager.get(job_id)))
             else:
                 self._send_error(404, f"unknown path {self.path!r}")
+        except (UnknownJobError, UnknownDatasetError) as error:
+            self._send_error(404, _message(error))
+        except (TypeError, ValueError) as error:
+            self._send_error(400, _message(error))
         except Exception as error:  # pragma: no cover - defensive 500
             self._send_error(500, f"{type(error).__name__}: {error}")
 
@@ -103,12 +141,37 @@ class _Handler(BaseHTTPRequestHandler):
                 results = service.batch(body.get("requests", []))
                 parts = b",".join(envelope_bytes(result) for result in results)
                 self._send(200, b'{"status":"ok","results":[' + parts + b"]}")
-            elif self.path in ("/analyze", "/query", "/discover", "/whatif"):
-                handler = getattr(service, self.path[1:])
-                self._send(200, envelope_bytes(handler(**body)))
+            elif self.path == "/v2/jobs":
+                job = service.job_manager.submit(spec_from_dict(body))
+                self._send(
+                    202,
+                    canonical_json_bytes(
+                        {
+                            "status": "accepted",
+                            "job_id": job.id,
+                            "job_status": job.snapshot()["status"],
+                            "coalesced": job.primary is not None,
+                        }
+                    ),
+                )
+            elif self.path == "/v2/batch":
+                specs = _batch_specs(body)
+                results, summary = run_batch(service, specs)
+                parts = b",".join(envelope_bytes(result) for result in results)
+                self._send(
+                    200,
+                    b'{"status":"ok","plan":'
+                    + canonical_json_bytes(summary)
+                    + b',"results":['
+                    + parts
+                    + b"]}",
+                )
+            elif self.path in _V1_SPECS:
+                spec = _V1_SPECS[self.path].from_dict(body)
+                self._send(200, envelope_bytes(service.execute(spec)))
             else:
                 self._send_error(404, f"unknown path {self.path!r}")
-        except UnknownDatasetError as error:
+        except (UnknownDatasetError, UnknownJobError) as error:
             self._send_error(404, _message(error))
         except (TypeError, ValueError) as error:
             self._send_error(400, _message(error))
@@ -116,6 +179,19 @@ class _Handler(BaseHTTPRequestHandler):
             # Includes bare KeyError from deep library code: that is a
             # server bug, not a client addressing mistake.
             self._send_error(500, f"{type(error).__name__}: {error}")
+
+    # -- v2 helpers ----------------------------------------------------
+
+    def _send_job_list(self, query: str) -> None:
+        parameters = parse_qs(query)
+        dataset = parameters.get("dataset", [None])[0]
+        limit_text = parameters.get("limit", ["100"])[0]
+        try:
+            limit = int(limit_text)
+        except ValueError:
+            raise ValueError(f"limit must be an integer, got {limit_text!r}") from None
+        jobs = self.server.service.job_manager.list(dataset=dataset, limit=limit)
+        self._send(200, canonical_json_bytes({"status": "ok", "jobs": jobs}))
 
     # -- plumbing ------------------------------------------------------
 
@@ -149,6 +225,20 @@ class _Handler(BaseHTTPRequestHandler):
         """Quiet by default; the CLI flips ``server.verbose`` on."""
         if getattr(self.server, "verbose", False):  # pragma: no cover
             super().log_message(format, *args)
+
+
+def _batch_specs(body: dict) -> list:
+    """Parse a v2 batch body into specs with index-tagged errors."""
+    requests = body.get("requests", [])
+    if not isinstance(requests, list):
+        raise ValueError("requests must be a JSON array of request specs")
+    specs = []
+    for index, item in enumerate(requests):
+        try:
+            specs.append(spec_from_dict(item))
+        except ValueError as error:
+            raise ValueError(f"batch item {index}: {_message(error)}") from None
+    return specs
 
 
 def _reject_extras(body: dict) -> None:

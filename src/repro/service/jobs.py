@@ -1,0 +1,296 @@
+"""The async job manager: submit a spec now, poll for the bytes later.
+
+A synchronous ``analyze`` holds its HTTP thread for the whole pipeline;
+the jobs API decouples submission from execution.  ``POST /v2/jobs``
+returns 202 with a job id immediately, a bounded worker-thread pool
+drains the queue through :meth:`AnalysisService.execute` (the threads
+only *coordinate* -- the statistical work still fans across cores via the
+service's execution engine), and ``GET /v2/jobs/<id>`` polls status and,
+once done, the result -- the *identical canonical bytes* the synchronous
+path produces, because both run the same spec through the same engine
+and cache.
+
+Work sharing happens at two levels.  Submitting a spec whose result is
+already cached completes the job synchronously (no worker round-trip).
+Submitting a spec equal to one that is still queued or running does not
+enqueue a second computation: the new job *coalesces* onto the active
+one (``coalesced_into``) and mirrors its lifecycle -- the job-level twin
+of the service's single-flight, but visible before execution even
+starts, so a burst of identical submissions occupies one worker slot,
+not N.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.service.registry import UnknownDatasetError
+from repro.service.spec import RequestSpec, SpecError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (core imports jobs lazily)
+    from repro.service.core import AnalysisService, ServiceResult
+
+#: Job lifecycle states (terminal: ``done``, ``error``, ``cancelled``).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+CANCELLED = "cancelled"
+
+_TERMINAL = (DONE, ERROR, CANCELLED)
+
+
+class UnknownJobError(KeyError):
+    """Lookup of a job id that does not exist (HTTP maps this to 404)."""
+
+
+@dataclass
+class Job:
+    """One submitted spec and its lifecycle.
+
+    A coalesced job holds a reference to its primary (the job actually
+    executing the shared spec) and mirrors the primary's state through
+    :meth:`snapshot`; it owns only its identity and submission time.
+    """
+
+    id: str
+    spec: RequestSpec
+    key: str
+    status: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: "ServiceResult | None" = None
+    error: str | None = None
+    error_status: int = 500
+    primary: "Job | None" = None
+    future: Future | None = None
+
+    # -- views ----------------------------------------------------------
+
+    def _effective(self) -> "Job":
+        return self.primary if self.primary is not None else self
+
+    def finished(self) -> bool:
+        return self._effective().status in _TERMINAL
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready job metadata (without the result payload)."""
+        source = self._effective()
+        return {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "dataset": self.spec.dataset,
+            "status": source.status,
+            "submitted_at": self.submitted_at,
+            "started_at": source.started_at,
+            "finished_at": source.finished_at,
+            "coalesced_into": self.primary.id if self.primary is not None else None,
+            "error": source.error,
+            "error_status": source.error_status if source.status == ERROR else None,
+            "cached": source.result.cached if source.result is not None else None,
+            "spec": self.spec.to_dict(),
+        }
+
+    def service_result(self) -> "ServiceResult | None":
+        """The finished result (``None`` until the job is done)."""
+        return self._effective().result
+
+
+class JobManager:
+    """Bounded worker pool executing specs through one service.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.service.core.AnalysisService` owning the
+        registry, caches, and execution engine.
+    workers:
+        Worker threads draining the queue.  Each running job occupies one
+        thread; the statistical work inside still parallelizes through
+        the service's (process-level) execution engine.
+    max_finished:
+        Finished jobs retained for polling; the oldest finished jobs are
+        evicted past this bound (active jobs are never evicted).
+    """
+
+    def __init__(
+        self, service: "AnalysisService", workers: int = 2, max_finished: int = 1024
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.service = service
+        self.workers = workers
+        self.max_finished = max_finished
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="hypdb-job"
+        )
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}  # insertion order = submission order
+        self._active: dict[str, Job] = {}  # request key -> primary job
+        self._ids = itertools.count(1)
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._coalesced = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: RequestSpec) -> Job:
+        """Queue one spec; returns the job record immediately.
+
+        Raises :class:`~repro.service.registry.UnknownDatasetError` when
+        the spec names an unregistered dataset (the submit-time check
+        keeps addressing mistakes synchronous and 404-able).  A spec
+        equal to an active job's coalesces onto it; a spec whose result
+        is already cached completes without touching the worker pool.
+        """
+        entry = self.service.registry.get(spec.dataset)
+        key = spec.request_key(entry.fingerprint)
+        cached = self.service.cache.peek(key)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("job manager is closed")
+            self._submitted += 1
+            job = Job(id=f"j{next(self._ids):08d}", spec=spec, key=key)
+            self._jobs[job.id] = job
+            primary = self._active.get(key)
+            if primary is not None:
+                job.primary = primary
+                self._coalesced += 1
+            elif cached is None:
+                self._active[key] = job
+                job.future = self._executor.submit(self._run, job)
+            self._prune()
+        if primary is None and cached is not None:
+            # Warm path: serve through the normal read path (counting the
+            # request, promoting disk entries) and finish synchronously --
+            # no worker round-trip for a result that already exists.
+            self._run(job)
+        return job
+
+    def get(self, job_id: str) -> Job:
+        """The job record for ``job_id`` (:class:`UnknownJobError` if none)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(f"unknown job {job_id!r}")
+        return job
+
+    def list(self, dataset: str | None = None, limit: int = 100) -> list[dict[str, Any]]:
+        """Snapshots of the most recent ``limit`` jobs, oldest first.
+
+        ``dataset`` filters on the spec's dataset name.
+        """
+        if limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        with self._lock:
+            jobs = list(self._jobs.values())
+        if dataset is not None:
+            jobs = [job for job in jobs if job.spec.dataset == dataset]
+        return [job.snapshot() for job in jobs[-limit:]] if limit else []
+
+    def wait(self, job_id: str, timeout: float = 600.0, poll_interval: float = 0.01) -> Job:
+        """Block until ``job_id`` reaches a terminal state (test helper)."""
+        deadline = time.monotonic() + timeout
+        job = self.get(job_id)
+        while not job.finished():
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} not finished within {timeout}s")
+            time.sleep(poll_interval)
+        return job
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready counters (surfaced under ``/stats``)."""
+        with self._lock:
+            statuses = [job._effective().status for job in self._jobs.values()]
+            return {
+                "workers": self.workers,
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "coalesced": self._coalesced,
+                "queued": statuses.count(QUEUED),
+                "running": statuses.count(RUNNING),
+                "retained": len(self._jobs),
+            }
+
+    def close(self) -> None:
+        """Stop accepting jobs; cancel what has not started, wait for the rest."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = [job for job in self._active.values() if job.future is not None]
+        for job in pending:
+            if job.future.cancel():
+                with self._lock:
+                    job.status = CANCELLED
+                    job.error = "service shutting down"
+                    job.finished_at = time.time()
+                    self._deactivate(job)
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+
+    def _run(self, job: Job) -> None:
+        """Worker body: execute the spec and record the outcome."""
+        with self._lock:
+            job.status = RUNNING
+            job.started_at = time.time()
+        try:
+            result = self.service.execute(job.spec)
+        except BaseException as error:  # noqa: BLE001 - recorded on the job
+            with self._lock:
+                job.status = ERROR
+                job.error = _message(error)
+                job.error_status = _error_status(error)
+                job.finished_at = time.time()
+                self._failed += 1
+                self._deactivate(job)
+            return
+        with self._lock:
+            job.result = result
+            job.status = DONE
+            job.finished_at = time.time()
+            self._completed += 1
+            self._deactivate(job)
+
+    def _deactivate(self, job: Job) -> None:
+        """Retire ``job`` from the active map (lock held).
+
+        Only removes the entry when it still points at *this* job: a
+        warm-path job never registered itself, and popping blindly could
+        evict a different primary that claimed the key in the meantime
+        (whose followers would then stop coalescing onto it).
+        """
+        if self._active.get(job.key) is job:
+            del self._active[job.key]
+
+    def _prune(self) -> None:
+        """Drop the oldest finished jobs past ``max_finished`` (lock held)."""
+        finished = [job_id for job_id, job in self._jobs.items() if job.finished()]
+        excess = len(finished) - self.max_finished
+        for job_id in finished[:max(excess, 0)]:
+            del self._jobs[job_id]
+
+
+def _error_status(error: BaseException) -> int:
+    """Map an execution error onto the HTTP status the sync path would use."""
+    if isinstance(error, (UnknownDatasetError, UnknownJobError)):
+        return 404
+    if isinstance(error, (SpecError, ValueError, TypeError)):
+        return 400
+    return 500
+
+
+def _message(error: BaseException) -> str:
+    if error.args and isinstance(error.args[0], str):
+        return error.args[0]
+    return f"{type(error).__name__}: {error}"

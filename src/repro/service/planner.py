@@ -1,0 +1,137 @@
+"""The batch planner: group, order, and de-duplicate a list of specs.
+
+``POST /v2/batch`` accepts N request specs and, instead of the v1
+sequential loop, plans the batch before executing it:
+
+* **group by dataset fingerprint** -- all specs over one table content run
+  consecutively under an engine *pin*, so the table (and the grouped
+  contingency tensors its tests derive) is published to the dataset plane
+  once per batch, not once per request;
+* **order cache-hits first** -- warm specs are answered before any cold
+  computation starts, so a batch mixing cheap and expensive requests
+  streams its cheap answers out of the result store immediately;
+* **de-duplicate by request key** -- identical specs execute once; the
+  duplicates attach to the leader's result (the batch-level twin of the
+  service's single-flight) and receive the same canonical bytes.
+
+Execution goes through :meth:`AnalysisService.execute` spec by spec --
+the planner never touches seeds or engines, so every result is
+bit-identical to the one-shot synchronous path for the same spec.
+Results are returned in submission order regardless of execution order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.service.core import AnalysisService, ServiceResult
+from repro.service.registry import DatasetEntry
+from repro.service.spec import RequestSpec
+
+
+@dataclass
+class PlanItem:
+    """One spec's slot in a batch plan."""
+
+    index: int  # position in the submitted batch (result order)
+    spec: RequestSpec
+    key: str
+    warm: bool = False  # result bytes already in the cache at plan time
+    leader: "PlanItem | None" = None  # set on duplicates of an earlier item
+
+
+@dataclass
+class PlanGroup:
+    """All distinct specs of one batch that share a dataset content."""
+
+    fingerprint: str
+    entry: DatasetEntry
+    warm: list[PlanItem] = field(default_factory=list)
+    cold: list[PlanItem] = field(default_factory=list)
+
+    @property
+    def items(self) -> list[PlanItem]:
+        """Execution order within the group: cache hits first."""
+        return self.warm + self.cold
+
+
+@dataclass
+class BatchPlan:
+    """The planned batch: groups in first-appearance order plus duplicates."""
+
+    items: list[PlanItem]
+    groups: list[PlanGroup]
+    duplicates: list[PlanItem]
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready plan summary (returned in the v2 batch envelope)."""
+        return {
+            "specs": len(self.items),
+            "datasets": len(self.groups),
+            "warm": sum(len(group.warm) for group in self.groups),
+            "cold": sum(len(group.cold) for group in self.groups),
+            "deduplicated": len(self.duplicates),
+        }
+
+
+def plan_batch(service: AnalysisService, specs: Sequence[RequestSpec]) -> BatchPlan:
+    """Plan ``specs`` against the service's registry and result cache.
+
+    Raises :class:`~repro.service.registry.UnknownDatasetError` when any
+    spec names an unregistered dataset -- the whole batch is rejected up
+    front rather than failing midway through execution.
+    """
+    items: list[PlanItem] = []
+    groups: dict[str, PlanGroup] = {}
+    duplicates: list[PlanItem] = []
+    leaders: dict[str, PlanItem] = {}
+    for index, spec in enumerate(specs):
+        entry = service.registry.get(spec.dataset)
+        key = spec.request_key(entry.fingerprint)
+        item = PlanItem(index=index, spec=spec, key=key)
+        items.append(item)
+        leader = leaders.get(key)
+        if leader is not None:
+            item.leader = leader
+            duplicates.append(item)
+            continue
+        leaders[key] = item
+        item.warm = service.cache.peek(key) is not None
+        group = groups.get(entry.fingerprint)
+        if group is None:
+            group = groups[entry.fingerprint] = PlanGroup(
+                fingerprint=entry.fingerprint, entry=entry
+            )
+        (group.warm if item.warm else group.cold).append(item)
+    return BatchPlan(items=items, groups=list(groups.values()), duplicates=duplicates)
+
+
+def execute_plan(service: AnalysisService, plan: BatchPlan) -> list[ServiceResult]:
+    """Run a plan; results come back in the batch's submission order."""
+    results: list[ServiceResult | None] = [None] * len(plan.items)
+    for group in plan.groups:
+        # Pin the group's table: every publication the specs trigger --
+        # the table for fan-outs, grouped tensors for tests -- lands on
+        # one refcounted plane entry for the whole group.
+        pinned = service.engine.pin(group.entry.table)
+        try:
+            for item in group.items:
+                results[item.index] = service.execute(item.spec)
+        finally:
+            service.engine.unpin(pinned)
+    for item in plan.duplicates:
+        leader_result = results[item.leader.index]
+        # The duplicate never executed: it shares the leader's canonical
+        # bytes, flagged like a coalesced single-flight follower.
+        results[item.index] = replace(leader_result, cached=True, coalesced=True)
+    return results
+
+
+def run_batch(
+    service: AnalysisService, specs: Sequence[RequestSpec]
+) -> tuple[list[ServiceResult], dict[str, Any]]:
+    """Plan and execute in one call; returns (results, plan summary)."""
+    plan = plan_batch(service, specs)
+    return execute_plan(service, plan), plan.describe()

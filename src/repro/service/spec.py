@@ -1,0 +1,355 @@
+"""Typed request specs: the declarative *what* of every service request.
+
+A spec is a frozen dataclass describing one read request -- dataset name,
+parameters, seed -- with validation at construction, lossless
+``from_dict`` / ``to_dict`` round-trips, and canonicalization onto the
+result-cache key of :func:`repro.service.fingerprint.request_key`.  The
+same spec object flows through every execution surface: the synchronous
+v1 endpoints (thin shims that build a spec from the request body), the
+async v2 jobs API, the v2 batch planner, the Python client, and the CLI's
+``submit`` verb.  Separating the *what* (this module) from the *how* and
+*when* (:mod:`repro.service.core`, :mod:`repro.service.jobs`,
+:mod:`repro.service.planner`) is what lets identical requests coalesce
+and batches share work: two specs are the same request exactly when
+their cache keys are equal.
+
+Canonicalization is pinned to the pre-spec service layer:
+:meth:`RequestSpec.cache_params` builds byte-for-byte the params dict the
+v1 handlers used to build inline, so cache entries (memory and disk) are
+shared between v1 and v2 and across upgrades.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from repro.core.query import GroupByQuery
+from repro.service.fingerprint import request_key
+from repro.stats.base import DEFAULT_ALPHA
+
+#: Test names accepted by the service (see ``service.core.make_test``).
+KNOWN_TESTS = ("hymit", "chi2", "mit")
+
+
+class SpecError(ValueError):
+    """A request spec that fails validation (HTTP layer maps this to 400)."""
+
+
+#: Sentinel distinguishing "never parsed" from a legitimately-``None``
+#: parse result (a WhatIfSpec with no WHERE clause).
+_UNSET = object()
+
+
+def _memoized(spec: Any, slot: str, build):
+    """Parse-once memo on a frozen spec (derived state, not a field).
+
+    Specs are immutable, so parses are pure; stashing them via
+    ``object.__setattr__`` keeps the hot read path (validation, cache
+    keys, execution all need the parse) from re-running the SQL parser.
+    Dataclass equality/hash ignore non-field attributes, so memoized and
+    fresh specs stay interchangeable.
+    """
+    value = spec.__dict__.get(slot, _UNSET)
+    if value is _UNSET:
+        value = build()
+        object.__setattr__(spec, slot, value)
+    return value
+
+
+def _require_str(field: str, value: Any, optional: bool = False) -> str | None:
+    if value is None and optional:
+        return None
+    if not isinstance(value, str) or not value:
+        raise SpecError(f"{field} must be a non-empty string, got {value!r}")
+    return value
+
+
+def _require_names(field: str, value: Any) -> tuple[str, ...] | None:
+    """Coerce an optional sequence of column names to a tuple."""
+    if value is None:
+        return None
+    if isinstance(value, str) or not isinstance(value, Sequence):
+        raise SpecError(f"{field} must be a list of column names, got {value!r}")
+    names = tuple(value)
+    for name in names:
+        if not isinstance(name, str):
+            raise SpecError(f"{field} entries must be strings, got {name!r}")
+    return names
+
+
+def _require_int(field: str, value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(f"{field} must be an integer, got {value!r}")
+    return value
+
+
+def _require_bool(field: str, value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise SpecError(f"{field} must be a boolean, got {value!r}")
+    return value
+
+
+def _require_alpha(value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecError(f"alpha must be a number in (0, 1), got {value!r}")
+    if not 0.0 < value < 1.0:
+        raise SpecError(f"alpha must be in (0, 1), got {value!r}")
+    return value
+
+
+def _require_test(value: Any) -> str:
+    if value not in KNOWN_TESTS:
+        raise SpecError(
+            f"unknown test {value!r}; expected one of hymit, chi2, mit"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """Base of all request specs: one dataset-scoped read request.
+
+    Subclasses declare ``kind`` (the dispatch discriminator, also the
+    request-kind component of the cache key) and implement
+    :meth:`cache_params`.  Instances are immutable and hashable, so they
+    can key coalescing maps directly.
+    """
+
+    kind: ClassVar[str] = "abstract"
+    dataset: str
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RequestSpec":
+        """Build a spec from a JSON-shaped mapping, rejecting unknown keys.
+
+        An optional ``"kind"`` entry is accepted when it matches the
+        class (so ``to_dict`` output round-trips); use
+        :func:`spec_from_dict` to dispatch on it instead.
+        """
+        if not isinstance(payload, Mapping):
+            raise SpecError(f"request spec must be a JSON object, got {payload!r}")
+        data = dict(payload)
+        kind = data.pop("kind", cls.kind)
+        if kind != cls.kind:
+            raise SpecError(f"expected kind {cls.kind!r}, got {kind!r}")
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(f"unknown {cls.kind} fields: {unknown}")
+        return cls(**data)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict; ``from_dict(to_dict(s)) == s`` for every spec.
+
+        ``None``-valued fields are dropped (they mean "use the default",
+        and :func:`repro.service.fingerprint.canonical_params` drops them
+        from cache keys for the same reason); tuples become lists.
+        """
+        payload: dict[str, Any] = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value is None:
+                continue
+            payload[field.name] = list(value) if isinstance(value, tuple) else value
+        return payload
+
+    # -- canonicalization ----------------------------------------------
+
+    def cache_params(self) -> dict[str, Any]:
+        """The canonical request-parameter dict (cache-key material).
+
+        Pinned byte-for-byte to what the pre-spec v1 handlers built, so
+        v1 and v2 share one result cache.
+        """
+        raise NotImplementedError
+
+    def cache_seed(self) -> int | None:
+        """The seed component of the cache key (``None`` = deterministic)."""
+        return getattr(self, "seed", None)
+
+    def request_key(self, fingerprint: str) -> str:
+        """The result-cache key of this spec against one dataset content."""
+        return request_key(fingerprint, self.kind, self.cache_params(), self.cache_seed())
+
+    def _validate_common(self) -> None:
+        _require_str("dataset", self.dataset)
+
+
+@dataclass(frozen=True)
+class AnalyzeSpec(RequestSpec):
+    """The full detect / explain / resolve pipeline for one query."""
+
+    kind: ClassVar[str] = "analyze"
+    sql: str = ""
+    treatment: str | None = None
+    covariates: tuple[str, ...] | None = None
+    mediators: tuple[str, ...] | None = None
+    top_k: int = 2
+    explain_top_attributes: int = 2
+    compute_direct: bool = True
+    alpha: float = DEFAULT_ALPHA
+    test: str = "hymit"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._validate_common()
+        _require_str("sql", self.sql)
+        _require_str("treatment", self.treatment, optional=True)
+        object.__setattr__(self, "covariates", _require_names("covariates", self.covariates))
+        object.__setattr__(self, "mediators", _require_names("mediators", self.mediators))
+        _require_int("top_k", self.top_k)
+        _require_int("explain_top_attributes", self.explain_top_attributes)
+        _require_bool("compute_direct", self.compute_direct)
+        _require_alpha(self.alpha)
+        _require_test(self.test)
+        _require_int("seed", self.seed)
+        self.query()  # surface SQL parse errors at construction time
+
+    def query(self) -> GroupByQuery:
+        """The parsed group-by-average query this spec analyzes (memoized)."""
+        return _memoized(
+            self, "_query", lambda: GroupByQuery.from_sql(self.sql, treatment=self.treatment)
+        )
+
+    def cache_params(self) -> dict[str, Any]:
+        return {
+            "query": repr(self.query()),
+            "covariates": list(self.covariates) if self.covariates is not None else None,
+            "mediators": list(self.mediators) if self.mediators is not None else None,
+            "top_k": self.top_k,
+            "explain_top_attributes": self.explain_top_attributes,
+            "compute_direct": self.compute_direct,
+            "alpha": self.alpha,
+            "test": self.test,
+        }
+
+
+@dataclass(frozen=True)
+class QuerySpec(RequestSpec):
+    """Evaluate the (possibly biased) group-by-average query only."""
+
+    kind: ClassVar[str] = "query"
+    sql: str = ""
+
+    def __post_init__(self) -> None:
+        self._validate_common()
+        _require_str("sql", self.sql)
+        self.query()
+
+    def query(self) -> GroupByQuery:
+        """The parsed group-by-average query (memoized)."""
+        return _memoized(self, "_query", lambda: GroupByQuery.from_sql(self.sql))
+
+    def cache_params(self) -> dict[str, Any]:
+        return {"query": repr(self.query())}
+
+    def cache_seed(self) -> None:
+        return None  # query answers are seed-free
+
+
+@dataclass(frozen=True)
+class DiscoverSpec(RequestSpec):
+    """Covariate discovery (the CD algorithm) for one treatment."""
+
+    kind: ClassVar[str] = "discover"
+    treatment: str = ""
+    outcome: str | None = None
+    alpha: float = DEFAULT_ALPHA
+    test: str = "hymit"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._validate_common()
+        _require_str("treatment", self.treatment)
+        _require_str("outcome", self.outcome, optional=True)
+        _require_alpha(self.alpha)
+        _require_test(self.test)
+        _require_int("seed", self.seed)
+
+    def cache_params(self) -> dict[str, Any]:
+        return {
+            "treatment": self.treatment,
+            "outcome": self.outcome,
+            "alpha": self.alpha,
+            "test": self.test,
+        }
+
+
+@dataclass(frozen=True)
+class WhatIfSpec(RequestSpec):
+    """Interventional averages ``E[Y | do(T = t), where]`` (paper Sec. 8)."""
+
+    kind: ClassVar[str] = "whatif"
+    treatment: str = ""
+    outcome: str = ""
+    covariates: tuple[str, ...] | None = None
+    where_sql: str | None = None
+    alpha: float = DEFAULT_ALPHA
+    test: str = "hymit"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._validate_common()
+        _require_str("treatment", self.treatment)
+        _require_str("outcome", self.outcome)
+        object.__setattr__(self, "covariates", _require_names("covariates", self.covariates))
+        if self.where_sql is not None and not isinstance(self.where_sql, str):
+            raise SpecError(f"where_sql must be a string, got {self.where_sql!r}")
+        _require_alpha(self.alpha)
+        _require_test(self.test)
+        _require_int("seed", self.seed)
+        self.where()  # surface WHERE parse errors at construction time
+
+    def where(self):
+        """The parsed WHERE predicate (``None`` = whole table, memoized)."""
+        return _memoized(
+            self,
+            "_where",
+            lambda: parse_where(self.where_sql, self.treatment, self.outcome),
+        )
+
+    def cache_params(self) -> dict[str, Any]:
+        return {
+            "treatment": self.treatment,
+            "outcome": self.outcome,
+            "covariates": list(self.covariates) if self.covariates is not None else None,
+            "where": self.where_sql,
+            "alpha": self.alpha,
+            "test": self.test,
+        }
+
+
+#: kind -> spec class; the dispatch table shared by ``spec_from_dict``,
+#: the v1 shims, the batch planner, and the jobs API.
+SPEC_TYPES: dict[str, type[RequestSpec]] = {
+    cls.kind: cls for cls in (AnalyzeSpec, QuerySpec, DiscoverSpec, WhatIfSpec)
+}
+
+
+def spec_from_dict(payload: Mapping[str, Any]) -> RequestSpec:
+    """Build the right spec for a ``{"kind": ..., ...}`` mapping."""
+    if not isinstance(payload, Mapping):
+        raise SpecError(f"request spec must be a JSON object, got {payload!r}")
+    kind = payload.get("kind")
+    spec_type = SPEC_TYPES.get(kind)
+    if spec_type is None:
+        raise SpecError(
+            f"unknown kind {kind!r}; expected one of {sorted(SPEC_TYPES)}"
+        )
+    return spec_type.from_dict(payload)
+
+
+def parse_where(where_sql: str | None, treatment: str, outcome: str):
+    """Parse a bare SQL WHERE expression into a Predicate (or ``None``)."""
+    if where_sql is None or not where_sql.strip():
+        return None
+    wrapped = (
+        f"SELECT {treatment}, avg({outcome}) FROM t "
+        f"WHERE {where_sql} GROUP BY {treatment}"
+    )
+    return GroupByQuery.from_sql(wrapped).where

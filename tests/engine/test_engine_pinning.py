@@ -1,0 +1,132 @@
+"""Engine pin/unpin: deferred grouped releases and plane work sharing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import ParallelEngine, SerialEngine
+from repro.engine import dataplane
+from repro.engine.dataplane import PLANE_STATS
+from repro.relation.table import Table
+
+
+@pytest.fixture
+def table():
+    rng = np.random.default_rng(0)
+    return Table.from_columns(
+        {
+            "X": rng.integers(0, 4, 500).tolist(),
+            "Y": rng.integers(0, 3, 500).tolist(),
+            "Z": rng.integers(0, 5, 500).tolist(),
+        }
+    )
+
+
+def test_serial_pin_is_the_identity(table):
+    engine = SerialEngine()
+    handle = engine.pin(table)
+    assert handle is table
+    engine.unpin(handle)  # no-op, must not raise
+
+
+def test_pin_defers_grouped_releases_until_unpin(table):
+    grouped = table.grouped_contingencies("X", "Y", ("Z",))
+    engine = ParallelEngine(jobs=2)
+    try:
+        pin = engine.pin(table)
+        if not isinstance(pin, dataplane.TableRef):
+            pytest.skip("shared memory unavailable; nothing to pin")
+        ref = engine.publish_grouped(table, ("X", "Y", "Z"), grouped)
+        if ref is None:
+            pytest.skip("grouped shm transport unavailable")
+        PLANE_STATS.reset()
+        engine.release_grouped(ref)
+        # Deferred: the tensor is still resident, so a republication is a
+        # refcount hit, not a new segment.
+        again = engine.publish_grouped(table, ("X", "Y", "Z"), grouped)
+        assert again == ref
+        assert PLANE_STATS.grouped_republications == 1
+        assert PLANE_STATS.grouped_segments == 0
+        engine.release_grouped(again)
+
+        engine.unpin(pin)
+        # The pin is gone: the deferred releases flushed, the tensor left
+        # the plane, and the next publication creates a fresh entry.
+        PLANE_STATS.reset()
+        fresh = engine.publish_grouped(table, ("X", "Y", "Z"), grouped)
+        assert fresh is not None
+        assert PLANE_STATS.grouped_publications == 1
+        engine.release_grouped(fresh)
+    finally:
+        engine.close()
+
+
+def test_unpinned_grouped_release_is_immediate(table):
+    grouped = table.grouped_contingencies("X", "Y", ("Z",))
+    engine = ParallelEngine(jobs=2)
+    try:
+        ref = engine.publish_grouped(table, ("X", "Y", "Z"), grouped)
+        if ref is None:
+            pytest.skip("grouped shm transport unavailable")
+        engine.release_grouped(ref)
+        PLANE_STATS.reset()
+        again = engine.publish_grouped(table, ("X", "Y", "Z"), grouped)
+        assert PLANE_STATS.grouped_publications == 1  # not a refcount hit
+        engine.release_grouped(again)
+    finally:
+        engine.close()
+
+
+def test_nested_pins_flush_on_the_last_unpin(table):
+    engine = ParallelEngine(jobs=2)
+    try:
+        outer = engine.pin(table)
+        if not isinstance(outer, dataplane.TableRef):
+            pytest.skip("shared memory unavailable; nothing to pin")
+        inner = engine.pin(table)
+        grouped = table.grouped_contingencies("X", "Y", ())
+        ref = engine.publish_grouped(table, ("X", "Y"), grouped)
+        if ref is not None:
+            engine.release_grouped(ref)
+        engine.unpin(inner)
+        if ref is not None:
+            # Still pinned by the outer handle: the tensor stays resident.
+            PLANE_STATS.reset()
+            engine.publish_grouped(table, ("X", "Y"), grouped)
+            assert PLANE_STATS.grouped_republications == 1
+            engine.release_grouped(ref)
+        engine.unpin(outer)
+        assert engine._pinned == {}
+        assert engine._deferred_grouped == {}
+    finally:
+        engine.close()
+
+
+def test_close_releases_deferred_publications(table):
+    engine = ParallelEngine(jobs=2)
+    pin = engine.pin(table)
+    grouped = table.grouped_contingencies("X", "Y", ("Z",))
+    ref = engine.publish_grouped(table, ("X", "Y", "Z"), grouped)
+    if ref is not None:
+        engine.release_grouped(ref)  # deferred while pinned
+    engine.close()
+    # Everything the engine ever published -- including the deferred
+    # releases -- is off the plane after close.
+    assert engine._published == {}
+    assert engine._published_grouped == {}
+    assert engine._deferred_grouped == {}
+    if isinstance(pin, dataplane.TableRef):
+        with pytest.raises(RuntimeError):
+            # Parent registry entry is gone; resolving the stale ref in a
+            # process that never attached it must fail loudly.
+            dataplane._registry.tables.pop(pin.fingerprint, None)
+            dataplane.resolve_table(
+                dataplane.TableRef(
+                    fingerprint=pin.fingerprint,
+                    n_rows=table.n_rows,
+                    n_cols=3,
+                    segment=None,
+                    schema_bytes=0,
+                )
+            )

@@ -1,0 +1,147 @@
+"""Bitwise tests for the shared/ordered entropy routing (ROADMAP
+"ordered-memo reach"): ``EntropyEngine.cmi_shared`` and the FD
+pre-filter / explanation-ranking reroute built on it."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.explain import coarse_grained_explanations
+from repro.core.fd import LogicalDependencyFilter
+from repro.infotheory.cache import EntropyEngine
+from repro.relation.table import KERNEL_COUNTERS, Table
+
+
+def _random_table(seed: int, n_rows: int = 400) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table.from_columns(
+        {
+            "A": rng.integers(0, 4, n_rows).tolist(),
+            "B": rng.integers(0, 3, n_rows).tolist(),
+            "C": rng.integers(0, 5, n_rows).tolist(),
+            "D": (rng.integers(0, 4, n_rows) // 2).tolist(),
+        }
+    )
+
+
+class TestCmiShared:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("z", [(), ("C",), ("C", "D")])
+    def test_bitwise_equal_to_mutual_information(self, seed, z):
+        # Fresh, equal-content tables so neither path sees the other's memo.
+        legacy = EntropyEngine(_random_table(seed))
+        routed = EntropyEngine(_random_table(seed))
+        expected = legacy.mutual_information(("A",), ("B",), z)
+        assert routed.cmi_shared("A", "B", z) == expected
+
+    def test_set_keyed_entries_win(self):
+        """A pre-existing frozenset entry is used verbatim (legacy behavior)."""
+        table = _random_table(0)
+        engine = EntropyEngine(table)
+        expected = engine.mutual_information(("A",), ("B",), ("C",))
+        # Same engine, same memo: the routed call must return the same
+        # floats the set-keyed entries hold.
+        assert engine.cmi_shared("A", "B", ("C",)) == expected
+
+    def test_warm_call_touches_no_data(self):
+        engine = EntropyEngine(_random_table(1))
+        engine.cmi_shared("A", "B", ("C",))
+        KERNEL_COUNTERS.reset()
+        engine.cmi_shared("A", "B", ("C",))
+        assert KERNEL_COUNTERS.total() == 0
+
+    def test_cold_call_uses_one_grouped_pass(self):
+        engine = EntropyEngine(_random_table(2))
+        KERNEL_COUNTERS.reset()
+        engine.cmi_shared("A", "B", ("C",))
+        assert KERNEL_COUNTERS.grouped_passes == 1
+        assert KERNEL_COUNTERS.joint_counts_scans == 0
+
+    def test_seeds_both_key_kinds(self):
+        """Routed entropies serve later set-keyed *and* ordered callers."""
+        table = _random_table(3)
+        engine = EntropyEngine(table)
+        engine.cmi_shared("A", "B", ("C",))
+        cache = table.entropy_cache("miller_madow")
+        for key in [("A", "C"), ("B", "C"), ("A", "B", "C"), ("C",)]:
+            assert key in cache
+            assert frozenset(key) in cache
+            assert cache[key] == cache[frozenset(key)]
+
+    def test_ordered_entries_are_adopted_and_mirrored(self):
+        """An ordered-only entry (e.g. merged back from a worker) is used
+        and mirrored to the set key it would have been scanned into."""
+        table = _random_table(4)
+        reference = EntropyEngine(_random_table(4)).entropy(("A", "C"))
+        cache = table.entropy_cache("miller_madow")
+        cache[("A", "C")] = reference  # ordered-only, as a worker merge leaves it
+        engine = EntropyEngine(table)
+        engine.cmi_shared("A", "C")  # resolves H(A,C) from the ordered entry
+        assert cache[frozenset(("A", "C"))] == reference
+
+
+class TestFdPrefilterRouting:
+    def test_filter_matches_legacy_scans(self):
+        table = _random_table(5, n_rows=800)
+        report = LogicalDependencyFilter(seed=0).filter(table, "A")
+        # Legacy oracle: conditional entropies through plain scans on a
+        # fresh equal-content table.
+        oracle_table = _random_table(5, n_rows=800)
+        engine = EntropyEngine(oracle_table, estimator="plugin")
+        eps = 0.01
+        expected_kept = [
+            name
+            for name in ("B", "C", "D")
+            if not (
+                engine.conditional_entropy((name,), ("A",)) <= eps
+                and engine.conditional_entropy(("A",), (name,)) <= eps
+            )
+        ]
+        # D duplicates nothing here and no attribute is key-like at this
+        # size, so kept-vs-dropped is decided by the FD thresholds alone.
+        assert [name for name in report.kept] == expected_kept
+
+    def test_warm_table_filters_with_zero_passes(self):
+        # Below 64 rows the key-likeness subsampling (the only RNG-driven,
+        # unmemoizable stage) is skipped, so a warm table must answer the
+        # whole filter from the memo.
+        table = _random_table(6, n_rows=60)
+        LogicalDependencyFilter(seed=0).filter(table, "A")
+        KERNEL_COUNTERS.reset()
+        LogicalDependencyFilter(seed=0).filter(table, "A")
+        assert KERNEL_COUNTERS.total() == 0
+
+
+class TestExplanationRouting:
+    def test_coarse_explanations_match_legacy(self):
+        table = _random_table(7)
+        routed = coarse_grained_explanations(table, "A", ("B", "C"))
+        # Legacy oracle on a fresh equal-content table.
+        oracle = EntropyEngine(_random_table(7))
+        total = oracle.mutual_information(("A",), ("B", "C"))
+        drops = {
+            "B": max(total - oracle.mutual_information(("A",), ("C",), ("B",)), 0.0),
+            "C": max(total - oracle.mutual_information(("A",), ("B",), ("C",)), 0.0),
+        }
+        denominator = sum(drops.values())
+        for item in routed:
+            assert item.information_drop == drops[item.attribute]
+            assert item.responsibility == drops[item.attribute] / denominator
+
+    def test_single_variable_total_is_routed(self):
+        table = _random_table(8)
+        routed = coarse_grained_explanations(table, "A", ("B",))
+        oracle = EntropyEngine(_random_table(8))
+        assert routed[0].information_drop == max(
+            oracle.mutual_information(("A",), ("B",)), 0.0
+        )
+
+    def test_warm_context_explains_with_zero_passes(self):
+        table = _random_table(9)
+        coarse_grained_explanations(table, "A", ("B", "C"))
+        KERNEL_COUNTERS.reset()
+        coarse_grained_explanations(table, "A", ("B", "C"))
+        # The 3-way total I(A;BC) re-resolves from the set-keyed memo and
+        # both 2-way conditionals from the ordered memo: zero data passes.
+        assert KERNEL_COUNTERS.total() == 0

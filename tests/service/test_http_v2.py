@@ -1,0 +1,216 @@
+"""End-to-end tests for the v2 HTTP surface: jobs API + batch planner."""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import urllib.parse
+
+import pytest
+
+from repro.core.report import canonical_json_bytes
+from repro.datasets import staples_data
+from repro.service.client import JobFailedError, ServiceClient, ServiceError
+from repro.service.core import AnalysisService
+from repro.service.http import MAX_BODY_BYTES, make_server
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+DISCOVER_SPEC = {
+    "kind": "discover",
+    "dataset": "staples",
+    "treatment": "Income",
+    "outcome": "Price",
+    "test": "chi2",
+}
+
+
+@pytest.fixture(scope="module")
+def columns():
+    table = staples_data(n_rows=1000, seed=4)
+    return {name: table.column(name) for name in table.columns}
+
+
+@pytest.fixture
+def served(columns):
+    service = AnalysisService()
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    client.register("staples", columns=columns)
+    yield client, service
+    server.shutdown()
+    server.server_close()
+    service.close()
+    thread.join(timeout=5)
+
+
+class TestJobsEndpoint:
+    def test_submit_poll_result_bitwise_equals_sync(self, served):
+        client, _ = served
+        accepted = client.submit(DISCOVER_SPEC)
+        assert accepted["status"] == "accepted"
+        finished = client.wait(accepted["job_id"])
+        assert finished["job"]["status"] == "done"
+        # The spliced job result is byte-identical to the one-shot
+        # endpoint's payload for the same spec (here: a warm cache hit,
+        # which by the determinism pins IS the cold bytes).
+        sync = client.discover("staples", "Income", outcome="Price", test="chi2")
+        assert canonical_json_bytes(finished["result"]) == canonical_json_bytes(
+            sync["result"]
+        )
+
+    def test_submit_and_wait_convenience(self, served):
+        client, _ = served
+        finished = client.submit_and_wait(
+            {"kind": "query", "dataset": "staples", "sql": SQL}
+        )
+        assert finished["job"]["kind"] == "query"
+        assert finished["result"]["rows"]
+
+    def test_listing_filters_by_dataset(self, served):
+        client, _ = served
+        client.submit_and_wait({"kind": "query", "dataset": "staples", "sql": SQL})
+        listing = client.jobs(dataset="staples")
+        assert [job["dataset"] for job in listing["jobs"]] == ["staples"]
+        assert client.jobs(dataset="absent")["jobs"] == []
+
+    def test_failed_job_raises_typed_error_from_wait(self, served):
+        client, _ = served
+        accepted = client.submit(
+            {**DISCOVER_SPEC, "treatment": "Missing", "outcome": None}
+        )
+        with pytest.raises(JobFailedError) as excinfo:
+            client.wait(accepted["job_id"])
+        assert excinfo.value.status == 500  # missing column = server-side KeyError
+        assert excinfo.value.job["status"] == "error"
+
+    def test_unknown_job_is_404(self, served):
+        client, _ = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("j-nope")
+        assert excinfo.value.status == 404
+        assert excinfo.value.payload["status"] == "error"
+
+    def test_submit_unknown_dataset_is_404(self, served):
+        client, _ = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"kind": "query", "dataset": "nope", "sql": SQL})
+        assert excinfo.value.status == 404
+
+
+class TestV2Validation:
+    def test_unknown_kind_is_400(self, served):
+        client, _ = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"kind": "explode", "dataset": "staples"})
+        assert excinfo.value.status == 400
+        assert "unknown kind" in excinfo.value.message
+
+    def test_unknown_spec_field_is_400(self, served):
+        client, _ = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"kind": "query", "dataset": "staples", "sql": SQL, "bogus": 1})
+        assert excinfo.value.status == 400
+        assert "bogus" in excinfo.value.message
+
+    def test_batch_item_errors_carry_the_index(self, served):
+        client, _ = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.batch_v2(
+                [
+                    {"kind": "query", "dataset": "staples", "sql": SQL},
+                    {"kind": "explode"},
+                ]
+            )
+        assert excinfo.value.status == 400
+        assert "batch item 1" in excinfo.value.message
+
+    def test_batch_requests_must_be_a_list(self, served):
+        client, _ = served
+        with pytest.raises(ServiceError) as excinfo:
+            client._post("/v2/batch", {"requests": {"kind": "query"}})
+        assert excinfo.value.status == 400
+
+    def test_bad_limit_is_400(self, served):
+        client, _ = served
+        with pytest.raises(ServiceError) as excinfo:
+            client._get("/v2/jobs?limit=many")
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_is_rejected(self, served):
+        client, _ = served
+        parts = urllib.parse.urlsplit(client.base_url)
+        connection = http.client.HTTPConnection(parts.hostname, parts.port, timeout=10)
+        try:
+            connection.request(
+                "POST",
+                "/v2/jobs",
+                body=b"{}",
+                headers={"Content-Length": str(MAX_BODY_BYTES + 1)},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert b"exceeds" in response.read()
+        finally:
+            connection.close()
+
+
+class TestV2Batch:
+    def test_planned_batch_matches_v1_bytes_in_order(self, served):
+        client, _ = served
+        requests = [
+            DISCOVER_SPEC,
+            {"kind": "query", "dataset": "staples", "sql": SQL},
+            DISCOVER_SPEC,  # duplicate -> deduplicated by the planner
+        ]
+        planned = client.batch_v2(requests)
+        assert planned["plan"]["deduplicated"] == 1
+        assert planned["plan"]["datasets"] == 1
+        assert [item["kind"] for item in planned["results"]] == [
+            "discover",
+            "query",
+            "discover",
+        ]
+        v1 = client.batch(requests)
+        for planned_item, v1_item in zip(planned["results"], v1["results"]):
+            assert canonical_json_bytes(planned_item["result"]) == canonical_json_bytes(
+                v1_item["result"]
+            )
+
+    def test_stats_surface_v2_counters(self, served):
+        client, _ = served
+        client.submit_and_wait({"kind": "query", "dataset": "staples", "sql": SQL})
+        stats = client.stats()
+        assert stats["coalesced"] == 0
+        assert stats["job_manager"]["submitted"] == 1
+        assert "dataset_plane" in stats
+
+
+class TestClientRetry:
+    def test_connection_failure_raises_typed_error_after_retries(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.2, retries=1, backoff=0.01)
+        from repro.service.client import ServiceConnectionError
+
+        with pytest.raises(ServiceConnectionError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 0
+
+    def test_http_errors_do_not_retry(self, served):
+        client, service = served
+        requests_before = service.stats()["requests"]
+        with pytest.raises(ServiceError):
+            client.query("nope", SQL)
+        # One 404, no retries: the request counter moved by zero (the
+        # lookup fails before counting) and the error carried the payload.
+        assert service.stats()["requests"] == requests_before
+
+    def test_json_error_payload_is_attached(self, served):
+        client, _ = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.query("nope", SQL)
+        assert excinfo.value.payload == {
+            "status": "error",
+            "error": excinfo.value.message,
+        }

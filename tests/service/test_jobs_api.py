@@ -1,0 +1,202 @@
+"""Tests for the async job manager (``repro.service.jobs``)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.datasets import staples_data
+from repro.engine import ParallelEngine
+from repro.service.core import AnalysisService
+from repro.service.jobs import DONE, ERROR, UnknownJobError
+from repro.service.registry import UnknownDatasetError
+from repro.service.spec import DiscoverSpec, QuerySpec
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+DISCOVER = dict(dataset="staples", treatment="Income", outcome="Price", test="chi2")
+
+
+@pytest.fixture(scope="module")
+def columns():
+    table = staples_data(n_rows=1000, seed=4)
+    return {name: table.column(name) for name in table.columns}
+
+
+@pytest.fixture
+def service(columns):
+    service = AnalysisService()
+    service.register("staples", columns=columns)
+    yield service
+    service.close()
+
+
+class TestLifecycle:
+    def test_submit_poll_result_matches_sync_bytes(self, service, columns):
+        job = service.job_manager.submit(DiscoverSpec(**DISCOVER))
+        finished = service.job_manager.wait(job.id)
+        assert finished.status == DONE
+        # The async result is bitwise equal to the synchronous path on a
+        # fresh service (cold in both cases).
+        sync = AnalysisService()
+        sync.register("staples", columns=columns)
+        assert finished.result.payload == sync.execute(DiscoverSpec(**DISCOVER)).payload
+
+    def test_parallel_engine_jobs_match_serial_bytes(self, columns):
+        serial = AnalysisService()
+        serial.register("staples", columns=columns)
+        reference = serial.execute(DiscoverSpec(**DISCOVER)).payload
+        with ParallelEngine(jobs=4) as engine:
+            service = AnalysisService(engine=engine)
+            service.register("staples", columns=columns)
+            try:
+                job = service.job_manager.wait(
+                    service.job_manager.submit(DiscoverSpec(**DISCOVER)).id
+                )
+            finally:
+                service.close()
+        assert job.result.payload == reference
+
+    def test_snapshot_shape(self, service):
+        job = service.job_manager.submit(QuerySpec(dataset="staples", sql=SQL))
+        finished = service.job_manager.wait(job.id)
+        snapshot = finished.snapshot()
+        assert snapshot["id"] == job.id
+        assert snapshot["kind"] == "query"
+        assert snapshot["dataset"] == "staples"
+        assert snapshot["status"] == DONE
+        assert snapshot["spec"]["sql"] == SQL
+        assert snapshot["coalesced_into"] is None
+
+    def test_unknown_dataset_rejected_at_submit(self, service):
+        with pytest.raises(UnknownDatasetError):
+            service.job_manager.submit(QuerySpec(dataset="nope", sql=SQL))
+
+    def test_unknown_job_id(self, service):
+        with pytest.raises(UnknownJobError):
+            service.job_manager.get("j-nope")
+
+    def test_failed_job_records_error_and_status(self, service):
+        # A missing column is a KeyError deep in the library: the sync
+        # HTTP path maps that to 500, and so does the job record.
+        job = service.job_manager.submit(
+            DiscoverSpec(dataset="staples", treatment="Missing", test="chi2")
+        )
+        finished = service.job_manager.wait(job.id)
+        assert finished.status == ERROR
+        assert finished.snapshot()["error_status"] == 500
+        assert finished.error
+
+    def test_failed_job_maps_value_errors_to_400(self, service):
+        from repro.service.spec import AnalyzeSpec
+
+        # top_k=0 passes spec validation but fails in the explanation
+        # stage with ValueError -- a client mistake, reported as 400.
+        job = service.job_manager.submit(
+            AnalyzeSpec(
+                dataset="staples",
+                sql=SQL,
+                covariates=("Distance",),
+                mediators=(),
+                top_k=0,
+                test="chi2",
+            )
+        )
+        finished = service.job_manager.wait(job.id)
+        assert finished.status == ERROR
+        assert finished.snapshot()["error_status"] == 400
+        assert "top_k" in finished.error
+
+
+class TestWorkSharing:
+    def test_identical_active_specs_coalesce(self, service):
+        release = threading.Event()
+        started = threading.Event()
+        original = service._compute
+
+        def blocking_compute(spec, entry):
+            started.set()
+            release.wait(timeout=10)
+            return original(spec, entry)
+
+        service._compute = blocking_compute
+        try:
+            first = service.job_manager.submit(DiscoverSpec(**DISCOVER))
+            assert started.wait(timeout=10)  # the primary is running
+            second = service.job_manager.submit(DiscoverSpec(**DISCOVER))
+            assert second.primary is first
+            assert second.snapshot()["coalesced_into"] == first.id
+        finally:
+            release.set()
+        for job in (first, second):
+            finished = service.job_manager.wait(job.id)
+            assert finished.snapshot()["status"] == DONE
+        assert second.result is None  # follower holds no copy of its own
+        assert second.service_result().payload == first.result.payload
+        assert service.job_manager.stats()["coalesced"] == 1
+
+    def test_cached_result_completes_without_worker(self, service):
+        spec = QuerySpec(dataset="staples", sql=SQL)
+        service.execute(spec)  # populate the cache
+        job = service.job_manager.submit(spec)
+        assert job.status == DONE  # synchronous warm path
+        assert job.future is None
+        assert job.result.cached
+
+
+class TestListing:
+    def test_list_filters_by_dataset(self, service, columns):
+        service.register("alias", columns=columns)  # same content, new name
+        service.job_manager.wait(
+            service.job_manager.submit(QuerySpec(dataset="staples", sql=SQL)).id
+        )
+        service.job_manager.wait(
+            service.job_manager.submit(QuerySpec(dataset="alias", sql=SQL)).id
+        )
+        everything = service.job_manager.list()
+        assert [job["dataset"] for job in everything] == ["staples", "alias"]
+        assert [job["dataset"] for job in service.job_manager.list(dataset="alias")] == [
+            "alias"
+        ]
+
+    def test_finished_jobs_are_pruned(self, columns):
+        service = AnalysisService(max_jobs=2)
+        service.register("staples", columns=columns)
+        try:
+            ids = []
+            for seed in range(4):
+                spec = DiscoverSpec(**{**DISCOVER, "seed": seed})
+                ids.append(service.job_manager.submit(spec).id)
+                service.job_manager.wait(ids[-1])
+            retained = {job["id"] for job in service.job_manager.list()}
+            assert len(retained) <= 3  # 2 retained finished + the newest
+            assert ids[0] not in retained
+        finally:
+            service.close()
+
+    def test_stats_shape(self, service):
+        service.job_manager.wait(
+            service.job_manager.submit(QuerySpec(dataset="staples", sql=SQL)).id
+        )
+        stats = service.job_manager.stats()
+        assert stats["submitted"] == 1
+        assert stats["completed"] == 1
+        assert stats["failed"] == 0
+        assert service.stats()["job_manager"]["submitted"] == 1
+
+
+class TestLifecycleEdges:
+    def test_limit_zero_returns_nothing_and_negative_rejected(self, service):
+        service.job_manager.wait(
+            service.job_manager.submit(QuerySpec(dataset="staples", sql=SQL)).id
+        )
+        assert service.job_manager.list(limit=0) == []
+        with pytest.raises(ValueError, match="limit"):
+            service.job_manager.list(limit=-1)
+
+    def test_closed_service_does_not_resurrect_a_manager(self, columns):
+        closed = AnalysisService()
+        closed.register("staples", columns=columns)
+        closed.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            closed.job_manager

@@ -1,0 +1,147 @@
+"""Tests for the v2 batch planner (``repro.service.planner``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import staples_data
+from repro.engine import ParallelEngine
+from repro.engine.dataplane import PLANE_STATS
+from repro.service.core import AnalysisService
+from repro.service.planner import execute_plan, plan_batch, run_batch
+from repro.service.registry import UnknownDatasetError
+from repro.service.spec import DiscoverSpec, QuerySpec
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+SQL_B = "SELECT Region, avg(Price) FROM t GROUP BY Region"
+
+
+def _columns(seed: int, n_rows: int = 800):
+    table = staples_data(n_rows=n_rows, seed=seed)
+    return {name: table.column(name) for name in table.columns}
+
+
+@pytest.fixture
+def service():
+    service = AnalysisService()
+    service.register("staples", columns=_columns(4))
+    service.register("other", columns=_columns(9))
+    return service
+
+
+def _discover(dataset: str, seed: int) -> DiscoverSpec:
+    return DiscoverSpec(
+        dataset=dataset, treatment="Income", outcome="Price", test="chi2", seed=seed
+    )
+
+
+class TestPlanning:
+    def test_groups_by_fingerprint_warm_first_dedup(self, service):
+        service.execute(QuerySpec(dataset="staples", sql=SQL))  # warm one spec
+        specs = [
+            _discover("staples", 0),
+            _discover("other", 0),
+            QuerySpec(dataset="staples", sql=SQL),  # warm
+            _discover("staples", 0),  # duplicate of item 0
+            QuerySpec(dataset="other", sql=SQL_B),
+        ]
+        plan = plan_batch(service, specs)
+        assert plan.describe() == {
+            "specs": 5,
+            "datasets": 2,
+            "warm": 1,
+            "cold": 3,
+            "deduplicated": 1,
+        }
+        staples, other = plan.groups
+        # Interleaved submissions regroup by dataset, cache hits first.
+        assert [item.index for item in staples.items] == [2, 0]
+        assert [item.index for item in other.items] == [1, 4]
+        assert plan.duplicates[0].index == 3
+        assert plan.duplicates[0].leader.index == 0
+
+    def test_aliases_share_one_group(self, service):
+        service.register("alias", columns=_columns(4))  # same content as staples
+        plan = plan_batch(
+            service,
+            [
+                QuerySpec(dataset="staples", sql=SQL),
+                QuerySpec(dataset="alias", sql=SQL_B),
+            ],
+        )
+        assert len(plan.groups) == 1  # one fingerprint, one pin
+
+    def test_unknown_dataset_rejects_the_whole_batch(self, service):
+        with pytest.raises(UnknownDatasetError):
+            plan_batch(service, [QuerySpec(dataset="nope", sql=SQL)])
+
+
+class TestExecution:
+    def test_results_in_submission_order_and_bitwise_equal_to_one_shot(self, service):
+        specs = [
+            _discover("staples", 0),
+            QuerySpec(dataset="other", sql=SQL_B),
+            _discover("staples", 0),  # duplicate
+            QuerySpec(dataset="staples", sql=SQL),
+        ]
+        results, summary = run_batch(service, specs)
+        assert summary["deduplicated"] == 1
+        assert [result.kind for result in results] == [
+            "discover",
+            "query",
+            "discover",
+            "query",
+        ]
+        # Bitwise equality with the one-shot synchronous path, spec by spec.
+        oneshot = AnalysisService()
+        oneshot.register("staples", columns=_columns(4))
+        oneshot.register("other", columns=_columns(9))
+        for spec, result in zip(specs, results):
+            assert result.payload == oneshot.execute(spec).payload
+        # The duplicate shares its leader's bytes and is flagged.
+        assert results[2].coalesced and results[2].cached
+        assert results[2].payload == results[0].payload
+
+    def test_duplicates_compute_once(self, service):
+        from repro.relation.table import KERNEL_COUNTERS
+
+        specs = [_discover("staples", 3)] * 6
+        KERNEL_COUNTERS.reset()
+        results, summary = run_batch(service, specs)
+        passes_batch = KERNEL_COUNTERS.total()
+        assert summary["deduplicated"] == 5
+        assert len({result.payload for result in results}) == 1
+
+        solo = AnalysisService()
+        solo.register("staples", columns=_columns(4))
+        KERNEL_COUNTERS.reset()
+        solo.execute(_discover("staples", 3))
+        assert passes_batch == KERNEL_COUNTERS.total()
+
+
+class TestPublishOnce:
+    def test_batch_publishes_the_table_once(self):
+        """N distinct cold specs over one dataset: one plane publication."""
+        with ParallelEngine(jobs=2) as engine:
+            service = AnalysisService(engine=engine)
+            service.register("staples", columns=_columns(4))
+            specs = [_discover("staples", seed) for seed in range(3)]
+
+            PLANE_STATS.reset()
+            plan = plan_batch(service, specs)
+            results = execute_plan(service, plan)
+            assert PLANE_STATS.table_publications == 1
+            assert PLANE_STATS.table_republications >= len(specs)
+            if PLANE_STATS.table_segments:  # shm transport available
+                assert PLANE_STATS.table_segments == 1
+
+            # The one-shot loop re-publishes (and re-creates the segment)
+            # once per request: that is exactly what the pin removes.
+            loop = AnalysisService(engine=engine)
+            loop.register("staples", columns=_columns(4))
+            PLANE_STATS.reset()
+            loop_results = [loop.execute(spec) for spec in specs]
+            assert PLANE_STATS.table_publications == len(specs)
+
+            for planned, oneshot in zip(results, loop_results):
+                assert planned.payload == oneshot.payload

@@ -1,0 +1,100 @@
+"""Single-flight coalescing: concurrent identical cold requests compute once."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.datasets import staples_data
+from repro.relation.table import KERNEL_COUNTERS
+from repro.service.core import AnalysisService
+from repro.service.spec import DiscoverSpec
+
+SPEC = dict(dataset="staples", treatment="Income", outcome="Price", test="chi2")
+
+
+@pytest.fixture
+def columns():
+    table = staples_data(n_rows=1200, seed=4)
+    return {name: table.column(name) for name in table.columns}
+
+
+def _fresh_service(columns) -> AnalysisService:
+    service = AnalysisService()
+    service.register("staples", columns=columns)
+    return service
+
+
+def test_concurrent_identical_requests_coalesce(columns):
+    # Reference: the counting passes one solo cold request costs.
+    solo = _fresh_service(columns)
+    KERNEL_COUNTERS.reset()
+    reference = solo.execute(DiscoverSpec(**SPEC))
+    solo_passes = KERNEL_COUNTERS.total()
+    assert solo_passes > 0
+
+    service = _fresh_service(columns)
+    barrier = threading.Barrier(2)
+    results, errors = [], []
+
+    def hit() -> None:
+        try:
+            barrier.wait()
+            results.append(service.execute(DiscoverSpec(**SPEC)))
+        except Exception as error:  # pragma: no cover - surfaced below
+            errors.append(error)
+
+    KERNEL_COUNTERS.reset()
+    threads = [threading.Thread(target=hit) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+
+    # One computation's worth of kernel passes, not two.
+    assert KERNEL_COUNTERS.total() == solo_passes
+    assert service.stats()["coalesced"] == 1
+    assert {result.payload for result in results} == {reference.payload}
+    # Exactly one leader computed cold; the follower reports coalesced.
+    assert sorted(result.coalesced for result in results) == [False, True]
+
+
+def test_coalesced_follower_sees_the_leaders_error(columns):
+    service = _fresh_service(columns)
+    release = threading.Event()
+    original = service._compute
+
+    def blocking_compute(spec, entry):
+        release.wait(timeout=10)
+        return original(spec, entry)
+
+    service._compute = blocking_compute
+    bad = DiscoverSpec(dataset="staples", treatment="Nope", test="chi2")
+    outcomes = []
+
+    def hit() -> None:
+        try:
+            outcomes.append(service.execute(bad))
+        except Exception as error:
+            outcomes.append(error)
+
+    threads = [threading.Thread(target=hit) for _ in range(2)]
+    threads[0].start()
+    threads[1].start()
+    release.set()
+    for thread in threads:
+        thread.join()
+    # Both callers observe the same failure; nothing was cached.
+    assert all(isinstance(outcome, Exception) for outcome in outcomes)
+    assert len(service.cache) == 0
+
+
+def test_sequential_requests_do_not_coalesce(columns):
+    service = _fresh_service(columns)
+    cold = service.execute(DiscoverSpec(**SPEC))
+    warm = service.execute(DiscoverSpec(**SPEC))
+    assert not cold.cached and warm.cached
+    assert not warm.coalesced  # plain cache hit, no flight involved
+    assert service.stats()["coalesced"] == 0

@@ -1,0 +1,159 @@
+"""Tests for the typed request specs (``repro.service.spec``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import staples_data
+from repro.service.core import AnalysisService
+from repro.service.spec import (
+    SPEC_TYPES,
+    AnalyzeSpec,
+    DiscoverSpec,
+    QuerySpec,
+    SpecError,
+    WhatIfSpec,
+    spec_from_dict,
+)
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+
+SPECS = [
+    AnalyzeSpec(
+        dataset="d",
+        sql=SQL,
+        covariates=("Distance",),
+        mediators=(),
+        top_k=3,
+        compute_direct=False,
+        test="chi2",
+        seed=11,
+    ),
+    QuerySpec(dataset="d", sql=SQL),
+    DiscoverSpec(dataset="d", treatment="Income", outcome="Price", seed=5),
+    WhatIfSpec(
+        dataset="d",
+        treatment="Income",
+        outcome="Price",
+        covariates=("Distance",),
+        where_sql="Region IN ('urban')",
+    ),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda spec: spec.kind)
+    def test_from_dict_to_dict_is_identity(self, spec):
+        assert spec_from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda spec: spec.kind)
+    def test_to_dict_is_json_shaped(self, spec):
+        import json
+
+        payload = spec.to_dict()
+        assert payload["kind"] == spec.kind
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_sequences_are_canonicalized_to_tuples(self):
+        spec = AnalyzeSpec(dataset="d", sql=SQL, covariates=["Distance"])
+        assert spec.covariates == ("Distance",)
+        assert spec == AnalyzeSpec(dataset="d", sql=SQL, covariates=("Distance",))
+
+    def test_specs_are_hashable(self):
+        assert len({spec_from_dict(spec.to_dict()) for spec in SPECS}) == len(SPECS)
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError, match="unknown kind"):
+            spec_from_dict({"kind": "explode", "dataset": "d"})
+        with pytest.raises(SpecError, match="unknown kind"):
+            spec_from_dict({"dataset": "d"})  # kind missing entirely
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SpecError, match="JSON object"):
+            spec_from_dict(["analyze"])
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown analyze fields.*bogus"):
+            AnalyzeSpec.from_dict({"dataset": "d", "sql": SQL, "bogus": 1})
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(SpecError, match="expected kind"):
+            QuerySpec.from_dict({"kind": "analyze", "dataset": "d", "sql": SQL})
+
+    def test_bad_sql_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            QuerySpec(dataset="d", sql="SELECT FROM")
+
+    def test_bad_where_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            WhatIfSpec(
+                dataset="d", treatment="T", outcome="Y", where_sql="NOT ( VALID"
+            )
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"dataset": ""},
+            {"sql": 5},
+            {"covariates": "Distance"},  # a bare string is not a name list
+            {"covariates": [1]},
+            {"top_k": "2"},
+            {"top_k": True},
+            {"compute_direct": 1},
+            {"alpha": 0.0},
+            {"alpha": 2},
+            {"test": "bogus"},
+            {"seed": 1.5},
+        ],
+    )
+    def test_bad_analyze_fields_rejected(self, overrides):
+        payload = {"dataset": "d", "sql": SQL, **overrides}
+        with pytest.raises(SpecError):
+            AnalyzeSpec.from_dict(payload)
+
+    def test_unknown_test_message_matches_service(self):
+        with pytest.raises(SpecError, match="unknown test 'bogus'"):
+            DiscoverSpec(dataset="d", treatment="T", test="bogus")
+
+    def test_query_spec_is_seed_free(self):
+        assert QuerySpec(dataset="d", sql=SQL).cache_seed() is None
+        with pytest.raises(SpecError, match="unknown query fields"):
+            QuerySpec.from_dict({"dataset": "d", "sql": SQL, "seed": 1})
+
+
+class TestCacheKeyCompatibility:
+    """Spec keys must address the cache the v1 keyword shims populate."""
+
+    @pytest.fixture(scope="class")
+    def service(self):
+        table = staples_data(n_rows=600, seed=4)
+        service = AnalysisService()
+        service.register(
+            "staples", columns={name: table.column(name) for name in table.columns}
+        )
+        return service
+
+    def test_v1_cold_then_spec_execute_is_warm(self, service):
+        cold = service.discover("staples", "Income", outcome="Price", test="chi2")
+        spec = spec_from_dict(
+            {
+                "kind": "discover",
+                "dataset": "staples",
+                "treatment": "Income",
+                "outcome": "Price",
+                "test": "chi2",
+            }
+        )
+        warm = service.execute(spec)
+        assert not cold.cached and warm.cached
+        assert warm.payload == cold.payload
+
+    def test_defaults_key_identically_to_explicit_defaults(self, service):
+        implicit = QuerySpec(dataset="staples", sql=SQL)
+        explicit = QuerySpec.from_dict({"dataset": "staples", "sql": SQL})
+        assert implicit.request_key("f" * 64) == explicit.request_key("f" * 64)
+
+    def test_every_kind_has_a_spec_type(self):
+        assert sorted(SPEC_TYPES) == ["analyze", "discover", "query", "whatif"]

@@ -154,3 +154,78 @@ class TestServeCommand:
         assert started.is_set()
         service = captured["server"].service
         assert service.registry.names() == ["staples"]
+
+
+class TestSubmitCommand:
+    @pytest.fixture
+    def served(self):
+        import threading
+
+        from repro.datasets import staples_data as _staples
+        from repro.service.core import AnalysisService
+        from repro.service.http import make_server
+
+        table = _staples(n_rows=600, seed=4)
+        service = AnalysisService()
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        service.register(
+            "staples", columns={name: table.column(name) for name in table.columns}
+        )
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=5)
+
+    def test_parser_accepts_submit_options(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["submit", "--url", "http://127.0.0.1:8000", "--json", "{}", "--wait"]
+        )
+        assert args.command == "submit"
+        assert args.spec_json == "{}"
+        assert args.wait
+
+    def test_submit_and_wait_prints_the_result(self, served, capsys):
+        import json
+
+        spec = {
+            "kind": "discover",
+            "dataset": "staples",
+            "treatment": "Income",
+            "outcome": "Price",
+            "test": "chi2",
+        }
+        code = main(["submit", "--url", served, "--wait", "--json", json.dumps(spec)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"status": "accepted"' in out
+        assert '"covariates"' in out  # the spliced discover result
+
+    def test_submit_spec_from_file(self, served, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps({"kind": "query", "dataset": "staples",
+                        "sql": "SELECT Income, avg(Price) FROM t GROUP BY Income"})
+        )
+        code = main(["submit", "--url", served, "--file", str(path)])
+        assert code == 0
+        assert '"job_id"' in capsys.readouterr().out
+
+    def test_invalid_spec_json_is_a_usage_error(self, served, capsys):
+        code = main(["submit", "--url", served, "--json", "not json"])
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_server_rejection_is_exit_code_1(self, served, capsys):
+        code = main(
+            ["submit", "--url", served, "--json", '{"kind": "explode"}']
+        )
+        assert code == 1
+        assert "unknown kind" in capsys.readouterr().err
