@@ -2,7 +2,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: ci test fast slow cov lint bench gate regen-baseline serve
+.PHONY: ci test fast slow cov lint bench gate regen-baseline serve serve-sharded
 
 ci:
 	bash scripts/ci.sh
@@ -30,7 +30,8 @@ bench:
 		python -m pytest -q \
 			benchmarks/bench_engine_scaling.py \
 			benchmarks/bench_service_throughput.py \
-			benchmarks/bench_dataset_plane.py
+			benchmarks/bench_dataset_plane.py \
+			benchmarks/bench_shard_scaling.py
 
 gate:
 	python scripts/check_bench_regression.py
@@ -42,8 +43,13 @@ regen-baseline: bench
 	cp benchmarks/results/BENCH_engine.json \
 	   benchmarks/results/BENCH_service.json \
 	   benchmarks/results/BENCH_kernels.json \
+	   benchmarks/results/BENCH_shard.json \
 	   benchmarks/baselines/
 	@echo "baselines updated; commit benchmarks/baselines/*.json"
 
 serve:
 	python -m repro.cli serve --port 8000
+
+# Sharded deployment: router + 4 shard worker processes on one box.
+serve-sharded:
+	python -m repro.cli serve --port 8000 --shards 4

@@ -32,12 +32,16 @@ fi
 echo "== slow lane: permutation-heavy statistical tests =="
 python -m pytest -q -m slow
 
-echo "== smoke benchmarks: engine scaling + service throughput + dataset plane =="
+echo "== sharded smoke: router + shards, byte identity + failover example =="
+python examples/sharded_client.py
+
+echo "== smoke benchmarks: engine scaling + service + dataset plane + shards =="
 REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-0.25}" \
     python -m pytest -q \
         benchmarks/bench_engine_scaling.py \
         benchmarks/bench_service_throughput.py \
-        benchmarks/bench_dataset_plane.py
+        benchmarks/bench_dataset_plane.py \
+        benchmarks/bench_shard_scaling.py
 
 echo "== benchmark regression gate =="
 python scripts/check_bench_regression.py

@@ -16,6 +16,9 @@ Examples::
     # Serve the HTTP JSON API (register datasets up front with --csv)
     hypdb serve --port 8000 --jobs 4 --csv flights=flights.csv
 
+    # Scale out: 4 shard worker processes behind a consistent-hash router
+    hypdb serve --port 8000 --shards 4 --csv flights=flights.csv
+
     # Submit an async job to a running service and wait for the result
     hypdb submit --url http://127.0.0.1:8000 --wait \
         --json '{"kind": "discover", "dataset": "flights", "treatment": "Carrier"}'
@@ -109,6 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="worker threads of the async v2 jobs API",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="spawn N shard worker processes behind a consistent-hash "
+        "router (0 = single process; responses are byte-identical "
+        "either way)",
     )
     _add_jobs(serve)
 
@@ -274,6 +286,8 @@ def _run_submit(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace, engine) -> int:
+    if args.shards:
+        return _run_serve_sharded(args)
     service = AnalysisService(
         engine=engine,
         max_cache_entries=args.cache_entries,
@@ -300,6 +314,65 @@ def _run_serve(args: argparse.Namespace, engine) -> int:
         pass
     finally:
         server.server_close()
+    return 0
+
+
+def _run_serve_sharded(args: argparse.Namespace) -> int:
+    """``serve --shards N``: N worker processes behind the shard router.
+
+    Each shard runs a full analysis service (with ``--jobs`` engine
+    workers of its own -- core use multiplies across shards); the router
+    owns the public port and routes by dataset fingerprint.  ``--csv``
+    preregistrations go *through the router* so it records ownership for
+    warm routing and failover.
+    """
+    import json
+
+    from repro.service.shard import ShardRouter, ShardSupervisor, make_router_server
+
+    supervisor = ShardSupervisor(
+        shards=args.shards,
+        jobs=args.jobs,
+        cache_entries=args.cache_entries,
+        disk_cache=args.disk_cache,
+        job_workers=args.job_workers,
+        host=args.host,
+    )
+    try:
+        backends = supervisor.start()
+        router = ShardRouter(backends)
+        for spec in args.csv:
+            name, separator, path = spec.partition("=")
+            if not separator or not name or not path:
+                raise ValueError(f"--csv expects NAME=PATH, got {spec!r}")
+            body = json.dumps({"name": name, "csv_path": path}).encode("utf-8")
+            status, payload = router.handle_register(body)
+            if status != 200:
+                raise ValueError(
+                    f"cannot register {name}: {json.loads(payload).get('error')}"
+                )
+            summary = json.loads(payload)["result"]
+            print(f"registered {name}: {summary['n_rows']} rows, "
+                  f"fingerprint {summary['fingerprint'][:12]}... "
+                  f"-> {router._registrations[name].location}")
+        supervisor.watch(router.mark_dead)
+        server = make_router_server(router, host=args.host, port=args.port)
+        server.verbose = args.verbose
+        host, port = server.server_address[:2]
+        print(f"hypdb shard router listening on http://{host}:{port}")
+        for shard_name, url in router.describe()["shards"].items():
+            print(f"  shard {shard_name}: {url}")
+        print("endpoints: GET /health /stats /v2/datasets /v2/jobs[/<id>]; "
+              "POST /register /analyze /query /discover /whatif /batch "
+              "/v2/jobs /v2/batch")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            pass
+        finally:
+            server.server_close()
+    finally:
+        supervisor.close()
     return 0
 
 

@@ -12,6 +12,13 @@ Writes to disk are atomic (temp file + rename) so a crashed writer never
 leaves a truncated entry; a concurrent reader sees either the old file or
 the new one.  Results are deterministic functions of their key, so two
 processes racing to write the same key write identical bytes.
+
+:class:`WarmKeyMap` is the *distributed* sibling: the shard router keeps
+one, mapping request keys to the shard whose result cache already holds
+the bytes, so duplicate requests route to the holder instead of
+recomputing on whichever shard the ring would pick after a topology
+change.  It stores locations, never payloads -- the bytes stay on the
+shards.
 """
 
 from __future__ import annotations
@@ -184,3 +191,51 @@ class ResultCache:
         while len(self._entries) > self._max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+
+
+class WarmKeyMap:
+    """Bounded, thread-safe request-key -> location map (router tier).
+
+    The shard router records which shard served each request key
+    (populated from shard responses, so an entry means "this shard holds
+    -- or just computed -- these bytes").  Lookups steer duplicate
+    requests to the holder; :meth:`drop_location` purges every entry of
+    a dead shard so failover never routes to a corpse.  Entries are ~100
+    B (two short strings); the LRU bound only exists so an unbounded
+    stream of distinct keys cannot grow the router without limit.
+    """
+
+    def __init__(self, max_entries: int = 131072) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, str] = OrderedDict()
+
+    def get(self, key: str) -> str | None:
+        """The location that holds ``key``'s bytes, or ``None``."""
+        with self._lock:
+            location = self._entries.get(key)
+            if location is not None:
+                self._entries.move_to_end(key)
+            return location
+
+    def record(self, key: str, location: str) -> None:
+        """Remember that ``location`` holds the bytes for ``key``."""
+        with self._lock:
+            self._entries[key] = location
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+
+    def drop_location(self, location: str) -> int:
+        """Purge every key held by ``location``; returns how many."""
+        with self._lock:
+            stale = [k for k, where in self._entries.items() if where == location]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

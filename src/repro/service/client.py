@@ -9,10 +9,17 @@ the bounded retry-with-backoff gives up -- never bare ``urllib`` errors.
 
 The v2 jobs API gets async helpers: :meth:`ServiceClient.submit` queues
 a spec and returns immediately with the job id,
-:meth:`ServiceClient.wait` polls until the job finishes and returns the
-final snapshot (with the result spliced in, byte-identical to the
-synchronous endpoint's payload), and :meth:`ServiceClient.batch_v2`
-sends a spec list through the work-sharing batch planner.
+:meth:`ServiceClient.wait` *long-polls* (``GET /v2/jobs/<id>?wait=<s>``)
+until the job finishes and returns the final snapshot (with the result
+spliced in, byte-identical to the synchronous endpoint's payload) -- one
+blocked request per server-side wait window instead of a request per
+poll interval -- and :meth:`ServiceClient.batch_v2` sends a spec list
+through the work-sharing batch planner.
+
+:meth:`ServiceClient.request_bytes` exposes the retrying transport at
+the byte level (status + verbatim body, no JSON parse): the shard
+router proxies requests through it so response payloads are spliced
+byte-for-byte, never re-serialized.
 """
 
 from __future__ import annotations
@@ -134,6 +141,10 @@ class ServiceClient:
     def batch(self, requests: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
         return self._post("/batch", {"requests": list(requests)})
 
+    def datasets(self) -> dict[str, Any]:
+        """The dataset catalog: name -> ``{fingerprint, columns, n_rows}``."""
+        return self._get("/v2/datasets")["datasets"]
+
     # -- v2: async jobs and planned batches ----------------------------
 
     def submit(self, spec: Mapping[str, Any]) -> dict[str, Any]:
@@ -144,9 +155,16 @@ class ServiceClient:
         """
         return self._post("/v2/jobs", dict(spec))
 
-    def job(self, job_id: str) -> dict[str, Any]:
-        """The job snapshot (plus spliced result bytes once done)."""
-        return self._get(f"/v2/jobs/{job_id}")
+    def job(self, job_id: str, wait: float | None = None) -> dict[str, Any]:
+        """The job snapshot (plus spliced result bytes once done).
+
+        ``wait`` long-polls: the server blocks up to that many seconds
+        for a terminal state before answering (its cap applies), so a
+        waiting client holds one open request instead of hammering the
+        endpoint.
+        """
+        suffix = f"?wait={wait:g}" if wait is not None and wait > 0 else ""
+        return self._get(f"/v2/jobs/{job_id}{suffix}")
 
     def jobs(
         self, dataset: str | None = None, limit: int | None = None
@@ -160,13 +178,25 @@ class ServiceClient:
         suffix = f"?{urllib.parse.urlencode(parameters)}" if parameters else ""
         return self._get(f"/v2/jobs{suffix}")
 
+    #: Long-poll window requested per :meth:`wait` round; the server caps
+    #: it too (``http.MAX_JOB_WAIT_SECONDS``), so rounds are bounded on
+    #: both sides.
+    WAIT_CHUNK_SECONDS = 30.0
+
     def wait(
         self,
         job_id: str,
         timeout: float = 600.0,
         poll_interval: float = 0.05,
     ) -> dict[str, Any]:
-        """Poll until the job reaches a terminal state.
+        """Block until the job reaches a terminal state (long-polling).
+
+        Each round asks the server to hold the request until the job
+        turns terminal or a bounded wait window elapses (``?wait=``), so
+        waiting out a long computation costs a handful of requests, not
+        ``timeout / poll_interval`` of them.  ``poll_interval`` only
+        paces rounds against servers that answer early (e.g. a proxy
+        that ignores ``wait``).
 
         Returns the final snapshot (``response["result"]`` carries the
         canonical payload) for ``done`` jobs; raises
@@ -175,7 +205,11 @@ class ServiceClient:
         """
         deadline = time.monotonic() + timeout
         while True:
-            response = self.job(job_id)
+            remaining = deadline - time.monotonic()
+            # Stay well under the socket timeout so a served long-poll
+            # round can never be mistaken for a dead connection.
+            chunk = max(0.0, min(self.WAIT_CHUNK_SECONDS, remaining, self.timeout / 2))
+            response = self.job(job_id, wait=chunk)
             job = response["job"]
             if job["status"] == "done":
                 return response
@@ -195,6 +229,31 @@ class ServiceClient:
         """Run a spec list through the work-sharing batch planner."""
         return self._post("/v2/batch", {"requests": [dict(spec) for spec in specs]})
 
+    # -- raw transport (shared with the shard router) ------------------
+
+    def request_bytes(
+        self,
+        path: str,
+        body: bytes | None = None,
+        method: str | None = None,
+        timeout: float | None = None,
+    ) -> tuple[int, bytes]:
+        """One request at the byte level: ``(status, verbatim body)``.
+
+        ``body=None`` is a GET, anything else a POST (unless ``method``
+        overrides).  HTTP error responses are *returned*, not raised --
+        the shard router forwards shard answers (success or error)
+        byte-for-byte.  Connection-establishment failures still retry
+        with backoff and end in :class:`ServiceConnectionError`.
+        """
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            headers={"Content-Type": "application/json"} if body is not None else {},
+            method=method or ("POST" if body is not None else "GET"),
+        )
+        return self._transport(request, timeout=timeout)
+
     # -- plumbing ------------------------------------------------------
 
     def _get(self, path: str) -> dict[str, Any]:
@@ -210,20 +269,30 @@ class ServiceClient:
         return self._request(request)
 
     def _request(self, request: urllib.request.Request) -> dict[str, Any]:
+        status, raw = self._transport(request)
+        if 200 <= status < 300:
+            return json.loads(raw)
+        # The server answered with an error: surface its message.
+        payload = None
+        try:
+            payload = json.loads(raw)
+            message = payload.get("error", raw.decode("utf-8", "replace"))
+        except (json.JSONDecodeError, AttributeError):
+            message = raw.decode("utf-8", "replace")
+        raise ServiceError(status, message, payload) from None
+
+    def _transport(
+        self, request: urllib.request.Request, timeout: float | None = None
+    ) -> tuple[int, bytes]:
         for attempt in range(self.retries + 1):
             try:
-                with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                    return json.loads(response.read())
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout if timeout is None else timeout
+                ) as response:
+                    return response.status, response.read()
             except urllib.error.HTTPError as error:
-                # The server answered: no retry, surface its message.
-                raw = error.read()
-                payload = None
-                try:
-                    payload = json.loads(raw)
-                    message = payload.get("error", raw.decode("utf-8", "replace"))
-                except (json.JSONDecodeError, AttributeError):
-                    message = raw.decode("utf-8", "replace")
-                raise ServiceError(error.code, message, payload) from None
+                # The server answered: no retry, return its bytes.
+                return error.code, error.read()
             except (urllib.error.URLError, ConnectionError, TimeoutError) as error:
                 reason = getattr(error, "reason", error)
                 # Retry only failures to *establish* the connection (the

@@ -69,6 +69,32 @@ CACHED_KINDS = tuple(sorted(SPEC_TYPES))
 _parse_where = parse_where
 
 
+def build_table(
+    columns: Mapping[str, Sequence[Any]] | None = None,
+    rows: Sequence[Sequence[Any]] | None = None,
+    column_names: Sequence[str] | None = None,
+    csv_path: str | None = None,
+) -> Table:
+    """Build a :class:`Table` from one registration source.
+
+    Exactly one of ``columns`` (name -> values), ``rows`` with
+    ``column_names``, or ``csv_path`` (server-local) must be given.
+    Shared by :meth:`AnalysisService.register` and the shard router
+    (which fingerprints the table locally to pick the owning shard
+    before forwarding the registration).
+    """
+    sources = [columns is not None, rows is not None, csv_path is not None]
+    if sum(sources) != 1:
+        raise ValueError("provide exactly one of columns, rows, or csv_path")
+    if columns is not None:
+        return Table.from_columns({str(k): list(v) for k, v in columns.items()})
+    if rows is not None:
+        if column_names is None:
+            raise ValueError("rows requires column_names")
+        return Table.from_rows(tuple(column_names), rows)
+    return Table.from_csv(csv_path)
+
+
 def make_test(name: str, seed: int, engine: ExecutionEngine | None = None) -> CITest:
     """Build a conditional-independence test by CLI/service name."""
     if name == "chi2":
@@ -149,6 +175,7 @@ class AnalysisService:
         self.started_at = time.time()
         self._requests = 0
         self._coalesced = 0
+        self._v1_requests = 0
         self._requests_lock = threading.Lock()
         self._flights: dict[str, _Flight] = {}
         self._flights_lock = threading.Lock()
@@ -202,17 +229,9 @@ class AnalysisService:
         Content identical to an already-registered table shares that
         table's instance -- and therefore its warm entropy caches.
         """
-        sources = [columns is not None, rows is not None, csv_path is not None]
-        if sum(sources) != 1:
-            raise ValueError("provide exactly one of columns, rows, or csv_path")
-        if columns is not None:
-            table = Table.from_columns({str(k): list(v) for k, v in columns.items()})
-        elif rows is not None:
-            if column_names is None:
-                raise ValueError("rows requires column_names")
-            table = Table.from_rows(tuple(column_names), rows)
-        else:
-            table = Table.from_csv(csv_path)
+        table = build_table(
+            columns=columns, rows=rows, column_names=column_names, csv_path=csv_path
+        )
         entry, reused = self.registry.register(name, table)
         return {
             "dataset": entry.name,
@@ -345,17 +364,33 @@ class AnalysisService:
     # Introspection
     # ------------------------------------------------------------------
 
+    def datasets(self) -> dict[str, Any]:
+        """The dataset catalog (``GET /v2/datasets`` payload)."""
+        return self.registry.catalog()
+
+    def note_v1_request(self) -> None:
+        """Count one request served through the deprecated v1 surface.
+
+        The HTTP layer calls this from the v1 dispatch so operators can
+        watch ``/stats``'s ``v1_requests`` settle to zero before dropping
+        the deprecated endpoints.
+        """
+        with self._requests_lock:
+            self._v1_requests += 1
+
     def stats(self) -> dict[str, Any]:
         """JSON-ready service statistics (``/stats`` endpoint)."""
         with self._requests_lock:
             requests = self._requests
             coalesced = self._coalesced
+            v1_requests = self._v1_requests
         with self._job_manager_lock:
             manager = self._job_manager
         return {
             "uptime_seconds": time.time() - self.started_at,
             "requests": requests,
             "coalesced": coalesced,
+            "v1_requests": v1_requests,
             "engine": type(self.engine).__name__,
             "jobs": getattr(self.engine, "jobs", 1),
             "datasets": self.registry.describe(),

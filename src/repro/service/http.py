@@ -20,15 +20,21 @@ path            method  body / response
 /batch          POST    ``{"requests": [{"kind", ...}, ...]}`` (v1: sequential)
 /v2/jobs        POST    one spec ``{"kind", ...}`` -> 202 + job id
 /v2/jobs        GET     ``?dataset=&limit=`` -> job listing
-/v2/jobs/<id>   GET     job status; spliced result bytes once done
+/v2/jobs/<id>   GET     job status (``?wait=<s>`` long-polls); result bytes once done
+/v2/datasets    GET     dataset catalog: name -> {fingerprint, columns, n_rows}
 /v2/batch       POST    ``{"requests": [...]}`` -> planned execution
 ==============  ======  ====================================================
 
 The v1 read endpoints are thin shims over the typed request specs of
 :mod:`repro.service.spec` -- same canonical payload bytes as before the
-spec layer existed.  v2 adds the asynchronous jobs API (202-accepted,
-poll for the result) and the work-sharing batch planner; see
-:mod:`repro.service.jobs` and :mod:`repro.service.planner`.
+spec layer existed.  They are *deprecation-tagged*: every v1 response
+carries ``Deprecation: true`` plus a ``Link: </v2/...>;
+rel="successor-version"`` header pair (bodies are untouched -- the bytes
+stay pinned), and ``/stats`` counts ``v1_requests`` so operators can see
+when the old surface has drained.  v2 adds the asynchronous jobs API
+(202-accepted, long-poll for the result), the dataset catalog, and the
+work-sharing batch planner; see :mod:`repro.service.jobs` and
+:mod:`repro.service.planner`.
 
 Read responses are the envelope ``{"status": "ok", "kind", "cached",
 "elapsed_seconds", "result": ...}`` where the ``result`` value is spliced
@@ -57,8 +63,32 @@ from repro.service.spec import SPEC_TYPES, spec_from_dict
 #: Request bodies above this size are rejected (sanity bound, ~256 MiB).
 MAX_BODY_BYTES = 1 << 28
 
+#: Cap on the ``?wait=`` long-poll window of ``GET /v2/jobs/<id>``; a
+#: client wanting to wait longer re-issues the request (each round holds
+#: one server thread, so unbounded waits would pin threads forever).
+MAX_JOB_WAIT_SECONDS = 60.0
+
 #: v1 path -> spec type (the "thin shim" dispatch table).
 _V1_SPECS = {f"/{kind}": spec_type for kind, spec_type in SPEC_TYPES.items()}
+
+#: Deprecated v1 path -> successor v2 path (the ``Link`` header target).
+V1_SUCCESSORS = {**{path: "/v2/jobs" for path in _V1_SPECS}, "/batch": "/v2/batch"}
+
+
+def v1_deprecation_headers(path: str) -> tuple[tuple[str, str], ...]:
+    """The header pair tagging a deprecated v1 endpoint's responses.
+
+    RFC 8594-style: ``Deprecation: true`` plus a ``Link`` to the v2
+    successor.  Response *bodies* are untouched, so v1 clients keep
+    working byte-for-byte while proxies and SDKs can surface the tag.
+    """
+    successor = V1_SUCCESSORS.get(path)
+    if successor is None:
+        return ()
+    return (
+        ("Deprecation", "true"),
+        ("Link", f'<{successor}>; rel="successor-version"'),
+    )
 
 
 def envelope_bytes(result: ServiceResult) -> bytes:
@@ -91,9 +121,57 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         self.service = service
 
 
-class _Handler(BaseHTTPRequestHandler):
-    server: ServiceHTTPServer  # narrowed for the attribute access below
+class JSONRequestHandler(BaseHTTPRequestHandler):
+    """Shared plumbing for JSON-over-HTTP handlers.
+
+    Both the single-process service handler below and the shard router's
+    handler (:mod:`repro.service.shard.router`) subclass this: bounded
+    body reads that keep keep-alive connections in sync, JSON envelope
+    writes with optional extra headers, and quiet logging.
+    """
+
     protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def _read_raw(self) -> bytes:
+        """The raw request body (bounded; ``b"{}"`` when absent)."""
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            # The unread body would desynchronize a keep-alive connection
+            # (the next "request line" would be body bytes) -- drop it.
+            self.close_connection = True
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        return self.rfile.read(length) if length else b"{}"
+
+    def _read_body(self) -> dict:
+        return parse_json_body(self._read_raw())
+
+    def _send(
+        self,
+        status: int,
+        payload: bytes,
+        headers: tuple[tuple[str, str], ...] = (),
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send(status, canonical_json_bytes({"status": "error", "error": message}))
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Quiet by default; the CLI flips ``server.verbose`` on."""
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+
+class _Handler(JSONRequestHandler):
+    server: ServiceHTTPServer  # narrowed for the attribute access below
 
     # -- routing -------------------------------------------------------
 
@@ -104,11 +182,24 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(200, canonical_json_bytes({"status": "ok"}))
             elif parts.path == "/stats":
                 self._send(200, canonical_json_bytes(self.server.service.stats()))
+            elif parts.path == "/v2/datasets":
+                self._send(
+                    200,
+                    canonical_json_bytes(
+                        {"status": "ok", "datasets": self.server.service.datasets()}
+                    ),
+                )
             elif parts.path == "/v2/jobs":
                 self._send_job_list(parts.query)
             elif parts.path.startswith("/v2/jobs/"):
                 job_id = parts.path[len("/v2/jobs/"):]
-                self._send(200, job_bytes(self.server.service.job_manager.get(job_id)))
+                manager = self.server.service.job_manager
+                wait_seconds = parse_wait_seconds(parts.query)
+                if wait_seconds > 0:
+                    job = manager.wait_for(job_id, wait_seconds)
+                else:
+                    job = manager.get(job_id)
+                self._send(200, job_bytes(job))
             else:
                 self._send_error(404, f"unknown path {self.path!r}")
         except (UnknownJobError, UnknownDatasetError) as error:
@@ -138,9 +229,14 @@ class _Handler(BaseHTTPRequestHandler):
                     200, canonical_json_bytes({"status": "ok", "result": summary})
                 )
             elif self.path == "/batch":
+                service.note_v1_request()
                 results = service.batch(body.get("requests", []))
                 parts = b",".join(envelope_bytes(result) for result in results)
-                self._send(200, b'{"status":"ok","results":[' + parts + b"]}")
+                self._send(
+                    200,
+                    b'{"status":"ok","results":[' + parts + b"]}",
+                    headers=v1_deprecation_headers(self.path),
+                )
             elif self.path == "/v2/jobs":
                 job = service.job_manager.submit(spec_from_dict(body))
                 self._send(
@@ -167,8 +263,13 @@ class _Handler(BaseHTTPRequestHandler):
                     + b"]}",
                 )
             elif self.path in _V1_SPECS:
+                service.note_v1_request()
                 spec = _V1_SPECS[self.path].from_dict(body)
-                self._send(200, envelope_bytes(service.execute(spec)))
+                self._send(
+                    200,
+                    envelope_bytes(service.execute(spec)),
+                    headers=v1_deprecation_headers(self.path),
+                )
             else:
                 self._send_error(404, f"unknown path {self.path!r}")
         except (UnknownDatasetError, UnknownJobError) as error:
@@ -193,38 +294,29 @@ class _Handler(BaseHTTPRequestHandler):
         jobs = self.server.service.job_manager.list(dataset=dataset, limit=limit)
         self._send(200, canonical_json_bytes({"status": "ok", "jobs": jobs}))
 
-    # -- plumbing ------------------------------------------------------
+def parse_json_body(raw: bytes) -> dict:
+    """Parse a request body into a JSON object (``ValueError`` -> 400)."""
+    try:
+        body = json.loads(raw or b"{}")
+    except json.JSONDecodeError as error:
+        raise ValueError(f"request body is not valid JSON: {error}") from None
+    if not isinstance(body, dict):
+        raise ValueError("request body must be a JSON object")
+    return body
 
-    def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0) or 0)
-        if length > MAX_BODY_BYTES:
-            # The unread body would desynchronize a keep-alive connection
-            # (the next "request line" would be body bytes) -- drop it.
-            self.close_connection = True
-            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length) if length else b"{}"
-        try:
-            body = json.loads(raw or b"{}")
-        except json.JSONDecodeError as error:
-            raise ValueError(f"request body is not valid JSON: {error}") from None
-        if not isinstance(body, dict):
-            raise ValueError("request body must be a JSON object")
-        return body
 
-    def _send(self, status: int, payload: bytes) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
+def parse_wait_seconds(query: str) -> float:
+    """The ``?wait=<seconds>`` long-poll window (0 = answer immediately).
 
-    def _send_error(self, status: int, message: str) -> None:
-        self._send(status, canonical_json_bytes({"status": "error", "error": message}))
-
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
-        """Quiet by default; the CLI flips ``server.verbose`` on."""
-        if getattr(self.server, "verbose", False):  # pragma: no cover
-            super().log_message(format, *args)
+    Capped at :data:`MAX_JOB_WAIT_SECONDS`; negative values are treated
+    as no wait, malformed values are a 400.
+    """
+    value = parse_qs(query).get("wait", ["0"])[0]
+    try:
+        seconds = float(value)
+    except ValueError:
+        raise ValueError(f"wait must be a number of seconds, got {value!r}") from None
+    return max(0.0, min(seconds, MAX_JOB_WAIT_SECONDS))
 
 
 def _batch_specs(body: dict) -> list:

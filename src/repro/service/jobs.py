@@ -5,10 +5,13 @@ the jobs API decouples submission from execution.  ``POST /v2/jobs``
 returns 202 with a job id immediately, a bounded worker-thread pool
 drains the queue through :meth:`AnalysisService.execute` (the threads
 only *coordinate* -- the statistical work still fans across cores via the
-service's execution engine), and ``GET /v2/jobs/<id>`` polls status and,
+service's execution engine), and ``GET /v2/jobs/<id>`` reads status and,
 once done, the result -- the *identical canonical bytes* the synchronous
 path produces, because both run the same spec through the same engine
-and cache.
+and cache.  Reads long-poll with ``?wait=<seconds>``: the handler blocks
+on the manager's condition variable (:meth:`JobManager.wait_for`) until
+the job turns terminal or the window elapses, so waiting costs one
+blocked thread instead of a request per poll interval.
 
 Work sharing happens at two levels.  Submitting a spec whose result is
 already cached completes the job synchronously (no worker round-trip).
@@ -130,7 +133,10 @@ class JobManager:
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="hypdb-job"
         )
-        self._lock = threading.Lock()
+        # A Condition so readers can *block* on terminal transitions
+        # (long-poll) instead of burning one request per poll interval;
+        # every state change under the lock notifies the waiters.
+        self._lock = threading.Condition()
         self._jobs: dict[str, Job] = {}  # insertion order = submission order
         self._active: dict[str, Job] = {}  # request key -> primary job
         self._ids = itertools.count(1)
@@ -196,14 +202,37 @@ class JobManager:
             jobs = [job for job in jobs if job.spec.dataset == dataset]
         return [job.snapshot() for job in jobs[-limit:]] if limit else []
 
-    def wait(self, job_id: str, timeout: float = 600.0, poll_interval: float = 0.01) -> Job:
-        """Block until ``job_id`` reaches a terminal state (test helper)."""
-        deadline = time.monotonic() + timeout
+    def wait_for(self, job_id: str, wait_seconds: float) -> Job:
+        """Block up to ``wait_seconds`` for a terminal state (long-poll).
+
+        Returns the job either way -- the caller inspects
+        :meth:`Job.finished`.  Waiters sleep on the manager's condition
+        variable and are woken by terminal transitions, so a long-poll
+        costs one blocked thread, not a request per poll interval.
+        Coalesced followers finish when their primary does: the primary's
+        transition notifies every waiter, and ``finished()`` reads
+        through the ``primary`` reference.
+        """
         job = self.get(job_id)
-        while not job.finished():
-            if time.monotonic() > deadline:
-                raise TimeoutError(f"job {job_id} not finished within {timeout}s")
-            time.sleep(poll_interval)
+        deadline = time.monotonic() + max(0.0, wait_seconds)
+        with self._lock:
+            while not job.finished():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._lock.wait(remaining)
+        return job
+
+    def wait(self, job_id: str, timeout: float = 600.0, poll_interval: float = 0.01) -> Job:
+        """Block until ``job_id`` reaches a terminal state (test helper).
+
+        ``poll_interval`` is kept for signature compatibility; waiting is
+        condition-variable-driven (see :meth:`wait_for`), not polled.
+        """
+        del poll_interval
+        job = self.wait_for(job_id, timeout)
+        if not job.finished():
+            raise TimeoutError(f"job {job_id} not finished within {timeout}s")
         return job
 
     def stats(self) -> dict[str, Any]:
@@ -235,6 +264,7 @@ class JobManager:
                     job.error = "service shutting down"
                     job.finished_at = time.time()
                     self._deactivate(job)
+                    self._lock.notify_all()
         self._executor.shutdown(wait=True)
 
     # ------------------------------------------------------------------
@@ -254,6 +284,7 @@ class JobManager:
                 job.finished_at = time.time()
                 self._failed += 1
                 self._deactivate(job)
+                self._lock.notify_all()
             return
         with self._lock:
             job.result = result
@@ -261,6 +292,7 @@ class JobManager:
             job.finished_at = time.time()
             self._completed += 1
             self._deactivate(job)
+            self._lock.notify_all()
 
     def _deactivate(self, job: Job) -> None:
         """Retire ``job`` from the active map (lock held).

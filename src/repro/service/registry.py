@@ -150,6 +150,26 @@ class DatasetRegistry:
         with self._lock:
             return len(self._filtered_fingerprints)
 
+    def catalog(self) -> dict[str, dict[str, Any]]:
+        """Name -> ``{fingerprint, columns, n_rows}`` for every dataset.
+
+        The ``GET /v2/datasets`` payload: enough for a client to see what
+        a server holds and for the shard router to key its ring routing
+        and failover re-registration on content fingerprints.  Lighter
+        than :meth:`describe` (no entropy-cache introspection), so it is
+        cheap to serve on every catalog poll.
+        """
+        with self._lock:
+            entries = list(self._by_name.values())
+        return {
+            entry.name: {
+                "fingerprint": entry.fingerprint,
+                "columns": list(entry.table.columns),
+                "n_rows": entry.table.n_rows,
+            }
+            for entry in entries
+        }
+
     def names(self) -> list[str]:
         """Registered dataset names, sorted."""
         with self._lock:

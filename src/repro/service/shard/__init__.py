@@ -1,0 +1,32 @@
+"""Horizontal scale-out: a router tier over N shard worker processes.
+
+Each shard is a full single-process analysis service (its own
+:class:`~repro.service.registry.DatasetRegistry`, result cache, entropy
+memos, and dataset plane) listening on its own port; the router owns the
+public HTTP API, consistent-hashes dataset *content fingerprints* onto
+the shard ring, and forwards requests over the same JSON-over-HTTP wire
+a single-process deployment speaks.  Because results are deterministic
+functions of (dataset content, spec, seed) and responses are spliced as
+verbatim bytes, a sharded deployment answers byte-identically to a
+single process -- sharding changes *where* bytes are computed and
+cached, never *what* they are.
+
+* :mod:`repro.service.shard.ring` -- the consistent-hash ring;
+* :mod:`repro.service.shard.supervisor` -- spawns and health-checks the
+  shard worker processes;
+* :mod:`repro.service.shard.router` -- the routing HTTP tier with
+  warm-key routing, shard-parallel batch fan-out, and failover
+  re-registration.
+"""
+
+from repro.service.shard.ring import HashRing
+from repro.service.shard.router import ShardRouter, make_router_server
+from repro.service.shard.supervisor import ShardBackend, ShardSupervisor
+
+__all__ = [
+    "HashRing",
+    "ShardBackend",
+    "ShardRouter",
+    "ShardSupervisor",
+    "make_router_server",
+]

@@ -1,0 +1,105 @@
+"""The consistent-hash ring: dataset fingerprints -> shard ownership.
+
+Classic Karger-style consistent hashing: every shard contributes
+``replicas`` virtual points on a ring of 64-bit hash positions, and a
+key is owned by the first point clockwise from its own hash.  Two
+properties make this the right router primitive:
+
+* **stability** -- adding or removing one shard remaps only the keys in
+  the arcs that shard's points cover, ~``1/N`` of the space (pinned by
+  ``tests/service/test_shard_ring.py``), so scale-out and failover
+  never cold-start the whole fleet's caches;
+* **determinism** -- ownership is a pure function of the membership set
+  and the key, so the router, tests, and any future peer can compute it
+  independently and agree.
+
+Keys are dataset content fingerprints (already uniformly distributed
+SHA-256 hex), but the ring hashes them again so *any* string key is
+placed uniformly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+
+def _position(text: str) -> int:
+    """A stable 64-bit ring position for ``text``."""
+    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over named shard nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Initial node names (e.g. ``("s0", "s1")``).
+    replicas:
+        Virtual points per node.  More points -> smoother balance
+        between nodes at the cost of a larger (still tiny) ring; 64
+        keeps the max/mean load skew low for single-digit shard counts.
+    """
+
+    def __init__(self, nodes: tuple[str, ...] | list[str] = (), replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self._replicas = replicas
+        self._nodes: set[str] = set()
+        self._points: list[tuple[int, str]] = []  # sorted (position, node)
+        self._positions: list[int] = []  # parallel array for bisect
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+
+    def add(self, node: str) -> None:
+        """Add ``node``'s virtual points to the ring (idempotent)."""
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self._replicas):
+            self._points.append((_position(f"{node}#{replica}"), node))
+        self._rebuild()
+
+    def remove(self, node: str) -> None:
+        """Drop ``node`` from the ring (no-op when absent).
+
+        Keys it owned fall through to their next clockwise point -- the
+        *successor* arcs -- which is exactly where failover re-registers
+        a dead shard's datasets.
+        """
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [point for point in self._points if point[1] != node]
+        self._rebuild()
+
+    def node_for(self, key: str) -> str:
+        """The node owning ``key`` (first point clockwise from its hash)."""
+        if not self._points:
+            raise RuntimeError("hash ring is empty: no live shards")
+        index = bisect_right(self._positions, _position(key))
+        if index == len(self._points):  # wrap past 2**64
+            index = 0
+        return self._points[index][1]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Live node names, sorted."""
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def _rebuild(self) -> None:
+        self._points.sort()
+        self._positions = [position for position, _ in self._points]

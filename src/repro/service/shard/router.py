@@ -1,0 +1,745 @@
+"""The shard router: one public HTTP API over N shard worker processes.
+
+The router owns the v1 + v2 surface of :mod:`repro.service.http` and
+*forwards* rather than computes: every read request is keyed by its
+dataset's content fingerprint, consistent-hashed onto the shard ring,
+and proxied over the same JSON-over-HTTP wire a single-process
+deployment speaks (through :meth:`ServiceClient.request_bytes`, so shard
+response payloads are spliced **byte-for-byte**, never re-serialized).
+Results are deterministic functions of (dataset content, spec, seed), so
+a sharded deployment answers byte-identically to a single process --
+sharding moves *where* bytes are computed and cached, never *what* they
+are.
+
+Routing layers, in lookup order:
+
+1. **warm-key map** -- the router records which shard served each request
+   key; duplicates route to the shard already holding the bytes (a cache
+   hit there) even when ring topology has shifted since;
+2. **hash ring** -- cold keys go to the fingerprint's ring owner, where
+   the dataset's tables, entropy memos, and dataset plane are warm;
+3. **fallback** -- requests whose dataset (or shape) the router cannot
+   resolve are forwarded to the first live shard verbatim, which
+   produces the byte-identical error the single process would.
+
+Failover: when a shard stops answering, the router removes it from the
+ring, purges its warm keys, and re-registers its datasets on their
+successor ring nodes from the registration records it kept -- caches
+start cold there, but answers stay byte-identical.  Async jobs are
+process-local state and die with their shard (reads return 404); this
+mirrors the single-process contract, where jobs do not survive a
+restart.
+
+Job ids are namespaced ``<shard>.<local id>`` (e.g. ``s0.j00000001``) so
+reads route straight to the owning shard without a lookup table.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import ThreadingHTTPServer
+from urllib.parse import parse_qs, urlencode
+
+from repro.core.report import canonical_json_bytes
+from repro.service.cache import WarmKeyMap
+from repro.service.client import ServiceClient, ServiceConnectionError
+from repro.service.core import build_table
+from repro.service.fingerprint import fingerprint_table
+from repro.service.http import (
+    _V1_SPECS,
+    JSONRequestHandler,
+    _message,
+    parse_json_body,
+    v1_deprecation_headers,
+)
+from repro.service.shard.ring import HashRing
+from repro.service.shard.supervisor import ShardBackend
+from repro.service.spec import SPEC_TYPES, spec_from_dict
+
+
+class NoLiveShardsError(RuntimeError):
+    """Every shard is dead; the router cannot serve (HTTP 503)."""
+
+
+@dataclass
+class RegisteredDataset:
+    """The router's registration record for one dataset.
+
+    Holds everything failover needs to re-register the dataset on a
+    successor shard: the verbatim registration body plus the catalog
+    fields (``/v2/datasets`` is answered from these records, so the
+    catalog survives shard deaths).
+    """
+
+    name: str
+    fingerprint: str
+    columns: tuple[str, ...]
+    n_rows: int
+    body: bytes  # the verbatim /register request body
+    location: str  # shard currently holding the dataset
+
+
+class ShardRouter:
+    """Route requests across shard backends by dataset fingerprint.
+
+    Parameters
+    ----------
+    backends:
+        The shard workers (usually from
+        :meth:`~repro.service.shard.supervisor.ShardSupervisor.start`).
+    client_timeout:
+        Socket timeout of the per-shard forwarding clients; generous, as
+        cold analyses compute the full pipeline.
+    """
+
+    def __init__(
+        self,
+        backends: list[ShardBackend],
+        client_timeout: float = 600.0,
+        warm_map_entries: int = 131072,
+    ) -> None:
+        if not backends:
+            raise ValueError("at least one shard backend is required")
+        self._backends = {backend.name: backend for backend in backends}
+        if len(self._backends) != len(backends):
+            raise ValueError("shard backend names must be unique")
+        self._clients = {
+            backend.name: ServiceClient(backend.url, timeout=client_timeout)
+            for backend in backends
+        }
+        self.ring = HashRing([backend.name for backend in backends])
+        self.warm_keys = WarmKeyMap(max_entries=warm_map_entries)
+        self._registrations: dict[str, RegisteredDataset] = {}
+        # Reentrant: mark_dead() re-registers orphans under the lock and
+        # may recurse when a successor is dead too.
+        self._lock = threading.RLock()
+        self.started_at = time.time()
+        self._requests = 0
+        self._warm_hits = 0
+        self._v1_requests = 0
+        self._failovers = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def mark_dead(self, backend: ShardBackend) -> None:
+        """Retire a dead shard: ring removal, warm-key purge, failover.
+
+        Idempotent and thread-safe (the supervisor's watch thread and any
+        request thread hitting a connection failure may race here).  The
+        dead shard's datasets are re-registered on their successor ring
+        nodes *while the topology lock is held*, so no request routes by
+        the new ring before the successors actually hold the data --
+        failover briefly blocks routing decisions, never correctness.
+        """
+        with self._lock:
+            if backend.dead:
+                return
+            backend.dead = True
+            self.ring.remove(backend.name)
+            self._failovers += 1
+            self.warm_keys.drop_location(backend.name)
+            orphans = [
+                record
+                for record in self._registrations.values()
+                if record.location == backend.name
+            ]
+            for record in orphans:
+                self._reregister(record)
+
+    def _reregister(self, record: RegisteredDataset) -> None:
+        """Re-register one orphaned dataset on its ring successor (lock held)."""
+        while len(self.ring):
+            successor = self.ring.node_for(record.fingerprint)
+            try:
+                status, _ = self._clients[successor].request_bytes(
+                    "/register", record.body
+                )
+            except ServiceConnectionError:
+                # The successor is dead too: retire it (reentrant; its own
+                # orphans re-register deeper in) and fall through to the
+                # next ring owner.
+                self.mark_dead(self._backends[successor])
+                continue
+            if 200 <= status < 300:
+                record.location = successor
+            return
+
+    def _fallback_locked(self) -> str:
+        """The first live shard (for requests the router cannot key)."""
+        for name in sorted(self._backends):
+            if not self._backends[name].dead:
+                return name
+        raise NoLiveShardsError("no live shards")
+
+    def _target_for(self, fingerprint: str | None, key: str | None) -> str:
+        """Pick the shard for one request: warm key, ring, then fallback."""
+        with self._lock:
+            if key is not None:
+                location = self.warm_keys.get(key)
+                if location is not None and not self._backends[location].dead:
+                    self._warm_hits += 1
+                    return location
+            if fingerprint is not None and len(self.ring):
+                return self.ring.node_for(fingerprint)
+            return self._fallback_locked()
+
+    def _forward_spec(
+        self, path: str, raw: bytes, fingerprint: str | None, key: str | None
+    ) -> tuple[int, bytes, str]:
+        """Forward one keyed request, failing over past dead shards.
+
+        Returns ``(status, verbatim body, shard name)``; successful
+        responses record ``key`` in the warm map so duplicates route to
+        the holder.
+        """
+        with self._lock:
+            self._requests += 1
+        for _ in range(len(self._backends) + 1):
+            target = self._target_for(fingerprint, key)
+            try:
+                status, payload = self._clients[target].request_bytes(path, raw)
+            except ServiceConnectionError:
+                self.mark_dead(self._backends[target])
+                continue
+            if 200 <= status < 300 and key is not None:
+                self.warm_keys.record(key, target)
+            return status, payload, target
+        raise NoLiveShardsError("no live shards")  # pragma: no cover - defensive
+
+    # ------------------------------------------------------------------
+    # Local endpoints (answered without touching a shard)
+    # ------------------------------------------------------------------
+
+    def handle_datasets(self) -> tuple[int, bytes]:
+        """``GET /v2/datasets`` from the router's registration records.
+
+        Byte-identical to a single process's catalog (same canonical
+        serialization over the same fields) and available even while a
+        shard is down.
+        """
+        with self._lock:
+            datasets = {
+                record.name: {
+                    "fingerprint": record.fingerprint,
+                    "columns": list(record.columns),
+                    "n_rows": record.n_rows,
+                }
+                for record in self._registrations.values()
+            }
+        return 200, canonical_json_bytes({"status": "ok", "datasets": datasets})
+
+    def handle_stats(self) -> tuple[int, bytes]:
+        """``GET /stats``: router counters plus each live shard's stats."""
+        shards: dict[str, object] = {}
+        for name in sorted(self._backends):
+            backend = self._backends[name]
+            if backend.dead:
+                shards[name] = None
+                continue
+            try:
+                status, payload = self._clients[name].request_bytes(
+                    "/stats", timeout=10.0
+                )
+                shards[name] = json.loads(payload) if status == 200 else None
+            except (ServiceConnectionError, ValueError):
+                shards[name] = None
+        with self._lock:
+            router = {
+                "uptime_seconds": time.time() - self.started_at,
+                "shards": len(self._backends),
+                "live_shards": sorted(self.ring.nodes),
+                "requests": self._requests,
+                "warm_hits": self._warm_hits,
+                "v1_requests": self._v1_requests,
+                "failovers": self._failovers,
+                "warm_keys": len(self.warm_keys),
+                "datasets": len(self._registrations),
+            }
+        return 200, canonical_json_bytes({"router": router, "shards": shards})
+
+    def describe(self) -> dict[str, object]:
+        """Topology summary for the CLI banner."""
+        with self._lock:
+            return {
+                "shards": {
+                    name: self._backends[name].url for name in sorted(self._backends)
+                },
+                "live": sorted(self.ring.nodes),
+                "datasets": len(self._registrations),
+            }
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def handle_register(self, raw: bytes) -> tuple[int, bytes]:
+        """``POST /register``: fingerprint locally, forward to the owner.
+
+        The router builds the table itself *only to fingerprint it* (the
+        ring keys on content, and the owner must be chosen before any
+        shard has seen the data); the verbatim body then goes to the ring
+        owner, whose response is spliced back untouched.  Bodies the
+        router cannot parse are forwarded to the fallback shard, which
+        produces the byte-identical error a single process would.
+        """
+        body = parse_json_body(raw)
+        table = None
+        fingerprint = None
+        try:
+            table = build_table(
+                columns=body.get("columns"),
+                rows=body.get("rows"),
+                column_names=body.get("column_names"),
+                csv_path=body.get("csv_path"),
+            )
+            fingerprint = fingerprint_table(table)
+        except Exception:
+            # Malformed source: let a shard answer (byte-identical 400).
+            fingerprint = None
+        for _ in range(len(self._backends) + 1):
+            with self._lock:
+                if fingerprint is not None and len(self.ring):
+                    owner = self.ring.node_for(fingerprint)
+                else:
+                    owner = self._fallback_locked()
+            try:
+                status, payload = self._clients[owner].request_bytes("/register", raw)
+            except ServiceConnectionError:
+                self.mark_dead(self._backends[owner])
+                continue
+            if 200 <= status < 300 and fingerprint is not None:
+                name = str(body.get("name", ""))
+                with self._lock:
+                    self._registrations[name] = RegisteredDataset(
+                        name=name,
+                        fingerprint=fingerprint,
+                        columns=tuple(table.columns),
+                        n_rows=table.n_rows,
+                        body=raw,
+                        location=owner,
+                    )
+            return status, payload
+        raise NoLiveShardsError("no live shards")  # pragma: no cover - defensive
+
+    def _lookup(self, dataset: str) -> RegisteredDataset | None:
+        with self._lock:
+            return self._registrations.get(dataset)
+
+    # ------------------------------------------------------------------
+    # Read requests (v1 spec endpoints, jobs, batches)
+    # ------------------------------------------------------------------
+
+    def handle_v1_spec(self, path: str, raw: bytes) -> tuple[int, bytes]:
+        """One deprecated v1 read (``/analyze`` etc.): key and forward."""
+        with self._lock:
+            self._v1_requests += 1
+        fingerprint, key = self._spec_routing(_V1_SPECS[path], parse_json_body(raw))
+        status, payload, _ = self._forward_spec(path, raw, fingerprint, key)
+        return status, payload
+
+    def handle_submit(self, raw: bytes) -> tuple[int, bytes]:
+        """``POST /v2/jobs``: forward, then namespace the job id."""
+        body = parse_json_body(raw)
+        fingerprint = key = None
+        try:
+            spec = spec_from_dict(dict(body))
+        except Exception:
+            spec = None  # the shard will produce the byte-identical 400
+        if spec is not None:
+            record = self._lookup(spec.dataset)
+            if record is not None:
+                fingerprint = record.fingerprint
+                key = spec.request_key(fingerprint)
+        status, payload, target = self._forward_spec("/v2/jobs", raw, fingerprint, key)
+        if status == 202:
+            data = json.loads(payload)
+            data["job_id"] = f"{target}.{data['job_id']}"
+            payload = canonical_json_bytes(data)
+        return status, payload
+
+    def handle_job_get(self, job_id: str, query: str) -> tuple[int, bytes]:
+        """``GET /v2/jobs/<shard>.<id>``: route by the id's namespace.
+
+        ``?wait=`` is forwarded verbatim, so long-polls block on the
+        owning shard's condition variable.  Jobs are process-local state:
+        ids on a dead shard read as 404, exactly as after a
+        single-process restart.
+        """
+        shard, separator, local_id = job_id.partition(".")
+        backend = self._backends.get(shard) if separator else None
+        if backend is None or backend.dead:
+            return 404, _unknown_job(job_id)
+        path = f"/v2/jobs/{local_id}" + (f"?{query}" if query else "")
+        try:
+            status, payload = self._clients[shard].request_bytes(path)
+        except ServiceConnectionError:
+            self.mark_dead(backend)
+            return 404, _unknown_job(job_id)
+        if status == 200:
+            data = json.loads(payload)
+            job = _prefix_job_ids(data["job"], shard)
+            payload = b'{"status":"ok","job":' + canonical_json_bytes(job)
+            if "result" in data:
+                # Canonical re-encode is byte-stable for canonical input,
+                # so the result bytes survive the id rewrite untouched.
+                payload += b',"result":' + canonical_json_bytes(data["result"])
+            payload += b"}"
+        elif status == 404:
+            # The shard knows only the local id; report the routed one.
+            payload = _unknown_job(job_id)
+        return status, payload
+
+    def handle_job_list(self, query: str) -> tuple[int, bytes]:
+        """``GET /v2/jobs``: merge every live shard's listing.
+
+        Snapshots are id-namespaced, merged oldest-first by submission
+        time, and trimmed to ``limit`` (each shard already returns its
+        own most recent ``limit``, and the global tail is a subset of the
+        per-shard tails).  Dead or unreachable shards are skipped -- their
+        jobs are gone.
+        """
+        parameters = parse_qs(query)
+        dataset = parameters.get("dataset", [None])[0]
+        limit_text = parameters.get("limit", ["100"])[0]
+        try:
+            limit = int(limit_text)
+        except ValueError:
+            raise ValueError(f"limit must be an integer, got {limit_text!r}") from None
+        if limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        forwarded = {"limit": str(limit)}
+        if dataset is not None:
+            forwarded["dataset"] = dataset
+        merged: list[dict] = []
+        for name in sorted(self._backends):
+            backend = self._backends[name]
+            if backend.dead:
+                continue
+            try:
+                status, payload = self._clients[name].request_bytes(
+                    f"/v2/jobs?{urlencode(forwarded)}"
+                )
+            except ServiceConnectionError:
+                self.mark_dead(backend)
+                continue
+            if status != 200:
+                continue
+            for snapshot in json.loads(payload)["jobs"]:
+                merged.append(_prefix_job_ids(snapshot, name))
+        merged.sort(key=lambda snapshot: snapshot["submitted_at"])
+        merged = merged[-limit:] if limit else []
+        return 200, canonical_json_bytes({"status": "ok", "jobs": merged})
+
+    def handle_batch_v1(self, raw: bytes) -> tuple[int, bytes]:
+        """``POST /batch`` (v1, sequential): route item by item.
+
+        Each item is forwarded as a single v1 request to its warm/ring
+        shard *in submission order*, and the response envelopes are
+        spliced into the v1 batch body verbatim -- duplicates keep the
+        pinned ``[cold, cached]`` flag sequence because the duplicate
+        routes to the shard that just cached the leader's bytes.  Any
+        item error aborts the batch with that shard's error body, exactly
+        like the single-process sequential loop.
+        """
+        with self._lock:
+            self._v1_requests += 1
+        body = parse_json_body(raw)
+        requests = body.get("requests", [])
+        plan = self._route_items(requests)
+        if plan is None:
+            # Unroutable shape: one shard replays the whole batch and
+            # produces the byte-identical error mid-sequence.
+            status, payload, _ = self._forward_spec("/batch", raw, None, None)
+            return status, payload
+        parts: list[bytes] = []
+        for item, fingerprint, key in plan:
+            item_body = dict(item)
+            kind = item_body.pop("kind")
+            item_raw = json.dumps(item_body).encode("utf-8")
+            status, payload, _ = self._forward_spec(
+                f"/{kind}", item_raw, fingerprint, key
+            )
+            if status != 200:
+                return status, payload
+            parts.append(payload)
+        return 200, b'{"status":"ok","results":[' + b",".join(parts) + b"]}"
+
+    def handle_batch_v2(self, raw: bytes) -> tuple[int, bytes]:
+        """``POST /v2/batch``: fan the plan out shard-parallel.
+
+        Specs are grouped by their fingerprint's ring owner and each
+        sub-batch runs through that shard's planner concurrently.  The
+        per-shard plan summaries sum to exactly the single-process plan
+        (request keys embed the fingerprint, so dedup never crosses
+        groups) and results are re-assembled in submission order.
+        """
+        body = parse_json_body(raw)
+        requests = body.get("requests", [])
+        plan = self._route_items(requests, spec_builder=spec_from_dict)
+        if plan is None:
+            # Unroutable (bad shape, unknown dataset, malformed spec):
+            # one shard produces the byte-identical 400/404 up front.
+            status, payload, _ = self._forward_spec("/v2/batch", raw, None, None)
+            return status, payload
+        for _ in range(len(self._backends) + 1):
+            with self._lock:
+                if not len(self.ring):
+                    raise NoLiveShardsError("no live shards")
+                groups: dict[str, list[int]] = {}
+                for index, (_, fingerprint, _) in enumerate(plan):
+                    groups.setdefault(self.ring.node_for(fingerprint), []).append(index)
+            if len(groups) == 1:
+                # Single-owner batch: the common case forwards verbatim.
+                ((target, _),) = groups.items()
+                try:
+                    status, payload = self._clients[target].request_bytes(
+                        "/v2/batch", raw
+                    )
+                except ServiceConnectionError:
+                    self.mark_dead(self._backends[target])
+                    continue
+                if status == 200:
+                    self._record_batch_keys(plan, range(len(plan)), target)
+                return status, payload
+            outcome = self._fan_out_batch(requests, plan, groups)
+            if outcome is not None:
+                return outcome
+            # A shard died mid-fan-out: it is retired, surviving shards
+            # kept their sub-results cached, re-plan on the new ring.
+        raise NoLiveShardsError("no live shards")  # pragma: no cover - defensive
+
+    # ------------------------------------------------------------------
+    # Batch internals
+    # ------------------------------------------------------------------
+
+    def _spec_routing(self, spec_type, body: dict) -> tuple[str | None, str | None]:
+        """(fingerprint, request key) for one spec body, or ``(None, None)``.
+
+        ``None`` means "cannot key this request" -- it goes to the
+        fallback shard, which answers (or errors) byte-identically.
+        """
+        try:
+            spec = spec_type.from_dict(dict(body))
+        except Exception:
+            return None, None
+        record = self._lookup(spec.dataset)
+        if record is None:
+            return None, None
+        return record.fingerprint, spec.request_key(record.fingerprint)
+
+    def _route_items(
+        self, requests, spec_builder=None
+    ) -> list[tuple[dict, str, str]] | None:
+        """Resolve every batch item to (item, fingerprint, key), or ``None``.
+
+        ``None`` means some item cannot be routed (malformed, unknown
+        kind, unknown dataset) and the whole batch should be replayed on
+        one shard for a byte-identical error.
+        """
+        if not isinstance(requests, list):
+            return None
+        plan: list[tuple[dict, str, str]] = []
+        for item in requests:
+            if not isinstance(item, dict):
+                return None
+            try:
+                if spec_builder is not None:
+                    spec = spec_builder(dict(item))
+                else:
+                    spec = SPEC_TYPES[item["kind"]].from_dict(
+                        {k: v for k, v in item.items() if k != "kind"}
+                    )
+            except Exception:
+                return None
+            record = self._lookup(spec.dataset)
+            if record is None:
+                return None
+            plan.append((item, record.fingerprint, spec.request_key(record.fingerprint)))
+        return plan
+
+    def _record_batch_keys(self, plan, indices, target: str) -> None:
+        for index in indices:
+            self.warm_keys.record(plan[index][2], target)
+
+    def _fan_out_batch(
+        self,
+        requests: list,
+        plan: list[tuple[dict, str, str]],
+        groups: dict[str, list[int]],
+    ) -> tuple[int, bytes] | None:
+        """One shard-parallel round; ``None`` means a shard died (re-plan)."""
+        outcomes: dict[str, tuple[int, bytes] | None] = {}
+
+        def _call(target: str, indices: list[int]) -> None:
+            sub_raw = json.dumps(
+                {"requests": [requests[index] for index in indices]}
+            ).encode("utf-8")
+            try:
+                outcomes[target] = self._clients[target].request_bytes(
+                    "/v2/batch", sub_raw
+                )
+            except ServiceConnectionError:
+                outcomes[target] = None
+
+        threads = [
+            threading.Thread(target=_call, args=(target, indices), daemon=True)
+            for target, indices in groups.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        died = [target for target, outcome in outcomes.items() if outcome is None]
+        if died:
+            for target in died:
+                self.mark_dead(self._backends[target])
+            return None
+        # Any shard-level error aborts the whole batch, reported from the
+        # group holding the earliest submitted spec (deterministic).
+        for target, _ in sorted(groups.items(), key=lambda pair: min(pair[1])):
+            status, payload = outcomes[target]
+            if status != 200:
+                return status, payload
+        summary = {"specs": 0, "datasets": 0, "warm": 0, "cold": 0, "deduplicated": 0}
+        slots: list[bytes | None] = [None] * len(plan)
+        for target, indices in groups.items():
+            _, payload = outcomes[target]
+            data = json.loads(payload)
+            for field in summary:
+                summary[field] += data["plan"][field]
+            for position, index in enumerate(indices):
+                slots[index] = reencode_envelope(data["results"][position])
+            self._record_batch_keys(plan, indices, target)
+        return 200, (
+            b'{"status":"ok","plan":'
+            + canonical_json_bytes(summary)
+            + b',"results":['
+            + b",".join(slots)
+            + b"]}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Byte-splicing helpers
+# ----------------------------------------------------------------------
+
+
+def reencode_envelope(item: dict) -> bytes:
+    """Re-emit one result envelope in the exact single-process format.
+
+    The envelope layout (fixed key order, canonical ``result`` bytes)
+    matches :func:`repro.service.http.envelope_bytes`; both the rounded
+    ``elapsed_seconds`` float and the canonical payload survive a JSON
+    parse/re-emit byte-for-byte (``repr`` round-trip), so reassembled
+    batch bodies splice shard results without drift.
+    """
+    head = (
+        f'{{"status":"ok","kind":{json.dumps(item["kind"])},'
+        f'"cached":{"true" if item["cached"] else "false"},'
+        f'"elapsed_seconds":{json.dumps(item["elapsed_seconds"])},'
+        f'"result":'
+    )
+    return head.encode("utf-8") + canonical_json_bytes(item["result"]) + b"}"
+
+
+def _prefix_job_ids(snapshot: dict, shard: str) -> dict:
+    """Namespace a job snapshot's ids with the owning shard's name."""
+    snapshot["id"] = f"{shard}.{snapshot['id']}"
+    if snapshot.get("coalesced_into") is not None:
+        snapshot["coalesced_into"] = f"{shard}.{snapshot['coalesced_into']}"
+    return snapshot
+
+
+def _unknown_job(job_id: str) -> bytes:
+    return canonical_json_bytes(
+        {"status": "error", "error": f"unknown job {job_id!r}"}
+    )
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+
+class RouterHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared router instance."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], router: ShardRouter) -> None:
+        super().__init__(address, _RouterHandler)
+        self.router = router
+
+
+class _RouterHandler(JSONRequestHandler):
+    """The router's public surface: same paths, bodies, and error bytes
+    as the single-process handler; computation happens on the shards."""
+
+    server: RouterHTTPServer
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        from urllib.parse import urlsplit
+
+        parts = urlsplit(self.path)
+        router = self.server.router
+        try:
+            if parts.path == "/health":
+                self._send(200, canonical_json_bytes({"status": "ok"}))
+            elif parts.path == "/stats":
+                self._send(*router.handle_stats())
+            elif parts.path == "/v2/datasets":
+                self._send(*router.handle_datasets())
+            elif parts.path == "/v2/jobs":
+                self._send(*router.handle_job_list(parts.query))
+            elif parts.path.startswith("/v2/jobs/"):
+                job_id = parts.path[len("/v2/jobs/"):]
+                self._send(*router.handle_job_get(job_id, parts.query))
+            else:
+                self._send_error(404, f"unknown path {self.path!r}")
+        except NoLiveShardsError as error:
+            self._send_error(503, str(error))
+        except (TypeError, ValueError) as error:
+            self._send_error(400, _message(error))
+        except Exception as error:  # pragma: no cover - defensive 500
+            self._send_error(500, f"{type(error).__name__}: {error}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            raw = self._read_raw()
+        except ValueError as error:
+            self._send_error(400, str(error))
+            return
+        router = self.server.router
+        try:
+            if self.path == "/register":
+                self._send(*router.handle_register(raw))
+            elif self.path == "/batch":
+                status, payload = router.handle_batch_v1(raw)
+                self._send(status, payload, headers=v1_deprecation_headers(self.path))
+            elif self.path == "/v2/jobs":
+                self._send(*router.handle_submit(raw))
+            elif self.path == "/v2/batch":
+                self._send(*router.handle_batch_v2(raw))
+            elif self.path in _V1_SPECS:
+                status, payload = router.handle_v1_spec(self.path, raw)
+                self._send(status, payload, headers=v1_deprecation_headers(self.path))
+            else:
+                self._send_error(404, f"unknown path {self.path!r}")
+        except NoLiveShardsError as error:
+            self._send_error(503, str(error))
+        except (TypeError, ValueError) as error:
+            self._send_error(400, _message(error))
+        except Exception as error:  # pragma: no cover - defensive 500
+            self._send_error(500, f"{type(error).__name__}: {error}")
+
+
+def make_router_server(
+    router: ShardRouter, host: str = "127.0.0.1", port: int = 0
+) -> RouterHTTPServer:
+    """Bind the router to an HTTP server (``port=0`` picks a free port)."""
+    return RouterHTTPServer((host, port), router)

@@ -1,0 +1,238 @@
+"""Shard supervision: spawn, health-check, and watch N worker processes.
+
+Each shard worker is a whole single-process deployment -- an
+:class:`~repro.service.core.AnalysisService` behind the stdlib HTTP
+server -- started in its own process with its own registry, result
+cache, entropy memos, and dataset plane.  The supervisor owns their
+lifecycle:
+
+* **spawn** -- workers bind an ephemeral port and report it back over a
+  pipe, so N shards come up in parallel with no port bookkeeping;
+* **health** -- ``/health`` probes with a short timeout (plus the
+  cheaper ``Process.is_alive`` liveness bit);
+* **watch** -- an optional daemon thread that polls health and reports
+  deaths to a callback (the router's failover hook).  Death is
+  *degradation, not failure*: the router re-registers the dead shard's
+  datasets on their successor ring nodes from its own registration
+  records -- caches start cold there, but every answer stays
+  byte-identical.
+
+Workers are started with the ``spawn`` method: a clean interpreter per
+shard (no inherited locks from a threaded parent), exactly what a
+TCP-addressable multi-node deployment would look like.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.service.client import ServiceClient, ServiceError
+
+
+def _shard_main(
+    connection,
+    host: str,
+    jobs: int,
+    cache_entries: int,
+    disk_cache: str | None,
+    job_workers: int,
+) -> None:  # pragma: no cover - runs in a child process
+    """Worker entry point: one full service on an ephemeral port."""
+    from repro.engine import resolve_engine
+    from repro.service.core import AnalysisService
+    from repro.service.http import make_server
+
+    service = AnalysisService(
+        engine=resolve_engine(jobs),
+        max_cache_entries=cache_entries,
+        disk_cache=disk_cache,
+        job_workers=job_workers,
+    )
+    server = make_server(service, host=host, port=0)
+    connection.send(server.server_address[1])
+    connection.close()
+    try:
+        # A terminal Ctrl-C signals the whole foreground process group;
+        # exit quietly instead of spraying one traceback per shard.
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+
+
+@dataclass
+class ShardBackend:
+    """One shard worker: its ring name, base URL, and process handle."""
+
+    name: str
+    url: str
+    process: multiprocessing.Process | None = None
+    #: Flipped (once) by the router's failover path; a dead backend is
+    #: never routed to again in this supervisor's lifetime.
+    dead: bool = False
+    started_at: float = field(default_factory=time.time)
+
+    def process_alive(self) -> bool:
+        """The cheap liveness bit (no network round-trip)."""
+        return self.process is not None and self.process.is_alive()
+
+
+class ShardSupervisor:
+    """Spawn and watch ``shards`` worker processes on localhost.
+
+    Parameters
+    ----------
+    shards:
+        Worker process count (each gets ``1/N`` of the fingerprint ring).
+    jobs:
+        Execution-engine worker count *inside each shard* (multiplies
+        with the shard count: ``--shards 4 --jobs 2`` uses up to 8
+        cores for statistical work).
+    cache_entries / disk_cache / job_workers:
+        Forwarded to each shard's :class:`AnalysisService`.  A shared
+        ``disk_cache`` directory is safe (atomic same-bytes writes) and
+        lets a failover successor reuse the dead shard's disk entries.
+    start_timeout:
+        Seconds to wait for all workers to report their ports.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        jobs: int = 1,
+        cache_entries: int = 256,
+        disk_cache: str | None = None,
+        job_workers: int = 2,
+        host: str = "127.0.0.1",
+        start_timeout: float = 60.0,
+        health_timeout: float = 5.0,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.jobs = jobs
+        self.cache_entries = cache_entries
+        self.disk_cache = disk_cache
+        self.job_workers = job_workers
+        self.host = host
+        self.start_timeout = start_timeout
+        self.health_timeout = health_timeout
+        self.backends: list[ShardBackend] = []
+        self._context = multiprocessing.get_context("spawn")
+        self._watcher: threading.Thread | None = None
+        self._stop_watching = threading.Event()
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> list[ShardBackend]:
+        """Spawn every worker, wait for their ports, return the backends."""
+        if self.backends:
+            raise RuntimeError("supervisor already started")
+        pending: list[tuple[str, multiprocessing.Process, object]] = []
+        for index in range(self.shards):
+            parent_end, child_end = self._context.Pipe(duplex=False)
+            process = self._context.Process(
+                target=_shard_main,
+                args=(
+                    child_end,
+                    self.host,
+                    self.jobs,
+                    self.cache_entries,
+                    self.disk_cache,
+                    self.job_workers,
+                ),
+                name=f"hypdb-shard-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            pending.append((f"s{index}", process, parent_end))
+        deadline = time.monotonic() + self.start_timeout
+        try:
+            for name, process, parent_end in pending:
+                remaining = max(0.0, deadline - time.monotonic())
+                if not parent_end.poll(remaining):
+                    raise TimeoutError(
+                        f"shard {name} did not report a port within "
+                        f"{self.start_timeout}s"
+                    )
+                port = parent_end.recv()
+                parent_end.close()
+                self.backends.append(
+                    ShardBackend(
+                        name=name, url=f"http://{self.host}:{port}", process=process
+                    )
+                )
+        except BaseException:
+            for _, process, _ in pending:
+                process.terminate()
+            raise
+        return self.backends
+
+    # ------------------------------------------------------------------
+
+    def healthy(self, backend: ShardBackend) -> bool:
+        """One ``/health`` probe (process liveness first -- it's free)."""
+        if backend.dead or not backend.process_alive():
+            return False
+        client = ServiceClient(backend.url, timeout=self.health_timeout, retries=0)
+        try:
+            return client.health().get("status") == "ok"
+        except ServiceError:
+            return False
+
+    def watch(
+        self, on_death: Callable[[ShardBackend], None], interval: float = 1.0
+    ) -> None:
+        """Start a daemon thread reporting shard deaths to ``on_death``.
+
+        The callback fires at most once per backend (the ``dead`` flag is
+        checked, and the router's failover is idempotent anyway); request
+        -path detection in the router covers the window between polls.
+        """
+        if self._watcher is not None:
+            raise RuntimeError("watcher already running")
+
+        def _poll() -> None:
+            while not self._stop_watching.wait(interval):
+                for backend in self.backends:
+                    if not backend.dead and not self.healthy(backend):
+                        on_death(backend)
+
+        self._watcher = threading.Thread(
+            target=_poll, name="hypdb-shard-watch", daemon=True
+        )
+        self._watcher.start()
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop watching and terminate every worker process."""
+        self._stop_watching.set()
+        if self._watcher is not None:
+            self._watcher.join(timeout=5)
+            self._watcher = None
+        for backend in self.backends:
+            if backend.process is not None and backend.process.is_alive():
+                backend.process.terminate()
+        for backend in self.backends:
+            if backend.process is not None:
+                backend.process.join(timeout=10)
+                # close() releases the Process's pipe handles promptly
+                # (Python >= 3.7); guard for exotic Process stand-ins.
+                if hasattr(backend.process, "close"):
+                    backend.process.close()
+                backend.process = None
+
+    def __enter__(self) -> "ShardSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,147 @@
+"""Failover tests for the shard router tier.
+
+Shard death is degradation, not failure: the router retires the dead
+shard from the ring, purges its warm keys, re-registers its datasets on
+their successor ring nodes from router-held registration records, and
+keeps answering **byte-identically** -- the successor's caches start
+cold, but the bytes match because results are deterministic functions of
+(dataset content, spec, seed).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.report import canonical_json_bytes
+from repro.datasets import staples_data
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.shard import ShardRouter, ShardSupervisor, make_router_server
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+
+
+def _columns(seed):
+    table = staples_data(n_rows=300, seed=seed)
+    return {name: table.column(name) for name in table.columns}
+
+
+@pytest.fixture
+def cluster3():
+    """Three shard workers behind a router, three registered datasets."""
+    supervisor = ShardSupervisor(shards=3, start_timeout=120.0)
+    backends = supervisor.start()
+    router = ShardRouter(backends)
+    server = make_router_server(router)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServiceClient("http://127.0.0.1:%d" % server.server_address[1])
+    for index in range(3):
+        client.register(f"d{index}", columns=_columns(30 + index))
+    yield supervisor, router, client
+    server.shutdown()
+    server.server_close()
+    supervisor.close()
+
+
+def _kill(backend):
+    backend.process.terminate()
+    backend.process.join(timeout=10)
+
+
+class TestFailover:
+    def test_shard_death_reregisters_and_answers_byte_identically(self, cluster3):
+        supervisor, router, client = cluster3
+        # Cold pass: compute one result per dataset and pin the bytes.
+        before = {}
+        for index in range(3):
+            response = client.query(f"d{index}", SQL)
+            assert response["cached"] is False
+            before[f"d{index}"] = canonical_json_bytes(response["result"])
+        catalog_before = client.request_bytes("/v2/datasets")[1]
+
+        # A finished job on the victim, to probe job-state loss below.
+        victim_name = router._registrations["d0"].location
+        job_spec = {"kind": "query", "dataset": "d0", "sql": SQL}
+        accepted = client.submit(job_spec)
+        client.wait(accepted["job_id"], timeout=120)
+        assert accepted["job_id"].startswith(f"{victim_name}.")
+
+        _kill(next(b for b in supervisor.backends if b.name == victim_name))
+
+        # Every dataset still answers with the identical bytes; the
+        # victim's datasets recompute cold on their ring successors.
+        for index in range(3):
+            name = f"d{index}"
+            response = client.query(name, SQL)
+            assert canonical_json_bytes(response["result"]) == before[name]
+        moved = router._registrations["d0"]
+        assert moved.location != victim_name
+        assert not router._backends[moved.location].dead
+        # The post-failover recompute on the successor was cold.
+        assert client.query("d0", SQL)["cached"] is True  # and now warm again
+
+        stats = client.stats()["router"]
+        assert stats["failovers"] >= 1
+        assert victim_name not in stats["live_shards"]
+        assert len(stats["live_shards"]) == 2
+
+        # The catalog survives (served from router records, not shards).
+        assert client.request_bytes("/v2/datasets")[1] == catalog_before
+
+        # Jobs are process-local state: the victim's jobs are gone.
+        with pytest.raises(ServiceError) as excinfo:
+            client.job(accepted["job_id"])
+        assert excinfo.value.status == 404
+
+    def test_all_shards_dead_is_503(self, cluster3):
+        supervisor, router, client = cluster3
+        for backend in supervisor.backends:
+            _kill(backend)
+        with pytest.raises(ServiceError) as excinfo:
+            client.query("d0", SQL)
+        assert excinfo.value.status == 503
+        assert "no live shards" in excinfo.value.message
+
+    def test_warm_keys_of_the_dead_shard_are_purged(self, cluster3):
+        supervisor, router, client = cluster3
+        client.query("d1", SQL)
+        client.query("d1", SQL)  # records the warm key
+        victim_name = router._registrations["d1"].location
+        assert len(router.warm_keys) > 0
+        _kill(next(b for b in supervisor.backends if b.name == victim_name))
+        router.mark_dead(router._backends[victim_name])
+        # No warm entry may point at the corpse.
+        with router.warm_keys._lock:
+            assert victim_name not in set(router.warm_keys._entries.values())
+        # And the request still answers (cold, on the successor).
+        assert client.query("d1", SQL)["result"]["rows"]
+
+
+class TestWatcher:
+    def test_watch_thread_detects_death_without_traffic(self):
+        supervisor = ShardSupervisor(shards=2, start_timeout=120.0)
+        backends = supervisor.start()
+        router = ShardRouter(backends)
+        server = make_router_server(router)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        client = ServiceClient("http://127.0.0.1:%d" % server.server_address[1])
+        try:
+            client.register("d", columns=_columns(40))
+            supervisor.watch(router.mark_dead, interval=0.2)
+            victim = next(
+                b for b in backends if b.name == router._registrations["d"].location
+            )
+            _kill(victim)
+            deadline = time.monotonic() + 20
+            while not victim.dead and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert victim.dead  # the watcher noticed with no request traffic
+            # Failover already happened: the first request needs no retry.
+            assert client.query("d", SQL)["result"]["rows"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            supervisor.close()

@@ -1,0 +1,97 @@
+"""Unit tests for the consistent-hash ring (shard router tier).
+
+The load-bearing property is *stability*: growing or shrinking the ring
+by one node remaps only ~1/N of the key space, so scale-out and
+failover never cold-start the whole fleet's caches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.service.shard.ring import HashRing
+
+#: Uniformly distributed string keys (the ring's real keys are SHA-256
+#: dataset fingerprints, which look exactly like this).
+KEYS = [hashlib.sha256(f"key-{i}".encode()).hexdigest() for i in range(2000)]
+
+
+class TestOwnership:
+    def test_every_key_is_owned_and_deterministically(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        owners = {key: ring.node_for(key) for key in KEYS}
+        assert set(owners.values()) <= {"s0", "s1", "s2"}
+        again = HashRing(["s2", "s0", "s1"])  # membership order is irrelevant
+        assert all(again.node_for(key) == owner for key, owner in owners.items())
+
+    def test_load_is_roughly_balanced(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        counts = {node: 0 for node in ring.nodes}
+        for key in KEYS:
+            counts[ring.node_for(key)] += 1
+        # With 64 virtual points per node the max/mean skew stays small;
+        # the bound here is loose on purpose (it pins "no starved node",
+        # not a precise distribution).
+        assert min(counts.values()) > len(KEYS) / len(counts) / 3
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(RuntimeError, match="no live shards"):
+            HashRing().node_for("anything")
+
+
+class TestStability:
+    def test_adding_a_node_remaps_about_one_nth(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.add("s4")
+        moved = [key for key in KEYS if ring.node_for(key) != before[key]]
+        # ~1/5 of keys move to the new node; allow 2x slack for hash noise.
+        assert 0 < len(moved) < 2 * len(KEYS) / 5
+        # Every moved key moved TO the new node -- never between old nodes.
+        assert {ring.node_for(key) for key in moved} == {"s4"}
+
+    def test_removing_a_node_remaps_only_its_keys(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.remove("s1")
+        for key in KEYS:
+            owner = ring.node_for(key)
+            if before[key] == "s1":
+                assert owner in ("s0", "s2")  # fell to a successor arc
+            else:
+                assert owner == before[key]  # survivors keep their keys
+
+    def test_add_then_remove_round_trips(self):
+        ring = HashRing(["s0", "s1"])
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.add("s2")
+        ring.remove("s2")
+        assert all(ring.node_for(key) == before[key] for key in KEYS)
+
+
+class TestMembership:
+    def test_add_is_idempotent(self):
+        ring = HashRing(["s0"])
+        ring.add("s0")
+        assert len(ring) == 1
+        assert ring.nodes == ("s0",)
+
+    def test_remove_absent_is_a_noop(self):
+        ring = HashRing(["s0"])
+        ring.remove("ghost")
+        assert ring.nodes == ("s0",)
+
+    def test_contains_and_len(self):
+        ring = HashRing(["s0", "s1"])
+        assert "s0" in ring and "ghost" not in ring
+        assert len(ring) == 2
+
+    def test_rejects_empty_node_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            HashRing([""])
+
+    def test_rejects_bad_replica_count(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(replicas=0)

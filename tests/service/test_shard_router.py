@@ -1,0 +1,329 @@
+"""End-to-end tests for the shard router tier.
+
+The contract under test: a sharded deployment (router + N worker
+processes) answers **byte-identically** to a single-process service for
+every endpoint -- cold and warm, v1 and v2, sync and jobs -- because the
+router splices shard response payloads verbatim and results are
+deterministic functions of (dataset content, spec, seed).
+
+The cluster fixture spawns real worker processes (``spawn`` start
+method), so these tests exercise the full wire path:
+client -> router HTTP -> shard HTTP -> AnalysisService.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.report import canonical_json_bytes
+from repro.datasets import staples_data
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.core import AnalysisService
+from repro.service.http import make_server
+from repro.service.shard import ShardRouter, ShardSupervisor, make_router_server
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+
+
+def _columns(seed):
+    table = staples_data(n_rows=400, seed=seed)
+    return {name: table.column(name) for name in table.columns}
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """Two shard workers behind a router, plus a single-process control."""
+    supervisor = ShardSupervisor(shards=2, start_timeout=120.0)
+    backends = supervisor.start()
+    router = ShardRouter(backends)
+    router_server = make_router_server(router)
+    threading.Thread(target=router_server.serve_forever, daemon=True).start()
+
+    single = AnalysisService()
+    single_server = make_server(single)
+    threading.Thread(target=single_server.serve_forever, daemon=True).start()
+
+    sharded = ServiceClient("http://127.0.0.1:%d" % router_server.server_address[1])
+    direct = ServiceClient("http://127.0.0.1:%d" % single_server.server_address[1])
+    for name, seed in (("staples", 11), ("staples2", 12)):
+        source = _columns(seed)
+        sharded.register(name, columns=source)
+        direct.register(name, columns=source)
+    yield SimpleNamespace(
+        router=router,
+        supervisor=supervisor,
+        sharded=sharded,
+        direct=direct,
+    )
+    router_server.shutdown()
+    router_server.server_close()
+    single_server.shutdown()
+    single_server.server_close()
+    single.close()
+    supervisor.close()
+
+
+def both(cluster, path, body):
+    """POST the same body through the router and the single process."""
+    raw = json.dumps(body).encode()
+    return (
+        cluster.sharded.request_bytes(path, raw),
+        cluster.direct.request_bytes(path, raw),
+    )
+
+
+def assert_same_envelope(sharded, direct):
+    """Envelopes match up to timing: kind, cached flag, and result bytes."""
+    status_a, body_a = sharded
+    status_b, body_b = direct
+    assert status_a == status_b
+    parsed_a, parsed_b = json.loads(body_a), json.loads(body_b)
+    assert parsed_a["kind"] == parsed_b["kind"]
+    assert parsed_a["cached"] == parsed_b["cached"]
+    assert canonical_json_bytes(parsed_a["result"]) == canonical_json_bytes(
+        parsed_b["result"]
+    )
+
+
+class TestByteIdentity:
+    def test_register_responses_are_byte_identical(self, cluster):
+        source = _columns(21)
+        (status_a, body_a), (status_b, body_b) = both(
+            cluster, "/register", {"name": "extra", "columns": source}
+        )
+        assert (status_a, body_a) == (status_b, body_b) == (200, body_b)
+
+    @pytest.mark.parametrize(
+        "path,body",
+        [
+            ("/query", {"dataset": "staples", "sql": SQL}),
+            (
+                "/analyze",
+                {
+                    "dataset": "staples",
+                    "sql": SQL,
+                    "treatment": "Income",
+                    "test": "chi2",
+                },
+            ),
+            (
+                "/discover",
+                {
+                    "dataset": "staples2",
+                    "treatment": "Income",
+                    "outcome": "Price",
+                    "test": "chi2",
+                },
+            ),
+            (
+                "/whatif",
+                {
+                    "dataset": "staples2",
+                    "treatment": "Income",
+                    "outcome": "Price",
+                    "test": "chi2",
+                },
+            ),
+        ],
+    )
+    def test_every_kind_matches_cold_then_warm(self, cluster, path, body):
+        cold = both(cluster, path, body)
+        assert_same_envelope(*cold)
+        assert json.loads(cold[0][1])["cached"] is False
+        warm = both(cluster, path, body)
+        assert_same_envelope(*warm)
+        assert json.loads(warm[0][1])["cached"] is True
+
+    def test_error_bodies_are_byte_identical(self, cluster):
+        cases = [
+            ("/query", {"dataset": "ghost", "sql": SQL}, 404),
+            ("/query", {"dataset": "staples"}, 400),  # missing sql
+            ("/v2/jobs", {"kind": "explode", "dataset": "staples"}, 400),
+            ("/v2/jobs", {"kind": "query", "dataset": "ghost", "sql": SQL}, 404),
+            ("/v2/batch", {"requests": [{"kind": "explode"}]}, 400),
+            ("/v2/batch", {"requests": {"kind": "query"}}, 400),  # not a list
+        ]
+        for path, body, expected in cases:
+            (status_a, body_a), (status_b, body_b) = both(cluster, path, body)
+            assert status_a == status_b == expected, path
+            assert body_a == body_b, path
+
+    def test_catalog_is_byte_identical(self, cluster):
+        status_a, body_a = cluster.sharded.request_bytes("/v2/datasets")
+        status_b, body_b = cluster.direct.request_bytes("/v2/datasets")
+        assert status_a == status_b == 200
+        assert body_a == body_b
+
+    def test_health_is_byte_identical(self, cluster):
+        assert cluster.sharded.request_bytes("/health") == cluster.direct.request_bytes(
+            "/health"
+        )
+
+
+class TestBatches:
+    def test_v2_batch_spans_shards_with_identical_plan_and_results(self, cluster):
+        requests = [
+            {"kind": "query", "dataset": "staples", "sql": "SELECT Region, avg(Price) FROM t GROUP BY Region"},
+            {"kind": "query", "dataset": "staples2", "sql": "SELECT Region, avg(Price) FROM t GROUP BY Region"},
+            {"kind": "query", "dataset": "staples", "sql": "SELECT Region, avg(Price) FROM t GROUP BY Region"},
+            {"kind": "query", "dataset": "staples2", "sql": "SELECT Income, Region, avg(Price) FROM t GROUP BY Income, Region"},
+        ]
+        planned_sharded = cluster.sharded.batch_v2(requests)
+        planned_direct = cluster.direct.batch_v2(requests)
+        assert planned_sharded["plan"] == planned_direct["plan"]
+        assert planned_sharded["plan"]["deduplicated"] == 1
+        assert planned_sharded["plan"]["datasets"] == 2
+        for item_a, item_b in zip(planned_sharded["results"], planned_direct["results"]):
+            assert item_a["kind"] == item_b["kind"]
+            assert canonical_json_bytes(item_a["result"]) == canonical_json_bytes(
+                item_b["result"]
+            )
+
+    def test_v1_batch_keeps_the_pinned_duplicate_flags(self, cluster):
+        request = {
+            "kind": "query",
+            "dataset": "staples",
+            "sql": "SELECT Distance, avg(Price) FROM t GROUP BY Distance",
+        }
+        batch_sharded = cluster.sharded.batch([request, request])
+        batch_direct = cluster.direct.batch([request, request])
+        # The sequential v1 contract: the duplicate is a cache hit.
+        assert [item["cached"] for item in batch_sharded["results"]] == [False, True]
+        assert [item["cached"] for item in batch_direct["results"]] == [False, True]
+        for item_a, item_b in zip(batch_sharded["results"], batch_direct["results"]):
+            assert canonical_json_bytes(item_a["result"]) == canonical_json_bytes(
+                item_b["result"]
+            )
+
+    def test_v1_batch_error_aborts_with_identical_body(self, cluster):
+        requests = [
+            {"kind": "query", "dataset": "staples", "sql": SQL},
+            {"kind": "query", "dataset": "ghost", "sql": SQL},
+        ]
+        (status_a, body_a), (status_b, body_b) = both(
+            cluster, "/batch", {"requests": requests}
+        )
+        assert status_a == status_b == 404
+        assert body_a == body_b
+
+    def test_empty_v2_batch_is_byte_identical(self, cluster):
+        (status_a, body_a), (status_b, body_b) = both(
+            cluster, "/v2/batch", {"requests": []}
+        )
+        assert status_a == status_b == 200
+        assert body_a == body_b
+
+
+class TestJobs:
+    def test_job_result_matches_single_process_bytes(self, cluster):
+        spec = {
+            "kind": "query",
+            "dataset": "staples2",
+            "sql": "SELECT Region, Income, avg(Price) FROM t GROUP BY Region, Income",
+        }
+        accepted = cluster.sharded.submit(spec)
+        assert "." in accepted["job_id"]  # namespaced <shard>.<local id>
+        finished = cluster.sharded.wait(accepted["job_id"], timeout=120)
+        assert finished["job"]["id"] == accepted["job_id"]
+        sync = cluster.direct.submit_and_wait(spec)
+        assert canonical_json_bytes(finished["result"]) == canonical_json_bytes(
+            sync["result"]
+        )
+
+    def test_job_listing_is_namespaced_and_filtered(self, cluster):
+        spec = {
+            "kind": "query",
+            "dataset": "staples",
+            "sql": "SELECT Distance, Income, avg(Price) FROM t GROUP BY Distance, Income",
+        }
+        accepted = cluster.sharded.submit(spec)
+        cluster.sharded.wait(accepted["job_id"], timeout=120)
+        listing = cluster.sharded.jobs(dataset="staples")
+        shard_names = {backend.name for backend in cluster.supervisor.backends}
+        assert accepted["job_id"] in [job["id"] for job in listing["jobs"]]
+        for job in listing["jobs"]:
+            shard, _, local = job["id"].partition(".")
+            assert shard in shard_names and local.startswith("j")
+            assert job["dataset"] == "staples"
+
+    def test_unknown_and_unroutable_job_ids_are_404(self, cluster):
+        for job_id in ("zz.j00000001", "no-dot-id", "s0.j99999999"):
+            with pytest.raises(ServiceError) as excinfo:
+                cluster.sharded.job(job_id)
+            assert excinfo.value.status == 404
+            assert job_id in excinfo.value.message
+
+    def test_long_poll_routes_through_the_router(self, cluster):
+        spec = {
+            "kind": "discover",
+            "dataset": "staples",
+            "treatment": "Region",
+            "outcome": "Price",
+            "test": "chi2",
+        }
+        accepted = cluster.sharded.submit(spec)
+        response = cluster.sharded.job(accepted["job_id"], wait=30)
+        assert response["job"]["status"] == "done"
+
+
+class TestWarmRouting:
+    def test_duplicates_route_to_the_holding_shard(self, cluster):
+        router = cluster.router
+        body = {
+            "dataset": "staples2",
+            "sql": "SELECT Distance, avg(Price) FROM t GROUP BY Distance",
+        }
+        cold = cluster.sharded.query(**body)
+        assert cold["cached"] is False
+        with router._lock:
+            warm_before = router._warm_hits
+        repeats = 10
+        for _ in range(repeats):
+            assert cluster.sharded.query(**body)["cached"] is True
+        with router._lock:
+            warm_hits = router._warm_hits - warm_before
+        # The acceptance bar: >= 90% of duplicates route via the warm-key
+        # map to the shard already holding the bytes.
+        assert warm_hits >= 0.9 * repeats
+
+    def test_router_stats_expose_the_routing_counters(self, cluster):
+        stats = cluster.sharded.stats()
+        router_stats = stats["router"]
+        assert router_stats["shards"] == 2
+        assert sorted(router_stats["live_shards"]) == ["s0", "s1"]
+        assert router_stats["requests"] > 0
+        assert router_stats["warm_hits"] > 0
+        assert router_stats["datasets"] >= 2
+        assert set(stats["shards"]) == {"s0", "s1"}
+        for shard_stats in stats["shards"].values():
+            assert shard_stats["requests"] >= 0
+
+    def test_v1_requests_counted_at_the_router(self, cluster):
+        base = cluster.sharded.stats()["router"]["v1_requests"]
+        cluster.sharded.query("staples", SQL)
+        assert cluster.sharded.stats()["router"]["v1_requests"] == base + 1
+
+    def test_deprecation_headers_survive_the_router(self, cluster):
+        import http.client
+        import urllib.parse
+
+        parts = urllib.parse.urlsplit(cluster.sharded.base_url)
+        connection = http.client.HTTPConnection(parts.hostname, parts.port, timeout=30)
+        try:
+            connection.request(
+                "POST",
+                "/query",
+                body=json.dumps({"dataset": "staples", "sql": SQL}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            headers = dict(response.getheaders())
+            response.read()
+            assert headers["Deprecation"] == "true"
+            assert headers["Link"] == '</v2/jobs>; rel="successor-version"'
+        finally:
+            connection.close()

@@ -1,0 +1,202 @@
+"""Tests for the v2 API facelift: long-poll job reads, the dataset
+catalog, and the deprecation-tagged v1 surface."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+import urllib.parse
+
+import pytest
+
+from repro.datasets import staples_data
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.core import AnalysisService
+from repro.service.http import MAX_JOB_WAIT_SECONDS, make_server, parse_wait_seconds
+from repro.service.spec import QuerySpec
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+
+
+@pytest.fixture(scope="module")
+def columns():
+    table = staples_data(n_rows=500, seed=11)
+    return {name: table.column(name) for name in table.columns}
+
+
+@pytest.fixture
+def served(columns):
+    service = AnalysisService()
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    client.register("staples", columns=columns)
+    yield client, service
+    server.shutdown()
+    server.server_close()
+    service.close()
+    thread.join(timeout=5)
+
+
+def raw_request(client, method, path, body=None):
+    """One raw request returning (status, headers, body) for header checks."""
+    parts = urllib.parse.urlsplit(client.base_url)
+    connection = http.client.HTTPConnection(parts.hostname, parts.port, timeout=30)
+    try:
+        connection.request(
+            method,
+            path,
+            body=None if body is None else json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"} if body is not None else {},
+        )
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+class TestLongPoll:
+    def test_wait_for_blocks_until_the_job_turns_terminal(self):
+        """A long-poll waiter wakes on the terminal transition, not by
+        polling: it must block while the job runs and return promptly
+        (well before its own deadline) once the job finishes."""
+        service = AnalysisService()
+        service.register("d", columns={"a": [1, 2, 1, 2], "b": [3.0, 4.0, 5.0, 6.0]})
+        gate = threading.Event()
+        real_execute = service.execute
+
+        def gated_execute(spec):
+            gate.wait(30)
+            return real_execute(spec)
+
+        service.execute = gated_execute
+        try:
+            manager = service.job_manager
+            job = manager.submit(QuerySpec(dataset="d", sql="SELECT a, avg(b) FROM d GROUP BY a"))
+            # Bounded wait while the worker is gated: returns unfinished.
+            assert not manager.wait_for(job.id, 0.05).finished()
+            start = time.monotonic()
+            threading.Timer(0.3, gate.set).start()
+            finished = manager.wait_for(job.id, 30.0)
+            elapsed = time.monotonic() - start
+            assert finished.finished()
+            assert 0.25 <= elapsed < 10.0  # woken by notify, not the deadline
+        finally:
+            gate.set()
+            service.close()
+
+    def test_http_wait_returns_the_finished_job_in_one_request(self, served):
+        client, _ = served
+        accepted = client.submit(
+            {"kind": "query", "dataset": "staples", "sql": SQL}
+        )
+        response = client.job(accepted["job_id"], wait=30)
+        assert response["job"]["status"] == "done"
+        assert response["result"]["rows"]
+
+    def test_malformed_wait_is_400(self, served):
+        client, _ = served
+        accepted = client.submit({"kind": "query", "dataset": "staples", "sql": SQL})
+        with pytest.raises(ServiceError) as excinfo:
+            client._get(f"/v2/jobs/{accepted['job_id']}?wait=forever")
+        assert excinfo.value.status == 400
+        assert "wait" in excinfo.value.message
+
+    def test_wait_seconds_parsing_clamps_and_validates(self):
+        assert parse_wait_seconds("wait=5") == 5.0
+        assert parse_wait_seconds("") == 0.0
+        assert parse_wait_seconds("wait=-3") == 0.0
+        assert parse_wait_seconds("wait=1e9") == MAX_JOB_WAIT_SECONDS
+        with pytest.raises(ValueError, match="wait"):
+            parse_wait_seconds("wait=soon")
+
+    def test_client_wait_uses_long_poll_rounds(self, served):
+        client, _ = served
+        finished = client.submit_and_wait(
+            {"kind": "query", "dataset": "staples", "sql": SQL}
+        )
+        assert finished["job"]["status"] == "done"
+
+
+class TestDatasetCatalog:
+    def test_catalog_lists_fingerprint_columns_and_rows(self, served):
+        client, _ = served
+        summary = client.register("tiny", columns={"x": [1, 2], "y": [3.0, 4.0]})["result"]
+        catalog = client.datasets()
+        assert set(catalog) == {"staples", "tiny"}
+        assert catalog["tiny"] == {
+            "fingerprint": summary["fingerprint"],
+            "columns": ["x", "y"],
+            "n_rows": 2,
+        }
+        assert catalog["staples"]["n_rows"] == 500
+
+    def test_content_identical_names_share_a_fingerprint(self, served):
+        client, _ = served
+        client.register("twin", columns={"x": [1, 2], "y": [3.0, 4.0]})
+        client.register("tiny", columns={"x": [1, 2], "y": [3.0, 4.0]})
+        catalog = client.datasets()
+        assert catalog["twin"]["fingerprint"] == catalog["tiny"]["fingerprint"]
+
+    def test_empty_catalog(self):
+        service = AnalysisService()
+        try:
+            server = make_server(service)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            host, port = server.server_address[:2]
+            client = ServiceClient(f"http://{host}:{port}")
+            assert client.datasets() == {}
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        finally:
+            service.close()
+
+
+class TestV1Deprecation:
+    def test_v1_reads_carry_deprecation_and_successor_headers(self, served):
+        client, _ = served
+        status, headers, _ = raw_request(
+            client, "POST", "/query", {"dataset": "staples", "sql": SQL}
+        )
+        assert status == 200
+        assert headers["Deprecation"] == "true"
+        assert headers["Link"] == '</v2/jobs>; rel="successor-version"'
+
+    def test_v1_batch_links_to_the_v2_planner(self, served):
+        client, _ = served
+        status, headers, _ = raw_request(
+            client,
+            "POST",
+            "/batch",
+            {"requests": [{"kind": "query", "dataset": "staples", "sql": SQL}]},
+        )
+        assert status == 200
+        assert headers["Deprecation"] == "true"
+        assert headers["Link"] == '</v2/batch>; rel="successor-version"'
+
+    def test_v2_and_infrastructure_endpoints_are_untagged(self, served):
+        client, _ = served
+        for method, path, body in (
+            ("POST", "/v2/batch", {"requests": []}),
+            ("POST", "/register", {"name": "h", "columns": {"x": [1]}}),
+            ("GET", "/stats", None),
+            ("GET", "/health", None),
+        ):
+            status, headers, _ = raw_request(client, method, path, body)
+            assert status == 200
+            assert "Deprecation" not in headers, path
+
+    def test_stats_count_only_v1_requests(self, served):
+        client, _ = served
+        base = client.stats()["v1_requests"]
+        client.query("staples", SQL)  # v1
+        client.batch([{"kind": "query", "dataset": "staples", "sql": SQL}])  # v1
+        client.submit_and_wait({"kind": "query", "dataset": "staples", "sql": SQL})  # v2
+        client.batch_v2([{"kind": "query", "dataset": "staples", "sql": SQL}])  # v2
+        assert client.stats()["v1_requests"] == base + 2

@@ -155,6 +155,38 @@ class TestServeCommand:
         service = captured["server"].service
         assert service.registry.names() == ["staples"]
 
+    def test_serve_sharded_registers_through_the_router(self, staples_csv, capsys):
+        """``serve --shards N`` spawns workers, routes --csv registrations
+        through the router, and tears the fleet down on exit."""
+        import json
+
+        import repro.service.shard.router as router_module
+        from repro.cli import _run_serve, build_parser
+        from repro.engine import SerialEngine
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--shards", "2", "--csv", f"staples={staples_csv}"]
+        )
+        captured = {}
+        original = router_module.RouterHTTPServer.serve_forever
+
+        def fake_serve_forever(self, poll_interval=0.5):
+            router = self.router
+            captured["datasets"] = json.loads(router.handle_datasets()[1])["datasets"]
+            captured["live"] = router.describe()["live"]
+
+        router_module.RouterHTTPServer.serve_forever = fake_serve_forever
+        try:
+            code = _run_serve(args, SerialEngine())
+        finally:
+            router_module.RouterHTTPServer.serve_forever = original
+        assert code == 0
+        assert list(captured["datasets"]) == ["staples"]
+        assert captured["live"] == ["s0", "s1"]
+        out = capsys.readouterr().out
+        assert "shard router listening" in out
+        assert "registered staples" in out
+
 
 class TestSubmitCommand:
     @pytest.fixture
