@@ -2,7 +2,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: ci test fast slow cov lint bench gate regen-baseline serve serve-sharded
+.PHONY: ci test fast slow cov lint docstrings bench gate regen-baseline serve serve-sharded
 
 ci:
 	bash scripts/ci.sh
@@ -25,13 +25,18 @@ cov:
 lint:
 	ruff check src tests benchmarks scripts
 
+# Public service/engine definitions must carry docstrings (stdlib gate).
+docstrings:
+	python scripts/check_docstrings.py
+
 bench:
 	REPRO_BENCH_SCALE=$(or $(REPRO_BENCH_SCALE),0.25) \
 		python -m pytest -q \
 			benchmarks/bench_engine_scaling.py \
 			benchmarks/bench_service_throughput.py \
 			benchmarks/bench_dataset_plane.py \
-			benchmarks/bench_shard_scaling.py
+			benchmarks/bench_shard_scaling.py \
+			benchmarks/bench_replication.py
 
 gate:
 	python scripts/check_bench_regression.py
@@ -44,6 +49,7 @@ regen-baseline: bench
 	   benchmarks/results/BENCH_service.json \
 	   benchmarks/results/BENCH_kernels.json \
 	   benchmarks/results/BENCH_shard.json \
+	   benchmarks/results/BENCH_replication.json \
 	   benchmarks/baselines/
 	@echo "baselines updated; commit benchmarks/baselines/*.json"
 

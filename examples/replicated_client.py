@@ -1,0 +1,148 @@
+"""Replicated deployment walkthrough: K=2 fan-out, read balancing, failover.
+
+Starts the topology ``hypdb serve --shards 3 --replicas 2`` runs -- a
+router over three shard worker processes keeping TWO copies of every
+dataset -- registers a synthetic staples table, and then:
+
+1. shows the registration fanning out to the ring owner plus its
+   distinct ring successor (the ``/v2/datasets`` catalog reports the
+   live placement) and that answers through the router are
+   byte-identical to a single-process control;
+2. fires a stream of duplicate reads and shows BOTH replicas serving
+   them (the router round-robins warm reads across live replicas, so a
+   hot dataset's read throughput scales with K);
+3. kills the owning shard and shows the surviving replica answering the
+   very next request from its warm cache -- zero recompute, no cold
+   re-registration window -- before the router re-replicates in the
+   background to restore K=2.
+
+Run with::
+
+    PYTHONPATH=src python examples/replicated_client.py
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.report import canonical_json_bytes
+from repro.datasets import staples_data
+from repro.service.client import ServiceClient
+from repro.service.core import AnalysisService
+from repro.service.http import make_server
+from repro.service.shard import ShardRouter, ShardSupervisor, make_router_server
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+
+
+def columns_for(seed: int) -> dict:
+    table = staples_data(n_rows=2000, seed=seed)
+    return {name: table.column(name) for name in table.columns}
+
+
+def main() -> None:
+    # -- the replicated topology (`hypdb serve --shards 3 --replicas 2`) -
+    supervisor = ShardSupervisor(shards=3, start_timeout=120.0)
+    router = ShardRouter(supervisor.start(), replicas=2)
+    router_server = make_router_server(router)
+    threading.Thread(target=router_server.serve_forever, daemon=True).start()
+    sharded = ServiceClient("http://127.0.0.1:%d" % router_server.server_address[1])
+
+    # -- a single-process control, to prove byte identity ---------------
+    service = AnalysisService()
+    control_server = make_server(service)
+    threading.Thread(target=control_server.serve_forever, daemon=True).start()
+    control = ServiceClient("http://127.0.0.1:%d" % control_server.server_address[1])
+
+    try:
+        cols = columns_for(seed=7)
+        sharded.register("staples", columns=cols)
+        control.register("staples", columns=cols)
+
+        # -- 1. K=2 fan-out + byte identity -----------------------------
+        placement = sharded.replicas("staples")
+        assert len(placement) == 2, placement
+        print(f"shards: {router.describe()['shards']}")
+        print(f"replicated placement (owner first): {placement}")
+        baseline = canonical_json_bytes(control.query("staples", SQL)["result"])
+        via_router = canonical_json_bytes(sharded.query("staples", SQL)["result"])
+        assert via_router == baseline, "replication changed the answer!"
+        print("router answers == single-process answers (byte-identical)")
+
+        # -- 2. warm reads served by both replicas ----------------------
+        before = {
+            shard: sharded.stats()["shards"][shard]["requests"]
+            for shard in placement
+        }
+        reads = 10
+        for _ in range(reads):
+            response = sharded.query("staples", SQL)
+            assert canonical_json_bytes(response["result"]) == baseline
+        served = {
+            shard: sharded.stats()["shards"][shard]["requests"] - before[shard]
+            for shard in placement
+        }
+        assert all(count > 0 for count in served.values()), served
+        print(f"{reads} duplicate reads round-robined across replicas: {served}")
+
+        # -- 3. kill the owner: warm failover, zero recompute -----------
+        # Warm an /analyze on both replicas first: unlike /query it runs
+        # the counting kernels, so "no new kernel passes after the kill"
+        # is a real zero-recompute check, not a vacuous 0 -> 0.
+        analyze = {"treatment": "Income", "test": "chi2"}
+        analyze_baseline = canonical_json_bytes(
+            control.analyze("staples", SQL, **analyze)["result"]
+        )
+        for _ in range(3):
+            sharded.analyze("staples", SQL, **analyze)
+        owner, survivor = placement
+        kernels_before = sharded.stats()["shards"][survivor]["kernel_counters"][
+            "total"
+        ]
+        assert kernels_before > 0, "both replicas should have analyzed by now"
+        supervisor.kill(owner)
+        router.mark_dead(router._backends[owner])
+        print(f"killed {owner} (owner of staples)")
+
+        # Three reads: every one must be byte-identical, and the warm
+        # replica serves from cache (a read may also land on a freshly
+        # re-replicated third copy, which computes cold exactly once --
+        # same bytes -- so only the flags can differ, never the answer).
+        responses = [sharded.query("staples", SQL) for _ in range(3)]
+        for response in responses:
+            assert canonical_json_bytes(response["result"]) == baseline
+        assert any(response["cached"] for response in responses), (
+            "the surviving replica should answer from its warm cache"
+        )
+        analyzed = sharded.analyze("staples", SQL, **analyze)
+        assert canonical_json_bytes(analyzed["result"]) == analyze_baseline
+        kernels_after = sharded.stats()["shards"][survivor]["kernel_counters"][
+            "total"
+        ]
+        assert kernels_after == kernels_before, "failover must not recompute"
+        print(f"requests after the kill answered by the surviving replica "
+              f"{survivor} without recompute (kernel passes unchanged: "
+              f"{kernels_before} -> {kernels_after})")
+
+        # -- background re-replication restores K=2 ---------------------
+        record = router._registrations["staples"]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and len(record.locations) < 2:
+            time.sleep(0.1)
+        stats = sharded.stats()["router"]
+        print(f"placement restored to {list(record.locations)} "
+              f"(rereplications={stats['rereplications']}, "
+              f"live={stats['live_shards']})")
+        assert len(record.locations) == 2
+    finally:
+        router_server.shutdown()
+        router_server.server_close()
+        control_server.shutdown()
+        control_server.server_close()
+        service.close()
+        supervisor.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the service and engine layers.
+
+Walks ``src/repro/service/`` and ``src/repro/engine/`` with ``ast`` and
+fails (exit 1) listing every *public* module, class, function, or method
+that lacks a docstring.  Public means: a name without a leading
+underscore (dunders are therefore exempt -- ``__init__`` is documented
+by its class's Parameters section), reachable through public names (the
+members of a private class are not), and not nested inside a function.
+
+This is deliberately a tiny stdlib script rather than a linter plugin:
+the repo's ruff config enforces only correctness rules, CI must not
+depend on optional tool installs, and the scope (two packages whose
+docstrings double as the API reference behind ``docs/``) stays explicit
+here.  Run directly or via ``scripts/ci.sh`` / ``make ci``::
+
+    python scripts/check_docstrings.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKED_TREES = ("src/repro/service", "src/repro/engine")
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _missing_in_node(node: ast.AST, qualifier: str) -> list[str]:
+    """Recursively collect public defs under ``node`` missing docstrings."""
+    missing: list[str] = []
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, ast.ClassDef):
+            if _is_public(child.name):
+                if not ast.get_docstring(child):
+                    missing.append(f"{qualifier}{child.name} (class)")
+                # Members of private classes are unreachable through
+                # public names: only public classes are walked.
+                missing.extend(_missing_in_node(child, f"{qualifier}{child.name}."))
+        elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_public(child.name) and not ast.get_docstring(child):
+                missing.append(f"{qualifier}{child.name}()")
+            # Nested defs (closures, local helpers) are implementation
+            # detail whatever their name: recursion stops here.
+    return missing
+
+
+def check_file(path: Path) -> list[str]:
+    """Every public definition in ``path`` missing a docstring."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    relative = path.relative_to(REPO_ROOT)
+    missing = []
+    if not ast.get_docstring(tree):
+        missing.append(f"{relative}: module docstring")
+    missing.extend(
+        f"{relative}: {entry}" for entry in _missing_in_node(tree, qualifier="")
+    )
+    return missing
+
+
+def main() -> int:
+    """Entry point: walk the checked trees, report, exit non-zero on gaps."""
+    missing: list[str] = []
+    checked = 0
+    for tree in CHECKED_TREES:
+        for path in sorted((REPO_ROOT / tree).rglob("*.py")):
+            checked += 1
+            missing.extend(check_file(path))
+    if missing:
+        print(f"{len(missing)} public definition(s) missing docstrings:")
+        for entry in missing:
+            print(f"  {entry}")
+        return 1
+    print(f"docstring coverage OK: {checked} files, no public gaps")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

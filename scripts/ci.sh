@@ -19,6 +19,9 @@ else
     echo "ruff not installed; skipping lint (CI runs it -- 'pip install ruff' to match)"
 fi
 
+echo "== docstring coverage: public service + engine definitions =="
+python scripts/check_docstrings.py
+
 echo "== fast lane: tier-1 tests, no slow markers (coverage-gated) =="
 if python -c "import pytest_cov" >/dev/null 2>&1; then
     python -m pytest -x -q -m "not slow" --durations=10 \
@@ -35,13 +38,17 @@ python -m pytest -q -m slow
 echo "== sharded smoke: router + shards, byte identity + failover example =="
 python examples/sharded_client.py
 
-echo "== smoke benchmarks: engine scaling + service + dataset plane + shards =="
+echo "== replicated smoke: K=2 fan-out, read balancing, zero-recompute failover =="
+python examples/replicated_client.py
+
+echo "== smoke benchmarks: engine scaling + service + dataset plane + shards + replication =="
 REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-0.25}" \
     python -m pytest -q \
         benchmarks/bench_engine_scaling.py \
         benchmarks/bench_service_throughput.py \
         benchmarks/bench_dataset_plane.py \
-        benchmarks/bench_shard_scaling.py
+        benchmarks/bench_shard_scaling.py \
+        benchmarks/bench_replication.py
 
 echo "== benchmark regression gate =="
 python scripts/check_bench_regression.py

@@ -122,6 +122,16 @@ def build_parser() -> argparse.ArgumentParser:
         "router (0 = single process; responses are byte-identical "
         "either way)",
     )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="K",
+        help="with --shards: keep K copies of each dataset (ring owner "
+        "plus K-1 distinct successors); warm reads load-balance across "
+        "replicas and shard deaths fail over without recompute "
+        "(1 = unreplicated, byte-identical to earlier behavior)",
+    )
     _add_jobs(serve)
 
     submit = subparsers.add_parser(
@@ -288,6 +298,8 @@ def _run_submit(args: argparse.Namespace) -> int:
 def _run_serve(args: argparse.Namespace, engine) -> int:
     if args.shards:
         return _run_serve_sharded(args)
+    if args.replicas != 1:
+        raise ValueError("--replicas requires --shards")
     service = AnalysisService(
         engine=engine,
         max_cache_entries=args.cache_entries,
@@ -324,12 +336,17 @@ def _run_serve_sharded(args: argparse.Namespace) -> int:
     workers of its own -- core use multiplies across shards); the router
     owns the public port and routes by dataset fingerprint.  ``--csv``
     preregistrations go *through the router* so it records ownership for
-    warm routing and failover.
+    warm routing and failover.  ``--replicas K`` keeps K copies of each
+    dataset for read scaling and recompute-free failover.
     """
     import json
 
     from repro.service.shard import ShardRouter, ShardSupervisor, make_router_server
 
+    if not 1 <= args.replicas <= args.shards:
+        raise ValueError(
+            f"--replicas must be between 1 and --shards, got {args.replicas}"
+        )
     supervisor = ShardSupervisor(
         shards=args.shards,
         jobs=args.jobs,
@@ -340,7 +357,7 @@ def _run_serve_sharded(args: argparse.Namespace) -> int:
     )
     try:
         backends = supervisor.start()
-        router = ShardRouter(backends)
+        router = ShardRouter(backends, replicas=args.replicas)
         for spec in args.csv:
             name, separator, path = spec.partition("=")
             if not separator or not name or not path:
@@ -352,14 +369,16 @@ def _run_serve_sharded(args: argparse.Namespace) -> int:
                     f"cannot register {name}: {json.loads(payload).get('error')}"
                 )
             summary = json.loads(payload)["result"]
+            placement = ",".join(router._registrations[name].locations)
             print(f"registered {name}: {summary['n_rows']} rows, "
                   f"fingerprint {summary['fingerprint'][:12]}... "
-                  f"-> {router._registrations[name].location}")
+                  f"-> {placement}")
         supervisor.watch(router.mark_dead)
         server = make_router_server(router, host=args.host, port=args.port)
         server.verbose = args.verbose
         host, port = server.server_address[:2]
-        print(f"hypdb shard router listening on http://{host}:{port}")
+        print(f"hypdb shard router listening on http://{host}:{port} "
+              f"(replicas={args.replicas})")
         for shard_name, url in router.describe()["shards"].items():
             print(f"  shard {shard_name}: {url}")
         print("endpoints: GET /health /stats /v2/datasets /v2/jobs[/<id>]; "

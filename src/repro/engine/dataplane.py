@@ -93,6 +93,7 @@ class PlaneStats:
     grouped_segments: int = 0
 
     def reset(self) -> None:
+        """Zero every counter (test isolation between cases)."""
         self.table_publications = 0
         self.table_republications = 0
         self.table_segments = 0

@@ -112,6 +112,7 @@ class ParallelEngine(ExecutionEngine):
 
     @property
     def jobs(self) -> int:
+        """Worker process count this engine was sized for."""
         return self._jobs
 
     # ------------------------------------------------------------------
@@ -138,6 +139,7 @@ class ParallelEngine(ExecutionEngine):
             return ref
 
     def release(self, handle) -> None:
+        """Drop one reference to a published table (no-op for inlines)."""
         if not isinstance(handle, dataplane.TableRef):
             return
         with self._lock:
@@ -219,6 +221,7 @@ class ParallelEngine(ExecutionEngine):
             return ref
 
     def release_grouped(self, handle) -> None:
+        """Drop one reference to a published grouped tensor (no-op for inlines)."""
         if not isinstance(handle, dataplane.GroupedRef):
             return
         with self._lock:
@@ -250,6 +253,11 @@ class ParallelEngine(ExecutionEngine):
         tasks: Sequence,
         chunk_size: int | None = None,
     ) -> list:
+        """Apply ``fn`` to ``tasks`` across the pool, order-preserving.
+
+        Small task lists (below the parallel-dispatch floor) run inline;
+        results are identical to the serial engine either way.
+        """
         tasks = list(tasks)
         if not tasks:
             return []
@@ -268,6 +276,7 @@ class ParallelEngine(ExecutionEngine):
             self._release_executor()
 
     def close(self) -> None:
+        """Shut the pool down and release every leaked publication."""
         with self._lock:
             pool = self._pool
             self._pool = None

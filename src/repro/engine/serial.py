@@ -23,4 +23,5 @@ class SerialEngine(ExecutionEngine):
         tasks: Sequence,
         chunk_size: int | None = None,
     ) -> list:
+        """Apply ``fn`` to ``tasks`` in order, inline."""
         return [fn(task) for task in tasks]

@@ -43,14 +43,17 @@ class CacheStats:
 
     @property
     def hits(self) -> int:
+        """Total hits across both levels (memory + disk)."""
         return self.memory_hits + self.disk_hits
 
     @property
     def hit_ratio(self) -> float:
+        """Hits over all lookups (0.0 before any lookup)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def as_dict(self) -> dict[str, float]:
+        """JSON-ready counter snapshot (``/stats`` endpoint)."""
         return {
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
@@ -194,15 +197,19 @@ class ResultCache:
 
 
 class WarmKeyMap:
-    """Bounded, thread-safe request-key -> location map (router tier).
+    """Bounded, thread-safe request-key -> holder-locations map (router tier).
 
-    The shard router records which shard served each request key
-    (populated from shard responses, so an entry means "this shard holds
+    The shard router records which shard(s) served each request key
+    (populated from shard responses, so an entry means "these shards hold
     -- or just computed -- these bytes").  Lookups steer duplicate
-    requests to the holder; :meth:`drop_location` purges every entry of
-    a dead shard so failover never routes to a corpse.  Entries are ~100
-    B (two short strings); the LRU bound only exists so an unbounded
-    stream of distinct keys cannot grow the router without limit.
+    requests to a holder; with dataset replication several replicas can
+    hold the same key, so an entry is an ordered tuple of locations
+    (first recorder first) and :meth:`holders` exposes all of them for
+    the router's read balancing.  :meth:`drop_location` purges a dead
+    shard from every entry so failover never routes to a corpse.
+    Entries are ~100 B (short strings); the LRU bound only exists so an
+    unbounded stream of distinct keys cannot grow the router without
+    limit.
     """
 
     def __init__(self, max_entries: int = 131072) -> None:
@@ -210,31 +217,62 @@ class WarmKeyMap:
             raise ValueError("max_entries must be >= 1")
         self._max_entries = max_entries
         self._lock = threading.Lock()
-        self._entries: OrderedDict[str, str] = OrderedDict()
+        self._entries: OrderedDict[str, tuple[str, ...]] = OrderedDict()
 
     def get(self, key: str) -> str | None:
-        """The location that holds ``key``'s bytes, or ``None``."""
+        """The first-recorded location holding ``key``'s bytes, or ``None``."""
         with self._lock:
-            location = self._entries.get(key)
-            if location is not None:
-                self._entries.move_to_end(key)
-            return location
+            locations = self._entries.get(key)
+            if locations is None:
+                return None
+            self._entries.move_to_end(key)
+            return locations[0]
+
+    def holders(self, key: str) -> tuple[str, ...]:
+        """Every location recorded as holding ``key``'s bytes."""
+        with self._lock:
+            locations = self._entries.get(key)
+            if locations is None:
+                return ()
+            self._entries.move_to_end(key)
+            return locations
 
     def record(self, key: str, location: str) -> None:
         """Remember that ``location`` holds the bytes for ``key``."""
         with self._lock:
-            self._entries[key] = location
+            locations = self._entries.get(key, ())
+            if location not in locations:
+                locations = (*locations, location)
+            self._entries[key] = locations
             self._entries.move_to_end(key)
             while len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
 
     def drop_location(self, location: str) -> int:
-        """Purge every key held by ``location``; returns how many."""
+        """Purge ``location`` from every entry; returns how many changed.
+
+        Entries whose only holder was ``location`` are deleted; entries
+        with surviving replicas just shrink (duplicates keep routing to
+        the remaining holders -- the replicated-failover warm path).
+        """
         with self._lock:
-            stale = [k for k, where in self._entries.items() if where == location]
-            for key in stale:
-                del self._entries[key]
-            return len(stale)
+            changed = 0
+            for key in list(self._entries):
+                locations = self._entries[key]
+                if location not in locations:
+                    continue
+                changed += 1
+                remaining = tuple(where for where in locations if where != location)
+                if remaining:
+                    self._entries[key] = remaining
+                else:
+                    del self._entries[key]
+            return changed
+
+    def locations(self) -> set[str]:
+        """Every distinct location referenced by some entry (test hook)."""
+        with self._lock:
+            return {where for entry in self._entries.values() for where in entry}
 
     def __len__(self) -> int:
         with self._lock:

@@ -109,9 +109,11 @@ class ServiceClient:
     # -- endpoints -----------------------------------------------------
 
     def health(self) -> dict[str, Any]:
+        """``GET /health``: liveness probe (``{"status": "ok"}``)."""
         return self._get("/health")
 
     def stats(self) -> dict[str, Any]:
+        """``GET /stats``: service (or router + per-shard) counters."""
         return self._get("/stats")
 
     def register(self, name: str, **source: Any) -> dict[str, Any]:
@@ -120,12 +122,15 @@ class ServiceClient:
         return self._post("/register", {"name": name, **source})
 
     def analyze(self, dataset: str, sql: str, **params: Any) -> dict[str, Any]:
+        """``POST /analyze`` (v1): bias-aware analysis of one query."""
         return self._post("/analyze", {"dataset": dataset, "sql": sql, **params})
 
     def query(self, dataset: str, sql: str) -> dict[str, Any]:
+        """``POST /query`` (v1): plain group-by-average, no bias checks."""
         return self._post("/query", {"dataset": dataset, "sql": sql})
 
     def discover(self, dataset: str, treatment: str, **params: Any) -> dict[str, Any]:
+        """``POST /discover`` (v1): covariate discovery for a treatment."""
         return self._post(
             "/discover", {"dataset": dataset, "treatment": treatment, **params}
         )
@@ -133,17 +138,41 @@ class ServiceClient:
     def whatif(
         self, dataset: str, treatment: str, outcome: str, **params: Any
     ) -> dict[str, Any]:
+        """``POST /whatif`` (v1): counterfactual treatment/outcome query."""
         return self._post(
             "/whatif",
             {"dataset": dataset, "treatment": treatment, "outcome": outcome, **params},
         )
 
     def batch(self, requests: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+        """``POST /batch`` (v1, sequential); prefer :meth:`batch_v2`."""
         return self._post("/batch", {"requests": list(requests)})
 
     def datasets(self) -> dict[str, Any]:
-        """The dataset catalog: name -> ``{fingerprint, columns, n_rows}``."""
+        """The dataset catalog: name -> ``{fingerprint, columns, n_rows}``.
+
+        Against a replicated shard router (``--replicas K > 1``) each
+        entry additionally carries ``"replicas"``: the live shard names
+        holding the dataset, primary first.  Single-process services and
+        unreplicated routers omit the field (their catalogs are
+        byte-identical to each other).
+        """
         return self._get("/v2/datasets")["datasets"]
+
+    def dataset(self, name: str) -> dict[str, Any]:
+        """One catalog entry; raises :class:`ServiceError` when unknown."""
+        catalog = self.datasets()
+        if name not in catalog:
+            raise ServiceError(404, f"unknown dataset {name!r}")
+        return catalog[name]
+
+    def replicas(self, name: str) -> list[str]:
+        """Live shards holding ``name``, primary first.
+
+        Empty against deployments that do not replicate (single-process
+        services and ``K=1`` routers omit the ``replicas`` field).
+        """
+        return list(self.dataset(name).get("replicas", []))
 
     # -- v2: async jobs and planned batches ----------------------------
 

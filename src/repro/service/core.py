@@ -42,7 +42,7 @@ from repro.core.report import canonical_json_bytes, discovery_to_dict, json_valu
 from repro.engine import ExecutionEngine, resolve_engine
 from repro.engine.dataplane import PLANE_STATS
 from repro.relation.groupby import group_by_average
-from repro.relation.table import Table
+from repro.relation.table import KERNEL_COUNTERS, Table
 from repro.service.cache import ResultCache
 from repro.service.registry import DatasetEntry, DatasetRegistry
 from repro.service.spec import (
@@ -398,6 +398,14 @@ class AnalysisService:
             "result_cache": self.cache.describe(),
             "dataset_plane": PLANE_STATS.as_dict(),
             "job_manager": manager.stats() if manager is not None else None,
+            # Process-local counting-kernel passes: lets a cluster test
+            # assert "this shard answered warm" (counters unchanged)
+            # without reaching into a spawned process.
+            "kernel_counters": {
+                "joint_counts_scans": KERNEL_COUNTERS.joint_counts_scans,
+                "grouped_passes": KERNEL_COUNTERS.grouped_passes,
+                "total": KERNEL_COUNTERS.total(),
+            },
         }
 
     # ------------------------------------------------------------------

@@ -80,6 +80,7 @@ class Job:
         return self.primary if self.primary is not None else self
 
     def finished(self) -> bool:
+        """Whether the job reached a terminal state (done/failed)."""
         return self._effective().status in _TERMINAL
 
     def snapshot(self) -> dict[str, Any]:

@@ -87,6 +87,36 @@ class HashRing:
             index = 0
         return self._points[index][1]
 
+    def nodes_for(self, key: str, count: int) -> tuple[str, ...]:
+        """The owner of ``key`` plus its distinct ring successors.
+
+        Walks clockwise from the key's hash collecting the first
+        ``count`` *distinct* nodes (virtual points of a node already
+        collected are skipped), so ``nodes_for(key, 1) == (node_for(key),)``
+        and larger counts extend the same walk.  This is the replica
+        placement primitive: a dataset replicated to its K successors
+        stays reachable when its owner dies, because the post-removal
+        ring owner is by construction the next distinct successor --
+        i.e. always one of the surviving replicas.
+
+        Returns fewer than ``count`` nodes when the ring has fewer
+        members (the walk is exhausted, never an error).
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if not self._points:
+            raise RuntimeError("hash ring is empty: no live shards")
+        start = bisect_right(self._positions, _position(key))
+        n_points = len(self._points)
+        nodes: list[str] = []
+        for step in range(n_points):
+            node = self._points[(start + step) % n_points][1]
+            if node not in nodes:
+                nodes.append(node)
+                if len(nodes) == count:
+                    break
+        return tuple(nodes)
+
     # ------------------------------------------------------------------
 
     @property

@@ -22,13 +22,28 @@ Routing layers, in lookup order:
    resolve are forwarded to the first live shard verbatim, which
    produces the byte-identical error the single process would.
 
+Replication (``replicas=K``, default 1): ``/register`` bodies are
+replayed verbatim to the dataset's ring owner **and its K-1 distinct
+ring successors**, so K shards hold every dataset.  Cold reads still
+route to the owner (whose caches warm first), but *warm* reads --
+request keys the router has seen answered -- round-robin across the
+dataset's live replicas, so a hot dataset's read throughput scales with
+K instead of pinning one process.  A replica serving a key for the
+first time computes it cold (same bytes -- results are deterministic);
+from then on the key is warm there too.  ``K=1`` is byte-identical to
+the unreplicated router.
+
 Failover: when a shard stops answering, the router removes it from the
-ring, purges its warm keys, and re-registers its datasets on their
-successor ring nodes from the registration records it kept -- caches
-start cold there, but answers stay byte-identical.  Async jobs are
-process-local state and die with their shard (reads return 404); this
-mirrors the single-process contract, where jobs do not survive a
-restart.
+ring and purges its warm keys.  Datasets that still have live replicas
+keep answering *warm* from them -- no re-registration, no recompute
+window -- and the router re-replicates them onto the next distinct ring
+successors in the background to restore the K target.  Only a dataset
+whose every replica died is re-registered synchronously (inside the
+topology lock, so no request routes by a ring the replicas have not
+caught up to) on its successor, which recomputes cold -- the K=1
+behavior.  Async jobs are process-local state and die with their shard
+(reads return 404); this mirrors the single-process contract, where
+jobs do not survive a restart.
 
 Job ids are namespaced ``<shard>.<local id>`` (e.g. ``s0.j00000001``) so
 reads route straight to the owning shard without a lookup table.
@@ -72,6 +87,11 @@ class RegisteredDataset:
     successor shard: the verbatim registration body plus the catalog
     fields (``/v2/datasets`` is answered from these records, so the
     catalog survives shard deaths).
+
+    ``locations`` is the dataset's live placement, primary first.  Two
+    records for the same *content* (an alias registered under a second
+    name) share one placement list object, so failover pruning and
+    re-replication keep every alias consistent by construction.
     """
 
     name: str
@@ -79,7 +99,12 @@ class RegisteredDataset:
     columns: tuple[str, ...]
     n_rows: int
     body: bytes  # the verbatim /register request body
-    location: str  # shard currently holding the dataset
+    locations: list[str]  # live shards holding the dataset, primary first
+
+    @property
+    def location(self) -> str:
+        """The primary replica (cold reads route here)."""
+        return self.locations[0]
 
 
 class ShardRouter:
@@ -90,6 +115,12 @@ class ShardRouter:
     backends:
         The shard workers (usually from
         :meth:`~repro.service.shard.supervisor.ShardSupervisor.start`).
+    replicas:
+        Copies of each dataset to keep (``K``).  ``1`` (default) is the
+        unreplicated PR-6 behavior, byte-identical; ``K > 1`` replays
+        every register body to the ring owner plus its ``K-1`` distinct
+        ring successors and round-robins warm reads across them.  Capped
+        by the backend count.
     client_timeout:
         Socket timeout of the per-shard forwarding clients; generous, as
         cold analyses compute the full pipeline.
@@ -98,11 +129,18 @@ class ShardRouter:
     def __init__(
         self,
         backends: list[ShardBackend],
+        replicas: int = 1,
         client_timeout: float = 600.0,
         warm_map_entries: int = 131072,
     ) -> None:
         if not backends:
             raise ValueError("at least one shard backend is required")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if replicas > len(backends):
+            raise ValueError(
+                f"replicas must be <= the shard count, got {replicas} > {len(backends)}"
+            )
         self._backends = {backend.name: backend for backend in backends}
         if len(self._backends) != len(backends):
             raise ValueError("shard backend names must be unique")
@@ -110,9 +148,11 @@ class ShardRouter:
             backend.name: ServiceClient(backend.url, timeout=client_timeout)
             for backend in backends
         }
+        self.replicas = replicas
         self.ring = HashRing([backend.name for backend in backends])
         self.warm_keys = WarmKeyMap(max_entries=warm_map_entries)
         self._registrations: dict[str, RegisteredDataset] = {}
+        self._by_fingerprint: dict[str, RegisteredDataset] = {}
         # Reentrant: mark_dead() re-registers orphans under the lock and
         # may recurse when a successor is dead too.
         self._lock = threading.RLock()
@@ -121,6 +161,14 @@ class ShardRouter:
         self._warm_hits = 0
         self._v1_requests = 0
         self._failovers = 0
+        # Replication state: per-fingerprint round-robin cursors for warm
+        # read balancing, plus the background re-replication worker that
+        # restores the K target after a shard death.
+        self._read_cursors: dict[str, int] = {}
+        self._replica_reads = 0
+        self._rereplications = 0
+        self._restore_failed: set[tuple[str, str]] = set()
+        self._restore_thread: threading.Thread | None = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -131,10 +179,14 @@ class ShardRouter:
 
         Idempotent and thread-safe (the supervisor's watch thread and any
         request thread hitting a connection failure may race here).  The
-        dead shard's datasets are re-registered on their successor ring
-        nodes *while the topology lock is held*, so no request routes by
-        the new ring before the successors actually hold the data --
-        failover briefly blocks routing decisions, never correctness.
+        dead shard is pruned from every dataset's placement; a dataset
+        with surviving replicas keeps answering from them immediately (no
+        recompute window) and is topped back up to K by the background
+        re-replication worker.  Only a dataset whose *every* replica died
+        is re-registered on its successor ring node *while the topology
+        lock is held*, so no request routes by the new ring before the
+        successor actually holds the data -- failover briefly blocks
+        routing decisions, never correctness.
         """
         with self._lock:
             if backend.dead:
@@ -143,13 +195,23 @@ class ShardRouter:
             self.ring.remove(backend.name)
             self._failovers += 1
             self.warm_keys.drop_location(backend.name)
-            orphans = [
-                record
-                for record in self._registrations.values()
-                if record.location == backend.name
-            ]
-            for record in orphans:
-                self._reregister(record)
+            under_replicated = False
+            pruned: set[int] = set()  # placement lists are shared by aliases
+            for record in self._registrations.values():
+                if id(record.locations) in pruned:
+                    continue
+                pruned.add(id(record.locations))
+                if backend.name not in record.locations:
+                    continue
+                record.locations.remove(backend.name)
+                if not record.locations:
+                    # Total loss: synchronous in-lock re-registration (the
+                    # K=1 path) -- the successor recomputes cold.
+                    self._reregister(record)
+                if len(record.locations) < self.replicas:
+                    under_replicated = True
+            if under_replicated and len(self.ring):
+                self._start_restore_locked()
 
     def _reregister(self, record: RegisteredDataset) -> None:
         """Re-register one orphaned dataset on its ring successor (lock held)."""
@@ -166,8 +228,80 @@ class ShardRouter:
                 self.mark_dead(self._backends[successor])
                 continue
             if 200 <= status < 300:
-                record.location = successor
+                # In-place so alias records sharing this list follow along.
+                record.locations[:] = [successor]
             return
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+
+    def _replication_target_locked(self, record: RegisteredDataset) -> int:
+        """How many replicas ``record`` should have on the current ring."""
+        return min(self.replicas, len(self.ring))
+
+    def _start_restore_locked(self) -> None:
+        """Ensure the background re-replication worker is running (lock held)."""
+        if self.replicas < 2:
+            return
+        if self._restore_thread is not None and self._restore_thread.is_alive():
+            return
+        self._restore_thread = threading.Thread(
+            target=self._restore_loop, name="hypdb-router-rereplicate", daemon=True
+        )
+        self._restore_thread.start()
+
+    def _next_restore_locked(self) -> tuple[RegisteredDataset, str] | None:
+        """One (record, target) re-replication task, or ``None`` when done."""
+        if not len(self.ring):
+            return None
+        seen: set[int] = set()
+        for record in self._registrations.values():
+            if id(record.locations) in seen:
+                continue
+            seen.add(id(record.locations))
+            if len(record.locations) >= self._replication_target_locked(record):
+                continue
+            for node in self.ring.nodes_for(record.fingerprint, self.replicas):
+                if node in record.locations:
+                    continue
+                if (record.fingerprint, node) in self._restore_failed:
+                    continue
+                return record, node
+        return None
+
+    def _restore_loop(self) -> None:
+        """Re-replicate under-replicated datasets until the K target holds.
+
+        Runs on a daemon thread.  Each round picks one task under the
+        lock, replays the register body *outside* the lock (requests keep
+        flowing -- surviving replicas already answer correctly), then
+        publishes the new location under the lock.  Exits when no record
+        is under-replicated; a later death starts a fresh worker.
+        """
+        while True:
+            with self._lock:
+                task = self._next_restore_locked()
+            if task is None:
+                return
+            record, target = task
+            try:
+                status, _ = self._clients[target].request_bytes(
+                    "/register", record.body
+                )
+            except ServiceConnectionError:
+                self.mark_dead(self._backends[target])
+                continue
+            with self._lock:
+                if not (200 <= status < 300):
+                    # Deterministic rejection (the body registered before,
+                    # so this is exceptional): never retry the same pair,
+                    # or the worker would spin forever.
+                    self._restore_failed.add((record.fingerprint, target))
+                    continue
+                if not self._backends[target].dead and target not in record.locations:
+                    record.locations.append(target)
+                    self._rereplications += 1
 
     def _fallback_locked(self) -> str:
         """The first live shard (for requests the router cannot key)."""
@@ -176,16 +310,56 @@ class ShardRouter:
                 return name
         raise NoLiveShardsError("no live shards")
 
+    def _placement_locked(self, fingerprint: str | None) -> list[str] | None:
+        """The live placement for ``fingerprint``, primary first (lock held).
+
+        Registered content answers from its recorded placement (which
+        failover keeps live and background restore tops up); content the
+        router has not seen yet gets the ring plan: the owner plus its
+        ``K-1`` distinct successors.  ``None`` means the caller must fall
+        back to the first live shard.
+        """
+        if fingerprint is None:
+            return None
+        record = self._by_fingerprint.get(fingerprint)
+        if record is not None:
+            live = [
+                name for name in record.locations if not self._backends[name].dead
+            ]
+            if live:
+                return live
+        if len(self.ring):
+            return list(self.ring.nodes_for(fingerprint, self.replicas))
+        return None
+
     def _target_for(self, fingerprint: str | None, key: str | None) -> str:
-        """Pick the shard for one request: warm key, ring, then fallback."""
+        """Pick the shard for one request: warm key, placement, fallback.
+
+        Warm keys on replicated datasets round-robin across the live
+        replicas (the read-scaling path: a replica seeing the key for the
+        first time computes it cold once, byte-identically, and is warm
+        from then on).  With ``K=1`` a warm key routes straight to its
+        single holder and cold keys to the ring owner -- the PR-6 paths,
+        byte-identical.
+        """
         with self._lock:
+            placement = self._placement_locked(fingerprint)
             if key is not None:
-                location = self.warm_keys.get(key)
-                if location is not None and not self._backends[location].dead:
+                holders = [
+                    name
+                    for name in self.warm_keys.holders(key)
+                    if not self._backends[name].dead
+                ]
+                if holders:
                     self._warm_hits += 1
-                    return location
-            if fingerprint is not None and len(self.ring):
-                return self.ring.node_for(fingerprint)
+                    if placement is not None and len(placement) > 1:
+                        cursor = self._read_cursors.get(fingerprint, 0)
+                        self._read_cursors[fingerprint] = cursor + 1
+                        self._replica_reads += 1
+                        return placement[cursor % len(placement)]
+                    return holders[0]
+            if placement is not None:
+                return placement[0]
             return self._fallback_locked()
 
     def _forward_spec(
@@ -220,17 +394,26 @@ class ShardRouter:
 
         Byte-identical to a single process's catalog (same canonical
         serialization over the same fields) and available even while a
-        shard is down.
+        shard is down.  With ``replicas > 1`` each entry additionally
+        carries its live ``replicas`` placement (primary first) -- the
+        field is *omitted entirely* at ``K=1`` so the unreplicated
+        catalog stays byte-identical to a single process.
         """
         with self._lock:
-            datasets = {
-                record.name: {
+            datasets: dict[str, dict[str, object]] = {}
+            for record in self._registrations.values():
+                entry: dict[str, object] = {
                     "fingerprint": record.fingerprint,
                     "columns": list(record.columns),
                     "n_rows": record.n_rows,
                 }
-                for record in self._registrations.values()
-            }
+                if self.replicas > 1:
+                    entry["replicas"] = [
+                        name
+                        for name in record.locations
+                        if not self._backends[name].dead
+                    ]
+                datasets[record.name] = entry
         return 200, canonical_json_bytes({"status": "ok", "datasets": datasets})
 
     def handle_stats(self) -> tuple[int, bytes]:
@@ -259,6 +442,9 @@ class ShardRouter:
                 "failovers": self._failovers,
                 "warm_keys": len(self.warm_keys),
                 "datasets": len(self._registrations),
+                "replicas": self.replicas,
+                "replica_reads": self._replica_reads,
+                "rereplications": self._rereplications,
             }
         return 200, canonical_json_bytes({"router": router, "shards": shards})
 
@@ -271,6 +457,7 @@ class ShardRouter:
                 },
                 "live": sorted(self.ring.nodes),
                 "datasets": len(self._registrations),
+                "replicas": self.replicas,
             }
 
     # ------------------------------------------------------------------
@@ -278,12 +465,18 @@ class ShardRouter:
     # ------------------------------------------------------------------
 
     def handle_register(self, raw: bytes) -> tuple[int, bytes]:
-        """``POST /register``: fingerprint locally, forward to the owner.
+        """``POST /register``: fingerprint locally, fan out to K replicas.
 
         The router builds the table itself *only to fingerprint it* (the
         ring keys on content, and the owner must be chosen before any
         shard has seen the data); the verbatim body then goes to the ring
-        owner, whose response is spliced back untouched.  Bodies the
+        owner -- whose response is spliced back untouched -- and, with
+        ``replicas > 1``, is replayed verbatim to the owner's ``K-1``
+        distinct ring successors before the call returns, so the
+        placement is complete by the time the client can issue a read.
+        Content the router has already placed (an alias name for the same
+        bytes) replays to the *existing* placement instead, keeping every
+        name of a dataset answerable by the same replica set.  Bodies the
         router cannot parse are forwarded to the fallback shard, which
         produces the byte-identical error a single process would.
         """
@@ -303,26 +496,47 @@ class ShardRouter:
             fingerprint = None
         for _ in range(len(self._backends) + 1):
             with self._lock:
-                if fingerprint is not None and len(self.ring):
-                    owner = self.ring.node_for(fingerprint)
-                else:
-                    owner = self._fallback_locked()
+                placement = self._placement_locked(fingerprint)
+                if placement is None:
+                    placement = [self._fallback_locked()]
+            owner = placement[0]
             try:
                 status, payload = self._clients[owner].request_bytes("/register", raw)
             except ServiceConnectionError:
                 self.mark_dead(self._backends[owner])
                 continue
-            if 200 <= status < 300 and fingerprint is not None:
-                name = str(body.get("name", ""))
-                with self._lock:
-                    self._registrations[name] = RegisteredDataset(
-                        name=name,
-                        fingerprint=fingerprint,
-                        columns=tuple(table.columns),
-                        n_rows=table.n_rows,
-                        body=raw,
-                        location=owner,
+            if not (200 <= status < 300) or fingerprint is None:
+                return status, payload
+            locations = [owner]
+            for replica in placement[1:]:
+                try:
+                    replica_status, _ = self._clients[replica].request_bytes(
+                        "/register", raw
                     )
+                except ServiceConnectionError:
+                    self.mark_dead(self._backends[replica])
+                    continue
+                if 200 <= replica_status < 300:
+                    locations.append(replica)
+            name = str(body.get("name", ""))
+            with self._lock:
+                existing = self._by_fingerprint.get(fingerprint)
+                if existing is not None and any(
+                    not self._backends[where].dead for where in existing.locations
+                ):
+                    # Same content, new name: share the placement list so
+                    # failover and restore keep every alias in sync.
+                    locations = existing.locations
+                record = RegisteredDataset(
+                    name=name,
+                    fingerprint=fingerprint,
+                    columns=tuple(table.columns),
+                    n_rows=table.n_rows,
+                    body=raw,
+                    locations=locations,
+                )
+                self._registrations[name] = record
+                self._by_fingerprint[fingerprint] = record
             return status, payload
         raise NoLiveShardsError("no live shards")  # pragma: no cover - defensive
 
@@ -472,11 +686,15 @@ class ShardRouter:
     def handle_batch_v2(self, raw: bytes) -> tuple[int, bytes]:
         """``POST /v2/batch``: fan the plan out shard-parallel.
 
-        Specs are grouped by their fingerprint's ring owner and each
-        sub-batch runs through that shard's planner concurrently.  The
-        per-shard plan summaries sum to exactly the single-process plan
-        (request keys embed the fingerprint, so dedup never crosses
-        groups) and results are re-assembled in submission order.
+        Specs are grouped by their dataset's *primary replica* (which is
+        the fingerprint's ring owner until failover reshapes a placement)
+        and each sub-batch runs through that shard's planner
+        concurrently.  The per-shard plan summaries sum to exactly the
+        single-process plan (request keys embed the fingerprint, so dedup
+        never crosses groups) and results are re-assembled in submission
+        order.  Grouping by placement rather than the raw ring means a
+        batch never lands on a shard still waiting for background
+        re-replication to hand it the dataset.
         """
         body = parse_json_body(raw)
         requests = body.get("requests", [])
@@ -492,7 +710,11 @@ class ShardRouter:
                     raise NoLiveShardsError("no live shards")
                 groups: dict[str, list[int]] = {}
                 for index, (_, fingerprint, _) in enumerate(plan):
-                    groups.setdefault(self.ring.node_for(fingerprint), []).append(index)
+                    placement = self._placement_locked(fingerprint)
+                    target = (
+                        placement[0] if placement else self._fallback_locked()
+                    )
+                    groups.setdefault(target, []).append(index)
             if len(groups) == 1:
                 # Single-owner batch: the common case forwards verbatim.
                 ((target, _),) = groups.items()

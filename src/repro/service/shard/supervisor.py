@@ -12,10 +12,12 @@ lifecycle:
   cheaper ``Process.is_alive`` liveness bit);
 * **watch** -- an optional daemon thread that polls health and reports
   deaths to a callback (the router's failover hook).  Death is
-  *degradation, not failure*: the router re-registers the dead shard's
-  datasets on their successor ring nodes from its own registration
-  records -- caches start cold there, but every answer stays
-  byte-identical.
+  *degradation, not failure*: datasets replicated to surviving shards
+  (``--replicas K > 1``) keep answering warm from them while the router
+  re-replicates in the background; unreplicated datasets are
+  re-registered on their successor ring nodes from the router's own
+  registration records -- caches start cold there, but every answer
+  stays byte-identical.
 
 Workers are started with the ``spawn`` method: a clean interpreter per
 shard (no inherited locks from a threaded parent), exactly what a
@@ -174,6 +176,28 @@ class ShardSupervisor:
                 process.terminate()
             raise
         return self.backends
+
+    # ------------------------------------------------------------------
+
+    def backend(self, name: str) -> ShardBackend:
+        """The backend named ``name`` (``KeyError`` when unknown)."""
+        for backend in self.backends:
+            if backend.name == name:
+                return backend
+        raise KeyError(f"unknown shard {name!r}")
+
+    def kill(self, name: str) -> ShardBackend:
+        """Hard-kill one worker process (failover drills) and return it.
+
+        Only terminates the process -- the router learns of the death
+        from its watch callback or the next connection failure, exactly
+        as with a real crash.
+        """
+        backend = self.backend(name)
+        if backend.process is not None and backend.process.is_alive():
+            backend.process.terminate()
+            backend.process.join(timeout=10)
+        return backend
 
     # ------------------------------------------------------------------
 

@@ -217,6 +217,7 @@ class AnalyzeSpec(RequestSpec):
         )
 
     def cache_params(self) -> dict[str, Any]:
+        """Byte-pinned v1 ``analyze`` cache-key parameters."""
         return {
             "query": repr(self.query()),
             "covariates": list(self.covariates) if self.covariates is not None else None,
@@ -246,10 +247,12 @@ class QuerySpec(RequestSpec):
         return _memoized(self, "_query", lambda: GroupByQuery.from_sql(self.sql))
 
     def cache_params(self) -> dict[str, Any]:
+        """Byte-pinned v1 ``query`` cache-key parameters."""
         return {"query": repr(self.query())}
 
     def cache_seed(self) -> None:
-        return None  # query answers are seed-free
+        """``None``: query answers are seed-free."""
+        return None
 
 
 @dataclass(frozen=True)
@@ -272,6 +275,7 @@ class DiscoverSpec(RequestSpec):
         _require_int("seed", self.seed)
 
     def cache_params(self) -> dict[str, Any]:
+        """Byte-pinned v1 ``discover`` cache-key parameters."""
         return {
             "treatment": self.treatment,
             "outcome": self.outcome,
@@ -314,6 +318,7 @@ class WhatIfSpec(RequestSpec):
         )
 
     def cache_params(self) -> dict[str, Any]:
+        """Byte-pinned v1 ``whatif`` cache-key parameters."""
         return {
             "treatment": self.treatment,
             "outcome": self.outcome,

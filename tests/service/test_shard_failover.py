@@ -114,8 +114,7 @@ class TestFailover:
         _kill(next(b for b in supervisor.backends if b.name == victim_name))
         router.mark_dead(router._backends[victim_name])
         # No warm entry may point at the corpse.
-        with router.warm_keys._lock:
-            assert victim_name not in set(router.warm_keys._entries.values())
+        assert victim_name not in router.warm_keys.locations()
         # And the request still answers (cold, on the successor).
         assert client.query("d1", SQL)["result"]["rows"]
 

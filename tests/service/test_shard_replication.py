@@ -1,0 +1,294 @@
+"""End-to-end tests for dataset replication in the shard tier.
+
+The contract under test (``replicas=K``): register bodies fan out to the
+ring owner plus K-1 distinct ring successors, warm reads round-robin
+across live replicas, and killing the owning shard leaves every request
+kind answering byte-identically to a single-process control **without
+recompute** -- the surviving replica serves from its result cache, which
+the per-shard ``kernel_counters`` stats pin (zero new counting-kernel
+passes after the kill).
+
+The cluster fixture spawns real worker processes (``spawn`` start
+method): client -> router HTTP -> shard HTTP -> AnalysisService.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.report import canonical_json_bytes
+from repro.datasets import staples_data
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.core import AnalysisService
+from repro.service.http import make_server
+from repro.service.shard import ShardRouter, ShardSupervisor, make_router_server
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+
+#: The four request kinds of the acceptance bar, all keyed on "staples".
+KINDS = [
+    ("/query", {"dataset": "staples", "sql": SQL}),
+    (
+        "/analyze",
+        {"dataset": "staples", "sql": SQL, "treatment": "Income", "test": "chi2"},
+    ),
+    (
+        "/discover",
+        {
+            "dataset": "staples",
+            "treatment": "Income",
+            "outcome": "Price",
+            "test": "chi2",
+        },
+    ),
+    (
+        "/whatif",
+        {
+            "dataset": "staples",
+            "treatment": "Income",
+            "outcome": "Price",
+            "test": "chi2",
+        },
+    ),
+]
+
+
+def _columns(seed):
+    table = staples_data(n_rows=400, seed=seed)
+    return {name: table.column(name) for name in table.columns}
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """Three shard workers at K=2, plus a single-process control."""
+    supervisor = ShardSupervisor(shards=3, start_timeout=120.0)
+    backends = supervisor.start()
+    router = ShardRouter(backends, replicas=2)
+    router_server = make_router_server(router)
+    threading.Thread(target=router_server.serve_forever, daemon=True).start()
+
+    single = AnalysisService()
+    single_server = make_server(single)
+    threading.Thread(target=single_server.serve_forever, daemon=True).start()
+
+    sharded = ServiceClient("http://127.0.0.1:%d" % router_server.server_address[1])
+    direct = ServiceClient("http://127.0.0.1:%d" % single_server.server_address[1])
+    for name, seed in (("staples", 31), ("hot", 32)):
+        source = _columns(seed)
+        sharded.register(name, columns=source)
+        direct.register(name, columns=source)
+    yield SimpleNamespace(
+        router=router,
+        supervisor=supervisor,
+        sharded=sharded,
+        direct=direct,
+    )
+    router_server.shutdown()
+    router_server.server_close()
+    single_server.shutdown()
+    single_server.server_close()
+    single.close()
+    supervisor.close()
+
+
+def _post(client, path, body):
+    return client.request_bytes(path, json.dumps(body).encode())
+
+
+def _shard_kernel_total(client, shard):
+    """The counting-kernel pass total of one live shard, via /stats."""
+    stats = client.stats()["shards"][shard]
+    return stats["kernel_counters"]["total"]
+
+
+def _warm_both_replicas(cluster, rounds=4):
+    """Issue each kind until every live replica holds every key warm.
+
+    The round-robin cursor advances once per warm read, so two
+    consecutive warm reads of one key visit both replicas of a K=2
+    placement; a replica's first serve computes cold there (same bytes)
+    and is a local cache hit from then on.
+    """
+    for path, body in KINDS:
+        for _ in range(rounds):
+            status, _ = _post(cluster.sharded, path, body)
+            assert status == 200
+
+
+class TestPlacement:
+    def test_register_fans_out_to_k_distinct_replicas(self, cluster):
+        record = cluster.router._registrations["staples"]
+        assert len(record.locations) == 2
+        assert len(set(record.locations)) == 2
+        # Placement is the ring plan: owner first, then its successor.
+        plan = cluster.router.ring.nodes_for(record.fingerprint, 2)
+        assert tuple(record.locations) == plan
+
+    def test_catalog_reports_replicas_and_client_reads_them(self, cluster):
+        record = cluster.router._registrations["staples"]
+        entry = cluster.sharded.dataset("staples")
+        assert entry["replicas"] == list(record.locations)
+        assert cluster.sharded.replicas("staples") == list(record.locations)
+        # The single-process catalog has no replicas field...
+        assert "replicas" not in cluster.direct.dataset("staples")
+        # ...and the client helper degrades to an empty placement.
+        assert cluster.direct.replicas("staples") == []
+
+    def test_catalog_matches_control_up_to_the_replicas_field(self, cluster):
+        replicated = cluster.sharded.datasets()
+        control = cluster.direct.datasets()
+        for entry in replicated.values():
+            entry.pop("replicas")
+        assert canonical_json_bytes(replicated) == canonical_json_bytes(control)
+
+    def test_both_replicas_actually_hold_the_dataset(self, cluster):
+        record = cluster.router._registrations["staples"]
+        for shard in record.locations:
+            url = cluster.supervisor.backend(shard).url
+            catalog = ServiceClient(url).datasets()
+            assert "staples" in catalog
+            assert catalog["staples"]["fingerprint"] == record.fingerprint
+
+
+class TestReadBalancing:
+    def test_warm_reads_round_robin_across_replicas(self, cluster):
+        record = cluster.router._registrations["hot"]
+        body = {"dataset": "hot", "sql": SQL}
+        status, cold = _post(cluster.sharded, "/query", body)
+        assert status == 200
+        assert json.loads(cold)["cached"] is False
+        requests_before = {
+            shard: cluster.sharded.stats()["shards"][shard]["requests"]
+            for shard in record.locations
+        }
+        control = cluster.direct.query("hot", SQL)
+        repeats = 8
+        for _ in range(repeats):
+            status, payload = _post(cluster.sharded, "/query", body)
+            assert status == 200
+            assert canonical_json_bytes(
+                json.loads(payload)["result"]
+            ) == canonical_json_bytes(control["result"])
+        served = {
+            shard: cluster.sharded.stats()["shards"][shard]["requests"]
+            - requests_before[shard]
+            for shard in record.locations
+        }
+        # Round-robin: both replicas served their half of the hot reads.
+        for shard, count in served.items():
+            assert count >= repeats // 2 - 1, served
+        assert cluster.sharded.stats()["router"]["replica_reads"] >= repeats
+
+    def test_stats_expose_the_replication_counters(self, cluster):
+        router_stats = cluster.sharded.stats()["router"]
+        assert router_stats["replicas"] == 2
+        assert router_stats["replica_reads"] > 0
+        assert router_stats["rereplications"] >= 0
+
+
+class TestOwnerDeathFailover:
+    def test_kill_owner_answers_warm_without_recompute(self, cluster):
+        router, supervisor = cluster.router, cluster.supervisor
+        _warm_both_replicas(cluster)
+        controls = {
+            path: _post(cluster.direct, path, body)[1] for path, body in KINDS
+        }
+        record = router._registrations["staples"]
+        primary, survivor = record.locations[0], record.locations[1]
+        third = next(
+            backend.name
+            for backend in supervisor.backends
+            if backend.name not in record.locations
+        )
+        # Hold background re-replication back (via the router's own
+        # never-retry set) so the post-kill reads below deterministically
+        # hit the surviving replica rather than racing a freshly restored
+        # cold copy; the next test releases it and watches the restore.
+        with router._lock:
+            router._restore_failed.add((record.fingerprint, third))
+
+        # A job owned by the doomed shard: its id must 404 after the kill
+        # (jobs are process-local; the documented docs/API.md sharp edge).
+        accepted = None
+        for _ in range(10):
+            candidate = cluster.sharded.submit(
+                {"kind": "query", "dataset": "staples", "sql": SQL}
+            )
+            cluster.sharded.wait(candidate["job_id"], timeout=120)
+            if candidate["job_id"].startswith(f"{primary}."):
+                accepted = candidate
+                break
+        assert accepted is not None, "no job landed on the primary"
+
+        kernels_before = _shard_kernel_total(cluster.sharded, survivor)
+        supervisor.kill(primary)
+        router.mark_dead(router._backends[primary])
+
+        # Every kind answers warm from the survivor, byte-identical to
+        # the single-process control (status/kind/cached/result; only
+        # elapsed_seconds may differ).
+        for path, body in KINDS:
+            status, payload = _post(cluster.sharded, path, body)
+            assert status == 200, path
+            parsed = json.loads(payload)
+            control = json.loads(controls[path])
+            assert parsed["cached"] is True, path
+            assert parsed["kind"] == control["kind"]
+            assert canonical_json_bytes(parsed["result"]) == canonical_json_bytes(
+                control["result"]
+            ), path
+
+        # Zero recompute: the survivor ran no new counting-kernel passes.
+        assert _shard_kernel_total(cluster.sharded, survivor) == kernels_before
+        # And no cold re-registration window: the placement kept a live
+        # replica throughout (the survivor stayed in the record).
+        assert survivor in record.locations
+
+        # The dead shard's in-memory jobs are gone: documented 404.
+        with pytest.raises(ServiceError) as excinfo:
+            cluster.sharded.job(accepted["job_id"])
+        assert excinfo.value.status == 404
+        assert accepted["job_id"] in excinfo.value.message
+
+    def test_background_rereplication_restores_the_k_target(self, cluster):
+        """After the owner kill above, the router re-replicates onto the
+        remaining live shard until the dataset is back at K=2."""
+        router = cluster.router
+        record = router._registrations["staples"]
+        # Release the hold the previous test placed and restart the
+        # restore worker (mark_dead already fired; a real deployment
+        # would not need this nudge).
+        third = next(
+            backend.name
+            for backend in cluster.supervisor.backends
+            if not backend.dead and backend.name not in record.locations
+        )
+        with router._lock:
+            router._restore_failed.discard((record.fingerprint, third))
+            router._start_restore_locked()
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            with router._lock:
+                placement = list(record.locations)
+            if len(placement) == 2:
+                break
+            time.sleep(0.1)
+        assert len(placement) == 2, placement
+        assert all(not router._backends[shard].dead for shard in placement)
+        assert router._rereplications >= 1
+        # The restored replica really holds the dataset.
+        restored = placement[1]
+        url = cluster.supervisor.backend(restored).url
+        assert "staples" in ServiceClient(url).datasets()
+        # And reads still match the control byte-for-byte.
+        status, payload = _post(cluster.sharded, "/query", dict(KINDS[0][1]))
+        control = cluster.direct.query("staples", SQL)
+        assert status == 200
+        assert canonical_json_bytes(
+            json.loads(payload)["result"]
+        ) == canonical_json_bytes(control["result"])

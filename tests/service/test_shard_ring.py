@@ -71,6 +71,47 @@ class TestStability:
         assert all(ring.node_for(key) == before[key] for key in KEYS)
 
 
+class TestSuccessors:
+    """``nodes_for``: the replica-placement walk (owner + K-1 successors)."""
+
+    def test_first_node_is_the_owner(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        for key in KEYS[:200]:
+            assert ring.nodes_for(key, 1) == (ring.node_for(key),)
+            assert ring.nodes_for(key, 3)[0] == ring.node_for(key)
+
+    def test_nodes_are_distinct_and_extend_the_same_walk(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        for key in KEYS[:200]:
+            walk = ring.nodes_for(key, 4)
+            assert len(set(walk)) == 4
+            # Shorter walks are strict prefixes of longer ones.
+            for count in range(1, 4):
+                assert ring.nodes_for(key, count) == walk[:count]
+
+    def test_successor_becomes_owner_after_removal(self):
+        """The failover property replication is built on: kill the owner
+        and the new ring owner is exactly the first successor -- i.e. a
+        shard that already holds every dataset replicated to K >= 2."""
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        for key in KEYS[:500]:
+            owner, successor = ring.nodes_for(key, 2)
+            shrunk = HashRing([n for n in ring.nodes if n != owner])
+            assert shrunk.node_for(key) == successor
+
+    def test_small_ring_returns_fewer_nodes(self):
+        ring = HashRing(["s0", "s1"])
+        walk = ring.nodes_for(KEYS[0], 5)
+        assert sorted(walk) == ["s0", "s1"]
+
+    def test_rejects_bad_count_and_empty_ring(self):
+        ring = HashRing(["s0"])
+        with pytest.raises(ValueError, match="count"):
+            ring.nodes_for(KEYS[0], 0)
+        with pytest.raises(RuntimeError, match="no live shards"):
+            HashRing().nodes_for(KEYS[0], 1)
+
+
 class TestMembership:
     def test_add_is_idempotent(self):
         ring = HashRing(["s0"])
