@@ -2,7 +2,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: ci test fast slow cov lint docstrings bench gate regen-baseline serve serve-sharded
+.PHONY: ci test fast slow cov lint docstrings chaos bench gate regen-baseline serve serve-sharded
 
 ci:
 	bash scripts/ci.sh
@@ -29,6 +29,14 @@ lint:
 docstrings:
 	python scripts/check_docstrings.py
 
+# Fault-injection lane: journal crash-resume, job failover, self-heal.
+chaos:
+	python -m pytest -q \
+		tests/service/test_durable_jobs.py \
+		tests/service/test_job_failover.py \
+		tests/service/test_self_heal.py
+	python examples/durable_client.py
+
 bench:
 	REPRO_BENCH_SCALE=$(or $(REPRO_BENCH_SCALE),0.25) \
 		python -m pytest -q \
@@ -36,7 +44,8 @@ bench:
 			benchmarks/bench_service_throughput.py \
 			benchmarks/bench_dataset_plane.py \
 			benchmarks/bench_shard_scaling.py \
-			benchmarks/bench_replication.py
+			benchmarks/bench_replication.py \
+			benchmarks/bench_durability.py
 
 gate:
 	python scripts/check_bench_regression.py
@@ -50,6 +59,7 @@ regen-baseline: bench
 	   benchmarks/results/BENCH_kernels.json \
 	   benchmarks/results/BENCH_shard.json \
 	   benchmarks/results/BENCH_replication.json \
+	   benchmarks/results/BENCH_durability.json \
 	   benchmarks/baselines/
 	@echo "baselines updated; commit benchmarks/baselines/*.json"
 

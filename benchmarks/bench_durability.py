@@ -1,0 +1,239 @@
+"""Durability overhead and recovery speed (BENCH_durability.json).
+
+Three timings around the job journal and router job failover, each with
+its correctness bar asserted (byte identity is never traded for
+durability -- the timings are only reported, the bytes are checked):
+
+* **journal append overhead** -- warm job submits with and without a
+  journal attached.  The delta is the fsync'd WAL line per transition;
+  the ``journal-overhead`` row reports the journaled pass (the one a
+  durable deployment pays).
+* **journal replay** -- a fresh service pointed at the journal left by
+  a "crashed" one (N jobs, disk cache holding every result) must
+  resume all N under their original ids without recompute, and every
+  restored payload must be byte-identical to the crashed service's.
+* **failover re-read** -- a 2-shard K=2 cluster with finished jobs
+  homed on the victim: after the kill, reading every job id through the
+  router (lazy resurrection onto the warm survivor) must answer under
+  the original public ids with identical bytes; the row times the whole
+  re-read loop, kill to last byte.
+
+Rows follow the regression-gate schema (``engine``/``jobs``/``seconds``
+plus workload metadata and ``calibration_seconds``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+from conftest import bench_scale, scaled, write_bench_json
+
+from repro.core.report import canonical_json_bytes
+from repro.datasets import staples_data
+from repro.service.client import ServiceClient
+from repro.service.core import AnalysisService
+from repro.service.shard import ShardRouter, ShardSupervisor, make_router_server
+from repro.service.spec import spec_from_dict
+
+DATASET = "staples"
+SQL_VARIANTS = (
+    "SELECT Income, avg(Price) FROM t GROUP BY Income",
+    "SELECT Region, avg(Price) FROM t GROUP BY Region",
+    "SELECT Income, Region, avg(Price) FROM t GROUP BY Income, Region",
+)
+
+
+def _calibration_seconds() -> float:
+    """Time a fixed numpy workload to normalize cross-machine timings."""
+    rng = np.random.default_rng(0)
+    matrix = rng.random((400, 400))
+    start = time.perf_counter()
+    for _ in range(20):
+        matrix = np.tanh(matrix @ matrix.T / 400.0)
+    return time.perf_counter() - start
+
+
+def _columns(n_rows: int, seed: int) -> dict:
+    table = staples_data(n_rows=n_rows, seed=seed)
+    return {name: table.column(name) for name in table.columns}
+
+
+def _spec(sql: str) -> object:
+    return spec_from_dict({"kind": "query", "dataset": DATASET, "sql": sql})
+
+
+def _warm_submits(service: AnalysisService, submits: int) -> float:
+    """Seconds for ``submits`` warm (already-cached) job submissions."""
+    manager = service.job_manager
+    start = time.perf_counter()
+    for index in range(submits):
+        job = manager.submit(_spec(SQL_VARIANTS[index % len(SQL_VARIANTS)]))
+        manager.wait(job.id, timeout=120)
+    return time.perf_counter() - start
+
+
+def _journal_rows(columns: dict, submits: int, tmp_path) -> tuple[list, dict]:
+    """The append-overhead and replay rows, plus replay metadata."""
+    rows = []
+    journal_dir = str(tmp_path / "journal")
+    disk_cache = str(tmp_path / "cache")
+
+    expected: dict[str, bytes] = {}
+    crashed = AnalysisService(job_journal=journal_dir, disk_cache=disk_cache)
+    try:
+        crashed.register(DATASET, columns=columns)
+        for sql in SQL_VARIANTS:
+            expected[sql] = crashed.query(DATASET, sql).payload  # warm-up
+        journaled_seconds = _warm_submits(crashed, submits)
+    finally:
+        crashed.close()  # "crash": the journal and disk cache remain
+
+    plain = AnalysisService(disk_cache=disk_cache)
+    try:
+        plain.register(DATASET, columns=columns)
+        for sql in SQL_VARIANTS:
+            plain.query(DATASET, sql)
+        plain_seconds = _warm_submits(plain, submits)
+    finally:
+        plain.close()
+
+    rows.append(
+        {"engine": "journal-overhead", "jobs": 1, "seconds": journaled_seconds}
+    )
+
+    restarted = AnalysisService(job_journal=journal_dir, disk_cache=disk_cache)
+    try:
+        restarted.register(DATASET, columns=columns)
+        start = time.perf_counter()
+        recovery = restarted.recover_jobs()
+        replay_seconds = time.perf_counter() - start
+        # Automatic compaction may have dropped durable finished records
+        # at large scales; whatever the journal kept must all come back.
+        resumed = recovery["resumed"]
+        assert 1 <= resumed <= submits, recovery
+        assert recovery["corrupt"] == 0, recovery
+        assert recovery["skipped"] == 0, recovery
+        manager = restarted.job_manager
+        replayed = manager.list(limit=submits)
+        assert len(replayed) == resumed, (len(replayed), recovery)
+        for snapshot in replayed:
+            job = manager.wait(snapshot["id"], timeout=120)
+            payload = job.service_result().payload
+            assert payload == expected[job.spec.sql], (
+                f"replayed job {job.id} diverged from the pre-crash bytes"
+            )
+    finally:
+        restarted.close()
+    rows.append({"engine": "journal-replay", "jobs": 1, "seconds": replay_seconds})
+
+    meta = {
+        "journaled_submit_ms": 1000 * journaled_seconds / submits,
+        "plain_submit_ms": 1000 * plain_seconds / submits,
+        "replayed_jobs": resumed,
+        "replay_jobs_per_second": resumed / replay_seconds,
+    }
+    return rows, meta
+
+
+def _failover_row(columns: dict, jobs: int) -> tuple[dict, dict]:
+    """Kill the primary and time re-reading every job id it owned."""
+    supervisor = ShardSupervisor(shards=2, start_timeout=120.0)
+    router = ShardRouter(supervisor.start(), replicas=2)
+    server = make_router_server(router)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServiceClient("http://127.0.0.1:%d" % server.server_address[1])
+    try:
+        client.register(DATASET, columns=columns)
+        record = router._registrations[DATASET]
+        primary = record.locations[0]
+        expected = {}
+        for sql in SQL_VARIANTS:
+            response = client.query(DATASET, sql)
+            expected[sql] = canonical_json_bytes(response["result"])
+            client.query(DATASET, sql)  # warm the round-robin partner too
+
+        victims = []
+        for index in range(jobs):
+            sql = SQL_VARIANTS[index % len(SQL_VARIANTS)]
+            accepted = client.submit(
+                {"kind": "query", "dataset": DATASET, "sql": sql}
+            )
+            client.wait(accepted["job_id"], timeout=120)
+            if accepted["job_id"].startswith(f"{primary}."):
+                victims.append((accepted["job_id"], sql))
+        assert victims, "no job landed on the primary replica"
+
+        supervisor.kill(primary)
+        start = time.perf_counter()
+        router.mark_dead(router._backends[primary])
+        for job_id, sql in victims:
+            finished = client.wait(job_id, timeout=120)
+            assert finished["job"]["id"] == job_id
+            assert canonical_json_bytes(finished["result"]) == expected[sql], (
+                f"failover changed the bytes of {job_id}"
+            )
+        seconds = time.perf_counter() - start
+        failovers = client.stats()["router"]["job_failovers"]
+        assert failovers >= len(victims), (failovers, len(victims))
+    finally:
+        server.shutdown()
+        server.server_close()
+        supervisor.close()
+    row = {"engine": "job-failover", "jobs": 1, "seconds": seconds}
+    return row, {"victim_jobs": len(victims)}
+
+
+def test_durability_overhead_and_recovery(benchmark, report_sink, tmp_path):
+    n_rows = scaled(2000, minimum=400)
+    submits = scaled(60, minimum=12)
+    failover_jobs = scaled(12, minimum=6)
+    columns = _columns(n_rows, seed=80)
+
+    benchmark.group = "durability"
+    rows: list[dict] = []
+    meta: dict = {}
+
+    def measure_all():
+        journal_rows, journal_meta = _journal_rows(columns, submits, tmp_path)
+        rows.extend(journal_rows)
+        meta.update(journal_meta)
+        failover_row, failover_meta = _failover_row(columns, failover_jobs)
+        rows.append(failover_row)
+        meta.update(failover_meta)
+        return rows
+
+    benchmark.pedantic(measure_all, rounds=1)
+
+    payload = {
+        "benchmark": "durability",
+        "workload": {
+            "n_rows": n_rows,
+            "submits": submits,
+            "failover_jobs": failover_jobs,
+            "distinct_specs": len(SQL_VARIANTS),
+            "scale": bench_scale(),
+        },
+        "cpu_count": os.cpu_count(),
+        "calibration_seconds": _calibration_seconds(),
+        **meta,
+        "results": rows,
+    }
+    write_bench_json("durability", payload)
+
+    report_sink(
+        "durability",
+        f"warm submit     {meta['journaled_submit_ms']:6.2f} ms journaled  "
+        f"vs {meta['plain_submit_ms']:6.2f} ms plain",
+    )
+    report_sink(
+        "durability",
+        f"journal replay  {meta['replay_jobs_per_second']:7.1f} jobs/s "
+        f"(all byte-identical)",
+    )
+    for row in rows:
+        report_sink(
+            "durability", f"{row['engine']:<16s} {row['seconds']:7.3f} s"
+        )

@@ -41,14 +41,22 @@ python examples/sharded_client.py
 echo "== replicated smoke: K=2 fan-out, read balancing, zero-recompute failover =="
 python examples/replicated_client.py
 
-echo "== smoke benchmarks: engine scaling + service + dataset plane + shards + replication =="
+echo "== chaos lane: fault injection (journal, job failover, self-heal) =="
+python -m pytest -q \
+    tests/service/test_durable_jobs.py \
+    tests/service/test_job_failover.py \
+    tests/service/test_self_heal.py
+python examples/durable_client.py
+
+echo "== smoke benchmarks: engine scaling + service + dataset plane + shards + replication + durability =="
 REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-0.25}" \
     python -m pytest -q \
         benchmarks/bench_engine_scaling.py \
         benchmarks/bench_service_throughput.py \
         benchmarks/bench_dataset_plane.py \
         benchmarks/bench_shard_scaling.py \
-        benchmarks/bench_replication.py
+        benchmarks/bench_replication.py \
+        benchmarks/bench_durability.py
 
 echo "== benchmark regression gate =="
 python scripts/check_bench_regression.py

@@ -105,6 +105,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the persistent result-cache layer",
     )
     serve.add_argument(
+        "--job-journal",
+        default=None,
+        metavar="DIR",
+        help="directory for the durable job journal (async jobs survive "
+        "restarts: queued and running-but-unfinished jobs are resumed "
+        "on startup, byte-identically); with --shards each worker "
+        "journals under its own subdirectory",
+    )
+    serve.add_argument(
+        "--heal",
+        action="store_true",
+        help="with --shards: respawn dead shard workers and re-join "
+        "them to the ring automatically",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
     serve.add_argument(
@@ -300,11 +315,14 @@ def _run_serve(args: argparse.Namespace, engine) -> int:
         return _run_serve_sharded(args)
     if args.replicas != 1:
         raise ValueError("--replicas requires --shards")
+    if args.heal:
+        raise ValueError("--heal requires --shards")
     service = AnalysisService(
         engine=engine,
         max_cache_entries=args.cache_entries,
         disk_cache=args.disk_cache,
         job_workers=args.job_workers,
+        job_journal=args.job_journal,
     )
     for spec in args.csv:
         name, separator, path = spec.partition("=")
@@ -313,6 +331,12 @@ def _run_serve(args: argparse.Namespace, engine) -> int:
         summary = service.register(name, csv_path=path)
         print(f"registered {name}: {summary['n_rows']} rows, "
               f"fingerprint {summary['fingerprint'][:12]}...")
+    if args.job_journal is not None:
+        recovery = service.recover_jobs()
+        print(f"job journal: resumed {recovery['resumed']}, "
+              f"restored {recovery['restored_failed']} failed, "
+              f"skipped {recovery['skipped']}, "
+              f"corrupt lines {recovery['corrupt']}")
     server = make_server(service, host=args.host, port=args.port)
     server.verbose = args.verbose
     host, port = server.server_address[:2]
@@ -354,6 +378,7 @@ def _run_serve_sharded(args: argparse.Namespace) -> int:
         disk_cache=args.disk_cache,
         job_workers=args.job_workers,
         host=args.host,
+        job_journal=args.job_journal,
     )
     try:
         backends = supervisor.start()
@@ -373,12 +398,13 @@ def _run_serve_sharded(args: argparse.Namespace) -> int:
             print(f"registered {name}: {summary['n_rows']} rows, "
                   f"fingerprint {summary['fingerprint'][:12]}... "
                   f"-> {placement}")
-        supervisor.watch(router.mark_dead)
+        supervisor.watch(router.mark_dead, heal=args.heal, on_respawn=router.rejoin)
         server = make_router_server(router, host=args.host, port=args.port)
         server.verbose = args.verbose
         host, port = server.server_address[:2]
         print(f"hypdb shard router listening on http://{host}:{port} "
-              f"(replicas={args.replicas})")
+              f"(replicas={args.replicas}"
+              f"{', heal' if args.heal else ''})")
         for shard_name, url in router.describe()["shards"].items():
             print(f"  shard {shard_name}: {url}")
         print("endpoints: GET /health /stats /v2/datasets /v2/jobs[/<id>]; "

@@ -29,6 +29,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.service import faults
+
 
 @dataclass
 class CacheStats:
@@ -151,6 +153,9 @@ class ResultCache:
                 f".{key}.{os.getpid()}.{threading.get_ident()}.tmp"
             )
             try:
+                # Fault site for the chaos tests: an `error` rule models a
+                # torn/failed disk write (entry served from memory only).
+                faults.crash_point("cache.disk_write", key=key)
                 temporary.write_bytes(payload)
                 os.replace(temporary, final)
             except OSError:
@@ -158,6 +163,18 @@ class ResultCache:
                 # the result is already served from memory.
                 with self._lock:
                     self.stats.disk_errors += 1
+
+    def on_disk(self, key: str) -> bool:
+        """Whether ``key``'s bytes are durably in the disk layer.
+
+        The journal's compaction probe: unlike :meth:`peek`, a memory
+        hit does **not** count -- memory dies with the process, and
+        compaction may only drop a ``finished`` record whose result
+        would survive a restart.
+        """
+        if self._disk_dir is None:
+            return False
+        return (self._disk_dir / f"{key}.json").is_file()
 
     def clear(self) -> None:
         """Drop the memory layer (disk entries are kept; stats are kept)."""

@@ -14,7 +14,11 @@ until the job finishes and returns the final snapshot (with the result
 spliced in, byte-identical to the synchronous endpoint's payload) -- one
 blocked request per server-side wait window instead of a request per
 poll interval -- and :meth:`ServiceClient.batch_v2` sends a spec list
-through the work-sharing batch planner.
+through the work-sharing batch planner.  Job reads retry a 404 once (a
+router mid-failover answers the retry) before raising the typed
+:class:`JobLostError` with the last-known spec, and a 503 carrying
+``Retry-After`` (the router's "no live shards" window while the heal
+loop respawns shards) pauses bounded-ly and retries.
 
 :meth:`ServiceClient.request_bytes` exposes the retrying transport at
 the byte level (status + verbatim body, no JSON parse): the shard
@@ -71,6 +75,27 @@ class JobFailedError(ServiceError):
         self.job = job
 
 
+class JobLostError(ServiceError):
+    """A job id the service no longer knows (404 that survived a retry).
+
+    Carries the last spec this client submitted under that id (``spec``,
+    ``None`` for ids submitted elsewhere) so callers can re-submit: the
+    result is deterministic, so a re-run returns identical bytes.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        spec: dict[str, Any] | None = None,
+        payload: dict[str, Any] | None = None,
+    ) -> None:
+        super().__init__(
+            404, f"job {job_id!r} was lost; re-submit the spec", payload=payload
+        )
+        self.job_id = job_id
+        self.spec = spec
+
+
 class ServiceClient:
     """Talk to a running analysis service.
 
@@ -105,6 +130,9 @@ class ServiceClient:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        # Last-known specs by job id (bounded), so a lost job's spec can
+        # ride along on JobLostError for transparent re-submission.
+        self._submitted_specs: dict[str, dict[str, Any]] = {}
 
     # -- endpoints -----------------------------------------------------
 
@@ -176,13 +204,22 @@ class ServiceClient:
 
     # -- v2: async jobs and planned batches ----------------------------
 
+    #: Specs remembered for :class:`JobLostError` (oldest evicted past this).
+    MAX_REMEMBERED_SPECS = 256
+
     def submit(self, spec: Mapping[str, Any]) -> dict[str, Any]:
         """Queue one ``{"kind": ..., ...}`` spec; returns the 202 body.
 
         The job id is under ``"job_id"``; poll with :meth:`job` or block
         with :meth:`wait`.
         """
-        return self._post("/v2/jobs", dict(spec))
+        response = self._post("/v2/jobs", dict(spec))
+        job_id = response.get("job_id")
+        if isinstance(job_id, str):
+            self._submitted_specs[job_id] = dict(spec)
+            while len(self._submitted_specs) > self.MAX_REMEMBERED_SPECS:
+                self._submitted_specs.pop(next(iter(self._submitted_specs)))
+        return response
 
     def job(self, job_id: str, wait: float | None = None) -> dict[str, Any]:
         """The job snapshot (plus spliced result bytes once done).
@@ -191,9 +228,27 @@ class ServiceClient:
         for a terminal state before answering (its cap applies), so a
         waiting client holds one open request instead of hammering the
         endpoint.
+
+        A 404 is retried once -- a router that just failed the job over
+        to a surviving shard answers the retry -- and only a *second*
+        404 raises :class:`JobLostError` (carrying the last spec this
+        client submitted under the id, for re-submission).
         """
         suffix = f"?wait={wait:g}" if wait is not None and wait > 0 else ""
-        return self._get(f"/v2/jobs/{job_id}{suffix}")
+        path = f"/v2/jobs/{job_id}{suffix}"
+        try:
+            return self._get(path)
+        except ServiceError as error:
+            if error.status != 404 or isinstance(error, ServiceConnectionError):
+                raise
+        try:
+            return self._get(path)
+        except ServiceError as error:
+            if error.status != 404 or isinstance(error, ServiceConnectionError):
+                raise
+            raise JobLostError(
+                job_id, self._submitted_specs.get(job_id), payload=error.payload
+            ) from None
 
     def jobs(
         self, dataset: str | None = None, limit: int | None = None
@@ -310,6 +365,9 @@ class ServiceClient:
             message = raw.decode("utf-8", "replace")
         raise ServiceError(status, message, payload) from None
 
+    #: Ceiling on one honored ``Retry-After`` pause, in seconds.
+    RETRY_AFTER_CAP = 5.0
+
     def _transport(
         self, request: urllib.request.Request, timeout: float | None = None
     ) -> tuple[int, bytes]:
@@ -320,8 +378,18 @@ class ServiceClient:
                 ) as response:
                     return response.status, response.read()
             except urllib.error.HTTPError as error:
-                # The server answered: no retry, return its bytes.
-                return error.code, error.read()
+                body = error.read()
+                # A 503 carrying Retry-After (the router's "no live
+                # shards" while the heal loop respawns) is the one HTTP
+                # error worth retrying: the server explicitly asked for
+                # it, and it means the request was *not* forwarded, so a
+                # resend cannot duplicate work.  The pause is bounded.
+                pause = _retry_after_seconds(error.headers)
+                if error.code == 503 and pause is not None and attempt < self.retries:
+                    time.sleep(min(pause, self.RETRY_AFTER_CAP))
+                    continue
+                # Any other answered error: no retry, return its bytes.
+                return error.code, body
             except (urllib.error.URLError, ConnectionError, TimeoutError) as error:
                 reason = getattr(error, "reason", error)
                 # Retry only failures to *establish* the connection (the
@@ -334,6 +402,18 @@ class ServiceClient:
                     ) from None
                 time.sleep(self.backoff * (2**attempt))
         raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _retry_after_seconds(headers: object) -> float | None:
+    """Parse a ``Retry-After`` header into seconds (``None`` if absent/bad)."""
+    value = getattr(headers, "get", lambda _key: None)("Retry-After")
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError):
+        return None
+    return max(0.0, seconds)
 
 
 def _retryable(reason: object) -> bool:

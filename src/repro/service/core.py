@@ -43,6 +43,7 @@ from repro.engine import ExecutionEngine, resolve_engine
 from repro.engine.dataplane import PLANE_STATS
 from repro.relation.groupby import group_by_average
 from repro.relation.table import KERNEL_COUNTERS, Table
+from repro.service import faults
 from repro.service.cache import ResultCache
 from repro.service.registry import DatasetEntry, DatasetRegistry
 from repro.service.spec import (
@@ -159,6 +160,10 @@ class AnalysisService:
         callers never pay for it.
     max_jobs:
         Finished-job retention bound of the job manager.
+    job_journal:
+        Optional directory for the append-only job journal
+        (``hypdb serve --job-journal``); restarts against the same
+        directory resume unfinished jobs via :meth:`recover_jobs`.
     """
 
     def __init__(
@@ -168,6 +173,7 @@ class AnalysisService:
         disk_cache: str | None = None,
         job_workers: int = 2,
         max_jobs: int = 1024,
+        job_journal: str | None = None,
     ) -> None:
         self.engine = resolve_engine(engine)
         self.registry = DatasetRegistry()
@@ -181,6 +187,7 @@ class AnalysisService:
         self._flights_lock = threading.Lock()
         self._job_workers = job_workers
         self._max_jobs = max_jobs
+        self._job_journal = job_journal
         self._job_manager: JobManager | None = None
         self._job_manager_lock = threading.Lock()
         self._closed = False
@@ -204,11 +211,28 @@ class AnalysisService:
                 raise RuntimeError("service is closed")
             if self._job_manager is None:
                 from repro.service.jobs import JobManager
+                from repro.service.journal import JobJournal
 
+                journal = (
+                    JobJournal(self._job_journal) if self._job_journal else None
+                )
                 self._job_manager = JobManager(
-                    self, workers=self._job_workers, max_finished=self._max_jobs
+                    self,
+                    workers=self._job_workers,
+                    max_finished=self._max_jobs,
+                    journal=journal,
                 )
             return self._job_manager
+
+    def recover_jobs(self) -> dict[str, int]:
+        """Replay the job journal (no-op without ``job_journal``).
+
+        Returns the :meth:`~repro.service.jobs.JobManager.recover`
+        summary: resumed / restored_failed / skipped / corrupt counts.
+        """
+        if self._job_journal is None:
+            return {"resumed": 0, "restored_failed": 0, "skipped": 0, "corrupt": 0}
+        return self.job_manager.recover()
 
     # ------------------------------------------------------------------
     # Dataset registration
@@ -531,6 +555,9 @@ class AnalysisService:
                 elapsed_seconds=time.perf_counter() - start,
             )
         try:
+            # Fault site for the chaos tests: a `slow` rule pins this
+            # request mid-compute; a `kill` rule crashes the process here.
+            faults.crash_point("service.compute", kind=spec.kind, dataset=spec.dataset)
             payload = canonical_json_bytes(self._compute(spec, entry))
             self.cache.put(key, payload)
             flight.payload = payload

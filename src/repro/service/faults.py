@@ -1,0 +1,256 @@
+"""Deterministic fault injection for the durability test harness.
+
+The chaos tests (``tests/service/test_durable_jobs.py``,
+``test_job_failover.py``, ``test_self_heal.py``) need failures that
+happen at an exact point in an exact process — a shard dying *mid
+compute*, a journal write torn *mid record* — without sleeping and
+hoping.  This module plants named **fault sites** on the hot paths
+(``service.compute``, ``journal.append``, ``cache.disk_write``) and
+arms them from a :class:`FaultPlan`: a list of rules selecting a site,
+an action, and optionally a process scope and a context match.
+
+Actions:
+
+``kill``
+    ``os._exit`` the process immediately (a shard crash: the peer sees
+    a dropped connection, then refused connections).
+``refuse``
+    raise :class:`ConnectionRefusedError` at the site.
+``error``
+    raise :class:`OSError` at the site (e.g. a failed disk write).
+``slow``
+    sleep ``seconds`` at the site (pins a job in the running state so a
+    test can kill its shard deterministically mid-job).
+``torn``
+    truncate a payload to ``keep_bytes`` bytes (a torn journal write).
+
+Plans cross process boundaries through the environment: the supervisor
+spawns shard workers with the parent's ``os.environ``, so setting
+``REPRO_FAULTS`` (a JSON list of rule dicts) before ``start()`` arms
+the same plan in every child, and each child names itself with
+:func:`set_scope` so ``scope``-bearing rules fire only on the intended
+shard.  Rules fire a bounded number of times (``times``, default 1)
+after an optional warm-up (``after``), so a plan's effect is a pure
+function of the call sequence — no randomness, no timing.
+
+With no plan installed and no ``REPRO_FAULTS`` in the environment every
+site is a no-op costing one dict lookup, so production paths keep their
+behavior and speed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Environment variable holding the JSON-encoded rule list.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Environment variable naming this process's scope (set_scope overrides).
+SCOPE_VAR = "REPRO_FAULT_SCOPE"
+
+#: Exit code used by the ``kill`` action, distinctive in process status.
+KILL_EXIT_CODE = 86
+
+_ACTIONS = ("kill", "refuse", "slow", "torn", "error")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One armed fault: where it fires, what it does, and how often.
+
+    Parameters
+    ----------
+    site:
+        The fault-site name (e.g. ``"service.compute"``).
+    action:
+        One of ``kill`` | ``refuse`` | ``slow`` | ``torn`` | ``error``.
+    scope:
+        Process scope the rule is confined to (a shard name set via
+        :func:`set_scope`); ``None`` fires in any process.
+    match:
+        Context filter: every key must equal the site's keyword context
+        (compared as strings), e.g. ``{"dataset": "doomed"}``.
+    after:
+        Number of qualifying hits to let through before firing.
+    times:
+        Maximum number of firings (``None`` = unlimited).
+    seconds:
+        Sleep duration for the ``slow`` action.
+    keep_bytes:
+        Bytes preserved by the ``torn`` action (the rest is dropped).
+    """
+
+    site: str
+    action: str
+    scope: str | None = None
+    match: dict = field(default_factory=dict)
+    after: int = 0
+    times: int | None = 1
+    seconds: float = 0.0
+    keep_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        """Reject unknown actions early (a typo'd plan must not no-op)."""
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; expected one of {_ACTIONS}"
+            )
+
+    def matches(self, site: str, scope: str | None, context: dict) -> bool:
+        """Whether this rule applies to a hit at ``site`` in ``scope``."""
+        if self.site != site:
+            return False
+        if self.scope is not None and self.scope != scope:
+            return False
+        return all(
+            str(context.get(key)) == str(value) for key, value in self.match.items()
+        )
+
+
+class FaultPlan:
+    """An armed set of :class:`FaultRule` with per-rule firing counters."""
+
+    def __init__(self, rules: list[FaultRule]) -> None:
+        self._rules = list(rules)
+        self._hits = [0] * len(self._rules)
+        self._fired = [0] * len(self._rules)
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_rules(cls, rules: list[dict]) -> FaultPlan:
+        """Build a plan from a list of rule dicts (the JSON wire form)."""
+        return cls([FaultRule(**rule) for rule in rules])
+
+    @classmethod
+    def from_json(cls, text: str) -> FaultPlan:
+        """Parse the ``REPRO_FAULTS`` wire form: a JSON list of rule dicts."""
+        rules = json.loads(text)
+        if not isinstance(rules, list):
+            raise ValueError("fault plan must be a JSON list of rule objects")
+        return cls.from_rules(rules)
+
+    def fire(self, site: str, scope: str | None, context: dict) -> FaultRule | None:
+        """The rule that fires for this hit, if any (counts both ways)."""
+        with self._lock:
+            for index, rule in enumerate(self._rules):
+                if not rule.matches(site, scope, context):
+                    continue
+                self._hits[index] += 1
+                if self._hits[index] <= rule.after:
+                    continue
+                if rule.times is not None and self._fired[index] >= rule.times:
+                    continue
+                self._fired[index] += 1
+                return rule
+        return None
+
+    def fired(self, site: str | None = None) -> int:
+        """Total firings, optionally restricted to one site."""
+        with self._lock:
+            return sum(
+                count
+                for rule, count in zip(self._rules, self._fired)
+                if site is None or rule.site == site
+            )
+
+
+_state_lock = threading.Lock()
+_plan: FaultPlan | None = None
+_plan_loaded = False
+_scope: str | None = None
+
+
+def install(plan: FaultPlan | list[dict] | None) -> None:
+    """Arm ``plan`` in this process (``None`` disarms; tests use this)."""
+    global _plan, _plan_loaded
+    with _state_lock:
+        if isinstance(plan, list):
+            plan = FaultPlan.from_rules(plan)
+        _plan = plan
+        _plan_loaded = True
+
+
+def clear() -> None:
+    """Disarm any plan and forget the env snapshot (re-reads on next hit)."""
+    global _plan, _plan_loaded, _scope
+    with _state_lock:
+        _plan = None
+        _plan_loaded = False
+        _scope = None
+
+
+def set_scope(name: str | None) -> None:
+    """Name this process for ``scope``-bearing rules (shards use their name)."""
+    global _scope
+    with _state_lock:
+        _scope = name
+
+
+def active() -> FaultPlan | None:
+    """The armed plan, lazily loaded from ``REPRO_FAULTS`` once per process."""
+    global _plan, _plan_loaded
+    if _plan_loaded:
+        return _plan
+    with _state_lock:
+        if not _plan_loaded:
+            text = os.environ.get(ENV_VAR)
+            _plan = FaultPlan.from_json(text) if text else None
+            _plan_loaded = True
+    return _plan
+
+
+def _current_scope() -> str | None:
+    return _scope if _scope is not None else os.environ.get(SCOPE_VAR)
+
+
+def crash_point(site: str, **context) -> None:
+    """A named fault site: no-op unless an armed rule selects this hit.
+
+    ``kill`` exits the process, ``refuse``/``error`` raise, ``slow``
+    sleeps; ``torn`` rules never fire here (they need a payload — see
+    :func:`torn_write`).
+    """
+    plan = active()
+    if plan is None:
+        return
+    rule = plan.fire(site, _current_scope(), context)
+    if rule is None or rule.action == "torn":
+        return
+    if rule.action == "kill":  # pragma: no cover - exits the (child) process
+        os._exit(KILL_EXIT_CODE)
+    if rule.action == "refuse":
+        raise ConnectionRefusedError(f"fault injected at {site}")
+    if rule.action == "error":
+        raise OSError(f"fault injected at {site}")
+    if rule.action == "slow":
+        time.sleep(rule.seconds)
+
+
+def torn_write(site: str, payload: bytes, **context) -> tuple[bytes, bool]:
+    """A named write site: returns ``payload`` possibly torn mid-record.
+
+    A firing ``torn`` rule truncates the payload to ``keep_bytes``
+    (simulating a crash between ``write`` and completion); any other
+    firing action behaves as in :func:`crash_point`.
+    """
+    plan = active()
+    if plan is None:
+        return payload, False
+    rule = plan.fire(site, _current_scope(), context)
+    if rule is None:
+        return payload, False
+    if rule.action == "torn":
+        return payload[: rule.keep_bytes], True
+    if rule.action == "kill":  # pragma: no cover - exits the (child) process
+        os._exit(KILL_EXIT_CODE)
+    if rule.action == "refuse":
+        raise ConnectionRefusedError(f"fault injected at {site}")
+    if rule.action == "error":
+        raise OSError(f"fault injected at {site}")
+    if rule.action == "slow":
+        time.sleep(rule.seconds)
+    return payload, False

@@ -161,8 +161,17 @@ class JSONRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
-    def _send_error(self, status: int, message: str) -> None:
-        self._send(status, canonical_json_bytes({"status": "error", "error": message}))
+    def _send_error(
+        self,
+        status: int,
+        message: str,
+        headers: tuple[tuple[str, str], ...] = (),
+    ) -> None:
+        self._send(
+            status,
+            canonical_json_bytes({"status": "error", "error": message}),
+            headers=headers,
+        )
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Quiet by default; the CLI flips ``server.verbose`` on."""

@@ -21,19 +21,31 @@ one (``coalesced_into``) and mirrors its lifecycle -- the job-level twin
 of the service's single-flight, but visible before execution even
 starts, so a burst of identical submissions occupies one worker slot,
 not N.
+
+With a :class:`~repro.service.journal.JobJournal` attached, every
+lifecycle transition is also written ahead to an append-only JSONL log,
+and :meth:`JobManager.recover` replays it on startup: unfinished jobs
+resubmit under their original ids (warm specs complete instantly off
+the result cache; cold ones recompute byte-identically -- results are
+deterministic), failed jobs restore their terminal error state without
+recompute, and replaying twice changes nothing because already-present
+ids are skipped.
 """
 
 from __future__ import annotations
 
 import itertools
+import re
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.service.journal import FAILED as JOURNAL_FAILED
+from repro.service.journal import JobJournal
 from repro.service.registry import UnknownDatasetError
-from repro.service.spec import RequestSpec, SpecError
+from repro.service.spec import RequestSpec, SpecError, spec_from_dict
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (core imports jobs lazily)
     from repro.service.core import AnalysisService, ServiceResult
@@ -121,16 +133,25 @@ class JobManager:
     max_finished:
         Finished jobs retained for polling; the oldest finished jobs are
         evicted past this bound (active jobs are never evicted).
+    journal:
+        Optional :class:`~repro.service.journal.JobJournal`; when set,
+        every transition is journaled and :meth:`recover` resumes work
+        after a restart.
     """
 
     def __init__(
-        self, service: "AnalysisService", workers: int = 2, max_finished: int = 1024
+        self,
+        service: "AnalysisService",
+        workers: int = 2,
+        max_finished: int = 1024,
+        journal: JobJournal | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.service = service
         self.workers = workers
         self.max_finished = max_finished
+        self.journal = journal
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="hypdb-job"
         )
@@ -145,11 +166,15 @@ class JobManager:
         self._completed = 0
         self._failed = 0
         self._coalesced = 0
+        self._recovered = 0
+        self._replay_skipped = 0
         self._closed = False
 
     # ------------------------------------------------------------------
 
-    def submit(self, spec: RequestSpec) -> Job:
+    def submit(
+        self, spec: RequestSpec, job_id: str | None = None, record: bool = True
+    ) -> Job:
         """Queue one spec; returns the job record immediately.
 
         Raises :class:`~repro.service.registry.UnknownDatasetError` when
@@ -157,6 +182,12 @@ class JobManager:
         keeps addressing mistakes synchronous and 404-able).  A spec
         equal to an active job's coalesces onto it; a spec whose result
         is already cached completes without touching the worker pool.
+
+        ``job_id`` pins the id (journal replay resubmits under original
+        ids; an already-present id returns the existing job, which is
+        what makes replay idempotent).  ``record=False`` suppresses the
+        journal's ``submitted`` record -- replay must not re-append what
+        it is replaying.
         """
         entry = self.service.registry.get(spec.dataset)
         key = spec.request_key(entry.fingerprint)
@@ -164,9 +195,19 @@ class JobManager:
         with self._lock:
             if self._closed:
                 raise RuntimeError("job manager is closed")
+            if job_id is not None and job_id in self._jobs:
+                return self._jobs[job_id]
+            if job_id is None:
+                job_id = f"j{next(self._ids):08d}"
+                while job_id in self._jobs:  # replayed ids may be interleaved
+                    job_id = f"j{next(self._ids):08d}"
             self._submitted += 1
-            job = Job(id=f"j{next(self._ids):08d}", spec=spec, key=key)
+            job = Job(id=job_id, spec=spec, key=key)
             self._jobs[job.id] = job
+            if self.journal is not None and record:
+                # Journaled under the lock so the WAL's submission order
+                # matches id assignment order.
+                self.journal.record_submitted(job.id, spec.to_dict())
             primary = self._active.get(key)
             if primary is not None:
                 job.primary = primary
@@ -240,7 +281,7 @@ class JobManager:
         """JSON-ready counters (surfaced under ``/stats``)."""
         with self._lock:
             statuses = [job._effective().status for job in self._jobs.values()]
-            return {
+            counters = {
                 "workers": self.workers,
                 "submitted": self._submitted,
                 "completed": self._completed,
@@ -250,6 +291,78 @@ class JobManager:
                 "running": statuses.count(RUNNING),
                 "retained": len(self._jobs),
             }
+            if self.journal is not None:
+                counters["recovered"] = self._recovered
+                counters["replay_skipped"] = self._replay_skipped
+                counters["journal"] = self.journal.stats()
+            return counters
+
+    def recover(self) -> dict[str, int]:
+        """Replay the journal: resume unfinished work, restore failures.
+
+        Unfinished (and non-durably-finished) jobs resubmit under their
+        original ids -- warm specs complete instantly off the result
+        cache, cold ones recompute byte-identically.  ``failed`` records
+        restore their terminal error state without recompute.  Job ids
+        already present are skipped, so replaying twice changes nothing.
+        Records whose dataset is not registered (or whose spec no longer
+        parses) are skipped with a counter but stay journaled.
+        """
+        if self.journal is None:
+            return {"resumed": 0, "restored_failed": 0, "skipped": 0, "corrupt": 0}
+        state = self.journal.replay()
+        highest = 0
+        for job_id in state.records:
+            match = re.fullmatch(r"j(\d+)", job_id)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        with self._lock:
+            if highest:
+                # Fresh ids start past every journaled id (collisions are
+                # additionally guarded in submit, but gaps beat retries).
+                self._ids = itertools.count(highest + 1)
+            existing = set(self._jobs)
+        resumed = restored = skipped = 0
+        for job_id, record in state.records.items():
+            if job_id in existing:
+                continue
+            if record.spec is None:
+                skipped += 1
+                continue
+            try:
+                spec = spec_from_dict(record.spec)
+            except (SpecError, TypeError, ValueError):
+                skipped += 1
+                continue
+            if record.status == JOURNAL_FAILED:
+                job = Job(
+                    id=job_id,
+                    spec=spec,
+                    key=record.key or "",
+                    status=ERROR,
+                    error=record.error,
+                    error_status=record.error_status,
+                    finished_at=time.time(),
+                )
+                with self._lock:
+                    self._jobs[job_id] = job
+                restored += 1
+                continue
+            try:
+                self.submit(spec, job_id=job_id, record=False)
+            except UnknownDatasetError:
+                skipped += 1
+                continue
+            resumed += 1
+        with self._lock:
+            self._recovered += resumed
+            self._replay_skipped += skipped
+        return {
+            "resumed": resumed,
+            "restored_failed": restored,
+            "skipped": skipped,
+            "corrupt": state.corrupt_lines,
+        }
 
     def close(self) -> None:
         """Stop accepting jobs; cancel what has not started, wait for the rest."""
@@ -271,22 +384,36 @@ class JobManager:
     # ------------------------------------------------------------------
 
     def _run(self, job: Job) -> None:
-        """Worker body: execute the spec and record the outcome."""
+        """Worker body: execute the spec and record the outcome.
+
+        Journal writes happen *outside* the condition lock (they fsync)
+        and *before* the terminal transition notifies waiters, so a job
+        a client observed as done is always recoverable.
+        """
         with self._lock:
             job.status = RUNNING
             job.started_at = time.time()
+        if self.journal is not None:
+            self.journal.record_started(job.id)
         try:
             result = self.service.execute(job.spec)
         except BaseException as error:  # noqa: BLE001 - recorded on the job
+            message, status = _message(error), _error_status(error)
+            if self.journal is not None:
+                self.journal.record_failed(job.id, message, status)
+                self.journal.maybe_compact(self.service.cache.on_disk)
             with self._lock:
                 job.status = ERROR
-                job.error = _message(error)
-                job.error_status = _error_status(error)
+                job.error = message
+                job.error_status = status
                 job.finished_at = time.time()
                 self._failed += 1
                 self._deactivate(job)
                 self._lock.notify_all()
             return
+        if self.journal is not None:
+            self.journal.record_finished(job.id, job.key)
+            self.journal.maybe_compact(self.service.cache.on_disk)
         with self._lock:
             job.result = result
             job.status = DONE

@@ -1,0 +1,354 @@
+"""The job journal: an append-only JSONL write-ahead log for async jobs.
+
+Async jobs were process-local state — a restart (or a shard crash)
+silently forgot every queued and running job.  The journal makes the
+jobs API durable with the same discipline as the disk result cache
+(`service/cache.py`): every state transition is one self-contained JSON
+line appended with flush + ``fsync``, compaction rewrites through a
+pid/thread-unique temp file and ``os.replace`` so readers never see a
+half-written file, and I/O errors degrade (counted, not raised) rather
+than failing the request path.
+
+Record grammar, one JSON object per line, keyed by job id::
+
+    {"type": "submitted", "job_id": "j00000001", "spec": {…}}
+    {"type": "started",   "job_id": "j00000001"}
+    {"type": "finished",  "job_id": "j00000001", "key": "<request key>"}
+    {"type": "failed",    "job_id": "j00000001", "error": "…", "error_status": 500}
+
+Replay (:meth:`JobJournal.replay`) folds the lines into the last state
+per job id; it is a pure function of the file bytes, so replaying twice
+changes nothing (pinned by ``tests/service/test_durable_jobs.py``).
+Corrupt or truncated lines — a torn final write from a crash, or
+interleaved partial records — are skipped and counted, never fatal, and
+:meth:`_heal_tail` terminates a torn trailing line on open so the next
+append starts a fresh record instead of gluing onto garbage.
+
+Compaction drops records that no longer carry information: failed jobs
+and finished jobs **whose result bytes are durably in the disk result
+cache**.  A finished record whose bytes never reached disk (the write
+was torn or errored) is kept so a restart re-runs the spec — results
+are deterministic, so the recompute is byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.service import faults
+
+#: Record types, in lifecycle order.
+SUBMITTED = "submitted"
+STARTED = "started"
+FINISHED = "finished"
+FAILED = "failed"
+
+_TYPES = (SUBMITTED, STARTED, FINISHED, FAILED)
+_TERMINAL = (FINISHED, FAILED)
+
+
+@dataclass
+class JournalRecord:
+    """The folded (last-known) journal state of one job id."""
+
+    job_id: str
+    spec: dict | None
+    status: str = SUBMITTED
+    key: str | None = None
+    error: str | None = None
+    error_status: int = 500
+
+
+@dataclass
+class JournalState:
+    """The result of a replay: per-job records plus corruption counters."""
+
+    records: dict[str, JournalRecord] = field(default_factory=dict)
+    corrupt_lines: int = 0
+
+    @property
+    def unfinished(self) -> list[JournalRecord]:
+        """Records whose jobs never reached a terminal state."""
+        return [
+            record
+            for record in self.records.values()
+            if record.status not in _TERMINAL
+        ]
+
+
+class JobJournal:
+    """Append-only JSONL journal under ``directory`` (file ``jobs.jsonl``).
+
+    Thread-safe: appends and compactions serialize on one lock.  All
+    I/O failures degrade to counters (``write_errors``) so the journal
+    can never fail a request — durability weakens, results do not.
+
+    Parameters
+    ----------
+    directory:
+        Journal directory; created if missing.
+    compact_every:
+        Terminal records between automatic compactions (via
+        :meth:`maybe_compact`).
+    """
+
+    def __init__(self, directory: str | os.PathLike, compact_every: int = 256) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._path = self._dir / "jobs.jsonl"
+        self._lock = threading.Lock()
+        self._compact_every = max(1, compact_every)
+        self._terminal_since_compact = 0
+        self.appended = 0
+        self.compactions = 0
+        self.write_errors = 0
+        self.corrupt_skipped = 0  # corrupt lines seen by the last replay
+        self._heal_tail()
+
+    @property
+    def path(self) -> Path:
+        """The journal file path (``<directory>/jobs.jsonl``)."""
+        return self._path
+
+    # -- appends -------------------------------------------------------
+
+    def record_submitted(self, job_id: str, spec_dict: dict) -> None:
+        """Journal a submission (the spec travels with it, for replay)."""
+        self._append({"type": SUBMITTED, "job_id": job_id, "spec": spec_dict})
+
+    def record_started(self, job_id: str) -> None:
+        """Journal the queued -> running transition."""
+        self._append({"type": STARTED, "job_id": job_id})
+
+    def record_finished(self, job_id: str, key: str) -> None:
+        """Journal completion, carrying the result-cache request key."""
+        self._append({"type": FINISHED, "job_id": job_id, "key": key})
+        with self._lock:
+            self._terminal_since_compact += 1
+
+    def record_failed(self, job_id: str, error: str, error_status: int) -> None:
+        """Journal a terminal failure with its message and HTTP status."""
+        self._append(
+            {
+                "type": FAILED,
+                "job_id": job_id,
+                "error": error,
+                "error_status": error_status,
+            }
+        )
+        with self._lock:
+            self._terminal_since_compact += 1
+
+    def _append(self, record: dict) -> None:
+        """One atomic-enough append: single write, flush, fsync.
+
+        A crash can tear the trailing line (the fault harness simulates
+        exactly that via the ``journal.append`` site); replay skips the
+        partial record and :meth:`_heal_tail` re-terminates the file.
+        """
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        data, _ = faults.torn_write("journal.append", line.encode("utf-8"))
+        with self._lock:
+            try:
+                with open(self._path, "ab") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            except OSError:
+                self.write_errors += 1
+                return
+            self.appended += 1
+
+    def _heal_tail(self) -> None:
+        """Terminate a torn trailing line left by a previous process.
+
+        Without this, the first append after a crash would glue onto the
+        partial record and corrupt *itself* too; with it, exactly the
+        torn line is lost (skipped + counted by replay).
+        """
+        try:
+            if not self._path.exists() or self._path.stat().st_size == 0:
+                return
+            with open(self._path, "rb+") as handle:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        except OSError:
+            self.write_errors += 1
+
+    # -- replay --------------------------------------------------------
+
+    def replay(self) -> JournalState:
+        """Fold the journal into the last-known state per job id.
+
+        Pure function of the file bytes: unparseable lines, unknown
+        record types, and transitions for ids whose ``submitted`` record
+        was lost are all skipped and counted in ``corrupt_lines``.
+        """
+        with self._lock:
+            state = self._replay_locked()
+        self.corrupt_skipped = state.corrupt_lines
+        return state
+
+    def _lines(self) -> Iterator[tuple[dict, bool]]:
+        """Yield ``(parsed, corrupt)`` per journal line, tolerating a torn tail."""
+        try:
+            raw = self._path.read_bytes()
+        except OSError:
+            return
+        for index, line in enumerate(raw.split(b"\n")):
+            if not line:
+                continue
+            # A final line without a newline terminator is a torn write.
+            torn_tail = index == raw.count(b"\n") and not raw.endswith(b"\n")
+            try:
+                parsed = json.loads(line)
+            except ValueError:
+                yield {}, True
+                continue
+            if torn_tail or not isinstance(parsed, dict):
+                yield {}, True
+                continue
+            yield parsed, False
+
+    # -- compaction ----------------------------------------------------
+
+    def maybe_compact(self, durable: Callable[[str], bool] | None = None) -> bool:
+        """Compact when enough terminal records accumulated; returns whether."""
+        with self._lock:
+            due = self._terminal_since_compact >= self._compact_every
+        if due:
+            self.compact(durable)
+        return due
+
+    def compact(self, durable: Callable[[str], bool] | None = None) -> dict:
+        """Rewrite the journal down to its informative records, atomically.
+
+        Keeps every non-terminal job (submitted + started records) and —
+        the retention-vs-durability fix — every *finished* job whose
+        result bytes ``durable(key)`` cannot vouch for: dropping those
+        would lose the only remaining path back to the result.  Failed
+        and durably-finished jobs compact away, mirroring the in-memory
+        retention bound.  With no ``durable`` probe, finished records
+        are conservatively kept.
+        """
+        with self._lock:
+            state = self._replay_locked()
+            lines: list[str] = []
+            dropped = 0
+            for record in state.records.values():
+                if record.status == FAILED:
+                    dropped += 1
+                    continue
+                if record.status == FINISHED:
+                    safe = (
+                        durable is not None
+                        and record.key is not None
+                        and durable(record.key)
+                    )
+                    if safe:
+                        dropped += 1
+                        continue
+                lines.append(
+                    json.dumps(
+                        {"type": SUBMITTED, "job_id": record.job_id, "spec": record.spec},
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                )
+                if record.status == STARTED:
+                    lines.append(
+                        json.dumps(
+                            {"type": STARTED, "job_id": record.job_id},
+                            sort_keys=True,
+                            separators=(",", ":"),
+                        )
+                    )
+                elif record.status == FINISHED:
+                    lines.append(
+                        json.dumps(
+                            {
+                                "type": FINISHED,
+                                "job_id": record.job_id,
+                                "key": record.key,
+                            },
+                            sort_keys=True,
+                            separators=(",", ":"),
+                        )
+                    )
+            payload = ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
+            temporary = self._dir / f".jobs.{os.getpid()}.{threading.get_ident()}.tmp"
+            try:
+                with open(temporary, "wb") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(temporary, self._path)
+            except OSError:
+                self.write_errors += 1
+                try:
+                    temporary.unlink()
+                except OSError:
+                    pass
+                return {"kept": len(state.records), "dropped": 0, "written": False}
+            self.compactions += 1
+            self._terminal_since_compact = 0
+            return {
+                "kept": len(state.records) - dropped,
+                "dropped": dropped,
+                "written": True,
+            }
+
+    def _replay_locked(self) -> JournalState:
+        """Replay under the lock (compaction needs a stable snapshot)."""
+        state = JournalState()
+        for parsed, corrupt in self._lines():
+            if corrupt:
+                state.corrupt_lines += 1
+                continue
+            kind = parsed.get("type")
+            job_id = parsed.get("job_id")
+            if kind not in _TYPES or not isinstance(job_id, str):
+                state.corrupt_lines += 1
+                continue
+            record = state.records.get(job_id)
+            if kind == SUBMITTED:
+                spec = parsed.get("spec")
+                if not isinstance(spec, dict):
+                    state.corrupt_lines += 1
+                    continue
+                if record is None:
+                    state.records[job_id] = JournalRecord(job_id=job_id, spec=spec)
+                else:
+                    record.spec = spec
+                continue
+            if record is None:
+                state.corrupt_lines += 1
+                continue
+            record.status = kind
+            if kind == FINISHED:
+                record.key = parsed.get("key")
+            elif kind == FAILED:
+                record.error = parsed.get("error")
+                status = parsed.get("error_status")
+                record.error_status = status if isinstance(status, int) else 500
+        return state
+
+    # -- observability -------------------------------------------------
+
+    def stats(self) -> dict:
+        """Journal counters for ``GET /stats``."""
+        return {
+            "path": str(self._path),
+            "appended": self.appended,
+            "compactions": self.compactions,
+            "write_errors": self.write_errors,
+            "corrupt_skipped": self.corrupt_skipped,
+        }

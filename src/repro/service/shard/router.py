@@ -41,12 +41,25 @@ successors in the background to restore the K target.  Only a dataset
 whose every replica died is re-registered synchronously (inside the
 topology lock, so no request routes by a ring the replicas have not
 caught up to) on its successor, which recomputes cold -- the K=1
-behavior.  Async jobs are process-local state and die with their shard
-(reads return 404); this mirrors the single-process contract, where
-jobs do not survive a restart.
+behavior.
 
-Job ids are namespaced ``<shard>.<local id>`` (e.g. ``s0.j00000001``) so
-reads route straight to the owning shard without a lookup table.
+**Jobs survive their shard.**  The router journals the verbatim submit
+body behind every job id it hands out, so when a shard dies its
+unfinished jobs are *re-submitted* to the dataset's surviving replica
+(warm -- zero recompute at ``K > 1``) or its ring successor (cold --
+byte-identical recompute).  ``GET /v2/jobs/<id>`` transparently follows
+the job to its new home: the public id never changes, because the
+router keeps an id -> (shard, shard-local id) table and rewrites
+snapshots on the way out.  Even a job the shard has *pruned* (or a
+terminal job lost with its shard's memory) is lazily resurrected from
+its recorded spec on the next read -- results are deterministic, so the
+resurrected bytes match the originals.  Supervisor healing hands
+respawned workers back through :meth:`ShardRouter.rejoin`, which
+re-adds them to the ring and lets background re-replication rebuild K.
+
+Job ids are namespaced ``<shard>.<local id>`` (e.g. ``s0.j00000001``);
+the namespace is the *birthplace*, the routed-job table tracks the
+current home after failover.
 """
 
 from __future__ import annotations
@@ -79,6 +92,13 @@ class NoLiveShardsError(RuntimeError):
     """Every shard is dead; the router cannot serve (HTTP 503)."""
 
 
+#: ``Retry-After`` seconds advertised on 503 responses.  With ``--heal``
+#: the supervisor respawns dead workers on its poll interval (default
+#: 1s), so "come back in a second" is honest advice, and the Python
+#: client honors it (bounded) before its normal backoff.
+RETRY_AFTER_SECONDS = 1
+
+
 @dataclass
 class RegisteredDataset:
     """The router's registration record for one dataset.
@@ -107,6 +127,26 @@ class RegisteredDataset:
         return self.locations[0]
 
 
+@dataclass
+class RoutedJob:
+    """The router's record of one submitted async job.
+
+    The verbatim submit body is the job's resurrection recipe: if the
+    home shard dies (or prunes the job), the body is re-submitted to a
+    live shard and the public id re-pointed at the new home.  Results
+    are deterministic functions of (dataset content, spec, seed), so a
+    resurrected job's bytes match the original's.
+    """
+
+    public_id: str
+    body: bytes  # the verbatim /v2/jobs request body
+    fingerprint: str | None
+    key: str | None
+    shard: str  # current home shard
+    local_id: str  # the home shard's local job id
+    terminal: bool = False  # last observed snapshot was done/error/cancelled
+
+
 class ShardRouter:
     """Route requests across shard backends by dataset fingerprint.
 
@@ -126,6 +166,11 @@ class ShardRouter:
         cold analyses compute the full pipeline.
     """
 
+    #: Routed-job table bound; oldest *terminal* entries are evicted
+    #: first (an evicted id falls back to the namespace-prefix route,
+    #: the pre-durability behavior).
+    MAX_ROUTED_JOBS = 65536
+
     def __init__(
         self,
         backends: list[ShardBackend],
@@ -144,6 +189,7 @@ class ShardRouter:
         self._backends = {backend.name: backend for backend in backends}
         if len(self._backends) != len(backends):
             raise ValueError("shard backend names must be unique")
+        self._client_timeout = client_timeout
         self._clients = {
             backend.name: ServiceClient(backend.url, timeout=client_timeout)
             for backend in backends
@@ -169,6 +215,13 @@ class ShardRouter:
         self._rereplications = 0
         self._restore_failed: set[tuple[str, str]] = set()
         self._restore_thread: threading.Thread | None = None
+        # Durable-job state: public id -> RoutedJob (insertion-ordered,
+        # bounded), plus the reverse (shard, local id) -> public id map
+        # used to rewrite coalesced_into references and listings.
+        self._jobs: dict[str, RoutedJob] = {}
+        self._job_homes: dict[tuple[str, str], str] = {}
+        self._job_failovers = 0
+        self._rejoins = 0
 
     # ------------------------------------------------------------------
     # Topology
@@ -210,8 +263,111 @@ class ShardRouter:
                     self._reregister(record)
                 if len(record.locations) < self.replicas:
                     under_replicated = True
+            # Re-home the dead shard's unfinished jobs right away (the
+            # dataset placements above are already consistent, so the
+            # re-submission lands on a live replica or ring successor).
+            # Terminal jobs are left for the lazy read-path resurrection:
+            # most are never read again.
+            for entry in list(self._jobs.values()):
+                if entry.shard != backend.name or entry.terminal:
+                    continue
+                try:
+                    self._failover_job_locked(entry)
+                except NoLiveShardsError:
+                    break
             if under_replicated and len(self.ring):
                 self._start_restore_locked()
+
+    def rejoin(self, backend: ShardBackend) -> None:
+        """Re-admit a healed (respawned) shard to the ring.
+
+        The supervisor's heal loop calls this after :meth:`~repro.
+        service.shard.supervisor.ShardSupervisor.respawn` brings a dead
+        worker back under the same name on a fresh port.  Under the
+        topology lock: a fresh forwarding client is built (the URL
+        changed), the ``dead`` flag clears, the name returns to the
+        ring, stale restore-failure marks for the node are forgotten
+        (it is a fresh process), datasets with *no* live replica are
+        re-registered synchronously, unfinished jobs still homed on
+        dead shards are re-submitted, and the background worker is
+        kicked to rebuild the K target.
+        """
+        with self._lock:
+            if not backend.dead:
+                return
+            self._clients[backend.name] = ServiceClient(
+                backend.url, timeout=self._client_timeout
+            )
+            backend.dead = False
+            self.ring.add(backend.name)
+            self._rejoins += 1
+            self._restore_failed = {
+                pair for pair in self._restore_failed if pair[1] != backend.name
+            }
+            recovered: set[int] = set()
+            for record in self._registrations.values():
+                if id(record.locations) in recovered:
+                    continue
+                recovered.add(id(record.locations))
+                if not any(
+                    not self._backends[name].dead for name in record.locations
+                ):
+                    # Every replica died while no shard was available to
+                    # take over: the rejoined worker adopts the dataset.
+                    self._reregister(record)
+            for entry in list(self._jobs.values()):
+                if entry.terminal or not self._backends[entry.shard].dead:
+                    continue
+                try:
+                    self._failover_job_locked(entry)
+                except NoLiveShardsError:  # pragma: no cover - defensive
+                    break
+            self._start_restore_locked()
+
+    def _failover_job_locked(self, entry: RoutedJob) -> bool:
+        """Re-submit one routed job to a live shard (lock held).
+
+        Returns ``True`` when the job has a new live home (the entry's
+        ``shard``/``local_id`` and the reverse map are updated in
+        place), ``False`` when a live shard *rejected* the re-submission
+        (deterministic error -- give up and let the read path surface
+        it).  Raises :class:`NoLiveShardsError` when nothing is live.
+        """
+        for _ in range(len(self._backends) + 1):
+            placement = self._placement_locked(entry.fingerprint)
+            target = placement[0] if placement else self._fallback_locked()
+            try:
+                status, payload = self._clients[target].request_bytes(
+                    "/v2/jobs", entry.body
+                )
+            except ServiceConnectionError:
+                self.mark_dead(self._backends[target])
+                continue
+            if status != 202:
+                return False
+            data = json.loads(payload)
+            self._job_homes.pop((entry.shard, entry.local_id), None)
+            entry.shard = target
+            entry.local_id = data["job_id"]
+            self._job_homes[(entry.shard, entry.local_id)] = entry.public_id
+            if entry.key is not None:
+                self.warm_keys.record(entry.key, target)
+            self._job_failovers += 1
+            return True
+        raise NoLiveShardsError("no live shards")
+
+    def _prune_jobs_locked(self) -> None:
+        """Bound the routed-job table (oldest terminal entries first)."""
+        excess = len(self._jobs) - self.MAX_ROUTED_JOBS
+        if excess <= 0:
+            return
+        for public_id in [
+            public_id
+            for public_id, entry in self._jobs.items()
+            if entry.terminal
+        ][:excess]:
+            entry = self._jobs.pop(public_id)
+            self._job_homes.pop((entry.shard, entry.local_id), None)
 
     def _reregister(self, record: RegisteredDataset) -> None:
         """Re-register one orphaned dataset on its ring successor (lock held)."""
@@ -445,6 +601,9 @@ class ShardRouter:
                 "replicas": self.replicas,
                 "replica_reads": self._replica_reads,
                 "rereplications": self._rereplications,
+                "routed_jobs": len(self._jobs),
+                "job_failovers": self._job_failovers,
+                "rejoins": self._rejoins,
             }
         return 200, canonical_json_bytes({"router": router, "shards": shards})
 
@@ -572,18 +731,82 @@ class ShardRouter:
         status, payload, target = self._forward_spec("/v2/jobs", raw, fingerprint, key)
         if status == 202:
             data = json.loads(payload)
-            data["job_id"] = f"{target}.{data['job_id']}"
+            local_id = data["job_id"]
+            public_id = f"{target}.{local_id}"
+            data["job_id"] = public_id
             payload = canonical_json_bytes(data)
+            with self._lock:
+                self._jobs[public_id] = RoutedJob(
+                    public_id=public_id,
+                    body=raw,
+                    fingerprint=fingerprint,
+                    key=key,
+                    shard=target,
+                    local_id=local_id,
+                )
+                self._job_homes[(target, local_id)] = public_id
+                self._prune_jobs_locked()
         return status, payload
 
     def handle_job_get(self, job_id: str, query: str) -> tuple[int, bytes]:
-        """``GET /v2/jobs/<shard>.<id>``: route by the id's namespace.
+        """``GET /v2/jobs/<id>``: follow the job to its current home.
 
         ``?wait=`` is forwarded verbatim, so long-polls block on the
-        owning shard's condition variable.  Jobs are process-local state:
-        ids on a dead shard read as 404, exactly as after a
-        single-process restart.
+        owning shard's condition variable.  Ids the router handed out
+        are resolved through the routed-job table, so a read finds the
+        job even after failover moved it: a dead (or 404ing) home
+        triggers a re-submission of the recorded body to a live shard
+        -- warm off a surviving replica, or a byte-identical cold
+        recompute -- and the read retries against the new home.  The
+        public id is stable across all of this.  Ids the router does
+        not know (evicted, or minted by a shard directly) fall back to
+        the namespace-prefix route.
         """
+        with self._lock:
+            entry = self._jobs.get(job_id)
+        if entry is None:
+            return self._job_get_by_namespace(job_id, query)
+        for _ in range(len(self._backends) + 2):
+            with self._lock:
+                shard, local_id = entry.shard, entry.local_id
+                if self._backends[shard].dead:
+                    if not self._failover_job_locked(entry):
+                        break
+                    continue
+            path = f"/v2/jobs/{local_id}" + (f"?{query}" if query else "")
+            try:
+                status, payload = self._clients[shard].request_bytes(path)
+            except ServiceConnectionError:
+                self.mark_dead(self._backends[shard])
+                continue
+            if status == 404:
+                # The home shard no longer knows the job (pruned, or a
+                # respawned process under the same name): resurrect it
+                # from the recorded body and re-read.
+                with self._lock:
+                    if (entry.shard, entry.local_id) != (shard, local_id):
+                        continue  # another thread already re-homed it
+                    if not self._failover_job_locked(entry):
+                        break
+                continue
+            if status == 200:
+                data = json.loads(payload)
+                job = self._public_job_ids(data["job"], shard)
+                job["id"] = entry.public_id
+                if job.get("status") in ("done", "error", "cancelled"):
+                    entry.terminal = True
+                payload = b'{"status":"ok","job":' + canonical_json_bytes(job)
+                if "result" in data:
+                    # Canonical re-encode is byte-stable for canonical
+                    # input, so the result bytes survive the id rewrite
+                    # untouched.
+                    payload += b',"result":' + canonical_json_bytes(data["result"])
+                payload += b"}"
+            return status, payload
+        return 404, _unknown_job(job_id)
+
+    def _job_get_by_namespace(self, job_id: str, query: str) -> tuple[int, bytes]:
+        """Read a job the routed table does not track (legacy path)."""
         shard, separator, local_id = job_id.partition(".")
         backend = self._backends.get(shard) if separator else None
         if backend is None or backend.dead:
@@ -596,11 +819,9 @@ class ShardRouter:
             return 404, _unknown_job(job_id)
         if status == 200:
             data = json.loads(payload)
-            job = _prefix_job_ids(data["job"], shard)
+            job = self._public_job_ids(data["job"], shard)
             payload = b'{"status":"ok","job":' + canonical_json_bytes(job)
             if "result" in data:
-                # Canonical re-encode is byte-stable for canonical input,
-                # so the result bytes survive the id rewrite untouched.
                 payload += b',"result":' + canonical_json_bytes(data["result"])
             payload += b"}"
         elif status == 404:
@@ -608,14 +829,33 @@ class ShardRouter:
             payload = _unknown_job(job_id)
         return status, payload
 
+    def _public_job_ids(self, snapshot: dict, shard: str) -> dict:
+        """Rewrite a shard-local snapshot's ids to the public (routed) ids.
+
+        The routed table wins (it survives failover re-homing); ids the
+        table does not track fall back to the birthplace prefix.
+        """
+        with self._lock:
+            snapshot["id"] = self._job_homes.get(
+                (shard, snapshot["id"]), f"{shard}.{snapshot['id']}"
+            )
+            coalesced = snapshot.get("coalesced_into")
+            if coalesced is not None:
+                snapshot["coalesced_into"] = self._job_homes.get(
+                    (shard, coalesced), f"{shard}.{coalesced}"
+                )
+        return snapshot
+
     def handle_job_list(self, query: str) -> tuple[int, bytes]:
         """``GET /v2/jobs``: merge every live shard's listing.
 
         Snapshots are id-namespaced, merged oldest-first by submission
         time, and trimmed to ``limit`` (each shard already returns its
         own most recent ``limit``, and the global tail is a subset of the
-        per-shard tails).  Dead or unreachable shards are skipped -- their
-        jobs are gone.
+        per-shard tails).  Dead or unreachable shards are skipped --
+        their unfinished jobs have already been re-homed onto live
+        shards by failover, so they appear in the merged listing under
+        their stable public ids.
         """
         parameters = parse_qs(query)
         dataset = parameters.get("dataset", [None])[0]
@@ -644,7 +884,7 @@ class ShardRouter:
             if status != 200:
                 continue
             for snapshot in json.loads(payload)["jobs"]:
-                merged.append(_prefix_job_ids(snapshot, name))
+                merged.append(self._public_job_ids(snapshot, name))
         merged.sort(key=lambda snapshot: snapshot["submitted_at"])
         merged = merged[-limit:] if limit else []
         return 200, canonical_json_bytes({"status": "ok", "jobs": merged})
@@ -869,14 +1109,6 @@ def reencode_envelope(item: dict) -> bytes:
     return head.encode("utf-8") + canonical_json_bytes(item["result"]) + b"}"
 
 
-def _prefix_job_ids(snapshot: dict, shard: str) -> dict:
-    """Namespace a job snapshot's ids with the owning shard's name."""
-    snapshot["id"] = f"{shard}.{snapshot['id']}"
-    if snapshot.get("coalesced_into") is not None:
-        snapshot["coalesced_into"] = f"{shard}.{snapshot['coalesced_into']}"
-    return snapshot
-
-
 def _unknown_job(job_id: str) -> bytes:
     return canonical_json_bytes(
         {"status": "error", "error": f"unknown job {job_id!r}"}
@@ -924,7 +1156,11 @@ class _RouterHandler(JSONRequestHandler):
             else:
                 self._send_error(404, f"unknown path {self.path!r}")
         except NoLiveShardsError as error:
-            self._send_error(503, str(error))
+            self._send_error(
+                503,
+                str(error),
+                headers=(("Retry-After", str(RETRY_AFTER_SECONDS)),),
+            )
         except (TypeError, ValueError) as error:
             self._send_error(400, _message(error))
         except Exception as error:  # pragma: no cover - defensive 500
@@ -953,7 +1189,11 @@ class _RouterHandler(JSONRequestHandler):
             else:
                 self._send_error(404, f"unknown path {self.path!r}")
         except NoLiveShardsError as error:
-            self._send_error(503, str(error))
+            self._send_error(
+                503,
+                str(error),
+                headers=(("Retry-After", str(RETRY_AFTER_SECONDS)),),
+            )
         except (TypeError, ValueError) as error:
             self._send_error(400, _message(error))
         except Exception as error:  # pragma: no cover - defensive 500

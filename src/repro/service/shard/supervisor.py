@@ -18,15 +18,25 @@ lifecycle:
   re-registered on their successor ring nodes from the router's own
   registration records -- caches start cold there, but every answer
   stays byte-identical.
+* **heal** (``--heal``) -- the watch loop additionally *respawns* dead
+  workers: a fresh process under the same shard name (new port), handed
+  back to the router's :meth:`~repro.service.shard.router.ShardRouter.
+  rejoin`, which re-adds it to the ring, replays register bodies where
+  needed, and lets background re-replication rebuild the K target -- the
+  cluster converges back to N live shards with no operator action.
 
 Workers are started with the ``spawn`` method: a clean interpreter per
 shard (no inherited locks from a threaded parent), exactly what a
-TCP-addressable multi-node deployment would look like.
+TCP-addressable multi-node deployment would look like.  ``spawn`` also
+copies the parent's environment, which is how the deterministic fault
+plans of :mod:`repro.service.faults` (``REPRO_FAULTS``) reach the
+workers; each worker scopes itself under its shard name.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 import time
 from collections.abc import Callable
@@ -37,24 +47,35 @@ from repro.service.client import ServiceClient, ServiceError
 
 def _shard_main(
     connection,
+    name: str,
     host: str,
     jobs: int,
     cache_entries: int,
     disk_cache: str | None,
     job_workers: int,
+    job_journal: str | None,
 ) -> None:  # pragma: no cover - runs in a child process
     """Worker entry point: one full service on an ephemeral port."""
     from repro.engine import resolve_engine
+    from repro.service import faults
     from repro.service.core import AnalysisService
     from repro.service.http import make_server
 
+    faults.set_scope(name)
     service = AnalysisService(
         engine=resolve_engine(jobs),
         max_cache_entries=cache_entries,
         disk_cache=disk_cache,
         job_workers=job_workers,
+        job_journal=job_journal,
     )
     server = make_server(service, host=host, port=0)
+    if job_journal is not None:
+        # Resume journaled work before the port is announced, so the
+        # router never observes a shard that has not replayed its log.
+        # (Jobs whose dataset is not re-registered yet are skipped but
+        # stay journaled; router-level job failover covers them.)
+        service.recover_jobs()
     connection.send(server.server_address[1])
     connection.close()
     try:
@@ -75,8 +96,9 @@ class ShardBackend:
     name: str
     url: str
     process: multiprocessing.Process | None = None
-    #: Flipped (once) by the router's failover path; a dead backend is
-    #: never routed to again in this supervisor's lifetime.
+    #: Flipped by the router's failover path; never routed to while set.
+    #: Cleared again only by ``ShardRouter.rejoin`` after the supervisor
+    #: heals (respawns) the worker under the same name.
     dead: bool = False
     started_at: float = field(default_factory=time.time)
 
@@ -100,6 +122,9 @@ class ShardSupervisor:
         Forwarded to each shard's :class:`AnalysisService`.  A shared
         ``disk_cache`` directory is safe (atomic same-bytes writes) and
         lets a failover successor reuse the dead shard's disk entries.
+    job_journal:
+        Optional job-journal root; each shard journals under its own
+        subdirectory (``<dir>/<name>``) and replays it on (re)spawn.
     start_timeout:
         Seconds to wait for all workers to report their ports.
     """
@@ -114,6 +139,7 @@ class ShardSupervisor:
         host: str = "127.0.0.1",
         start_timeout: float = 60.0,
         health_timeout: float = 5.0,
+        job_journal: str | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -122,15 +148,44 @@ class ShardSupervisor:
         self.cache_entries = cache_entries
         self.disk_cache = disk_cache
         self.job_workers = job_workers
+        self.job_journal = job_journal
         self.host = host
         self.start_timeout = start_timeout
         self.health_timeout = health_timeout
         self.backends: list[ShardBackend] = []
+        self.respawns = 0
         self._context = multiprocessing.get_context("spawn")
         self._watcher: threading.Thread | None = None
         self._stop_watching = threading.Event()
 
     # ------------------------------------------------------------------
+
+    def _spawn(self, name: str) -> tuple[multiprocessing.Process, object]:
+        """Start one worker process; returns (process, port pipe end)."""
+        journal = (
+            os.path.join(self.job_journal, name)
+            if self.job_journal is not None
+            else None
+        )
+        parent_end, child_end = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_shard_main,
+            args=(
+                child_end,
+                name,
+                self.host,
+                self.jobs,
+                self.cache_entries,
+                self.disk_cache,
+                self.job_workers,
+                journal,
+            ),
+            name=f"hypdb-shard-{name}",
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        return process, parent_end
 
     def start(self) -> list[ShardBackend]:
         """Spawn every worker, wait for their ports, return the backends."""
@@ -138,23 +193,9 @@ class ShardSupervisor:
             raise RuntimeError("supervisor already started")
         pending: list[tuple[str, multiprocessing.Process, object]] = []
         for index in range(self.shards):
-            parent_end, child_end = self._context.Pipe(duplex=False)
-            process = self._context.Process(
-                target=_shard_main,
-                args=(
-                    child_end,
-                    self.host,
-                    self.jobs,
-                    self.cache_entries,
-                    self.disk_cache,
-                    self.job_workers,
-                ),
-                name=f"hypdb-shard-{index}",
-                daemon=True,
-            )
-            process.start()
-            child_end.close()
-            pending.append((f"s{index}", process, parent_end))
+            name = f"s{index}"
+            process, parent_end = self._spawn(name)
+            pending.append((name, process, parent_end))
         deadline = time.monotonic() + self.start_timeout
         try:
             for name, process, parent_end in pending:
@@ -176,6 +217,37 @@ class ShardSupervisor:
                 process.terminate()
             raise
         return self.backends
+
+    def respawn(self, backend: ShardBackend) -> ShardBackend:
+        """Start a replacement worker for a dead backend (same name).
+
+        Mutates the existing :class:`ShardBackend` in place -- process
+        handle, URL (fresh ephemeral port), start time -- so every
+        reference the router holds stays valid.  The ``dead`` flag is
+        **not** cleared here: the respawned shard is empty (or holds
+        only its replayed journal) until the router's ``rejoin`` re-adds
+        it to the ring under the topology lock.
+        """
+        if backend.process_alive():
+            raise RuntimeError(f"shard {backend.name} is still alive")
+        if backend.process is not None:
+            backend.process.join(timeout=10)
+            if hasattr(backend.process, "close"):
+                backend.process.close()
+        process, parent_end = self._spawn(backend.name)
+        if not parent_end.poll(self.start_timeout):
+            process.terminate()
+            raise TimeoutError(
+                f"respawned shard {backend.name} did not report a port within "
+                f"{self.start_timeout}s"
+            )
+        port = parent_end.recv()
+        parent_end.close()
+        backend.process = process
+        backend.url = f"http://{self.host}:{port}"
+        backend.started_at = time.time()
+        self.respawns += 1
+        return backend
 
     # ------------------------------------------------------------------
 
@@ -212,13 +284,23 @@ class ShardSupervisor:
             return False
 
     def watch(
-        self, on_death: Callable[[ShardBackend], None], interval: float = 1.0
+        self,
+        on_death: Callable[[ShardBackend], None],
+        interval: float = 1.0,
+        heal: bool = False,
+        on_respawn: Callable[[ShardBackend], None] | None = None,
     ) -> None:
         """Start a daemon thread reporting shard deaths to ``on_death``.
 
         The callback fires at most once per backend (the ``dead`` flag is
         checked, and the router's failover is idempotent anyway); request
         -path detection in the router covers the window between polls.
+
+        With ``heal=True`` the loop also *repairs* what it reports: a
+        backend that is marked dead and whose process has exited is
+        respawned under the same name, then handed to ``on_respawn``
+        (the router's ``rejoin``) to re-enter the ring.  A respawn that
+        fails (e.g. port timeout) is retried on the next poll tick.
         """
         if self._watcher is not None:
             raise RuntimeError("watcher already running")
@@ -228,6 +310,13 @@ class ShardSupervisor:
                 for backend in self.backends:
                     if not backend.dead and not self.healthy(backend):
                         on_death(backend)
+                    if heal and backend.dead and not backend.process_alive():
+                        try:
+                            self.respawn(backend)
+                        except Exception:
+                            continue
+                        if on_respawn is not None:
+                            on_respawn(backend)
 
         self._watcher = threading.Thread(
             target=_poll, name="hypdb-shard-watch", daemon=True

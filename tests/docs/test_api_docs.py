@@ -85,15 +85,32 @@ def test_v1_successors_are_documented():
     assert 'rel="successor-version"' in doc
 
 
-def test_dead_shard_jobs_sharp_edge_is_documented():
-    """The jobs-die-with-their-shard contract is written down, twice."""
+def test_job_durability_semantics_are_documented():
+    """The durability lifecycle replaced the old sharp edge, everywhere.
+
+    The contract: journaled restarts resume jobs byte-identically
+    (``--job-journal``), the router re-homes a dead shard's jobs under
+    stable public ids, ``--heal`` respawns workers, a genuinely lost id
+    raises ``JobLostError``, and 503s carry ``Retry-After``.
+    """
     api = API_DOC.read_text(encoding="utf-8")
-    assert "Jobs are process-local state" in api
-    assert "404 after failover" in api
-    # ...and cross-referenced to the durable-jobs roadmap item.
-    assert "Durable" in api and "ROADMAP" in api
+    assert "Durable jobs and failover" in api
+    assert "--job-journal" in api
+    assert "--heal" in api
+    assert "JobLostError" in api
+    assert "Retry-After" in api
+    # The old contract is gone: jobs no longer die with their shard.
+    assert "Jobs are process-local state" not in api
+    assert "404 after failover" not in api
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-    assert "404 after failover" in readme
+    assert "--job-journal" in readme and "--heal" in readme
+    assert "JobLostError" in readme
+    assert "404 after failover" not in readme
+    architecture = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+        encoding="utf-8"
+    )
+    assert "## Failure handling" in architecture
+    assert "journal" in architecture and "REPRO_FAULTS" in architecture
 
 
 def test_readme_links_the_docs_tier():

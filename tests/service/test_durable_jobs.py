@@ -1,0 +1,330 @@
+"""Durable async jobs: the journal, crash-resume, and compaction safety.
+
+The contract: with ``job_journal`` set, every job lifecycle transition
+is written ahead to an append-only JSONL log, and a *restarted* service
+pointed at the same directory resumes queued and running-but-unfinished
+jobs under their original ids -- warm specs complete instantly off the
+disk result cache, cold ones recompute **byte-identically** (results
+are deterministic functions of dataset content, spec, and seed).
+
+Corruption is data loss bounded to the torn line: truncated tails and
+interleaved partial records are skipped and counted, replay is
+idempotent, and compaction never drops a ``finished`` record whose
+result bytes are not durably in the disk cache (the fault harness tears
+the cache write to prove it).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.datasets import staples_data
+from repro.service import faults
+from repro.service.client import JobLostError, ServiceClient
+from repro.service.core import AnalysisService
+from repro.service.http import make_server
+from repro.service.jobs import DONE, ERROR, RUNNING, JobManager
+from repro.service.journal import FINISHED, JobJournal
+from repro.service.spec import spec_from_dict
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+SQL2 = "SELECT Region, avg(Price) FROM t GROUP BY Region"
+
+
+def _columns(seed=51):
+    table = staples_data(n_rows=200, seed=seed)
+    return {name: table.column(name) for name in table.columns}
+
+
+def _spec(sql=SQL, dataset="d"):
+    return spec_from_dict({"kind": "query", "dataset": dataset, "sql": sql})
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    """Every test starts and ends with no armed fault plan."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestCrashResume:
+    def test_restart_resumes_queued_and_running_jobs(self, tmp_path):
+        """The acceptance bar: kill a service mid-job, restart against the
+        same journal, and both the running and the queued job complete
+        with bytes identical to an unjournaled control."""
+        journal_dir = str(tmp_path / "journal")
+        source = _columns()
+        control = AnalysisService()
+        control.register("d", columns=source)
+        expected = {
+            SQL: control.execute(_spec(SQL)).payload,
+            SQL2: control.execute(_spec(SQL2)).payload,
+        }
+
+        crashed = AnalysisService(job_workers=1, job_journal=journal_dir)
+        crashed.register("d", columns=source)
+        gate = threading.Event()
+        original_compute = crashed._compute
+
+        def _blocked(spec, entry):
+            gate.wait(60)
+            return original_compute(spec, entry)
+
+        crashed._compute = _blocked
+        running = crashed.job_manager.submit(_spec(SQL))
+        queued = crashed.job_manager.submit(_spec(SQL2))
+        deadline = time.monotonic() + 30
+        while running.status != RUNNING and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert running.status == RUNNING  # pinned mid-compute, journaled
+        assert queued.status != DONE
+
+        # "Restart": a fresh service over the same journal directory (the
+        # first one is still wedged -- exactly what a crash looks like to
+        # the journal, which has submitted/started but no terminal lines).
+        restarted = AnalysisService(job_journal=journal_dir)
+        restarted.register("d", columns=source)
+        summary = restarted.recover_jobs()
+        assert summary["resumed"] == 2
+        assert summary["corrupt"] == 0
+        for job_id, sql in ((running.id, SQL), (queued.id, SQL2)):
+            job = restarted.job_manager.wait(job_id, timeout=120)
+            assert job.id == job_id  # original ids survive the restart
+            assert job.status == DONE
+            assert job.service_result().payload == expected[sql]
+        # Fresh ids start past every replayed id -- no collisions.
+        fresh = restarted.job_manager.submit(_spec(SQL))
+        assert fresh.id not in (running.id, queued.id)
+
+        gate.set()
+        crashed.close()
+        restarted.close()
+        control.close()
+
+    def test_warm_resume_completes_without_recompute(self, tmp_path):
+        """A resumed job whose bytes are already in the shared disk cache
+        completes off the cache -- the compute path must not run."""
+        journal_dir = str(tmp_path / "journal")
+        disk = str(tmp_path / "cache")
+        source = _columns()
+        warmer = AnalysisService(disk_cache=disk)
+        warmer.register("d", columns=source)
+        spec = _spec(SQL)
+        expected = warmer.execute(spec).payload
+        fingerprint = warmer.registry.get("d").fingerprint
+        warmer.close()
+
+        # A crashed server left a submitted+started job behind.
+        journal = JobJournal(journal_dir)
+        journal.record_submitted("j00000001", spec.to_dict())
+        journal.record_started("j00000001")
+
+        restarted = AnalysisService(job_journal=journal_dir, disk_cache=disk)
+        restarted.register("d", columns=source)
+
+        def _no_compute(spec, entry):  # noqa: ARG001 - signature parity
+            raise AssertionError("warm resume must not recompute")
+
+        restarted._compute = _no_compute
+        assert restarted.recover_jobs()["resumed"] == 1
+        job = restarted.job_manager.wait("j00000001", timeout=60)
+        assert job.status == DONE
+        assert job.key == spec.request_key(fingerprint)
+        assert job.service_result().payload == expected
+        restarted.close()
+
+    def test_recover_is_idempotent_and_skips_unknown_datasets(self, tmp_path):
+        journal_dir = str(tmp_path / "journal")
+        journal = JobJournal(journal_dir)
+        journal.record_submitted("j00000001", _spec(SQL).to_dict())
+        journal.record_submitted(
+            "j00000002", _spec(SQL, dataset="never-registered").to_dict()
+        )
+        service = AnalysisService(job_journal=journal_dir)
+        service.register("d", columns=_columns())
+        first = service.recover_jobs()
+        assert first["resumed"] == 1
+        assert first["skipped"] == 1  # unknown dataset stays journaled
+        listing = service.job_manager.list()
+        second = service.recover_jobs()
+        assert second["resumed"] == 0  # replaying twice changes nothing
+        assert [job["id"] for job in service.job_manager.list()] == [
+            job["id"] for job in listing
+        ]
+        service.close()
+
+    def test_failed_jobs_restore_terminal_state_without_recompute(self, tmp_path):
+        journal_dir = str(tmp_path / "journal")
+        journal = JobJournal(journal_dir)
+        journal.record_submitted("j00000001", _spec(SQL).to_dict())
+        journal.record_started("j00000001")
+        journal.record_failed("j00000001", "unknown dataset 'd'", 404)
+        service = AnalysisService(job_journal=journal_dir)
+        service.register("d", columns=_columns())
+        summary = service.recover_jobs()
+        assert summary["restored_failed"] == 1
+        assert summary["resumed"] == 0
+        job = service.job_manager.get("j00000001")
+        assert job.status == ERROR
+        assert job.error == "unknown dataset 'd'"
+        assert job.error_status == 404
+        service.close()
+
+
+class TestJournalCorruption:
+    def test_truncated_trailing_line_is_skipped_and_healed(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        journal.record_submitted("j00000001", _spec(SQL).to_dict())
+        journal.record_submitted("j00000002", _spec(SQL2).to_dict())
+        # Crash mid-write: the trailing record loses its tail.
+        raw = journal.path.read_bytes()
+        journal.path.write_bytes(raw[:-15])
+        state = journal.replay()
+        assert state.corrupt_lines == 1
+        assert set(state.records) == {"j00000001"}
+        # Reopen (the restart path): the tail is re-terminated, so the
+        # next append starts a fresh record instead of gluing onto junk.
+        reopened = JobJournal(str(tmp_path))
+        assert reopened.path.read_bytes().endswith(b"\n")
+        reopened.record_submitted("j00000003", _spec(SQL2).to_dict())
+        state = reopened.replay()
+        assert set(state.records) == {"j00000001", "j00000003"}
+        assert state.corrupt_lines == 1
+
+    def test_fault_injected_torn_write_interleaves_partial_records(self, tmp_path):
+        # The second append is torn mid-record; the third glues onto the
+        # partial line -- replay must lose exactly those two, as one
+        # corrupt line, and keep everything else.
+        faults.install(
+            [{"site": "journal.append", "action": "torn", "keep_bytes": 10, "after": 1}]
+        )
+        journal = JobJournal(str(tmp_path))
+        journal.record_submitted("j00000001", _spec(SQL).to_dict())
+        journal.record_submitted("j00000002", _spec(SQL2).to_dict())
+        journal.record_submitted("j00000003", _spec(SQL).to_dict())
+        assert faults.active().fired("journal.append") == 1
+        state = journal.replay()
+        assert set(state.records) == {"j00000001"}
+        assert state.corrupt_lines == 1
+        assert journal.stats()["corrupt_skipped"] == 1
+
+    def test_replay_twice_is_identical_on_a_corrupt_journal(self, tmp_path):
+        faults.install(
+            [{"site": "journal.append", "action": "torn", "keep_bytes": 7, "after": 2}]
+        )
+        journal = JobJournal(str(tmp_path))
+        journal.record_submitted("j00000001", _spec(SQL).to_dict())
+        journal.record_started("j00000001")
+        journal.record_finished("j00000001", "some-key")  # torn
+        first = journal.replay()
+        second = journal.replay()
+        assert first.records == second.records
+        assert first.corrupt_lines == second.corrupt_lines == 1
+        # The finished line was the torn one: the job replays unfinished
+        # (and would be resumed -- deterministic recompute, same bytes).
+        assert first.records["j00000001"].status != FINISHED
+
+
+class TestCompactionSafety:
+    def test_compaction_keeps_finished_records_not_yet_on_disk(self, tmp_path):
+        """Satellite: a finished record whose result bytes never reached
+        the disk cache (torn write) must survive compaction -- dropping
+        it would lose the only path back to the result."""
+        journal_dir = str(tmp_path / "journal")
+        disk = str(tmp_path / "cache")
+        source = _columns()
+        service = AnalysisService(job_journal=journal_dir, disk_cache=disk)
+        service.register("d", columns=source)
+        fingerprint = service.registry.get("d").fingerprint
+        lost_key = _spec(SQL).request_key(fingerprint)
+        # Tear exactly the first job's cache write; the second lands.
+        faults.install(
+            [{"site": "cache.disk_write", "action": "error", "match": {"key": lost_key}}]
+        )
+        manager = service.job_manager
+        lost = manager.wait(manager.submit(_spec(SQL)).id, timeout=120)
+        durable = manager.wait(manager.submit(_spec(SQL2)).id, timeout=120)
+        assert lost.status == durable.status == DONE
+        assert service.cache.stats.disk_errors >= 1
+        assert not service.cache.on_disk(lost.key)
+        assert service.cache.on_disk(durable.key)
+
+        summary = manager.journal.compact(service.cache.on_disk)
+        assert summary["written"] is True
+        assert summary["dropped"] == 1
+        state = manager.journal.replay()
+        assert lost.id in state.records  # kept: bytes not durable
+        assert durable.id not in state.records  # dropped: bytes on disk
+        assert state.records[lost.id].status == FINISHED
+        expected = lost.service_result().payload
+        service.close()
+
+        # A restart recomputes the kept job byte-identically.
+        faults.clear()
+        restarted = AnalysisService(job_journal=journal_dir, disk_cache=disk)
+        restarted.register("d", columns=source)
+        assert restarted.recover_jobs()["resumed"] == 1
+        job = restarted.job_manager.wait(lost.id, timeout=120)
+        assert job.status == DONE
+        assert job.service_result().payload == expected
+        restarted.close()
+
+    def test_terminal_records_trigger_automatic_compaction(self, tmp_path):
+        disk = str(tmp_path / "cache")
+        service = AnalysisService(disk_cache=disk)
+        service.register("d", columns=_columns())
+        journal = JobJournal(str(tmp_path / "journal"), compact_every=2)
+        manager = JobManager(service, workers=1, journal=journal)
+        manager.wait(manager.submit(_spec(SQL)).id, timeout=120)
+        manager.wait(manager.submit(_spec(SQL2)).id, timeout=120)
+        assert journal.compactions >= 1
+        # Both results are on disk, so both finished records compacted away.
+        assert journal.replay().records == {}
+        manager.close()
+        service.close()
+
+
+class TestJobLostError:
+    def test_lost_job_raises_typed_error_carrying_the_spec(self):
+        service = AnalysisService()
+        service.register("d", columns=_columns())
+        server = make_server(service)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        client = ServiceClient("http://127.0.0.1:%d" % server.server_address[1])
+        try:
+            spec = {"kind": "query", "dataset": "d", "sql": SQL}
+            accepted = client.submit(spec)
+            client.wait(accepted["job_id"], timeout=120)
+            # Simulate total state loss (a restart without a journal).
+            with service.job_manager._lock:
+                service.job_manager._jobs.pop(accepted["job_id"])
+            with pytest.raises(JobLostError) as excinfo:
+                client.job(accepted["job_id"])
+            assert excinfo.value.status == 404
+            assert excinfo.value.job_id == accepted["job_id"]
+            assert excinfo.value.spec == spec  # enough to re-submit
+            # Ids this client never submitted carry no spec.
+            with pytest.raises(JobLostError) as excinfo:
+                client.job("j99999999")
+            assert excinfo.value.spec is None
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_journal_counters_surface_in_stats(self, tmp_path):
+        service = AnalysisService(job_journal=str(tmp_path))
+        service.register("d", columns=_columns())
+        manager = service.job_manager
+        manager.wait(manager.submit(_spec(SQL)).id, timeout=120)
+        stats = manager.stats()
+        assert stats["journal"]["appended"] >= 3  # submitted/started/finished
+        assert stats["journal"]["write_errors"] == 0
+        assert stats["recovered"] == 0
+        assert json.dumps(stats)  # JSON-ready for /stats
+        service.close()

@@ -1,0 +1,207 @@
+"""Router-level job failover, driven by the deterministic fault harness.
+
+The acceptance bar: a submitted *cold* job survives the owning shard's
+death -- the router re-submits the journaled spec body to a live shard
+and ``wait()`` returns bytes identical to a single-process control.
+The fault plan (``REPRO_FAULTS``, inherited by the spawned workers)
+pins the job mid-compute on the doomed shard with a ``slow`` rule, so
+the kill happens at a deterministic point with no sleeps standing in
+for synchronization; ring owners are precomputed from the dataset
+fingerprint, so "the doomed shard" is chosen, not discovered.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.report import canonical_json_bytes
+from repro.datasets import staples_data
+from repro.service import faults
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.core import AnalysisService, build_table
+from repro.service.fingerprint import fingerprint_table
+from repro.service.shard import ShardRouter, ShardSupervisor, make_router_server
+from repro.service.shard.ring import HashRing
+from repro.service.shard.supervisor import ShardBackend
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+
+
+def _columns(seed):
+    table = staples_data(n_rows=250, seed=seed)
+    return {name: table.column(name) for name in table.columns}
+
+
+def _owner(source, shards=2):
+    """The ring owner the cluster will pick, computed before it exists."""
+    fingerprint = fingerprint_table(build_table(columns=source))
+    return HashRing([f"s{index}" for index in range(shards)]).node_for(fingerprint)
+
+
+def _start_cluster(rules, shards=2):
+    """Spawn a faulted cluster; the plan reaches workers via the env.
+
+    The env var is set only across ``start()`` (spawned children copy
+    the parent environment) and popped right after, so the *test*
+    process never arms the plan -- control computations stay clean.
+    """
+    os.environ[faults.ENV_VAR] = json.dumps(rules)
+    try:
+        supervisor = ShardSupervisor(shards=shards, start_timeout=120.0)
+        backends = supervisor.start()
+    finally:
+        os.environ.pop(faults.ENV_VAR, None)
+        faults.clear()
+    router = ShardRouter(backends)
+    server = make_router_server(router)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServiceClient("http://127.0.0.1:%d" % server.server_address[1])
+    return supervisor, router, server, client
+
+
+def _stop_cluster(supervisor, server):
+    server.shutdown()
+    server.server_close()
+    supervisor.close()
+
+
+class TestKillMidJob:
+    def test_cold_job_survives_owning_shard_death_byte_identically(self):
+        """Submit -> pinned mid-compute on the owner -> kill -> wait()
+        completes on the survivor with the control's exact bytes."""
+        source = _columns(61)
+        owner = _owner(source)
+        spec = {"kind": "query", "dataset": "doomed", "sql": SQL}
+        rules = [
+            {
+                "site": "service.compute",
+                "action": "slow",
+                "seconds": 30,
+                "scope": owner,
+                "match": {"dataset": "doomed"},
+            }
+        ]
+        supervisor, router, server, client = _start_cluster(rules)
+        control = AnalysisService()
+        try:
+            client.register("doomed", columns=source)
+            assert router._registrations["doomed"].location == owner
+            control.register("doomed", columns=source)
+            expected = control.query("doomed", SQL).payload  # canonical bytes
+
+            accepted = client.submit(spec)
+            job_id = accepted["job_id"]
+            assert job_id.startswith(f"{owner}.")
+            # The slow rule pins the job in the running state on the
+            # owner -- the kill below is deterministically mid-compute.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if client.job(job_id)["job"]["status"] == "running":
+                    break
+                time.sleep(0.02)
+            assert client.job(job_id)["job"]["status"] == "running"
+
+            supervisor.kill(owner)
+            router.mark_dead(router._backends[owner])
+
+            finished = client.wait(job_id, timeout=120)
+            assert finished["job"]["id"] == job_id  # public id is stable
+            assert finished["job"]["status"] == "done"
+            assert canonical_json_bytes(finished["result"]) == expected
+            # Reads stay stable after the failover settled.
+            again = client.job(job_id)
+            assert again["job"]["id"] == job_id
+            assert canonical_json_bytes(again["result"]) == expected
+            assert again["job"]["status"] == "done"
+            stats = client.stats()["router"]
+            assert stats["job_failovers"] >= 1
+            assert owner not in stats["live_shards"]
+            # The merged listing reports the job under its public id.
+            listing = client.jobs()["jobs"]
+            assert job_id in [snapshot["id"] for snapshot in listing]
+        finally:
+            control.close()
+            _stop_cluster(supervisor, server)
+
+
+class TestKillMidRequest:
+    def test_sync_request_fails_over_when_the_shard_dies_mid_compute(self):
+        """A ``kill`` rule crashes the owner inside the synchronous read
+        path; the router retires it and the retry answers identically."""
+        source = _columns(62)
+        owner = _owner(source)
+        rules = [
+            {
+                "site": "service.compute",
+                "action": "kill",
+                "scope": owner,
+                "match": {"dataset": "doomed"},
+            }
+        ]
+        supervisor, router, server, client = _start_cluster(rules)
+        control = AnalysisService()
+        try:
+            client.register("doomed", columns=source)
+            assert router._registrations["doomed"].location == owner
+            control.register("doomed", columns=source)
+            expected = control.query("doomed", SQL).payload  # canonical bytes
+            response = client.query("doomed", SQL)  # crashes s<owner> inside
+            assert canonical_json_bytes(response["result"]) == expected
+            assert router._backends[owner].dead
+            assert client.stats()["router"]["failovers"] >= 1
+        finally:
+            control.close()
+            _stop_cluster(supervisor, server)
+
+
+class TestRetryAfter:
+    def _dead_router(self):
+        backend = ShardBackend(name="s0", url="http://127.0.0.1:9")
+        router = ShardRouter([backend])
+        router.mark_dead(backend)
+        server = make_router_server(router)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        return server, "http://127.0.0.1:%d" % server.server_address[1]
+
+    def test_503_carries_retry_after_header(self):
+        server, url = self._dead_router()
+        try:
+            request = urllib.request.Request(
+                url + "/query",
+                data=json.dumps({"dataset": "d", "sql": SQL}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] == "1"
+            assert json.loads(excinfo.value.read())["error"] == "no live shards"
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_client_honors_retry_after_bounded(self, monkeypatch):
+        server, url = self._dead_router()
+        pauses = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", lambda seconds: pauses.append(seconds)
+        )
+        try:
+            client = ServiceClient(url, retries=2, backoff=0.0)
+            with pytest.raises(ServiceError) as excinfo:
+                client.query("d", SQL)
+            assert excinfo.value.status == 503
+            # One bounded pause per retry, at the advertised second --
+            # not the exponential backoff (the server asked for this).
+            assert pauses == [1.0, 1.0]
+            assert all(p <= ServiceClient.RETRY_AFTER_CAP for p in pauses)
+        finally:
+            server.shutdown()
+            server.server_close()

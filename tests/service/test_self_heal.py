@@ -1,0 +1,188 @@
+"""Supervisor self-healing: respawn dead shards and re-join the ring.
+
+The heal loop (``watch(..., heal=True, on_respawn=router.rejoin)``)
+turns shard death into a transient: the supervisor respawns the worker
+under the same name on a fresh port, the router re-admits it to the
+ring, background re-replication rebuilds the K target, and -- for a
+total-loss cluster -- the rejoined worker adopts datasets that lost
+every replica.  All read paths stay byte-identical to a single-process
+control throughout, because results are deterministic functions of
+(dataset content, spec, seed).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.report import canonical_json_bytes
+from repro.datasets import staples_data
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.core import AnalysisService
+from repro.service.shard import ShardRouter, ShardSupervisor, make_router_server
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+
+
+def _columns(seed):
+    table = staples_data(n_rows=250, seed=seed)
+    return {name: table.column(name) for name in table.columns}
+
+
+def _serve(router):
+    server = make_router_server(router)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServiceClient("http://127.0.0.1:%d" % server.server_address[1])
+    return server, client
+
+
+def _expected_bytes(source):
+    control = AnalysisService()
+    try:
+        control.register("d", columns=source)
+        return control.query("d", SQL).payload  # canonical bytes
+    finally:
+        control.close()
+
+
+def _poll(predicate, timeout=60.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestRespawnRejoin:
+    def test_respawned_shard_rejoins_and_replication_recovers_k(self, tmp_path):
+        """Kill one replica of a K=2 dataset, respawn it, rejoin it:
+        the placement converges back to two live replicas and the
+        restored worker really holds the dataset again."""
+        source = _columns(71)
+        expected = _expected_bytes(source)
+        supervisor = ShardSupervisor(
+            shards=2, start_timeout=120.0, job_journal=str(tmp_path)
+        )
+        backends = supervisor.start()
+        router = ShardRouter(backends, replicas=2)
+        server, client = _serve(router)
+        try:
+            client.register("d", columns=source)
+            record = router._registrations["d"]
+            assert len(record.locations) == 2
+            accepted = client.submit({"kind": "query", "dataset": "d", "sql": SQL})
+            client.wait(accepted["job_id"], timeout=120)
+
+            victim = record.locations[0]
+            backend = supervisor.backend(victim)
+            supervisor.kill(victim)
+            router.mark_dead(backend)
+            assert list(record.locations) == [record.locations[0]]
+
+            supervisor.respawn(backend)
+            assert supervisor.respawns == 1
+            router.rejoin(backend)
+            assert backend.dead is False
+            assert client.stats()["router"]["rejoins"] == 1
+
+            # Background re-replication replays the register body onto
+            # the fresh worker until the dataset is back at K=2.
+            assert _poll(lambda: len(record.locations) == 2)
+            assert len(set(record.locations)) == 2
+            restored = ServiceClient(backend.url)
+            assert "d" in restored.datasets()
+
+            # Reads and the pre-kill job stay byte-identical throughout.
+            response = client.query("d", SQL)
+            assert canonical_json_bytes(response["result"]) == expected
+            finished = client.wait(accepted["job_id"], timeout=120)
+            assert finished["job"]["id"] == accepted["job_id"]
+            assert canonical_json_bytes(finished["result"]) == expected
+        finally:
+            server.shutdown()
+            server.server_close()
+            supervisor.close()
+
+    def test_respawn_refuses_a_live_backend(self):
+        supervisor = ShardSupervisor(shards=1, start_timeout=120.0)
+        backends = supervisor.start()
+        try:
+            with pytest.raises(RuntimeError, match="still alive"):
+                supervisor.respawn(backends[0])
+        finally:
+            supervisor.close()
+
+
+class TestHealLoop:
+    def test_watch_heal_converges_without_operator_intervention(self):
+        """``--heal`` end to end: the watch thread detects the death,
+        marks it dead (failover), respawns the worker, and rejoins it
+        -- no manual respawn()/rejoin() calls anywhere."""
+        source = _columns(72)
+        expected = _expected_bytes(source)
+        supervisor = ShardSupervisor(shards=2, start_timeout=120.0)
+        backends = supervisor.start()
+        router = ShardRouter(backends)
+        server, client = _serve(router)
+        try:
+            client.register("d", columns=source)
+            victim = router._registrations["d"].location
+            backend = supervisor.backend(victim)
+            supervisor.watch(
+                router.mark_dead, interval=0.1, heal=True, on_respawn=router.rejoin
+            )
+            supervisor.kill(victim)
+
+            # One heal-loop pass: death noticed -> failover -> respawn
+            # -> rejoin.  Converged means the backend is alive again.
+            assert _poll(lambda: supervisor.respawns >= 1 and not backend.dead)
+            stats = client.stats()["router"]
+            assert stats["rejoins"] >= 1
+            assert sorted(stats["live_shards"]) == ["s0", "s1"]
+
+            response = client.query("d", SQL)
+            assert canonical_json_bytes(response["result"]) == expected
+        finally:
+            server.shutdown()
+            server.server_close()
+            supervisor.close()
+
+
+class TestTotalLoss:
+    def test_single_shard_cluster_recovers_from_total_loss(self):
+        """Every replica dead: reads 503 until the heal; the rejoined
+        worker adopts the orphaned dataset and answers identically."""
+        source = _columns(73)
+        expected = _expected_bytes(source)
+        supervisor = ShardSupervisor(shards=1, start_timeout=120.0)
+        backends = supervisor.start()
+        router = ShardRouter(backends)
+        server, _ = _serve(router)
+        client = ServiceClient(
+            "http://127.0.0.1:%d" % server.server_address[1], retries=0
+        )
+        try:
+            client.register("d", columns=source)
+            before = client.query("d", SQL)
+            assert canonical_json_bytes(before["result"]) == expected
+
+            backend = backends[0]
+            supervisor.kill("s0")
+            router.mark_dead(backend)
+            with pytest.raises(ServiceError) as excinfo:
+                client.query("d", SQL)
+            assert excinfo.value.status == 503
+
+            supervisor.respawn(backend)
+            router.rejoin(backend)  # adopts the dataset: no live replica
+            response = client.query("d", SQL)
+            assert response["cached"] is False  # fresh process, cold
+            assert canonical_json_bytes(response["result"]) == expected
+            assert client.stats()["router"]["rejoins"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            supervisor.close()

@@ -23,7 +23,7 @@ import pytest
 
 from repro.core.report import canonical_json_bytes
 from repro.datasets import staples_data
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import ServiceClient
 from repro.service.core import AnalysisService
 from repro.service.http import make_server
 from repro.service.shard import ShardRouter, ShardSupervisor, make_router_server
@@ -212,8 +212,8 @@ class TestOwnerDeathFailover:
         with router._lock:
             router._restore_failed.add((record.fingerprint, third))
 
-        # A job owned by the doomed shard: its id must 404 after the kill
-        # (jobs are process-local; the documented docs/API.md sharp edge).
+        # A job owned by the doomed shard: after the kill the router must
+        # re-home it onto the surviving replica -- warm, zero recompute.
         accepted = None
         for _ in range(10):
             candidate = cluster.sharded.submit(
@@ -249,11 +249,17 @@ class TestOwnerDeathFailover:
         # replica throughout (the survivor stayed in the record).
         assert survivor in record.locations
 
-        # The dead shard's in-memory jobs are gone: documented 404.
-        with pytest.raises(ServiceError) as excinfo:
-            cluster.sharded.job(accepted["job_id"])
-        assert excinfo.value.status == 404
-        assert accepted["job_id"] in excinfo.value.message
+        # The dead shard's jobs survive: the router lazily re-submits the
+        # recorded spec to the survivor on the next read.  The key is
+        # warm there, so even the resurrection recomputes nothing.
+        finished = cluster.sharded.wait(accepted["job_id"], timeout=120)
+        assert finished["job"]["id"] == accepted["job_id"]
+        control = json.loads(controls["/query"])
+        assert canonical_json_bytes(finished["result"]) == canonical_json_bytes(
+            control["result"]
+        )
+        assert _shard_kernel_total(cluster.sharded, survivor) == kernels_before
+        assert cluster.sharded.stats()["router"]["job_failovers"] >= 1
 
     def test_background_rereplication_restores_the_k_target(self, cluster):
         """After the owner kill above, the router re-replicates onto the
