@@ -2,7 +2,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: ci test fast slow cov lint docstrings chaos bench gate regen-baseline serve serve-sharded
+.PHONY: ci test fast slow cov lint docstrings workflows chaos cluster bench gate regen-baseline serve serve-sharded serve-cluster
 
 ci:
 	bash scripts/ci.sh
@@ -24,10 +24,15 @@ cov:
 
 lint:
 	ruff check src tests benchmarks scripts
+	python scripts/check_workflows.py
 
 # Public service/engine definitions must carry docstrings (stdlib gate).
 docstrings:
 	python scripts/check_docstrings.py
+
+# Workflow lint on its own: actions SHA-pinned, jobs time-boxed.
+workflows:
+	python scripts/check_workflows.py
 
 # Fault-injection lane: journal crash-resume, job failover, self-heal.
 chaos:
@@ -37,6 +42,12 @@ chaos:
 		tests/service/test_self_heal.py
 	python examples/durable_client.py
 
+# Cluster lane: remote-node tests in-process, then the real CLI
+# processes over loopback TCP with a SIGKILL mid-run.
+cluster:
+	python -m pytest -q tests/service/test_remote_nodes.py
+	python scripts/cluster_smoke.py
+
 bench:
 	REPRO_BENCH_SCALE=$(or $(REPRO_BENCH_SCALE),0.25) \
 		python -m pytest -q \
@@ -45,23 +56,28 @@ bench:
 			benchmarks/bench_dataset_plane.py \
 			benchmarks/bench_shard_scaling.py \
 			benchmarks/bench_replication.py \
-			benchmarks/bench_durability.py
+			benchmarks/bench_durability.py \
+			benchmarks/bench_remote_nodes.py
 
 gate:
 	python scripts/check_bench_regression.py
 
-# Regenerate the regression-gate baselines on THIS machine (the gate
-# records cpu_count; regenerate on the CI runner class -- or dispatch the
-# nightly baseline-regen job -- to gate parallel rows in CI).
+# Regenerate the regression-gate baselines on THIS machine, into this
+# machine's runner-class directory (baselines/cpu<N>/ -- the gate
+# prefers it on machines with N cores, which is what lets parallel
+# jobs>1 rows gate).  Dispatch the nightly baseline-regen job to do the
+# same on the CI runner class.
 regen-baseline: bench
+	mkdir -p benchmarks/baselines/cpu$(shell python -c 'import os; print(os.cpu_count())')
 	cp benchmarks/results/BENCH_engine.json \
 	   benchmarks/results/BENCH_service.json \
 	   benchmarks/results/BENCH_kernels.json \
 	   benchmarks/results/BENCH_shard.json \
 	   benchmarks/results/BENCH_replication.json \
 	   benchmarks/results/BENCH_durability.json \
-	   benchmarks/baselines/
-	@echo "baselines updated; commit benchmarks/baselines/*.json"
+	   benchmarks/results/BENCH_remote.json \
+	   benchmarks/baselines/cpu$(shell python -c 'import os; print(os.cpu_count())')/
+	@echo "baselines updated; commit benchmarks/baselines/"
 
 serve:
 	python -m repro.cli serve --port 8000
@@ -69,3 +85,9 @@ serve:
 # Sharded deployment: router + 4 shard worker processes on one box.
 serve-sharded:
 	python -m repro.cli serve --port 8000 --shards 4
+
+# Cluster router waiting for remote `hypdb shard --join` nodes
+# (REPRO_CLUSTER_TOKEN or --cluster-token supplies the shared secret).
+serve-cluster:
+	python -m repro.cli serve --port 8000 --shards 0 \
+		--cluster-token $(or $(REPRO_CLUSTER_TOKEN),change-me)

@@ -1,0 +1,297 @@
+"""Remote-node cluster tier: join, heartbeat, gossip (BENCH_remote.json).
+
+Stands up the TCP cluster topology -- a router (with a journal) plus two
+:class:`~repro.service.shard.cluster.ShardNode` workers that enter the
+ring through the ``/v2/cluster/join`` handshake -- next to a
+single-process control, and measures the costs the tier adds:
+
+* **join latency** -- full handshake round-trips (join + leave cycles
+  against a live router);
+* **heartbeat overhead** -- the steady-state beat RTT, digest included;
+* **gossip convergence** -- after the router is torn down and rebuilt
+  from its journal (fresh epoch, no traffic replayed), how long until
+  the nodes' re-sent warm-key digests restore warm routing.
+
+Correctness bars (always asserted, any core count):
+
+* **byte identity** -- the remote topology returns byte-identical
+  canonical result bytes to the single process for every spec;
+* **warm convergence** -- after the router restart, >= 90% of repeated
+  requests must route warm purely from gossiped digests.
+
+Rows follow the regression-gate schema (``jobs`` = node count for the
+cluster rows, so they gate only against baselines from a matching
+``cpu_count`` runner class).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+
+import numpy as np
+from conftest import bench_scale, scaled, write_bench_json
+
+from repro.core.report import canonical_json_bytes
+from repro.datasets import staples_data
+from repro.service.client import ServiceClient
+from repro.service.core import AnalysisService
+from repro.service.http import make_server
+from repro.service.journal import RouterJournal
+from repro.service.shard import ShardNode, ShardRouter, make_router_server
+
+TOKEN = "bench-cluster-token"
+SQL_VARIANTS = (
+    "SELECT Income, avg(Price) FROM t GROUP BY Income",
+    "SELECT Region, avg(Price) FROM t GROUP BY Region",
+    "SELECT Income, Region, avg(Price) FROM t GROUP BY Income, Region",
+)
+DATASETS = 3
+#: After the restarted router converges, repeats must route warm.
+MIN_WARM_ROUTE_RATE = 0.9
+CONVERGENCE_TIMEOUT = 60.0
+
+
+def _calibration_seconds() -> float:
+    """Time a fixed numpy workload to normalize cross-machine timings."""
+    rng = np.random.default_rng(0)
+    matrix = rng.random((400, 400))
+    start = time.perf_counter()
+    for _ in range(20):
+        matrix = np.tanh(matrix @ matrix.T / 400.0)
+    return time.perf_counter() - start
+
+
+def _columns(n_rows: int, seed: int) -> dict:
+    table = staples_data(n_rows=n_rows, seed=seed)
+    return {name: table.column(name) for name in table.columns}
+
+
+def _serve(router: ShardRouter, port: int = 0):
+    server = make_router_server(router, port=port)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server
+
+
+def test_remote_nodes(benchmark, report_sink):
+    n_rows = scaled(2000, minimum=400)
+    join_cycles = scaled(8, minimum=3)
+    beat_samples = scaled(40, minimum=10)
+    repeats = scaled(4, minimum=2)
+
+    columns = {f"d{i}": _columns(n_rows, seed=70 + i) for i in range(DATASETS)}
+    specs = [(name, sql) for name in sorted(columns) for sql in SQL_VARIANTS]
+
+    benchmark.group = "remote_nodes"
+    metrics: dict = {}
+    rows: list[dict] = []
+
+    def measure_all():
+        # -- control: the single-process oracle ------------------------
+        single = AnalysisService()
+        single_server = make_server(single)
+        threading.Thread(target=single_server.serve_forever, daemon=True).start()
+        control = ServiceClient(
+            "http://127.0.0.1:%d" % single_server.server_address[1]
+        )
+
+        # -- cluster: journaled router + two joined nodes ---------------
+        journal_dir = tempfile.mkdtemp(prefix="hypdb-bench-remote-")
+        router = ShardRouter(
+            [],
+            cluster_token=TOKEN,
+            heartbeat_interval=0.2,
+            liveness_timeout=30.0,
+            journal=RouterJournal(journal_dir),
+        )
+        server = _serve(router)
+        port = server.server_address[1]
+        url = "http://127.0.0.1:%d" % port
+        nodes = []
+        for name in ("n1", "n2"):
+            node = ShardNode(url, TOKEN, name=name, heartbeat_interval=0.2)
+            node.start()
+            threading.Thread(target=node.serve_forever, daemon=True).start()
+            node.join()
+            nodes.append(node)
+        cluster = ServiceClient(url)
+        recovered = None
+        recovered_server = None
+        try:
+            # -- join latency: handshake round-trips --------------------
+            probe = ShardNode(url, TOKEN, name="probe", heartbeat_interval=60.0)
+            probe.start()
+            threading.Thread(target=probe.serve_forever, daemon=True).start()
+            join_seconds = []
+            for _ in range(join_cycles):
+                start = time.perf_counter()
+                probe.join()
+                join_seconds.append(time.perf_counter() - start)
+                probe._stop.set()
+                probe._beat_thread.join(timeout=10)
+                probe._stop.clear()
+                probe._beat_thread = None
+                probe.leave()
+            probe.close()
+            metrics["join_ms_mean"] = 1000 * sum(join_seconds) / len(join_seconds)
+            rows.append(
+                {
+                    "engine": "remote-join-cycles",
+                    "jobs": 1,
+                    "seconds": sum(join_seconds),
+                    "cycles": join_cycles,
+                }
+            )
+
+            # -- register + cold pass on both topologies ----------------
+            for name, cols in columns.items():
+                control.register(name, columns=cols)
+                cluster.register(name, columns=cols)
+            payloads: dict[str, tuple[bytes, bytes]] = {}
+            cold_start = time.perf_counter()
+            for name, sql in specs:
+                response = cluster.query(name, sql)
+                assert response["cached"] is False
+                payloads[f"{name}:{sql}"] = canonical_json_bytes(response["result"])
+            cold_seconds = time.perf_counter() - cold_start
+            for name, sql in specs:
+                expected = canonical_json_bytes(control.query(name, sql)["result"])
+                assert payloads[f"{name}:{sql}"] == expected, (
+                    f"remote topology changed the answer for {name}: {sql}"
+                )
+
+            # -- sustained warm pass ------------------------------------
+            warm_start = time.perf_counter()
+            for _ in range(repeats):
+                for name, sql in specs:
+                    assert cluster.query(name, sql)["cached"] is True
+            warm_seconds = time.perf_counter() - warm_start
+            rows.append(
+                {
+                    "engine": "remote-2-nodes",
+                    "jobs": 2,
+                    "seconds": warm_seconds,
+                    "cold_seconds": cold_seconds,
+                    "rps": repeats * len(specs) / warm_seconds,
+                }
+            )
+
+            # -- heartbeat overhead -------------------------------------
+            beat_seconds = []
+            for _ in range(beat_samples):
+                start = time.perf_counter()
+                nodes[0].beat()
+                beat_seconds.append(time.perf_counter() - start)
+            metrics["heartbeat_ms_mean"] = (
+                1000 * sum(beat_seconds) / len(beat_seconds)
+            )
+
+            # -- router restart: journal recovery + gossip convergence --
+            warmed = len(router.warm_keys)
+            server.shutdown()
+            server.server_close()
+            router.close()
+            recovered = ShardRouter(
+                [],
+                cluster_token=TOKEN,
+                heartbeat_interval=0.2,
+                liveness_timeout=30.0,
+                journal=RouterJournal(journal_dir),
+            )
+            recovered_server = _serve(recovered, port=port)
+            converge_start = time.perf_counter()
+            deadline = converge_start + CONVERGENCE_TIMEOUT
+            while (
+                len(recovered.warm_keys) < 0.9 * warmed
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.05)
+            convergence = time.perf_counter() - converge_start
+            metrics["gossip_convergence_seconds"] = convergence
+
+            hits_before = recovered._warm_hits
+            replay_start = time.perf_counter()
+            served = 0
+            for _ in range(repeats):
+                for name, sql in specs:
+                    response = cluster.query(name, sql)
+                    served += 1
+                    expected = payloads[f"{name}:{sql}"]
+                    assert canonical_json_bytes(response["result"]) == expected
+            replay_seconds = time.perf_counter() - replay_start
+            warm_rate = (recovered._warm_hits - hits_before) / served
+            metrics["warm_route_rate_after_restart"] = warm_rate
+            rows.append(
+                {
+                    "engine": "remote-2-nodes-restart",
+                    "jobs": 2,
+                    "seconds": replay_seconds,
+                    "convergence_seconds": convergence,
+                    "warm_hit_rate": warm_rate,
+                }
+            )
+        finally:
+            for node in nodes:
+                node.close()
+            if recovered_server is not None:
+                recovered_server.shutdown()
+                recovered_server.server_close()
+            if recovered is not None:
+                recovered.close()
+            single_server.shutdown()
+            single_server.server_close()
+            single.close()
+        return rows
+
+    benchmark.pedantic(measure_all, rounds=1)
+
+    # -- warm convergence: gossip alone must restore warm routing --
+    assert metrics["warm_route_rate_after_restart"] >= MIN_WARM_ROUTE_RATE, (
+        f"only {metrics['warm_route_rate_after_restart']:.0%} of repeats routed "
+        f"warm after the router restart (need >= {MIN_WARM_ROUTE_RATE:.0%})"
+    )
+
+    payload = {
+        "benchmark": "remote_nodes",
+        "workload": {
+            "datasets": DATASETS,
+            "n_rows": n_rows,
+            "distinct_specs": len(specs),
+            "repeats": repeats,
+            "join_cycles": join_cycles,
+            "beat_samples": beat_samples,
+            "scale": bench_scale(),
+        },
+        "cpu_count": os.cpu_count(),
+        "calibration_seconds": _calibration_seconds(),
+        "join_ms_mean": metrics["join_ms_mean"],
+        "heartbeat_ms_mean": metrics["heartbeat_ms_mean"],
+        "gossip_convergence_seconds": metrics["gossip_convergence_seconds"],
+        "warm_route_rate_after_restart": metrics["warm_route_rate_after_restart"],
+        "results": rows,
+    }
+    write_bench_json("remote", payload)
+
+    report_sink(
+        "remote_nodes",
+        f"join handshake        {metrics['join_ms_mean']:7.2f} ms mean "
+        f"({join_cycles} cycles)",
+    )
+    report_sink(
+        "remote_nodes",
+        f"heartbeat round-trip  {metrics['heartbeat_ms_mean']:7.2f} ms mean "
+        f"({beat_samples} beats, digest included)",
+    )
+    report_sink(
+        "remote_nodes",
+        f"gossip convergence    {metrics['gossip_convergence_seconds']:7.2f} s "
+        f"after router restart (no traffic replayed)",
+    )
+    report_sink(
+        "remote_nodes",
+        f"warm routing after restart = "
+        f"{metrics['warm_route_rate_after_restart']:.0%} "
+        f"(bar {MIN_WARM_ROUTE_RATE:.0%})",
+    )

@@ -30,6 +30,11 @@ Guard rails:
   normalizes single-core speed, not core count, so a 1-core baseline
   says nothing about a 4-core runner's parallel timings
   (single-threaded rows stay gated);
+* **runner classes**: a baseline under ``baselines/cpu<N>/`` (N = this
+  machine's ``os.cpu_count()``) takes precedence over the root
+  ``baselines/`` file, so each runner class can carry its own parallel
+  rows -- the nightly ``baseline-regen`` dispatch commits into the
+  matching class directory;
 * improvements are reported, never required.
 """
 
@@ -152,11 +157,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"no BENCH_*.json found under {args.results}; nothing to gate")
         return 0
 
+    # Runner-class baselines take precedence: parallel rows can only
+    # gate against a matching cpu_count, so each class commits its own.
+    class_dir = args.baselines / f"cpu{os.cpu_count()}"
     failures: list[str] = []
     for result_path in result_files:
-        baseline_path = args.baselines / result_path.name
+        baseline_path = class_dir / result_path.name
         if not baseline_path.exists():
-            print(f"  ~ {result_path.name}: no committed baseline; passing (commit one to gate)")
+            baseline_path = args.baselines / result_path.name
+        if not baseline_path.exists():
+            print(
+                f"  ~ {result_path.name}: no committed baseline; passing "
+                f"(commit one under {class_dir.name}/ or the baselines root to gate)"
+            )
             continue
         failures.extend(check_file(result_path, baseline_path, args.tolerance))
 

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Workflow lint: every GitHub Action pinned to a full commit SHA.
+
+Usage::
+
+    python scripts/check_workflows.py [--workflows .github/workflows]
+
+Checks every ``*.yml`` / ``*.yaml`` under the workflows directory:
+
+* **SHA pinning** -- each ``uses:`` reference must be pinned to a full
+  40-hex commit SHA (``owner/repo@<sha>``), not a mutable tag or branch.
+  Tags can be moved (or, after an org compromise, replaced), so a tag
+  reference lets third-party code change under CI silently; a commit SHA
+  cannot.  A trailing ``# vX.Y.Z`` comment documents what the SHA is.
+  Local composite actions (``./path``) and ``docker://`` images carry no
+  tag-moving risk and are exempt.
+* **structure** -- when PyYAML is importable the file must also parse,
+  declare ``on:`` triggers, and give every job a ``timeout-minutes``
+  (a hung job without one burns the runner budget for 6 hours).
+
+Stdlib-only (PyYAML optional), exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: owner/repo(/subdir)@40-hex-sha, optionally followed by a comment.
+_PINNED = re.compile(
+    r"^[A-Za-z0-9_.-]+/[A-Za-z0-9_.-]+(?:/[A-Za-z0-9_./-]+)?@[0-9a-f]{40}$"
+)
+_USES_LINE = re.compile(r"^\s*(?:-\s+)?uses:\s*(.+?)\s*$")
+
+
+def _reference(raw: str) -> str:
+    """The action reference with quotes and trailing comment stripped."""
+    value = raw.strip().strip("'\"")
+    if " #" in value:
+        value = value.split(" #", 1)[0].rstrip()
+    return value
+
+
+def check_pins(path: Path) -> list[str]:
+    """SHA-pinning violations for one workflow file (line-based: works
+    without a YAML parser and reports exact line numbers)."""
+    problems = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _USES_LINE.match(line)
+        if match is None:
+            continue
+        reference = _reference(match.group(1))
+        if reference.startswith("./") or reference.startswith("docker://"):
+            continue
+        if not _PINNED.match(reference):
+            problems.append(
+                f"{path.name}:{number}: uses '{reference}' is not pinned to a "
+                f"full commit SHA (owner/repo@<40-hex>  # vX.Y.Z)"
+            )
+    return problems
+
+
+def check_structure(path: Path) -> list[str]:
+    """Parse-level checks (only when PyYAML is available)."""
+    try:
+        import yaml
+    except ImportError:  # pragma: no cover - stdlib-only environments
+        return []
+    try:
+        document = yaml.safe_load(path.read_text())
+    except yaml.YAMLError as error:
+        return [f"{path.name}: does not parse as YAML ({error})"]
+    if not isinstance(document, dict):
+        return [f"{path.name}: expected a mapping at the top level"]
+    problems = []
+    # PyYAML reads the unquoted key ``on:`` as the boolean True.
+    if "on" not in document and True not in document:
+        problems.append(f"{path.name}: no 'on:' triggers")
+    jobs = document.get("jobs")
+    if not isinstance(jobs, dict) or not jobs:
+        problems.append(f"{path.name}: no jobs defined")
+        return problems
+    for name, job in jobs.items():
+        if isinstance(job, dict) and "timeout-minutes" not in job:
+            problems.append(
+                f"{path.name}: job '{name}' has no timeout-minutes "
+                f"(a hung run would burn the 6h default)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workflows",
+        type=Path,
+        default=REPO_ROOT / ".github" / "workflows",
+    )
+    args = parser.parse_args(argv)
+
+    files = sorted(
+        list(args.workflows.glob("*.yml")) + list(args.workflows.glob("*.yaml"))
+    )
+    if not files:
+        print(f"no workflow files under {args.workflows}; nothing to check")
+        return 0
+
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_pins(path))
+        problems.extend(check_structure(path))
+        print(f"  checked {path.name}")
+
+    if problems:
+        print("\nworkflow lint FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"workflow lint passed ({len(files)} files, all actions SHA-pinned)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

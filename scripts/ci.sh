@@ -19,6 +19,9 @@ else
     echo "ruff not installed; skipping lint (CI runs it -- 'pip install ruff' to match)"
 fi
 
+echo "== workflow lint: actions SHA-pinned, jobs time-boxed =="
+python scripts/check_workflows.py
+
 echo "== docstring coverage: public service + engine definitions =="
 python scripts/check_docstrings.py
 
@@ -48,7 +51,10 @@ python -m pytest -q \
     tests/service/test_self_heal.py
 python examples/durable_client.py
 
-echo "== smoke benchmarks: engine scaling + service + dataset plane + shards + replication + durability =="
+echo "== cluster smoke: CLI router + remote nodes over TCP, kill a node mid-run =="
+python scripts/cluster_smoke.py
+
+echo "== smoke benchmarks: engine scaling + service + dataset plane + shards + replication + durability + remote nodes =="
 REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-0.25}" \
     python -m pytest -q \
         benchmarks/bench_engine_scaling.py \
@@ -56,7 +62,8 @@ REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-0.25}" \
         benchmarks/bench_dataset_plane.py \
         benchmarks/bench_shard_scaling.py \
         benchmarks/bench_replication.py \
-        benchmarks/bench_durability.py
+        benchmarks/bench_durability.py \
+        benchmarks/bench_remote_nodes.py
 
 echo "== benchmark regression gate =="
 python scripts/check_bench_regression.py

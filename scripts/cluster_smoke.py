@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Cluster smoke: real CLI processes over loopback TCP, kill one mid-run.
+
+Boots the exact deployment the README's two-machine quickstart describes,
+except both "machines" are loopback::
+
+    hypdb serve --shards 0 --cluster-token <tok> --port <P>   # router
+    hypdb shard --join http://127.0.0.1:<P> --token <tok>     # node alpha
+    hypdb shard --join http://127.0.0.1:<P> --token <tok>     # node beta
+
+then asserts, against an in-process single-service control:
+
+1. both nodes appear live in ``GET /v2/cluster`` after the TCP join
+   handshake;
+2. every response through the remote topology is byte-identical to the
+   single process -- cold, then warm (cache hits on the nodes);
+3. after SIGKILL-ing one node mid-run, the router's heartbeat reaper
+   detects the death, fails the node's datasets over, and every request
+   keeps answering byte-identically.
+
+Exits non-zero on any failure; run via ``make cluster`` or the
+``cluster-smoke`` CI lane.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.report import canonical_json_bytes  # noqa: E402
+from repro.datasets import staples_data  # noqa: E402
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+from repro.service.core import AnalysisService  # noqa: E402
+from repro.service.http import make_server  # noqa: E402
+
+TOKEN = "cluster-smoke-token"
+SQL_VARIANTS = (
+    "SELECT Income, avg(Price) FROM t GROUP BY Income",
+    "SELECT Region, avg(Price) FROM t GROUP BY Region",
+    "SELECT Income, Region, avg(Price) FROM t GROUP BY Income, Region",
+)
+BOOT_TIMEOUT = 120.0
+FAILOVER_TIMEOUT = 60.0
+
+
+def free_port() -> int:
+    """Reserve an ephemeral loopback port (released for the child to bind)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def launch(arguments: list[str]) -> subprocess.Popen:
+    """Start one CLI process with ``src/`` importable, logs passed through."""
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = (
+        str(REPO_ROOT / "src")
+        + (os.pathsep + environment["PYTHONPATH"] if "PYTHONPATH" in environment else "")
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *arguments],
+        cwd=REPO_ROOT,
+        env=environment,
+    )
+
+
+def wait_for(predicate, timeout: float, what: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.2)
+    raise SystemExit(f"FAIL: {what} (after {timeout:.0f}s)")
+
+
+def live_nodes(client: ServiceClient) -> dict:
+    """name -> live flag from ``GET /v2/cluster`` ({} while booting)."""
+    try:
+        status, body = client.request_bytes("/v2/cluster")
+    except ServiceError:
+        return {}
+    if status != 200:
+        return {}
+    import json
+
+    return {
+        name: node["live"] for name, node in json.loads(body)["nodes"].items()
+    }
+
+
+def columns_for(seed: int) -> dict:
+    table = staples_data(n_rows=1500, seed=seed)
+    return {name: table.column(name) for name in table.columns}
+
+
+def result_bytes(client: ServiceClient, dataset: str, sql: str) -> bytes:
+    return canonical_json_bytes(client.query(dataset, sql)["result"])
+
+
+def main() -> int:
+    port = free_port()
+    router_url = f"http://127.0.0.1:{port}"
+    processes: list[subprocess.Popen] = []
+
+    control_service = AnalysisService()
+    control_server = make_server(control_service)
+    threading.Thread(target=control_server.serve_forever, daemon=True).start()
+    control = ServiceClient(
+        "http://127.0.0.1:%d" % control_server.server_address[1]
+    )
+
+    try:
+        processes.append(
+            launch(
+                ["serve", "--shards", "0", "--cluster-token", TOKEN,
+                 "--port", str(port)]
+            )
+        )
+        for name in ("alpha", "beta"):
+            processes.append(
+                launch(
+                    ["shard", "--join", router_url, "--token", TOKEN,
+                     "--name", name]
+                )
+            )
+        cluster = ServiceClient(router_url, timeout=60)
+
+        # -- 1. both nodes join over TCP --------------------------------
+        wait_for(
+            lambda: sorted(
+                name for name, live in live_nodes(cluster).items() if live
+            ) == ["alpha", "beta"],
+            BOOT_TIMEOUT,
+            "router + both nodes did not come up",
+        )
+        print(f"cluster up: router on {router_url}, nodes alpha + beta joined")
+
+        # -- 2. byte identity, cold then warm ---------------------------
+        datasets = {"smoke_a": columns_for(3), "smoke_b": columns_for(4)}
+        for name, cols in datasets.items():
+            cluster.register(name, columns=cols)
+            control.register(name, columns=cols)
+        expected = {}
+        for name in sorted(datasets):
+            for sql in SQL_VARIANTS:
+                expected[(name, sql)] = result_bytes(control, name, sql)
+                assert result_bytes(cluster, name, sql) == expected[(name, sql)], (
+                    f"cold bytes diverged for {name}: {sql}"
+                )
+        for (name, sql), payload in expected.items():
+            response = cluster.query(name, sql)
+            assert response["cached"] is True, f"expected warm hit for {name}"
+            assert canonical_json_bytes(response["result"]) == payload
+        print(f"byte identity: {len(expected)} specs, cold + warm, all identical")
+
+        # -- 3. SIGKILL one node mid-run; heartbeat-driven failover -----
+        victim = processes[1]  # alpha
+        victim.send_signal(signal.SIGKILL)
+        wait_for(
+            lambda: live_nodes(cluster).get("alpha") is False,
+            FAILOVER_TIMEOUT,
+            "router never marked the killed node dead",
+        )
+        for (name, sql), payload in expected.items():
+            assert result_bytes(cluster, name, sql) == payload, (
+                f"post-kill bytes diverged for {name}: {sql}"
+            )
+        print("failover: node alpha SIGKILLed, router reaped it, "
+              "all answers still byte-identical")
+        print("cluster smoke passed")
+        return 0
+    finally:
+        for process in processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in processes:
+            try:
+                process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                process.kill()
+        control_server.shutdown()
+        control_server.server_close()
+        control_service.close()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,10 @@ Examples::
     # Scale out: 4 shard worker processes behind a consistent-hash router
     hypdb serve --port 8000 --shards 4 --csv flights=flights.csv
 
+    # Scale across machines: a cluster router plus remote shard nodes
+    hypdb serve --port 8000 --shards 0 --cluster-token s3cret   # machine A
+    hypdb shard --join http://machine-a:8000 --token s3cret     # machine B
+
     # Submit an async job to a running service and wait for the result
     hypdb submit --url http://127.0.0.1:8000 --wait \
         --json '{"kind": "discover", "dataset": "flights", "treatment": "Carrier"}'
@@ -27,6 +31,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -147,7 +152,82 @@ def build_parser() -> argparse.ArgumentParser:
         "replicas and shard deaths fail over without recompute "
         "(1 = unreplicated, byte-identical to earlier behavior)",
     )
+    serve.add_argument(
+        "--cluster-token",
+        default=None,
+        metavar="TOKEN",
+        help="enable the /v2/cluster/* endpoints with this shared "
+        "secret, so remote 'hypdb shard --join' nodes can enter the "
+        "ring over TCP (--shards may then be 0: a router-only process "
+        "that waits for nodes to join); defaults to $REPRO_CLUSTER_TOKEN",
+    )
     _add_jobs(serve)
+
+    shard = subparsers.add_parser(
+        "shard", help="run one shard worker and join a running cluster router"
+    )
+    shard.add_argument(
+        "--join",
+        required=True,
+        metavar="ROUTER_URL",
+        help="router base URL, e.g. http://machine-a:8000",
+    )
+    shard.add_argument(
+        "--token",
+        default=None,
+        help="shared cluster token (defaults to $REPRO_CLUSTER_TOKEN)",
+    )
+    shard.add_argument(
+        "--name",
+        default=None,
+        help="ring name for this node (default: node<port>; must be "
+        "unique among live members)",
+    )
+    shard.add_argument("--host", default="127.0.0.1", help="bind address")
+    shard.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    shard.add_argument(
+        "--advertise",
+        default=None,
+        metavar="URL",
+        help="URL the router should reach this node at (default: "
+        "http://<host>:<port>; set it when the bind address is not "
+        "the externally reachable one)",
+    )
+    shard.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        help="in-memory result-cache capacity (LRU)",
+    )
+    shard.add_argument(
+        "--disk-cache",
+        default=None,
+        metavar="DIR",
+        help="directory for the persistent result-cache layer",
+    )
+    shard.add_argument(
+        "--job-journal",
+        default=None,
+        metavar="DIR",
+        help="directory for this node's durable job journal",
+    )
+    shard.add_argument(
+        "--job-workers",
+        type=int,
+        default=2,
+        help="worker threads of the async v2 jobs API",
+    )
+    shard.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds between heartbeats (default: what the router "
+        "advertises in the join response)",
+    )
+    _add_jobs(shard)
 
     submit = subparsers.add_parser(
         "submit", help="submit an async job to a running service (v2 jobs API)"
@@ -208,6 +288,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_discover(args, engine)
         if args.command == "serve":
             return _run_serve(args, engine)
+        if args.command == "shard":
+            return _run_shard(args)
         if args.command == "submit":
             return _run_submit(args)
     except (ValueError, KeyError) as error:
@@ -310,8 +392,14 @@ def _run_submit(args: argparse.Namespace) -> int:
         return 1
 
 
+def _cluster_token(args: argparse.Namespace) -> str | None:
+    """The cluster shared secret: CLI flag first, then the environment."""
+    token = getattr(args, "cluster_token", None) or getattr(args, "token", None)
+    return token or os.environ.get("REPRO_CLUSTER_TOKEN") or None
+
+
 def _run_serve(args: argparse.Namespace, engine) -> int:
-    if args.shards:
+    if args.shards or _cluster_token(args) is not None:
         return _run_serve_sharded(args)
     if args.replicas != 1:
         raise ValueError("--replicas requires --shards")
@@ -362,14 +450,32 @@ def _run_serve_sharded(args: argparse.Namespace) -> int:
     preregistrations go *through the router* so it records ownership for
     warm routing and failover.  ``--replicas K`` keeps K copies of each
     dataset for read scaling and recompute-free failover.
+
+    With ``--cluster-token`` the router additionally opens the
+    ``/v2/cluster/*`` endpoints so remote ``hypdb shard --join`` nodes
+    can enter the ring over TCP; ``--shards 0`` is then a router-only
+    process.  With ``--job-journal`` the router journals its own
+    membership, registration, and job id-table under ``<dir>/router``
+    and recovers them on restart.
     """
     import json
 
+    from repro.service.journal import RouterJournal
     from repro.service.shard import ShardRouter, ShardSupervisor, make_router_server
 
-    if not 1 <= args.replicas <= args.shards:
+    token = _cluster_token(args)
+    if args.shards == 0 and token is None:
+        raise ValueError("--shards 0 requires --cluster-token")
+    if args.shards and not 1 <= args.replicas <= args.shards and token is None:
         raise ValueError(
             f"--replicas must be between 1 and --shards, got {args.replicas}"
+        )
+    if args.replicas < 1:
+        raise ValueError(f"--replicas must be >= 1, got {args.replicas}")
+    if args.csv and args.shards == 0:
+        raise ValueError(
+            "--csv preregistration needs local shards; start nodes first "
+            "and register through the HTTP API instead"
         )
     supervisor = ShardSupervisor(
         shards=args.shards,
@@ -380,9 +486,19 @@ def _run_serve_sharded(args: argparse.Namespace) -> int:
         host=args.host,
         job_journal=args.job_journal,
     )
+    journal = (
+        RouterJournal(os.path.join(args.job_journal, "router"))
+        if args.job_journal is not None
+        else None
+    )
     try:
         backends = supervisor.start()
-        router = ShardRouter(backends, replicas=args.replicas)
+        router = ShardRouter(
+            backends,
+            replicas=args.replicas,
+            cluster_token=token,
+            journal=journal,
+        )
         for spec in args.csv:
             name, separator, path = spec.partition("=")
             if not separator or not name or not path:
@@ -398,26 +514,85 @@ def _run_serve_sharded(args: argparse.Namespace) -> int:
             print(f"registered {name}: {summary['n_rows']} rows, "
                   f"fingerprint {summary['fingerprint'][:12]}... "
                   f"-> {placement}")
-        supervisor.watch(router.mark_dead, heal=args.heal, on_respawn=router.rejoin)
+        if args.shards:
+            supervisor.watch(
+                router.mark_dead, heal=args.heal, on_respawn=router.rejoin
+            )
         server = make_router_server(router, host=args.host, port=args.port)
         server.verbose = args.verbose
         host, port = server.server_address[:2]
         print(f"hypdb shard router listening on http://{host}:{port} "
               f"(replicas={args.replicas}"
+              f"{', cluster' if token is not None else ''}"
               f"{', heal' if args.heal else ''})")
         for shard_name, url in router.describe()["shards"].items():
             print(f"  shard {shard_name}: {url}")
-        print("endpoints: GET /health /stats /v2/datasets /v2/jobs[/<id>]; "
+        print("endpoints: GET /health /stats /v2/datasets /v2/jobs[/<id>] "
+              "/v2/cluster; "
               "POST /register /analyze /query /discover /whatif /batch "
-              "/v2/jobs /v2/batch")
+              "/v2/jobs /v2/batch /v2/cluster/{join,heartbeat,leave}")
         try:
             server.serve_forever()
         except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
             pass
         finally:
             server.server_close()
+            router.close()
     finally:
         supervisor.close()
+    return 0
+
+
+def _run_shard(args: argparse.Namespace) -> int:
+    """``shard --join URL``: one worker node joining a cluster router.
+
+    Boots a full single-process analysis service on this machine,
+    registers it with the router's ``/v2/cluster/join`` handshake, and
+    keeps membership alive with heartbeats (which also gossip this
+    node's warm cache keys back to the router).  Auth and protocol
+    rejections are fatal and never retried; only connection failures
+    (router not up yet) are retried until the join timeout.
+    """
+    from repro.service.client import ClusterJoinError, ServiceError
+    from repro.service.shard import ShardNode
+
+    token = _cluster_token(args)
+    if token is None:
+        raise ValueError("shard --join requires --token (or $REPRO_CLUSTER_TOKEN)")
+    node = ShardNode(
+        args.join,
+        token,
+        name=args.name,
+        host=args.host,
+        port=args.port,
+        advertise=args.advertise,
+        jobs=args.jobs,
+        cache_entries=args.cache_entries,
+        disk_cache=args.disk_cache,
+        job_workers=args.job_workers,
+        job_journal=args.job_journal,
+        heartbeat_interval=args.heartbeat_interval,
+    )
+    url = node.start()
+    try:
+        try:
+            node.join()
+        except ClusterJoinError as error:
+            print(f"error: join rejected by {args.join}: {error}", file=sys.stderr)
+            return 1
+        except ServiceError as error:
+            print(f"error: cannot reach router {args.join}: {error}", file=sys.stderr)
+            return 1
+        print(f"hypdb shard node {node.name} listening on {url} "
+              f"(joined {args.join})")
+        try:
+            node.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            pass
+        finally:
+            node.leave()
+    finally:
+        node.close()
     return 0
 
 

@@ -176,6 +176,29 @@ class ResultCache:
             return False
         return (self._disk_dir / f"{key}.json").is_file()
 
+    def keys(self) -> list[str]:
+        """Every request key this cache can answer (memory + disk layer).
+
+        The cluster tier's warm-key digest: a shard node reports these to
+        the router over heartbeats, because the set of keys a node holds
+        *is* the authoritative warm-routing state for that node.  Memory
+        keys come first (most-recently-used last, matching LRU order);
+        disk-only keys follow sorted, deduplicated.
+        """
+        with self._lock:
+            in_memory = list(self._entries)
+        if self._disk_dir is None:
+            return in_memory
+        seen = set(in_memory)
+        try:
+            on_disk = sorted(
+                entry.name[: -len(".json")]
+                for entry in self._disk_dir.glob("*.json")
+            )
+        except OSError:
+            on_disk = []
+        return in_memory + [key for key in on_disk if key not in seen]
+
     def clear(self) -> None:
         """Drop the memory layer (disk entries are kept; stats are kept)."""
         with self._lock:

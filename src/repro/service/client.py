@@ -96,6 +96,25 @@ class JobLostError(ServiceError):
         self.spec = spec
 
 
+class ClusterJoinError(ServiceError):
+    """A typed rejection of the cluster join/heartbeat handshake.
+
+    Raised for answered 403/409 rejections of ``/v2/cluster/*`` calls --
+    bad token, protocol mismatch, name conflict -- and **never retried**:
+    the server answered, and re-sending the same credentials cannot
+    change a deterministic policy answer.  ``code`` carries the server's
+    machine-readable rejection kind (``"bad_token"``,
+    ``"protocol_mismatch"``, ``"name_conflict"``, ``"unknown_member"``,
+    ``"clustering_disabled"``).
+    """
+
+    def __init__(
+        self, status: int, message: str, payload: dict[str, Any] | None = None
+    ) -> None:
+        super().__init__(status, message, payload)
+        self.code = (payload or {}).get("code")
+
+
 class ServiceClient:
     """Talk to a running analysis service.
 
@@ -312,6 +331,67 @@ class ServiceClient:
     def batch_v2(self, specs: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
         """Run a spec list through the work-sharing batch planner."""
         return self._post("/v2/batch", {"requests": [dict(spec) for spec in specs]})
+
+    # -- cluster membership (shard nodes and peer routers) -------------
+
+    def join_cluster(
+        self, node: str, url: str, token: str, protocol: int | None = None
+    ) -> dict[str, Any]:
+        """``POST /v2/cluster/join``: the remote-node handshake.
+
+        Registers ``node`` (advertising ``url``) with a router started
+        with a matching ``--cluster-token``.  Returns the join body
+        (router epoch, advertised heartbeat interval, liveness timeout,
+        current live shards).  Typed 403/409 rejections raise
+        :class:`ClusterJoinError` -- exactly one request is made for
+        them, never a retry.
+        """
+        if protocol is None:
+            from repro.service.shard.cluster import PROTOCOL_VERSION
+
+            protocol = PROTOCOL_VERSION
+        return self._cluster_post(
+            "/v2/cluster/join",
+            {"node": node, "url": url, "token": token, "protocol": protocol},
+        )
+
+    def cluster_heartbeat(
+        self,
+        node: str,
+        token: str,
+        keys: Sequence[str] = (),
+        cursor: int | None = None,
+    ) -> dict[str, Any]:
+        """``POST /v2/cluster/heartbeat``: liveness + warm-key gossip.
+
+        ``keys`` is this node's warm-key digest (request keys newly held
+        in its result cache); a peer router passes ``cursor`` to receive
+        the router's gossip-log events past it (piggybacked deltas).
+        """
+        body: dict[str, Any] = {"node": node, "token": token, "keys": list(keys)}
+        if cursor is not None:
+            body["cursor"] = cursor
+        return self._cluster_post("/v2/cluster/heartbeat", body)
+
+    def cluster_leave(self, node: str, token: str) -> dict[str, Any]:
+        """``POST /v2/cluster/leave``: graceful departure (fails over now)."""
+        return self._cluster_post("/v2/cluster/leave", {"node": node, "token": token})
+
+    def cluster(self) -> dict[str, Any]:
+        """``GET /v2/cluster``: the membership table and cluster epoch."""
+        return self._get("/v2/cluster")
+
+    def _cluster_post(self, path: str, body: Mapping[str, Any]) -> dict[str, Any]:
+        """POST a cluster call, mapping typed rejections to ClusterJoinError."""
+        try:
+            return self._post(path, body)
+        except ServiceError as error:
+            typed = isinstance(error.payload, dict) and "code" in error.payload
+            if error.status in (403, 409) and typed:
+                raise ClusterJoinError(
+                    error.status, error.message, error.payload
+                ) from None
+            raise
 
     # -- raw transport (shared with the shard router) ------------------
 

@@ -342,6 +342,19 @@ def _batch_specs(body: dict) -> list:
     return specs
 
 
+def typed_error_bytes(message: str, code: str, **fields: object) -> bytes:
+    """A machine-readable error body: the standard error envelope + ``code``.
+
+    ``{"status": "error", "error": <message>, "code": <code>, ...}`` --
+    the prose stays for humans, the stable ``code`` (plus any extra
+    fields, e.g. the expected protocol version) is for clients that must
+    branch on the *kind* of rejection, like the cluster join handshake.
+    """
+    return canonical_json_bytes(
+        {"status": "error", "error": message, "code": code, **fields}
+    )
+
+
 def _reject_extras(body: dict) -> None:
     if body:
         raise ValueError(f"unexpected register fields: {sorted(body)}")

@@ -29,6 +29,12 @@ and finished jobs **whose result bytes are durably in the disk result
 cache**.  A finished record whose bytes never reached disk (the write
 was torn or errored) is kept so a restart re-runs the spec — results
 are deterministic, so the recompute is byte-identical.
+
+:class:`RouterJournal` applies the same discipline (fsync'd JSONL
+appends, tail healing, pure-fold replay, atomic compaction) to the
+*router's* state: cluster membership, dataset registrations, and the
+routed-job id table, so a restarted router resolves every public job id
+it ever handed out — see the record grammar on the class.
 """
 
 from __future__ import annotations
@@ -352,3 +358,331 @@ class JobJournal:
             "write_errors": self.write_errors,
             "corrupt_skipped": self.corrupt_skipped,
         }
+
+
+# ----------------------------------------------------------------------
+# The router journal
+# ----------------------------------------------------------------------
+
+#: Router-journal record types.
+MEMBER = "member"
+MEMBER_LEFT = "member_left"
+DATASET = "dataset"
+JOB = "job"
+JOB_TERMINAL = "job_terminal"
+
+_ROUTER_TYPES = (MEMBER, MEMBER_LEFT, DATASET, JOB, JOB_TERMINAL)
+
+
+@dataclass
+class RouterJournalState:
+    """The folded router-journal state: members, datasets, routed jobs."""
+
+    members: dict[str, str] = field(default_factory=dict)  # node -> url
+    datasets: dict[str, dict] = field(default_factory=dict)  # name -> record
+    jobs: dict[str, dict] = field(default_factory=dict)  # public id -> record
+    corrupt_lines: int = 0
+
+
+class RouterJournal:
+    """Durable router state: membership, registrations, the job id table.
+
+    Same write-ahead discipline as :class:`JobJournal` — one
+    self-contained JSON line per event, appended with flush + ``fsync``
+    under a lock, torn tails healed on open, replay a pure fold, atomic
+    compaction — applied to the router tier, closing the last
+    restart-amnesia gap: a restarted router recovers its cluster
+    members, its dataset catalog (with verbatim register bodies for
+    re-registration), and every ``RoutedJob`` it handed a public id
+    for, so ``GET /v2/jobs/<id>`` keeps resolving byte-identically
+    across a router restart.
+
+    Record grammar, one JSON object per line::
+
+        {"type": "member",       "node": "n1", "url": "http://…"}
+        {"type": "member_left",  "node": "n1"}
+        {"type": "dataset",      "name": …, "fingerprint": …, "columns": […],
+                                 "n_rows": N, "body": "<verbatim register JSON>",
+                                 "locations": […]}
+        {"type": "job",          "public_id": …, "body": "<verbatim submit JSON>",
+                                 "fingerprint": …, "key": …, "shard": …, "local_id": …}
+        {"type": "job_terminal", "public_id": …}
+
+    A re-homed job (failover) re-appends its ``job`` record with the new
+    home; replay keeps the last one.  Bodies are stored as UTF-8 text of
+    the verbatim request bytes — the resurrection recipes survive the
+    round-trip byte-for-byte because they are JSON text already.
+    """
+
+    def __init__(self, directory: str | os.PathLike, compact_every: int = 512) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._path = self._dir / "router.jsonl"
+        self._lock = threading.Lock()
+        self._compact_every = max(1, compact_every)
+        self._since_compact = 0
+        self.appended = 0
+        self.compactions = 0
+        self.write_errors = 0
+        self.corrupt_skipped = 0
+        self._heal_tail()
+
+    @property
+    def path(self) -> Path:
+        """The journal file path (``<directory>/router.jsonl``)."""
+        return self._path
+
+    # -- appends -------------------------------------------------------
+
+    def record_member(self, node: str, url: str) -> None:
+        """Journal an admitted (or re-admitted, URL-changed) member."""
+        self._append({"type": MEMBER, "node": node, "url": url})
+
+    def record_member_left(self, node: str) -> None:
+        """Journal a graceful leave (the member is forgotten on replay)."""
+        self._append({"type": MEMBER_LEFT, "node": node})
+
+    def record_dataset(
+        self,
+        name: str,
+        fingerprint: str,
+        columns: list[str],
+        n_rows: int,
+        body: bytes,
+        locations: list[str],
+    ) -> None:
+        """Journal one registration: catalog fields + the verbatim body."""
+        self._append(
+            {
+                "type": DATASET,
+                "name": name,
+                "fingerprint": fingerprint,
+                "columns": list(columns),
+                "n_rows": n_rows,
+                "body": body.decode("utf-8"),
+                "locations": list(locations),
+            }
+        )
+
+    def record_job(
+        self,
+        public_id: str,
+        body: bytes,
+        fingerprint: str | None,
+        key: str | None,
+        shard: str,
+        local_id: str,
+    ) -> None:
+        """Journal one routed job's current home (re-appended on failover)."""
+        self._append(
+            {
+                "type": JOB,
+                "public_id": public_id,
+                "body": body.decode("utf-8"),
+                "fingerprint": fingerprint,
+                "key": key,
+                "shard": shard,
+                "local_id": local_id,
+            }
+        )
+
+    def record_job_terminal(self, public_id: str) -> None:
+        """Journal that a job's last observed snapshot was terminal."""
+        self._append({"type": JOB_TERMINAL, "public_id": public_id})
+
+    def _append(self, record: dict) -> None:
+        """One fsync'd append (same contract as :meth:`JobJournal._append`)."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        data, _ = faults.torn_write("journal.append", line.encode("utf-8"))
+        with self._lock:
+            try:
+                with open(self._path, "ab") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            except OSError:
+                self.write_errors += 1
+                return
+            self.appended += 1
+            self._since_compact += 1
+
+    def _heal_tail(self) -> None:
+        """Terminate a torn trailing line left by a crashed process."""
+        try:
+            if not self._path.exists() or self._path.stat().st_size == 0:
+                return
+            with open(self._path, "rb+") as handle:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        except OSError:
+            self.write_errors += 1
+
+    # -- replay --------------------------------------------------------
+
+    def replay(self) -> RouterJournalState:
+        """Fold the journal into the last-known router state (pure)."""
+        with self._lock:
+            state = self._replay_locked()
+        self.corrupt_skipped = state.corrupt_lines
+        return state
+
+    def _lines(self) -> Iterator[tuple[dict, bool]]:
+        """Yield ``(parsed, corrupt)`` per line, tolerating a torn tail."""
+        try:
+            raw = self._path.read_bytes()
+        except OSError:
+            return
+        for index, line in enumerate(raw.split(b"\n")):
+            if not line:
+                continue
+            torn_tail = index == raw.count(b"\n") and not raw.endswith(b"\n")
+            try:
+                parsed = json.loads(line)
+            except ValueError:
+                yield {}, True
+                continue
+            if torn_tail or not isinstance(parsed, dict):
+                yield {}, True
+                continue
+            yield parsed, False
+
+    def _replay_locked(self) -> RouterJournalState:
+        state = RouterJournalState()
+        for parsed, corrupt in self._lines():
+            if corrupt:
+                state.corrupt_lines += 1
+                continue
+            kind = parsed.get("type")
+            if kind == MEMBER:
+                node, url = parsed.get("node"), parsed.get("url")
+                if not isinstance(node, str) or not isinstance(url, str):
+                    state.corrupt_lines += 1
+                    continue
+                state.members[node] = url
+            elif kind == MEMBER_LEFT:
+                node = parsed.get("node")
+                if not isinstance(node, str):
+                    state.corrupt_lines += 1
+                    continue
+                state.members.pop(node, None)
+            elif kind == DATASET:
+                name = parsed.get("name")
+                if not isinstance(name, str) or not isinstance(
+                    parsed.get("body"), str
+                ):
+                    state.corrupt_lines += 1
+                    continue
+                state.datasets[name] = parsed
+            elif kind == JOB:
+                public_id = parsed.get("public_id")
+                if not isinstance(public_id, str) or not isinstance(
+                    parsed.get("body"), str
+                ):
+                    state.corrupt_lines += 1
+                    continue
+                terminal = state.jobs.get(public_id, {}).get("terminal", False)
+                record = dict(parsed)
+                record["terminal"] = terminal
+                state.jobs[public_id] = record
+            elif kind == JOB_TERMINAL:
+                public_id = parsed.get("public_id")
+                record = (
+                    state.jobs.get(public_id)
+                    if isinstance(public_id, str)
+                    else None
+                )
+                if record is None:
+                    state.corrupt_lines += 1
+                    continue
+                record["terminal"] = True
+            else:
+                state.corrupt_lines += 1
+        return state
+
+    # -- compaction ----------------------------------------------------
+
+    def maybe_compact(self) -> bool:
+        """Compact once enough appends accumulated; returns whether."""
+        with self._lock:
+            due = self._since_compact >= self._compact_every
+        if due:
+            self.compact()
+        return due
+
+    def compact(self) -> dict:
+        """Rewrite the journal down to the folded state, atomically.
+
+        One ``member`` line per current member, one ``dataset`` line per
+        catalog entry, one ``job`` line (plus a ``job_terminal`` marker
+        where observed) per routed job — superseded re-homes, left
+        members, and replaced registrations compact away.
+        """
+        with self._lock:
+            state = self._replay_locked()
+            before = state.corrupt_lines + sum(
+                (
+                    len(state.members),
+                    len(state.datasets),
+                    len(state.jobs),
+                    sum(1 for job in state.jobs.values() if job["terminal"]),
+                )
+            )
+            lines: list[str] = []
+            for node, url in state.members.items():
+                lines.append(_compact_line({"type": MEMBER, "node": node, "url": url}))
+            for record in state.datasets.values():
+                lines.append(
+                    _compact_line({key: record[key] for key in record if key != "terminal"})
+                )
+            for record in state.jobs.values():
+                terminal = record.get("terminal", False)
+                lines.append(
+                    _compact_line(
+                        {key: record[key] for key in record if key != "terminal"}
+                    )
+                )
+                if terminal:
+                    lines.append(
+                        _compact_line(
+                            {"type": JOB_TERMINAL, "public_id": record["public_id"]}
+                        )
+                    )
+            payload = ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
+            temporary = (
+                self._dir / f".router.{os.getpid()}.{threading.get_ident()}.tmp"
+            )
+            try:
+                with open(temporary, "wb") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(temporary, self._path)
+            except OSError:
+                self.write_errors += 1
+                try:
+                    temporary.unlink()
+                except OSError:
+                    pass
+                return {"kept": before, "written": False}
+            self.compactions += 1
+            self._since_compact = 0
+            return {"kept": len(lines), "written": True}
+
+    # -- observability -------------------------------------------------
+
+    def stats(self) -> dict:
+        """Journal counters for ``GET /stats``."""
+        return {
+            "path": str(self._path),
+            "appended": self.appended,
+            "compactions": self.compactions,
+            "write_errors": self.write_errors,
+            "corrupt_skipped": self.corrupt_skipped,
+        }
+
+
+def _compact_line(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))

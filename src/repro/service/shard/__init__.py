@@ -16,17 +16,44 @@ cached, never *what* they are.
   shard worker processes;
 * :mod:`repro.service.shard.router` -- the routing HTTP tier with
   warm-key routing, shard-parallel batch fan-out, and failover
-  re-registration.
+  re-registration;
+* :mod:`repro.service.shard.cluster` -- remote nodes: the authenticated
+  TCP join/heartbeat protocol, liveness timeouts, and the gossiped
+  warm-key map, so shards can live on other machines.
 """
 
+from repro.service.shard.cluster import (
+    PROTOCOL_VERSION,
+    BadTokenError,
+    ClusteringDisabledError,
+    ClusterMembership,
+    ClusterRejection,
+    GossipLog,
+    NameConflictError,
+    ProtocolMismatchError,
+    ShardNode,
+    UnknownMemberError,
+    spawn_node,
+)
 from repro.service.shard.ring import HashRing
 from repro.service.shard.router import ShardRouter, make_router_server
 from repro.service.shard.supervisor import ShardBackend, ShardSupervisor
 
 __all__ = [
+    "PROTOCOL_VERSION",
+    "BadTokenError",
+    "ClusterMembership",
+    "ClusterRejection",
+    "ClusteringDisabledError",
+    "GossipLog",
     "HashRing",
+    "NameConflictError",
+    "ProtocolMismatchError",
     "ShardBackend",
+    "ShardNode",
     "ShardRouter",
     "ShardSupervisor",
+    "UnknownMemberError",
     "make_router_server",
+    "spawn_node",
 ]

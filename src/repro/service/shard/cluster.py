@@ -1,0 +1,671 @@
+"""Cluster membership: remote shard nodes behind a join/heartbeat protocol.
+
+PRs 6-8 scaled the shard tier across *processes*: the supervisor spawns
+workers and collects their ports over a ``Pipe``, which cannot cross a
+machine boundary.  This module makes shards first-class *network* nodes:
+a standalone worker (:class:`ShardNode`, the ``hypdb shard --join`` CLI)
+boots a full :class:`~repro.service.core.AnalysisService`, binds its own
+HTTP port, and registers itself with a running router over plain HTTP --
+an authenticated ``POST /v2/cluster/join`` handshake carrying the node
+name, advertised URL, protocol version, and shared token.  From the
+router's perspective a remote node is just a :class:`~repro.service.
+shard.supervisor.ShardBackend` without a process handle: the ring,
+replication, failover, and job re-homing machinery work unchanged,
+and every response stays byte-identical to the single-process oracle.
+
+**Liveness** replaces the supervisor's process polling: nodes heartbeat
+(``POST /v2/cluster/heartbeat``) on the interval the join response
+advertises, and the router's reaper marks a node dead once its last
+heartbeat is older than the liveness timeout -- feeding the existing
+``mark_dead``/``rejoin`` failover paths, so a killed remote node fails
+over exactly like a killed local worker.
+
+**Gossiped warm keys**: each heartbeat carries a digest of the request
+keys newly present in the node's own result cache -- warm state lives
+where the bytes live, so a node's digest *is* the authoritative list of
+keys it can answer warm.  The router merges digests into its warm-key
+map and appends them to a bounded gossip log; heartbeat responses
+piggyback log deltas past a caller-supplied cursor, so a peer router
+can converge by heartbeating like a node.  The join/heartbeat response
+carries the router's **epoch** (fresh per router process): when a node
+sees the epoch change -- a restarted router, or a second router -- it
+forgets what it already reported and re-sends its full digest, so the
+new router converges to warm routing without replaying any traffic.
+
+Handshake rejections are *typed*: a 403/409 body carrying a stable
+``"code"`` (``bad_token``, ``protocol_mismatch``, ...) that
+:class:`~repro.service.client.ClusterJoinError` surfaces client-side.
+Auth failures are never retried -- the server answered, and the answer
+will not change.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceError,
+)
+from repro.service.http import typed_error_bytes
+
+#: The cluster wire-protocol version.  Bumped when the join/heartbeat
+#: contract changes incompatibly; a mismatched node is rejected with a
+#: typed 409 rather than admitted into a ring it would misroute.
+PROTOCOL_VERSION = 1
+
+#: Warm-key digest bound per heartbeat (both directions): keeps beats
+#: cheap; a node with more new keys drains them over successive beats.
+GOSSIP_KEYS_PER_BEAT = 512
+
+#: Node names must be ring-safe and path-safe.
+_NAME_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+# ----------------------------------------------------------------------
+# Typed handshake rejections
+# ----------------------------------------------------------------------
+
+
+class ClusterRejection(Exception):
+    """Base of the typed join/heartbeat rejections.
+
+    Each subclass pins an HTTP status and a stable machine-readable
+    ``code`` so clients can distinguish "wrong credentials" from "wrong
+    software version" without parsing prose.  None of these are ever
+    retried client-side: the server answered, and the answer is
+    deterministic.
+    """
+
+    status = 403
+    code = "rejected"
+
+    def body(self) -> bytes:
+        """The canonical typed error body for this rejection."""
+        return typed_error_bytes(str(self), self.code, **self.fields())
+
+    def fields(self) -> dict[str, object]:
+        """Extra machine-readable fields for the error body (none by default)."""
+        return {}
+
+
+class ClusteringDisabledError(ClusterRejection):
+    """The router was started without a cluster token (403)."""
+
+    status = 403
+    code = "clustering_disabled"
+
+    def __init__(self) -> None:
+        super().__init__(
+            "clustering is disabled on this router (start it with --cluster-token)"
+        )
+
+
+class BadTokenError(ClusterRejection):
+    """The shared token did not match (403)."""
+
+    status = 403
+    code = "bad_token"
+
+    def __init__(self) -> None:
+        super().__init__("cluster token mismatch")
+
+
+class ProtocolMismatchError(ClusterRejection):
+    """The node speaks a different cluster protocol version (409)."""
+
+    status = 409
+    code = "protocol_mismatch"
+
+    def __init__(self, got: object) -> None:
+        super().__init__(
+            f"cluster protocol mismatch: router speaks {PROTOCOL_VERSION}, "
+            f"node sent {got!r}"
+        )
+        self.got = got
+
+    def fields(self) -> dict[str, object]:
+        """Expected and offered protocol versions, for typed clients."""
+        return {"expected": PROTOCOL_VERSION, "got": self.got}
+
+
+class NameConflictError(ClusterRejection):
+    """Another *live* node already holds the requested name (409)."""
+
+    status = 409
+    code = "name_conflict"
+
+    def __init__(self, node: str) -> None:
+        super().__init__(f"a live shard already joined as {node!r}")
+        self.node = node
+
+
+class UnknownMemberError(ClusterRejection):
+    """A heartbeat/leave from a node the router never admitted (409).
+
+    The canonical cure is to re-join: a node seeing this code re-runs
+    the join handshake (it usually means the router restarted and lost
+    -- or never journaled -- the membership table).
+    """
+
+    status = 409
+    code = "unknown_member"
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"unknown cluster member {node!r}; re-join first")
+        self.node = node
+
+
+# ----------------------------------------------------------------------
+# Handshake request
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """A validated ``POST /v2/cluster/join`` body."""
+
+    node: str
+    url: str
+    protocol: object
+    token: object
+
+    @classmethod
+    def from_body(cls, body: dict) -> "JoinRequest":
+        """Validate a parsed join body (``ValueError`` -> plain 400).
+
+        Only *shape* problems raise here (missing fields, unusable
+        names/URLs) -- they are client bugs, not policy rejections.
+        Token and protocol checks happen later and produce the typed
+        403/409 bodies.
+        """
+        node = body.get("node")
+        if not isinstance(node, str) or not node or len(node) > 64:
+            raise ValueError("join requires a node name (1-64 characters)")
+        if not set(node) <= _NAME_CHARS:
+            raise ValueError(
+                f"node name {node!r} may only contain letters, digits, '.', '_', '-'"
+            )
+        url = body.get("url")
+        if not isinstance(url, str) or not url.startswith(("http://", "https://")):
+            raise ValueError("join requires an advertised http(s):// url")
+        return cls(
+            node=node,
+            url=url.rstrip("/"),
+            protocol=body.get("protocol"),
+            token=body.get("token"),
+        )
+
+
+# ----------------------------------------------------------------------
+# Membership table
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ClusterNode:
+    """One admitted remote member: its address and heartbeat bookkeeping."""
+
+    name: str
+    url: str
+    protocol: int = PROTOCOL_VERSION
+    joined_at: float = field(default_factory=time.time)
+    last_heartbeat: float = field(default_factory=time.time)
+    heartbeats: int = 0
+
+
+class ClusterMembership:
+    """The router's table of remote members (name -> :class:`ClusterNode`).
+
+    Tracks only nodes admitted through the join handshake -- locally
+    spawned workers keep their supervisor lifecycle and never appear
+    here.  Not internally locked: the router serializes every mutation
+    under its own topology lock (membership changes and ring changes
+    must be atomic together anyway).
+    """
+
+    def __init__(self) -> None:
+        self._members: dict[str, ClusterNode] = {}
+
+    def admit(self, name: str, url: str, protocol: int = PROTOCOL_VERSION) -> ClusterNode:
+        """Add (or refresh) a member; the heartbeat clock restarts now."""
+        node = ClusterNode(name=name, url=url, protocol=protocol)
+        self._members[name] = node
+        return node
+
+    def get(self, name: object) -> ClusterNode | None:
+        """The member named ``name``, or ``None``."""
+        if not isinstance(name, str):
+            return None
+        return self._members.get(name)
+
+    def beat(self, name: str) -> ClusterNode:
+        """Record one heartbeat (raises :class:`UnknownMemberError`)."""
+        node = self._members.get(name)
+        if node is None:
+            raise UnknownMemberError(name)
+        node.last_heartbeat = time.time()
+        node.heartbeats += 1
+        return node
+
+    def leave(self, name: str) -> ClusterNode:
+        """Remove a member (raises :class:`UnknownMemberError`)."""
+        node = self._members.pop(name, None)
+        if node is None:
+            raise UnknownMemberError(name)
+        return node
+
+    def stale(self, timeout: float, now: float | None = None) -> list[str]:
+        """Members whose last heartbeat is older than ``timeout`` seconds."""
+        moment = time.time() if now is None else now
+        return [
+            name
+            for name, node in self._members.items()
+            if moment - node.last_heartbeat > timeout
+        ]
+
+    def names(self) -> list[str]:
+        """Every member name, sorted."""
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name in self._members
+
+
+# ----------------------------------------------------------------------
+# Gossip log
+# ----------------------------------------------------------------------
+
+
+class GossipLog:
+    """A bounded, sequence-numbered log of warm-key placements.
+
+    Every warm-key recording the router makes is appended here; a peer
+    (another router heartbeating with a ``cursor``) receives the events
+    past its cursor and advances.  The log is a ring buffer: a cursor
+    that has fallen off the retained window simply restarts from the
+    oldest retained event -- warm-key entries are an *optimization*
+    (a missed one costs a cold-but-byte-identical recompute), so gossip
+    favors boundedness over completeness.  Node digests cover the rest:
+    an epoch change makes every node re-send its full warm-key set.
+    """
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._max_entries = max_entries
+        self._lock = threading.Lock()
+        self._events: list[tuple[int, str, str]] = []
+        self._next_seq = 0
+
+    def append(self, key: str, location: str) -> None:
+        """Record that ``location`` now holds the bytes for ``key``."""
+        with self._lock:
+            self._events.append((self._next_seq, key, location))
+            self._next_seq += 1
+            if len(self._events) > self._max_entries:
+                del self._events[: len(self._events) - self._max_entries]
+
+    def since(
+        self, cursor: int, limit: int = GOSSIP_KEYS_PER_BEAT
+    ) -> tuple[list[dict[str, object]], int]:
+        """Events past ``cursor`` (bounded) and the cursor to resume from."""
+        with self._lock:
+            start = 0
+            if self._events and cursor > self._events[0][0]:
+                # Binary-search-free scan is fine: deltas are short-lived
+                # and the list is bounded.
+                start = next(
+                    (
+                        index
+                        for index, event in enumerate(self._events)
+                        if event[0] >= cursor
+                    ),
+                    len(self._events),
+                )
+            window = self._events[start : start + max(0, limit)]
+            events = [
+                {"seq": seq, "key": key, "location": location}
+                for seq, key, location in window
+            ]
+            next_cursor = window[-1][0] + 1 if window else max(cursor, 0)
+            if not self._events:
+                next_cursor = self._next_seq
+            return events, next_cursor
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+# ----------------------------------------------------------------------
+# The standalone worker
+# ----------------------------------------------------------------------
+
+
+class ShardNode:
+    """One remote shard worker: a full service that joins a router over TCP.
+
+    Lifecycle: :meth:`start` binds the worker's own HTTP server (and
+    replays its job journal, exactly like a supervised worker),
+    :meth:`join` runs the handshake against the router (retrying only
+    *connection* failures until ``join_timeout`` -- a typed rejection
+    raises immediately), after which a daemon thread heartbeats on the
+    router-advertised interval, carrying warm-key digests.  A node that
+    hears ``unknown_member`` (the router restarted without membership
+    state) transparently re-joins; a node that sees a new router *epoch*
+    re-sends its full warm-key digest so the new router converges to
+    warm routing without traffic.
+
+    Parameters mirror one supervised shard's slice of the ``serve``
+    CLI; ``advertise`` overrides the URL sent to the router (for NAT or
+    multi-interface hosts where the bind address is not the reachable
+    one).
+    """
+
+    def __init__(
+        self,
+        router_url: str,
+        token: str,
+        name: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        advertise: str | None = None,
+        jobs: int = 1,
+        engine=None,
+        cache_entries: int = 256,
+        disk_cache: str | None = None,
+        job_workers: int = 2,
+        job_journal: str | None = None,
+        heartbeat_interval: float | None = None,
+        join_timeout: float = 60.0,
+    ) -> None:
+        self.router_url = router_url.rstrip("/")
+        self.token = token
+        self.name = name
+        self.host = host
+        self._port = port
+        self._advertise = advertise
+        self._jobs = jobs
+        self._engine = engine
+        self._cache_entries = cache_entries
+        self._disk_cache = disk_cache
+        self._job_workers = job_workers
+        self._job_journal = job_journal
+        self.heartbeat_interval = heartbeat_interval
+        self.join_timeout = join_timeout
+        self.service = None
+        self.server = None
+        self.url: str | None = None
+        self.epoch: str | None = None
+        self.rejoins = 0
+        self._client: ServiceClient | None = None
+        self._reported: set[str] = set()
+        self._stop = threading.Event()
+        self._beat_thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> str:
+        """Boot the worker service and HTTP server; returns the node URL."""
+        from repro.engine import resolve_engine
+        from repro.service.core import AnalysisService
+        from repro.service.http import make_server
+
+        engine = self._engine if self._engine is not None else resolve_engine(self._jobs)
+        self.service = AnalysisService(
+            engine=engine,
+            max_cache_entries=self._cache_entries,
+            disk_cache=self._disk_cache,
+            job_workers=self._job_workers,
+            job_journal=self._job_journal,
+        )
+        self.server = make_server(self.service, host=self.host, port=self._port)
+        if self._job_journal is not None:
+            # Replay before the node is reachable through the router, so
+            # the cluster never routes to a shard mid-recovery.
+            self.service.recover_jobs()
+        self._port = self.server.server_address[1]
+        if self.name is None:
+            self.name = f"node{self._port}"
+        self.url = (
+            self._advertise.rstrip("/")
+            if self._advertise is not None
+            else f"http://{self.host}:{self._port}"
+        )
+        return self.url
+
+    @property
+    def port(self) -> int:
+        """The bound HTTP port (0 until :meth:`start`)."""
+        return self._port
+
+    def join(self) -> dict:
+        """Run the join handshake; starts the heartbeat loop on success.
+
+        Connection failures (the router is not up yet -- the normal
+        boot-order race of a two-machine deployment) retry with a short
+        pause until ``join_timeout``.  A typed rejection
+        (:class:`~repro.service.client.ClusterJoinError`) raises
+        immediately and is never retried.
+        """
+        if self.url is None:
+            raise RuntimeError("call start() before join()")
+        self._client = ServiceClient(self.router_url, timeout=30.0, retries=0)
+        deadline = time.monotonic() + self.join_timeout
+        while True:
+            try:
+                response = self._client.join_cluster(
+                    node=self.name, url=self.url, token=self.token
+                )
+                break
+            except ServiceConnectionError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.2)
+        self.epoch = response.get("epoch")
+        if self.heartbeat_interval is None:
+            advertised = response.get("heartbeat_interval")
+            self.heartbeat_interval = (
+                float(advertised) if isinstance(advertised, (int, float)) else 1.0
+            )
+        self._reported = set()
+        if self._beat_thread is None or not self._beat_thread.is_alive():
+            self._beat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"hypdb-node-{self.name}-heartbeat",
+                daemon=True,
+            )
+            self._beat_thread.start()
+        return response
+
+    def serve_forever(self) -> None:
+        """Serve requests until :meth:`close` (or KeyboardInterrupt)."""
+        self.server.serve_forever()
+
+    def leave(self) -> None:
+        """Best-effort graceful leave (the reaper covers the crash path)."""
+        if self._client is None:
+            return
+        try:
+            self._client.cluster_leave(node=self.name, token=self.token)
+        except (ServiceError, OSError):
+            pass
+
+    def close(self) -> None:
+        """Stop heartbeating and shut the worker service down."""
+        self._stop.set()
+        if self._beat_thread is not None:
+            self._beat_thread.join(timeout=5)
+            self._beat_thread = None
+        if self.server is not None:
+            self.server.shutdown()
+            self.server.server_close()
+            self.server = None
+        if self.service is not None:
+            self.service.close()
+            self.service = None
+
+    # -- heartbeats ----------------------------------------------------
+
+    def _pending_digest(self) -> list[str]:
+        """Warm keys in this node's result cache not yet acked (bounded)."""
+        keys = self.service.cache.keys() if self.service is not None else []
+        fresh = [key for key in keys if key not in self._reported]
+        return fresh[:GOSSIP_KEYS_PER_BEAT]
+
+    def beat(self) -> dict:
+        """One heartbeat round-trip, carrying a warm-key digest.
+
+        An epoch change in the response means a different router process
+        answered (restart, or a peer): everything previously reported
+        went to the *old* epoch, so the reported set resets to just this
+        beat's digest and the backlog re-sends over following beats.
+        """
+        digest = self._pending_digest()
+        response = self._client.cluster_heartbeat(
+            node=self.name, token=self.token, keys=digest
+        )
+        epoch = response.get("epoch")
+        if epoch != self.epoch:
+            self.epoch = epoch
+            self._reported = set(digest)
+        else:
+            self._reported.update(digest)
+        return response
+
+    def _heartbeat_loop(self) -> None:
+        """Daemon loop: beat, re-join on ``unknown_member``, never crash."""
+        interval = self.heartbeat_interval or 1.0
+        while not self._stop.wait(interval):
+            try:
+                self.beat()
+            except ServiceError as error:
+                code = (error.payload or {}).get("code")
+                if code == UnknownMemberError.code:
+                    # The router restarted without membership state (or a
+                    # peer answered): run the handshake again.
+                    try:
+                        self._client.join_cluster(
+                            node=self.name, url=self.url, token=self.token
+                        )
+                        self._reported = set()
+                        self.rejoins += 1
+                    except ServiceError:
+                        continue
+                # Anything else (router briefly down, auth flap during a
+                # rolling restart): keep beating -- the next beat answers
+                # or the operator intervenes.
+            except OSError:  # pragma: no cover - transient socket noise
+                continue
+
+
+def _node_main(
+    connection,
+    router_url: str,
+    token: str,
+    name: str | None,
+    host: str,
+    jobs: int,
+    cache_entries: int,
+    disk_cache: str | None,
+    job_workers: int,
+    job_journal: str | None,
+    heartbeat_interval: float | None,
+) -> None:  # pragma: no cover - runs in a child process
+    """Spawn entry point for one remote node (tests and benchmarks).
+
+    Mirrors ``supervisor._shard_main`` but joins over TCP instead of
+    reporting a port over the pipe: the pipe only signals readiness
+    (the bound port) back to the spawner *after* the join succeeded.
+    """
+    from repro.service import faults
+
+    node = ShardNode(
+        router_url,
+        token,
+        name=name,
+        host=host,
+        jobs=jobs,
+        cache_entries=cache_entries,
+        disk_cache=disk_cache,
+        job_workers=job_workers,
+        job_journal=job_journal,
+        heartbeat_interval=heartbeat_interval,
+    )
+    node.start()
+    faults.set_scope(node.name)
+    node.join()
+    connection.send(node.port)
+    connection.close()
+    try:
+        node.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        node.leave()
+        node.close()
+
+
+def spawn_node(
+    router_url: str,
+    token: str,
+    name: str | None = None,
+    host: str = "127.0.0.1",
+    jobs: int = 1,
+    cache_entries: int = 256,
+    disk_cache: str | None = None,
+    job_workers: int = 2,
+    job_journal: str | None = None,
+    heartbeat_interval: float | None = None,
+    start_timeout: float = 120.0,
+):
+    """Start one remote node in a fresh process; returns ``(process, url)``.
+
+    The child boots, joins the router, then reports its port -- so a
+    returned process is already a live, admitted cluster member.  Used
+    by tests and benchmarks; the CLI path (``hypdb shard``) runs
+    :class:`ShardNode` in the foreground instead.
+    """
+    import multiprocessing
+
+    context = multiprocessing.get_context("spawn")
+    parent_end, child_end = context.Pipe(duplex=False)
+    journal = os.path.join(job_journal, name) if job_journal and name else job_journal
+    process = context.Process(
+        target=_node_main,
+        args=(
+            child_end,
+            router_url,
+            token,
+            name,
+            host,
+            jobs,
+            cache_entries,
+            disk_cache,
+            job_workers,
+            journal,
+            heartbeat_interval,
+        ),
+        name=f"hypdb-node-{name or 'anon'}",
+        daemon=True,
+    )
+    process.start()
+    child_end.close()
+    if not parent_end.poll(start_timeout):
+        process.terminate()
+        raise TimeoutError(
+            f"remote node {name!r} did not join within {start_timeout}s"
+        )
+    port = parent_end.recv()
+    parent_end.close()
+    return process, f"http://{host}:{port}"

@@ -60,11 +60,28 @@ re-adds them to the ring and lets background re-replication rebuild K.
 Job ids are namespaced ``<shard>.<local id>`` (e.g. ``s0.j00000001``);
 the namespace is the *birthplace*, the routed-job table tracks the
 current home after failover.
+
+**Remote nodes** (``cluster_token=...``): shards need not be spawned
+locally -- a standalone worker (``hypdb shard --join``) registers itself
+over the authenticated ``POST /v2/cluster/join`` handshake and becomes a
+backend with no process handle.  Liveness comes from heartbeats (the
+reaper marks a silent node dead past ``liveness_timeout``, feeding the
+same ``mark_dead``/``rejoin`` failover), and heartbeats gossip warm-key
+digests both ways, so a restarted router (or a peer) converges back to
+warm routing without replaying traffic.  See
+:mod:`repro.service.shard.cluster`.
+
+**Durability** (``journal=RouterJournal(...)``): membership, dataset
+registrations, and the routed-job id table are journaled with the
+:class:`~repro.service.journal.JobJournal` discipline, so a restarted
+router resolves every public job id it ever handed out.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -82,6 +99,20 @@ from repro.service.http import (
     _message,
     parse_json_body,
     v1_deprecation_headers,
+)
+from repro.service.journal import RouterJournal
+from repro.service.shard.cluster import (
+    GOSSIP_KEYS_PER_BEAT,
+    PROTOCOL_VERSION,
+    BadTokenError,
+    ClusteringDisabledError,
+    ClusterMembership,
+    ClusterRejection,
+    GossipLog,
+    JoinRequest,
+    NameConflictError,
+    ProtocolMismatchError,
+    UnknownMemberError,
 )
 from repro.service.shard.ring import HashRing
 from repro.service.shard.supervisor import ShardBackend
@@ -164,6 +195,24 @@ class ShardRouter:
     client_timeout:
         Socket timeout of the per-shard forwarding clients; generous, as
         cold analyses compute the full pipeline.
+    cluster_token:
+        Shared secret enabling the ``/v2/cluster/*`` endpoints: remote
+        shard nodes join, heartbeat, and leave with it.  ``None``
+        (default) rejects every cluster call with a typed 403, and the
+        router may then start with zero backends only if a journal can
+        repopulate it.  With a token, ``backends`` may be empty -- the
+        router answers 503 (``Retry-After``) until the first node joins.
+    journal:
+        Optional :class:`~repro.service.journal.RouterJournal`: replayed
+        on construction (members re-admitted, catalog and routed-job
+        table rebuilt) and appended to on every membership, registration,
+        and job-table change.
+    heartbeat_interval:
+        Seconds between node heartbeats, advertised in join responses.
+    liveness_timeout:
+        Seconds of heartbeat silence before the reaper marks a remote
+        node dead (the ``mark_dead`` failover path).  Local supervised
+        backends keep their process-poll liveness instead.
     """
 
     #: Routed-job table bound; oldest *terminal* entries are evicted
@@ -177,12 +226,16 @@ class ShardRouter:
         replicas: int = 1,
         client_timeout: float = 600.0,
         warm_map_entries: int = 131072,
+        cluster_token: str | None = None,
+        journal: RouterJournal | None = None,
+        heartbeat_interval: float = 1.0,
+        liveness_timeout: float = 5.0,
     ) -> None:
-        if not backends:
+        if not backends and cluster_token is None and journal is None:
             raise ValueError("at least one shard backend is required")
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
-        if replicas > len(backends):
+        if backends and replicas > len(backends) and cluster_token is None:
             raise ValueError(
                 f"replicas must be <= the shard count, got {replicas} > {len(backends)}"
             )
@@ -222,6 +275,26 @@ class ShardRouter:
         self._job_homes: dict[tuple[str, str], str] = {}
         self._job_failovers = 0
         self._rejoins = 0
+        # Cluster state: the shared token gating /v2/cluster/*, the
+        # remote-member table, the gossip log of warm-key placements,
+        # and a fresh epoch per router process (nodes re-send their full
+        # warm-key digest when they see it change).
+        self.cluster_token = cluster_token
+        self.heartbeat_interval = heartbeat_interval
+        self.liveness_timeout = liveness_timeout
+        self.cluster_epoch = f"{os.getpid():x}-{time.time_ns():x}"
+        self._membership = ClusterMembership()
+        self._gossip = GossipLog()
+        self._joins = 0
+        self._join_rejects = 0
+        self._heartbeats = 0
+        self._closed = threading.Event()
+        self._reaper: threading.Thread | None = None
+        self._journal = journal
+        if journal is not None:
+            self._recover_from_journal(journal)
+        if cluster_token is not None:
+            self._start_reaper()
 
     # ------------------------------------------------------------------
     # Topology
@@ -316,13 +389,341 @@ class ShardRouter:
                     # take over: the rejoined worker adopts the dataset.
                     self._reregister(record)
             for entry in list(self._jobs.values()):
-                if entry.terminal or not self._backends[entry.shard].dead:
+                home = self._backends.get(entry.shard)
+                if entry.terminal or (home is not None and not home.dead):
                     continue
                 try:
                     self._failover_job_locked(entry)
                 except NoLiveShardsError:  # pragma: no cover - defensive
                     break
             self._start_restore_locked()
+
+    # ------------------------------------------------------------------
+    # Cluster membership (remote nodes)
+    # ------------------------------------------------------------------
+
+    def _authenticate(self, token: object) -> None:
+        """Check the shared cluster token (typed 403s on failure)."""
+        if self.cluster_token is None:
+            raise ClusteringDisabledError()
+        if not isinstance(token, str) or not hmac.compare_digest(
+            token, self.cluster_token
+        ):
+            raise BadTokenError()
+
+    def _admit_locked(self, name: str, url: str) -> ShardBackend:
+        """Admit (or re-admit) one remote node under the topology lock.
+
+        A fresh name becomes a process-less :class:`ShardBackend` on the
+        ring; a dead name rejoining (crash-restart, possibly on a new
+        URL) goes through the standard :meth:`rejoin` repair; a live
+        name re-joining from the *same* URL is idempotent (a node that
+        restarted fast -- before the reaper noticed -- re-handshakes;
+        results are deterministic, so its cold caches only cost time);
+        a live name from a *different* URL is a typed 409 conflict.
+        """
+        backend = self._backends.get(name)
+        if backend is None:
+            backend = ShardBackend(name=name, url=url, process=None)
+            self._backends[name] = backend
+            self._clients[name] = ServiceClient(url, timeout=self._client_timeout)
+            self.ring.add(name)
+            self._membership.admit(name, url)
+            if self._journal is not None:
+                self._journal.record_member(name, url)
+            self._adopt_orphans_locked()
+            self._start_restore_locked()
+            return backend
+        if backend.dead:
+            backend.url = url
+            self._membership.admit(name, url)
+            if self._journal is not None:
+                self._journal.record_member(name, url)
+            self.rejoin(backend)
+            return backend
+        if backend.url == url:
+            self._membership.admit(name, url)
+            return backend
+        raise NameConflictError(name)
+
+    def _adopt_orphans_locked(self) -> None:
+        """Hand all-replicas-dead datasets and homeless jobs to live shards.
+
+        The fresh-admit sibling of the loops inside :meth:`rejoin`: a
+        node joining an otherwise-dead (or empty-but-journaled) ring
+        adopts every dataset with no live replica and every unfinished
+        job homed on a dead or unknown shard.
+        """
+        adopted: set[int] = set()
+        for record in self._registrations.values():
+            if id(record.locations) in adopted:
+                continue
+            adopted.add(id(record.locations))
+            if not any(
+                name in self._backends and not self._backends[name].dead
+                for name in record.locations
+            ):
+                self._reregister(record)
+        for entry in list(self._jobs.values()):
+            home = self._backends.get(entry.shard)
+            if entry.terminal or (home is not None and not home.dead):
+                continue
+            try:
+                self._failover_job_locked(entry)
+            except NoLiveShardsError:  # pragma: no cover - defensive
+                break
+
+    def _recover_from_journal(self, journal: RouterJournal) -> None:
+        """Rebuild members, catalog, and the job id-table from the journal.
+
+        Members come back with a fresh heartbeat clock (a grace window:
+        the reaper only marks them dead ``liveness_timeout`` after
+        *this* process started, by which point a live node has beaten --
+        and re-joined, since this process's epoch differs).  Dataset
+        records rebuild the catalog byte-identically (verbatim bodies,
+        shared placement lists per fingerprint); routed jobs resolve
+        their public ids again, with reads lazily resurrecting anything
+        the home shard forgot.
+        """
+        state = journal.replay()
+        with self._lock:
+            for node, url in state.members.items():
+                if node in self._backends:
+                    continue
+                backend = ShardBackend(name=node, url=url, process=None)
+                self._backends[node] = backend
+                self._clients[node] = ServiceClient(
+                    url, timeout=self._client_timeout
+                )
+                self.ring.add(node)
+                self._membership.admit(node, url)
+            for record in state.datasets.values():
+                locations = [
+                    name
+                    for name in record.get("locations", [])
+                    if isinstance(name, str) and name in self._backends
+                ]
+                fingerprint = record.get("fingerprint")
+                existing = (
+                    self._by_fingerprint.get(fingerprint)
+                    if isinstance(fingerprint, str)
+                    else None
+                )
+                if existing is not None:
+                    # Alias of already-recovered content: share the
+                    # placement list, like the live register path.
+                    locations = existing.locations
+                registration = RegisteredDataset(
+                    name=record["name"],
+                    fingerprint=fingerprint,
+                    columns=tuple(record.get("columns", [])),
+                    n_rows=record.get("n_rows", 0),
+                    body=record["body"].encode("utf-8"),
+                    locations=locations,
+                )
+                self._registrations[registration.name] = registration
+                if isinstance(fingerprint, str) and existing is None:
+                    self._by_fingerprint[fingerprint] = registration
+            for public_id, record in state.jobs.items():
+                entry = RoutedJob(
+                    public_id=public_id,
+                    body=record["body"].encode("utf-8"),
+                    fingerprint=record.get("fingerprint"),
+                    key=record.get("key"),
+                    shard=record.get("shard", ""),
+                    local_id=record.get("local_id", ""),
+                    terminal=record.get("terminal", False),
+                )
+                self._jobs[public_id] = entry
+                self._job_homes[(entry.shard, entry.local_id)] = public_id
+            self._prune_jobs_locked()
+
+    def handle_cluster_join(self, raw: bytes) -> tuple[int, bytes]:
+        """``POST /v2/cluster/join``: the authenticated node handshake.
+
+        Shape errors are plain 400s; policy rejections (bad token,
+        protocol mismatch, live-name conflict) are typed 403/409 bodies
+        carrying a stable ``code``.  Success admits the node into the
+        ring and answers with the router epoch, the advertised heartbeat
+        interval and liveness timeout, and the live shard list.
+        """
+        body = parse_json_body(raw)
+        try:
+            request = JoinRequest.from_body(body)
+            self._authenticate(request.token)
+            if request.protocol != PROTOCOL_VERSION:
+                raise ProtocolMismatchError(request.protocol)
+            with self._lock:
+                self._admit_locked(request.node, request.url)
+                self._joins += 1
+        except ClusterRejection as rejection:
+            with self._lock:
+                self._join_rejects += 1
+            return rejection.status, rejection.body()
+        return 200, canonical_json_bytes(
+            {
+                "status": "ok",
+                "node": request.node,
+                "epoch": self.cluster_epoch,
+                "protocol": PROTOCOL_VERSION,
+                "heartbeat_interval": self.heartbeat_interval,
+                "liveness_timeout": self.liveness_timeout,
+                "shards": sorted(self.ring.nodes),
+            }
+        )
+
+    def handle_cluster_heartbeat(self, raw: bytes) -> tuple[int, bytes]:
+        """``POST /v2/cluster/heartbeat``: liveness + two-way gossip.
+
+        The beat refreshes the member's liveness clock (a beat from a
+        dead-marked member triggers :meth:`rejoin` -- the node outlived
+        the reaper's patience but is back).  The body's ``keys`` digest
+        (request keys the node's result cache holds) merges into the
+        warm-key map and the gossip log; a ``cursor`` in the body gets
+        the gossip events past it piggybacked onto the response, which
+        is how a peer router converges.  Beats from unadmitted nodes
+        are a typed 409 telling them to re-join.
+        """
+        body = parse_json_body(raw)
+        try:
+            self._authenticate(body.get("token"))
+            name = body.get("node")
+            with self._lock:
+                member = self._membership.get(name)
+                if member is None:
+                    raise UnknownMemberError(name)
+                self._membership.beat(name)
+                self._heartbeats += 1
+                backend = self._backends.get(name)
+                if backend is not None and backend.dead:
+                    self.rejoin(backend)
+        except ClusterRejection as rejection:
+            return rejection.status, rejection.body()
+        keys = body.get("keys")
+        if isinstance(keys, list):
+            for key in keys[:GOSSIP_KEYS_PER_BEAT]:
+                if isinstance(key, str):
+                    self._record_warm(key, name)
+        response: dict[str, object] = {
+            "status": "ok",
+            "epoch": self.cluster_epoch,
+            "heartbeat_interval": self.heartbeat_interval,
+        }
+        cursor = body.get("cursor")
+        if isinstance(cursor, int):
+            events, next_cursor = self._gossip.since(cursor)
+            response["events"] = events
+            response["cursor"] = next_cursor
+        return 200, canonical_json_bytes(response)
+
+    def handle_cluster_leave(self, raw: bytes) -> tuple[int, bytes]:
+        """``POST /v2/cluster/leave``: graceful departure, immediate failover.
+
+        The member is forgotten (a later heartbeat would 409 into a
+        re-join) and its backend retired through :meth:`mark_dead`, so
+        datasets and jobs fail over now instead of after the liveness
+        timeout.  The backend record itself stays, keeping placement and
+        job references valid and the name re-admittable.
+        """
+        body = parse_json_body(raw)
+        try:
+            self._authenticate(body.get("token"))
+            name = body.get("node")
+            with self._lock:
+                if not isinstance(name, str):
+                    raise UnknownMemberError(name)
+                self._membership.leave(name)
+                if self._journal is not None:
+                    self._journal.record_member_left(name)
+            backend = self._backends.get(name)
+            if backend is not None and not backend.dead:
+                self.mark_dead(backend)
+        except ClusterRejection as rejection:
+            return rejection.status, rejection.body()
+        if self._journal is not None:
+            self._journal.maybe_compact()
+        return 200, canonical_json_bytes({"status": "ok", "node": name})
+
+    def handle_cluster_get(self) -> tuple[int, bytes]:
+        """``GET /v2/cluster``: the membership table (no auth -- read-only)."""
+        with self._lock:
+            nodes: dict[str, object] = {}
+            now = time.time()
+            for name in sorted(self._backends):
+                backend = self._backends[name]
+                member = self._membership.get(name)
+                nodes[name] = {
+                    "url": backend.url,
+                    "live": not backend.dead,
+                    "remote": member is not None,
+                    "heartbeat_age_seconds": (
+                        round(now - member.last_heartbeat, 3)
+                        if member is not None
+                        else None
+                    ),
+                }
+        return 200, canonical_json_bytes(
+            {
+                "status": "ok",
+                "epoch": self.cluster_epoch,
+                "protocol": PROTOCOL_VERSION,
+                "heartbeat_interval": self.heartbeat_interval,
+                "liveness_timeout": self.liveness_timeout,
+                "nodes": nodes,
+            }
+        )
+
+    def _record_warm(self, key: str, target: str) -> None:
+        """Record a warm-key placement in the map *and* the gossip log."""
+        self.warm_keys.record(key, target)
+        self._gossip.append(key, target)
+
+    def absorb_gossip(self, events: list) -> int:
+        """Merge a peer router's gossip events into the warm-key map.
+
+        The peer-router side of convergence: a second router heartbeats
+        a primary with a cursor, feeds the returned events here, and
+        routes duplicates warm without having served the originals.
+        Events for locations this router does not know are skipped (the
+        peer may see members this router has not admitted yet).
+        """
+        absorbed = 0
+        for event in events:
+            if not isinstance(event, dict):
+                continue
+            key, location = event.get("key"), event.get("location")
+            if not isinstance(key, str) or not isinstance(location, str):
+                continue
+            with self._lock:
+                known = location in self._backends
+            if known:
+                self.warm_keys.record(key, location)
+                absorbed += 1
+        return absorbed
+
+    def _start_reaper(self) -> None:
+        """Start the liveness reaper (daemon; idles while nothing is stale)."""
+        if self._reaper is not None and self._reaper.is_alive():
+            return
+        self._reaper = threading.Thread(
+            target=self._reaper_loop, name="hypdb-router-liveness", daemon=True
+        )
+        self._reaper.start()
+
+    def _reaper_loop(self) -> None:
+        """Mark remote members dead once their heartbeats go silent."""
+        interval = max(0.1, self.liveness_timeout / 4)
+        while not self._closed.wait(interval):
+            with self._lock:
+                stale = self._membership.stale(self.liveness_timeout)
+                for name in stale:
+                    backend = self._backends.get(name)
+                    if backend is not None and not backend.dead:
+                        self.mark_dead(backend)
+
+    def close(self) -> None:
+        """Stop the reaper thread (tests; daemon threads die anyway)."""
+        self._closed.set()
 
     def _failover_job_locked(self, entry: RoutedJob) -> bool:
         """Re-submit one routed job to a live shard (lock held).
@@ -351,8 +752,17 @@ class ShardRouter:
             entry.local_id = data["job_id"]
             self._job_homes[(entry.shard, entry.local_id)] = entry.public_id
             if entry.key is not None:
-                self.warm_keys.record(entry.key, target)
+                self._record_warm(entry.key, target)
             self._job_failovers += 1
+            if self._journal is not None:
+                self._journal.record_job(
+                    entry.public_id,
+                    entry.body,
+                    entry.fingerprint,
+                    entry.key,
+                    entry.shard,
+                    entry.local_id,
+                )
             return True
         raise NoLiveShardsError("no live shards")
 
@@ -537,7 +947,7 @@ class ShardRouter:
                 self.mark_dead(self._backends[target])
                 continue
             if 200 <= status < 300 and key is not None:
-                self.warm_keys.record(key, target)
+                self._record_warm(key, target)
             return status, payload, target
         raise NoLiveShardsError("no live shards")  # pragma: no cover - defensive
 
@@ -604,7 +1014,18 @@ class ShardRouter:
                 "routed_jobs": len(self._jobs),
                 "job_failovers": self._job_failovers,
                 "rejoins": self._rejoins,
+                "cluster": {
+                    "enabled": self.cluster_token is not None,
+                    "epoch": self.cluster_epoch,
+                    "remote_nodes": len(self._membership),
+                    "joins": self._joins,
+                    "join_rejects": self._join_rejects,
+                    "heartbeats": self._heartbeats,
+                    "gossip_events": len(self._gossip),
+                },
             }
+            if self._journal is not None:
+                router["journal"] = self._journal.stats()
         return 200, canonical_json_bytes({"router": router, "shards": shards})
 
     def describe(self) -> dict[str, object]:
@@ -696,6 +1117,16 @@ class ShardRouter:
                 )
                 self._registrations[name] = record
                 self._by_fingerprint[fingerprint] = record
+            if self._journal is not None:
+                self._journal.record_dataset(
+                    name,
+                    fingerprint,
+                    list(record.columns),
+                    record.n_rows,
+                    raw,
+                    list(record.locations),
+                )
+                self._journal.maybe_compact()
             return status, payload
         raise NoLiveShardsError("no live shards")  # pragma: no cover - defensive
 
@@ -746,6 +1177,11 @@ class ShardRouter:
                 )
                 self._job_homes[(target, local_id)] = public_id
                 self._prune_jobs_locked()
+            if self._journal is not None:
+                self._journal.record_job(
+                    public_id, raw, fingerprint, key, target, local_id
+                )
+                self._journal.maybe_compact()
         return status, payload
 
     def handle_job_get(self, job_id: str, query: str) -> tuple[int, bytes]:
@@ -769,7 +1205,10 @@ class ShardRouter:
         for _ in range(len(self._backends) + 2):
             with self._lock:
                 shard, local_id = entry.shard, entry.local_id
-                if self._backends[shard].dead:
+                home = self._backends.get(shard)
+                if home is None or home.dead:
+                    # Dead -- or recovered from a journal that references
+                    # a shard this topology does not know: re-home it.
                     if not self._failover_job_locked(entry):
                         break
                     continue
@@ -794,6 +1233,9 @@ class ShardRouter:
                 job = self._public_job_ids(data["job"], shard)
                 job["id"] = entry.public_id
                 if job.get("status") in ("done", "error", "cancelled"):
+                    if not entry.terminal and self._journal is not None:
+                        self._journal.record_job_terminal(entry.public_id)
+                        self._journal.maybe_compact()
                     entry.terminal = True
                 payload = b'{"status":"ok","job":' + canonical_json_bytes(job)
                 if "result" in data:
@@ -1026,7 +1468,7 @@ class ShardRouter:
 
     def _record_batch_keys(self, plan, indices, target: str) -> None:
         for index in indices:
-            self.warm_keys.record(plan[index][2], target)
+            self._record_warm(plan[index][2], target)
 
     def _fan_out_batch(
         self,
@@ -1150,6 +1592,8 @@ class _RouterHandler(JSONRequestHandler):
                 self._send(*router.handle_datasets())
             elif parts.path == "/v2/jobs":
                 self._send(*router.handle_job_list(parts.query))
+            elif parts.path == "/v2/cluster":
+                self._send(*router.handle_cluster_get())
             elif parts.path.startswith("/v2/jobs/"):
                 job_id = parts.path[len("/v2/jobs/"):]
                 self._send(*router.handle_job_get(job_id, parts.query))
@@ -1183,6 +1627,12 @@ class _RouterHandler(JSONRequestHandler):
                 self._send(*router.handle_submit(raw))
             elif self.path == "/v2/batch":
                 self._send(*router.handle_batch_v2(raw))
+            elif self.path == "/v2/cluster/join":
+                self._send(*router.handle_cluster_join(raw))
+            elif self.path == "/v2/cluster/heartbeat":
+                self._send(*router.handle_cluster_heartbeat(raw))
+            elif self.path == "/v2/cluster/leave":
+                self._send(*router.handle_cluster_leave(raw))
             elif self.path in _V1_SPECS:
                 status, payload = router.handle_v1_spec(self.path, raw)
                 self._send(status, payload, headers=v1_deprecation_headers(self.path))

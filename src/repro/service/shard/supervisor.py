@@ -91,7 +91,13 @@ def _shard_main(
 
 @dataclass
 class ShardBackend:
-    """One shard worker: its ring name, base URL, and process handle."""
+    """One shard worker: its ring name, base URL, and process handle.
+
+    Remote cluster nodes (joined over TCP, never spawned here) are
+    backends with ``process=None``: the router's ring, replication, and
+    failover machinery treats them identically; only *liveness* differs
+    (heartbeats instead of process polls).
+    """
 
     name: str
     url: str
@@ -113,7 +119,13 @@ class ShardSupervisor:
     Parameters
     ----------
     shards:
-        Worker process count (each gets ``1/N`` of the fingerprint ring).
+        Worker process count (each gets ``1/N`` of the fingerprint
+        ring).  ``0`` is a valid fleet for a *cluster* router
+        (``--cluster-token``): no local workers are spawned and every
+        backend arrives over the ``/v2/cluster/join`` handshake instead
+        (see :mod:`repro.service.shard.cluster`); the watch loop then
+        has nothing local to poll -- remote liveness is heartbeat-driven
+        and owned by the router's reaper.
     jobs:
         Execution-engine worker count *inside each shard* (multiplies
         with the shard count: ``--shards 4 --jobs 2`` uses up to 8
@@ -141,8 +153,8 @@ class ShardSupervisor:
         health_timeout: float = 5.0,
         job_journal: str | None = None,
     ) -> None:
-        if shards < 1:
-            raise ValueError(f"shards must be >= 1, got {shards}")
+        if shards < 0:
+            raise ValueError(f"shards must be >= 0, got {shards}")
         self.shards = shards
         self.jobs = jobs
         self.cache_entries = cache_entries

@@ -1,0 +1,466 @@
+"""End-to-end tests for remote shard nodes (the TCP cluster tier).
+
+The contract under test extends the shard-router one across a process
+boundary the router did not create: worker processes started on their
+own (``hypdb shard --join``) enter the ring through the authenticated
+``/v2/cluster/join`` handshake, stay members via heartbeats, gossip
+their warm cache keys to the router, and the whole remote topology
+answers **byte-identically** to a single-process service -- cold, warm,
+through node death, and through a router restart that recovers its
+membership, registrations, and public job-id table from the
+:class:`~repro.service.journal.RouterJournal`.
+
+The module-scoped fixture spawns real node processes (``spawn`` start
+method) so the full wire path is exercised; the restart/gossip tests use
+in-process :class:`ShardNode` instances so a router can be torn down and
+rebuilt around live nodes cheaply.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.report import canonical_json_bytes
+from repro.datasets import staples_data
+from repro.service.client import ClusterJoinError, ServiceClient, ServiceError
+from repro.service.core import AnalysisService
+from repro.service.http import make_server
+from repro.service.journal import RouterJournal
+from repro.service.shard import (
+    PROTOCOL_VERSION,
+    ShardNode,
+    ShardRouter,
+    make_router_server,
+    spawn_node,
+)
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+TOKEN = "test-cluster-token"
+
+
+def _columns(seed):
+    table = staples_data(n_rows=400, seed=seed)
+    return {name: table.column(name) for name in table.columns}
+
+
+def _wait_until(predicate, timeout=30.0, interval=0.05):
+    """Poll ``predicate`` until truthy; fail the test on timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition not met within %.1fs" % timeout)
+
+
+@pytest.fixture(scope="module")
+def remote():
+    """A cluster router plus two *spawned* remote nodes, and a control."""
+    router = ShardRouter(
+        [], cluster_token=TOKEN, heartbeat_interval=0.25, liveness_timeout=2.5
+    )
+    router_server = make_router_server(router)
+    threading.Thread(target=router_server.serve_forever, daemon=True).start()
+    router_url = "http://127.0.0.1:%d" % router_server.server_address[1]
+
+    processes = []
+    for name in ("alpha", "beta"):
+        process, _ = spawn_node(router_url, TOKEN, name=name)
+        processes.append(process)
+
+    single = AnalysisService()
+    single_server = make_server(single)
+    threading.Thread(target=single_server.serve_forever, daemon=True).start()
+
+    sharded = ServiceClient(router_url)
+    direct = ServiceClient("http://127.0.0.1:%d" % single_server.server_address[1])
+    for name, seed in (("staples", 11), ("staples2", 12)):
+        source = _columns(seed)
+        sharded.register(name, columns=source)
+        direct.register(name, columns=source)
+    yield SimpleNamespace(
+        router=router,
+        router_url=router_url,
+        sharded=sharded,
+        direct=direct,
+        processes=processes,
+    )
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=10)
+    router_server.shutdown()
+    router_server.server_close()
+    router.close()
+    single_server.shutdown()
+    single_server.server_close()
+    single.close()
+
+
+def both(remote, path, body):
+    """POST the same body through the cluster and the single process."""
+    raw = json.dumps(body).encode()
+    return (
+        remote.sharded.request_bytes(path, raw),
+        remote.direct.request_bytes(path, raw),
+    )
+
+
+def assert_same_envelope(sharded, direct):
+    """Envelopes match up to timing: kind, cached flag, and result bytes."""
+    status_a, body_a = sharded
+    status_b, body_b = direct
+    assert status_a == status_b
+    parsed_a, parsed_b = json.loads(body_a), json.loads(body_b)
+    assert parsed_a["kind"] == parsed_b["kind"]
+    assert parsed_a["cached"] == parsed_b["cached"]
+    assert canonical_json_bytes(parsed_a["result"]) == canonical_json_bytes(
+        parsed_b["result"]
+    )
+
+
+class TestByteIdentity:
+    def test_join_handshake_admitted_both_nodes(self, remote):
+        listing = json.loads(remote.sharded.request_bytes("/v2/cluster")[1])
+        assert sorted(listing["nodes"]) == ["alpha", "beta"]
+        for node in listing["nodes"].values():
+            assert node["remote"] is True and node["live"] is True
+
+    def test_register_responses_are_byte_identical(self, remote):
+        source = _columns(21)
+        (status_a, body_a), (status_b, body_b) = both(
+            remote, "/register", {"name": "extra", "columns": source}
+        )
+        assert (status_a, body_a) == (status_b, body_b) == (200, body_b)
+
+    @pytest.mark.parametrize(
+        "path,body",
+        [
+            ("/query", {"dataset": "staples", "sql": SQL}),
+            (
+                "/analyze",
+                {
+                    "dataset": "staples",
+                    "sql": SQL,
+                    "treatment": "Income",
+                    "test": "chi2",
+                },
+            ),
+            (
+                "/discover",
+                {
+                    "dataset": "staples2",
+                    "treatment": "Income",
+                    "outcome": "Price",
+                    "test": "chi2",
+                },
+            ),
+            (
+                "/whatif",
+                {
+                    "dataset": "staples2",
+                    "treatment": "Income",
+                    "outcome": "Price",
+                    "test": "chi2",
+                },
+            ),
+        ],
+    )
+    def test_every_kind_matches_cold_then_warm(self, remote, path, body):
+        cold = both(remote, path, body)
+        assert_same_envelope(*cold)
+        assert json.loads(cold[0][1])["cached"] is False
+        warm = both(remote, path, body)
+        assert_same_envelope(*warm)
+        assert json.loads(warm[0][1])["cached"] is True
+
+    def test_malformed_spec_errors_are_byte_identical(self, remote):
+        # A 400 from spec parsing carries no registry state, so its body
+        # is byte-identical on any topology.
+        (status_a, body_a), (status_b, body_b) = both(
+            remote, "/query", {"dataset": "staples"}  # missing sql
+        )
+        assert status_a == status_b == 400
+        assert body_a == body_b
+
+    def test_unknown_dataset_is_the_same_typed_404(self, remote):
+        # The 404 message lists the answering shard's registered names,
+        # which depends on placement; the status and the stable prefix
+        # must match the single process.
+        for path in ("/query", "/v2/jobs"):
+            (status_a, body_a), (status_b, body_b) = both(
+                remote, path, {"kind": "query", "dataset": "ghost", "sql": SQL}
+            )
+            assert status_a == status_b == 404, path
+            for payload in (json.loads(body_a), json.loads(body_b)):
+                assert payload["status"] == "error"
+                assert "unknown dataset 'ghost'" in payload["error"]
+
+    def test_job_results_match_single_process_bytes(self, remote):
+        spec = {
+            "kind": "query",
+            "dataset": "staples2",
+            "sql": "SELECT Region, Income, avg(Price) FROM t GROUP BY Region, Income",
+        }
+        accepted = remote.sharded.submit(spec)
+        shard, _, local = accepted["job_id"].partition(".")
+        assert shard in ("alpha", "beta") and local.startswith("j")
+        finished = remote.sharded.wait(accepted["job_id"], timeout=120)
+        sync = remote.direct.submit_and_wait(spec)
+        assert canonical_json_bytes(finished["result"]) == canonical_json_bytes(
+            sync["result"]
+        )
+
+    def test_heartbeats_gossip_warm_keys_to_the_router(self, remote):
+        remote.sharded.query("staples", SQL)  # warm at least one node key
+        router = remote.router
+        _wait_until(lambda: len(router._gossip) > 0, timeout=15)
+        stats = remote.sharded.stats()["router"]["cluster"]
+        assert stats["enabled"] is True
+        assert stats["remote_nodes"] == 2
+        assert stats["heartbeats"] > 0
+
+
+class TestJoinProtocol:
+    def test_bad_token_is_typed_403_and_never_retried(self, remote):
+        rejects_before = remote.router._join_rejects
+        client = ServiceClient(remote.router_url, retries=3)
+        with pytest.raises(ClusterJoinError) as excinfo:
+            client.join_cluster(node="evil", url="http://127.0.0.1:9", token="wrong")
+        assert excinfo.value.status == 403
+        assert excinfo.value.code == "bad_token"
+        # Auth rejections must not consume the retry budget: exactly one
+        # request reached the router.
+        assert remote.router._join_rejects == rejects_before + 1
+
+    def test_protocol_mismatch_is_typed_409(self, remote):
+        client = ServiceClient(remote.router_url, retries=0)
+        with pytest.raises(ClusterJoinError) as excinfo:
+            client.join_cluster(
+                node="futuristic",
+                url="http://127.0.0.1:9",
+                token=TOKEN,
+                protocol=PROTOCOL_VERSION + 1,
+            )
+        assert excinfo.value.status == 409
+        assert excinfo.value.code == "protocol_mismatch"
+        assert excinfo.value.payload["expected"] == PROTOCOL_VERSION
+
+    def test_name_conflict_with_live_member_is_typed_409(self, remote):
+        client = ServiceClient(remote.router_url, retries=0)
+        with pytest.raises(ClusterJoinError) as excinfo:
+            client.join_cluster(node="alpha", url="http://127.0.0.1:9", token=TOKEN)
+        assert excinfo.value.status == 409
+        assert excinfo.value.code == "name_conflict"
+
+    def test_unknown_member_heartbeat_is_typed_409(self, remote):
+        client = ServiceClient(remote.router_url, retries=0)
+        with pytest.raises(ClusterJoinError) as excinfo:
+            client.cluster_heartbeat(node="ghost", token=TOKEN)
+        assert excinfo.value.status == 409
+        assert excinfo.value.code == "unknown_member"
+
+    def test_malformed_join_body_is_plain_400(self, remote):
+        status, body = remote.sharded.request_bytes(
+            "/v2/cluster/join", json.dumps({"node": "x!", "url": "nope"}).encode()
+        )
+        assert status == 400
+        assert "code" not in json.loads(body)
+
+    def test_clustering_disabled_router_rejects_joins(self):
+        from repro.service.shard import ShardBackend
+
+        router = ShardRouter([ShardBackend(name="s0", url="http://127.0.0.1:9")])
+        status, body = router.handle_cluster_join(
+            json.dumps(
+                {
+                    "node": "n",
+                    "url": "http://127.0.0.1:9",
+                    "token": "t",
+                    "protocol": PROTOCOL_VERSION,
+                }
+            ).encode()
+        )
+        assert status == 403
+        assert json.loads(body)["code"] == "clustering_disabled"
+
+
+@pytest.fixture()
+def journaled_cluster(tmp_path):
+    """A journaled router over two in-process nodes (cheap to rebuild)."""
+    journal_dir = tmp_path / "router-journal"
+    router = ShardRouter(
+        [],
+        cluster_token=TOKEN,
+        heartbeat_interval=0.2,
+        liveness_timeout=30.0,
+        journal=RouterJournal(journal_dir),
+    )
+    server = make_router_server(router)
+    port = server.server_address[1]
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    url = "http://127.0.0.1:%d" % port
+
+    nodes = []
+    for name in ("n1", "n2"):
+        node = ShardNode(url, TOKEN, name=name, heartbeat_interval=0.2)
+        node.start()
+        threading.Thread(target=node.serve_forever, daemon=True).start()
+        node.join()
+        nodes.append(node)
+
+    client = ServiceClient(url)
+    client.register("staples", columns=_columns(31))
+    state = SimpleNamespace(
+        journal_dir=journal_dir,
+        router=router,
+        server=server,
+        port=port,
+        url=url,
+        client=client,
+        nodes=nodes,
+        restarted=[],
+    )
+    yield state
+    for node in nodes:
+        node.close()
+    for extra in state.restarted:
+        extra.close()
+    state.server.shutdown()
+    state.server.server_close()
+    state.router.close()
+
+
+class TestRouterRestart:
+    def test_restart_resolves_every_public_job_id_byte_identically(
+        self, journaled_cluster
+    ):
+        cluster = journaled_cluster
+        specs = [
+            {
+                "kind": "query",
+                "dataset": "staples",
+                "sql": f"SELECT {column}, avg(Price) FROM t GROUP BY {column}",
+            }
+            for column in ("Income", "Region", "Distance")
+        ]
+        job_ids = [cluster.client.submit(spec)["job_id"] for spec in specs]
+        before = {}
+        for job_id in job_ids:
+            cluster.client.wait(job_id, timeout=120)
+            before[job_id] = cluster.router.handle_job_get(job_id, "")
+            assert before[job_id][0] == 200
+
+        # A brand-new router process: no in-memory state, only the journal.
+        recovered = ShardRouter(
+            [],
+            cluster_token=TOKEN,
+            liveness_timeout=60.0,
+            journal=RouterJournal(cluster.journal_dir),
+        )
+        cluster.restarted.append(recovered)
+        assert sorted(recovered._backends) == ["n1", "n2"]
+        for job_id in job_ids:
+            status, body = recovered.handle_job_get(job_id, "")
+            assert status == 200, body
+            assert (status, body) == before[job_id]
+
+    def test_gossip_converges_to_warm_routing_after_restart(self, journaled_cluster):
+        cluster = journaled_cluster
+        groupings = [
+            "Income",
+            "Region",
+            "Distance",
+            "Income, Region",
+            "Distance, Income",
+        ]
+        bodies = [
+            {"dataset": "staples", "sql": f"SELECT {g}, avg(Price) FROM t GROUP BY {g}"}
+            for g in groupings
+        ]
+        for body in bodies:
+            assert cluster.client.query(**body)["cached"] is False
+        warmed = len(cluster.router.warm_keys)
+        assert warmed >= len(bodies)
+
+        # Restart the router on the same port: fresh process state, same
+        # journal.  The epoch changes, so the nodes' heartbeats re-send
+        # their full warm-key digests -- no traffic replay needed.
+        cluster.server.shutdown()
+        cluster.server.server_close()
+        cluster.router.close()
+        recovered = ShardRouter(
+            [],
+            cluster_token=TOKEN,
+            heartbeat_interval=0.2,
+            liveness_timeout=30.0,
+            journal=RouterJournal(cluster.journal_dir),
+        )
+        cluster.restarted.append(recovered)
+        server = make_router_server(recovered, port=cluster.port)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            _wait_until(
+                lambda: len(recovered.warm_keys) >= 0.9 * warmed, timeout=30
+            )
+            hits_before = recovered._warm_hits
+            for body in bodies:
+                assert cluster.client.query(**body)["cached"] is True
+            # The acceptance bar: >= 90% of the repeats route warm on the
+            # restarted router without it having seen the original traffic.
+            assert recovered._warm_hits - hits_before >= 0.9 * len(bodies)
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_leave_then_rejoin_under_same_name(self, journaled_cluster):
+        cluster = journaled_cluster
+        node = cluster.nodes[0]
+        # Pause heartbeats first: a beating node would hear
+        # ``unknown_member`` after the leave and transparently re-join.
+        node._stop.set()
+        if node._beat_thread is not None:
+            node._beat_thread.join(timeout=10)
+        node.leave()
+        # Leave is synchronous: membership gone, backend retired.
+        assert cluster.router._backends[node.name].dead is True
+        response = cluster.client.request_bytes("/v2/cluster")[1]
+        assert json.loads(response)["nodes"][node.name]["live"] is False
+        node._stop.clear()
+        node.join()  # same name is free again after leave
+        assert cluster.router._backends[node.name].dead is False
+
+
+# Destructive: kills one of the module-scoped fixture's node processes,
+# so this class must run after every test that wants both nodes alive
+# (pytest executes classes in file order).
+class TestNodeDeath:
+    def test_heartbeat_timeout_fails_over_byte_identically(self, remote):
+        victim = remote.processes[0]
+        victim.terminate()
+        victim.join(timeout=10)
+        router = remote.router
+        _wait_until(
+            lambda: any(backend.dead for backend in router._backends.values()),
+            timeout=15,
+        )
+        # Every dataset keeps answering, byte-identical to the control.
+        for dataset in ("staples", "staples2"):
+            sharded, direct = both(
+                remote, "/query", {"dataset": dataset, "sql": SQL}
+            )
+            assert sharded[0] == direct[0] == 200
+            parsed_a, parsed_b = json.loads(sharded[1]), json.loads(direct[1])
+            assert canonical_json_bytes(parsed_a["result"]) == canonical_json_bytes(
+                parsed_b["result"]
+            )
+        listing = json.loads(remote.sharded.request_bytes("/v2/cluster")[1])
+        assert sorted(listing["nodes"]) == ["alpha", "beta"]
+        assert [n for n in listing["nodes"].values() if n["live"]] != []
+        assert [n for n in listing["nodes"].values() if not n["live"]] != []
