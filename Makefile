@@ -57,7 +57,8 @@ bench:
 			benchmarks/bench_shard_scaling.py \
 			benchmarks/bench_replication.py \
 			benchmarks/bench_durability.py \
-			benchmarks/bench_remote_nodes.py
+			benchmarks/bench_remote_nodes.py \
+			benchmarks/bench_observability.py
 
 gate:
 	python scripts/check_bench_regression.py
@@ -76,6 +77,7 @@ regen-baseline: bench
 	   benchmarks/results/BENCH_replication.json \
 	   benchmarks/results/BENCH_durability.json \
 	   benchmarks/results/BENCH_remote.json \
+	   benchmarks/results/BENCH_obs.json \
 	   benchmarks/baselines/cpu$(shell python -c 'import os; print(os.cpu_count())')/
 	@echo "baselines updated; commit benchmarks/baselines/"
 

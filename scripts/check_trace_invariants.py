@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Offline trace checker: join per-process trace logs, assert invariants.
+
+Every traced process appends finished request traces as JSON lines under
+the shared ``--trace-log`` directory (``trace-<scope>-<pid>.jsonl``); a
+distributed request leaves one record per process, all carrying the same
+16-hex trace id.  This script joins the pieces by id and asserts the
+properties the cluster is *supposed* to have, using only telemetry --
+responses never carry any of this, so the checker is the one place the
+claims are machine-verified end to end:
+
+1. **continuity** -- a router record that forwarded a request
+   (``router.forward`` span) is joined by at least one record from
+   another scope under the same trace id: the header propagation
+   actually crossed the process boundary;
+2. **warm routing is honest** -- a route decided by the warm-key map
+   (``router.route`` with policy ``warm``/``warm_balanced``) lands on a
+   shard that answers from its result cache (``service.execute`` with
+   ``cached=true``) -- gossip did not advertise keys the shard lacks;
+3. **coalescing has leaders** -- every coalesced execution
+   (``coalesced=true``) shares its request key with some non-coalesced
+   execution in the log: followers only ever attach to real work;
+4. **cached answers never recompute** -- ``cached=true`` executions
+   record ``kernel_passes=0``: a warm hit (including post-failover
+   replica reads) touched no statistical kernels.
+
+Usage::
+
+    python scripts/check_trace_invariants.py TRACE_DIR [TRACE_DIR ...]
+
+Exits non-zero listing every violated invariant; run by
+``scripts/cluster_smoke.py`` against the traces its own requests left.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+WARM_POLICIES = {"warm", "warm_balanced"}
+
+
+def load_records(directories: list[str]) -> list[dict]:
+    """Every parseable trace record under the given directories."""
+    records: list[dict] = []
+    corrupt = 0
+    for directory in directories:
+        for path in sorted(Path(directory).glob("trace-*.jsonl")):
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        corrupt += 1
+                        continue
+                    if isinstance(record, dict) and record.get("trace_id"):
+                        records.append(record)
+    if corrupt:
+        print(f"note: skipped {corrupt} corrupt trace line(s)", file=sys.stderr)
+    return records
+
+
+def spans_named(records: list[dict], name: str) -> list[dict]:
+    """All spans called ``name`` across the given records."""
+    return [
+        span
+        for record in records
+        for span in record.get("spans", ())
+        if span.get("name") == name
+    ]
+
+
+def check_traces(records: list[dict]) -> list[str]:
+    """Run every invariant; returns human-readable violation messages."""
+    violations: list[str] = []
+    by_id: dict[str, list[dict]] = defaultdict(list)
+    for record in records:
+        by_id[record["trace_id"]].append(record)
+
+    # Leaders for invariant 3 are searched log-wide: the leader of a
+    # coalesced follower ran under a *different* request's trace.
+    executes = spans_named(records, "service.execute")
+    leader_keys = {
+        span["attrs"].get("key")
+        for span in executes
+        if not span["attrs"].get("coalesced")
+    }
+
+    for trace_id, pieces in sorted(by_id.items()):
+        scopes = {piece.get("scope", "?") for piece in pieces}
+        forwards = spans_named(pieces, "router.forward")
+        routes = spans_named(pieces, "router.route")
+        trace_executes = spans_named(pieces, "service.execute")
+
+        # 1. continuity: a forwarded request has a remote-side record.
+        if forwards and len(scopes) < 2:
+            violations.append(
+                f"{trace_id}: router forwarded to "
+                f"{sorted({s['attrs'].get('shard') for s in forwards})} but no "
+                f"other process logged the trace (scopes: {sorted(scopes)})"
+            )
+
+        # 2. warm routing: the shard really answered from its cache.  A
+        # trace with several routes (failover retry) is exempt -- only a
+        # clean warm route that still computed is a gossip lie.
+        warm_routes = [
+            span for span in routes
+            if span["attrs"].get("policy") in WARM_POLICIES
+        ]
+        if warm_routes and len(routes) == len(warm_routes) and trace_executes:
+            if not any(span["attrs"].get("cached") for span in trace_executes):
+                violations.append(
+                    f"{trace_id}: routed by warm-key policy "
+                    f"{warm_routes[0]['attrs'].get('policy')!r} but every "
+                    f"execution computed cold"
+                )
+
+        for span in trace_executes:
+            attrs = span["attrs"]
+            # 3. every coalesced follower has a real leader somewhere.
+            if attrs.get("coalesced") and attrs.get("key") not in leader_keys:
+                violations.append(
+                    f"{trace_id}: coalesced execution of key "
+                    f"{attrs.get('key')!r} has no non-coalesced leader in the log"
+                )
+            # 4. cached answers touch no kernels.
+            if attrs.get("cached") and attrs.get("kernel_passes", 0) != 0:
+                violations.append(
+                    f"{trace_id}: cached execution of key {attrs.get('key')!r} "
+                    f"recorded {attrs['kernel_passes']} kernel pass(es)"
+                )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "directories", nargs="+", metavar="TRACE_DIR",
+        help="directories holding trace-<scope>-<pid>.jsonl files",
+    )
+    args = parser.parse_args(argv)
+
+    records = load_records(args.directories)
+    if not records:
+        print("FAIL: no trace records found", file=sys.stderr)
+        return 1
+    violations = check_traces(records)
+    trace_ids = {record["trace_id"] for record in records}
+    cross = sum(
+        1
+        for trace_id in trace_ids
+        if len({r.get("scope") for r in records if r["trace_id"] == trace_id}) > 1
+    )
+    print(
+        f"checked {len(trace_ids)} trace(s) across {len(records)} record(s); "
+        f"{cross} span process boundaries"
+    )
+    if violations:
+        for message in violations:
+            print(f"FAIL: {message}", file=sys.stderr)
+        return 1
+    print("trace invariants hold: continuity, warm routing, "
+          "coalescing leaders, zero-recompute cache hits")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

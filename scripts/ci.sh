@@ -54,7 +54,7 @@ python examples/durable_client.py
 echo "== cluster smoke: CLI router + remote nodes over TCP, kill a node mid-run =="
 python scripts/cluster_smoke.py
 
-echo "== smoke benchmarks: engine scaling + service + dataset plane + shards + replication + durability + remote nodes =="
+echo "== smoke benchmarks: engine scaling + service + dataset plane + shards + replication + durability + remote nodes + observability =="
 REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-0.25}" \
     python -m pytest -q \
         benchmarks/bench_engine_scaling.py \
@@ -63,7 +63,8 @@ REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-0.25}" \
         benchmarks/bench_shard_scaling.py \
         benchmarks/bench_replication.py \
         benchmarks/bench_durability.py \
-        benchmarks/bench_remote_nodes.py
+        benchmarks/bench_remote_nodes.py \
+        benchmarks/bench_observability.py
 
 echo "== benchmark regression gate =="
 python scripts/check_bench_regression.py

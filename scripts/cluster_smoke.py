@@ -16,7 +16,13 @@ then asserts, against an in-process single-service control:
    single process -- cold, then warm (cache hits on the nodes);
 3. after SIGKILL-ing one node mid-run, the router's heartbeat reaper
    detects the death, fails the node's datasets over, and every request
-   keeps answering byte-identically.
+   keeps answering byte-identically;
+4. observability holds across the whole drill: the router's
+   ``GET /metrics`` scrape aggregates every live node under a ``shard``
+   label (and keeps answering after the kill), one ``X-Repro-Trace`` id
+   spans the router's and a node's trace logs, and
+   ``scripts/check_trace_invariants.py`` passes over the traces the
+   drill left behind.
 
 Exits non-zero on any failure; run via ``make cluster`` or the
 ``cluster-smoke`` CI lane.
@@ -24,13 +30,17 @@ Exits non-zero on any failure; run via ``make cluster`` or the
 
 from __future__ import annotations
 
+import json
 import os
+import shutil
 import signal
 import socket
 import subprocess
 import sys
+import tempfile
 import threading
 import time
+import urllib.request
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -38,6 +48,8 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.report import canonical_json_bytes  # noqa: E402
 from repro.datasets import staples_data  # noqa: E402
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE  # noqa: E402
+from repro.obs.trace import TRACE_HEADER  # noqa: E402
 from repro.service.client import ServiceClient, ServiceError  # noqa: E402
 from repro.service.core import AnalysisService  # noqa: E402
 from repro.service.http import make_server  # noqa: E402
@@ -106,10 +118,32 @@ def result_bytes(client: ServiceClient, dataset: str, sql: str) -> bytes:
     return canonical_json_bytes(client.query(dataset, sql)["result"])
 
 
+def scrape_metrics(base_url: str) -> tuple[str, str]:
+    """(content-type, exposition text) of one router/service /metrics GET."""
+    with urllib.request.urlopen(base_url + "/metrics", timeout=60) as response:
+        assert response.status == 200, f"/metrics answered {response.status}"
+        return response.headers["Content-Type"], response.read().decode("utf-8")
+
+
+def trace_scopes(trace_dir: str, trace_id: str) -> set:
+    """Scopes (processes) whose JSONL logs recorded ``trace_id``."""
+    scopes = set()
+    for path in Path(trace_dir).glob("trace-*.jsonl"):
+        for line in path.read_text(encoding="utf-8").splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if record.get("trace_id") == trace_id:
+                scopes.add(record.get("scope"))
+    return scopes
+
+
 def main() -> int:
     port = free_port()
     router_url = f"http://127.0.0.1:{port}"
     processes: list[subprocess.Popen] = []
+    trace_dir = tempfile.mkdtemp(prefix="hypdb-cluster-traces-")
 
     control_service = AnalysisService()
     control_server = make_server(control_service)
@@ -122,14 +156,14 @@ def main() -> int:
         processes.append(
             launch(
                 ["serve", "--shards", "0", "--cluster-token", TOKEN,
-                 "--port", str(port)]
+                 "--port", str(port), "--trace-log", trace_dir]
             )
         )
         for name in ("alpha", "beta"):
             processes.append(
                 launch(
                     ["shard", "--join", router_url, "--token", TOKEN,
-                     "--name", name]
+                     "--name", name, "--trace-log", trace_dir]
                 )
             )
         cluster = ServiceClient(router_url, timeout=60)
@@ -162,7 +196,23 @@ def main() -> int:
             assert canonical_json_bytes(response["result"]) == payload
         print(f"byte identity: {len(expected)} specs, cold + warm, all identical")
 
-        # -- 3. SIGKILL one node mid-run; heartbeat-driven failover -----
+        # -- 3. /metrics aggregation over the live ring ------------------
+        content_type, text = scrape_metrics(router_url)
+        assert content_type == PROMETHEUS_CONTENT_TYPE, content_type
+        for family in (
+            "repro_router_requests_total",
+            "repro_router_warm_hits_total",
+            "repro_router_live_shards",
+        ):
+            assert family in text, f"router scrape missing {family}"
+        for name in ("alpha", "beta"):
+            assert f'repro_service_requests_total{{shard="{name}"}}' in text, (
+                f"router scrape not aggregating node {name}"
+            )
+        print("metrics: router scrape is valid exposition, "
+              "both nodes aggregated under shard labels")
+
+        # -- 4. SIGKILL one node mid-run; heartbeat-driven failover -----
         victim = processes[1]  # alpha
         victim.send_signal(signal.SIGKILL)
         wait_for(
@@ -176,6 +226,54 @@ def main() -> int:
             )
         print("failover: node alpha SIGKILLed, router reaped it, "
               "all answers still byte-identical")
+
+        # -- 5. observability survives the kill --------------------------
+        _content_type, text = scrape_metrics(router_url)
+        assert 'repro_service_requests_total{shard="beta"}' in text, (
+            "surviving node missing from the post-kill scrape"
+        )
+        assert 'shard="alpha"' not in text, (
+            "dead node still present in the post-kill scrape"
+        )
+        trace_id = "feedc0defeedc0de"
+        name = sorted(datasets)[0]
+        body = json.dumps(
+            {"dataset": name, "sql": SQL_VARIANTS[0]}
+        ).encode("utf-8")
+        request = urllib.request.Request(
+            router_url + "/query",
+            data=body,
+            headers={"Content-Type": "application/json", TRACE_HEADER: trace_id},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            assert response.status == 200
+            assert response.headers[TRACE_HEADER] == trace_id, (
+                "router did not echo the inbound trace id"
+            )
+        # Each hop appends its JSONL record just after answering, so
+        # poll until the id shows up in two process logs (router + node).
+        wait_for(
+            lambda: len(trace_scopes(trace_dir, trace_id)) >= 2,
+            30.0,
+            "trace id never spanned the router and a node log",
+        )
+        scopes = trace_scopes(trace_dir, trace_id)
+        assert "router" in scopes, f"router log missing the trace: {scopes}"
+        checker = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "check_trace_invariants.py"),
+                trace_dir,
+            ],
+            capture_output=True,
+            text=True,
+        )
+        if checker.returncode != 0:
+            sys.stderr.write(checker.stdout + checker.stderr)
+            raise SystemExit("FAIL: trace invariant checker rejected the drill")
+        print(f"tracing: id {trace_id} spans {sorted(scopes)}; "
+              f"invariant checker passed ({checker.stdout.strip()})")
         print("cluster smoke passed")
         return 0
     finally:
@@ -190,6 +288,7 @@ def main() -> int:
         control_server.shutdown()
         control_server.server_close()
         control_service.close()
+        shutil.rmtree(trace_dir, ignore_errors=True)
 
 
 if __name__ == "__main__":

@@ -119,6 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
         "journals under its own subdirectory",
     )
     serve.add_argument(
+        "--trace-log",
+        default=None,
+        metavar="DIR",
+        help="append finished request traces as JSON lines under DIR "
+        "(one file per process: trace-<scope>-<pid>.jsonl); with "
+        "--shards the router and every worker share the directory",
+    )
+    serve.add_argument(
         "--heal",
         action="store_true",
         help="with --shards: respawn dead shard workers and re-join "
@@ -227,7 +235,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between heartbeats (default: what the router "
         "advertises in the join response)",
     )
+    shard.add_argument(
+        "--trace-log",
+        default=None,
+        metavar="DIR",
+        help="append this node's finished request traces as JSON lines "
+        "under DIR (trace-<name>-<pid>.jsonl)",
+    )
     _add_jobs(shard)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="print a running service's Prometheus /metrics text"
+    )
+    metrics.add_argument(
+        "--url", required=True, help="service base URL, e.g. http://127.0.0.1:8000"
+    )
+    metrics.add_argument(
+        "--timeout", type=float, default=30.0, help="request timeout in seconds"
+    )
 
     submit = subparsers.add_parser(
         "submit", help="submit an async job to a running service (v2 jobs API)"
@@ -292,6 +317,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_shard(args)
         if args.command == "submit":
             return _run_submit(args)
+        if args.command == "metrics":
+            return _run_metrics(args)
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -392,6 +419,29 @@ def _run_submit(args: argparse.Namespace) -> int:
         return 1
 
 
+def _run_metrics(args: argparse.Namespace) -> int:
+    """``metrics --url``: scrape and print Prometheus exposition text.
+
+    Against a shard router the text already aggregates every live
+    shard's families under a ``shard`` label, so one scrape covers the
+    whole deployment.
+    """
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        status, payload = client.request_bytes("/metrics")
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if status != 200:
+        print(f"error: HTTP {status}: {payload.decode('utf-8', 'replace')}",
+              file=sys.stderr)
+        return 1
+    sys.stdout.write(payload.decode("utf-8"))
+    return 0
+
+
 def _cluster_token(args: argparse.Namespace) -> str | None:
     """The cluster shared secret: CLI flag first, then the environment."""
     token = getattr(args, "cluster_token", None) or getattr(args, "token", None)
@@ -405,6 +455,10 @@ def _run_serve(args: argparse.Namespace, engine) -> int:
         raise ValueError("--replicas requires --shards")
     if args.heal:
         raise ValueError("--heal requires --shards")
+    if args.trace_log is not None:
+        from repro.obs.trace import TRACER
+
+        TRACER.configure(log_dir=args.trace_log, scope="serve")
     service = AnalysisService(
         engine=engine,
         max_cache_entries=args.cache_entries,
@@ -429,7 +483,7 @@ def _run_serve(args: argparse.Namespace, engine) -> int:
     server.verbose = args.verbose
     host, port = server.server_address[:2]
     print(f"hypdb service listening on http://{host}:{port}")
-    print("endpoints: GET /health /stats /v2/jobs[/<id>]; "
+    print("endpoints: GET /health /stats /metrics /v2/jobs[/<id>]; "
           "POST /register /analyze /query /discover /whatif /batch "
           "/v2/jobs /v2/batch")
     try:
@@ -477,6 +531,10 @@ def _run_serve_sharded(args: argparse.Namespace) -> int:
             "--csv preregistration needs local shards; start nodes first "
             "and register through the HTTP API instead"
         )
+    if args.trace_log is not None:
+        from repro.obs.trace import TRACER
+
+        TRACER.configure(log_dir=args.trace_log, scope="router")
     supervisor = ShardSupervisor(
         shards=args.shards,
         jobs=args.jobs,
@@ -485,6 +543,7 @@ def _run_serve_sharded(args: argparse.Namespace) -> int:
         job_workers=args.job_workers,
         host=args.host,
         job_journal=args.job_journal,
+        trace_log=args.trace_log,
     )
     journal = (
         RouterJournal(os.path.join(args.job_journal, "router"))
@@ -527,8 +586,8 @@ def _run_serve_sharded(args: argparse.Namespace) -> int:
               f"{', heal' if args.heal else ''})")
         for shard_name, url in router.describe()["shards"].items():
             print(f"  shard {shard_name}: {url}")
-        print("endpoints: GET /health /stats /v2/datasets /v2/jobs[/<id>] "
-              "/v2/cluster; "
+        print("endpoints: GET /health /stats /metrics /v2/datasets "
+              "/v2/jobs[/<id>] /v2/cluster; "
               "POST /register /analyze /query /discover /whatif /batch "
               "/v2/jobs /v2/batch /v2/cluster/{join,heartbeat,leave}")
         try:
@@ -572,6 +631,7 @@ def _run_shard(args: argparse.Namespace) -> int:
         job_workers=args.job_workers,
         job_journal=args.job_journal,
         heartbeat_interval=args.heartbeat_interval,
+        trace_log=args.trace_log,
     )
     url = node.start()
     try:

@@ -71,7 +71,17 @@ __all__ = [
 WORKER_CACHE_LIMIT = 8
 
 
-@dataclass
+#: PlaneStats field -> metric family name in the global registry.
+_PLANE_METRICS = {
+    "table_publications": "repro_plane_table_publications_total",
+    "table_republications": "repro_plane_table_republications_total",
+    "table_segments": "repro_plane_table_segments_total",
+    "grouped_publications": "repro_plane_grouped_publications_total",
+    "grouped_republications": "repro_plane_grouped_republications_total",
+    "grouped_segments": "repro_plane_grouped_segments_total",
+}
+
+
 class PlaneStats:
     """Process-local publication counters (instrumentation).
 
@@ -80,37 +90,53 @@ class PlaneStats:
     entry (the work-sharing case: a pinned batch republishing a table it
     already holds), and ``*_segments`` counts shared-memory segments
     actually created.  The service's ``/stats`` endpoint and the batch
-    -planner tests read these to assert publish-once behavior; plain
-    ints, no locking beyond the registry lock already held at every
-    increment site.
+    -planner tests read these to assert publish-once behavior.
+
+    Since the observability tier each field is a view over a counter
+    family in :data:`repro.obs.metrics.GLOBAL_REGISTRY` (scrapable on
+    ``GET /metrics``); the ``+=`` increment sites -- all already under
+    the registry lock -- and ``reset()`` keep working through the
+    property descriptors installed below, and ``as_dict()`` keeps the
+    exact ``/stats`` shape.
     """
 
-    table_publications: int = 0
-    table_republications: int = 0
-    table_segments: int = 0
-    grouped_publications: int = 0
-    grouped_republications: int = 0
-    grouped_segments: int = 0
+    def __init__(self) -> None:
+        from repro.obs.metrics import GLOBAL_REGISTRY
+
+        self._counters = {
+            field_name: GLOBAL_REGISTRY.counter(
+                metric_name, f"Dataset plane: {field_name.replace('_', ' ')}."
+            )
+            for field_name, metric_name in _PLANE_METRICS.items()
+        }
 
     def reset(self) -> None:
         """Zero every counter (test isolation between cases)."""
-        self.table_publications = 0
-        self.table_republications = 0
-        self.table_segments = 0
-        self.grouped_publications = 0
-        self.grouped_republications = 0
-        self.grouped_segments = 0
+        for counter in self._counters.values():
+            counter.set(0)
 
     def as_dict(self) -> dict[str, int]:
         """JSON-ready snapshot (consumed by the service ``/stats``)."""
         return {
-            "table_publications": self.table_publications,
-            "table_republications": self.table_republications,
-            "table_segments": self.table_segments,
-            "grouped_publications": self.grouped_publications,
-            "grouped_republications": self.grouped_republications,
-            "grouped_segments": self.grouped_segments,
+            field_name: int(counter.value())
+            for field_name, counter in self._counters.items()
         }
+
+
+def _plane_property(field_name: str) -> property:
+    """A registry-backed int property for one :class:`PlaneStats` field."""
+
+    def _get(self: PlaneStats) -> int:
+        return int(self._counters[field_name].value())
+
+    def _set(self: PlaneStats, value: int) -> None:
+        self._counters[field_name].set(value)
+
+    return property(_get, _set, doc=f"Registry view of {field_name} (int).")
+
+
+for _field_name in _PLANE_METRICS:
+    setattr(PlaneStats, _field_name, _plane_property(_field_name))
 
 
 #: Module-level counter instance (see :class:`PlaneStats`).

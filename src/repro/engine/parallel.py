@@ -19,17 +19,39 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any
 
 from repro.engine import dataplane
 from repro.engine.base import ExecutionEngine, chunked, default_chunk_size
+from repro.obs.trace import TRACER
 
 
-def _run_batch(fn: Callable, batch: list) -> list:
-    """Worker-side driver: apply ``fn`` to one chunk of tasks."""
-    return [fn(task) for task in batch]
+def _run_batch(
+    fn: Callable, batch: list, trace_id: str | None = None
+) -> tuple[list, dict[str, Any] | None]:
+    """Worker-side driver: apply ``fn`` to one chunk of tasks.
+
+    Returns ``(results, meta)``.  ``meta`` is ``None`` untraced;  under a
+    trace id (the task payload's trace field) it carries the chunk's
+    measured wall time so the *parent* can re-record the worker's span
+    into the request trace -- worker processes cannot reach the parent's
+    trace ring, and the meta channel keeps ``results`` byte-identical to
+    the untraced path.
+    """
+    if trace_id is None:
+        return [fn(task) for task in batch], None
+    start = time.perf_counter()
+    results = [fn(task) for task in batch]
+    meta = {
+        "trace_id": trace_id,
+        "duration_seconds": time.perf_counter() - start,
+        "tasks": len(batch),
+        "pid": os.getpid(),
+    }
+    return results, meta
 
 
 #: Distinct grouped tensors kept resident per engine while their table is
@@ -265,12 +287,30 @@ class ParallelEngine(ExecutionEngine):
             return [fn(task) for task in tasks]
         size = chunk_size or self._chunk_size or default_chunk_size(len(tasks), self._jobs)
         batches = chunked(tasks, size)
+        trace_id = TRACER.current_id()
         executor = self._acquire_executor()
         try:
-            futures = [executor.submit(_run_batch, fn, batch) for batch in batches]
-            results: list = []
-            for future in futures:  # submission order == task order
-                results.extend(future.result())
+            with TRACER.span(
+                "engine.map", tasks=len(tasks), chunks=len(batches), jobs=self._jobs
+            ):
+                futures = [
+                    executor.submit(_run_batch, fn, batch, trace_id)
+                    for batch in batches
+                ]
+                results: list = []
+                for index, future in enumerate(futures):  # submission == task order
+                    chunk_results, meta = future.result()
+                    results.extend(chunk_results)
+                    if meta is not None:
+                        # The worker measured its own wall time; re-record
+                        # it here where the trace ring lives.
+                        TRACER.record_span(
+                            "engine.worker_batch",
+                            meta["duration_seconds"],
+                            chunk=index,
+                            tasks=meta["tasks"],
+                            worker_pid=meta["pid"],
+                        )
             return results
         finally:
             self._release_executor()

@@ -1,0 +1,27 @@
+"""Observability tier: unified metrics registry + cross-shard tracing.
+
+Two process-global singletons anchor the tier (mirroring the
+``KERNEL_COUNTERS`` / ``PLANE_STATS`` module-singleton discipline, so
+they are import-safe under every multiprocessing start method):
+
+* :data:`~repro.obs.metrics.GLOBAL_REGISTRY` -- the
+  :class:`~repro.obs.metrics.MetricsRegistry` holding process-wide
+  metric families (kernel counting passes, dataset-plane publications).
+  Per-service and per-router state lives in *instance* registries so
+  multiple services in one test process do not cross-count; a service's
+  ``GET /metrics`` renders its own registry plus the global one.
+* :data:`~repro.obs.trace.TRACER` -- the :class:`~repro.obs.trace.Tracer`
+  minting per-request trace ids and timed spans, propagated router ->
+  shard via the ``X-Repro-Trace`` header and into engine workers via a
+  task-payload field.
+
+Hard invariant (pinned by ``tests/obs/``): telemetry lives in headers,
+``/metrics``, and logs only -- response **bodies** are byte-identical
+with tracing on or off, the same discipline that keeps ``Timings`` out
+of canonical result bytes.
+"""
+
+from repro.obs.metrics import GLOBAL_REGISTRY, MetricsRegistry
+from repro.obs.trace import TRACER, Tracer
+
+__all__ = ["GLOBAL_REGISTRY", "MetricsRegistry", "TRACER", "Tracer"]

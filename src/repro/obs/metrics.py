@@ -1,0 +1,421 @@
+"""A thread-safe metrics registry with Prometheus text exposition.
+
+The registry is the single source of truth for every counter the
+service tier used to keep as scattered plain ints:
+``Table.KERNEL_COUNTERS`` and ``dataplane.PLANE_STATS`` are views over
+:data:`GLOBAL_REGISTRY`, ``ResultCache.stats`` is a view over its
+owner's instance registry, and the per-service / per-router ``/stats``
+dicts read the same samples -- their JSON shapes are pinned
+byte-compatibly by ``tests/obs/test_stats_shapes.py``.
+
+Three metric types, all label-aware:
+
+* **counter** -- monotonically increasing float (``.inc()``); ``.set()``
+  exists only so legacy ``reset()`` view semantics keep working.
+* **gauge** -- settable float, optionally **callback-backed**: the
+  sample is read from a zero-argument callable at render time, which is
+  how registry sizes and router counters guarded by their own locks are
+  exposed without double bookkeeping.
+* **histogram** -- fixed cumulative buckets plus ``_sum``/``_count``.
+
+Exposition follows the Prometheus text format (version 0.0.4): one
+``# HELP`` / ``# TYPE`` pair per family, label values escaped
+(``\\`` -> ``\\\\``, ``"`` -> ``\\"``, newline -> ``\\n``), histogram
+buckets cumulative with a ``+Inf`` bound.  :func:`merge_expositions`
+re-labels several scraped exposition texts under one extra label
+(``shard="alpha"``) -- the router's aggregated ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Iterable, Sequence
+
+#: Content-Type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Default latency buckets (seconds): micro-service to slow-analyze range.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP string per the text exposition format."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    """Render a sample value (integral floats print without the ``.0``)."""
+    if value == float("inf"):
+        return "+Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _label_pairs(names: Sequence[str], values: Sequence[str]) -> str:
+    return ",".join(
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    )
+
+
+class _Sample:
+    """One labeled counter/gauge sample (a "child" in Prometheus terms)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (counters must only ever receive >= 0)."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` (gauges only)."""
+        self.inc(-amount)
+
+    def set(self, value: float) -> None:
+        """Overwrite the sample (gauge sets and legacy view resets)."""
+        with self._lock:
+            self._value = float(value)
+
+    def value(self) -> float:
+        """The current sample value."""
+        with self._lock:
+            return self._value
+
+
+class _HistogramSample:
+    """One labeled histogram: cumulative bucket counts plus sum/count."""
+
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, lock: threading.Lock, bounds: tuple[float, ...]) -> None:
+        self._lock = lock
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation into every bucket it falls under."""
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for index, bound in enumerate(self._bounds):
+                if value <= bound:
+                    self._counts[index] += 1
+                    break
+            else:
+                self._counts[-1] += 1
+
+    def snapshot(self) -> tuple[list[int], float, int]:
+        """(cumulative bucket counts incl. +Inf, sum, count)."""
+        with self._lock:
+            cumulative: list[int] = []
+            running = 0
+            for count in self._counts:
+                running += count
+                cumulative.append(running)
+            return cumulative, self._sum, self._count
+
+
+class MetricFamily:
+    """One named metric family: a type, label names, and its samples.
+
+    Obtained from a :class:`MetricsRegistry` factory method, never
+    constructed directly.  Label-less families expose ``inc``/``set``/
+    ``observe`` directly; labeled families go through :meth:`labels`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: tuple[str, ...],
+        buckets: tuple[float, ...] = (),
+        callback: Callable[[], float] | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self.label_names = label_names
+        self.buckets = buckets
+        self.callback = callback
+        self._lock = threading.Lock()
+        self._samples: dict[tuple[str, ...], _Sample | _HistogramSample] = {}
+
+    def labels(self, **labels: str) -> _Sample | _HistogramSample:
+        """The sample for one label-value assignment (created on first use)."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            sample = self._samples.get(key)
+            if sample is None:
+                if self.kind == "histogram":
+                    sample = _HistogramSample(self._lock, self.buckets)
+                else:
+                    sample = _Sample(self._lock)
+                self._samples[key] = sample
+            return sample
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Increment the (possibly labeled) sample."""
+        self.labels(**labels).inc(amount)
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the (possibly labeled) sample."""
+        self.labels(**labels).set(value)
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one histogram observation."""
+        self.labels(**labels).observe(value)
+
+    def value(self, **labels: str) -> float:
+        """Read the (possibly labeled) sample back (callback wins if set)."""
+        if self.callback is not None:
+            return float(self.callback())
+        return self.labels(**labels).value()
+
+    # ------------------------------------------------------------------
+
+    def render_lines(self) -> list[str]:
+        """This family's exposition block (HELP, TYPE, one line per sample)."""
+        lines = [
+            f"# HELP {self.name} {escape_help(self.help_text)}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        if self.callback is not None:
+            lines.append(f"{self.name} {format_value(float(self.callback()))}")
+            return lines
+        with self._lock:
+            items = sorted(self._samples.items())
+        if not items and not self.label_names:
+            # A registered label-less family always exposes its zero.
+            if self.kind != "histogram":
+                lines.append(f"{self.name} 0")
+                return lines
+            items = [((), self.labels())]
+        for key, sample in items:
+            pairs = _label_pairs(self.label_names, key)
+            if self.kind == "histogram":
+                cumulative, total, count = sample.snapshot()
+                bounds = [*self.buckets, float("inf")]
+                for bound, running in zip(bounds, cumulative):
+                    bucket_pairs = pairs + ("," if pairs else "")
+                    lines.append(
+                        f'{self.name}_bucket{{{bucket_pairs}le="{format_value(bound)}"}} '
+                        f"{running}"
+                    )
+                suffix = f"{{{pairs}}}" if pairs else ""
+                lines.append(f"{self.name}_sum{suffix} {format_value(total)}")
+                lines.append(f"{self.name}_count{suffix} {count}")
+            else:
+                suffix = f"{{{pairs}}}" if pairs else ""
+                lines.append(
+                    f"{self.name}{suffix} {format_value(sample.value())}"
+                )
+        return lines
+
+
+class MetricsRegistry:
+    """A named, ordered collection of metric families (thread-safe).
+
+    Factory methods are idempotent: asking for an existing name returns
+    the existing family (so module-level views and late-bound services
+    can share one family), but a name re-registered with a different
+    type or label set raises -- silent aliasing would corrupt samples.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Sequence[str],
+        buckets: tuple[float, ...] = (),
+        callback: Callable[[], float] | None = None,
+    ) -> MetricFamily:
+        label_names = tuple(labels)
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.label_names != label_names:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.label_names}, cannot "
+                        f"re-register as {kind}{label_names}"
+                    )
+                if callback is not None:
+                    # Latest callback wins: a replaced owner (e.g. a job
+                    # manager rebuilt against the same service) re-binds
+                    # the family to its live state instead of a corpse.
+                    existing.callback = callback
+                return existing
+            family = MetricFamily(
+                name, kind, help_text, label_names, buckets, callback
+            )
+            self._families[name] = family
+            return family
+
+    def counter(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        callback: Callable[[], float] | None = None,
+    ) -> MetricFamily:
+        """Register (or fetch) a counter family.
+
+        ``callback`` exposes an externally-locked total (e.g. a router
+        counter guarded by the router lock) without double bookkeeping.
+        """
+        return self._family(name, "counter", help_text, labels, callback=callback)
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        callback: Callable[[], float] | None = None,
+    ) -> MetricFamily:
+        """Register (or fetch) a gauge family (optionally callback-backed)."""
+        return self._family(name, "gauge", help_text, labels, callback=callback)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        """Register (or fetch) a fixed-bucket histogram family."""
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        return self._family(name, "histogram", help_text, labels, buckets=bounds)
+
+    def families(self) -> list[MetricFamily]:
+        """The registered families, in registration order."""
+        with self._lock:
+            return list(self._families.values())
+
+    def render(self) -> str:
+        """The full text exposition of this registry."""
+        lines: list[str] = []
+        for family in self.families():
+            lines.extend(family.render_lines())
+        return "\n".join(lines) + "\n"
+
+
+def render_many(registries: Iterable[MetricsRegistry]) -> str:
+    """Concatenate several registries' expositions (service + global)."""
+    parts = [registry.render() for registry in registries]
+    return "".join(parts)
+
+
+def merge_expositions(
+    parts: Sequence[tuple[str | None, str]], label: str = "shard"
+) -> str:
+    """Merge scraped exposition texts, tagging samples with ``label``.
+
+    ``parts`` is ``[(label_value, exposition_text), ...]``; a ``None``
+    label value passes that part's samples through untagged (the
+    router's own registry).  Families are grouped by name with one
+    HELP/TYPE pair each (first appearance wins), so the merged text is
+    itself valid exposition format -- the router's aggregated
+    ``GET /metrics``.
+    """
+    order: list[str] = []
+    meta: dict[str, list[str]] = {}
+    samples: dict[str, list[str]] = {}
+    for value, text in parts:
+        current: str | None = None
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                name = line.split(" ", 3)[2]
+                if name not in meta:
+                    meta[name] = []
+                    samples[name] = []
+                    order.append(name)
+                directive = line.split(" ", 2)[1]
+                if not any(
+                    existing.startswith(f"# {directive} ")
+                    for existing in meta[name]
+                ):
+                    meta[name].append(line)
+                current = name
+            else:
+                if current is None:
+                    # A bare sample with no preceding metadata: keep it
+                    # under its own name so nothing is silently dropped.
+                    current = line.split("{", 1)[0].split(" ", 1)[0]
+                    if current not in meta:
+                        meta[current] = []
+                        samples[current] = []
+                        order.append(current)
+                samples[current].append(
+                    line if value is None else _tag_sample(line, label, value)
+                )
+    lines: list[str] = []
+    for name in order:
+        lines.extend(meta[name])
+        lines.extend(samples[name])
+    return "\n".join(lines) + "\n"
+
+
+def _tag_sample(line: str, label: str, value: str) -> str:
+    """Inject ``label="value"`` into one exposition sample line."""
+    escaped = escape_label_value(value)
+    brace = line.find("{")
+    space = line.find(" ")
+    if brace != -1 and (space == -1 or brace < space):
+        head, tail = line.split("{", 1)
+        return f'{head}{{{label}="{escaped}",{tail}'
+    name, rest = line.split(" ", 1)
+    return f'{name}{{{label}="{escaped}"}} {rest}'
+
+
+#: Process-wide registry: kernel counting passes, dataset-plane traffic.
+#: Per-service state lives in instance registries (see AnalysisService).
+GLOBAL_REGISTRY = MetricsRegistry()

@@ -1,0 +1,350 @@
+"""Cross-shard request tracing: trace ids, timed spans, ring + JSONL log.
+
+One trace per request, identified by a 16-hex-char id that travels
+router -> shard in the ``X-Repro-Trace`` HTTP header (every
+``ServiceClient`` request auto-injects the active id, so router
+forwards inherit it for free) and into engine workers via a
+task-payload field (``ParallelEngine._run_batch``).  Each process
+records its own piece of the trace -- the offline checker
+(``scripts/check_trace_invariants.py``) joins the pieces by id.
+
+Spans are recorded through :meth:`Tracer.span`, a context manager that
+is a shared no-op object when no trace is active (or tracing is
+disabled), so un-traced hot paths pay one ``contextvars`` lookup.
+Finished traces land on a bounded in-memory ring (always) and, when a
+log directory is configured (``hypdb serve --trace-log DIR``), as one
+JSON line per trace in ``DIR/trace-<scope>-<pid>.jsonl``.  Requests
+slower than :data:`SLOW_REQUEST_SECONDS` are additionally logged with a
+per-phase breakdown via ``logging`` (``repro.obs.trace`` logger).
+
+The active trace lives in a ``contextvars.ContextVar``:
+``ThreadingHTTPServer`` runs one thread per connection, so the per-
+thread context is exactly per-request.  Span payloads never enter
+response bodies -- byte identity with tracing on/off is pinned by
+``tests/obs/test_trace_byte_identity.py``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import os
+import threading
+import time
+import uuid
+from collections import deque
+from typing import Any
+
+logger = logging.getLogger("repro.obs.trace")
+
+#: Requests slower than this log a per-phase breakdown at WARNING
+#: (override with env ``REPRO_SLOW_REQUEST_SECONDS``).
+SLOW_REQUEST_SECONDS = float(os.environ.get("REPRO_SLOW_REQUEST_SECONDS", "1.0"))
+
+#: Spans kept per trace; past the bound spans are dropped and counted
+#: (``spans_dropped``) so a 10k-replicate analyze cannot balloon a trace.
+MAX_SPANS_PER_TRACE = 512
+
+#: Finished traces kept on the in-memory ring.
+RING_SIZE = 256
+
+#: Header propagating the trace id router -> shard (and echoed back).
+TRACE_HEADER = "X-Repro-Trace"
+
+
+def new_trace_id() -> str:
+    """Mint a fresh 16-hex-char trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed phase of a trace (name, offsets, free-form attrs)."""
+
+    __slots__ = ("name", "offset_seconds", "duration_seconds", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        offset_seconds: float,
+        duration_seconds: float,
+        attrs: dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.offset_seconds = offset_seconds
+        self.duration_seconds = duration_seconds
+        self.attrs = attrs
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the trace-log line's ``spans`` entries)."""
+        return {
+            "name": self.name,
+            "offset_seconds": round(self.offset_seconds, 6),
+            "duration_seconds": round(self.duration_seconds, 6),
+            "attrs": self.attrs,
+        }
+
+
+class Trace:
+    """One request's recorded spans in this process."""
+
+    def __init__(self, trace_id: str) -> None:
+        self.trace_id = trace_id
+        self.started_at = time.time()
+        self._start_perf = time.perf_counter()
+        self.spans: list[Span] = []
+        self.spans_dropped = 0
+        self._lock = threading.Lock()
+
+    def elapsed(self) -> float:
+        """Seconds since the trace began in this process."""
+        return time.perf_counter() - self._start_perf
+
+    def add_span(
+        self,
+        name: str,
+        offset_seconds: float,
+        duration_seconds: float,
+        attrs: dict[str, Any],
+    ) -> None:
+        """Append one finished span (bounded; overflow is counted)."""
+        with self._lock:
+            if len(self.spans) >= MAX_SPANS_PER_TRACE:
+                self.spans_dropped += 1
+                return
+            self.spans.append(Span(name, offset_seconds, duration_seconds, attrs))
+
+    def as_dict(self, scope: str) -> dict[str, Any]:
+        """The JSONL trace-log line for this process's piece of the trace."""
+        with self._lock:
+            spans = [span.as_dict() for span in self.spans]
+            dropped = self.spans_dropped
+        record = {
+            "trace_id": self.trace_id,
+            "scope": scope,
+            "pid": os.getpid(),
+            "started_at": round(self.started_at, 6),
+            "duration_seconds": round(self.elapsed(), 6),
+            "spans": spans,
+        }
+        if dropped:
+            record["spans_dropped"] = dropped
+        return record
+
+
+class _ActiveSpan:
+    """Context manager timing one span of the active trace."""
+
+    __slots__ = ("_trace", "_name", "_attrs", "_start")
+
+    def __init__(self, trace: Trace, name: str, attrs: dict[str, Any]) -> None:
+        self._trace = trace
+        self._name = name
+        self._attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._start = self._trace.elapsed()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._trace.add_span(
+            self._name,
+            self._start,
+            self._trace.elapsed() - self._start,
+            self._attrs,
+        )
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is open."""
+        self._attrs.update(attrs)
+
+
+class _NullSpan:
+    """Shared no-op span: the cost of tracing when nothing is traced."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        """Ignore attributes (no active trace)."""
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+_ACTIVE: contextvars.ContextVar[Trace | None] = contextvars.ContextVar(
+    "repro_active_trace", default=None
+)
+
+
+class Tracer:
+    """Mints traces, records spans, and keeps the ring + JSONL log.
+
+    One instance per process (:data:`TRACER`); per-process identity is a
+    ``scope`` string (shard name, ``router``, ``serve``), set the same
+    way fault injection names its processes (``faults.set_scope``).
+    """
+
+    def __init__(self, ring_size: int = RING_SIZE) -> None:
+        self._lock = threading.Lock()
+        self._ring: deque[dict[str, Any]] = deque(maxlen=ring_size)
+        self._log_dir: str | None = None
+        self._log_handle = None
+        self._scope = "main"
+        self.enabled = True
+        self.slow_threshold_seconds = SLOW_REQUEST_SECONDS
+
+    # -- configuration -------------------------------------------------
+
+    def configure(
+        self,
+        log_dir: str | None = None,
+        scope: str | None = None,
+        enabled: bool | None = None,
+    ) -> None:
+        """Set the JSONL log directory / process scope / enabled flag."""
+        with self._lock:
+            if scope is not None:
+                self._scope = scope
+            if enabled is not None:
+                self.enabled = enabled
+            if log_dir is not None and log_dir != self._log_dir:
+                if self._log_handle is not None:
+                    self._log_handle.close()
+                    self._log_handle = None
+                os.makedirs(log_dir, exist_ok=True)
+                self._log_dir = log_dir
+
+    @property
+    def scope(self) -> str:
+        """This process's trace scope label."""
+        return self._scope
+
+    @property
+    def log_dir(self) -> str | None:
+        """The configured JSONL directory (``None`` = ring only)."""
+        return self._log_dir
+
+    # -- trace lifecycle -----------------------------------------------
+
+    def begin(self, trace_id: str | None = None):
+        """Start (or continue) a trace; returns a reset token for :meth:`finish`.
+
+        ``trace_id`` is the inbound ``X-Repro-Trace`` header value when
+        present -- the local trace record then joins the distributed
+        trace under the caller's id.  Returns ``None`` when tracing is
+        disabled (finish treats it as a no-op), so the disabled path
+        costs one attribute read.
+        """
+        if not self.enabled:
+            return None
+        trace = Trace(trace_id or new_trace_id())
+        token = _ACTIVE.set(trace)
+        return (trace, token)
+
+    def finish(self, handle) -> None:
+        """Close a trace begun by :meth:`begin`: ring, JSONL, slow log."""
+        if handle is None:
+            return
+        trace, token = handle
+        _ACTIVE.reset(token)
+        record = trace.as_dict(self._scope)
+        with self._lock:
+            self._ring.append(record)
+            log_dir = self._log_dir
+        if log_dir is not None:
+            self._write_log_line(record)
+        duration = record["duration_seconds"]
+        if duration >= self.slow_threshold_seconds:
+            phases = ", ".join(
+                f"{span['name']}={span['duration_seconds'] * 1000:.1f}ms"
+                for span in record["spans"]
+            )
+            logger.warning(
+                "slow request trace=%s scope=%s total=%.3fs phases: %s",
+                record["trace_id"],
+                record["scope"],
+                duration,
+                phases or "(no spans)",
+            )
+
+    def span(self, name: str, **attrs: Any):
+        """A timed span on the active trace (shared no-op when none)."""
+        trace = _ACTIVE.get()
+        if trace is None or not self.enabled:
+            return NULL_SPAN
+        return _ActiveSpan(trace, name, dict(attrs))
+
+    def record_span(
+        self,
+        name: str,
+        duration_seconds: float,
+        offset_seconds: float | None = None,
+        **attrs: Any,
+    ) -> None:
+        """Record an externally-timed span (worker chunks report this way).
+
+        Worker processes cannot reach the parent's ring, so the parent
+        re-records each worker chunk's measured duration into the active
+        trace when the chunk's future resolves.
+        """
+        trace = _ACTIVE.get()
+        if trace is None or not self.enabled:
+            return
+        if offset_seconds is None:
+            offset_seconds = max(0.0, trace.elapsed() - duration_seconds)
+        trace.add_span(name, offset_seconds, duration_seconds, dict(attrs))
+
+    def current_id(self) -> str | None:
+        """The active trace id (the ``X-Repro-Trace`` value to propagate)."""
+        trace = _ACTIVE.get()
+        return trace.trace_id if trace is not None else None
+
+    # -- introspection --------------------------------------------------
+
+    def recent(self) -> list[dict[str, Any]]:
+        """Finished traces on the ring, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        """Drop the ring (tests isolate themselves with this)."""
+        with self._lock:
+            self._ring.clear()
+
+    def close(self) -> None:
+        """Close the JSONL log handle (the ring stays)."""
+        with self._lock:
+            if self._log_handle is not None:
+                self._log_handle.close()
+                self._log_handle = None
+            self._log_dir = None
+
+    # ------------------------------------------------------------------
+
+    def _write_log_line(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            if self._log_dir is None:
+                return
+            if self._log_handle is None:
+                path = os.path.join(
+                    self._log_dir, f"trace-{self._scope}-{os.getpid()}.jsonl"
+                )
+                self._log_handle = open(path, "a", encoding="utf-8")
+            try:
+                self._log_handle.write(line + "\n")
+                self._log_handle.flush()
+            except OSError:
+                # Telemetry must never fail a request: drop the line.
+                pass
+
+
+#: The per-process tracer (the KERNEL_COUNTERS of tracing).
+TRACER = Tracer()

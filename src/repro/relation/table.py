@@ -40,7 +40,6 @@ GROUPED_MAX_CELLS = 1 << 23
 _DENSE_WIDTH = 1 << 22
 
 
-@dataclass
 class KernelCounters:
     """Process-local instrumentation of the O(n) counting kernels.
 
@@ -49,16 +48,60 @@ class KernelCounters:
     grouped-contingency tensor builds (:meth:`Table.grouped_contingencies`).
     Benchmarks and regression tests reset/read these to assert that the
     tensor-fed entropy cache actually removes scans from discovery's hot
-    path.  Plain ints, no locking: the counters describe the process that
-    increments them (workers do not report back).
+    path.
+
+    Since the observability tier the *metrics registry* is the single
+    source of truth: the fields here are views over two counter families
+    in :data:`repro.obs.metrics.GLOBAL_REGISTRY` (exposed on every
+    ``GET /metrics``), and the ``+=`` / ``reset()`` call sites keep
+    working through the property setters.  Still per-process semantics:
+    the registry, like the old plain ints, describes the process that
+    increments it (workers do not report back).
     """
 
-    joint_counts_scans: int = 0
-    grouped_passes: int = 0
+    def __init__(self) -> None:
+        from repro.obs.metrics import GLOBAL_REGISTRY
+
+        self._scans = GLOBAL_REGISTRY.counter(
+            "repro_kernel_joint_counts_scans_total",
+            "Full-column-scan count-vector passes (Table.joint_counts).",
+        )
+        self._grouped = GLOBAL_REGISTRY.counter(
+            "repro_kernel_grouped_passes_total",
+            "Single-pass grouped-contingency tensor builds "
+            "(Table.grouped_contingencies).",
+        )
+
+    @property
+    def joint_counts_scans(self) -> int:
+        """Full-column-scan counting passes since the last reset."""
+        return int(self._scans.value())
+
+    @joint_counts_scans.setter
+    def joint_counts_scans(self, value: int) -> None:
+        self._scans.set(value)
+
+    @property
+    def grouped_passes(self) -> int:
+        """Grouped-contingency tensor builds since the last reset."""
+        return int(self._grouped.value())
+
+    @grouped_passes.setter
+    def grouped_passes(self, value: int) -> None:
+        self._grouped.set(value)
+
+    def count_scan(self) -> None:
+        """Atomically count one joint-counts scan (the hot-site entry)."""
+        self._scans.inc()
+
+    def count_grouped_pass(self) -> None:
+        """Atomically count one grouped-contingency kernel pass."""
+        self._grouped.inc()
 
     def reset(self) -> None:
-        self.joint_counts_scans = 0
-        self.grouped_passes = 0
+        """Zero both counters (tests bracket workloads with this)."""
+        self._scans.set(0)
+        self._grouped.set(0)
 
     def total(self) -> int:
         """All O(n) counting passes seen since the last reset."""
@@ -513,7 +556,7 @@ class Table:
         self._check_columns(names)
         if not names:
             return np.array([self._n_rows], dtype=np.int64)
-        KERNEL_COUNTERS.joint_counts_scans += 1
+        KERNEL_COUNTERS.count_scan()
         dense = self._dense_packed(names)
         if dense is not None:
             packed, width = dense
@@ -597,7 +640,7 @@ class Table:
         n = self._n_rows
         if n == 0:
             return None
-        KERNEL_COUNTERS.grouped_passes += 1
+        KERNEL_COUNTERS.count_grouped_pass()
         group_codes, group_counts, group_rows = self._observed_group_codes(tuple(z))
         x_codes, x_compressed = self._observed_column_codes(x)
         y_codes, y_compressed = self._observed_column_codes(y)

@@ -26,22 +26,42 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs.metrics import MetricsRegistry
 from repro.service import faults
 
+#: CacheStats field -> metric family name (one counter per field).
+_CACHE_METRICS = {
+    "memory_hits": "repro_cache_memory_hits_total",
+    "disk_hits": "repro_cache_disk_hits_total",
+    "misses": "repro_cache_misses_total",
+    "evictions": "repro_cache_evictions_total",
+    "stores": "repro_cache_stores_total",
+    "disk_errors": "repro_cache_disk_errors_total",
+}
 
-@dataclass
+
 class CacheStats:
-    """Counters across both cache levels."""
+    """Counters across both cache levels.
 
-    memory_hits: int = 0
-    disk_hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    stores: int = 0
-    disk_errors: int = 0
+    A view over six counter families in a
+    :class:`~repro.obs.metrics.MetricsRegistry` -- the cache's owner
+    (the :class:`~repro.service.core.AnalysisService`) passes its
+    instance registry in so the samples appear on its ``GET /metrics``;
+    a stand-alone :class:`ResultCache` gets a private registry.  Field
+    reads/writes and ``as_dict()`` keep their pre-registry shapes
+    exactly (pinned by ``tests/obs/test_stats_shapes.py``).
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._counters = {
+            field: self.metrics.counter(
+                name, f"Result cache: {field.replace('_', ' ')}."
+            )
+            for field, name in _CACHE_METRICS.items()
+        }
 
     @property
     def hits(self) -> int:
@@ -67,6 +87,22 @@ class CacheStats:
         }
 
 
+def _cache_stat_property(field_name: str) -> property:
+    """A registry-backed int property for one :class:`CacheStats` field."""
+
+    def _get(self: CacheStats) -> int:
+        return int(self._counters[field_name].value())
+
+    def _set(self: CacheStats, value: int) -> None:
+        self._counters[field_name].set(value)
+
+    return property(_get, _set, doc=f"Registry view of {field_name} (int).")
+
+
+for _field_name in _CACHE_METRICS:
+    setattr(CacheStats, _field_name, _cache_stat_property(_field_name))
+
+
 class ResultCache:
     """Two-level cache of canonical response bytes.
 
@@ -79,9 +115,18 @@ class ResultCache:
     disk_dir:
         Optional directory for the persistent layer; created if missing.
         ``None`` (default) keeps the cache memory-only.
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` the stats
+        counters live in (the owning service's instance registry);
+        ``None`` gives this cache a private registry.
     """
 
-    def __init__(self, max_entries: int = 256, disk_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        max_entries: int = 256,
+        disk_dir: str | Path | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self._max_entries = max_entries
@@ -91,7 +136,7 @@ class ResultCache:
         if disk_dir is not None:
             self._disk_dir = Path(disk_dir)
             self._disk_dir.mkdir(parents=True, exist_ok=True)
-        self.stats = CacheStats()
+        self.stats = CacheStats(metrics)
 
     # ------------------------------------------------------------------
 
@@ -249,7 +294,9 @@ class WarmKeyMap:
     shard from every entry so failover never routes to a corpse.
     Entries are ~100 B (short strings); the LRU bound only exists so an
     unbounded stream of distinct keys cannot grow the router without
-    limit.
+    limit.  Evictions past the bound used to be silent; they are now
+    counted in :attr:`evictions` (the router exposes the count as
+    ``repro_router_warm_keys_evicted_total`` on ``GET /metrics``).
     """
 
     def __init__(self, max_entries: int = 131072) -> None:
@@ -258,6 +305,8 @@ class WarmKeyMap:
         self._max_entries = max_entries
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, tuple[str, ...]] = OrderedDict()
+        #: Entries silently dropped by the LRU bound (no-silent-caps).
+        self.evictions = 0
 
     def get(self, key: str) -> str | None:
         """The first-recorded location holding ``key``'s bytes, or ``None``."""
@@ -287,6 +336,7 @@ class WarmKeyMap:
             self._entries.move_to_end(key)
             while len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def drop_location(self, location: str) -> int:
         """Purge ``location`` from every entry; returns how many changed.

@@ -36,6 +36,8 @@ import urllib.request
 from collections.abc import Mapping, Sequence
 from typing import Any
 
+from repro.obs.trace import TRACE_HEADER, TRACER
+
 
 class ServiceError(RuntimeError):
     """A non-2xx response from the service.
@@ -410,24 +412,38 @@ class ServiceClient:
         byte-for-byte.  Connection-establishment failures still retry
         with backoff and end in :class:`ServiceConnectionError`.
         """
+        headers = {"Content-Type": "application/json"} if body is not None else {}
         request = urllib.request.Request(
             self.base_url + path,
             data=body,
-            headers={"Content-Type": "application/json"} if body is not None else {},
+            headers=headers | self._trace_headers(),
             method=method or ("POST" if body is not None else "GET"),
         )
         return self._transport(request, timeout=timeout)
 
     # -- plumbing ------------------------------------------------------
 
+    @staticmethod
+    def _trace_headers() -> dict[str, str]:
+        """``{X-Repro-Trace: <id>}`` when a trace is active, else empty.
+
+        Injected into every outbound request, so a shard router serving a
+        traced request propagates the trace id to the shard it forwards
+        to -- cross-process spans share one id with zero caller effort.
+        """
+        trace_id = TRACER.current_id()
+        return {TRACE_HEADER: trace_id} if trace_id else {}
+
     def _get(self, path: str) -> dict[str, Any]:
-        return self._request(urllib.request.Request(self.base_url + path))
+        return self._request(
+            urllib.request.Request(self.base_url + path, headers=self._trace_headers())
+        )
 
     def _post(self, path: str, body: Mapping[str, Any]) -> dict[str, Any]:
         request = urllib.request.Request(
             self.base_url + path,
             data=json.dumps(body).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json"} | self._trace_headers(),
             method="POST",
         )
         return self._request(request)

@@ -41,6 +41,8 @@ from repro.core.hypdb import HypDB
 from repro.core.report import canonical_json_bytes, discovery_to_dict, json_value
 from repro.engine import ExecutionEngine, resolve_engine
 from repro.engine.dataplane import PLANE_STATS
+from repro.obs.metrics import GLOBAL_REGISTRY, MetricsRegistry, render_many
+from repro.obs.trace import TRACER
 from repro.relation.groupby import group_by_average
 from repro.relation.table import KERNEL_COUNTERS, Table
 from repro.service import faults
@@ -177,12 +179,45 @@ class AnalysisService:
     ) -> None:
         self.engine = resolve_engine(engine)
         self.registry = DatasetRegistry()
-        self.cache = ResultCache(max_entries=max_cache_entries, disk_dir=disk_cache)
+        # The instance metrics registry: per-service families live here
+        # (shared with the result cache), process-wide families stay in
+        # GLOBAL_REGISTRY; GET /metrics renders both.
+        self.metrics = MetricsRegistry()
+        self.cache = ResultCache(
+            max_entries=max_cache_entries, disk_dir=disk_cache, metrics=self.metrics
+        )
         self.started_at = time.time()
-        self._requests = 0
-        self._coalesced = 0
-        self._v1_requests = 0
-        self._requests_lock = threading.Lock()
+        self._requests_total = self.metrics.counter(
+            "repro_service_requests_total", "Requests served (all kinds)."
+        )
+        self._coalesced_total = self.metrics.counter(
+            "repro_service_coalesced_total",
+            "Requests that attached to another request's in-flight compute.",
+        )
+        self._v1_requests_total = self.metrics.counter(
+            "repro_service_v1_requests_total",
+            "Requests served through the deprecated v1 surface.",
+        )
+        self._request_seconds = self.metrics.histogram(
+            "repro_request_seconds",
+            "Service-side request latency by request kind.",
+            labels=("kind",),
+        )
+        self.metrics.gauge(
+            "repro_service_uptime_seconds",
+            "Seconds since this service started.",
+            callback=lambda: time.time() - self.started_at,
+        )
+        self.metrics.gauge(
+            "repro_datasets",
+            "Datasets currently registered.",
+            callback=lambda: float(len(self.registry)),
+        )
+        self.metrics.gauge(
+            "repro_filter_memo_entries",
+            "Entries in the filtered-fingerprint memo.",
+            callback=lambda: float(self.registry.filter_memo_size),
+        )
         self._flights: dict[str, _Flight] = {}
         self._flights_lock = threading.Lock()
         self._job_workers = job_workers
@@ -399,15 +434,23 @@ class AnalysisService:
         watch ``/stats``'s ``v1_requests`` settle to zero before dropping
         the deprecated endpoints.
         """
-        with self._requests_lock:
-            self._v1_requests += 1
+        self._v1_requests_total.inc()
+
+    def render_metrics(self) -> str:
+        """The Prometheus-text exposition (``GET /metrics`` endpoint).
+
+        Concatenates this service's instance registry (requests, cache,
+        jobs) with the process-global one (kernel counters, dataset
+        plane) -- together they cover everything ``/stats`` reports,
+        plus the request-latency histogram ``/stats`` cannot express.
+        """
+        return render_many([self.metrics, GLOBAL_REGISTRY])
 
     def stats(self) -> dict[str, Any]:
         """JSON-ready service statistics (``/stats`` endpoint)."""
-        with self._requests_lock:
-            requests = self._requests
-            coalesced = self._coalesced
-            v1_requests = self._v1_requests
+        requests = int(self._requests_total.value())
+        coalesced = int(self._coalesced_total.value())
+        v1_requests = int(self._v1_requests_total.value())
         with self._job_manager_lock:
             manager = self._job_manager
         return {
@@ -505,9 +548,29 @@ class AnalysisService:
         raise ValueError(f"unsupported spec type {type(spec).__name__}")
 
     def _respond(self, entry: DatasetEntry, spec: RequestSpec) -> ServiceResult:
-        with self._requests_lock:
-            self._requests += 1
+        self._requests_total.inc()
         key = spec.request_key(entry.fingerprint)
+        with TRACER.span(
+            "service.execute", kind=spec.kind, dataset=spec.dataset, key=key
+        ) as span:
+            passes_before = KERNEL_COUNTERS.total()
+            result = self._respond_inner(entry, spec, key)
+            span.set(
+                cached=result.cached,
+                coalesced=result.coalesced,
+                # Cached/coalesced answers by definition ran zero kernel
+                # passes; a cold answer reports the process-wide delta
+                # (concurrent requests can inflate it, never deflate it).
+                kernel_passes=(
+                    0 if result.cached else KERNEL_COUNTERS.total() - passes_before
+                ),
+            )
+            self._request_seconds.observe(result.elapsed_seconds, kind=spec.kind)
+            return result
+
+    def _respond_inner(
+        self, entry: DatasetEntry, spec: RequestSpec, key: str
+    ) -> ServiceResult:
         start = time.perf_counter()
         payload = self.cache.get(key)
         if payload is not None:
@@ -528,8 +591,7 @@ class AnalysisService:
                 self._flights[key] = flight
         if not leader:
             flight.done.wait()
-            with self._requests_lock:
-                self._coalesced += 1
+            self._coalesced_total.inc()
             if flight.error is not None:
                 raise flight.error
             return ServiceResult(

@@ -12,6 +12,7 @@ path            method  body / response
 ==============  ======  ====================================================
 /health         GET     liveness probe
 /stats          GET     registry, cache, engine, and job statistics
+/metrics        GET     Prometheus text exposition (not JSON)
 /register       POST    ``{"name", "columns" | "rows"+"column_names" | "csv_path"}``
 /analyze        POST    ``{"dataset", "sql", ...}`` -> full bias report
 /query          POST    ``{"dataset", "sql"}`` -> group-by-average answer
@@ -54,6 +55,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro.core.report import canonical_json_bytes
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+from repro.obs.trace import TRACE_HEADER, TRACER
 from repro.service.core import AnalysisService, ServiceResult
 from repro.service.jobs import Job, UnknownJobError
 from repro.service.planner import run_batch
@@ -152,10 +155,17 @@ class JSONRequestHandler(BaseHTTPRequestHandler):
         status: int,
         payload: bytes,
         headers: tuple[tuple[str, str], ...] = (),
+        content_type: str = "application/json",
     ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        # Telemetry lives in headers only: the trace id is echoed back so
+        # clients can correlate, while bodies stay byte-identical with
+        # tracing on or off.
+        trace_id = TRACER.current_id()
+        if trace_id is not None:
+            self.send_header(TRACE_HEADER, trace_id)
         for name, value in headers:
             self.send_header(name, value)
         self.end_headers()
@@ -173,6 +183,15 @@ class JSONRequestHandler(BaseHTTPRequestHandler):
             headers=headers,
         )
 
+    def _begin_trace(self):
+        """Open this request's trace, adopting the inbound header id.
+
+        The router forwards its trace id in ``X-Repro-Trace``, so a
+        shard's local trace record joins the distributed trace; a
+        request arriving without the header starts a fresh trace.
+        """
+        return TRACER.begin(self.headers.get(TRACE_HEADER) or None)
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Quiet by default; the CLI flips ``server.verbose`` on."""
         if getattr(self.server, "verbose", False):  # pragma: no cover
@@ -185,38 +204,57 @@ class _Handler(JSONRequestHandler):
     # -- routing -------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        # The dispatch chain stays inside do_GET (the docs test extracts
+        # route literals from this function by name); the trace wrapper
+        # nests around it.
         parts = urlsplit(self.path)
+        handle = self._begin_trace()
         try:
-            if parts.path == "/health":
-                self._send(200, canonical_json_bytes({"status": "ok"}))
-            elif parts.path == "/stats":
-                self._send(200, canonical_json_bytes(self.server.service.stats()))
-            elif parts.path == "/v2/datasets":
-                self._send(
-                    200,
-                    canonical_json_bytes(
-                        {"status": "ok", "datasets": self.server.service.datasets()}
-                    ),
-                )
-            elif parts.path == "/v2/jobs":
-                self._send_job_list(parts.query)
-            elif parts.path.startswith("/v2/jobs/"):
-                job_id = parts.path[len("/v2/jobs/"):]
-                manager = self.server.service.job_manager
-                wait_seconds = parse_wait_seconds(parts.query)
-                if wait_seconds > 0:
-                    job = manager.wait_for(job_id, wait_seconds)
-                else:
-                    job = manager.get(job_id)
-                self._send(200, job_bytes(job))
-            else:
-                self._send_error(404, f"unknown path {self.path!r}")
-        except (UnknownJobError, UnknownDatasetError) as error:
-            self._send_error(404, _message(error))
-        except (TypeError, ValueError) as error:
-            self._send_error(400, _message(error))
-        except Exception as error:  # pragma: no cover - defensive 500
-            self._send_error(500, f"{type(error).__name__}: {error}")
+            with TRACER.span("http.dispatch", method="GET", path=parts.path):
+                try:
+                    if parts.path == "/health":
+                        self._send(200, canonical_json_bytes({"status": "ok"}))
+                    elif parts.path == "/stats":
+                        self._send(
+                            200, canonical_json_bytes(self.server.service.stats())
+                        )
+                    elif parts.path == "/metrics":
+                        self._send(
+                            200,
+                            self.server.service.render_metrics().encode("utf-8"),
+                            content_type=PROMETHEUS_CONTENT_TYPE,
+                        )
+                    elif parts.path == "/v2/datasets":
+                        self._send(
+                            200,
+                            canonical_json_bytes(
+                                {
+                                    "status": "ok",
+                                    "datasets": self.server.service.datasets(),
+                                }
+                            ),
+                        )
+                    elif parts.path == "/v2/jobs":
+                        self._send_job_list(parts.query)
+                    elif parts.path.startswith("/v2/jobs/"):
+                        job_id = parts.path[len("/v2/jobs/"):]
+                        manager = self.server.service.job_manager
+                        wait_seconds = parse_wait_seconds(parts.query)
+                        if wait_seconds > 0:
+                            job = manager.wait_for(job_id, wait_seconds)
+                        else:
+                            job = manager.get(job_id)
+                        self._send(200, job_bytes(job))
+                    else:
+                        self._send_error(404, f"unknown path {self.path!r}")
+                except (UnknownJobError, UnknownDatasetError) as error:
+                    self._send_error(404, _message(error))
+                except (TypeError, ValueError) as error:
+                    self._send_error(400, _message(error))
+                except Exception as error:  # pragma: no cover - defensive 500
+                    self._send_error(500, f"{type(error).__name__}: {error}")
+        finally:
+            TRACER.finish(handle)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         try:
@@ -225,70 +263,80 @@ class _Handler(JSONRequestHandler):
             self._send_error(400, str(error))
             return
         service = self.server.service
+        handle = self._begin_trace()
         try:
-            if self.path == "/register":
-                arguments = {
-                    field: body.pop(field, None)
-                    for field in ("columns", "rows", "column_names", "csv_path")
-                }
-                name = body.pop("name", "")
-                _reject_extras(body)  # validate before mutating the registry
-                summary = service.register(name=name, **arguments)
-                self._send(
-                    200, canonical_json_bytes({"status": "ok", "result": summary})
-                )
-            elif self.path == "/batch":
-                service.note_v1_request()
-                results = service.batch(body.get("requests", []))
-                parts = b",".join(envelope_bytes(result) for result in results)
-                self._send(
-                    200,
-                    b'{"status":"ok","results":[' + parts + b"]}",
-                    headers=v1_deprecation_headers(self.path),
-                )
-            elif self.path == "/v2/jobs":
-                job = service.job_manager.submit(spec_from_dict(body))
-                self._send(
-                    202,
-                    canonical_json_bytes(
-                        {
-                            "status": "accepted",
-                            "job_id": job.id,
-                            "job_status": job.snapshot()["status"],
-                            "coalesced": job.primary is not None,
+            with TRACER.span("http.dispatch", method="POST", path=self.path):
+                try:
+                    if self.path == "/register":
+                        arguments = {
+                            field: body.pop(field, None)
+                            for field in ("columns", "rows", "column_names", "csv_path")
                         }
-                    ),
-                )
-            elif self.path == "/v2/batch":
-                specs = _batch_specs(body)
-                results, summary = run_batch(service, specs)
-                parts = b",".join(envelope_bytes(result) for result in results)
-                self._send(
-                    200,
-                    b'{"status":"ok","plan":'
-                    + canonical_json_bytes(summary)
-                    + b',"results":['
-                    + parts
-                    + b"]}",
-                )
-            elif self.path in _V1_SPECS:
-                service.note_v1_request()
-                spec = _V1_SPECS[self.path].from_dict(body)
-                self._send(
-                    200,
-                    envelope_bytes(service.execute(spec)),
-                    headers=v1_deprecation_headers(self.path),
-                )
-            else:
-                self._send_error(404, f"unknown path {self.path!r}")
-        except (UnknownDatasetError, UnknownJobError) as error:
-            self._send_error(404, _message(error))
-        except (TypeError, ValueError) as error:
-            self._send_error(400, _message(error))
-        except Exception as error:  # pragma: no cover - defensive 500
-            # Includes bare KeyError from deep library code: that is a
-            # server bug, not a client addressing mistake.
-            self._send_error(500, f"{type(error).__name__}: {error}")
+                        name = body.pop("name", "")
+                        _reject_extras(body)  # validate before mutating the registry
+                        summary = service.register(name=name, **arguments)
+                        self._send(
+                            200,
+                            canonical_json_bytes({"status": "ok", "result": summary}),
+                        )
+                    elif self.path == "/batch":
+                        service.note_v1_request()
+                        results = service.batch(body.get("requests", []))
+                        parts = b",".join(
+                            envelope_bytes(result) for result in results
+                        )
+                        self._send(
+                            200,
+                            b'{"status":"ok","results":[' + parts + b"]}",
+                            headers=v1_deprecation_headers(self.path),
+                        )
+                    elif self.path == "/v2/jobs":
+                        job = service.job_manager.submit(spec_from_dict(body))
+                        self._send(
+                            202,
+                            canonical_json_bytes(
+                                {
+                                    "status": "accepted",
+                                    "job_id": job.id,
+                                    "job_status": job.snapshot()["status"],
+                                    "coalesced": job.primary is not None,
+                                }
+                            ),
+                        )
+                    elif self.path == "/v2/batch":
+                        specs = _batch_specs(body)
+                        results, summary = run_batch(service, specs)
+                        parts = b",".join(
+                            envelope_bytes(result) for result in results
+                        )
+                        self._send(
+                            200,
+                            b'{"status":"ok","plan":'
+                            + canonical_json_bytes(summary)
+                            + b',"results":['
+                            + parts
+                            + b"]}",
+                        )
+                    elif self.path in _V1_SPECS:
+                        service.note_v1_request()
+                        spec = _V1_SPECS[self.path].from_dict(body)
+                        self._send(
+                            200,
+                            envelope_bytes(service.execute(spec)),
+                            headers=v1_deprecation_headers(self.path),
+                        )
+                    else:
+                        self._send_error(404, f"unknown path {self.path!r}")
+                except (UnknownDatasetError, UnknownJobError) as error:
+                    self._send_error(404, _message(error))
+                except (TypeError, ValueError) as error:
+                    self._send_error(400, _message(error))
+                except Exception as error:  # pragma: no cover - defensive 500
+                    # Includes bare KeyError from deep library code: that is
+                    # a server bug, not a client addressing mistake.
+                    self._send_error(500, f"{type(error).__name__}: {error}")
+        finally:
+            TRACER.finish(handle)
 
     # -- v2 helpers ----------------------------------------------------
 

@@ -42,6 +42,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.obs.trace import TRACER
 from repro.service.journal import FAILED as JOURNAL_FAILED
 from repro.service.journal import JobJournal
 from repro.service.registry import UnknownDatasetError
@@ -85,6 +86,10 @@ class Job:
     error_status: int = 500
     primary: "Job | None" = None
     future: Future | None = None
+    #: Trace id active at submission; the worker re-opens a trace under
+    #: it so the async execution joins the submitting request's trace.
+    #: Never surfaced by :meth:`snapshot` (response bodies stay pinned).
+    trace_id: str | None = None
 
     # -- views ----------------------------------------------------------
 
@@ -168,9 +173,60 @@ class JobManager:
         self._coalesced = 0
         self._recovered = 0
         self._replay_skipped = 0
+        #: Finished jobs silently dropped by the ``max_finished`` bound
+        #: (no-silent-caps: the cap is visible on ``GET /metrics``).
+        self._finished_evicted = 0
         self._closed = False
+        self._register_metrics()
 
     # ------------------------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        """Expose the job counters on the owning service's ``/metrics``.
+
+        Callback-backed views over the plain ints this manager already
+        keeps under its condition lock -- the ``/stats`` shape stays
+        untouched and nothing is double-counted.  Registration is
+        idempotent with latest-callback-wins, so a rebuilt manager
+        (journal recovery tests) re-binds the families to itself.
+        """
+        metrics = getattr(self.service, "metrics", None)
+        if metrics is None:  # pragma: no cover - stub services in tests
+            return
+        counters = {
+            "repro_jobs_submitted_total": ("jobs submitted", "_submitted"),
+            "repro_jobs_completed_total": ("jobs completed", "_completed"),
+            "repro_jobs_failed_total": ("jobs failed", "_failed"),
+            "repro_jobs_coalesced_total": (
+                "submissions coalesced onto an active job",
+                "_coalesced",
+            ),
+            "repro_jobs_recovered_total": (
+                "jobs resumed from the journal",
+                "_recovered",
+            ),
+            "repro_jobs_replay_skipped_total": (
+                "journal records skipped on replay",
+                "_replay_skipped",
+            ),
+            "repro_jobs_finished_evicted_total": (
+                "finished jobs evicted past the max_finished bound",
+                "_finished_evicted",
+            ),
+        }
+        for name, (help_text, attribute) in counters.items():
+            metrics.counter(
+                name,
+                f"Job manager: {help_text}.",
+                callback=(
+                    lambda attribute=attribute: float(getattr(self, attribute))
+                ),
+            )
+        metrics.gauge(
+            "repro_jobs_retained",
+            "Job manager: job records currently retained.",
+            callback=lambda: float(len(self._jobs)),
+        )
 
     def submit(
         self, spec: RequestSpec, job_id: str | None = None, record: bool = True
@@ -202,7 +258,7 @@ class JobManager:
                 while job_id in self._jobs:  # replayed ids may be interleaved
                     job_id = f"j{next(self._ids):08d}"
             self._submitted += 1
-            job = Job(id=job_id, spec=spec, key=key)
+            job = Job(id=job_id, spec=spec, key=key, trace_id=TRACER.current_id())
             self._jobs[job.id] = job
             if self.journal is not None and record:
                 # Journaled under the lock so the WAL's submission order
@@ -388,8 +444,20 @@ class JobManager:
 
         Journal writes happen *outside* the condition lock (they fsync)
         and *before* the terminal transition notifies waiters, so a job
-        a client observed as done is always recoverable.
+        a client observed as done is always recoverable.  The worker
+        re-opens a trace under the submission's trace id, so the async
+        execution's spans join the submitting request's distributed
+        trace.
         """
+        handle = TRACER.begin(job.trace_id)
+        try:
+            with TRACER.span("jobs.run", job_id=job.id, kind=job.spec.kind):
+                self._run_traced(job)
+        finally:
+            TRACER.finish(handle)
+
+    def _run_traced(self, job: Job) -> None:
+        """The actual worker body (see :meth:`_run` for the trace shell)."""
         with self._lock:
             job.status = RUNNING
             job.started_at = time.time()
@@ -439,6 +507,7 @@ class JobManager:
         excess = len(finished) - self.max_finished
         for job_id in finished[:max(excess, 0)]:
             del self._jobs[job_id]
+            self._finished_evicted += 1
 
 
 def _error_status(error: BaseException) -> int:

@@ -26,6 +26,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+from repro.obs.trace import TRACER
 from repro.service.core import AnalysisService, ServiceResult
 from repro.service.registry import DatasetEntry
 from repro.service.spec import RequestSpec
@@ -87,24 +88,26 @@ def plan_batch(service: AnalysisService, specs: Sequence[RequestSpec]) -> BatchP
     groups: dict[str, PlanGroup] = {}
     duplicates: list[PlanItem] = []
     leaders: dict[str, PlanItem] = {}
-    for index, spec in enumerate(specs):
-        entry = service.registry.get(spec.dataset)
-        key = spec.request_key(entry.fingerprint)
-        item = PlanItem(index=index, spec=spec, key=key)
-        items.append(item)
-        leader = leaders.get(key)
-        if leader is not None:
-            item.leader = leader
-            duplicates.append(item)
-            continue
-        leaders[key] = item
-        item.warm = service.cache.peek(key) is not None
-        group = groups.get(entry.fingerprint)
-        if group is None:
-            group = groups[entry.fingerprint] = PlanGroup(
-                fingerprint=entry.fingerprint, entry=entry
-            )
-        (group.warm if item.warm else group.cold).append(item)
+    with TRACER.span("batch.plan", specs=len(specs)) as span:
+        for index, spec in enumerate(specs):
+            entry = service.registry.get(spec.dataset)
+            key = spec.request_key(entry.fingerprint)
+            item = PlanItem(index=index, spec=spec, key=key)
+            items.append(item)
+            leader = leaders.get(key)
+            if leader is not None:
+                item.leader = leader
+                duplicates.append(item)
+                continue
+            leaders[key] = item
+            item.warm = service.cache.peek(key) is not None
+            group = groups.get(entry.fingerprint)
+            if group is None:
+                group = groups[entry.fingerprint] = PlanGroup(
+                    fingerprint=entry.fingerprint, entry=entry
+                )
+            (group.warm if item.warm else group.cold).append(item)
+        span.set(groups=len(groups), duplicates=len(duplicates))
     return BatchPlan(items=items, groups=list(groups.values()), duplicates=duplicates)
 
 
@@ -115,12 +118,18 @@ def execute_plan(service: AnalysisService, plan: BatchPlan) -> list[ServiceResul
         # Pin the group's table: every publication the specs trigger --
         # the table for fan-outs, grouped tensors for tests -- lands on
         # one refcounted plane entry for the whole group.
-        pinned = service.engine.pin(group.entry.table)
-        try:
-            for item in group.items:
-                results[item.index] = service.execute(item.spec)
-        finally:
-            service.engine.unpin(pinned)
+        with TRACER.span(
+            "batch.group",
+            fingerprint=group.fingerprint,
+            warm=len(group.warm),
+            cold=len(group.cold),
+        ):
+            pinned = service.engine.pin(group.entry.table)
+            try:
+                for item in group.items:
+                    results[item.index] = service.execute(item.spec)
+            finally:
+                service.engine.unpin(pinned)
     for item in plan.duplicates:
         leader_result = results[item.leader.index]
         # The duplicate never executed: it shares the leader's canonical

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.trace import TRACER
 from repro.relation.table import Table
 from repro.service.fingerprint import fingerprint_table
 
@@ -78,7 +79,8 @@ class DatasetRegistry:
         """
         if not name:
             raise ValueError("dataset name must be non-empty")
-        fingerprint = fingerprint_table(table)
+        with TRACER.span("registry.fingerprint", dataset=name):
+            fingerprint = fingerprint_table(table)
         with self._lock:
             shared = self._by_fingerprint.get(fingerprint)
             reused = shared is not None
@@ -134,7 +136,8 @@ class DatasetRegistry:
         if known is not None:
             child.set_fingerprint(known)
             return child
-        fingerprint = child.fingerprint()
+        with TRACER.span("registry.filter_fingerprint", dataset=entry.name):
+            fingerprint = child.fingerprint()
         with self._lock:
             self._filtered_fingerprints[key] = fingerprint
             while len(self._filtered_fingerprints) > FILTER_MEMO_LIMIT:

@@ -46,6 +46,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.obs.trace import TRACER
 from repro.service.client import (
     ServiceClient,
     ServiceConnectionError,
@@ -306,6 +307,10 @@ class GossipLog:
         self._lock = threading.Lock()
         self._events: list[tuple[int, str, str]] = []
         self._next_seq = 0
+        #: Events dropped off the ring-buffer window (no-silent-caps:
+        #: the router exposes this as
+        #: ``repro_router_gossip_log_evicted_total`` on ``GET /metrics``).
+        self.evictions = 0
 
     def append(self, key: str, location: str) -> None:
         """Record that ``location`` now holds the bytes for ``key``."""
@@ -313,7 +318,9 @@ class GossipLog:
             self._events.append((self._next_seq, key, location))
             self._next_seq += 1
             if len(self._events) > self._max_entries:
-                del self._events[: len(self._events) - self._max_entries]
+                overflow = len(self._events) - self._max_entries
+                del self._events[:overflow]
+                self.evictions += overflow
 
     def since(
         self, cursor: int, limit: int = GOSSIP_KEYS_PER_BEAT
@@ -388,6 +395,7 @@ class ShardNode:
         job_journal: str | None = None,
         heartbeat_interval: float | None = None,
         join_timeout: float = 60.0,
+        trace_log: str | None = None,
     ) -> None:
         self.router_url = router_url.rstrip("/")
         self.token = token
@@ -403,6 +411,7 @@ class ShardNode:
         self._job_journal = job_journal
         self.heartbeat_interval = heartbeat_interval
         self.join_timeout = join_timeout
+        self._trace_log = trace_log
         self.service = None
         self.server = None
         self.url: str | None = None
@@ -442,6 +451,10 @@ class ShardNode:
             if self._advertise is not None
             else f"http://{self.host}:{self._port}"
         )
+        # Name this process's traces like faults.set_scope names its
+        # crash sites; the JSONL log (if any) lands in the shared dir
+        # under trace-<scope>-<pid>.jsonl.
+        TRACER.configure(log_dir=self._trace_log, scope=self.name)
         return self.url
 
     @property
@@ -581,6 +594,7 @@ def _node_main(
     job_workers: int,
     job_journal: str | None,
     heartbeat_interval: float | None,
+    trace_log: str | None = None,
 ) -> None:  # pragma: no cover - runs in a child process
     """Spawn entry point for one remote node (tests and benchmarks).
 
@@ -601,6 +615,7 @@ def _node_main(
         job_workers=job_workers,
         job_journal=job_journal,
         heartbeat_interval=heartbeat_interval,
+        trace_log=trace_log,
     )
     node.start()
     faults.set_scope(node.name)
@@ -628,6 +643,7 @@ def spawn_node(
     job_journal: str | None = None,
     heartbeat_interval: float | None = None,
     start_timeout: float = 120.0,
+    trace_log: str | None = None,
 ):
     """Start one remote node in a fresh process; returns ``(process, url)``.
 
@@ -655,6 +671,7 @@ def spawn_node(
             job_workers,
             journal,
             heartbeat_interval,
+            trace_log,
         ),
         name=f"hypdb-node-{name or 'anon'}",
         daemon=True,

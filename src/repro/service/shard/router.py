@@ -89,6 +89,14 @@ from http.server import ThreadingHTTPServer
 from urllib.parse import parse_qs, urlencode
 
 from repro.core.report import canonical_json_bytes
+from repro.obs.metrics import (
+    GLOBAL_REGISTRY,
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    merge_expositions,
+    render_many,
+)
+from repro.obs.trace import TRACER
 from repro.service.cache import WarmKeyMap
 from repro.service.client import ServiceClient, ServiceConnectionError
 from repro.service.core import build_table
@@ -275,6 +283,12 @@ class ShardRouter:
         self._job_homes: dict[tuple[str, str], str] = {}
         self._job_failovers = 0
         self._rejoins = 0
+        #: Routed jobs silently evicted past MAX_ROUTED_JOBS and gossip
+        #: digest keys dropped past GOSSIP_KEYS_PER_BEAT (no-silent-caps:
+        #: both bounds are visible on ``GET /metrics``, never ``/stats``
+        #: -- its shape stays pinned).
+        self._jobs_evicted = 0
+        self._gossip_keys_dropped = 0
         # Cluster state: the shared token gating /v2/cluster/*, the
         # remote-member table, the gossip log of warm-key placements,
         # and a fresh epoch per router process (nodes re-send their full
@@ -291,10 +305,136 @@ class ShardRouter:
         self._closed = threading.Event()
         self._reaper: threading.Thread | None = None
         self._journal = journal
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
         if journal is not None:
             self._recover_from_journal(journal)
         if cluster_token is not None:
             self._start_reaper()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        """Expose the router counters on ``GET /metrics``.
+
+        Callback-backed views over the plain ints this router mutates
+        under its own lock at ~30 sites (and that tests read directly,
+        e.g. ``router._warm_hits``) -- no double bookkeeping, and the
+        ``/stats`` shape stays byte-compatible.
+        """
+        counters = {
+            "repro_router_requests_total": ("requests forwarded", "_requests"),
+            "repro_router_warm_hits_total": ("warm-key routing hits", "_warm_hits"),
+            "repro_router_v1_requests_total": (
+                "requests through the deprecated v1 surface",
+                "_v1_requests",
+            ),
+            "repro_router_failovers_total": ("shards marked dead", "_failovers"),
+            "repro_router_replica_reads_total": (
+                "warm reads balanced across replicas",
+                "_replica_reads",
+            ),
+            "repro_router_rereplications_total": (
+                "background replica restores",
+                "_rereplications",
+            ),
+            "repro_router_job_failovers_total": (
+                "jobs re-homed off dead shards",
+                "_job_failovers",
+            ),
+            "repro_router_rejoins_total": ("shards re-admitted", "_rejoins"),
+            "repro_router_joins_total": ("cluster joins accepted", "_joins"),
+            "repro_router_join_rejects_total": (
+                "cluster joins rejected",
+                "_join_rejects",
+            ),
+            "repro_router_heartbeats_total": (
+                "cluster heartbeats received",
+                "_heartbeats",
+            ),
+            "repro_router_jobs_evicted_total": (
+                "routed jobs evicted past MAX_ROUTED_JOBS",
+                "_jobs_evicted",
+            ),
+            "repro_router_gossip_keys_dropped_total": (
+                "heartbeat digest keys dropped past GOSSIP_KEYS_PER_BEAT",
+                "_gossip_keys_dropped",
+            ),
+        }
+        for name, (help_text, attribute) in counters.items():
+            self.metrics.counter(
+                name,
+                f"Shard router: {help_text}.",
+                callback=(
+                    lambda attribute=attribute: float(getattr(self, attribute))
+                ),
+            )
+        self.metrics.counter(
+            "repro_router_warm_keys_evicted_total",
+            "Shard router: warm-key map entries evicted by the LRU bound.",
+            callback=lambda: float(self.warm_keys.evictions),
+        )
+        self.metrics.counter(
+            "repro_router_gossip_log_evicted_total",
+            "Shard router: gossip log events evicted by the ring bound.",
+            callback=lambda: float(self._gossip.evictions),
+        )
+        gauges = {
+            "repro_router_uptime_seconds": (
+                "seconds since the router started",
+                lambda: time.time() - self.started_at,
+            ),
+            "repro_router_shards": (
+                "known shard backends (live + dead)",
+                lambda: float(len(self._backends)),
+            ),
+            "repro_router_live_shards": (
+                "shards currently on the ring",
+                lambda: float(len(self.ring)),
+            ),
+            "repro_router_warm_keys": (
+                "entries in the warm-key map",
+                lambda: float(len(self.warm_keys)),
+            ),
+            "repro_router_datasets": (
+                "registered datasets",
+                lambda: float(len(self._registrations)),
+            ),
+            "repro_router_routed_jobs": (
+                "entries in the routed-job table",
+                lambda: float(len(self._jobs)),
+            ),
+        }
+        for name, (help_text, callback) in gauges.items():
+            self.metrics.gauge(name, f"Shard router: {help_text}.", callback=callback)
+
+    def handle_metrics(self) -> tuple[int, bytes]:
+        """``GET /metrics``: the router's exposition plus live shard scrapes.
+
+        The router's own families pass through untagged; each live
+        shard's scraped exposition is merged in with a ``shard="name"``
+        label, so one scrape covers the whole deployment.  Dead or
+        unreachable shards are skipped (scraping must never trip
+        failover or block on a corpse).
+        """
+        parts: list[tuple[str | None, str]] = [
+            (None, render_many([self.metrics, GLOBAL_REGISTRY]))
+        ]
+        for name in sorted(self._backends):
+            backend = self._backends[name]
+            if backend.dead:
+                continue
+            try:
+                status, payload = self._clients[name].request_bytes(
+                    "/metrics", timeout=10.0
+                )
+            except ServiceConnectionError:
+                continue
+            if status == 200:
+                parts.append((name, payload.decode("utf-8")))
+        return 200, merge_expositions(parts).encode("utf-8")
 
     # ------------------------------------------------------------------
     # Topology
@@ -601,6 +741,12 @@ class ShardRouter:
             return rejection.status, rejection.body()
         keys = body.get("keys")
         if isinstance(keys, list):
+            dropped = len(keys) - GOSSIP_KEYS_PER_BEAT
+            if dropped > 0:
+                # The node re-sends what was cut on later beats, but the
+                # cut itself must be visible (no-silent-caps).
+                with self._lock:
+                    self._gossip_keys_dropped += dropped
             for key in keys[:GOSSIP_KEYS_PER_BEAT]:
                 if isinstance(key, str):
                     self._record_warm(key, name)
@@ -778,6 +924,7 @@ class ShardRouter:
         ][:excess]:
             entry = self._jobs.pop(public_id)
             self._job_homes.pop((entry.shard, entry.local_id), None)
+            self._jobs_evicted += 1
 
     def _reregister(self, record: RegisteredDataset) -> None:
         """Re-register one orphaned dataset on its ring successor (lock held)."""
@@ -908,25 +1055,32 @@ class ShardRouter:
         single holder and cold keys to the ring owner -- the PR-6 paths,
         byte-identical.
         """
-        with self._lock:
-            placement = self._placement_locked(fingerprint)
-            if key is not None:
-                holders = [
-                    name
-                    for name in self.warm_keys.holders(key)
-                    if not self._backends[name].dead
-                ]
-                if holders:
-                    self._warm_hits += 1
-                    if placement is not None and len(placement) > 1:
-                        cursor = self._read_cursors.get(fingerprint, 0)
-                        self._read_cursors[fingerprint] = cursor + 1
-                        self._replica_reads += 1
-                        return placement[cursor % len(placement)]
-                    return holders[0]
-            if placement is not None:
-                return placement[0]
-            return self._fallback_locked()
+        with TRACER.span("router.route", key=key) as span:
+            with self._lock:
+                placement = self._placement_locked(fingerprint)
+                if key is not None:
+                    holders = [
+                        name
+                        for name in self.warm_keys.holders(key)
+                        if not self._backends[name].dead
+                    ]
+                    if holders:
+                        self._warm_hits += 1
+                        if placement is not None and len(placement) > 1:
+                            cursor = self._read_cursors.get(fingerprint, 0)
+                            self._read_cursors[fingerprint] = cursor + 1
+                            self._replica_reads += 1
+                            target = placement[cursor % len(placement)]
+                            span.set(policy="warm_balanced", shard=target)
+                            return target
+                        span.set(policy="warm", shard=holders[0])
+                        return holders[0]
+                if placement is not None:
+                    span.set(policy="placement", shard=placement[0])
+                    return placement[0]
+                target = self._fallback_locked()
+                span.set(policy="fallback", shard=target)
+                return target
 
     def _forward_spec(
         self, path: str, raw: bytes, fingerprint: str | None, key: str | None
@@ -942,7 +1096,8 @@ class ShardRouter:
         for _ in range(len(self._backends) + 1):
             target = self._target_for(fingerprint, key)
             try:
-                status, payload = self._clients[target].request_bytes(path, raw)
+                with TRACER.span("router.forward", path=path, shard=target):
+                    status, payload = self._clients[target].request_bytes(path, raw)
             except ServiceConnectionError:
                 self.mark_dead(self._backends[target])
                 continue
@@ -1583,32 +1738,42 @@ class _RouterHandler(JSONRequestHandler):
 
         parts = urlsplit(self.path)
         router = self.server.router
+        handle = self._begin_trace()
         try:
-            if parts.path == "/health":
-                self._send(200, canonical_json_bytes({"status": "ok"}))
-            elif parts.path == "/stats":
-                self._send(*router.handle_stats())
-            elif parts.path == "/v2/datasets":
-                self._send(*router.handle_datasets())
-            elif parts.path == "/v2/jobs":
-                self._send(*router.handle_job_list(parts.query))
-            elif parts.path == "/v2/cluster":
-                self._send(*router.handle_cluster_get())
-            elif parts.path.startswith("/v2/jobs/"):
-                job_id = parts.path[len("/v2/jobs/"):]
-                self._send(*router.handle_job_get(job_id, parts.query))
-            else:
-                self._send_error(404, f"unknown path {self.path!r}")
-        except NoLiveShardsError as error:
-            self._send_error(
-                503,
-                str(error),
-                headers=(("Retry-After", str(RETRY_AFTER_SECONDS)),),
-            )
-        except (TypeError, ValueError) as error:
-            self._send_error(400, _message(error))
-        except Exception as error:  # pragma: no cover - defensive 500
-            self._send_error(500, f"{type(error).__name__}: {error}")
+            with TRACER.span("http.dispatch", method="GET", path=parts.path):
+                try:
+                    if parts.path == "/health":
+                        self._send(200, canonical_json_bytes({"status": "ok"}))
+                    elif parts.path == "/stats":
+                        self._send(*router.handle_stats())
+                    elif parts.path == "/metrics":
+                        status, payload = router.handle_metrics()
+                        self._send(
+                            status, payload, content_type=PROMETHEUS_CONTENT_TYPE
+                        )
+                    elif parts.path == "/v2/datasets":
+                        self._send(*router.handle_datasets())
+                    elif parts.path == "/v2/jobs":
+                        self._send(*router.handle_job_list(parts.query))
+                    elif parts.path == "/v2/cluster":
+                        self._send(*router.handle_cluster_get())
+                    elif parts.path.startswith("/v2/jobs/"):
+                        job_id = parts.path[len("/v2/jobs/"):]
+                        self._send(*router.handle_job_get(job_id, parts.query))
+                    else:
+                        self._send_error(404, f"unknown path {self.path!r}")
+                except NoLiveShardsError as error:
+                    self._send_error(
+                        503,
+                        str(error),
+                        headers=(("Retry-After", str(RETRY_AFTER_SECONDS)),),
+                    )
+                except (TypeError, ValueError) as error:
+                    self._send_error(400, _message(error))
+                except Exception as error:  # pragma: no cover - defensive 500
+                    self._send_error(500, f"{type(error).__name__}: {error}")
+        finally:
+            TRACER.finish(handle)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         try:
@@ -1617,37 +1782,50 @@ class _RouterHandler(JSONRequestHandler):
             self._send_error(400, str(error))
             return
         router = self.server.router
+        handle = self._begin_trace()
         try:
-            if self.path == "/register":
-                self._send(*router.handle_register(raw))
-            elif self.path == "/batch":
-                status, payload = router.handle_batch_v1(raw)
-                self._send(status, payload, headers=v1_deprecation_headers(self.path))
-            elif self.path == "/v2/jobs":
-                self._send(*router.handle_submit(raw))
-            elif self.path == "/v2/batch":
-                self._send(*router.handle_batch_v2(raw))
-            elif self.path == "/v2/cluster/join":
-                self._send(*router.handle_cluster_join(raw))
-            elif self.path == "/v2/cluster/heartbeat":
-                self._send(*router.handle_cluster_heartbeat(raw))
-            elif self.path == "/v2/cluster/leave":
-                self._send(*router.handle_cluster_leave(raw))
-            elif self.path in _V1_SPECS:
-                status, payload = router.handle_v1_spec(self.path, raw)
-                self._send(status, payload, headers=v1_deprecation_headers(self.path))
-            else:
-                self._send_error(404, f"unknown path {self.path!r}")
-        except NoLiveShardsError as error:
-            self._send_error(
-                503,
-                str(error),
-                headers=(("Retry-After", str(RETRY_AFTER_SECONDS)),),
-            )
-        except (TypeError, ValueError) as error:
-            self._send_error(400, _message(error))
-        except Exception as error:  # pragma: no cover - defensive 500
-            self._send_error(500, f"{type(error).__name__}: {error}")
+            with TRACER.span("http.dispatch", method="POST", path=self.path):
+                try:
+                    if self.path == "/register":
+                        self._send(*router.handle_register(raw))
+                    elif self.path == "/batch":
+                        status, payload = router.handle_batch_v1(raw)
+                        self._send(
+                            status,
+                            payload,
+                            headers=v1_deprecation_headers(self.path),
+                        )
+                    elif self.path == "/v2/jobs":
+                        self._send(*router.handle_submit(raw))
+                    elif self.path == "/v2/batch":
+                        self._send(*router.handle_batch_v2(raw))
+                    elif self.path == "/v2/cluster/join":
+                        self._send(*router.handle_cluster_join(raw))
+                    elif self.path == "/v2/cluster/heartbeat":
+                        self._send(*router.handle_cluster_heartbeat(raw))
+                    elif self.path == "/v2/cluster/leave":
+                        self._send(*router.handle_cluster_leave(raw))
+                    elif self.path in _V1_SPECS:
+                        status, payload = router.handle_v1_spec(self.path, raw)
+                        self._send(
+                            status,
+                            payload,
+                            headers=v1_deprecation_headers(self.path),
+                        )
+                    else:
+                        self._send_error(404, f"unknown path {self.path!r}")
+                except NoLiveShardsError as error:
+                    self._send_error(
+                        503,
+                        str(error),
+                        headers=(("Retry-After", str(RETRY_AFTER_SECONDS)),),
+                    )
+                except (TypeError, ValueError) as error:
+                    self._send_error(400, _message(error))
+                except Exception as error:  # pragma: no cover - defensive 500
+                    self._send_error(500, f"{type(error).__name__}: {error}")
+        finally:
+            TRACER.finish(handle)
 
 
 def make_router_server(

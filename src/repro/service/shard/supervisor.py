@@ -54,14 +54,17 @@ def _shard_main(
     disk_cache: str | None,
     job_workers: int,
     job_journal: str | None,
+    trace_log: str | None = None,
 ) -> None:  # pragma: no cover - runs in a child process
     """Worker entry point: one full service on an ephemeral port."""
     from repro.engine import resolve_engine
+    from repro.obs.trace import TRACER
     from repro.service import faults
     from repro.service.core import AnalysisService
     from repro.service.http import make_server
 
     faults.set_scope(name)
+    TRACER.configure(log_dir=trace_log, scope=name)
     service = AnalysisService(
         engine=resolve_engine(jobs),
         max_cache_entries=cache_entries,
@@ -137,6 +140,10 @@ class ShardSupervisor:
     job_journal:
         Optional job-journal root; each shard journals under its own
         subdirectory (``<dir>/<name>``) and replays it on (re)spawn.
+    trace_log:
+        Optional request-trace JSONL directory; each shard appends to
+        its own scoped file (``trace-<name>-<pid>.jsonl``), so a shared
+        directory across the fleet is safe.
     start_timeout:
         Seconds to wait for all workers to report their ports.
     """
@@ -152,6 +159,7 @@ class ShardSupervisor:
         start_timeout: float = 60.0,
         health_timeout: float = 5.0,
         job_journal: str | None = None,
+        trace_log: str | None = None,
     ) -> None:
         if shards < 0:
             raise ValueError(f"shards must be >= 0, got {shards}")
@@ -161,6 +169,7 @@ class ShardSupervisor:
         self.disk_cache = disk_cache
         self.job_workers = job_workers
         self.job_journal = job_journal
+        self.trace_log = trace_log
         self.host = host
         self.start_timeout = start_timeout
         self.health_timeout = health_timeout
@@ -191,6 +200,7 @@ class ShardSupervisor:
                 self.disk_cache,
                 self.job_workers,
                 journal,
+                self.trace_log,
             ),
             name=f"hypdb-shard-{name}",
             daemon=True,

@@ -1,0 +1,141 @@
+"""``GET /metrics`` end to end: service exposition and router aggregation."""
+
+from __future__ import annotations
+
+import threading
+import urllib.request
+
+import pytest
+
+from repro.datasets import staples_data
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+from repro.service.client import ServiceClient
+from repro.service.core import AnalysisService
+from repro.service.http import make_server
+from repro.service.shard import ShardRouter, make_router_server
+from repro.service.shard.supervisor import ShardBackend
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+
+#: One family per instrumented subsystem: the scrape covers them all.
+SERVICE_FAMILIES = (
+    "repro_service_requests_total",
+    "repro_request_seconds_bucket",
+    "repro_cache_memory_hits_total",
+    "repro_jobs_submitted_total",
+    "repro_kernel_joint_counts_scans_total",
+    "repro_plane_table_publications_total",
+)
+
+ROUTER_FAMILIES = (
+    "repro_router_requests_total",
+    "repro_router_warm_hits_total",
+    "repro_router_failovers_total",
+    "repro_router_live_shards",
+)
+
+
+def _columns(seed: int = 51) -> dict:
+    table = staples_data(n_rows=400, seed=seed)
+    return {name: table.column(name) for name in table.columns}
+
+
+def _scrape(base_url: str) -> tuple[str, str]:
+    """(content-type, exposition text) of one /metrics GET."""
+    with urllib.request.urlopen(base_url + "/metrics", timeout=30) as response:
+        assert response.status == 200
+        return response.headers["Content-Type"], response.read().decode("utf-8")
+
+
+@pytest.fixture
+def served():
+    service = AnalysisService()
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient("http://127.0.0.1:%d" % server.server_address[1])
+    client.register("metricsds", columns=_columns())
+    yield service, client
+    server.shutdown()
+    server.server_close()
+    service.close()
+    thread.join(timeout=5)
+
+
+class TestServiceMetrics:
+    def test_content_type_and_families(self, served):
+        service, client = served
+        client.query("metricsds", SQL)
+        client.submit_and_wait({"kind": "query", "dataset": "metricsds", "sql": SQL})
+        content_type, text = _scrape(client.base_url)
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        for family in SERVICE_FAMILIES:
+            assert family in text, f"missing family {family}"
+
+    def test_counters_reflect_served_traffic(self, served):
+        service, client = served
+        client.query("metricsds", SQL)
+        client.query("metricsds", SQL)
+        _content_type, text = _scrape(client.base_url)
+        lines = dict(
+            line.rsplit(" ", 1)
+            for line in text.splitlines()
+            if line and not line.startswith("#") and "{" not in line
+        )
+        assert float(lines["repro_service_requests_total"]) >= 2
+        assert float(lines["repro_cache_memory_hits_total"]) >= 1
+        assert 'repro_request_seconds_count{kind="query"} 2' in text
+
+    def test_every_line_is_well_formed(self, served):
+        service, client = served
+        client.query("metricsds", SQL)
+        _content_type, text = _scrape(client.base_url)
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            _name, value = line.rsplit(" ", 1)
+            float(value.replace("+Inf", "inf"))
+
+
+class TestRouterMetrics:
+    def test_aggregated_scrape_tags_shards(self):
+        services, servers, backends = [], [], []
+        for name in ("alpha", "beta"):
+            service = AnalysisService()
+            server = make_server(service)
+            threading.Thread(target=server.serve_forever, daemon=True).start()
+            services.append(service)
+            servers.append(server)
+            backends.append(
+                ShardBackend(
+                    name=name,
+                    url="http://127.0.0.1:%d" % server.server_address[1],
+                )
+            )
+        router = ShardRouter(backends)
+        router_server = make_router_server(router)
+        threading.Thread(target=router_server.serve_forever, daemon=True).start()
+        client = ServiceClient(
+            "http://127.0.0.1:%d" % router_server.server_address[1]
+        )
+        try:
+            client.register("routermetrics", columns=_columns(52))
+            client.query("routermetrics", SQL)
+            content_type, text = _scrape(client.base_url)
+            assert content_type == PROMETHEUS_CONTENT_TYPE
+            for family in ROUTER_FAMILIES:
+                assert family in text, f"missing family {family}"
+            # Shard samples arrive tagged; one HELP/TYPE pair per family.
+            assert 'repro_service_requests_total{shard="alpha"}' in text
+            assert 'repro_service_requests_total{shard="beta"}' in text
+            assert text.count("# TYPE repro_service_requests_total counter") == 1
+        finally:
+            router_server.shutdown()
+            router_server.server_close()
+            router.close()
+            for server in servers:
+                server.shutdown()
+                server.server_close()
+            for service in services:
+                service.close()

@@ -1,0 +1,170 @@
+"""Unit tests for the metrics registry and Prometheus text exposition."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    escape_label_value,
+    format_value,
+    merge_expositions,
+    render_many,
+)
+
+
+class TestExpositionFormat:
+    def test_counter_help_type_and_zero_sample(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total", "A demo counter.")
+        text = registry.render()
+        assert "# HELP demo_total A demo counter.\n" in text
+        assert "# TYPE demo_total counter\n" in text
+        assert "\ndemo_total 0\n" in text
+
+    def test_counter_increments_render_as_integers(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("demo_total")
+        counter.inc()
+        counter.inc(2)
+        assert "\ndemo_total 3\n" in registry.render()
+
+    def test_labeled_samples_one_line_each(self):
+        registry = MetricsRegistry()
+        family = registry.counter("requests_total", labels=("kind",))
+        family.inc(kind="query")
+        family.inc(kind="analyze")
+        family.inc(kind="query")
+        text = registry.render()
+        assert 'requests_total{kind="query"} 2' in text
+        assert 'requests_total{kind="analyze"} 1' in text
+
+    def test_label_value_escaping(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+        registry = MetricsRegistry()
+        registry.counter("odd_total", labels=("path",)).inc(path='p"q\n')
+        assert 'odd_total{path="p\\"q\\n"} 1' in registry.render()
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 10.0):
+            histogram.observe(value)
+        text = registry.render()
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 3' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 4' in text
+        assert "latency_seconds_sum 11.05" in text
+        assert "latency_seconds_count 4" in text
+
+    def test_format_value(self):
+        assert format_value(3.0) == "3"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(0.25) == "0.25"
+
+    def test_gauge_callback_read_at_render_time(self):
+        registry = MetricsRegistry()
+        state = {"size": 1}
+        registry.gauge("depth", callback=lambda: state["size"])
+        assert "\ndepth 1\n" in registry.render()
+        state["size"] = 7
+        assert "\ndepth 7\n" in registry.render()
+
+
+class TestRegistrySemantics:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("twice_total", "help")
+        second = registry.counter("twice_total")
+        assert first is second
+
+    def test_type_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("shape_total")
+        with pytest.raises(ValueError):
+            registry.gauge("shape_total")
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("lbl_total", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("lbl_total", labels=("b",))
+
+    def test_wrong_label_names_on_use_raise(self):
+        registry = MetricsRegistry()
+        family = registry.counter("use_total", labels=("kind",))
+        with pytest.raises(ValueError):
+            family.inc(flavor="x")
+
+    def test_latest_callback_wins_on_reregistration(self):
+        # A rebuilt owner (e.g. a job manager constructed twice against
+        # one service) must re-bind the family to its live state.
+        registry = MetricsRegistry()
+        registry.counter("owner_total", callback=lambda: 1.0)
+        family = registry.counter("owner_total", callback=lambda: 2.0)
+        assert family.value() == 2.0
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("race_total")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 8000
+
+    def test_render_many_concatenates(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("a_total").inc()
+        second.counter("b_total").inc()
+        text = render_many([first, second])
+        assert "a_total 1" in text and "b_total 1" in text
+
+
+class TestMergeExpositions:
+    def test_shard_label_injected_and_meta_deduplicated(self):
+        shard_a = MetricsRegistry()
+        shard_a.counter("req_total", "Requests.").inc(3)
+        shard_b = MetricsRegistry()
+        shard_b.counter("req_total", "Requests.").inc(5)
+        merged = merge_expositions(
+            [("alpha", shard_a.render()), ("beta", shard_b.render())]
+        )
+        assert merged.count("# HELP req_total") == 1
+        assert merged.count("# TYPE req_total") == 1
+        assert 'req_total{shard="alpha"} 3' in merged
+        assert 'req_total{shard="beta"} 5' in merged
+
+    def test_none_part_passes_untagged(self):
+        own = MetricsRegistry()
+        own.counter("router_total").inc()
+        merged = merge_expositions([(None, own.render())])
+        assert "\nrouter_total 1\n" in merged
+        assert "shard=" not in merged
+
+    def test_existing_labels_are_preserved(self):
+        shard = MetricsRegistry()
+        shard.counter("kinds_total", labels=("kind",)).inc(kind="query")
+        merged = merge_expositions([("alpha", shard.render())])
+        assert 'kinds_total{shard="alpha",kind="query"} 1' in merged
+
+    def test_merged_text_is_reparseable(self):
+        # The merged output must itself be valid exposition text: every
+        # non-comment line is "<name>{...} <value>" or "<name> <value>".
+        shard = MetricsRegistry()
+        shard.histogram("lat_seconds", buckets=(1.0,)).observe(0.5)
+        merged = merge_expositions([("alpha", shard.render())])
+        for line in merged.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            assert name_part
+            float(value.replace("+Inf", "inf"))

@@ -1,0 +1,219 @@
+"""Regression pins for the ``/stats`` JSON shapes.
+
+The metrics registry became the single source of truth for the counters
+these payloads expose; the stats classes are *views* over registry
+samples.  These tests pin the exact key sets and value types the JSON
+carried before the refactor, so dashboards and scripts keyed on the old
+shapes keep working byte-compatibly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.datasets import staples_data
+from repro.engine.dataplane import PLANE_STATS
+from repro.relation.table import KERNEL_COUNTERS
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient
+from repro.service.core import AnalysisService
+from repro.service.http import make_server
+from repro.service.shard import ShardRouter, make_router_server
+from repro.service.shard.supervisor import ShardBackend
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+
+SERVICE_STATS_KEYS = {
+    "uptime_seconds",
+    "requests",
+    "coalesced",
+    "v1_requests",
+    "engine",
+    "jobs",
+    "datasets",
+    "filter_memo_entries",
+    "result_cache",
+    "dataset_plane",
+    "job_manager",
+    "kernel_counters",
+}
+
+RESULT_CACHE_KEYS = {
+    "max_entries",
+    "in_memory",
+    "on_disk",
+    "disk_dir",
+    "memory_hits",
+    "disk_hits",
+    "misses",
+    "evictions",
+    "stores",
+    "disk_errors",
+    "hit_ratio",
+}
+
+PLANE_KEYS = {
+    "table_publications",
+    "table_republications",
+    "table_segments",
+    "grouped_publications",
+    "grouped_republications",
+    "grouped_segments",
+}
+
+ROUTER_KEYS = {
+    "uptime_seconds",
+    "shards",
+    "live_shards",
+    "requests",
+    "warm_hits",
+    "v1_requests",
+    "failovers",
+    "warm_keys",
+    "datasets",
+    "replicas",
+    "replica_reads",
+    "rereplications",
+    "routed_jobs",
+    "job_failovers",
+    "rejoins",
+    "cluster",
+}
+
+CLUSTER_KEYS = {
+    "enabled",
+    "epoch",
+    "remote_nodes",
+    "joins",
+    "join_rejects",
+    "heartbeats",
+    "gossip_events",
+}
+
+
+def _columns(seed: int = 31) -> dict:
+    table = staples_data(n_rows=400, seed=seed)
+    return {name: table.column(name) for name in table.columns}
+
+
+@pytest.fixture
+def served():
+    service = AnalysisService()
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient("http://127.0.0.1:%d" % server.server_address[1])
+    client.register("shapes", columns=_columns())
+    yield service, client
+    server.shutdown()
+    server.server_close()
+    service.close()
+    thread.join(timeout=5)
+
+
+class TestServiceStatsShape:
+    def test_top_level_keys_are_pinned(self, served):
+        service, client = served
+        client.query("shapes", SQL)
+        stats = client.stats()
+        assert set(stats) == SERVICE_STATS_KEYS
+
+    def test_counter_types_and_movement(self, served):
+        service, client = served
+        before = client.stats()
+        client.query("shapes", SQL)
+        client.query("shapes", SQL)  # warm
+        after = client.stats()
+        assert isinstance(after["requests"], int)
+        assert after["requests"] == before["requests"] + 2
+        assert isinstance(after["coalesced"], int)
+        assert isinstance(after["v1_requests"], int)
+        assert after["v1_requests"] >= before["v1_requests"] + 2
+
+    def test_result_cache_shape(self, served):
+        service, client = served
+        client.query("shapes", SQL)
+        cache = client.stats()["result_cache"]
+        assert set(cache) == RESULT_CACHE_KEYS
+        for key in ("memory_hits", "disk_hits", "misses", "evictions",
+                    "stores", "disk_errors"):
+            assert isinstance(cache[key], int), key
+        assert isinstance(cache["hit_ratio"], float)
+
+    def test_dataset_plane_shape(self, served):
+        service, client = served
+        plane = client.stats()["dataset_plane"]
+        assert set(plane) == PLANE_KEYS
+        assert all(isinstance(value, int) for value in plane.values())
+
+    def test_kernel_counters_shape(self, served):
+        service, client = served
+        client.query("shapes", SQL)
+        counters = client.stats()["kernel_counters"]
+        assert set(counters) == {"joint_counts_scans", "grouped_passes", "total"}
+        assert counters["total"] == (
+            counters["joint_counts_scans"] + counters["grouped_passes"]
+        )
+
+
+class TestViewsOverTheRegistry:
+    def test_kernel_counters_are_ints_and_move(self):
+        table = staples_data(n_rows=200, seed=5)
+        before = KERNEL_COUNTERS.joint_counts_scans
+        table.joint_counts(("Income", "Price"))
+        assert isinstance(KERNEL_COUNTERS.joint_counts_scans, int)
+        assert KERNEL_COUNTERS.joint_counts_scans == before + 1
+        assert KERNEL_COUNTERS.total() == (
+            KERNEL_COUNTERS.joint_counts_scans + KERNEL_COUNTERS.grouped_passes
+        )
+
+    def test_plane_stats_fields_are_ints(self):
+        snapshot = PLANE_STATS.as_dict()
+        assert set(snapshot) == PLANE_KEYS
+        assert PLANE_STATS.table_publications == snapshot["table_publications"]
+
+    def test_cache_stats_view_tracks_cache_traffic(self):
+        cache = ResultCache(max_entries=2)
+        assert cache.get("nope") is None
+        cache.put("k1", b"{}")
+        assert cache.get("k1") == b"{}"
+        assert cache.stats.misses == 1
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.stores == 1
+        snapshot = cache.stats.as_dict()
+        assert snapshot["hit_ratio"] == 0.5
+
+
+class TestRouterStatsShape:
+    def test_router_stats_keys_are_pinned(self):
+        service = AnalysisService()
+        server = make_server(service)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        backend = ShardBackend(
+            name="alpha",
+            url="http://127.0.0.1:%d" % server.server_address[1],
+        )
+        router = ShardRouter([backend])
+        router_server = make_router_server(router)
+        threading.Thread(target=router_server.serve_forever, daemon=True).start()
+        client = ServiceClient(
+            "http://127.0.0.1:%d" % router_server.server_address[1]
+        )
+        try:
+            client.register("routershape", columns=_columns(32))
+            client.query("routershape", SQL)
+            stats = client.stats()
+            assert set(stats) == {"router", "shards"}
+            assert set(stats["router"]) == ROUTER_KEYS
+            assert set(stats["router"]["cluster"]) == CLUSTER_KEYS
+            assert set(stats["shards"]) == {"alpha"}
+            assert set(stats["shards"]["alpha"]) == SERVICE_STATS_KEYS
+        finally:
+            router_server.shutdown()
+            router_server.server_close()
+            router.close()
+            server.shutdown()
+            server.server_close()
+            service.close()

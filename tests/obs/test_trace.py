@@ -1,0 +1,293 @@
+"""Tracer unit tests plus cross-process-style propagation tests.
+
+Propagation is exercised over real HTTP hops (service servers and a
+shard router with in-process backends): every hop runs in its own
+handler thread, so the ``X-Repro-Trace`` header is genuinely the only
+channel the trace id can travel through.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.datasets import staples_data
+from repro.engine.parallel import ParallelEngine
+from repro.obs.trace import (
+    MAX_SPANS_PER_TRACE,
+    TRACE_HEADER,
+    TRACER,
+    Tracer,
+    new_trace_id,
+)
+from repro.service.client import ServiceClient
+from repro.service.core import AnalysisService
+from repro.service.http import make_server
+from repro.service.shard import ShardRouter, make_router_server
+from repro.service.shard.supervisor import ShardBackend
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+
+
+def _square(task: int) -> int:
+    return task * task
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Isolate each test from the process-global tracer's state."""
+    TRACER.clear()
+    yield
+    TRACER.close()
+    TRACER.configure(enabled=True, scope="main")
+    TRACER.clear()
+
+
+def _columns(seed: int = 21, n_rows: int = 400) -> dict:
+    table = staples_data(n_rows=n_rows, seed=seed)
+    return {name: table.column(name) for name in table.columns}
+
+
+class TestTracerUnit:
+    def test_begin_finish_records_on_ring(self):
+        tracer = Tracer()
+        handle = tracer.begin()
+        with tracer.span("phase.one", detail="x"):
+            pass
+        tracer.finish(handle)
+        (record,) = tracer.recent()
+        assert record["trace_id"] == handle[0].trace_id
+        assert [span["name"] for span in record["spans"]] == ["phase.one"]
+        assert record["spans"][0]["attrs"] == {"detail": "x"}
+
+    def test_begin_continues_an_inbound_id(self):
+        tracer = Tracer()
+        handle = tracer.begin("cafe0123cafe0123")
+        assert tracer.current_id() == "cafe0123cafe0123"
+        tracer.finish(handle)
+        assert tracer.current_id() is None
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(ring_size=8)
+        for _ in range(20):
+            tracer.finish(tracer.begin())
+        assert len(tracer.recent()) == 8
+
+    def test_span_cap_counts_overflow(self):
+        tracer = Tracer()
+        handle = tracer.begin()
+        for index in range(MAX_SPANS_PER_TRACE + 8):
+            tracer.record_span("tiny", 0.0, index=index)
+        tracer.finish(handle)
+        (record,) = tracer.recent()
+        assert len(record["spans"]) == MAX_SPANS_PER_TRACE
+        assert record["spans_dropped"] == 8
+
+    def test_disabled_tracer_is_inert(self):
+        tracer = Tracer()
+        tracer.configure(enabled=False)
+        assert tracer.begin() is None
+        span = tracer.span("ignored")
+        with span:
+            span.set(anything="goes")
+        tracer.finish(None)
+        assert tracer.recent() == []
+
+    def test_span_without_active_trace_is_noop(self):
+        tracer = Tracer()
+        with tracer.span("orphan"):
+            pass
+        assert tracer.recent() == []
+
+    def test_new_trace_ids_are_16_hex(self):
+        trace_id = new_trace_id()
+        assert len(trace_id) == 16
+        int(trace_id, 16)
+
+    def test_jsonl_log_written_per_scope_and_pid(self, tmp_path):
+        tracer = Tracer()
+        tracer.configure(log_dir=str(tmp_path), scope="unittest")
+        handle = tracer.begin()
+        with tracer.span("only.phase"):
+            pass
+        tracer.finish(handle)
+        tracer.close()
+        (path,) = tmp_path.glob("trace-unittest-*.jsonl")
+        record = json.loads(path.read_text().strip())
+        assert record["scope"] == "unittest"
+        assert record["trace_id"] == handle[0].trace_id
+        assert record["spans"][0]["name"] == "only.phase"
+
+
+class TestServicePropagation:
+    @pytest.fixture
+    def served(self):
+        service = AnalysisService()
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient("http://127.0.0.1:%d" % server.server_address[1])
+        client.register("tracing", columns=_columns())
+        TRACER.clear()
+        yield client
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=5)
+
+    def test_response_echoes_the_trace_header(self, served):
+        import urllib.request
+
+        request = urllib.request.Request(
+            served.base_url + "/health",
+            headers={TRACE_HEADER: "feedbead12345678"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.headers[TRACE_HEADER] == "feedbead12345678"
+
+    def test_request_records_dispatch_and_execute_spans(self, served):
+        served.query("tracing", SQL)
+        records = [
+            record
+            for record in TRACER.recent()
+            if any(s["name"] == "service.execute" for s in record["spans"])
+        ]
+        assert records, "no trace recorded the query execution"
+        spans = {span["name"] for span in records[-1]["spans"]}
+        assert "http.dispatch" in spans
+        execute = next(
+            span
+            for span in records[-1]["spans"]
+            if span["name"] == "service.execute"
+        )
+        assert execute["attrs"]["kind"] == "query"
+        assert execute["attrs"]["cached"] is False
+        assert execute["attrs"]["kernel_passes"] >= 0
+
+    def test_client_injects_the_active_id(self, served):
+        handle = TRACER.begin("0123456789abcdef")
+        try:
+            served.query("tracing", SQL)
+        finally:
+            TRACER.finish(handle)
+        ids = {record["trace_id"] for record in TRACER.recent()}
+        assert "0123456789abcdef" in ids
+
+
+class TestRouterPropagation:
+    @pytest.fixture
+    def routed(self):
+        """A router over two in-process backend services (HTTP hops only)."""
+        services, servers, threads = [], [], []
+        backends = []
+        for name in ("alpha", "beta"):
+            service = AnalysisService()
+            server = make_server(service)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            services.append(service)
+            servers.append(server)
+            threads.append(thread)
+            backends.append(
+                ShardBackend(
+                    name=name,
+                    url="http://127.0.0.1:%d" % server.server_address[1],
+                )
+            )
+        router = ShardRouter(backends)
+        router_server = make_router_server(router)
+        threading.Thread(target=router_server.serve_forever, daemon=True).start()
+        client = ServiceClient(
+            "http://127.0.0.1:%d" % router_server.server_address[1]
+        )
+        client.register("routed", columns=_columns(22))
+        TRACER.clear()
+        yield client
+        router_server.shutdown()
+        router_server.server_close()
+        router.close()
+        for server in servers:
+            server.shutdown()
+            server.server_close()
+        for service in services:
+            service.close()
+        for thread in threads:
+            thread.join(timeout=5)
+
+    def test_one_id_spans_router_and_shard(self, routed):
+        import urllib.request
+
+        trace_id = "a1b2c3d4e5f60718"
+        body = json.dumps({"dataset": "routed", "sql": SQL}).encode("utf-8")
+        request = urllib.request.Request(
+            routed.base_url + "/query",
+            data=body,
+            headers={"Content-Type": "application/json", TRACE_HEADER: trace_id},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=120) as response:
+            assert response.status == 200
+            assert response.headers[TRACE_HEADER] == trace_id
+
+        def names_so_far() -> set:
+            return {
+                span["name"]
+                for record in TRACER.recent()
+                if record["trace_id"] == trace_id
+                for span in record["spans"]
+            }
+
+        # Each hop finishes its trace just after writing its response
+        # bytes, so the ring may trail the client by a moment -- for the
+        # router record as well as the shard record.
+        expected = {"router.route", "router.forward", "service.execute"}
+        deadline = time.monotonic() + 10.0
+        while not expected <= names_so_far() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        matching = [
+            record
+            for record in TRACER.recent()
+            if record["trace_id"] == trace_id
+        ]
+        names = names_so_far()
+        # The router hop recorded its routing decision and forward, the
+        # shard hop its execution -- all under the caller's id.
+        assert "router.route" in names
+        assert "router.forward" in names
+        assert "service.execute" in names
+        route = next(
+            span
+            for record in matching
+            for span in record["spans"]
+            if span["name"] == "router.route"
+        )
+        assert route["attrs"]["policy"] in (
+            "warm", "warm_balanced", "placement", "fallback"
+        )
+
+
+class TestEngineWorkerPropagation:
+    def test_worker_batches_rerecorded_into_the_trace(self):
+        with ParallelEngine(jobs=2, min_tasks=2) as engine:
+            handle = TRACER.begin()
+            try:
+                results = engine.map(_square, list(range(16)), chunk_size=4)
+            finally:
+                trace = handle[0]
+                TRACER.finish(handle)
+        assert results == [index * index for index in range(16)]
+        names = [span.name for span in trace.spans]
+        assert "engine.map" in names
+        batches = [span for span in trace.spans if span.name == "engine.worker_batch"]
+        assert len(batches) == 4
+        assert sum(span.attrs["tasks"] for span in batches) == 16
+        assert all(span.attrs["worker_pid"] > 0 for span in batches)
+
+    def test_untraced_map_is_identical(self):
+        with ParallelEngine(jobs=2, min_tasks=2) as engine:
+            assert engine.map(_square, list(range(16)), chunk_size=4) == [
+                index * index for index in range(16)
+            ]

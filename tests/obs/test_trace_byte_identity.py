@@ -1,0 +1,152 @@
+"""Tracing must never change a single response byte.
+
+The tentpole invariant of the observability tier: telemetry travels in
+headers, ``/metrics``, and logs only.  For every request kind, the HTTP
+body served with tracing fully on (trace header sent, JSONL log
+configured) is byte-identical -- up to the envelope's wall-clock
+``elapsed_seconds`` field -- to the body served with tracing disabled,
+on both the serial and the ``jobs=4`` parallel engine, cold and warm.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+
+import pytest
+
+from repro.datasets import staples_data
+from repro.engine import ParallelEngine
+from repro.obs.trace import TRACE_HEADER, TRACER
+from repro.service.client import ServiceClient
+from repro.service.core import AnalysisService
+from repro.service.http import make_server
+
+SQL = "SELECT Income, avg(Price) FROM t GROUP BY Income"
+
+#: The four synchronous request kinds, smallest-work parameterizations.
+REQUESTS = (
+    ("/query", {"sql": SQL}),
+    (
+        "/analyze",
+        {"sql": SQL, "covariates": ["Distance"], "mediators": [], "seed": 7},
+    ),
+    ("/discover", {"treatment": "Income", "outcome": "Price", "seed": 7}),
+    (
+        "/whatif",
+        {"treatment": "Income", "outcome": "Price", "covariates": ["Distance"]},
+    ),
+)
+
+_ELAPSED = re.compile(rb'"elapsed_seconds":[0-9.eE+-]+')
+
+
+def normalize(body: bytes) -> bytes:
+    """Zero the envelope's only wall-clock field; everything else is pinned."""
+    return _ELAPSED.sub(b'"elapsed_seconds":0', body)
+
+
+def _columns() -> dict:
+    table = staples_data(n_rows=400, seed=41)
+    return {name: table.column(name) for name in table.columns}
+
+
+@pytest.fixture(autouse=True)
+def restore_tracer():
+    yield
+    TRACER.close()
+    TRACER.configure(enabled=True, scope="main")
+    TRACER.clear()
+
+
+def _serve(engine=None):
+    service = AnalysisService(engine=engine) if engine is not None else AnalysisService()
+    server = make_server(service)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServiceClient("http://127.0.0.1:%d" % server.server_address[1])
+    client.register("bid", columns=_columns())
+    return service, server, client
+
+
+def _collect(client: ServiceClient, traced: bool, tmp_path) -> list[bytes]:
+    """Cold + warm bodies for every request kind, tracing on or off."""
+    if traced:
+        TRACER.configure(enabled=True, log_dir=str(tmp_path / "traces"))
+    else:
+        TRACER.configure(enabled=False)
+    bodies: list[bytes] = []
+    for path, params in REQUESTS:
+        raw = json.dumps({"dataset": "bid", **params}).encode("utf-8")
+        for _round in ("cold", "warm"):
+            handle = TRACER.begin() if traced else None
+            try:
+                status, body = client.request_bytes(path, raw)
+            finally:
+                TRACER.finish(handle)
+            assert status == 200, body
+            bodies.append(normalize(body))
+    return bodies
+
+
+def _assert_identical(engine, tmp_path):
+    service_on, server_on, client_on = _serve(engine)
+    try:
+        traced = _collect(client_on, traced=True, tmp_path=tmp_path)
+    finally:
+        server_on.shutdown()
+        server_on.server_close()
+        service_on.close()
+    engine_off = ParallelEngine(jobs=4) if engine is not None else None
+    service_off, server_off, client_off = _serve(engine_off)
+    try:
+        untraced = _collect(client_off, traced=False, tmp_path=tmp_path)
+    finally:
+        server_off.shutdown()
+        server_off.server_close()
+        service_off.close()
+    for (path, _params), index in zip(REQUESTS, range(0, len(traced), 2)):
+        assert traced[index] == untraced[index], f"cold bytes diverged: {path}"
+        assert traced[index + 1] == untraced[index + 1], (
+            f"warm bytes diverged: {path}"
+        )
+    # The traced run really traced: its JSONL log is non-empty.
+    logs = list((tmp_path / "traces").glob("trace-*.jsonl"))
+    assert logs and any(log.stat().st_size > 0 for log in logs)
+
+
+class TestByteIdentity:
+    def test_serial_engine_all_kinds(self, tmp_path):
+        _assert_identical(None, tmp_path)
+
+    def test_parallel_engine_jobs4_all_kinds(self, tmp_path):
+        _assert_identical(ParallelEngine(jobs=4), tmp_path)
+
+    def test_trace_header_alone_does_not_leak_into_the_body(self, tmp_path):
+        # Same live service, same warm request, with and without the
+        # inbound header: bytes must match exactly (no normalization of
+        # anything but the timing field).
+        service, server, client = _serve()
+        try:
+            raw = json.dumps({"dataset": "bid", "sql": SQL}).encode("utf-8")
+            client.request_bytes("/query", raw)  # prime the cache
+            _status, plain = client.request_bytes("/query", raw)
+            import urllib.request
+
+            request = urllib.request.Request(
+                client.base_url + "/query",
+                data=raw,
+                headers={
+                    "Content-Type": "application/json",
+                    TRACE_HEADER: "0011223344556677",
+                },
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=120) as response:
+                tagged = response.read()
+                assert response.headers[TRACE_HEADER] == "0011223344556677"
+            assert normalize(tagged) == normalize(plain)
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
